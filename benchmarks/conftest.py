@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One 120-day dataset is synthesized per session and reused by every
+experiment bench; each bench times the analysis (not the synthesis) and
+prints the regenerated rows/series so `pytest benchmarks/
+--benchmark-only -s` reproduces the paper's tables and figures in one
+pass.
+"""
+
+import pytest
+
+from repro.dataset import MiraDataset
+
+BENCH_DAYS = 120.0
+BENCH_SEED = 2019  # the paper's year
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return MiraDataset.synthesize(n_days=BENCH_DAYS, seed=BENCH_SEED)
+
+
+def run_and_print(benchmark, experiment_id: str, dataset, **params):
+    """Time one experiment and print its regenerated series."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, dataset),
+        kwargs=params,
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.to_text(max_rows=30))
+    return result

@@ -1,0 +1,53 @@
+"""Ablation A01 — filtering sensitivity to threshold and window.
+
+The paper's similarity filter has two knobs: the time window and the
+Jaccard threshold.  This bench sweeps both and prints the recovered
+cluster count against the ground-truth incident count, exhibiting the
+plateau that justifies the default operating point (window 1h,
+threshold 0.5).
+"""
+
+import pytest
+
+from repro.core import default_pipeline
+from repro.table import Table
+
+THRESHOLDS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+WINDOWS = (600.0, 1800.0, 3600.0, 7200.0)
+
+
+def _sweep(dataset):
+    fatal = dataset.fatal_events()
+    truth = len(dataset.incidents)
+    rows = {"window_s": [], "threshold": [], "clusters": [], "truth": [], "error": []}
+    for window in WINDOWS:
+        for threshold in THRESHOLDS:
+            outcome = default_pipeline(
+                temporal_window=window,
+                spatial_window=window,
+                similarity_window=window,
+                similarity_threshold=threshold,
+                spec=dataset.spec,
+            ).run(fatal)
+            rows["window_s"].append(window)
+            rows["threshold"].append(threshold)
+            rows["clusters"].append(outcome.n_clusters)
+            rows["truth"].append(truth)
+            rows["error"].append(
+                abs(outcome.n_clusters - truth) / truth if truth else float("nan")
+            )
+    return Table(rows)
+
+
+def test_a01_filter_sensitivity(benchmark, dataset):
+    table = benchmark.pedantic(_sweep, args=(dataset,), rounds=1, iterations=1)
+    print()
+    print(table.to_text(max_rows=40))
+    # The default operating point sits on the recovery plateau.
+    default = table.filter(
+        (table["window_s"] == 3600.0) & (table["threshold"] == 0.5)
+    )
+    assert default.row(0)["error"] < 0.3
+    # Extreme thresholds over-split: more clusters than the default.
+    loose = table.filter((table["window_s"] == 3600.0) & (table["threshold"] == 0.95))
+    assert loose.row(0)["clusters"] >= default.row(0)["clusters"]

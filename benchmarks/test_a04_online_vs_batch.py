@@ -1,0 +1,48 @@
+"""Ablation A04 — online vs batch similarity filtering.
+
+The online filter exists so operators can consume the live stream; this
+bench shows its cost relative to the batch algorithm on the same FATAL
+stream and re-checks output equivalence at bench scale.
+"""
+
+import time
+
+from repro.core.filtering import events_to_clusters, similarity_filter
+from repro.ras.replay import OnlineSimilarityFilter, replay
+from repro.table import Table
+
+
+def _run_both(dataset):
+    fatal = dataset.fatal_events()
+    started = time.perf_counter()
+    batch = similarity_filter(
+        events_to_clusters(fatal), window_seconds=3600, threshold=0.5
+    )
+    batch_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    online = OnlineSimilarityFilter(3600, 0.5)
+    closed = []
+    for event in replay(fatal):
+        closed += online.push(event)
+    closed += online.flush()
+    online_seconds = time.perf_counter() - started
+    return batch, closed, batch_seconds, online_seconds
+
+
+def test_a04_online_vs_batch(benchmark, dataset):
+    batch, closed, batch_seconds, online_seconds = benchmark.pedantic(
+        _run_both, args=(dataset,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        Table(
+            {
+                "mode": ["batch", "online"],
+                "clusters": [batch.n_rows, len(closed)],
+                "seconds": [batch_seconds, online_seconds],
+            }
+        ).to_text()
+    )
+    assert len(closed) == batch.n_rows
+    assert sum(c.n_events for c in closed) == int(batch["n_events"].sum())

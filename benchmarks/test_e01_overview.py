@@ -1,0 +1,12 @@
+"""Bench E01 — dataset overview table.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e01_overview(benchmark, dataset):
+    result = run_and_print(benchmark, "e01", dataset)
+    assert result.metrics["n_jobs"] > 0
+    assert 0.3 < result.metrics["utilization"] < 0.95

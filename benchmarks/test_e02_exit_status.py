@@ -1,0 +1,11 @@
+"""Bench E02 — exit-status breakdown figure.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e02_exit_status(benchmark, dataset):
+    result = run_and_print(benchmark, "e02", dataset)
+    assert 0.1 < result.metrics["failure_rate"] < 0.45

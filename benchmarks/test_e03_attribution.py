@@ -1,0 +1,11 @@
+"""Bench E03 — user- vs system-caused attribution (paper: 99.4% user).
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e03_attribution(benchmark, dataset):
+    result = run_and_print(benchmark, "e03", dataset)
+    assert result.metrics["user_share"] > 0.97

@@ -1,0 +1,11 @@
+"""Bench E04 — best-fit distribution per exit family.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e04_distributions(benchmark, dataset):
+    result = run_and_print(benchmark, "e04", dataset)
+    assert result.metrics["families_matching_paper"] >= 3

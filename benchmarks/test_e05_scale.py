@@ -1,0 +1,11 @@
+"""Bench E05 — failure rate vs job scale.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e05_scale(benchmark, dataset):
+    result = run_and_print(benchmark, "e05", dataset)
+    assert result.metrics["large_over_small"] > 1.2

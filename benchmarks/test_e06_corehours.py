@@ -1,0 +1,11 @@
+"""Bench E06 — failure rate vs core-hours.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e06_corehours(benchmark, dataset):
+    result = run_and_print(benchmark, "e06", dataset)
+    assert result.metrics["wasted_share"] > 0.05

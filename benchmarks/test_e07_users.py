@@ -1,0 +1,11 @@
+"""Bench E07 — failures by user/project (concentration).
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e07_users(benchmark, dataset):
+    result = run_and_print(benchmark, "e07", dataset)
+    assert result.metrics["user_top10pct_share"] > 0.5

@@ -1,0 +1,11 @@
+"""Bench E08 — execution structure (tasks per job) vs failure.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e08_structure(benchmark, dataset):
+    result = run_and_print(benchmark, "e08", dataset)
+    assert result.metrics["multi_over_single_rate"] > 1.1

@@ -1,0 +1,11 @@
+"""Bench E09 — RAS severity-by-component composition table.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e09_ras_breakdown(benchmark, dataset):
+    result = run_and_print(benchmark, "e09", dataset)
+    assert result.metrics["info_share"] > 0.5

@@ -1,0 +1,11 @@
+"""Bench E10 — monthly/diurnal/weekly series.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e10_temporal(benchmark, dataset):
+    result = run_and_print(benchmark, "e10", dataset)
+    assert result.metrics["day_night_ratio"] > 1.2

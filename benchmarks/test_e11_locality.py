@@ -1,0 +1,11 @@
+"""Bench E11 — fatal-event locality heatmap and metrics.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e11_locality(benchmark, dataset):
+    result = run_and_print(benchmark, "e11", dataset)
+    assert result.metrics["gini"] > 0.5

@@ -1,0 +1,11 @@
+"""Bench E12 — event-filtering ablation (per-stage reduction).
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e12_filtering(benchmark, dataset):
+    result = run_and_print(benchmark, "e12", dataset)
+    assert result.metrics["total_reduction"] > 5

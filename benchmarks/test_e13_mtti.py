@@ -1,0 +1,11 @@
+"""Bench E13 — MTTI after similarity filtering (paper: ~3.5 days).
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e13_mtti(benchmark, dataset):
+    result = run_and_print(benchmark, "e13", dataset)
+    assert 2.0 < result.metrics["job_mtti_days_at_default"] < 7.0

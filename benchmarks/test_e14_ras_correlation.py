@@ -1,0 +1,11 @@
+"""Bench E14 — RAS exposure vs users/core-hours correlation.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e14_ras_correlation(benchmark, dataset):
+    result = run_and_print(benchmark, "e14", dataset)
+    assert result.metrics["spearman"] > 0.3

@@ -1,0 +1,11 @@
+"""Bench E15 — I/O behaviour of failed vs successful jobs.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e15_io(benchmark, dataset):
+    result = run_and_print(benchmark, "e15", dataset)
+    assert result.metrics["write_per_ch_success_over_failed"] > 1.5

@@ -1,0 +1,11 @@
+"""Bench E16 — the 22 takeaways recomputed.
+
+Regenerates the reconstructed paper artefact; see DESIGN.md §4.
+"""
+
+from conftest import BENCH_DAYS, run_and_print
+
+
+def test_e16_takeaways(benchmark, dataset):
+    result = run_and_print(benchmark, "e16", dataset)
+    assert result.metrics["n_holding"] >= 19

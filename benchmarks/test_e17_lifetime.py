@@ -1,0 +1,11 @@
+"""Bench E17 — machine-life phase analysis (extension).
+
+Regenerates the epoch failure-rate series and changepoint scan.
+"""
+
+from conftest import run_and_print
+
+
+def test_e17_lifetime(benchmark, dataset):
+    result = run_and_print(benchmark, "e17", dataset)
+    assert result.metrics["n_changepoints"] == 0  # stationary by construction

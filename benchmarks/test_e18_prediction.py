@@ -1,0 +1,12 @@
+"""Bench E18 — submit-time failure predictability (extension).
+
+Regenerates the predictor comparison table.
+"""
+
+from conftest import run_and_print
+
+
+def test_e18_prediction(benchmark, dataset):
+    result = run_and_print(benchmark, "e18", dataset)
+    assert result.metrics["auc_user_history"] > 0.7
+    assert result.metrics["auc_logistic"] > 0.7

@@ -1,0 +1,8 @@
+"""Bench E19 — interruption-interval distribution fitting (extension)."""
+
+from conftest import run_and_print
+
+
+def test_e19_intervals(benchmark, dataset):
+    result = run_and_print(benchmark, "e19", dataset)
+    assert result.metrics["bic_winner_in_expected_family"] == 1

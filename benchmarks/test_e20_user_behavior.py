@@ -1,0 +1,9 @@
+"""Bench E20 — user failure dynamics (extension)."""
+
+from conftest import run_and_print
+
+
+def test_e20_user_behavior(benchmark, dataset):
+    result = run_and_print(benchmark, "e20", dataset)
+    # Heterogeneous user propensities make repeated failures likely.
+    assert result.metrics["repetition_factor"] > 1.5

@@ -1,0 +1,8 @@
+"""Bench E21 — WARN precursors of fatal events (extension)."""
+
+from conftest import run_and_print
+
+
+def test_e21_precursors(benchmark, dataset):
+    result = run_and_print(benchmark, "e21", dataset)
+    assert result.metrics["coverage"] > 0.3

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""What-if fleet study: reliability across machine configurations.
+
+Uses the full simulation stack as a *predictive* tool, the way an
+operator would: compare the production Mira configuration against (a) a
+machine with twice the hardware fault rate (aging fleet) and (b) a
+machine with a less careful user population, and report how the
+headline reliability metrics move.
+
+Run:  python examples/fleet_comparison.py [days] [seed]
+"""
+
+import sys
+
+from repro import MiraDataset, Table
+from repro.core import (
+    attribute_failures,
+    attribution_summary,
+    default_pipeline,
+    job_interruption_mtti,
+)
+from repro.ras import RasGeneratorParams
+from repro.scheduler import WorkloadParams
+
+
+def evaluate(name: str, dataset: MiraDataset) -> dict:
+    summary = dataset.summary()
+    outcome = default_pipeline(spec=dataset.spec).run(dataset.fatal_events())
+    mtti = job_interruption_mtti(
+        outcome.clusters, dataset.jobs, dataset.n_days, dataset.spec
+    )
+    attribution = attribution_summary(
+        attribute_failures(dataset.jobs, dataset.fatal_events(), dataset.spec)
+    )
+    return {
+        "config": name,
+        "jobs": summary["n_jobs"],
+        "failure_rate": summary["failure_rate"],
+        "system_share": attribution["system_share"],
+        "mtti_days": mtti.mtti_days,
+        "core_hours_B": summary["total_core_hours"] / 1e9,
+    }
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 90.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    configs = {
+        "production": dict(),
+        "aging-hardware(2x faults)": dict(
+            ras_params=RasGeneratorParams(incident_rate_per_day=0.88)
+        ),
+        "careless-users(+50% fail)": dict(
+            workload_params=WorkloadParams(base_fail_alpha=1.05)
+        ),
+    }
+    rows = []
+    for name, overrides in configs.items():
+        print(f"Simulating {name} ({days:g} days)...")
+        dataset = MiraDataset.synthesize(n_days=days, seed=seed, **overrides)
+        rows.append(evaluate(name, dataset))
+
+    print("\n=== Fleet comparison ===")
+    print(Table.from_rows(rows).to_text())
+    print(
+        "\nReading: doubling the hardware fault rate halves MTTI but barely "
+        "moves the failure rate (system failures are a sliver of the total); "
+        "user behaviour dominates the failure count, as the paper concludes."
+    )
+
+
+if __name__ == "__main__":
+    main()

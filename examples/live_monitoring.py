@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Live RAS monitoring: online similarity filtering of the event stream.
+
+An operations team cannot batch-process the log after the fact — it
+watches the firehose.  This example replays a synthetic RAS stream
+through the incremental :class:`~repro.ras.OnlineSimilarityFilter`
+(whose output provably matches the paper's batch similarity filter) and
+prints an "ops console": each physical incident as soon as its window
+closes, with the duplicate count it absorbed.
+
+Run:  python examples/live_monitoring.py [days] [seed]
+"""
+
+import sys
+
+from repro import MiraDataset
+from repro.ras import OnlineSimilarityFilter, replay
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 45.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    dataset = MiraDataset.synthesize(n_days=days, seed=seed)
+    fatal = dataset.fatal_events()
+    print(
+        f"Replaying {fatal.n_rows} FATAL records over {days:g} days "
+        f"({len(dataset.incidents)} physical incidents ground truth)\n"
+    )
+    online = OnlineSimilarityFilter(window_seconds=3600.0, threshold=0.5)
+    emitted = 0
+    peak_open = 0
+    for event in replay(fatal):
+        for cluster in online.push(event):
+            emitted += 1
+            day = cluster.first_timestamp / 86_400.0
+            print(
+                f"[day {day:7.2f}] INCIDENT at {cluster.location:<14s} "
+                f"{cluster.msg_id}  ({cluster.n_events} duplicate records)  "
+                f'"{cluster.message[:48]}..."'
+            )
+        peak_open = max(peak_open, online.n_open)
+    for cluster in online.flush():
+        emitted += 1
+        day = cluster.first_timestamp / 86_400.0
+        print(
+            f"[day {day:7.2f}] INCIDENT at {cluster.location:<14s} "
+            f"{cluster.msg_id}  ({cluster.n_events} duplicate records)"
+        )
+    print(
+        f"\n{fatal.n_rows} raw records -> {emitted} incidents "
+        f"(peak {peak_open} clusters held in memory — O(active faults), "
+        f"not O(log size))"
+    )
+
+
+if __name__ == "__main__":
+    main()

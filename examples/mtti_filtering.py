@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Event-filtering walkthrough: from raw FATAL records to MTTI.
+
+Reproduces the paper's filtering methodology step by step: the raw
+FATAL stream overcounts physical faults by orders of magnitude; each
+filtering stage (temporal, spatial, similarity) compresses it further;
+the surviving clusters give the machine's MTTI, and restricting to
+clusters that struck a running job gives the paper's ~3.5-day
+job-interruption MTTI.
+
+Run:  python examples/mtti_filtering.py [days] [seed]
+"""
+
+import sys
+
+from repro import MiraDataset
+from repro.core import default_pipeline, job_interruption_mtti, mtti_from_clusters
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    dataset = MiraDataset.synthesize(n_days=days, seed=seed)
+    fatal = dataset.fatal_events()
+    print(f"Raw FATAL records over {days:g} days: {fatal.n_rows}")
+    print(f"Ground-truth physical incidents:      {len(dataset.incidents)}\n")
+
+    outcome = default_pipeline(spec=dataset.spec).run(fatal)
+    print("Filtering stages:")
+    for stage, count in outcome.stage_counts:
+        print(f"  {stage:<12s} {count:>6d} clusters")
+    print(f"  total reduction: {outcome.total_reduction:.1f}x\n")
+
+    system = mtti_from_clusters(outcome.clusters, dataset.n_days)
+    jobwise = job_interruption_mtti(
+        outcome.clusters, dataset.jobs, dataset.n_days, dataset.spec
+    )
+    print(f"System MTTI (all faults):           {system.mtti_days:.2f} days")
+    print(
+        f"Job-interruption MTTI (paper ~3.5): {jobwise.mtti_days:.2f} days "
+        f"({jobwise.n_interruptions} interruptions)"
+    )
+    gaps = jobwise.inter_arrival_days()
+    if gaps.size:
+        print(
+            f"Inter-interruption gaps: min {gaps.min():.2f}, "
+            f"median {sorted(gaps)[len(gaps) // 2]:.2f}, max {gaps.max():.2f} days"
+        )
+
+
+if __name__ == "__main__":
+    main()

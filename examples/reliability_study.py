@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Machine-life reliability study — the extension analyses in one pass.
+
+Walks the three extension angles on one trace: (1) how reliability
+evolves across the machine's life (epochs, trend, changepoints),
+(2) what law interruption intervals follow, and (3) how predictable
+failures are at submission time.
+
+Run:  python examples/reliability_study.py [days] [seed]
+"""
+
+import sys
+
+from repro import MiraDataset, run_experiment
+from repro.bgq import render_midplane_heatmap
+from repro.core import counts_by_midplane
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 300.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 9
+
+    print(f"Synthesizing {days:g} days (seed {seed})...")
+    dataset = MiraDataset.synthesize(n_days=days, seed=seed)
+
+    print("\n--- (1) life phases ---")
+    lifetime = run_experiment("e17", dataset)
+    epochs = lifetime.tables["epochs"]
+    for row in epochs.to_rows():
+        if row["jobs"] == 0:
+            continue
+        bar = "#" * int(row["failure_rate"] * 60)
+        print(
+            f"  epoch {row['epoch']:>2d} (day {row['start_day']:>6.0f}): "
+            f"{row['failure_rate']:.1%} {bar}"
+        )
+    print(
+        f"  trend spearman {lifetime.metrics['trend_spearman']:+.2f}, "
+        f"{lifetime.metrics['n_changepoints']:.0f} regime changepoints"
+    )
+
+    print("\n--- (2) interruption intervals ---")
+    intervals = run_experiment("e19", dataset)
+    print(intervals.tables["fits"].to_text())
+    print(f"  mean interval: {intervals.metrics['mean_interval_days']:.2f} days")
+
+    print("\n--- (3) predictability at submission ---")
+    prediction = run_experiment("e18", dataset)
+    print(prediction.tables["predictors"].to_text())
+
+    print("\n--- bonus: where the machine hurts ---")
+    counts = counts_by_midplane(dataset.fatal_events(), dataset.spec)
+    print(render_midplane_heatmap(counts, dataset.spec, title="FATAL events:"))
+
+
+if __name__ == "__main__":
+    main()

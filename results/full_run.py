@@ -1,0 +1,22 @@
+"""Full-scale 2001-day reference run; writes results/full_run.txt."""
+import json, time
+from repro.dataset import MiraDataset, validate_dataset
+from repro.experiments import all_experiments, run_experiment
+
+t0 = time.time()
+ds = MiraDataset.synthesize(n_days=2001.0, seed=2019)
+synth_s = time.time() - t0
+validate_dataset(ds)
+lines = [f"synthesis: {synth_s:.0f}s", json.dumps(ds.summary(), default=float)]
+metrics = {}
+for eid in all_experiments():
+    t0 = time.time()
+    r = run_experiment(eid, ds)
+    metrics[eid] = dict(r.metrics)
+    lines.append(f"\n===== {eid} ({time.time()-t0:.1f}s) =====")
+    lines.append(r.to_text(max_rows=30))
+with open("/root/repo/results/full_run.txt", "w") as f:
+    f.write("\n".join(lines))
+with open("/root/repo/results/full_run_metrics.json", "w") as f:
+    json.dump(metrics, f, indent=1, default=float)
+print("DONE")

@@ -1,0 +1,7 @@
+"""Legacy-editable-install shim: environments without the `wheel` package
+cannot build PEP 660 editable wheels, so `pip install -e . --no-use-pep517
+--no-build-isolation` falls back to `setup.py develop` via this file.
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — a failure-mining toolkit reproducing the DSN'19 study
+"Characterizing and Understanding HPC Job Failures Over The 2K-Day Life
+of IBM BlueGene/Q System" (Di, Guo, Pershey, Snir, Cappello).
+
+Quickstart::
+
+    from repro import MiraDataset, run_experiment
+
+    dataset = MiraDataset.synthesize(n_days=90, seed=0)
+    print(run_experiment("e13", dataset).to_text())
+
+Subpackages:
+
+- :mod:`repro.table` — columnar data layer
+- :mod:`repro.stats` — statistics substrate
+- :mod:`repro.bgq` — BG/Q machine model (locations, torus, partitions)
+- :mod:`repro.ras` — RAS log model and generator
+- :mod:`repro.scheduler` — Cobalt-like scheduler and workload model
+- :mod:`repro.tasks` / :mod:`repro.darshan` — task and I/O logs
+- :mod:`repro.dataset` — the joint four-log dataset
+- :mod:`repro.core` — the analysis methodology (the paper's contribution)
+- :mod:`repro.experiments` — one module per reconstructed table/figure
+"""
+
+from repro.bgq import MIRA, MIRA_SMALL, Level, Location, MachineSpec, TorusTopology
+from repro.core.report import render_report
+from repro.core.takeaways import Takeaway, compute_takeaways, takeaways_to_table
+from repro.dataset import MiraDataset, validate_dataset
+from repro.errors import ReproError
+from repro.experiments import ExperimentResult, all_experiments, run_experiment
+from repro.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Table",
+    "MachineSpec",
+    "MIRA",
+    "MIRA_SMALL",
+    "Location",
+    "Level",
+    "TorusTopology",
+    "MiraDataset",
+    "validate_dataset",
+    "ExperimentResult",
+    "all_experiments",
+    "run_experiment",
+    "Takeaway",
+    "compute_takeaways",
+    "takeaways_to_table",
+    "render_report",
+    "ReproError",
+]

@@ -1,0 +1,27 @@
+"""BG/Q machine model: specs, locations, torus topology, partitions."""
+
+from .floorplan import INTENSITY_RAMP, render_midplane_heatmap
+from .components import CATEGORY_LEVELS, Category, Component, category_level
+from .location import Level, Location
+from .machine import MIRA, MIRA_SMALL, MachineSpec
+from .partitions import Block, PartitionAllocator, allowed_block_sizes
+from .topology import TorusTopology, balanced_dims
+
+__all__ = [
+    "MachineSpec",
+    "MIRA",
+    "MIRA_SMALL",
+    "Level",
+    "Location",
+    "TorusTopology",
+    "balanced_dims",
+    "Block",
+    "PartitionAllocator",
+    "allowed_block_sizes",
+    "render_midplane_heatmap",
+    "INTENSITY_RAMP",
+    "Component",
+    "Category",
+    "CATEGORY_LEVELS",
+    "category_level",
+]

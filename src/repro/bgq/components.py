@@ -1,0 +1,91 @@
+"""Hardware/software component taxonomy for RAS events.
+
+Each RAS message in the catalog is attributed to a reporting component
+(the BG/Q control-system subsystems) and a hardware category, and occurs
+at a characteristic location granularity.  The taxonomy here follows the
+component/category vocabulary of the BG/Q RAS book as used in the paper:
+components like CNK (compute-node kernel), MC (machine controller),
+MMCS (control system), BAREMETAL/FIRMWARE, DIAGS, and categories like
+DDR, Processor, Network/Torus, PCI, power (BPD) and cooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .location import Level
+
+__all__ = ["Component", "Category", "CATEGORY_LEVELS", "category_level"]
+
+
+class Component(Enum):
+    """RAS reporting component (who detected/raised the event)."""
+
+    CNK = "CNK"  # compute node kernel
+    MC = "MC"  # machine controller
+    MMCS = "MMCS"  # midplane monitoring and control system
+    FIRMWARE = "FIRMWARE"
+    BAREMETAL = "BAREMETAL"
+    DIAGS = "DIAGS"
+    CTRLNET = "CTRLNET"  # control network
+    MUDM = "MUDM"  # messaging unit device driver
+
+
+class Category(Enum):
+    """Hardware/software category the event concerns."""
+
+    DDR = "DDR"  # memory subsystem
+    PROCESSOR = "Processor"
+    TORUS = "Torus"  # 5D network
+    OPTICS = "Optics"  # optical links between midplanes
+    PCI = "PCI"
+    NODE_BOARD = "NodeBoard"
+    SERVICE_CARD = "ServiceCard"
+    BULK_POWER = "BulkPower"
+    COOLANT = "Coolant"
+    CLOCK = "Clock"
+    SOFTWARE = "Software"  # kernel/control-system software
+    JOB = "Job"  # job-lifecycle events raised by the control system
+
+
+CATEGORY_LEVELS: dict[Category, Level] = {
+    Category.DDR: Level.COMPUTE_CARD,
+    Category.PROCESSOR: Level.COMPUTE_CARD,
+    Category.TORUS: Level.COMPUTE_CARD,
+    Category.OPTICS: Level.MIDPLANE,
+    Category.PCI: Level.NODE_BOARD,
+    Category.NODE_BOARD: Level.NODE_BOARD,
+    Category.SERVICE_CARD: Level.MIDPLANE,
+    Category.BULK_POWER: Level.RACK,
+    Category.COOLANT: Level.RACK,
+    Category.CLOCK: Level.RACK,
+    Category.SOFTWARE: Level.COMPUTE_CARD,
+    Category.JOB: Level.MIDPLANE,
+}
+"""The location granularity at which each category's events occur."""
+
+
+def category_level(category: Category) -> Level:
+    """Location granularity for a category (defaulting to compute card)."""
+    return CATEGORY_LEVELS.get(category, Level.COMPUTE_CARD)
+
+
+@dataclass(frozen=True)
+class ComponentProfile:
+    """Static profile pairing a component with the categories it raises."""
+
+    component: Component
+    categories: tuple[Category, ...]
+
+
+COMPONENT_PROFILES: tuple[ComponentProfile, ...] = (
+    ComponentProfile(Component.CNK, (Category.SOFTWARE, Category.DDR, Category.PROCESSOR, Category.JOB)),
+    ComponentProfile(Component.MC, (Category.BULK_POWER, Category.COOLANT, Category.CLOCK, Category.SERVICE_CARD)),
+    ComponentProfile(Component.MMCS, (Category.JOB, Category.SOFTWARE, Category.NODE_BOARD)),
+    ComponentProfile(Component.FIRMWARE, (Category.DDR, Category.PROCESSOR, Category.TORUS)),
+    ComponentProfile(Component.BAREMETAL, (Category.PCI, Category.NODE_BOARD)),
+    ComponentProfile(Component.DIAGS, (Category.DDR, Category.TORUS, Category.OPTICS)),
+    ComponentProfile(Component.CTRLNET, (Category.OPTICS, Category.CLOCK)),
+    ComponentProfile(Component.MUDM, (Category.TORUS, Category.OPTICS)),
+)

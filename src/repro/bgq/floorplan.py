@@ -1,0 +1,73 @@
+"""ASCII machine-floor rendering.
+
+Renders per-midplane quantities (fatal-event counts, utilization) as a
+machine-floor heatmap in plain text — the terminal stand-in for the
+paper's locality heatmap figures.  Racks are laid out in their physical
+rows/columns; each rack cell shows one intensity character per
+midplane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import MIRA, MachineSpec
+
+__all__ = ["render_midplane_heatmap", "INTENSITY_RAMP"]
+
+INTENSITY_RAMP = " .:-=+*#%@"
+"""Ten intensity levels, blank = zero, '@' = maximum."""
+
+
+def render_midplane_heatmap(
+    values,
+    spec: MachineSpec = MIRA,
+    title: str | None = None,
+) -> str:
+    """Render per-midplane values as a rack-grid heatmap.
+
+    ``values`` must have one entry per global midplane index.  Values
+    are scaled linearly into the intensity ramp with the zero level
+    reserved for exact zeros.
+
+    Raises
+    ------
+    ValueError
+        If the value vector length does not match the machine.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (spec.n_midplanes,):
+        raise ValueError(
+            f"expected {spec.n_midplanes} midplane values, got {values.shape}"
+        )
+    peak = values.max()
+    levels = np.zeros(spec.n_midplanes, dtype=int)
+    if peak > 0:
+        positive = values > 0
+        scaled = values / peak * (len(INTENSITY_RAMP) - 2)
+        levels[positive] = 1 + scaled[positive].astype(int)
+        levels = np.minimum(levels, len(INTENSITY_RAMP) - 1)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "      " + " ".join(
+        f"{column:X} " for column in range(spec.rack_columns)
+    )
+    lines.append(header)
+    for row in range(spec.rack_rows):
+        cells = []
+        for column in range(spec.rack_columns):
+            rack_index = row * spec.rack_columns + column
+            base = rack_index * spec.midplanes_per_rack
+            chars = "".join(
+                INTENSITY_RAMP[levels[base + m]]
+                for m in range(spec.midplanes_per_rack)
+            )
+            cells.append(chars)
+        lines.append(f"row {row:X} " + " ".join(cells))
+    lines.append(
+        f"(each cell = one rack, {spec.midplanes_per_rack} chars = midplanes; "
+        f"ramp '{INTENSITY_RAMP}' scaled to max {peak:g})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""BG/Q physical location codes.
+
+RAS events carry a hierarchical location string identifying the failing
+hardware, e.g. ``R17-M0-N05-J12`` = rack R17, midplane 0, node board 5,
+compute card 12.  This module parses, validates, formats and navigates
+those codes; every spatial analysis (locality, event→job joins, spatial
+filtering) goes through :class:`Location`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import LocationError
+
+from .machine import MIRA, MachineSpec
+
+__all__ = ["Level", "Location"]
+
+
+class Level(Enum):
+    """Granularity of a location code, ordered coarse → fine."""
+
+    RACK = 1
+    MIDPLANE = 2
+    NODE_BOARD = 3
+    COMPUTE_CARD = 4
+    CORE = 5
+
+    def __lt__(self, other: "Level") -> bool:
+        return self.value < other.value
+
+    def __le__(self, other: "Level") -> bool:
+        return self.value <= other.value
+
+
+_LOCATION_RE = re.compile(
+    r"^R(?P<rack>[0-9A-F]{2})"
+    r"(?:-M(?P<midplane>\d))?"
+    r"(?:-N(?P<node_board>\d{2}))?"
+    r"(?:-J(?P<compute_card>\d{2}))?"
+    r"(?:-C(?P<core>\d{2}))?$"
+)
+
+
+@dataclass(frozen=True)
+class Location:
+    """A parsed, validated location code.
+
+    Finer fields are ``None`` when the code stops at a coarser level
+    (e.g. a rack-level power event has only ``rack`` set).  Locations
+    order hierarchically with coarser codes before their descendants
+    (``R00 < R00-M0 < R00-M1 < R01``).
+    """
+
+    rack: str
+    midplane: int | None = None
+    node_board: int | None = None
+    compute_card: int | None = None
+    core: int | None = None
+
+    def _sort_key(self) -> tuple:
+        missing = -1  # sorts a coarse code before everything inside it
+        return (
+            self.rack,
+            self.midplane if self.midplane is not None else missing,
+            self.node_board if self.node_board is not None else missing,
+            self.compute_card if self.compute_card is not None else missing,
+            self.core if self.core is not None else missing,
+        )
+
+    def __lt__(self, other: "Location") -> bool:
+        if not isinstance(other, Location):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, code: str, spec: MachineSpec = MIRA) -> "Location":
+        """Parse a location string, validating each level against ``spec``.
+
+        Raises
+        ------
+        LocationError
+            On malformed syntax, skipped levels, or out-of-range fields.
+        """
+        match = _LOCATION_RE.match(code)
+        if not match:
+            raise LocationError(f"malformed location code {code!r}")
+        fields = match.groupdict()
+        rack = "R" + fields["rack"]
+        midplane = int(fields["midplane"]) if fields["midplane"] is not None else None
+        node_board = (
+            int(fields["node_board"]) if fields["node_board"] is not None else None
+        )
+        compute_card = (
+            int(fields["compute_card"]) if fields["compute_card"] is not None else None
+        )
+        core = int(fields["core"]) if fields["core"] is not None else None
+        levels = [midplane, node_board, compute_card, core]
+        seen_none = False
+        for value in levels:
+            if value is None:
+                seen_none = True
+            elif seen_none:
+                raise LocationError(f"location {code!r} skips a hierarchy level")
+        loc = cls(rack, midplane, node_board, compute_card, core)
+        loc.validate(spec)
+        return loc
+
+    def validate(self, spec: MachineSpec = MIRA) -> None:
+        """Check every populated field against the machine spec."""
+        try:
+            spec.rack_index(self.rack)
+        except ValueError as exc:
+            raise LocationError(str(exc)) from None
+        checks = [
+            (self.midplane, spec.midplanes_per_rack, "midplane"),
+            (self.node_board, spec.node_boards_per_midplane, "node board"),
+            (self.compute_card, spec.nodes_per_node_board, "compute card"),
+            (self.core, spec.cores_per_node, "core"),
+        ]
+        for value, bound, label in checks:
+            if value is not None and not 0 <= value < bound:
+                raise LocationError(
+                    f"{label} {value} out of range [0, {bound}) in {self.code}"
+                )
+
+    # ------------------------------------------------------------------
+    # rendering / navigation
+    # ------------------------------------------------------------------
+
+    @property
+    def code(self) -> str:
+        """The canonical string form."""
+        parts = [self.rack]
+        if self.midplane is not None:
+            parts.append(f"M{self.midplane}")
+        if self.node_board is not None:
+            parts.append(f"N{self.node_board:02d}")
+        if self.compute_card is not None:
+            parts.append(f"J{self.compute_card:02d}")
+        if self.core is not None:
+            parts.append(f"C{self.core:02d}")
+        return "-".join(parts)
+
+    def __str__(self) -> str:
+        return self.code
+
+    @property
+    def level(self) -> Level:
+        """The finest populated level of this code."""
+        if self.core is not None:
+            return Level.CORE
+        if self.compute_card is not None:
+            return Level.COMPUTE_CARD
+        if self.node_board is not None:
+            return Level.NODE_BOARD
+        if self.midplane is not None:
+            return Level.MIDPLANE
+        return Level.RACK
+
+    def ancestor(self, level: Level) -> "Location":
+        """The enclosing location at a coarser (or equal) level.
+
+        Raises
+        ------
+        LocationError
+            If asked for a level finer than this location has.
+        """
+        if level > self.level:
+            raise LocationError(
+                f"{self.code} is at {self.level.name}, cannot descend to {level.name}"
+            )
+        return Location(
+            rack=self.rack,
+            midplane=self.midplane if level >= Level.MIDPLANE else None,
+            node_board=self.node_board if level >= Level.NODE_BOARD else None,
+            compute_card=self.compute_card if level >= Level.COMPUTE_CARD else None,
+            core=self.core if level >= Level.CORE else None,
+        )
+
+    def parent(self) -> "Location":
+        """One level coarser; racks have no parent."""
+        if self.level is Level.RACK:
+            raise LocationError(f"rack {self.code} has no parent")
+        return self.ancestor(Level(self.level.value - 1))
+
+    def contains(self, other: "Location") -> bool:
+        """True when ``other`` is this location or inside it."""
+        if other.level < self.level:
+            return False
+        return other.ancestor(self.level) == self
+
+    # ------------------------------------------------------------------
+    # linear indices (for numpy-friendly spatial analysis)
+    # ------------------------------------------------------------------
+
+    def midplane_index(self, spec: MachineSpec = MIRA) -> int:
+        """Global midplane index in [0, spec.n_midplanes).
+
+        Raises
+        ------
+        LocationError
+            For rack-level codes that do not identify a midplane.
+        """
+        if self.midplane is None:
+            raise LocationError(f"{self.code} has no midplane component")
+        return spec.rack_index(self.rack) * spec.midplanes_per_rack + self.midplane
+
+    def node_index(self, spec: MachineSpec = MIRA) -> int:
+        """Global node index in [0, spec.n_nodes) for compute-card codes."""
+        if self.compute_card is None:
+            raise LocationError(f"{self.code} does not identify a single node")
+        within = self.node_board * spec.nodes_per_node_board + self.compute_card
+        return self.midplane_index(spec) * spec.nodes_per_midplane + within
+
+    @classmethod
+    def from_midplane_index(cls, index: int, spec: MachineSpec = MIRA) -> "Location":
+        """Midplane-level location for a global midplane index."""
+        if not 0 <= index < spec.n_midplanes:
+            raise LocationError(
+                f"midplane index {index} out of range [0, {spec.n_midplanes})"
+            )
+        rack, midplane = divmod(index, spec.midplanes_per_rack)
+        return cls(rack=spec.rack_name(rack), midplane=midplane)
+
+    @classmethod
+    def from_node_index(cls, index: int, spec: MachineSpec = MIRA) -> "Location":
+        """Compute-card-level location for a global node index."""
+        if not 0 <= index < spec.n_nodes:
+            raise LocationError(f"node index {index} out of range [0, {spec.n_nodes})")
+        midplane_index, within = divmod(index, spec.nodes_per_midplane)
+        node_board, compute_card = divmod(within, spec.nodes_per_node_board)
+        base = cls.from_midplane_index(midplane_index, spec)
+        return cls(
+            rack=base.rack,
+            midplane=base.midplane,
+            node_board=node_board,
+            compute_card=compute_card,
+        )

@@ -1,0 +1,106 @@
+"""Machine specification for IBM Blue Gene/Q systems.
+
+The default :data:`MIRA` spec matches the system studied in the paper:
+48 racks, two midplanes per rack, 16 node boards per midplane, 32
+compute cards (nodes) per node board, 16 cores per node — 49,152 nodes
+and 786,432 cores in total.  All other modules derive counts from a
+``MachineSpec`` rather than hard-coding Mira's numbers so scaled-down
+machines can be used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "MIRA", "MIRA_SMALL"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a BG/Q machine.
+
+    Racks are named ``R`` plus two hex digits (row digit, column digit),
+    following the BG/Q convention (Mira: R00..R2F in 3 rows of 16).
+    """
+
+    name: str = "Mira"
+    rack_rows: int = 3
+    rack_columns: int = 16
+    midplanes_per_rack: int = 2
+    node_boards_per_midplane: int = 16
+    nodes_per_node_board: int = 32
+    cores_per_node: int = 16
+
+    def __post_init__(self):
+        for field in (
+            "rack_rows",
+            "rack_columns",
+            "midplanes_per_rack",
+            "node_boards_per_midplane",
+            "nodes_per_node_board",
+            "cores_per_node",
+        ):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+        if self.rack_columns > 16:
+            raise ValueError("rack_columns > 16 breaks hex rack naming")
+
+    @property
+    def n_racks(self) -> int:
+        """Total rack count."""
+        return self.rack_rows * self.rack_columns
+
+    @property
+    def n_midplanes(self) -> int:
+        """Total midplane count (Mira: 96)."""
+        return self.n_racks * self.midplanes_per_rack
+
+    @property
+    def nodes_per_midplane(self) -> int:
+        """Nodes in one midplane (Mira: 512)."""
+        return self.node_boards_per_midplane * self.nodes_per_node_board
+
+    @property
+    def n_nodes(self) -> int:
+        """Total compute-node count (Mira: 49,152)."""
+        return self.n_midplanes * self.nodes_per_midplane
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count (Mira: 786,432)."""
+        return self.n_nodes * self.cores_per_node
+
+    def rack_name(self, index: int) -> str:
+        """Name of the rack at linear ``index`` (row-major), e.g. ``'R1A'``."""
+        if not 0 <= index < self.n_racks:
+            raise ValueError(f"rack index {index} out of range [0, {self.n_racks})")
+        row, column = divmod(index, self.rack_columns)
+        return f"R{row:X}{column:X}"
+
+    def rack_index(self, name: str) -> int:
+        """Inverse of :meth:`rack_name`."""
+        if len(name) != 3 or name[0] != "R":
+            raise ValueError(f"malformed rack name {name!r}")
+        try:
+            row = int(name[1], 16)
+            column = int(name[2], 16)
+        except ValueError:
+            raise ValueError(f"malformed rack name {name!r}") from None
+        if row >= self.rack_rows or column >= self.rack_columns:
+            raise ValueError(f"rack {name!r} outside {self.name} ({self.rack_rows}x{self.rack_columns})")
+        return row * self.rack_columns + column
+
+
+MIRA = MachineSpec()
+"""The production Mira configuration (49,152 nodes)."""
+
+MIRA_SMALL = MachineSpec(
+    name="MiraSmall",
+    rack_rows=1,
+    rack_columns=4,
+    midplanes_per_rack=2,
+    node_boards_per_midplane=4,
+    nodes_per_node_board=8,
+    cores_per_node=16,
+)
+"""A 256-node scale model with the same hierarchy, for fast tests."""

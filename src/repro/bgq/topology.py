@@ -1,0 +1,171 @@
+"""5D torus topology of a BG/Q machine.
+
+Blue Gene/Q arranges compute nodes in a five-dimensional torus
+(A, B, C, D, E); Mira's full-machine torus is 8 x 12 x 16 x 16 x 2.
+Each midplane is itself a 4 x 4 x 4 x 4 x 2 sub-torus and midplanes tile
+the machine in a 2 x 3 x 4 x 4 grid.  For scaled-down specs the same
+construction is applied with balanced factorizations, so the hierarchy
+(node-in-midplane, midplane-in-machine) is preserved at any size.
+
+The torus is what gives RAS locality analysis its geometry: distances
+between failing nodes, and neighborhoods of a fault, are torus metrics.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import networkx as nx
+import numpy as np
+
+from .machine import MIRA, MachineSpec
+
+__all__ = ["TorusTopology", "balanced_dims"]
+
+
+def balanced_dims(n: int, k: int) -> tuple[int, ...]:
+    """Factor ``n`` into ``k`` near-equal integer factors (sorted ascending).
+
+    Prime factors are assigned greedily, largest first, to the currently
+    smallest dimension; this yields (2, 3, 4, 4) for Mira's 96 midplanes
+    and (4, 4, 4, 4) for the 256 node-pairs of a midplane.
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    primes: list[int] = []
+    remaining = n
+    factor = 2
+    while factor * factor <= remaining:
+        while remaining % factor == 0:
+            primes.append(factor)
+            remaining //= factor
+        factor += 1
+    if remaining > 1:
+        primes.append(remaining)
+    dims = [1] * k
+    for prime in sorted(primes, reverse=True):
+        dims[int(np.argmin(dims))] *= prime
+    return tuple(sorted(dims))
+
+
+class TorusTopology:
+    """Coordinate system and metric of the machine's 5D torus."""
+
+    def __init__(self, spec: MachineSpec = MIRA):
+        self.spec = spec
+        if spec.nodes_per_midplane % 2 != 0:
+            raise ValueError("nodes_per_midplane must be even (E dimension is 2)")
+        self.midplane_grid = balanced_dims(spec.n_midplanes, 4)
+        inner = balanced_dims(spec.nodes_per_midplane // 2, 4)
+        self.midplane_dims = inner + (2,)
+        self.dims = tuple(
+            g * d for g, d in zip(self.midplane_grid, self.midplane_dims[:4])
+        ) + (2,)
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+
+    def midplane_coords(self, midplane_index: int) -> tuple[int, int, int, int]:
+        """Grid position of a midplane within the machine."""
+        if not 0 <= midplane_index < self.spec.n_midplanes:
+            raise ValueError(f"midplane index {midplane_index} out of range")
+        coords = []
+        rest = midplane_index
+        for dim in reversed(self.midplane_grid):
+            rest, coord = divmod(rest, dim)
+            coords.append(coord)
+        return tuple(reversed(coords))
+
+    def node_coords(self, node_index: int) -> tuple[int, int, int, int, int]:
+        """Full-machine (A, B, C, D, E) coordinates of a node."""
+        if not 0 <= node_index < self.spec.n_nodes:
+            raise ValueError(f"node index {node_index} out of range")
+        midplane_index, within = divmod(node_index, self.spec.nodes_per_midplane)
+        grid = self.midplane_coords(midplane_index)
+        inner = []
+        rest = within
+        for dim in reversed(self.midplane_dims):
+            rest, coord = divmod(rest, dim)
+            inner.append(coord)
+        inner = list(reversed(inner))
+        outer = [
+            g * d + w for g, d, w in zip(grid, self.midplane_dims[:4], inner[:4])
+        ]
+        return tuple(outer) + (inner[4],)
+
+    def coords_to_node(self, coords: tuple[int, int, int, int, int]) -> int:
+        """Inverse of :meth:`node_coords`."""
+        if len(coords) != 5:
+            raise ValueError("expected 5 coordinates")
+        for coord, dim in zip(coords, self.dims):
+            if not 0 <= coord < dim:
+                raise ValueError(f"coordinate {coords} outside torus {self.dims}")
+        grid = []
+        inner = []
+        for coord, inner_dim in zip(coords[:4], self.midplane_dims[:4]):
+            g, w = divmod(coord, inner_dim)
+            grid.append(g)
+            inner.append(w)
+        inner.append(coords[4])
+        midplane_index = 0
+        for g, dim in zip(grid, self.midplane_grid):
+            midplane_index = midplane_index * dim + g
+        within = 0
+        for w, dim in zip(inner, self.midplane_dims):
+            within = within * dim + w
+        return midplane_index * self.spec.nodes_per_midplane + within
+
+    # ------------------------------------------------------------------
+    # metric
+    # ------------------------------------------------------------------
+
+    def distance(self, node_a: int, node_b: int) -> int:
+        """Hop distance on the torus (wraparound Manhattan metric)."""
+        a = self.node_coords(node_a)
+        b = self.node_coords(node_b)
+        total = 0
+        for ca, cb, dim in zip(a, b, self.dims):
+            straight = abs(ca - cb)
+            total += min(straight, dim - straight)
+        return total
+
+    def neighbors(self, node_index: int) -> list[int]:
+        """The (up to 10) torus neighbors of a node, deduplicated for
+        degenerate dimensions of size <= 2."""
+        coords = self.node_coords(node_index)
+        seen = set()
+        out = []
+        for axis, dim in enumerate(self.dims):
+            if dim == 1:
+                continue
+            for step in (-1, 1):
+                shifted = list(coords)
+                shifted[axis] = (coords[axis] + step) % dim
+                neighbor = self.coords_to_node(tuple(shifted))
+                if neighbor != node_index and neighbor not in seen:
+                    seen.add(neighbor)
+                    out.append(neighbor)
+        return out
+
+    @lru_cache(maxsize=4)
+    def graph(self) -> nx.Graph:
+        """The torus as a networkx graph (small machines only).
+
+        Raises
+        ------
+        ValueError
+            For machines above 4096 nodes, where materializing the graph
+            would be wasteful; use :meth:`distance` directly instead.
+        """
+        if self.spec.n_nodes > 4096:
+            raise ValueError(
+                f"{self.spec.name} has {self.spec.n_nodes} nodes; "
+                "graph() is limited to 4096"
+            )
+        g = nx.Graph()
+        g.add_nodes_from(range(self.spec.n_nodes))
+        for node in range(self.spec.n_nodes):
+            for neighbor in self.neighbors(node):
+                g.add_edge(node, neighbor)
+        return g

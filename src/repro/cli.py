@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Three entry points (installed as console scripts):
+
+- ``repro-gen``      — synthesize a dataset and write it to a directory
+- ``repro-analyze``  — run one experiment against a dataset directory
+- ``repro-report``   — render the full study report for a dataset
+- ``repro-validate`` — schema + cross-log validation of a dataset directory
+
+Each also accepts ``--synthesize`` so a dataset can be generated on the
+fly instead of loaded from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dataset import MiraDataset, validate_dataset
+
+__all__ = ["main_gen", "main_analyze", "main_report", "main_validate"]
+
+
+def _add_synth_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--days", type=float, default=90.0, help="observation span in days"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def _load_or_synthesize(args) -> MiraDataset:
+    if getattr(args, "dataset", None):
+        return MiraDataset.load(args.dataset)
+    return MiraDataset.synthesize(n_days=args.days, seed=args.seed)
+
+
+def main_gen(argv: list[str] | None = None) -> int:
+    """Generate a synthetic Mira dataset and save it."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gen", description=main_gen.__doc__
+    )
+    parser.add_argument("output", help="directory to write the dataset into")
+    _add_synth_args(parser)
+    parser.add_argument(
+        "--no-validate", action="store_true", help="skip cross-log validation"
+    )
+    args = parser.parse_args(argv)
+    dataset = MiraDataset.synthesize(n_days=args.days, seed=args.seed)
+    if not args.no_validate:
+        validate_dataset(dataset)
+    dataset.save(args.output)
+    summary = dataset.summary()
+    print(
+        f"wrote {args.output}: {summary['n_jobs']} jobs, "
+        f"{summary['n_ras_events']} RAS events, "
+        f"{summary['total_core_hours'] / 1e9:.3f}B core-hours"
+    )
+    return 0
+
+
+def main_analyze(argv: list[str] | None = None) -> int:
+    """Run one experiment (e01..e16) and print its tables."""
+    from repro.experiments import all_experiments, run_experiment
+
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze", description=main_analyze.__doc__
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id; one of {', '.join(all_experiments())}",
+    )
+    parser.add_argument(
+        "--dataset", help="dataset directory (from repro-gen); else synthesize"
+    )
+    _add_synth_args(parser)
+    parser.add_argument("--max-rows", type=int, default=25)
+    parser.add_argument(
+        "--output",
+        help="also export the result as Markdown + CSVs into this directory",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment not in all_experiments():
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(all_experiments())}"
+        )
+    dataset = _load_or_synthesize(args)
+    result = run_experiment(args.experiment, dataset)
+    print(result.to_text(max_rows=args.max_rows))
+    if args.output:
+        from repro.experiments import export_result
+
+        written = export_result(result, args.output)
+        print(f"exported {len(written)} files to {args.output}")
+    return 0
+
+
+def main_report(argv: list[str] | None = None) -> int:
+    """Render the full study report (all experiments + takeaways)."""
+    from repro.core.report import render_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro-report", description=main_report.__doc__
+    )
+    parser.add_argument(
+        "--dataset", help="dataset directory (from repro-gen); else synthesize"
+    )
+    _add_synth_args(parser)
+    parser.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        help="also export every experiment as Markdown + CSVs into this directory",
+    )
+    args = parser.parse_args(argv)
+    dataset = _load_or_synthesize(args)
+    print(render_report(dataset, experiment_ids=args.experiments))
+    if args.output:
+        from repro.experiments import export_all
+
+        written = export_all(dataset, args.output, experiment_ids=args.experiments)
+        print(f"exported {len(written)} files to {args.output}")
+    return 0
+
+
+def main_validate(argv: list[str] | None = None) -> int:
+    """Validate a dataset directory (schemas + cross-log invariants)."""
+    from repro.errors import ReproError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-validate", description=main_validate.__doc__
+    )
+    parser.add_argument("dataset", help="dataset directory (from repro-gen or exports)")
+    args = parser.parse_args(argv)
+    try:
+        dataset = MiraDataset.load(args.dataset)
+        report = validate_dataset(dataset)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
+    for check, status in report.items():
+        print(f"  {check}: {status}")
+    summary = dataset.summary()
+    print(
+        f"OK: {summary['n_jobs']} jobs / {summary['n_ras_events']} RAS events / "
+        f"{summary['n_tasks']} tasks / {summary['n_io_profiles']} I/O profiles"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_report())

@@ -1,0 +1,161 @@
+"""Core analysis library: the paper's failure-mining methodology.
+
+Layout:
+
+- :mod:`~repro.core.exitcodes` — exit-status taxonomy
+- :mod:`~repro.core.attribution` — RAS↔job join, user/system attribution
+- :mod:`~repro.core.fitting` — execution-length distribution fitting
+- :mod:`~repro.core.filtering` — temporal/spatial/similarity event filters
+- :mod:`~repro.core.reliability` — MTTI / availability
+- :mod:`~repro.core.locality` — spatial concentration of fatal events
+- :mod:`~repro.core.characterize` — failure rates by attribute
+- :mod:`~repro.core.structure` — execution structure (tasks per job)
+- :mod:`~repro.core.corr` — failure-attribute correlations
+- :mod:`~repro.core.io_behavior` — failed-vs-successful I/O contrast
+- :mod:`~repro.core.takeaways` — the paper's 22 takeaways, recomputed
+"""
+
+from .attribution import (
+    NO_JOB,
+    attribute_failures,
+    attribution_summary,
+    event_midplanes,
+    events_per_user,
+    map_events_to_jobs,
+)
+from .characterize import (
+    failure_concentration,
+    failure_rate_by_bins,
+    failure_rate_by_category,
+    node_count_bins,
+    runtime_summary,
+    top_failing,
+)
+from .corr import failure_correlations
+from .exitcodes import (
+    USER_FAMILIES,
+    ExitFamily,
+    classify_column,
+    classify_exit_status,
+    family_breakdown,
+    is_user_family,
+)
+from .filtering import (
+    FilterOutcome,
+    FilterPipeline,
+    FilterStage,
+    default_pipeline,
+    events_to_clusters,
+    similarity_filter,
+    spatial_filter,
+    temporal_filter,
+)
+from .fitting import (
+    CANDIDATE_MODELS,
+    FitReport,
+    best_fit,
+    cdf_comparison,
+    fit_all,
+    fits_to_table,
+)
+from .intervals import fit_interruption_intervals, interruption_intervals
+from .io_behavior import io_by_outcome, io_volume_vs_corehours
+from .lifetime import epoch_summary, failure_rate_changepoints, failure_rate_trend
+from .locality import counts_by_midplane, hot_midplanes, locality_metrics
+from .precursors import alarm_quality, precursor_coverage
+from .prediction import (
+    LogisticPredictor,
+    UserHistoryPredictor,
+    auc_score,
+    build_features,
+    evaluate_predictors,
+)
+from .reliability import (
+    ReliabilityReport,
+    availability,
+    job_interruption_mtti,
+    mtti_from_clusters,
+)
+from .userstudy import failure_repetition, failure_streaks, learning_curve
+from .structure import (
+    failing_task_position,
+    failure_rate_by_task_count,
+    task_count_bins,
+)
+
+__all__ = [
+    # exitcodes
+    "ExitFamily",
+    "classify_exit_status",
+    "classify_column",
+    "family_breakdown",
+    "is_user_family",
+    "USER_FAMILIES",
+    # attribution
+    "NO_JOB",
+    "map_events_to_jobs",
+    "attribute_failures",
+    "attribution_summary",
+    "events_per_user",
+    "event_midplanes",
+    # fitting
+    "CANDIDATE_MODELS",
+    "FitReport",
+    "fit_all",
+    "best_fit",
+    "fits_to_table",
+    "cdf_comparison",
+    # filtering
+    "events_to_clusters",
+    "temporal_filter",
+    "spatial_filter",
+    "similarity_filter",
+    "FilterStage",
+    "FilterPipeline",
+    "FilterOutcome",
+    "default_pipeline",
+    # reliability
+    "ReliabilityReport",
+    "mtti_from_clusters",
+    "job_interruption_mtti",
+    "availability",
+    # locality
+    "counts_by_midplane",
+    "locality_metrics",
+    "hot_midplanes",
+    # characterize
+    "failure_rate_by_category",
+    "failure_rate_by_bins",
+    "node_count_bins",
+    "top_failing",
+    "failure_concentration",
+    "runtime_summary",
+    # structure
+    "task_count_bins",
+    "failure_rate_by_task_count",
+    "failing_task_position",
+    # corr
+    "failure_correlations",
+    # io
+    "io_by_outcome",
+    "io_volume_vs_corehours",
+    # lifetime (extension)
+    "epoch_summary",
+    "failure_rate_trend",
+    "failure_rate_changepoints",
+    # intervals / user study (extension)
+    "interruption_intervals",
+    "fit_interruption_intervals",
+    "failure_repetition",
+    "failure_streaks",
+    "learning_curve",
+    # precursors (extension)
+    "precursor_coverage",
+    "alarm_quality",
+    # prediction (extension)
+    "build_features",
+    "UserHistoryPredictor",
+    "LogisticPredictor",
+    "auc_score",
+    "evaluate_predictors",
+]

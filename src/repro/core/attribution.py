@@ -1,0 +1,185 @@
+"""Cross-log attribution: joining RAS events to job executions.
+
+This is the paper's central methodological device: a RAS event *affects*
+a job when it occurs (a) during the job's execution window and (b) on
+hardware inside the job's block.  From that join follow the
+user-vs-system failure attribution (E03), the per-user event
+correlations (E14), and the block annotation of the RAS log.
+
+The join is interval-based: jobs on the same midplane never overlap in
+time (the allocator guarantees it), so each (midplane, timestamp) query
+has at most one owning job, found by bisection.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.bgq.location import Location
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.stats import pearson, spearman
+from repro.table import Table
+
+__all__ = [
+    "event_midplanes",
+    "map_events_to_jobs",
+    "attribute_failures",
+    "attribution_summary",
+    "events_per_user",
+]
+
+NO_JOB = -1
+"""Sentinel job id for events that hit no running job."""
+
+
+def event_midplanes(locations, spec: MachineSpec = MIRA) -> list[tuple[int, ...]]:
+    """Midplane indices covered by each location code.
+
+    Midplane-level and finer codes map to one midplane; rack-level codes
+    (power/cooling/clock events) cover every midplane of the rack.
+    Parsing is memoized per distinct code — RAS logs repeat locations
+    heavily.
+    """
+    cache: dict[str, tuple[int, ...]] = {}
+    out: list[tuple[int, ...]] = []
+    for code in locations:
+        hit = cache.get(code)
+        if hit is None:
+            loc = Location.parse(code, spec)
+            if loc.midplane is not None:
+                hit = (loc.midplane_index(spec),)
+            else:
+                rack = spec.rack_index(loc.rack)
+                base = rack * spec.midplanes_per_rack
+                hit = tuple(range(base, base + spec.midplanes_per_rack))
+            cache[code] = hit
+        out.append(hit)
+    return out
+
+
+class _JobIntervalIndex:
+    """Per-midplane (start, end, job_id) intervals with bisection lookup."""
+
+    def __init__(self, jobs: Table, spec: MachineSpec):
+        per_midplane: dict[int, list[tuple[float, float, int]]] = {}
+        starts = jobs["start_time"]
+        ends = jobs["end_time"]
+        firsts = jobs["first_midplane"]
+        counts = jobs["n_midplanes"]
+        ids = jobs["job_id"]
+        for i in range(jobs.n_rows):
+            for midplane in range(int(firsts[i]), int(firsts[i]) + int(counts[i])):
+                per_midplane.setdefault(midplane, []).append(
+                    (float(starts[i]), float(ends[i]), int(ids[i]))
+                )
+        self._starts: dict[int, list[float]] = {}
+        self._intervals: dict[int, list[tuple[float, float, int]]] = {}
+        for midplane, intervals in per_midplane.items():
+            intervals.sort()
+            self._intervals[midplane] = intervals
+            self._starts[midplane] = [iv[0] for iv in intervals]
+
+    def lookup(self, midplane: int, timestamp: float) -> int:
+        starts = self._starts.get(midplane)
+        if not starts:
+            return NO_JOB
+        index = bisect_right(starts, timestamp) - 1
+        if index < 0:
+            return NO_JOB
+        start, end, job_id = self._intervals[midplane][index]
+        return job_id if start <= timestamp < end else NO_JOB
+
+
+def map_events_to_jobs(
+    ras: Table, jobs: Table, spec: MachineSpec = MIRA
+) -> np.ndarray:
+    """Map each RAS event to the job it affected (or :data:`NO_JOB`).
+
+    An event affects a job when its timestamp falls inside the job's
+    execution window and its location lies inside the job's block.  A
+    rack-level event is charged to the first running job found among the
+    rack's midplanes.
+    """
+    index = _JobIntervalIndex(jobs, spec)
+    midplane_sets = event_midplanes(ras["location"], spec)
+    timestamps = ras["timestamp"]
+    out = np.full(ras.n_rows, NO_JOB, dtype=np.int64)
+    for i, (midplanes, timestamp) in enumerate(zip(midplane_sets, timestamps)):
+        for midplane in midplanes:
+            job_id = index.lookup(midplane, float(timestamp))
+            if job_id != NO_JOB:
+                out[i] = job_id
+                break
+    return out
+
+
+def attribute_failures(
+    jobs: Table, fatal_events: Table, spec: MachineSpec = MIRA
+) -> Table:
+    """Classify each failed job as user- or system-caused.
+
+    A failed job is *system-caused* when at least one FATAL event maps
+    into its execution; all other failures are *user-caused*.  Returns
+    the failed-job sub-table with an ``attributed`` column.  The input
+    ``fatal_events`` should already be restricted to FATAL severity
+    (pass a filtered table) — events of other severities would inflate
+    the system share.
+    """
+    failed = jobs.filter(jobs["exit_status"] != 0)
+    mapped = map_events_to_jobs(fatal_events, failed, spec)
+    hit_jobs = set(int(j) for j in mapped if j != NO_JOB)
+    attributed = np.array(
+        [
+            "system" if int(job_id) in hit_jobs else "user"
+            for job_id in failed["job_id"]
+        ],
+        dtype=object,
+    )
+    return failed.with_column("attributed", attributed)
+
+
+def attribution_summary(attributed_failures: Table) -> dict[str, float]:
+    """Headline attribution numbers (E03) from :func:`attribute_failures`."""
+    n = attributed_failures.n_rows
+    n_system = int((attributed_failures["attributed"] == "system").sum())
+    n_user = n - n_system
+    return {
+        "n_failed": n,
+        "n_user": n_user,
+        "n_system": n_system,
+        "user_share": n_user / n if n else float("nan"),
+        "system_share": n_system / n if n else float("nan"),
+    }
+
+
+def events_per_user(
+    ras: Table, jobs: Table, spec: MachineSpec = MIRA
+) -> tuple[Table, dict[str, float]]:
+    """Per-user event exposure versus core-hours (E14).
+
+    Maps every event to a job, aggregates hit counts per user alongside
+    the user's total core-hours, and reports Pearson/Spearman
+    correlations between the two — the paper's "RAS events affecting
+    job executions exhibit a high correlation with users and
+    core-hours".
+    """
+    mapped = map_events_to_jobs(ras, jobs, spec)
+    hit = ras.with_column("job_id", mapped).filter(mapped != NO_JOB)
+    per_job = hit.group_by("job_id").size().rename({"count": "n_events"})
+    jobs_with_events = jobs.join(
+        per_job.select(["job_id", "n_events"]), on="job_id", how="left"
+    )
+    n_events = np.maximum(jobs_with_events["n_events"], 0)
+    jobs_with_events = jobs_with_events.with_column("n_events", n_events)
+    per_user = (
+        jobs_with_events.group_by("user")
+        .agg(n_events="sum", core_hours="sum")
+        .rename({"n_events_sum": "n_events", "core_hours_sum": "core_hours"})
+    )
+    correlations = {
+        "pearson": pearson(per_user["core_hours"], per_user["n_events"]),
+        "spearman": spearman(per_user["core_hours"], per_user["n_events"]),
+    }
+    return per_user, correlations

@@ -1,0 +1,214 @@
+"""Job-failure characterization: rates by attribute, concentration.
+
+The workhorse of experiments E05–E07: failure rates across numeric
+attributes (scale, core-hours) via binning, across categorical ones
+(user, project, queue) via grouping, and concentration metrics showing
+that failures cluster on few users/projects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats import gini
+from repro.table import Table
+
+__all__ = [
+    "failure_rate_by_category",
+    "failure_rate_by_bins",
+    "node_count_bins",
+    "top_failing",
+    "failure_concentration",
+    "runtime_summary",
+    "wasted_core_hours_by_family",
+    "walltime_accuracy",
+]
+
+
+def _with_failed(jobs: Table) -> Table:
+    return jobs.with_column("failed", (jobs["exit_status"] != 0).astype(np.int64))
+
+
+def failure_rate_by_category(jobs: Table, column: str) -> Table:
+    """Failure rate per value of a categorical column.
+
+    Returns ``(column, n_jobs, n_failed, failure_rate)``, sorted by job
+    count descending.
+    """
+    annotated = _with_failed(jobs)
+    grouped = annotated.group_by(column).agg(failed="sum")
+    rates = grouped["failed_sum"] / np.maximum(grouped["count"], 1)
+    return (
+        grouped.rename({"count": "n_jobs", "failed_sum": "n_failed"})
+        .with_column("failure_rate", rates)
+        .sort_by("n_jobs", reverse=True)
+    )
+
+
+def node_count_bins(jobs: Table) -> Table:
+    """Failure rate per exact allocation size (the node-count ladder)."""
+    return failure_rate_by_category(jobs, "allocated_nodes").sort_by(
+        "allocated_nodes"
+    )
+
+
+def failure_rate_by_bins(
+    jobs: Table, column: str, n_bins: int = 8
+) -> Table:
+    """Failure rate across log-spaced bins of a positive numeric column.
+
+    Returns ``(bin_low, bin_high, n_jobs, n_failed, failure_rate)`` with
+    one row per non-empty bin, ascending.
+    """
+    values = np.asarray(jobs[column], dtype=np.float64)
+    if (values <= 0).any():
+        raise ValueError(f"column {column!r} must be strictly positive to log-bin")
+    if jobs.n_rows == 0:
+        return Table(
+            {
+                "bin_low": [],
+                "bin_high": [],
+                "n_jobs": [],
+                "n_failed": [],
+                "failure_rate": [],
+            }
+        )
+    low, high = values.min() * (1 - 1e-9), values.max() * (1 + 1e-9)
+    edges = np.logspace(np.log10(low), np.log10(high), n_bins + 1)
+    indices = np.clip(np.digitize(values, edges) - 1, 0, n_bins - 1)
+    failed = (jobs["exit_status"] != 0).astype(np.int64)
+    rows = {"bin_low": [], "bin_high": [], "n_jobs": [], "n_failed": [], "failure_rate": []}
+    for b in range(n_bins):
+        mask = indices == b
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        n_failed = int(failed[mask].sum())
+        rows["bin_low"].append(float(edges[b]))
+        rows["bin_high"].append(float(edges[b + 1]))
+        rows["n_jobs"].append(n)
+        rows["n_failed"].append(n_failed)
+        rows["failure_rate"].append(n_failed / n)
+    return Table(rows)
+
+
+def top_failing(jobs: Table, column: str, k: int = 10) -> Table:
+    """The k values of ``column`` with the most failed jobs."""
+    failed = jobs.filter(jobs["exit_status"] != 0)
+    counts = failed.value_counts(column).head(k)
+    total = max(int((jobs["exit_status"] != 0).sum()), 1)
+    return counts.rename({"count": "n_failed"}).with_column(
+        "failure_share", counts["count"] / total
+    )
+
+
+def failure_concentration(jobs: Table, column: str) -> dict[str, float]:
+    """How concentrated failures are across values of ``column``.
+
+    Reports the Gini coefficient of per-value failure counts and the
+    share of failures owned by the top 1% / 10% of values.
+    """
+    failed = jobs.filter(jobs["exit_status"] != 0)
+    if failed.n_rows == 0:
+        raise ValueError("no failed jobs to analyze")
+    counts = failed.value_counts(column)["count"].astype(np.float64)
+    # Values with zero failures still matter for concentration.
+    n_values = len(set(jobs[column].tolist()))
+    padded = np.concatenate([counts, np.zeros(n_values - len(counts))])
+    ordered = np.sort(padded)[::-1]
+    total = ordered.sum()
+    top1 = max(1, int(np.ceil(0.01 * n_values)))
+    top10 = max(1, int(np.ceil(0.10 * n_values)))
+    return {
+        "gini": gini(padded),
+        "top1pct_share": float(ordered[:top1].sum() / total),
+        "top10pct_share": float(ordered[:top10].sum() / total),
+        "n_values": n_values,
+        "n_values_with_failures": int((padded > 0).sum()),
+    }
+
+
+def walltime_accuracy(jobs: Table) -> Table:
+    """How well requested walltimes predict actual runtimes, per outcome.
+
+    Reports quantiles of ``runtime / requested_walltime`` for successful
+    and failed jobs plus the share of jobs using less than 10 % of their
+    request — the classic observation that users heavily over-request
+    (and failed jobs use almost none of their allocation window).
+    """
+    ratio = (jobs["end_time"] - jobs["start_time"]) / np.maximum(
+        jobs["requested_walltime"], 1e-9
+    )
+    annotated = jobs.with_column("walltime_ratio", ratio)
+    rows = {
+        "outcome": [], "n": [], "p25": [], "median": [], "p75": [],
+        "share_under_10pct": [],
+    }
+    for label, mask in (
+        ("success", jobs["exit_status"] == 0),
+        ("failed", jobs["exit_status"] != 0),
+    ):
+        sub = annotated.filter(mask)
+        if sub.n_rows == 0:
+            continue
+        values = sub["walltime_ratio"]
+        rows["outcome"].append(label)
+        rows["n"].append(sub.n_rows)
+        rows["p25"].append(float(np.percentile(values, 25)))
+        rows["median"].append(float(np.median(values)))
+        rows["p75"].append(float(np.percentile(values, 75)))
+        rows["share_under_10pct"].append(float((values < 0.1).mean()))
+    return Table(rows)
+
+
+def wasted_core_hours_by_family(jobs: Table) -> Table:
+    """Core-hours consumed by failed jobs, broken down by exit family.
+
+    The cost side of the characterization: which error classes burn the
+    machine time.  Returns ``(family, n_failed, wasted_core_hours,
+    share_of_waste, mean_core_hours)`` sorted by waste descending.
+
+    Raises
+    ------
+    ValueError
+        If there are no failed jobs.
+    """
+    from .exitcodes import classify_column
+
+    failed = jobs.filter(jobs["exit_status"] != 0)
+    if failed.n_rows == 0:
+        raise ValueError("no failed jobs to analyze")
+    annotated = failed.with_column("family", classify_column(failed["exit_status"]))
+    grouped = annotated.group_by("family").agg(core_hours="sum")
+    total = float(grouped["core_hours_sum"].sum())
+    return (
+        grouped.rename({"count": "n_failed", "core_hours_sum": "wasted_core_hours"})
+        .with_column("share_of_waste", grouped["core_hours_sum"] / total)
+        .with_column(
+            "mean_core_hours",
+            grouped["core_hours_sum"] / np.maximum(grouped["count"], 1),
+        )
+        .sort_by("wasted_core_hours", reverse=True)
+    )
+
+
+def runtime_summary(jobs: Table) -> Table:
+    """Execution-length quantiles for successful vs failed jobs."""
+    runtime = jobs["end_time"] - jobs["start_time"]
+    annotated = jobs.with_column("runtime", runtime)
+    rows = {"outcome": [], "n": [], "p25": [], "median": [], "p75": [], "mean": []}
+    for label, mask in (
+        ("success", jobs["exit_status"] == 0),
+        ("failed", jobs["exit_status"] != 0),
+    ):
+        sub = annotated.filter(mask)
+        if sub.n_rows == 0:
+            continue
+        values = sub["runtime"]
+        rows["outcome"].append(label)
+        rows["n"].append(sub.n_rows)
+        rows["p25"].append(float(np.percentile(values, 25)))
+        rows["median"].append(float(np.median(values)))
+        rows["p75"].append(float(np.percentile(values, 75)))
+        rows["mean"].append(float(values.mean()))
+    return Table(rows)

@@ -1,0 +1,50 @@
+"""Correlation of job failure with job attributes.
+
+Builds the correlation table the paper reads off: numeric attributes
+(allocated nodes, core-hours, runtime, task count) against the failure
+indicator via Pearson (point-biserial) and Spearman, and categorical
+attributes (user, project, queue) via Cramér's V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats import cramers_v, pearson, spearman
+from repro.table import Table
+
+__all__ = ["failure_correlations", "NUMERIC_ATTRIBUTES", "CATEGORICAL_ATTRIBUTES"]
+
+NUMERIC_ATTRIBUTES = ("allocated_nodes", "core_hours", "n_tasks", "requested_walltime")
+CATEGORICAL_ATTRIBUTES = ("user", "project", "queue")
+
+
+def failure_correlations(jobs: Table) -> Table:
+    """One row per (attribute, method) with the association strength.
+
+    Numeric columns are log-transformed before Pearson (the attributes
+    span orders of magnitude); Spearman is transform-invariant.
+    """
+    if jobs.n_rows < 3:
+        raise ValueError("need at least 3 jobs to correlate")
+    failed = (jobs["exit_status"] != 0).astype(np.float64)
+    rows = {"attribute": [], "method": [], "value": []}
+    for attribute in NUMERIC_ATTRIBUTES:
+        if attribute not in jobs:
+            continue
+        values = np.asarray(jobs[attribute], dtype=np.float64)
+        safe = np.log(np.maximum(values, 1e-9))
+        rows["attribute"].append(attribute)
+        rows["method"].append("pearson")
+        rows["value"].append(pearson(safe, failed))
+        rows["attribute"].append(attribute)
+        rows["method"].append("spearman")
+        rows["value"].append(spearman(values, failed))
+    outcome = np.where(failed > 0, "failed", "success").astype(object)
+    for attribute in CATEGORICAL_ATTRIBUTES:
+        if attribute not in jobs:
+            continue
+        rows["attribute"].append(attribute)
+        rows["method"].append("cramers_v")
+        rows["value"].append(cramers_v(jobs[attribute], outcome))
+    return Table(rows)

@@ -1,0 +1,134 @@
+"""Exit-status taxonomy and user/system attribution rules.
+
+The job-scheduling log reports one byte of exit status per job.  The
+paper groups the observed statuses into error types ("exit codes") and
+shows that the best-fitting execution-length distribution differs per
+type.  This module defines that grouping:
+
+===============  ==========================  =======================
+Family           Exit statuses               Typical cause
+===============  ==========================  =======================
+SUCCESS          0                           normal completion
+SEGFAULT         139 (128+SIGSEGV), 11       memory bugs in user code
+ABORT            134 (128+SIGABRT), 6        failed assertions/aborts
+APP_ERROR        1, 255                      application-level errors
+CONFIG           2, 125, 126, 127            wrong configuration,
+                                             missing binaries
+TIMEOUT          143 (128+SIGTERM)           walltime exhaustion
+SYSTEM_KILL      137 (128+SIGKILL)           killed by control system
+OTHER            anything else               unclassified
+===============  ==========================  =======================
+
+All families except SYSTEM_KILL are user behaviour; SYSTEM_KILL is the
+candidate set for system-caused failures, confirmed by the RAS join in
+:mod:`repro.core.attribution`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.table import Table
+
+__all__ = [
+    "ExitFamily",
+    "classify_exit_status",
+    "classify_column",
+    "is_user_family",
+    "family_breakdown",
+    "USER_FAMILIES",
+]
+
+
+class ExitFamily(Enum):
+    """Grouping of exit statuses into error types."""
+
+    SUCCESS = "success"
+    SEGFAULT = "segfault"
+    ABORT = "abort"
+    APP_ERROR = "app_error"
+    CONFIG = "config"
+    TIMEOUT = "timeout"
+    SYSTEM_KILL = "system_kill"
+    OTHER = "other"
+
+
+_STATUS_TO_FAMILY: dict[int, ExitFamily] = {
+    0: ExitFamily.SUCCESS,
+    139: ExitFamily.SEGFAULT,
+    11: ExitFamily.SEGFAULT,
+    134: ExitFamily.ABORT,
+    6: ExitFamily.ABORT,
+    1: ExitFamily.APP_ERROR,
+    255: ExitFamily.APP_ERROR,
+    2: ExitFamily.CONFIG,
+    125: ExitFamily.CONFIG,
+    126: ExitFamily.CONFIG,
+    127: ExitFamily.CONFIG,
+    143: ExitFamily.TIMEOUT,
+    137: ExitFamily.SYSTEM_KILL,
+}
+
+USER_FAMILIES = frozenset(
+    {
+        ExitFamily.SEGFAULT,
+        ExitFamily.ABORT,
+        ExitFamily.APP_ERROR,
+        ExitFamily.CONFIG,
+        ExitFamily.TIMEOUT,
+    }
+)
+"""Failure families attributed to user behaviour by the taxonomy alone."""
+
+
+def classify_exit_status(status: int) -> ExitFamily:
+    """Map one exit status byte to its family.
+
+    Raises
+    ------
+    ValueError
+        For statuses outside [0, 255].
+    """
+    if not 0 <= status <= 255:
+        raise ValueError(f"exit status {status} outside [0, 255]")
+    return _STATUS_TO_FAMILY.get(status, ExitFamily.OTHER)
+
+
+def classify_column(statuses) -> np.ndarray:
+    """Vector version: array of family value strings for a status column."""
+    return np.array(
+        [classify_exit_status(int(s)).value for s in statuses], dtype=object
+    )
+
+
+def is_user_family(family: ExitFamily) -> bool:
+    """True when the family is user-caused by the static taxonomy."""
+    return family in USER_FAMILIES
+
+
+def family_breakdown(jobs: Table) -> Table:
+    """Count jobs per exit family, with share-of-failures.
+
+    Returns columns ``(family, count, share, failure_share)`` sorted by
+    count descending.  ``share`` is over all jobs; ``failure_share`` is
+    over failed jobs only (NaN for the success row).
+    """
+    families = classify_column(jobs["exit_status"])
+    annotated = jobs.with_column("family", families)
+    counts = annotated.value_counts("family")
+    total = jobs.n_rows
+    n_failed = int((jobs["exit_status"] != 0).sum())
+    share = counts["count"] / max(total, 1)
+    failure_share = np.array(
+        [
+            np.nan
+            if family == ExitFamily.SUCCESS.value
+            else count / max(n_failed, 1)
+            for family, count in zip(counts["family"], counts["count"])
+        ]
+    )
+    return counts.with_column("share", share).with_column(
+        "failure_share", failure_share
+    )

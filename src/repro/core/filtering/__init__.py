@@ -1,0 +1,20 @@
+"""RAS event filtering: temporal, spatial, similarity stages + pipeline."""
+
+from .pipeline import FilterOutcome, FilterPipeline, FilterStage, default_pipeline
+from .similarity import jaccard, similarity_filter, tokenize
+from .spatial import spatial_filter
+from .temporal import CLUSTER_COLUMNS, events_to_clusters, temporal_filter
+
+__all__ = [
+    "CLUSTER_COLUMNS",
+    "events_to_clusters",
+    "temporal_filter",
+    "spatial_filter",
+    "similarity_filter",
+    "tokenize",
+    "jaccard",
+    "FilterStage",
+    "FilterPipeline",
+    "FilterOutcome",
+    "default_pipeline",
+]

@@ -1,0 +1,104 @@
+"""Composable filtering pipeline with per-stage accounting.
+
+The E12 experiment reports the reduction factor of each stage
+(raw → temporal → spatial → similarity); :class:`FilterPipeline`
+composes the stages and records counts so the ablation falls out for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bgq.location import Level
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.table import Table
+
+from .similarity import similarity_filter
+from .spatial import spatial_filter
+from .temporal import events_to_clusters, temporal_filter
+
+__all__ = ["FilterStage", "FilterPipeline", "default_pipeline"]
+
+
+@dataclass(frozen=True)
+class FilterStage:
+    """A named table→table filtering stage."""
+
+    name: str
+    apply: Callable[[Table], Table]
+
+
+@dataclass(frozen=True)
+class FilterOutcome:
+    """Result of running a pipeline over an event table."""
+
+    clusters: Table
+    stage_counts: list[tuple[str, int]]  # (stage name, clusters after stage)
+
+    @property
+    def n_clusters(self) -> int:
+        """Clusters surviving the full pipeline."""
+        return self.clusters.n_rows
+
+    def reduction_factors(self) -> list[tuple[str, float]]:
+        """Per-stage compression: count_before / count_after."""
+        out = []
+        for (_, before), (name, after) in zip(self.stage_counts, self.stage_counts[1:]):
+            out.append((name, before / after if after else float("inf")))
+        return out
+
+    @property
+    def total_reduction(self) -> float:
+        """Raw events per surviving cluster."""
+        raw = self.stage_counts[0][1]
+        return raw / self.n_clusters if self.n_clusters else float("inf")
+
+
+class FilterPipeline:
+    """An ordered sequence of filtering stages."""
+
+    def __init__(self, stages: list[FilterStage]):
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages = stages
+
+    def run(self, events: Table) -> FilterOutcome:
+        """Apply all stages to a FATAL event table."""
+        clusters = events_to_clusters(events)
+        counts = [("raw", clusters.n_rows)]
+        for stage in self.stages:
+            clusters = stage.apply(clusters)
+            counts.append((stage.name, clusters.n_rows))
+        return FilterOutcome(clusters=clusters, stage_counts=counts)
+
+
+def default_pipeline(
+    temporal_window: float = 3600.0,
+    spatial_window: float = 3600.0,
+    similarity_window: float = 3600.0,
+    similarity_threshold: float = 0.5,
+    spatial_level: Level = Level.MIDPLANE,
+    spec: MachineSpec = MIRA,
+) -> FilterPipeline:
+    """The paper's three-stage filter: temporal → spatial → similarity."""
+    return FilterPipeline(
+        [
+            FilterStage(
+                "temporal", lambda t: temporal_filter(t, temporal_window)
+            ),
+            FilterStage(
+                "spatial",
+                lambda t: spatial_filter(
+                    t, spatial_window, level=spatial_level, spec=spec
+                ),
+            ),
+            FilterStage(
+                "similarity",
+                lambda t: similarity_filter(
+                    t, similarity_window, similarity_threshold
+                ),
+            ),
+        ]
+    )

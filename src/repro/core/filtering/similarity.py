@@ -1,0 +1,109 @@
+"""Similarity-based compression of FATAL event clusters.
+
+The paper's final and strongest filter: two records describe the same
+interruption when their *message texts* are similar enough and they are
+close in time — regardless of message ID or exact location.  We use
+token-set Jaccard similarity over the rendered message (numeric payload
+slots differ between duplicates; the fixed template vocabulary carries
+the similarity), with a greedy single-pass clustering in time order.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.table import Table
+
+from .temporal import CLUSTER_COLUMNS
+
+__all__ = ["tokenize", "jaccard", "similarity_filter"]
+
+_TOKEN_RE = re.compile(r"[a-z]{2,}")
+
+
+def tokenize(message: str) -> frozenset[str]:
+    """Lower-cased alphabetic tokens of a message (payload digits drop out)."""
+    return frozenset(_TOKEN_RE.findall(message.lower()))
+
+
+def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """Jaccard similarity of two token sets (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def similarity_filter(
+    clusters: Table,
+    window_seconds: float = 3600.0,
+    threshold: float = 0.5,
+) -> Table:
+    """Greedy merge of message-similar clusters within a time window.
+
+    Scanning clusters in time order, each is compared against the open
+    clusters whose last event is within ``window_seconds``; it joins the
+    first one whose representative message has Jaccard similarity >=
+    ``threshold``, else opens a new cluster.
+
+    Raises
+    ------
+    ValueError
+        For a threshold outside [0, 1] or non-positive window.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    if window_seconds <= 0:
+        raise ValueError(f"window must be positive, got {window_seconds}")
+    if clusters.n_rows == 0:
+        return clusters
+    ordered = clusters.sort_by("first_timestamp")
+    firsts = ordered["first_timestamp"]
+    lasts = ordered["last_timestamp"]
+    counts = ordered["n_events"]
+    messages = ordered["message"]
+
+    open_clusters: list[dict] = []
+    closed: list[dict] = []
+
+    for i in range(ordered.n_rows):
+        timestamp = float(firsts[i])
+        tokens = tokenize(messages[i])
+        # Retire clusters that fell out of the window.
+        still_open = []
+        for cluster in open_clusters:
+            if timestamp - cluster["last_timestamp"] > window_seconds:
+                closed.append(cluster)
+            else:
+                still_open.append(cluster)
+        open_clusters = still_open
+
+        joined = None
+        for cluster in open_clusters:
+            if jaccard(tokens, cluster["tokens"]) >= threshold:
+                joined = cluster
+                break
+        if joined is not None:
+            joined["last_timestamp"] = max(
+                joined["last_timestamp"], float(lasts[i])
+            )
+            joined["n_events"] += int(counts[i])
+        else:
+            open_clusters.append(
+                {
+                    "first_timestamp": timestamp,
+                    "last_timestamp": float(lasts[i]),
+                    "msg_id": ordered["msg_id"][i],
+                    "location": ordered["location"][i],
+                    "message": messages[i],
+                    "tokens": tokens,
+                    "n_events": int(counts[i]),
+                }
+            )
+    closed.extend(open_clusters)
+    closed.sort(key=lambda c: c["first_timestamp"])
+    return Table(
+        {column: [c[column] for c in closed] for column in CLUSTER_COLUMNS}
+    )

@@ -1,0 +1,82 @@
+"""Spatial compression of FATAL event clusters.
+
+A fault fans out across neighboring hardware: the same message fires on
+several compute cards of one node board or midplane within seconds.
+Spatial filtering merges clusters that share a message ID, are close in
+time, and whose locations fall inside the same enclosing unit (midplane
+by default) — the second of the paper's filtering stages.
+"""
+
+from __future__ import annotations
+
+from repro.bgq.location import Level, Location
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.table import Table
+
+from .temporal import CLUSTER_COLUMNS
+
+__all__ = ["spatial_filter"]
+
+
+def _enclosing(code: str, level: Level, spec: MachineSpec, cache: dict) -> str:
+    key = (code, level)
+    hit = cache.get(key)
+    if hit is None:
+        loc = Location.parse(code, spec)
+        hit = loc.ancestor(min(level, loc.level, key=lambda l: l.value)).code
+        cache[key] = hit
+    return hit
+
+
+def spatial_filter(
+    clusters: Table,
+    window_seconds: float = 3600.0,
+    level: Level = Level.MIDPLANE,
+    spec: MachineSpec = MIRA,
+) -> Table:
+    """Merge same-message clusters inside one ``level`` unit and window.
+
+    Clusters are grouped by (msg_id, enclosing location at ``level``)
+    and merged when the time gap between consecutive clusters is at
+    most ``window_seconds``.  The representative location is the
+    *enclosing* unit (the fault is a unit-level fault once it fans out).
+
+    Raises
+    ------
+    ValueError
+        For a non-positive window.
+    """
+    if window_seconds <= 0:
+        raise ValueError(f"window must be positive, got {window_seconds}")
+    if clusters.n_rows == 0:
+        return clusters
+    cache: dict = {}
+    enclosing = [
+        _enclosing(code, level, spec, cache) for code in clusters["location"]
+    ]
+    lifted = clusters.with_column("_unit", enclosing)
+    merged_rows: dict[str, list] = {c: [] for c in CLUSTER_COLUMNS}
+    for _, group in lifted.group_by("msg_id", "_unit").groups():
+        ordered = group.sort_by("first_timestamp")
+        firsts = ordered["first_timestamp"]
+        lasts = ordered["last_timestamp"]
+        counts = ordered["n_events"]
+        run_start = 0
+        running_last = float(lasts[0]) if ordered.n_rows else 0.0
+        for i in range(1, ordered.n_rows + 1):
+            boundary = i == ordered.n_rows or (
+                float(firsts[i]) - running_last > window_seconds
+            )
+            if boundary:
+                merged_rows["first_timestamp"].append(float(firsts[run_start]))
+                merged_rows["last_timestamp"].append(running_last)
+                merged_rows["msg_id"].append(ordered["msg_id"][run_start])
+                merged_rows["location"].append(ordered["_unit"][run_start])
+                merged_rows["message"].append(ordered["message"][run_start])
+                merged_rows["n_events"].append(int(counts[run_start:i].sum()))
+                run_start = i
+                if i < ordered.n_rows:
+                    running_last = float(lasts[i])
+            else:
+                running_last = max(running_last, float(lasts[i]))
+    return Table(merged_rows).sort_by("first_timestamp")

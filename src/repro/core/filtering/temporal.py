@@ -1,0 +1,82 @@
+"""Temporal compression of the FATAL event stream.
+
+One physical fault floods the RAS log with near-identical records over
+minutes.  Temporal filtering collapses runs of events that share a
+message ID *and* a location and are separated by no more than a gap
+window into a single cluster — the first and coarsest of the paper's
+three filtering stages.
+
+All filtering stages share one tabular cluster schema (see
+:data:`CLUSTER_COLUMNS`): filtering is composition of table→table
+functions, so stages chain in any order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table import Table
+
+__all__ = ["CLUSTER_COLUMNS", "events_to_clusters", "temporal_filter"]
+
+CLUSTER_COLUMNS = [
+    "first_timestamp",
+    "last_timestamp",
+    "msg_id",
+    "location",
+    "message",
+    "n_events",
+]
+"""Schema shared by every filtering stage (representative = first event)."""
+
+
+def events_to_clusters(events: Table) -> Table:
+    """Lift raw events into singleton clusters (the identity stage)."""
+    return Table(
+        {
+            "first_timestamp": events["timestamp"],
+            "last_timestamp": events["timestamp"],
+            "msg_id": events["msg_id"],
+            "location": events["location"],
+            "message": events["message"],
+            "n_events": np.ones(events.n_rows, dtype=np.int64),
+        }
+    )
+
+
+def temporal_filter(clusters: Table, window_seconds: float = 3600.0) -> Table:
+    """Merge same-(msg_id, location) clusters separated by <= window.
+
+    Input and output follow :data:`CLUSTER_COLUMNS`.  The output is
+    sorted by ``first_timestamp``.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive window.
+    """
+    if window_seconds <= 0:
+        raise ValueError(f"window must be positive, got {window_seconds}")
+    if clusters.n_rows == 0:
+        return clusters
+    merged_rows: dict[str, list] = {c: [] for c in CLUSTER_COLUMNS}
+    for _, group in clusters.group_by("msg_id", "location").groups():
+        ordered = group.sort_by("first_timestamp")
+        firsts = ordered["first_timestamp"]
+        lasts = ordered["last_timestamp"]
+        counts = ordered["n_events"]
+        messages = ordered["message"]
+        run_start = 0
+        for i in range(1, ordered.n_rows + 1):
+            boundary = i == ordered.n_rows or (
+                firsts[i] - lasts[i - 1] > window_seconds
+            )
+            if boundary:
+                merged_rows["first_timestamp"].append(float(firsts[run_start]))
+                merged_rows["last_timestamp"].append(float(lasts[i - 1]))
+                merged_rows["msg_id"].append(ordered["msg_id"][run_start])
+                merged_rows["location"].append(ordered["location"][run_start])
+                merged_rows["message"].append(messages[run_start])
+                merged_rows["n_events"].append(int(counts[run_start:i].sum()))
+                run_start = i
+    return Table(merged_rows).sort_by("first_timestamp")

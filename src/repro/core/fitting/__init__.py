@@ -1,0 +1,18 @@
+"""Distribution fitting: candidate models, MLE fits, model selection."""
+
+from .empirical import cdf_comparison, qq_points
+from .fit import FitReport, best_fit, fit_all, fits_to_table
+from .models import CANDIDATE_MODELS, DistributionModel, FittedModel, get_model
+
+__all__ = [
+    "DistributionModel",
+    "FittedModel",
+    "CANDIDATE_MODELS",
+    "get_model",
+    "FitReport",
+    "fit_all",
+    "best_fit",
+    "fits_to_table",
+    "cdf_comparison",
+    "qq_points",
+]

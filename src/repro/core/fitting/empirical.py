@@ -1,0 +1,49 @@
+"""Empirical-vs-model comparison series (the data behind CDF figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats import ecdf
+
+from .models import FittedModel
+
+__all__ = ["cdf_comparison", "qq_points"]
+
+
+def cdf_comparison(
+    sample, fitted: FittedModel, n_points: int = 100
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluation grid for an empirical-vs-fitted CDF overlay.
+
+    Returns ``(xs, empirical, model)`` on a log-spaced grid spanning the
+    sample — exactly the three series a CDF figure plots.
+    """
+    arr = np.asarray(sample, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cdf_comparison requires a non-empty sample")
+    empirical = ecdf(arr)
+    low, high = float(arr.min()), float(arr.max())
+    if low <= 0:
+        raise ValueError("sample must be positive")
+    xs = np.logspace(np.log10(low), np.log10(high), n_points)
+    # Pin the endpoints exactly: logspace rounding can land the last grid
+    # point epsilon below the sample max, dropping the final ECDF step.
+    xs[0], xs[-1] = low, high
+    return xs, empirical(xs), np.asarray(fitted.cdf(xs), dtype=np.float64)
+
+
+def qq_points(sample, fitted: FittedModel, n_points: int = 50) -> tuple[np.ndarray, np.ndarray]:
+    """Quantile-quantile points (empirical vs model quantiles)."""
+    arr = np.sort(np.asarray(sample, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("qq_points requires a non-empty sample")
+    probs = (np.arange(1, n_points + 1) - 0.5) / n_points
+    empirical_q = np.quantile(arr, probs)
+    # Invert the model CDF numerically on a dense grid.
+    grid = np.logspace(
+        np.log10(max(arr.min() * 0.5, 1e-9)), np.log10(arr.max() * 2), 4000
+    )
+    model_cdf = np.asarray(fitted.cdf(grid), dtype=np.float64)
+    model_q = np.interp(probs, model_cdf, grid)
+    return empirical_q, model_q

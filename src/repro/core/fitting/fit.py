@@ -1,0 +1,98 @@
+"""Fitting candidate distributions to samples and selecting the best.
+
+Selection follows the paper's methodology: every candidate family is
+MLE-fitted, goodness-of-fit is measured with the one-sample KS
+statistic, and the family with the smallest statistic wins (AIC/BIC are
+also reported, as ties on KS are common between nested families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.stats import ks_test
+from repro.table import Table
+
+from .models import CANDIDATE_MODELS, DistributionModel, FittedModel
+
+__all__ = ["FitReport", "fit_all", "best_fit", "fits_to_table"]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """One candidate's fit quality on one sample."""
+
+    model_name: str
+    fitted: FittedModel
+    ks_statistic: float
+    ks_p_value: float
+    aic: float
+    bic: float
+    n: int
+
+
+def fit_all(
+    sample,
+    models: tuple[DistributionModel, ...] = CANDIDATE_MODELS,
+) -> list[FitReport]:
+    """Fit every candidate and score it; sorted by KS statistic ascending.
+
+    Candidates whose fit fails to converge are skipped silently — with
+    six families, a robust subset always remains.
+
+    Raises
+    ------
+    FitError
+        If *no* candidate could be fitted.
+    """
+    arr = np.asarray(sample, dtype=np.float64)
+    reports: list[FitReport] = []
+    for model in models:
+        try:
+            fitted = model.fit(arr)
+        except FitError:
+            continue
+        ks = ks_test(arr, fitted.cdf)
+        reports.append(
+            FitReport(
+                model_name=model.name,
+                fitted=fitted,
+                ks_statistic=ks.statistic,
+                ks_p_value=ks.p_value,
+                aic=fitted.aic(),
+                bic=fitted.bic(arr.size),
+                n=arr.size,
+            )
+        )
+    if not reports:
+        raise FitError("no candidate distribution could be fitted to the sample")
+    return sorted(reports, key=lambda r: r.ks_statistic)
+
+
+def best_fit(sample, criterion: str = "ks") -> FitReport:
+    """The winning candidate under ``criterion`` ('ks', 'aic' or 'bic')."""
+    reports = fit_all(sample)
+    if criterion == "ks":
+        return reports[0]
+    if criterion == "aic":
+        return min(reports, key=lambda r: r.aic)
+    if criterion == "bic":
+        return min(reports, key=lambda r: r.bic)
+    raise ValueError(f"unknown criterion {criterion!r}; use ks/aic/bic")
+
+
+def fits_to_table(reports: list[FitReport]) -> Table:
+    """Render fit reports as a table (one row per candidate)."""
+    return Table(
+        {
+            "model": [r.model_name for r in reports],
+            "ks_statistic": [r.ks_statistic for r in reports],
+            "ks_p_value": [r.ks_p_value for r in reports],
+            "aic": [r.aic for r in reports],
+            "bic": [r.bic for r in reports],
+            "n": [r.n for r in reports],
+        }
+    )

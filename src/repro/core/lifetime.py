@@ -1,0 +1,109 @@
+"""Machine-lifetime analysis: how reliability evolves over the 2K days.
+
+The paper's title frames the study as covering the *life* of the
+machine; this module provides the epoch-level view: per-epoch job and
+failure volumes, failure-rate and MTTI trends across epochs, and
+changepoints in the monthly failure-rate series (regime shifts such as
+early-life instability or late-life aging).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset import MiraDataset
+from repro.stats import spearman
+from repro.stats.changepoint import Changepoint, detect_changepoints
+from repro.table import Table
+
+__all__ = ["epoch_summary", "failure_rate_trend", "failure_rate_changepoints"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def epoch_summary(dataset: MiraDataset, epoch_days: float = 90.0) -> Table:
+    """Per-epoch volumes and rates.
+
+    Returns ``(epoch, start_day, jobs, failed, failure_rate,
+    fatal_events, core_hours)`` with one row per (possibly partial)
+    epoch.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive epoch length.
+    """
+    if epoch_days <= 0:
+        raise ValueError(f"epoch_days must be positive, got {epoch_days}")
+    n_epochs = max(1, int(np.ceil(dataset.n_days / epoch_days)))
+    jobs = dataset.jobs
+    fatal = dataset.fatal_events()
+    job_epoch = np.clip(
+        (jobs["submit_time"] / (epoch_days * SECONDS_PER_DAY)).astype(int),
+        0,
+        n_epochs - 1,
+    )
+    fatal_epoch = np.clip(
+        (fatal["timestamp"] / (epoch_days * SECONDS_PER_DAY)).astype(int),
+        0,
+        n_epochs - 1,
+    )
+    failed = (jobs["exit_status"] != 0).astype(np.int64)
+    job_counts = np.bincount(job_epoch, minlength=n_epochs)
+    failed_counts = np.bincount(job_epoch, weights=failed, minlength=n_epochs)
+    core_hours = np.bincount(
+        job_epoch, weights=jobs["core_hours"], minlength=n_epochs
+    )
+    fatal_counts = np.bincount(fatal_epoch, minlength=n_epochs)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rates = np.where(job_counts > 0, failed_counts / job_counts, np.nan)
+    return Table(
+        {
+            "epoch": list(range(n_epochs)),
+            "start_day": [i * epoch_days for i in range(n_epochs)],
+            "jobs": job_counts,
+            "failed": failed_counts.astype(np.int64),
+            "failure_rate": rates,
+            "fatal_events": fatal_counts,
+            "core_hours": core_hours,
+        }
+    )
+
+
+def failure_rate_trend(dataset: MiraDataset, epoch_days: float = 90.0) -> dict[str, float]:
+    """Direction and strength of the failure-rate trend across epochs.
+
+    Returns the Spearman correlation of epoch index vs failure rate,
+    plus first/last epoch rates.  Epochs with no jobs are skipped.
+    """
+    epochs = epoch_summary(dataset, epoch_days)
+    populated = epochs.filter(epochs["jobs"] > 0)
+    if populated.n_rows < 3:
+        raise ValueError("need at least 3 populated epochs for a trend")
+    rho = spearman(
+        populated["epoch"].astype(float), populated["failure_rate"]
+    )
+    return {
+        "spearman": rho,
+        "first_epoch_rate": float(populated["failure_rate"][0]),
+        "last_epoch_rate": float(populated["failure_rate"][-1]),
+        "n_epochs": populated.n_rows,
+    }
+
+
+def failure_rate_changepoints(
+    dataset: MiraDataset,
+    epoch_days: float = 30.0,
+    max_changepoints: int = 3,
+    alpha: float = 0.01,
+) -> list[Changepoint]:
+    """Regime shifts in the (monthly, by default) failure-rate series."""
+    epochs = epoch_summary(dataset, epoch_days)
+    populated = epochs.filter(epochs["jobs"] > 0)
+    if populated.n_rows < 8:
+        return []
+    return detect_changepoints(
+        populated["failure_rate"],
+        max_changepoints=max_changepoints,
+        alpha=alpha,
+    )

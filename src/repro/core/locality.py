@@ -1,0 +1,85 @@
+"""Spatial locality of fatal events.
+
+The paper reports that RAS events "have a strong locality feature":
+fatal activity concentrates on a small set of locations.  This module
+computes the per-midplane fatal counts (the data behind the heatmap
+figure) and scalar concentration metrics — Gini coefficient, top-k
+shares, and normalized entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.core.attribution import event_midplanes
+from repro.stats import gini
+from repro.table import Table
+
+__all__ = ["counts_by_midplane", "locality_metrics", "hot_midplanes"]
+
+
+def counts_by_midplane(events: Table, spec: MachineSpec = MIRA) -> np.ndarray:
+    """Event count per global midplane index (rack events count on each
+    midplane of the rack)."""
+    counts = np.zeros(spec.n_midplanes, dtype=np.int64)
+    for midplanes in event_midplanes(events["location"], spec):
+        for midplane in midplanes:
+            counts[midplane] += 1
+    return counts
+
+
+def locality_metrics(counts: np.ndarray) -> dict[str, float]:
+    """Concentration metrics of a per-location count vector.
+
+    ``normalized_entropy`` is Shannon entropy over the empirical
+    distribution divided by ``log(n)`` — 1.0 means perfectly even, small
+    values mean concentrated.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0:
+        raise ValueError("locality_metrics requires a non-empty count vector")
+    total = counts.sum()
+    if total == 0:
+        return {
+            "gini": 0.0,
+            "top1_share": 0.0,
+            "top5pct_share": 0.0,
+            "top10pct_share": 0.0,
+            "normalized_entropy": 1.0,
+            "n_locations_hit": 0,
+        }
+    ordered = np.sort(counts)[::-1]
+    top5 = max(1, int(np.ceil(0.05 * counts.size)))
+    top10 = max(1, int(np.ceil(0.10 * counts.size)))
+    probabilities = counts / total
+    nonzero = probabilities[probabilities > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    return {
+        "gini": gini(counts),
+        "top1_share": float(ordered[0] / total),
+        "top5pct_share": float(ordered[:top5].sum() / total),
+        "top10pct_share": float(ordered[:top10].sum() / total),
+        "normalized_entropy": entropy / np.log(counts.size) if counts.size > 1 else 1.0,
+        "n_locations_hit": int((counts > 0).sum()),
+    }
+
+
+def hot_midplanes(
+    events: Table, spec: MachineSpec = MIRA, k: int = 10
+) -> Table:
+    """The k midplanes with the most events (heatmap top rows)."""
+    from repro.bgq.location import Location
+
+    counts = counts_by_midplane(events, spec)
+    order = np.argsort(counts)[::-1][:k]
+    total = counts.sum()
+    return Table(
+        {
+            "midplane": [
+                Location.from_midplane_index(int(i), spec).code for i in order
+            ],
+            "n_events": counts[order],
+            "share": counts[order] / total if total else np.zeros(len(order)),
+        }
+    )

@@ -1,0 +1,138 @@
+"""Precursor analysis: do warnings announce fatal events? (extension)
+
+Failing components often degrade visibly before they fail — correctable
+error storms, temperature drift, link retraining.  This module measures
+the WARN→FATAL relationship the way an operator would exploit it:
+
+* **coverage** — the fraction of fatal incidents (filtered clusters)
+  preceded by a WARN record at the same location unit within a lookback
+  window;
+* **lead time** — the distribution of gaps between the last such WARN
+  and the fatal event;
+* **alarm quality** — treating "WARN at location" as an alarm that a
+  fatal event will follow within the window: precision and recall.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+from repro.bgq.location import Level, Location
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.table import Table
+
+__all__ = ["precursor_coverage", "alarm_quality"]
+
+
+def _unit_times(
+    events: Table, level: Level, spec: MachineSpec
+) -> dict[str, np.ndarray]:
+    """Sorted timestamps per enclosing location unit."""
+    cache: dict[str, str] = {}
+    per_unit: dict[str, list[float]] = {}
+    for code, timestamp in zip(events["location"], events["timestamp"]):
+        unit = cache.get(code)
+        if unit is None:
+            loc = Location.parse(code, spec)
+            unit = loc.ancestor(min(level, loc.level, key=lambda l: l.value)).code
+            cache[code] = unit
+        per_unit.setdefault(unit, []).append(float(timestamp))
+    return {unit: np.sort(np.asarray(times)) for unit, times in per_unit.items()}
+
+
+def precursor_coverage(
+    warn_events: Table,
+    fatal_clusters: Table,
+    lookback_seconds: float = 7200.0,
+    level: Level = Level.MIDPLANE,
+    spec: MachineSpec = MIRA,
+) -> tuple[dict[str, float], np.ndarray]:
+    """Fraction of fatal clusters with a same-unit WARN precursor.
+
+    Returns ``(metrics, lead_times_seconds)`` where metrics holds the
+    coverage and lead-time quantiles.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive lookback or no fatal clusters.
+    """
+    if lookback_seconds <= 0:
+        raise ValueError("lookback must be positive")
+    if fatal_clusters.n_rows == 0:
+        raise ValueError("no fatal clusters to analyze")
+    warn_times = _unit_times(warn_events, level, spec)
+    cache: dict[str, str] = {}
+    lead_times: list[float] = []
+    covered = 0
+    for code, timestamp in zip(
+        fatal_clusters["location"], fatal_clusters["first_timestamp"]
+    ):
+        unit = cache.get(code)
+        if unit is None:
+            loc = Location.parse(code, spec)
+            unit = loc.ancestor(min(level, loc.level, key=lambda l: l.value)).code
+            cache[code] = unit
+        times = warn_times.get(unit)
+        if times is None:
+            continue
+        index = bisect_left(times, float(timestamp)) - 1
+        if index >= 0 and timestamp - times[index] <= lookback_seconds:
+            covered += 1
+            lead_times.append(float(timestamp - times[index]))
+    leads = np.asarray(lead_times)
+    metrics = {
+        "n_fatal_clusters": fatal_clusters.n_rows,
+        "n_covered": covered,
+        "coverage": covered / fatal_clusters.n_rows,
+        "median_lead_seconds": float(np.median(leads)) if leads.size else float("nan"),
+        "p90_lead_seconds": (
+            float(np.percentile(leads, 90)) if leads.size else float("nan")
+        ),
+    }
+    return metrics, leads
+
+
+def alarm_quality(
+    warn_events: Table,
+    fatal_clusters: Table,
+    horizon_seconds: float = 7200.0,
+    level: Level = Level.MIDPLANE,
+    spec: MachineSpec = MIRA,
+) -> dict[str, float]:
+    """Precision/recall of "WARN at unit ⇒ fatal within horizon".
+
+    Every WARN record is an alarm; it is a true positive when a fatal
+    cluster starts at the same unit within ``horizon_seconds`` after it.
+    Recall is the precursor coverage over that forward horizon.
+    """
+    if horizon_seconds <= 0:
+        raise ValueError("horizon must be positive")
+    fatal_times = _unit_times(
+        fatal_clusters.rename({"first_timestamp": "timestamp"}), level, spec
+    )
+    cache: dict[str, str] = {}
+    true_positive = 0
+    n_alarms = warn_events.n_rows
+    for code, timestamp in zip(warn_events["location"], warn_events["timestamp"]):
+        unit = cache.get(code)
+        if unit is None:
+            loc = Location.parse(code, spec)
+            unit = loc.ancestor(min(level, loc.level, key=lambda l: l.value)).code
+            cache[code] = unit
+        times = fatal_times.get(unit)
+        if times is None:
+            continue
+        index = bisect_right(times, float(timestamp))
+        if index < len(times) and times[index] - timestamp <= horizon_seconds:
+            true_positive += 1
+    coverage, _ = precursor_coverage(
+        warn_events, fatal_clusters, horizon_seconds, level, spec
+    )
+    return {
+        "n_alarms": n_alarms,
+        "precision": true_positive / n_alarms if n_alarms else float("nan"),
+        "recall": coverage["coverage"],
+    }

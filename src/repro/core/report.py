@@ -1,0 +1,50 @@
+"""Plain-text study report generation.
+
+Renders a dataset plus any subset of experiments into the terminal
+report the CLI's ``repro-report`` emits: overview, per-experiment
+tables, and the takeaway scorecard.
+"""
+
+from __future__ import annotations
+
+from repro.dataset import MiraDataset
+from repro.errors import ReproError
+
+__all__ = ["render_report"]
+
+
+def render_report(
+    dataset: MiraDataset,
+    experiment_ids: list[str] | None = None,
+    max_rows: int = 20,
+) -> str:
+    """Render a multi-experiment text report.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Experiments to include (default: all sixteen, in order).
+    """
+    from repro.experiments import all_experiments, run_experiment
+
+    ids = experiment_ids if experiment_ids is not None else list(all_experiments())
+    header = [
+        "=" * 72,
+        f"Mira job-failure characterization — {dataset.spec.name}, "
+        f"{dataset.n_days:g} days, seed {dataset.seed}",
+        "=" * 72,
+    ]
+    sections = []
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, dataset)
+        except (ReproError, ValueError) as error:
+            # Small traces legitimately starve some experiments (too few
+            # failures per family, too few interruption intervals, ...);
+            # report the reason instead of aborting the whole report.
+            sections.append(
+                f"== {experiment_id.upper()} == skipped: {error}"
+            )
+            continue
+        sections.append(result.to_text(max_rows=max_rows))
+    return "\n\n".join(["\n".join(header)] + sections)

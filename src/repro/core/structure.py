@@ -1,0 +1,88 @@
+"""Job execution structure: tasks per job versus failure behaviour (E08).
+
+The paper correlates job failures with the job's execution structure —
+the number of physical tasks a job launches.  The analysis joins the
+job log with the task log, bins by task count, and reports failure
+rates per bin plus which task of an ensemble fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table import Table
+
+__all__ = ["task_count_bins", "failure_rate_by_task_count", "failing_task_position"]
+
+TASK_BINS = ((1, 1), (2, 4), (5, 8), (9, 16), (17, 32), (33, 128))
+"""Inclusive (low, high) bins over intended task counts."""
+
+
+def task_count_bins(jobs: Table) -> Table:
+    """Job and failure counts per task-count bin.
+
+    Returns ``(bin_label, low, high, n_jobs, n_failed, failure_rate)``.
+    """
+    n_tasks = jobs["n_tasks"]
+    failed = (jobs["exit_status"] != 0).astype(np.int64)
+    rows = {
+        "bin_label": [], "low": [], "high": [],
+        "n_jobs": [], "n_failed": [], "failure_rate": [],
+    }
+    for low, high in TASK_BINS:
+        mask = (n_tasks >= low) & (n_tasks <= high)
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        n_failed = int(failed[mask].sum())
+        rows["bin_label"].append(f"{low}-{high}" if low != high else str(low))
+        rows["low"].append(low)
+        rows["high"].append(high)
+        rows["n_jobs"].append(n)
+        rows["n_failed"].append(n_failed)
+        rows["failure_rate"].append(n_failed / n)
+    return Table(rows)
+
+
+def failure_rate_by_task_count(jobs: Table) -> tuple[Table, float]:
+    """Per-bin failure rates plus the single/multi-task rate ratio."""
+    bins = task_count_bins(jobs)
+    single = jobs.filter(jobs["n_tasks"] == 1)
+    multi = jobs.filter(jobs["n_tasks"] > 1)
+    single_rate = (
+        float((single["exit_status"] != 0).mean()) if single.n_rows else float("nan")
+    )
+    multi_rate = (
+        float((multi["exit_status"] != 0).mean()) if multi.n_rows else float("nan")
+    )
+    ratio = multi_rate / single_rate if single_rate else float("inf")
+    return bins, ratio
+
+
+def failing_task_position(tasks: Table) -> Table:
+    """Where in an ensemble the failing task sits.
+
+    For failed multi-task jobs, reports the distribution of the failing
+    task's relative position (index / (observed tasks - 1)) in quartile
+    bins — the paper's observation that ensembles die part-way through.
+    """
+    failing = tasks.filter(tasks["exit_status"] != 0)
+    per_job = tasks.group_by("job_id").agg(task_index="max")
+    merged = failing.join(
+        per_job.select(["job_id", "task_index_max"]), on="job_id"
+    )
+    multi = merged.filter(merged["task_index_max"] > 0)
+    if multi.n_rows == 0:
+        return Table({"position_bin": [], "n": [], "share": []})
+    position = multi["task_index"] / multi["task_index_max"]
+    edges = np.array([0.0, 0.25, 0.5, 0.75, 1.0 + 1e-9])
+    labels = ["0-25%", "25-50%", "50-75%", "75-100%"]
+    indices = np.clip(np.digitize(position, edges) - 1, 0, 3)
+    counts = np.bincount(indices, minlength=4)
+    return Table(
+        {
+            "position_bin": labels,
+            "n": counts,
+            "share": counts / counts.sum(),
+        }
+    )

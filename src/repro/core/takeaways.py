@@ -1,0 +1,311 @@
+"""The paper's 22 takeaways, recomputed programmatically.
+
+The paper distils its characterization into 22 takeaways.  Since only
+the abstract is available, the list below reconstructs them from the
+abstract's claims plus the analyses a study of this structure reports;
+each takeaway is a *checkable* statement evaluated against a dataset,
+so `e16` doubles as an end-to-end regression of the whole toolkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+__all__ = ["Takeaway", "compute_takeaways", "takeaways_to_table"]
+
+
+@dataclass(frozen=True)
+class Takeaway:
+    """One checked takeaway."""
+
+    takeaway_id: str
+    claim: str
+    measured: str
+    holds: bool
+
+
+class _Analyses:
+    """Lazily computed shared analysis results."""
+
+    def __init__(self, dataset: MiraDataset):
+        self.dataset = dataset
+        self._cache: dict[str, object] = {}
+
+    def get(self, key: str, compute: Callable):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+    # -- shared heavy results -----------------------------------------
+
+    def attribution(self):
+        from repro.core.attribution import attribute_failures, attribution_summary
+
+        return self.get(
+            "attribution",
+            lambda: attribution_summary(
+                attribute_failures(
+                    self.dataset.jobs, self.dataset.fatal_events(), self.dataset.spec
+                )
+            ),
+        )
+
+    def filtered(self):
+        from repro.core.filtering import default_pipeline
+
+        return self.get(
+            "filtered",
+            lambda: default_pipeline(spec=self.dataset.spec).run(
+                self.dataset.fatal_events()
+            ),
+        )
+
+    def family_fits(self):
+        from repro.experiments.e04_distributions import run as e04
+
+        return self.get("fits", lambda: e04(self.dataset))
+
+    def per_user_events(self):
+        from repro.core.attribution import events_per_user
+
+        return self.get(
+            "per_user",
+            lambda: events_per_user(self.dataset.ras, self.dataset.jobs, self.dataset.spec),
+        )
+
+
+def _fit_winner(analyses: _Analyses, family: str) -> str:
+    fits = analyses.family_fits().tables["fits"]
+    match = fits.filter(fits["family"] == family)
+    return match["bic_winner"][0] if match.n_rows else "(insufficient sample)"
+
+
+def compute_takeaways(dataset: MiraDataset) -> list[Takeaway]:
+    """Evaluate all 22 takeaways against one dataset."""
+    from repro.core.characterize import (
+        failure_concentration,
+        node_count_bins,
+        runtime_summary,
+    )
+    from repro.core.exitcodes import classify_column
+    from repro.core.locality import counts_by_midplane, locality_metrics
+    from repro.core.reliability import job_interruption_mtti
+    from repro.core.structure import failing_task_position, failure_rate_by_task_count
+
+    analyses = _Analyses(dataset)
+    jobs = dataset.jobs
+    failed_mask = jobs["exit_status"] != 0
+    n_failed = int(failed_mask.sum())
+    out: list[Takeaway] = []
+
+    def add(tid: str, claim: str, measured: str, holds: bool) -> None:
+        out.append(Takeaway(tid, claim, measured, bool(holds)))
+
+    # --- attribution (T1-T2) ------------------------------------------
+    attribution = analyses.attribution()
+    add(
+        "T01",
+        "The vast majority (>99% in the paper) of job failures are user-caused",
+        f"user share = {attribution['user_share']:.3%}",
+        attribution["user_share"] > 0.95,
+    )
+    add(
+        "T02",
+        "System-caused failures are a small minority (~0.6% in the paper)",
+        f"system share = {attribution['system_share']:.3%}",
+        attribution["system_share"] < 0.05,
+    )
+
+    # --- exit statuses (T3) --------------------------------------------
+    failed_statuses = jobs.filter(failed_mask).value_counts("exit_status")
+    top5 = float(failed_statuses["count"][:5].sum()) / max(n_failed, 1)
+    add(
+        "T03",
+        "A handful of exit statuses covers most failures",
+        f"top-5 statuses cover {top5:.1%} of failures",
+        top5 > 0.8,
+    )
+
+    # --- distribution fits (T4-T7) ---------------------------------------
+    for tid, family, expected in (
+        ("T04", "segfault", ("weibull",)),
+        ("T05", "abort", ("pareto",)),
+        ("T06", "app_error", ("invgauss",)),
+        ("T07", "config", ("erlang", "exponential")),
+    ):
+        winner = _fit_winner(analyses, family)
+        add(
+            tid,
+            f"{family} failures' execution length best fits {'/'.join(expected)}",
+            f"BIC winner = {winner}",
+            winner in expected,
+        )
+
+    # --- failure vs attributes (T8-T11) ----------------------------------
+    bins = node_count_bins(jobs)
+    small_mask = bins["allocated_nodes"] <= 1024
+    large_mask = bins["allocated_nodes"] >= 8192
+    small_rate = float(
+        bins["n_failed"][small_mask].sum() / max(bins["n_jobs"][small_mask].sum(), 1)
+    )
+    large_rate = float(
+        bins["n_failed"][large_mask].sum() / max(bins["n_jobs"][large_mask].sum(), 1)
+    )
+    add(
+        "T08",
+        "Failure rate grows with job scale",
+        f"rate {small_rate:.2%} (small) vs {large_rate:.2%} (large)",
+        large_rate > small_rate,
+    )
+    # Requested core-hours (nodes x cores x walltime): the job's magnitude
+    # as submitted; charged core-hours would be confounded by early exits.
+    requested_ch = (
+        jobs["allocated_nodes"]
+        * dataset.spec.cores_per_node
+        * jobs["requested_walltime"]
+        / 3600.0
+    )
+    median_ch = float(np.median(requested_ch))
+    low_rate = float(failed_mask[requested_ch <= median_ch].mean())
+    high_rate = float(failed_mask[requested_ch > median_ch].mean())
+    add(
+        "T09",
+        "Failure rate grows with (requested) core-hours",
+        f"rate {low_rate:.2%} (low-CH) vs {high_rate:.2%} (high-CH)",
+        high_rate > low_rate,
+    )
+    user_conc = failure_concentration(jobs, "user")
+    add(
+        "T10",
+        "Failures concentrate on few users",
+        f"top 10% of users own {user_conc['top10pct_share']:.1%} of failures",
+        user_conc["top10pct_share"] > 0.5,
+    )
+    project_conc = failure_concentration(jobs, "project")
+    add(
+        "T11",
+        "Failures concentrate on few projects",
+        f"top 10% of projects own {project_conc['top10pct_share']:.1%} of failures",
+        project_conc["top10pct_share"] > 0.3,
+    )
+
+    # --- structure (T12-T13) ----------------------------------------------
+    _, ratio = failure_rate_by_task_count(jobs)
+    add(
+        "T12",
+        "Multi-task (ensemble) jobs fail more often than single-task jobs",
+        f"multi/single failure-rate ratio = {ratio:.2f}",
+        ratio > 1.0,
+    )
+    positions = failing_task_position(dataset.tasks)
+    first_quartile = (
+        float(positions.filter(positions["position_bin"] == "0-25%")["share"][0])
+        if positions.n_rows
+        else float("nan")
+    )
+    add(
+        "T13",
+        "Failed ensembles abort part-way (failing task rarely in first quartile)",
+        f"share of failures in first quartile of tasks = {first_quartile:.1%}",
+        positions.n_rows > 0 and first_quartile < 0.5,
+    )
+
+    # --- runtimes / waste (T14-T15) -----------------------------------------
+    runtimes = runtime_summary(jobs)
+    by_outcome = {r["outcome"]: r for r in runtimes.to_rows()}
+    add(
+        "T14",
+        "Failed jobs terminate earlier than successful ones (median runtime)",
+        f"median {by_outcome['failed']['median']:.0f}s (failed) vs "
+        f"{by_outcome['success']['median']:.0f}s (success)",
+        by_outcome["failed"]["median"] < by_outcome["success"]["median"],
+    )
+    wasted = float(jobs.filter(failed_mask)["core_hours"].sum())
+    total_ch = float(jobs["core_hours"].sum())
+    add(
+        "T15",
+        "Failed jobs waste a substantial share of machine core-hours",
+        f"wasted share = {wasted / total_ch:.1%}",
+        wasted / total_ch > 0.1,
+    )
+
+    # --- RAS composition (T16-T17) ------------------------------------------
+    summary = dataset.summary()
+    total_events = max(summary["n_ras_events"], 1)
+    info_share = summary["n_ras_info"] / total_events
+    fatal_share = summary["n_ras_fatal"] / total_events
+    add(
+        "T16",
+        "INFO events dominate the RAS stream",
+        f"INFO share = {info_share:.1%}",
+        info_share > 0.5,
+    )
+    add(
+        "T17",
+        "FATAL events are a small fraction of the RAS stream",
+        f"FATAL share = {fatal_share:.1%}",
+        fatal_share < 0.15,
+    )
+
+    # --- locality (T18) --------------------------------------------------------
+    locality = locality_metrics(counts_by_midplane(dataset.fatal_events(), dataset.spec))
+    add(
+        "T18",
+        "Fatal events exhibit strong spatial locality",
+        f"gini = {locality['gini']:.2f}, top-10% share = {locality['top10pct_share']:.1%}",
+        locality["gini"] > 0.5,
+    )
+
+    # --- filtering / MTTI (T19-T21) ---------------------------------------------
+    outcome = analyses.filtered()
+    add(
+        "T19",
+        "Raw fatal records overcount physical faults by a large factor",
+        f"reduction = {outcome.total_reduction:.1f}x",
+        outcome.total_reduction > 5,
+    )
+    truth = len(dataset.incidents)
+    error = abs(outcome.n_clusters - truth) / truth if truth else float("nan")
+    add(
+        "T20",
+        "Similarity filtering recovers the physical incident count",
+        f"{outcome.n_clusters} clusters vs {truth} incidents (error {error:.1%})",
+        truth > 0 and error < 0.3,
+    )
+    jobwise = job_interruption_mtti(
+        outcome.clusters, jobs, dataset.n_days, dataset.spec
+    )
+    add(
+        "T21",
+        "Job-interruption MTTI is in the multi-day range (~3.5 days in the paper)",
+        f"MTTI = {jobwise.mtti_days:.2f} days",
+        2.0 < jobwise.mtti_days < 7.0,
+    )
+
+    # --- RAS vs users (T22) ----------------------------------------------------
+    _, correlations = analyses.per_user_events()
+    add(
+        "T22",
+        "Per-user RAS exposure correlates with per-user core-hours",
+        f"spearman = {correlations['spearman']:.2f}",
+        correlations["spearman"] > 0.3,
+    )
+    return out
+
+
+def takeaways_to_table(takeaways: list[Takeaway]) -> Table:
+    """Render takeaways as a table."""
+    return Table(
+        {
+            "id": [t.takeaway_id for t in takeaways],
+            "claim": [t.claim for t in takeaways],
+            "measured": [t.measured for t in takeaways],
+            "holds": [int(t.holds) for t in takeaways],
+        }
+    )

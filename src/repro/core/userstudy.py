@@ -1,0 +1,114 @@
+"""User behavioral analysis: failure repetition and learning.
+
+The paper attributes 99.4 % of failures to user behaviour (bugs, wrong
+configuration, misoperations); this module characterizes that behaviour
+over time:
+
+* **Repetition** — is a job more likely to fail when the user's
+  *previous* job failed?  (Debug-resubmit cycles make consecutive
+  failures highly correlated.)
+* **Run length** — the distribution of consecutive-failure streak
+  lengths per user.
+* **Learning** — does a user's failure rate decline with experience
+  (position in their own submission history)?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table import Table
+
+__all__ = ["failure_repetition", "failure_streaks", "learning_curve"]
+
+
+def _per_user_sequences(jobs: Table) -> dict[str, np.ndarray]:
+    ordered = jobs.sort_by("submit_time")
+    sequences: dict[str, list[int]] = {}
+    for user, status in zip(ordered["user"], ordered["exit_status"]):
+        sequences.setdefault(user, []).append(int(status != 0))
+    return {u: np.asarray(s, dtype=np.int64) for u, s in sequences.items()}
+
+
+def failure_repetition(jobs: Table) -> dict[str, float]:
+    """Conditional failure probabilities given the previous outcome.
+
+    Returns ``p_fail_after_fail``, ``p_fail_after_success``, their
+    ratio (the repetition factor), and the transition counts.  Pairs are
+    formed within each user's own chronological sequence.
+
+    Raises
+    ------
+    ValueError
+        If no user has two or more jobs.
+    """
+    after_fail = [0, 0]  # [survived, failed]
+    after_success = [0, 0]
+    for sequence in _per_user_sequences(jobs).values():
+        for previous, current in zip(sequence, sequence[1:]):
+            bucket = after_fail if previous else after_success
+            bucket[current] += 1
+    n_after_fail = sum(after_fail)
+    n_after_success = sum(after_success)
+    if n_after_fail + n_after_success == 0:
+        raise ValueError("no user has two or more jobs")
+    p_ff = after_fail[1] / n_after_fail if n_after_fail else float("nan")
+    p_sf = after_success[1] / n_after_success if n_after_success else float("nan")
+    return {
+        "p_fail_after_fail": p_ff,
+        "p_fail_after_success": p_sf,
+        "repetition_factor": p_ff / p_sf if p_sf else float("inf"),
+        "n_after_fail": n_after_fail,
+        "n_after_success": n_after_success,
+    }
+
+
+def failure_streaks(jobs: Table, max_length: int = 10) -> Table:
+    """Distribution of consecutive-failure streak lengths.
+
+    Returns ``(length, count)`` with streaks longer than ``max_length``
+    folded into the last row (labelled ``max_length``).
+    """
+    counts = np.zeros(max_length + 1, dtype=np.int64)  # index 1..max
+    for sequence in _per_user_sequences(jobs).values():
+        streak = 0
+        for failed in np.append(sequence, 0):  # sentinel closes a streak
+            if failed:
+                streak += 1
+            elif streak:
+                counts[min(streak, max_length)] += 1
+                streak = 0
+    lengths = list(range(1, max_length + 1))
+    return Table({"length": lengths, "count": counts[1:]})
+
+
+def learning_curve(jobs: Table, n_bins: int = 5, min_jobs: int = 20) -> Table:
+    """Failure rate versus position in the user's own history.
+
+    Each qualifying user's submissions are split into ``n_bins``
+    equal-count phases; the table reports the pooled failure rate per
+    phase.  A *declining* curve would indicate users learn; the paper's
+    concentration findings suggest they largely do not.
+    """
+    if n_bins < 2:
+        raise ValueError("need at least 2 bins")
+    totals = np.zeros(n_bins, dtype=np.int64)
+    failures = np.zeros(n_bins, dtype=np.int64)
+    for sequence in _per_user_sequences(jobs).values():
+        if sequence.size < min_jobs:
+            continue
+        edges = np.linspace(0, sequence.size, n_bins + 1).astype(int)
+        for b in range(n_bins):
+            segment = sequence[edges[b] : edges[b + 1]]
+            totals[b] += segment.size
+            failures[b] += segment.sum()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rates = np.where(totals > 0, failures / totals, np.nan)
+    return Table(
+        {
+            "phase": list(range(n_bins)),
+            "n_jobs": totals,
+            "n_failed": failures,
+            "failure_rate": rates,
+        }
+    )

@@ -1,0 +1,12 @@
+"""Darshan-style I/O log substrate."""
+
+from .generator import DarshanGenerator, DarshanParams
+from .records import IO_COLUMNS, IoRecord, io_to_table
+
+__all__ = [
+    "IoRecord",
+    "IO_COLUMNS",
+    "io_to_table",
+    "DarshanGenerator",
+    "DarshanParams",
+]

@@ -1,0 +1,77 @@
+"""Darshan-style per-job I/O records.
+
+Darshan instruments application I/O and emits one profile per job (when
+the job links the instrumentation — coverage on Mira was partial, which
+the generator models).  The paper's I/O analysis compares the I/O
+behaviour of failed versus successful jobs; the record keeps the
+aggregate counters that comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.table import Table
+
+__all__ = ["IoRecord", "io_to_table", "IO_COLUMNS"]
+
+IO_COLUMNS = [
+    "job_id",
+    "user",
+    "bytes_read",
+    "bytes_written",
+    "files_accessed",
+    "io_time",
+    "runtime",
+]
+"""Canonical column order of an I/O log table."""
+
+
+@dataclass(frozen=True)
+class IoRecord:
+    """Aggregate I/O profile of one job."""
+
+    job_id: int
+    user: str
+    bytes_read: float
+    bytes_written: float
+    files_accessed: int
+    io_time: float
+    runtime: float
+
+    def __post_init__(self):
+        if min(self.bytes_read, self.bytes_written) < 0:
+            raise ValueError(f"job {self.job_id}: negative I/O volume")
+        if self.files_accessed < 0:
+            raise ValueError(f"job {self.job_id}: negative file count")
+        if not 0 <= self.io_time <= self.runtime + 1e-9:
+            raise ValueError(
+                f"job {self.job_id}: io_time {self.io_time} outside [0, runtime]"
+            )
+
+    @property
+    def total_bytes(self) -> float:
+        """Total transferred volume."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def io_intensity(self) -> float:
+        """Fraction of the runtime spent in I/O."""
+        return self.io_time / self.runtime if self.runtime > 0 else 0.0
+
+
+def io_to_table(records: Sequence[IoRecord]) -> Table:
+    """Pack I/O records into the canonical I/O table (by job_id)."""
+    ordered = sorted(records, key=lambda r: r.job_id)
+    return Table(
+        {
+            "job_id": [r.job_id for r in ordered],
+            "user": [r.user for r in ordered],
+            "bytes_read": [r.bytes_read for r in ordered],
+            "bytes_written": [r.bytes_written for r in ordered],
+            "files_accessed": [r.files_accessed for r in ordered],
+            "io_time": [r.io_time for r in ordered],
+            "runtime": [r.runtime for r in ordered],
+        }
+    )

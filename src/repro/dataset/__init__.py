@@ -1,0 +1,6 @@
+"""Joint four-log dataset: assembly, persistence, validation."""
+
+from .mira import MiraDataset
+from .validate import validate_dataset
+
+__all__ = ["MiraDataset", "validate_dataset"]

@@ -1,0 +1,252 @@
+"""The joint four-log Mira dataset.
+
+:class:`MiraDataset` bundles the four data sources the paper joins —
+RAS log, job-scheduling log, task log, I/O log — plus the synthesis
+ground truth (the incident list), and handles synthesis, persistence,
+and summary statistics.  Every analysis and experiment in the toolkit
+takes a ``MiraDataset`` as input, so a real exported Mira trace can be
+loaded from CSVs in place of a synthetic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.darshan import DarshanGenerator, DarshanParams, io_to_table
+from repro.errors import DatasetError
+from repro.ras import (
+    Incident,
+    RasGenerator,
+    RasGeneratorParams,
+    validate_ras_table,
+)
+from repro.scheduler import (
+    CobaltScheduler,
+    SchedulerParams,
+    WorkloadModel,
+    WorkloadParams,
+    jobs_to_table,
+    validate_job_table,
+)
+from repro.table import Table, read_csv, read_jsonl, write_csv, write_jsonl
+from repro.tasks import TaskLogGenerator, TaskLogParams, tasks_to_table
+
+__all__ = ["MiraDataset"]
+
+_LOG_FILES = {
+    "ras": "ras.csv",
+    "jobs": "jobs.csv",
+    "tasks": "tasks.csv",
+    "io": "io.csv",
+}
+
+
+@dataclass
+class MiraDataset:
+    """The four logs plus synthesis metadata."""
+
+    spec: MachineSpec
+    n_days: float
+    seed: int
+    ras: Table
+    jobs: Table
+    tasks: Table
+    io: Table
+    incidents: list[Incident] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # synthesis
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def synthesize(
+        cls,
+        n_days: float,
+        seed: int = 0,
+        spec: MachineSpec = MIRA,
+        workload_params: WorkloadParams | None = None,
+        ras_params: RasGeneratorParams | None = None,
+        scheduler_params: SchedulerParams | None = None,
+        task_params: TaskLogParams | None = None,
+        darshan_params: DarshanParams | None = None,
+    ) -> "MiraDataset":
+        """Generate a complete, internally consistent synthetic dataset.
+
+        Pipeline: RAS stream (with ground-truth incidents) → workload
+        intents → scheduler simulation (incidents kill overlapping
+        jobs) → task log → I/O log → RAS block annotation via the
+        event→job join.
+        """
+        ras_table, incidents = RasGenerator(
+            spec=spec, params=ras_params, seed=seed
+        ).generate(n_days)
+        intents = WorkloadModel(
+            spec=spec, params=workload_params, seed=seed + 1
+        ).generate(n_days)
+        result = CobaltScheduler(spec=spec, params=scheduler_params).run(
+            intents, incidents, horizon_days=n_days
+        )
+        jobs_table = jobs_to_table(result.jobs)
+        task_records = TaskLogGenerator(params=task_params, seed=seed + 2).generate(
+            result.jobs
+        )
+        io_records = DarshanGenerator(params=darshan_params, seed=seed + 3).generate(
+            result.jobs
+        )
+        ras_table = cls._annotate_blocks(ras_table, jobs_table, spec)
+        return cls(
+            spec=spec,
+            n_days=n_days,
+            seed=seed,
+            ras=ras_table,
+            jobs=jobs_table,
+            tasks=tasks_to_table(task_records),
+            io=io_to_table(io_records),
+            incidents=incidents,
+        )
+
+    @staticmethod
+    def _annotate_blocks(ras: Table, jobs: Table, spec: MachineSpec) -> Table:
+        """Fill the RAS ``block`` column from the event→job join."""
+        from repro.core.attribution import NO_JOB, map_events_to_jobs
+
+        if jobs.n_rows == 0:
+            return ras
+        mapped = map_events_to_jobs(ras, jobs, spec)
+        block_of_job = dict(zip(jobs["job_id"].tolist(), jobs["block"].tolist()))
+        blocks = np.array(
+            ["" if j == NO_JOB else block_of_job[int(j)] for j in mapped],
+            dtype=object,
+        )
+        return ras.with_column("block", blocks)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write the dataset as CSVs plus a JSONL metadata file."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for attr, filename in _LOG_FILES.items():
+            write_csv(getattr(self, attr), directory / filename)
+        meta = {
+            "spec_name": self.spec.name,
+            "rack_rows": self.spec.rack_rows,
+            "rack_columns": self.spec.rack_columns,
+            "midplanes_per_rack": self.spec.midplanes_per_rack,
+            "node_boards_per_midplane": self.spec.node_boards_per_midplane,
+            "nodes_per_node_board": self.spec.nodes_per_node_board,
+            "cores_per_node": self.spec.cores_per_node,
+            "n_days": self.n_days,
+            "seed": self.seed,
+        }
+        incident_rows = [
+            {
+                "incident_id": i.incident_id,
+                "timestamp": i.timestamp,
+                "msg_id": i.msg_id,
+                "midplane_index": i.midplane_index,
+                "n_events": i.n_events,
+                "had_precursor": i.had_precursor,
+            }
+            for i in self.incidents
+        ]
+        write_jsonl([meta], directory / "meta.jsonl")
+        write_jsonl(incident_rows, directory / "incidents.jsonl")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "MiraDataset":
+        """Load a dataset previously written by :meth:`save`.
+
+        Raises
+        ------
+        DatasetError
+            When a log file or the metadata is missing.
+        """
+        directory = Path(directory)
+        missing = [
+            f for f in list(_LOG_FILES.values()) + ["meta.jsonl"]
+            if not (directory / f).exists()
+        ]
+        if missing:
+            raise DatasetError(f"{directory}: missing dataset files {missing}")
+        meta = read_jsonl(directory / "meta.jsonl")[0]
+        spec = MachineSpec(
+            name=meta["spec_name"],
+            rack_rows=meta["rack_rows"],
+            rack_columns=meta["rack_columns"],
+            midplanes_per_rack=meta["midplanes_per_rack"],
+            node_boards_per_midplane=meta["node_boards_per_midplane"],
+            nodes_per_node_board=meta["nodes_per_node_board"],
+            cores_per_node=meta["cores_per_node"],
+        )
+        incidents = [
+            Incident(
+                incident_id=row["incident_id"],
+                timestamp=row["timestamp"],
+                msg_id=row["msg_id"],
+                midplane_index=row["midplane_index"],
+                n_events=row["n_events"],
+                had_precursor=row.get("had_precursor", False),
+            )
+            for row in read_jsonl(directory / "incidents.jsonl")
+        ] if (directory / "incidents.jsonl").exists() else []
+        tables = {
+            attr: read_csv(directory / filename)
+            for attr, filename in _LOG_FILES.items()
+        }
+        validate_ras_table(tables["ras"])
+        validate_job_table(tables["jobs"])
+        return cls(
+            spec=spec,
+            n_days=meta["n_days"],
+            seed=meta["seed"],
+            incidents=incidents,
+            **tables,
+        )
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        """Headline totals (the E01 overview row)."""
+        jobs = self.jobs
+        n_failed = int((jobs["exit_status"] != 0).sum()) if jobs.n_rows else 0
+        severity_counts = (
+            {
+                row["severity"]: row["count"]
+                for row in self.ras.value_counts("severity").to_rows()
+            }
+            if self.ras.n_rows
+            else {}
+        )
+        return {
+            "n_days": self.n_days,
+            "n_jobs": jobs.n_rows,
+            "n_failed_jobs": n_failed,
+            "failure_rate": n_failed / jobs.n_rows if jobs.n_rows else float("nan"),
+            "n_users": len(set(jobs["user"].tolist())) if jobs.n_rows else 0,
+            "n_projects": len(set(jobs["project"].tolist())) if jobs.n_rows else 0,
+            "total_core_hours": float(jobs["core_hours"].sum()) if jobs.n_rows else 0.0,
+            "n_tasks": self.tasks.n_rows,
+            "n_io_profiles": self.io.n_rows,
+            "n_ras_events": self.ras.n_rows,
+            "n_ras_info": severity_counts.get("INFO", 0),
+            "n_ras_warn": severity_counts.get("WARN", 0),
+            "n_ras_fatal": severity_counts.get("FATAL", 0),
+            "n_incidents": len(self.incidents),
+        }
+
+    def fatal_events(self) -> Table:
+        """The FATAL-severity slice of the RAS log."""
+        return self.ras.filter(self.ras["severity"] == "FATAL")
+
+    def failed_jobs(self) -> Table:
+        """The failed-job slice of the job log."""
+        return self.jobs.filter(self.jobs["exit_status"] != 0)

@@ -1,0 +1,139 @@
+"""Cross-log consistency validation.
+
+The paper's joint analysis is only as sound as the consistency of its
+four sources.  :func:`validate_dataset` checks the invariants the
+analyses rely on and raises :class:`~repro.errors.DatasetError` with a
+list of violations, or returns a per-check report when all pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+from .mira import MiraDataset
+
+__all__ = ["validate_dataset"]
+
+
+def _check_task_consistency(dataset: MiraDataset, problems: list[str]) -> None:
+    jobs = dataset.jobs
+    tasks = dataset.tasks
+    if tasks.n_rows == 0:
+        return
+    job_ids = set(jobs["job_id"].tolist())
+    orphan = [j for j in set(tasks["job_id"].tolist()) if j not in job_ids]
+    if orphan:
+        problems.append(f"tasks reference unknown jobs: {sorted(orphan)[:5]}")
+        return
+    joined = tasks.join(
+        jobs.select(["job_id", "start_time", "end_time", "n_tasks", "exit_status"]),
+        on="job_id",
+        suffix="_job",
+    )
+    slack = 1e-6
+    if (joined["start_time"] < joined["start_time_job"] - slack).any():
+        problems.append("some tasks start before their job")
+    if (joined["end_time"] > joined["end_time_job"] + slack).any():
+        problems.append("some tasks end after their job")
+    observed = tasks.group_by("job_id").size()
+    merged = observed.join(jobs.select(["job_id", "n_tasks"]), on="job_id")
+    if (merged["count"] > merged["n_tasks"]).any():
+        problems.append("some jobs logged more tasks than intended")
+
+
+def _check_io_consistency(dataset: MiraDataset, problems: list[str]) -> None:
+    io = dataset.io
+    if io.n_rows == 0:
+        return
+    job_ids = set(dataset.jobs["job_id"].tolist())
+    orphan = [j for j in set(io["job_id"].tolist()) if j not in job_ids]
+    if orphan:
+        problems.append(f"I/O records reference unknown jobs: {sorted(orphan)[:5]}")
+    if len(set(io["job_id"].tolist())) != io.n_rows:
+        problems.append("duplicate I/O profiles for one job")
+    if (io["io_time"] > io["runtime"] + 1e-6).any():
+        problems.append("I/O time exceeds runtime in some profiles")
+
+
+def _check_occupancy(dataset: MiraDataset, problems: list[str]) -> None:
+    """No two jobs may occupy a midplane at the same time."""
+    jobs = dataset.jobs
+    if jobs.n_rows == 0:
+        return
+    per_midplane: dict[int, list[tuple[float, float, int]]] = {}
+    for row in jobs.select(
+        ["job_id", "start_time", "end_time", "first_midplane", "n_midplanes"]
+    ).to_rows():
+        for midplane in range(
+            row["first_midplane"], row["first_midplane"] + row["n_midplanes"]
+        ):
+            per_midplane.setdefault(midplane, []).append(
+                (row["start_time"], row["end_time"], row["job_id"])
+            )
+    for midplane, intervals in per_midplane.items():
+        intervals.sort()
+        for (s1, e1, j1), (s2, e2, j2) in zip(intervals, intervals[1:]):
+            if s2 < e1 - 1e-9:
+                problems.append(
+                    f"jobs {j1} and {j2} overlap on midplane {midplane}"
+                )
+                return  # one witness is enough
+
+
+def _check_ras(dataset: MiraDataset, problems: list[str]) -> None:
+    ras = dataset.ras
+    if ras.n_rows == 0:
+        return
+    horizon = dataset.n_days * 86_400.0
+    # Burst tails may spill slightly past the horizon; cap the slack at
+    # one burst window.
+    if float(ras["timestamp"].max()) > horizon + 86_400.0:
+        problems.append("RAS events far beyond the dataset horizon")
+    blocks_in_jobs = set(dataset.jobs["block"].tolist()) | {""}
+    unknown_blocks = set(ras["block"].tolist()) - blocks_in_jobs
+    if unknown_blocks:
+        problems.append(f"RAS block names not in job log: {sorted(unknown_blocks)[:3]}")
+
+
+def _check_incidents(dataset: MiraDataset, problems: list[str]) -> None:
+    if not dataset.incidents:
+        return
+    n_fatal = int((dataset.ras["severity"] == "FATAL").sum())
+    expected = sum(i.n_events for i in dataset.incidents)
+    if n_fatal != expected:
+        problems.append(
+            f"FATAL event count {n_fatal} != incident ground truth {expected}"
+        )
+    n_midplanes = dataset.spec.n_midplanes
+    if any(not 0 <= i.midplane_index < n_midplanes for i in dataset.incidents):
+        problems.append("incident midplane index out of range")
+
+
+def validate_dataset(dataset: MiraDataset) -> dict[str, str]:
+    """Run all cross-log checks.
+
+    Returns a check-name → "ok" report on success.
+
+    Raises
+    ------
+    DatasetError
+        Listing every violated invariant.
+    """
+    checks = {
+        "task_consistency": _check_task_consistency,
+        "io_consistency": _check_io_consistency,
+        "occupancy": _check_occupancy,
+        "ras": _check_ras,
+        "incidents": _check_incidents,
+    }
+    problems: list[str] = []
+    report: dict[str, str] = {}
+    for name, check in checks.items():
+        before = len(problems)
+        check(dataset, problems)
+        report[name] = "ok" if len(problems) == before else "failed"
+    if problems:
+        raise DatasetError("; ".join(problems))
+    return report

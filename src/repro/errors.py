@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro toolkit.
+
+Every exception the public API raises deliberately derives from
+:class:`ReproError`, so callers can catch toolkit failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "LocationError",
+    "AllocationError",
+    "CatalogError",
+    "ParseError",
+    "DatasetError",
+    "FitError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class LocationError(ReproError):
+    """An invalid BG/Q location code or component path."""
+
+
+class AllocationError(ReproError):
+    """A partition request the machine cannot satisfy."""
+
+
+class CatalogError(ReproError):
+    """An unknown RAS message ID or malformed catalog entry."""
+
+
+class ParseError(ReproError):
+    """A log line or file that does not match the expected schema."""
+
+
+class DatasetError(ReproError):
+    """A cross-log inconsistency or missing dataset component."""
+
+
+class FitError(ReproError):
+    """A distribution fit that cannot be computed for the given sample."""

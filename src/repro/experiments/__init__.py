@@ -1,0 +1,48 @@
+"""Experiment suite: one module per reconstructed paper table/figure.
+
+Importing this package registers all experiments; run one with::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("e13", dataset)
+"""
+
+from . import (  # noqa: F401  (import for registration side effect)
+    e01_overview,
+    e02_exit_status,
+    e03_attribution,
+    e04_distributions,
+    e05_scale,
+    e06_corehours,
+    e07_users,
+    e08_structure,
+    e09_ras_breakdown,
+    e10_temporal,
+    e11_locality,
+    e12_filtering,
+    e13_mtti,
+    e14_ras_correlation,
+    e15_io,
+    e16_takeaways,
+    e17_lifetime,
+    e18_prediction,
+    e19_intervals,
+    e20_user_behavior,
+    e21_precursors,
+)
+from .base import ExperimentResult, all_experiments, get_experiment
+from .export import export_all, export_result, result_to_markdown
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+    "result_to_markdown",
+    "export_result",
+    "export_all",
+]
+
+
+def run_experiment(experiment_id: str, dataset, **params) -> ExperimentResult:
+    """Run one experiment by ID against a dataset."""
+    return get_experiment(experiment_id)(dataset, **params)

@@ -1,0 +1,79 @@
+"""Experiment framework: uniform result type and registry.
+
+Each experiment module exposes ``run(dataset, **params) ->
+ExperimentResult``; the registry maps experiment IDs (``e01`` ...
+``e16``) to those functions so the CLI and the benchmark harness can
+drive them generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.table import Table
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``tables`` holds the data series a figure would plot (or a table's
+    rows); ``metrics`` holds headline scalars; ``notes`` carries the
+    comparison against the paper's claim.
+    """
+
+    experiment_id: str
+    title: str
+    tables: Mapping[str, Table]
+    metrics: Mapping[str, float]
+    notes: str = ""
+
+    def to_text(self, max_rows: int = 25) -> str:
+        """Render the result for terminal output."""
+        lines = [f"== {self.experiment_id.upper()}: {self.title} =="]
+        if self.notes:
+            lines.append(self.notes)
+        if self.metrics:
+            lines.append("-- metrics --")
+            for key, value in self.metrics.items():
+                if isinstance(value, float):
+                    lines.append(f"  {key}: {value:.6g}")
+                else:
+                    lines.append(f"  {key}: {value}")
+        for name, table in self.tables.items():
+            lines.append(f"-- {name} ({table.n_rows} rows) --")
+            lines.append(table.to_text(max_rows=max_rows))
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, tuple[str, Callable]] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering an experiment ``run`` function."""
+
+    def decorator(func: Callable):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = (title, func)
+        return func
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Look up an experiment's run function by ID."""
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, str]:
+    """Mapping of experiment ID to title."""
+    return {eid: title for eid, (title, _) in sorted(_REGISTRY.items())}

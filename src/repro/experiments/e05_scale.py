@@ -1,0 +1,53 @@
+"""E05 — Failure rate versus job scale.
+
+Paper reference (abstract): job failures are correlated with job
+execution structure including *scale*.  The experiment computes the
+failure rate per allocation size on the node-count ladder and the
+rank correlation between size and the failure indicator.
+"""
+
+from __future__ import annotations
+
+from repro.core import failure_correlations, node_count_bins
+from repro.dataset import MiraDataset
+from repro.stats import spearman
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e05", "Failure rate vs job scale (allocation size)")
+def run(dataset: MiraDataset) -> ExperimentResult:
+    """Failure rate per node-count rung plus the scale correlation."""
+    jobs = dataset.jobs
+    bins = node_count_bins(jobs)
+    failed = (jobs["exit_status"] != 0).astype(float)
+    correlation = spearman(jobs["allocated_nodes"].astype(float), failed)
+    # Aggregate the size ladder into small (<=1024) and large (>=8192)
+    # groups: the topmost rungs individually hold too few jobs for a
+    # stable per-rung rate.
+    sizes = bins["allocated_nodes"]
+    small_mask = sizes <= 1024
+    large_mask = sizes >= 8192
+    small_rate = float(
+        bins["n_failed"][small_mask].sum() / max(bins["n_jobs"][small_mask].sum(), 1)
+    )
+    large_rate = float(
+        bins["n_failed"][large_mask].sum() / max(bins["n_jobs"][large_mask].sum(), 1)
+    )
+    return ExperimentResult(
+        experiment_id="e05",
+        title="Failure rate vs scale",
+        tables={"by_size": bins, "attribute_correlations": failure_correlations(jobs)},
+        metrics={
+            "spearman_size_vs_failure": correlation,
+            "rate_small_jobs": small_rate,
+            "rate_large_jobs": large_rate,
+            "large_over_small": large_rate / small_rate if small_rate else float("inf"),
+        },
+        notes=(
+            "Paper: failures correlate with scale. The series is the "
+            "failure-rate-vs-size curve a bar figure would plot."
+        ),
+    )

@@ -1,0 +1,52 @@
+"""E06 — Failure rate versus core-hours.
+
+Paper reference (abstract): job failures are correlated with
+core-hours.  Binning uses the *requested* core-hours (allocated nodes x
+cores x requested walltime): the job's magnitude as submitted.  Binning
+by charged core-hours would be confounded — failed jobs end early, so
+their charged core-hours are mechanically lower, reversing the sign.
+"""
+
+from __future__ import annotations
+
+from repro.core import failure_rate_by_bins
+from repro.core.characterize import wasted_core_hours_by_family
+from repro.dataset import MiraDataset
+from repro.stats import spearman
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e06", "Failure rate vs core-hours")
+def run(dataset: MiraDataset, n_bins: int = 8) -> ExperimentResult:
+    """Failure rate per requested-core-hour bin and wasted share."""
+    jobs = dataset.jobs
+    requested_ch = (
+        jobs["allocated_nodes"]
+        * dataset.spec.cores_per_node
+        * jobs["requested_walltime"]
+        / 3600.0
+    )
+    jobs = jobs.with_column("requested_core_hours", requested_ch)
+    bins = failure_rate_by_bins(jobs, "requested_core_hours", n_bins=n_bins)
+    failed_mask = jobs["exit_status"] != 0
+    wasted = float(jobs.filter(failed_mask)["core_hours"].sum())
+    total = float(jobs["core_hours"].sum())
+    correlation = spearman(requested_ch, failed_mask.astype(float))
+    waste = wasted_core_hours_by_family(jobs)
+    return ExperimentResult(
+        experiment_id="e06",
+        title="Failure rate vs core-hours",
+        tables={"by_corehours": bins, "waste_by_family": waste},
+        metrics={
+            "spearman_corehours_vs_failure": correlation,
+            "wasted_core_hours_billions": wasted / 1e9,
+            "wasted_share": wasted / total if total else float("nan"),
+        },
+        notes=(
+            "Paper: failures correlate with core-hours; failed capability "
+            "jobs waste disproportionate machine time."
+        ),
+    )

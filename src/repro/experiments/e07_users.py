@@ -1,0 +1,42 @@
+"""E07 — Failures by user and project.
+
+Paper reference (abstract): "job failures are correlated with multiple
+metrics and attributes, such as users/projects".  The experiment
+reports the top failing users/projects and concentration metrics
+(Gini, top-percentile shares) showing a few users own most failures.
+"""
+
+from __future__ import annotations
+
+from repro.core import failure_concentration, top_failing
+from repro.dataset import MiraDataset
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e07", "Failures by user and project (concentration)")
+def run(dataset: MiraDataset, top_k: int = 10) -> ExperimentResult:
+    """Top failing users/projects plus concentration metrics."""
+    jobs = dataset.jobs
+    users = top_failing(jobs, "user", k=top_k)
+    projects = top_failing(jobs, "project", k=top_k)
+    user_conc = failure_concentration(jobs, "user")
+    project_conc = failure_concentration(jobs, "project")
+    return ExperimentResult(
+        experiment_id="e07",
+        title="Failures by user/project",
+        tables={"top_users": users, "top_projects": projects},
+        metrics={
+            "user_gini": user_conc["gini"],
+            "user_top10pct_share": user_conc["top10pct_share"],
+            "project_gini": project_conc["gini"],
+            "project_top10pct_share": project_conc["top10pct_share"],
+            "top10_users_failure_share": float(users["failure_share"].sum()),
+        },
+        notes=(
+            "Paper: failures concentrate on few users/projects. Gini and "
+            "top-decile shares quantify the concentration."
+        ),
+    )

@@ -1,0 +1,41 @@
+"""E08 — Job execution structure (tasks per job) versus failures.
+
+Paper reference (abstract): failures correlate with "job execution
+structure (number of tasks, scale, and core-hours)".  The experiment
+bins jobs by intended task count, contrasts single- vs multi-task
+failure rates, and locates the failing task within ensembles.
+"""
+
+from __future__ import annotations
+
+from repro.core import failing_task_position, failure_rate_by_task_count
+from repro.core.characterize import walltime_accuracy
+from repro.dataset import MiraDataset
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e08", "Job execution structure: tasks per job vs failure")
+def run(dataset: MiraDataset) -> ExperimentResult:
+    """Failure rate per task-count bin plus failing-task positions."""
+    bins, ratio = failure_rate_by_task_count(dataset.jobs)
+    positions = failing_task_position(dataset.tasks)
+    return ExperimentResult(
+        experiment_id="e08",
+        title="Execution structure vs failure",
+        tables={
+            "task_bins": bins,
+            "failing_position": positions,
+            "walltime_accuracy": walltime_accuracy(dataset.jobs),
+        },
+        metrics={
+            "multi_over_single_rate": ratio,
+            "n_bins": bins.n_rows,
+        },
+        notes=(
+            "Paper: failure rate depends on the number of tasks a job "
+            "launches; ensembles abort part-way through."
+        ),
+    )

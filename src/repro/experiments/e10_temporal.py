@@ -1,0 +1,86 @@
+"""E10 — Temporal patterns of jobs and events.
+
+Paper reference: the long-horizon characterization figures — monthly
+volumes over the observation span, plus diurnal and weekly submission
+patterns.  The experiment emits the three time series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def _monthly(dataset: MiraDataset) -> Table:
+    month_days = 30.0
+    n_months = max(1, int(np.ceil(dataset.n_days / month_days)))
+    job_month = (dataset.jobs["submit_time"] / (month_days * SECONDS_PER_DAY)).astype(int)
+    event_month = (dataset.ras["timestamp"] / (month_days * SECONDS_PER_DAY)).astype(int)
+    fatal = dataset.fatal_events()
+    fatal_month = (fatal["timestamp"] / (month_days * SECONDS_PER_DAY)).astype(int)
+    return Table(
+        {
+            "month": list(range(n_months)),
+            "jobs": np.bincount(np.clip(job_month, 0, n_months - 1), minlength=n_months),
+            "events": np.bincount(np.clip(event_month, 0, n_months - 1), minlength=n_months),
+            "fatal_events": np.bincount(
+                np.clip(fatal_month, 0, n_months - 1), minlength=n_months
+            ),
+        }
+    )
+
+
+def _hourly(jobs: Table) -> Table:
+    hours = ((jobs["submit_time"] / 3600.0) % 24).astype(int)
+    return Table(
+        {"hour": list(range(24)), "submissions": np.bincount(hours, minlength=24)}
+    )
+
+
+def _weekday(jobs: Table) -> Table:
+    days = ((jobs["submit_time"] / SECONDS_PER_DAY).astype(int)) % 7
+    return Table(
+        {
+            "weekday": list(range(7)),
+            "submissions": np.bincount(days, minlength=7),
+        }
+    )
+
+
+@register("e10", "Temporal patterns: monthly, diurnal, weekly")
+def run(dataset: MiraDataset) -> ExperimentResult:
+    """Monthly/diurnal/weekly volume series."""
+    hourly = _hourly(dataset.jobs)
+    weekday = _weekday(dataset.jobs)
+    submissions = hourly["submissions"]
+    day = submissions[9:18].mean()
+    night = submissions[0:6].mean()
+    weekday_mean = weekday["submissions"][:5].mean()
+    weekend_mean = weekday["submissions"][5:].mean()
+    return ExperimentResult(
+        experiment_id="e10",
+        title="Temporal patterns",
+        tables={
+            "monthly": _monthly(dataset),
+            "hourly_submissions": hourly,
+            "weekday_submissions": weekday,
+        },
+        metrics={
+            "day_night_ratio": float(day / night) if night else float("inf"),
+            "weekday_weekend_ratio": (
+                float(weekday_mean / weekend_mean) if weekend_mean else float("inf")
+            ),
+        },
+        notes=(
+            "Paper: submissions follow human work cycles; event volumes "
+            "vary over the machine's life."
+        ),
+    )

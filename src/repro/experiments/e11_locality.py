@@ -1,0 +1,59 @@
+"""E11 — Spatial locality of fatal events.
+
+Paper reference (abstract): RAS events "have a strong locality
+feature".  The experiment emits the per-midplane fatal-count series
+(the heatmap data), the hot-midplane table, and concentration metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.floorplan import render_midplane_heatmap
+from repro.bgq.location import Location
+from repro.core import counts_by_midplane, hot_midplanes, locality_metrics
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e11", "Spatial locality of fatal events")
+def run(dataset: MiraDataset, top_k: int = 10) -> ExperimentResult:
+    """Per-midplane fatal counts plus concentration metrics."""
+    fatal = dataset.fatal_events()
+    counts = counts_by_midplane(fatal, dataset.spec)
+    metrics = locality_metrics(counts)
+    heatmap = Table(
+        {
+            "midplane": [
+                Location.from_midplane_index(i, dataset.spec).code
+                for i in range(dataset.spec.n_midplanes)
+            ],
+            "fatal_events": counts,
+        }
+    )
+    return ExperimentResult(
+        experiment_id="e11",
+        title="Fatal-event locality",
+        tables={
+            "heatmap": heatmap,
+            "hot_midplanes": hot_midplanes(fatal, dataset.spec, k=top_k),
+        },
+        metrics={
+            "gini": metrics["gini"],
+            "top1_share": metrics["top1_share"],
+            "top10pct_share": metrics["top10pct_share"],
+            "normalized_entropy": metrics["normalized_entropy"],
+            "n_midplanes_hit": metrics["n_locations_hit"],
+        },
+        notes=(
+            "Paper: strong locality — a small set of midplanes hosts a "
+            "disproportionate share of fatal events.\n"
+            + render_midplane_heatmap(
+                counts, dataset.spec, title="machine floor (FATAL events):"
+            )
+        ),
+    )

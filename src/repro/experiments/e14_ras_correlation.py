@@ -1,0 +1,41 @@
+"""E14 — Correlation of RAS exposure with users and core-hours.
+
+Paper reference (abstract): "The RAS events affecting job executions
+exhibit a high correlation with users and core-hours."  The experiment
+maps every RAS event to the job (and hence user) it affected and
+correlates per-user event exposure with per-user core-hours.
+"""
+
+from __future__ import annotations
+
+from repro.core import events_per_user
+from repro.dataset import MiraDataset
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e14", "RAS exposure vs users and core-hours")
+def run(dataset: MiraDataset, top_k: int = 10) -> ExperimentResult:
+    """Per-user RAS exposure and its correlation with core-hours."""
+    per_user, correlations = events_per_user(
+        dataset.ras, dataset.jobs, dataset.spec
+    )
+    exposed = per_user.filter(per_user["n_events"] > 0)
+    top = per_user.sort_by("n_events", reverse=True).head(top_k)
+    return ExperimentResult(
+        experiment_id="e14",
+        title="RAS exposure vs users/core-hours",
+        tables={"top_exposed_users": top},
+        metrics={
+            "pearson": correlations["pearson"],
+            "spearman": correlations["spearman"],
+            "n_users": per_user.n_rows,
+            "n_users_exposed": exposed.n_rows,
+        },
+        notes=(
+            "Paper: users consuming more core-hours encounter more RAS "
+            "events — exposure is volume-driven, not user-behaviour-driven."
+        ),
+    )

@@ -1,0 +1,48 @@
+"""E15 — I/O behaviour of failed versus successful jobs.
+
+Paper reference (abstract): the joint analysis includes "the I/O
+behavior log".  The experiment contrasts the Darshan-style profiles of
+failed and successful jobs and reports the volume-vs-core-hours curve.
+"""
+
+from __future__ import annotations
+
+from repro.core import io_by_outcome, io_volume_vs_corehours
+from repro.core.io_behavior import io_throughput_by_scale
+from repro.dataset import MiraDataset
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e15", "I/O behaviour: failed vs successful jobs")
+def run(dataset: MiraDataset, n_bins: int = 6) -> ExperimentResult:
+    """Failed-vs-success I/O contrast plus the volume scaling curve."""
+    by_outcome, ks = io_by_outcome(dataset.io, dataset.jobs)
+    scaling = io_volume_vs_corehours(dataset.io, dataset.jobs, n_bins=n_bins)
+    throughput = io_throughput_by_scale(dataset.io, dataset.jobs)
+    rows = {r["outcome"]: r for r in by_outcome.to_rows()}
+    contrast = (
+        rows["success"]["median_write_per_ch"]
+        / max(rows["failed"]["median_write_per_ch"], 1e-9)
+    )
+    return ExperimentResult(
+        experiment_id="e15",
+        title="I/O behaviour by outcome",
+        tables={
+            "by_outcome": by_outcome,
+            "volume_vs_corehours": scaling,
+            "throughput_by_scale": throughput,
+        },
+        metrics={
+            "write_per_ch_success_over_failed": contrast,
+            "ks_statistic": ks["ks_statistic"],
+            "ks_p_value": ks["p_value"],
+            "coverage": dataset.io.n_rows / max(dataset.jobs.n_rows, 1),
+        },
+        notes=(
+            "Paper: failed jobs leave less output behind per unit of "
+            "compute — they die before writing results."
+        ),
+    )

@@ -1,0 +1,33 @@
+"""E16 — The paper's 22 takeaways, recomputed end-to-end.
+
+Paper reference (abstract): "We present 22 valuable takeaways based on
+our in-depth analysis."  The experiment evaluates all 22 reconstructed
+takeaways against the dataset and reports how many hold.
+"""
+
+from __future__ import annotations
+
+from repro.core.takeaways import compute_takeaways, takeaways_to_table
+from repro.dataset import MiraDataset
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e16", "The 22 takeaways, recomputed")
+def run(dataset: MiraDataset) -> ExperimentResult:
+    """Evaluate all takeaways and summarize the pass rate."""
+    takeaways = compute_takeaways(dataset)
+    n_hold = sum(t.holds for t in takeaways)
+    return ExperimentResult(
+        experiment_id="e16",
+        title="22 takeaways",
+        tables={"takeaways": takeaways_to_table(takeaways)},
+        metrics={
+            "n_takeaways": len(takeaways),
+            "n_holding": n_hold,
+            "hold_rate": n_hold / len(takeaways),
+        },
+        notes="Each takeaway is a checkable reconstruction of a paper claim.",
+    )

@@ -1,0 +1,50 @@
+"""E20 (extension) — user behavioral dynamics behind the failures.
+
+With 99.4 % of failures attributed to user behaviour, the natural
+follow-up is how that behaviour unfolds: are failures bursty
+(debug-resubmit cycles and persistent high-failure users), and do users
+improve with experience?  On synthetic data the repetition factor
+measures pure user heterogeneity (the workload has no within-user
+autocorrelation); on a real trace the same code additionally captures
+genuine resubmit streaks.
+"""
+
+from __future__ import annotations
+
+from repro.core.userstudy import failure_repetition, failure_streaks, learning_curve
+from repro.dataset import MiraDataset
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e20", "User behaviour: failure repetition and learning")
+def run(dataset: MiraDataset) -> ExperimentResult:
+    """Repetition factor, streak distribution, and learning curve."""
+    repetition = failure_repetition(dataset.jobs)
+    streaks = failure_streaks(dataset.jobs)
+    curve = learning_curve(dataset.jobs)
+    populated = curve.filter(curve["n_jobs"] > 0)
+    learning_delta = (
+        float(populated["failure_rate"][-1] - populated["failure_rate"][0])
+        if populated.n_rows >= 2
+        else float("nan")
+    )
+    return ExperimentResult(
+        experiment_id="e20",
+        title="User failure dynamics",
+        tables={"streaks": streaks, "learning_curve": curve},
+        metrics={
+            "p_fail_after_fail": repetition["p_fail_after_fail"],
+            "p_fail_after_success": repetition["p_fail_after_success"],
+            "repetition_factor": repetition["repetition_factor"],
+            "learning_delta": learning_delta,
+        },
+        notes=(
+            "A repetition factor >> 1 means failures cluster on a job's "
+            "predecessor failing — user heterogeneity plus (on real data) "
+            "debug-resubmit cycles. learning_delta < 0 would mean users "
+            "improve with experience."
+        ),
+    )

@@ -1,0 +1,64 @@
+"""E21 (extension) — WARN precursors of fatal events.
+
+Measures whether fatal incidents announce themselves: the fraction of
+filtered fatal clusters preceded by a WARN at the same midplane
+(coverage), the lead-time distribution, and the precision/recall of the
+naive "WARN ⇒ fatal soon" alarm.  The generator plants precursors for
+half the incidents by design, so coverage well above the chance level —
+and calibrated lead times — validate the chain end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import default_pipeline
+from repro.core.precursors import alarm_quality, precursor_coverage
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e21", "WARN precursors of fatal events")
+def run(dataset: MiraDataset, lookback_seconds: float = 7200.0) -> ExperimentResult:
+    """Coverage, lead times, and alarm quality of WARN precursors."""
+    warns = dataset.ras.filter(dataset.ras["severity"] == "WARN")
+    clusters = default_pipeline(spec=dataset.spec).run(dataset.fatal_events()).clusters
+    coverage, leads = precursor_coverage(
+        warns, clusters, lookback_seconds, spec=dataset.spec
+    )
+    quality = alarm_quality(warns, clusters, lookback_seconds, spec=dataset.spec)
+    truth_rate = (
+        float(np.mean([i.had_precursor for i in dataset.incidents]))
+        if dataset.incidents
+        else float("nan")
+    )
+    if leads.size:
+        edges = np.array([0, 600, 1800, 3600, 7200, np.inf])
+        labels = ["<10min", "10-30min", "30-60min", "1-2h", ">2h"]
+        indices = np.clip(np.digitize(leads, edges) - 1, 0, 4)
+        histogram = Table(
+            {"lead_time": labels, "count": np.bincount(indices, minlength=5)}
+        )
+    else:
+        histogram = Table({"lead_time": [], "count": []})
+    return ExperimentResult(
+        experiment_id="e21",
+        title="WARN precursors",
+        tables={"lead_time_histogram": histogram},
+        metrics={
+            "coverage": coverage["coverage"],
+            "ground_truth_precursor_rate": truth_rate,
+            "median_lead_seconds": coverage["median_lead_seconds"],
+            "alarm_precision": quality["precision"],
+            "alarm_recall": quality["recall"],
+        },
+        notes=(
+            "Coverage above the planted ground-truth rate includes chance "
+            "coincidences with background WARN traffic; precision shows why "
+            "naive WARN alarms overwhelm operators."
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Exporting experiment results to files.
+
+Turns :class:`~repro.experiments.base.ExperimentResult` objects into a
+directory of artifacts: a Markdown summary per experiment plus one CSV
+per table — the formats downstream pipelines (papers, dashboards)
+actually ingest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.table import Table, write_csv
+
+from .base import ExperimentResult
+
+__all__ = ["result_to_markdown", "export_result", "export_all"]
+
+
+def _markdown_table(table: Table, max_rows: int = 50) -> str:
+    names = table.column_names
+    if not names:
+        return "*(empty table)*"
+    lines = [
+        "| " + " | ".join(names) + " |",
+        "| " + " | ".join("---" for _ in names) + " |",
+    ]
+    for row in table.head(max_rows).to_rows():
+        cells = [
+            f"{value:.6g}" if isinstance(value, float) else str(value)
+            for value in row.values()
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    if table.n_rows > max_rows:
+        lines.append(f"*… {table.n_rows - max_rows} more rows*")
+    return "\n".join(lines)
+
+
+def result_to_markdown(result: ExperimentResult, max_rows: int = 50) -> str:
+    """Render one result as a Markdown document."""
+    parts = [f"# {result.experiment_id.upper()} — {result.title}", ""]
+    if result.notes:
+        parts += [result.notes, ""]
+    if result.metrics:
+        parts.append("## Metrics")
+        parts.append("")
+        parts.append("| metric | value |")
+        parts.append("| --- | --- |")
+        for key, value in result.metrics.items():
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            parts.append(f"| {key} | {rendered} |")
+        parts.append("")
+    for name, table in result.tables.items():
+        parts.append(f"## {name}")
+        parts.append("")
+        parts.append(_markdown_table(table, max_rows))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write ``<id>.md`` plus ``<id>_<table>.csv`` files; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    md_path = directory / f"{result.experiment_id}.md"
+    md_path.write_text(result_to_markdown(result))
+    written.append(md_path)
+    for name, table in result.tables.items():
+        csv_path = directory / f"{result.experiment_id}_{name}.csv"
+        write_csv(table, csv_path)
+        written.append(csv_path)
+    return written
+
+
+def export_all(
+    dataset, directory: str | Path, experiment_ids: list[str] | None = None
+) -> list[Path]:
+    """Run experiments (all by default) and export each; returns paths."""
+    from . import all_experiments, run_experiment
+
+    from repro.errors import ReproError
+
+    ids = experiment_ids if experiment_ids is not None else list(all_experiments())
+    written: list[Path] = []
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, dataset)
+        except (ReproError, ValueError):
+            # Experiments starved by a small trace are skipped; the
+            # report path records the reason, the export simply omits it.
+            continue
+        written.extend(export_result(result, directory))
+    return written

@@ -1,0 +1,34 @@
+"""RAS log model: severities, message catalog, events, generator, parser."""
+
+from .catalog import Catalog, CatalogEntry, default_catalog
+from .events import (
+    RAS_COLUMNS,
+    RasEvent,
+    events_to_table,
+    table_to_events,
+    validate_against_catalog,
+)
+from .generator import Incident, RasGenerator, RasGeneratorParams
+from .parser import load_ras_log, validate_ras_table
+from .replay import ClosedCluster, OnlineSimilarityFilter, replay
+from .severity import Severity
+
+__all__ = [
+    "Severity",
+    "Catalog",
+    "CatalogEntry",
+    "default_catalog",
+    "RasEvent",
+    "RAS_COLUMNS",
+    "events_to_table",
+    "table_to_events",
+    "validate_against_catalog",
+    "RasGenerator",
+    "RasGeneratorParams",
+    "Incident",
+    "load_ras_log",
+    "validate_ras_table",
+    "replay",
+    "OnlineSimilarityFilter",
+    "ClosedCluster",
+]

@@ -1,0 +1,251 @@
+"""RAS message-ID catalog.
+
+Every BG/Q RAS event carries an eight-hex-digit message ID that keys
+into a control-system catalog defining the event's component, category,
+severity and message template.  The paper's similarity-based filtering
+and per-category breakdowns all pivot on this catalog structure.
+
+:func:`default_catalog` returns a Mira-flavoured catalog whose ID
+ranges, component mix and severity proportions follow the published
+BG/Q RAS book conventions (CNK in 0001xxxx, firmware in 0002xxxx,
+etc.).  The message *templates* matter to the reproduction: similarity
+filtering compares rendered messages, so templates contain both fixed
+vocabulary (shared by duplicates) and variable payload slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.bgq.components import Category, Component
+from repro.bgq.location import Level
+from repro.errors import CatalogError
+
+from .severity import Severity
+
+__all__ = ["CatalogEntry", "Catalog", "default_catalog"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Static definition of one RAS message type."""
+
+    msg_id: str
+    component: Component
+    category: Category
+    severity: Severity
+    template: str
+    weight: float = 1.0
+    interrupts_jobs: bool = False
+
+    def __post_init__(self):
+        if len(self.msg_id) != 8 or any(c not in "0123456789ABCDEF" for c in self.msg_id):
+            raise CatalogError(f"message id {self.msg_id!r} must be 8 hex digits")
+        if "{detail}" not in self.template:
+            raise CatalogError(f"template for {self.msg_id} lacks a {{detail}} slot")
+        if self.weight <= 0:
+            raise CatalogError(f"weight for {self.msg_id} must be positive")
+        if self.interrupts_jobs and self.severity is not Severity.FATAL:
+            raise CatalogError(
+                f"{self.msg_id}: only FATAL messages can interrupt jobs"
+            )
+
+    def render(self, detail: str) -> str:
+        """Render the message text with a variable payload."""
+        return self.template.format(detail=detail)
+
+
+class Catalog:
+    """An immutable collection of catalog entries, indexed by message ID."""
+
+    def __init__(self, entries: Iterable[CatalogEntry]):
+        self._entries: dict[str, CatalogEntry] = {}
+        for entry in entries:
+            if entry.msg_id in self._entries:
+                raise CatalogError(f"duplicate message id {entry.msg_id}")
+            self._entries[entry.msg_id] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, msg_id: str) -> bool:
+        return msg_id in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def lookup(self, msg_id: str) -> CatalogEntry:
+        """Return the entry for ``msg_id``.
+
+        Raises
+        ------
+        CatalogError
+            For IDs not in the catalog.
+        """
+        try:
+            return self._entries[msg_id]
+        except KeyError:
+            raise CatalogError(f"unknown RAS message id {msg_id!r}") from None
+
+    def by_severity(self, severity: Severity) -> list[CatalogEntry]:
+        """All entries of one severity, in catalog order."""
+        return [e for e in self._entries.values() if e.severity is severity]
+
+    def by_component(self, component: Component) -> list[CatalogEntry]:
+        """All entries raised by one component."""
+        return [e for e in self._entries.values() if e.component is component]
+
+    def by_category(self, category: Category) -> list[CatalogEntry]:
+        """All entries concerning one hardware/software category."""
+        return [e for e in self._entries.values() if e.category is category]
+
+    def interrupting_ids(self) -> list[str]:
+        """Message IDs whose events can terminate running jobs."""
+        return [e.msg_id for e in self._entries.values() if e.interrupts_jobs]
+
+
+def _entry(
+    msg_id: str,
+    component: Component,
+    category: Category,
+    severity: Severity,
+    template: str,
+    weight: float = 1.0,
+    interrupts: bool = False,
+) -> CatalogEntry:
+    return CatalogEntry(
+        msg_id=msg_id,
+        component=component,
+        category=category,
+        severity=severity,
+        template=template,
+        weight=weight,
+        interrupts_jobs=interrupts,
+    )
+
+
+def default_catalog() -> Catalog:
+    """The Mira-flavoured default catalog (see module docstring)."""
+    C, G, S = Component, Category, Severity
+    entries = [
+        # ---- CNK: compute node kernel (0001xxxx) -----------------------
+        _entry("00010001", C.CNK, G.SOFTWARE, S.INFO,
+               "CNK job start: {detail}", 40.0),
+        _entry("00010002", C.CNK, G.SOFTWARE, S.INFO,
+               "CNK job exit: {detail}", 40.0),
+        _entry("00010003", C.CNK, G.JOB, S.WARN,
+               "application exited abnormally with {detail}", 8.0),
+        _entry("00010004", C.CNK, G.DDR, S.WARN,
+               "correctable DDR error count threshold {detail}", 6.0),
+        _entry("00010005", C.CNK, G.PROCESSOR, S.FATAL,
+               "unrecoverable machine check in core {detail}", 0.6, interrupts=True),
+        _entry("00010006", C.CNK, G.DDR, S.FATAL,
+               "uncorrectable DDR memory error at {detail}", 1.0, interrupts=True),
+        _entry("00010007", C.CNK, G.SOFTWARE, S.FATAL,
+               "kernel internal assertion failed: {detail}", 0.4, interrupts=True),
+        _entry("00010008", C.CNK, G.JOB, S.INFO,
+               "application stdout summary {detail}", 25.0),
+        _entry("00010009", C.CNK, G.DDR, S.INFO,
+               "DDR correctable error scrubbed {detail}", 18.0),
+        _entry("0001000A", C.CNK, G.PROCESSOR, S.WARN,
+               "recoverable machine check, thread resumed {detail}", 3.0),
+        _entry("0001000B", C.CNK, G.SOFTWARE, S.WARN,
+               "kernel futex queue depth warning {detail}", 1.5),
+        # ---- FIRMWARE (0002xxxx) ---------------------------------------
+        _entry("00020001", C.FIRMWARE, G.DDR, S.INFO,
+               "DDR scrub cycle completed {detail}", 20.0),
+        _entry("00020002", C.FIRMWARE, G.PROCESSOR, S.WARN,
+               "processor temperature above nominal: {detail}", 4.0),
+        _entry("00020003", C.FIRMWARE, G.TORUS, S.WARN,
+               "torus link retraining on dimension {detail}", 5.0),
+        _entry("00020004", C.FIRMWARE, G.TORUS, S.FATAL,
+               "torus link failure, wrap of dimension {detail}", 0.7, interrupts=True),
+        _entry("00020005", C.FIRMWARE, G.DDR, S.FATAL,
+               "DDR initialization failure on controller {detail}", 0.5, interrupts=True),
+        _entry("00020006", C.FIRMWARE, G.PROCESSOR, S.INFO,
+               "core frequency scaling event {detail}", 9.0),
+        _entry("00020007", C.FIRMWARE, G.TORUS, S.INFO,
+               "torus sender credit telemetry {detail}", 11.0),
+        _entry("00020008", C.FIRMWARE, G.PROCESSOR, S.FATAL,
+               "processor parity error unrecoverable {detail}", 0.3, interrupts=True),
+        # ---- BAREMETAL (0003xxxx) --------------------------------------
+        _entry("00030001", C.BAREMETAL, G.PCI, S.WARN,
+               "PCIe correctable error burst {detail}", 3.0),
+        _entry("00030002", C.BAREMETAL, G.NODE_BOARD, S.FATAL,
+               "node board voltage fault on rail {detail}", 0.5, interrupts=True),
+        _entry("00030003", C.BAREMETAL, G.PCI, S.FATAL,
+               "PCIe fatal uncorrectable error {detail}", 0.3, interrupts=True),
+        _entry("00030004", C.BAREMETAL, G.NODE_BOARD, S.INFO,
+               "node board sensor sweep {detail}", 14.0),
+        _entry("00030005", C.BAREMETAL, G.NODE_BOARD, S.WARN,
+               "node board temperature gradient high {detail}", 2.0),
+        # ---- MC: machine controller (0004xxxx) -------------------------
+        _entry("00040001", C.MC, G.BULK_POWER, S.INFO,
+               "bulk power module telemetry {detail}", 15.0),
+        _entry("00040002", C.MC, G.BULK_POWER, S.WARN,
+               "bulk power module output deviation {detail}", 3.0),
+        _entry("00040003", C.MC, G.BULK_POWER, S.FATAL,
+               "bulk power module failure {detail}", 0.4, interrupts=True),
+        _entry("00040004", C.MC, G.COOLANT, S.WARN,
+               "coolant flow below threshold {detail}", 2.0),
+        _entry("00040005", C.MC, G.COOLANT, S.FATAL,
+               "coolant monitor emergency stop {detail}", 0.2, interrupts=True),
+        _entry("00040006", C.MC, G.CLOCK, S.FATAL,
+               "clock card signal loss {detail}", 0.15, interrupts=True),
+        _entry("00040007", C.MC, G.SERVICE_CARD, S.WARN,
+               "service card communication retry {detail}", 4.0),
+        _entry("00040008", C.MC, G.COOLANT, S.INFO,
+               "coolant temperature telemetry {detail}", 13.0),
+        _entry("00040009", C.MC, G.CLOCK, S.INFO,
+               "clock card heartbeat {detail}", 10.0),
+        _entry("0004000A", C.MC, G.SERVICE_CARD, S.FATAL,
+               "service card failure, midplane unreachable {detail}", 0.25, interrupts=True),
+        # ---- DIAGS (0005xxxx) -------------------------------------------
+        _entry("00050001", C.DIAGS, G.DDR, S.INFO,
+               "memory diagnostic pass {detail}", 10.0),
+        _entry("00050002", C.DIAGS, G.TORUS, S.INFO,
+               "torus diagnostic pass {detail}", 8.0),
+        _entry("00050003", C.DIAGS, G.OPTICS, S.WARN,
+               "optical module power margin low {detail}", 2.5),
+        # ---- CTRLNET (0006xxxx) ------------------------------------------
+        _entry("00060001", C.CTRLNET, G.OPTICS, S.WARN,
+               "control network packet retransmit {detail}", 5.0),
+        _entry("00060002", C.CTRLNET, G.OPTICS, S.FATAL,
+               "optical link permanent failure {detail}", 0.5, interrupts=True),
+        _entry("00060003", C.CTRLNET, G.CLOCK, S.WARN,
+               "clock drift detected {detail}", 2.0),
+        # ---- MUDM (0007xxxx) ---------------------------------------------
+        _entry("00070001", C.MUDM, G.TORUS, S.WARN,
+               "messaging unit send queue stall {detail}", 6.0),
+        _entry("00070002", C.MUDM, G.TORUS, S.FATAL,
+               "messaging unit ECC uncorrectable {detail}", 0.4, interrupts=True),
+        _entry("00070003", C.MUDM, G.OPTICS, S.INFO,
+               "link quality telemetry {detail}", 12.0),
+        # ---- MMCS: control system (0008xxxx) -----------------------------
+        _entry("00080001", C.MMCS, G.JOB, S.INFO,
+               "block boot initiated {detail}", 30.0),
+        _entry("00080002", C.MMCS, G.JOB, S.INFO,
+               "block freed {detail}", 30.0),
+        _entry("00080003", C.MMCS, G.JOB, S.WARN,
+               "block boot retry {detail}", 3.0),
+        _entry("00080004", C.MMCS, G.JOB, S.FATAL,
+               "block went into error state during job {detail}", 0.6, interrupts=True),
+        _entry("00080005", C.MMCS, G.SOFTWARE, S.FATAL,
+               "control system lost contact with midplane {detail}", 0.3, interrupts=True),
+        _entry("00080006", C.MMCS, G.NODE_BOARD, S.WARN,
+               "node board status query timeout {detail}", 2.0),
+        _entry("00080007", C.MMCS, G.JOB, S.INFO,
+               "job history record archived {detail}", 16.0),
+        _entry("00080008", C.MMCS, G.SOFTWARE, S.WARN,
+               "database transaction retry in control system {detail}", 1.5),
+        _entry("00050004", C.DIAGS, G.PROCESSOR, S.INFO,
+               "processor diagnostic pass {detail}", 7.0),
+        _entry("00050005", C.DIAGS, G.NODE_BOARD, S.WARN,
+               "diagnostic detected marginal component {detail}", 1.0),
+        _entry("00060004", C.CTRLNET, G.OPTICS, S.INFO,
+               "control network link telemetry {detail}", 9.0),
+        _entry("00070004", C.MUDM, G.TORUS, S.WARN,
+               "messaging unit receive FIFO backpressure {detail}", 3.5),
+    ]
+    return Catalog(entries)

@@ -1,0 +1,130 @@
+"""RAS event records and their tabular form.
+
+A :class:`RasEvent` is one log line: a timestamped, located instance of
+a catalog message.  Events convert losslessly to/from the toolkit's
+:class:`~repro.table.Table` so the analysis layer can stay columnar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bgq.components import Category, Component
+from repro.table import Table
+
+from .catalog import Catalog
+from .severity import Severity
+
+__all__ = ["RasEvent", "events_to_table", "table_to_events", "RAS_COLUMNS"]
+
+RAS_COLUMNS = [
+    "record_id",
+    "timestamp",
+    "msg_id",
+    "severity",
+    "component",
+    "category",
+    "location",
+    "message",
+    "block",
+]
+"""Canonical column order of a RAS log table."""
+
+
+@dataclass(frozen=True)
+class RasEvent:
+    """One RAS log record.
+
+    ``timestamp`` is seconds since the observation epoch.  ``block`` is
+    the control-system block name the event was associated with, or the
+    empty string for events outside any booted block.
+    """
+
+    record_id: int
+    timestamp: float
+    msg_id: str
+    severity: Severity
+    component: Component
+    category: Category
+    location: str
+    message: str
+    block: str = ""
+
+    def __post_init__(self):
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp {self.timestamp}")
+
+    @property
+    def is_fatal(self) -> bool:
+        """True for FATAL-severity events."""
+        return self.severity is Severity.FATAL
+
+
+def events_to_table(events: Sequence[RasEvent]) -> Table:
+    """Pack events into the canonical RAS table (sorted by timestamp)."""
+    ordered = sorted(events, key=lambda e: (e.timestamp, e.record_id))
+    return Table(
+        {
+            "record_id": [e.record_id for e in ordered],
+            "timestamp": [float(e.timestamp) for e in ordered],
+            "msg_id": [e.msg_id for e in ordered],
+            "severity": [e.severity.value for e in ordered],
+            "component": [e.component.value for e in ordered],
+            "category": [e.category.value for e in ordered],
+            "location": [e.location for e in ordered],
+            "message": [e.message for e in ordered],
+            "block": [e.block for e in ordered],
+        }
+    )
+
+
+def table_to_events(table: Table) -> list[RasEvent]:
+    """Unpack a RAS table back into event objects.
+
+    Raises
+    ------
+    KeyError
+        If a canonical column is missing.
+    """
+    for column in RAS_COLUMNS:
+        if column not in table:
+            raise KeyError(f"RAS table missing column {column!r}")
+    return [
+        RasEvent(
+            record_id=row["record_id"],
+            timestamp=row["timestamp"],
+            msg_id=row["msg_id"],
+            severity=Severity.parse(row["severity"]),
+            component=Component(row["component"]),
+            category=Category(row["category"]),
+            location=row["location"],
+            message=row["message"],
+            block=row["block"],
+        )
+        for row in table.to_rows()
+    ]
+
+
+def validate_against_catalog(events: Iterable[RasEvent], catalog: Catalog) -> None:
+    """Check that every event instantiates its catalog entry faithfully.
+
+    Raises
+    ------
+    repro.errors.CatalogError
+        On an unknown message ID or a severity/component mismatch.
+    """
+    from repro.errors import CatalogError
+
+    for event in events:
+        entry = catalog.lookup(event.msg_id)
+        if entry.severity is not event.severity:
+            raise CatalogError(
+                f"event {event.record_id}: severity {event.severity.value} "
+                f"!= catalog {entry.severity.value} for {event.msg_id}"
+            )
+        if entry.component is not event.component:
+            raise CatalogError(
+                f"event {event.record_id}: component {event.component.value} "
+                f"!= catalog {entry.component.value} for {event.msg_id}"
+            )

@@ -1,0 +1,58 @@
+"""Parsing and schema validation of on-disk RAS logs.
+
+A RAS log is a CSV with the canonical columns of
+:data:`repro.ras.events.RAS_COLUMNS`.  ``load_ras_log`` reads and
+validates one, so a real (exported) Mira RAS CSV can replace the
+synthetic stream without touching the analysis layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.table import Table, read_csv
+
+from .catalog import Catalog
+from .events import RAS_COLUMNS
+from .severity import Severity
+
+__all__ = ["load_ras_log", "validate_ras_table"]
+
+
+def validate_ras_table(table: Table, catalog: Catalog | None = None) -> Table:
+    """Validate schema and value domains of a RAS table; returns it.
+
+    Raises
+    ------
+    ParseError
+        On missing columns, unknown severities, unsorted timestamps, or
+        (when a catalog is given) unknown message IDs.
+    """
+    missing = [c for c in RAS_COLUMNS if c not in table]
+    if missing:
+        raise ParseError(f"RAS table missing columns {missing}")
+    severities = set(table.unique("severity")) if table.n_rows else set()
+    valid = {s.value for s in Severity}
+    unknown = severities - valid
+    if unknown:
+        raise ParseError(f"unknown severities in RAS table: {sorted(unknown)}")
+    if table.n_rows:
+        timestamps = table["timestamp"]
+        if (timestamps[1:] < timestamps[:-1]).any():
+            raise ParseError("RAS table timestamps are not sorted")
+        if float(timestamps[0]) < 0:
+            raise ParseError("RAS table has negative timestamps")
+    if catalog is not None and table.n_rows:
+        unknown_ids = [m for m in set(table.unique("msg_id")) if m not in catalog]
+        if unknown_ids:
+            raise ParseError(f"unknown RAS message ids: {sorted(unknown_ids)[:5]}")
+    return table
+
+
+def load_ras_log(path: str | Path, catalog: Catalog | None = None) -> Table:
+    """Read and validate a RAS CSV log."""
+    table = read_csv(path)
+    if table.n_rows == 0 and not table.column_names:
+        raise ParseError(f"{path}: empty RAS log")
+    return validate_ras_table(table, catalog)

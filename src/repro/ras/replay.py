@@ -1,0 +1,159 @@
+"""Streaming replay and online event filtering.
+
+The batch filters in :mod:`repro.core.filtering` need the whole log in
+memory; an operations team watching the live RAS firehose needs the
+same similarity clustering *online*.  :class:`OnlineSimilarityFilter`
+accepts events one at a time (in timestamp order) and emits each
+cluster as soon as its window closes — its output is exactly the batch
+:func:`~repro.core.filtering.similarity.similarity_filter` result, a
+property pinned by the test suite.
+
+:func:`replay` turns a RAS table back into a time-ordered event-dict
+stream, optionally windowed, for driving online consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.table import Table
+
+__all__ = ["replay", "OnlineSimilarityFilter", "ClosedCluster"]
+
+
+def replay(
+    ras: Table, start: float | None = None, end: float | None = None
+) -> Iterator[dict]:
+    """Yield RAS rows as dicts in timestamp order, optionally windowed.
+
+    Raises
+    ------
+    ValueError
+        If the table is not timestamp-sorted (replay would reorder
+        history silently otherwise).
+    """
+    timestamps = ras["timestamp"]
+    if ras.n_rows and (timestamps[1:] < timestamps[:-1]).any():
+        raise ValueError("RAS table must be timestamp-sorted for replay")
+    for row in ras.to_rows():
+        if start is not None and row["timestamp"] < start:
+            continue
+        if end is not None and row["timestamp"] >= end:
+            break
+        yield row
+
+
+@dataclass
+class ClosedCluster:
+    """A cluster emitted by the online filter (batch-schema compatible)."""
+
+    first_timestamp: float
+    last_timestamp: float
+    msg_id: str
+    location: str
+    message: str
+    n_events: int
+
+    def as_row(self) -> dict:
+        """Row form matching the batch filtering cluster schema."""
+        return {
+            "first_timestamp": self.first_timestamp,
+            "last_timestamp": self.last_timestamp,
+            "msg_id": self.msg_id,
+            "location": self.location,
+            "message": self.message,
+            "n_events": self.n_events,
+        }
+
+
+@dataclass
+class _OpenCluster:
+    cluster: ClosedCluster
+    tokens: frozenset[str] = field(default_factory=frozenset)
+
+
+class OnlineSimilarityFilter:
+    """Incremental similarity clustering of a time-ordered event stream.
+
+    Mirrors the greedy batch algorithm: an incoming event joins the
+    first open cluster whose representative message is Jaccard-similar
+    above ``threshold`` and whose last event is within
+    ``window_seconds``; otherwise it opens a new cluster.  Clusters are
+    *emitted* (returned from :meth:`push`) once the incoming timestamp
+    has moved past their window, and :meth:`flush` drains the rest.
+    """
+
+    def __init__(self, window_seconds: float = 3600.0, threshold: float = 0.5):
+        from repro.core.filtering.similarity import jaccard, tokenize
+
+        if window_seconds <= 0:
+            raise ValueError(f"window must be positive, got {window_seconds}")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.window_seconds = window_seconds
+        self.threshold = threshold
+        self._jaccard = jaccard
+        self._tokenize = tokenize
+        self._open: list[_OpenCluster] = []
+        self._last_timestamp = float("-inf")
+
+    def push(self, event: dict) -> list[ClosedCluster]:
+        """Feed one event; returns any clusters whose window just closed.
+
+        ``event`` needs keys ``timestamp``, ``msg_id``, ``location``,
+        ``message``.
+
+        Raises
+        ------
+        ValueError
+            If events arrive out of timestamp order.
+        """
+        timestamp = float(event["timestamp"])
+        if timestamp < self._last_timestamp:
+            raise ValueError(
+                f"event at {timestamp} arrived after {self._last_timestamp}"
+            )
+        self._last_timestamp = timestamp
+        closed: list[ClosedCluster] = []
+        still_open: list[_OpenCluster] = []
+        for open_cluster in self._open:
+            if timestamp - open_cluster.cluster.last_timestamp > self.window_seconds:
+                closed.append(open_cluster.cluster)
+            else:
+                still_open.append(open_cluster)
+        self._open = still_open
+
+        tokens = self._tokenize(event["message"])
+        for open_cluster in self._open:
+            if self._jaccard(tokens, open_cluster.tokens) >= self.threshold:
+                open_cluster.cluster.last_timestamp = max(
+                    open_cluster.cluster.last_timestamp, timestamp
+                )
+                open_cluster.cluster.n_events += 1
+                return closed
+        self._open.append(
+            _OpenCluster(
+                cluster=ClosedCluster(
+                    first_timestamp=timestamp,
+                    last_timestamp=timestamp,
+                    msg_id=event["msg_id"],
+                    location=event["location"],
+                    message=event["message"],
+                    n_events=1,
+                ),
+                tokens=tokens,
+            )
+        )
+        return closed
+
+    def flush(self) -> list[ClosedCluster]:
+        """Close and return every remaining open cluster."""
+        remaining = [c.cluster for c in self._open]
+        self._open = []
+        return remaining
+
+    @property
+    def n_open(self) -> int:
+        """Number of currently open clusters."""
+        return len(self._open)

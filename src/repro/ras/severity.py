@@ -1,0 +1,45 @@
+"""RAS event severities.
+
+BG/Q RAS events carry one of three severities: INFO (informational),
+WARN (degraded but operational), FATAL (component or job-terminating
+failure).  Only FATAL events can interrupt jobs; the paper's MTTI
+analysis operates on the FATAL stream.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Severity"]
+
+
+class Severity(Enum):
+    """RAS severity, ordered by increasing seriousness."""
+
+    INFO = "INFO"
+    WARN = "WARN"
+    FATAL = "FATAL"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity token case-insensitively.
+
+        Accepts the common alias ``WARNING`` for ``WARN``.
+        """
+        token = text.strip().upper()
+        if token == "WARNING":
+            token = "WARN"
+        try:
+            return cls[token]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected INFO/WARN/FATAL"
+            ) from None
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank (INFO=0, WARN=1, FATAL=2) for comparisons."""
+        return ("INFO", "WARN", "FATAL").index(self.value)
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank

@@ -1,0 +1,29 @@
+"""Cobalt-like scheduler substrate: jobs, workload model, simulator."""
+
+from .cobalt import CobaltScheduler, SchedulerParams, SimulationResult
+from .jobs import JOB_COLUMNS, FailureOrigin, JobRecord, jobs_to_table
+from .metrics import bounded_slowdown, utilization_timeline, wait_time_summary
+from .parser import load_job_log, validate_job_table
+from .swf import intents_from_swf, read_swf, write_swf
+from .workload import JobIntent, WorkloadModel, WorkloadParams
+
+__all__ = [
+    "JobRecord",
+    "FailureOrigin",
+    "JOB_COLUMNS",
+    "jobs_to_table",
+    "JobIntent",
+    "WorkloadModel",
+    "WorkloadParams",
+    "CobaltScheduler",
+    "SchedulerParams",
+    "SimulationResult",
+    "wait_time_summary",
+    "bounded_slowdown",
+    "utilization_timeline",
+    "load_job_log",
+    "validate_job_table",
+    "write_swf",
+    "read_swf",
+    "intents_from_swf",
+]

@@ -1,0 +1,147 @@
+"""Job records and the job-scheduling log schema.
+
+A :class:`JobRecord` mirrors one line of a Cobalt job log as the paper
+consumes it: identity (user, project, queue), timing (submit/start/end),
+shape (requested and allocated nodes, walltime), placement (block name
+and midplane span for the spatial join with RAS), and outcome (exit
+status plus the ground-truth failure origin used only for validating
+the attribution analysis, never by the analyses themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.table import Table
+
+__all__ = ["FailureOrigin", "JobRecord", "jobs_to_table", "JOB_COLUMNS"]
+
+
+class FailureOrigin(Enum):
+    """Ground-truth cause of a job's termination (synthesis metadata)."""
+
+    NONE = "none"  # succeeded
+    USER = "user"  # application bug / misconfiguration / misoperation
+    SYSTEM = "system"  # killed by a fatal RAS incident
+    TIMEOUT = "timeout"  # hit the requested walltime (user behaviour)
+
+
+JOB_COLUMNS = [
+    "job_id",
+    "user",
+    "project",
+    "queue",
+    "submit_time",
+    "start_time",
+    "end_time",
+    "requested_nodes",
+    "allocated_nodes",
+    "requested_walltime",
+    "exit_status",
+    "block",
+    "first_midplane",
+    "n_midplanes",
+    "n_tasks",
+    "core_hours",
+    "origin",
+]
+"""Canonical column order of a job log table."""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One completed job.
+
+    Times are seconds since the observation epoch; ``core_hours`` is
+    computed over *allocated* nodes (Mira charged whole blocks).
+    """
+
+    job_id: int
+    user: str
+    project: str
+    queue: str
+    submit_time: float
+    start_time: float
+    end_time: float
+    requested_nodes: int
+    allocated_nodes: int
+    requested_walltime: float
+    exit_status: int
+    block: str
+    first_midplane: int
+    n_midplanes: int
+    n_tasks: int
+    origin: FailureOrigin
+    cores_per_node: int = 16
+
+    def __post_init__(self):
+        if not self.submit_time <= self.start_time <= self.end_time:
+            raise ValueError(
+                f"job {self.job_id}: submit <= start <= end violated "
+                f"({self.submit_time}, {self.start_time}, {self.end_time})"
+            )
+        if self.requested_nodes < 1 or self.allocated_nodes < self.requested_nodes:
+            raise ValueError(
+                f"job {self.job_id}: allocated {self.allocated_nodes} "
+                f"< requested {self.requested_nodes}"
+            )
+        if not 0 <= self.exit_status <= 255:
+            raise ValueError(f"job {self.job_id}: exit status {self.exit_status}")
+        if (self.exit_status == 0) != (self.origin is FailureOrigin.NONE):
+            raise ValueError(
+                f"job {self.job_id}: exit status {self.exit_status} "
+                f"inconsistent with origin {self.origin.value}"
+            )
+
+    @property
+    def runtime(self) -> float:
+        """Execution length in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay in seconds."""
+        return self.start_time - self.submit_time
+
+    @property
+    def core_hours(self) -> float:
+        """Charged core-hours (allocated nodes x cores x runtime)."""
+        return self.allocated_nodes * self.cores_per_node * self.runtime / 3600.0
+
+    @property
+    def failed(self) -> bool:
+        """True for any non-zero exit status."""
+        return self.exit_status != 0
+
+    @property
+    def midplane_indices(self) -> range:
+        """Global midplane indices the job's block occupied."""
+        return range(self.first_midplane, self.first_midplane + self.n_midplanes)
+
+
+def jobs_to_table(jobs: Sequence[JobRecord]) -> Table:
+    """Pack job records into the canonical job table (by job_id)."""
+    ordered = sorted(jobs, key=lambda j: j.job_id)
+    return Table(
+        {
+            "job_id": [j.job_id for j in ordered],
+            "user": [j.user for j in ordered],
+            "project": [j.project for j in ordered],
+            "queue": [j.queue for j in ordered],
+            "submit_time": [j.submit_time for j in ordered],
+            "start_time": [j.start_time for j in ordered],
+            "end_time": [j.end_time for j in ordered],
+            "requested_nodes": [j.requested_nodes for j in ordered],
+            "allocated_nodes": [j.allocated_nodes for j in ordered],
+            "requested_walltime": [j.requested_walltime for j in ordered],
+            "exit_status": [j.exit_status for j in ordered],
+            "block": [j.block for j in ordered],
+            "first_midplane": [j.first_midplane for j in ordered],
+            "n_midplanes": [j.n_midplanes for j in ordered],
+            "n_tasks": [j.n_tasks for j in ordered],
+            "core_hours": [j.core_hours for j in ordered],
+            "origin": [j.origin.value for j in ordered],
+        }
+    )

@@ -1,0 +1,87 @@
+"""Scheduler-level quality metrics from a completed job log.
+
+Used by the A03 policy ablation and the fleet-comparison example:
+waiting-time distribution, bounded slowdown, and a machine-utilization
+timeline computed by sweeping job start/end events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.table import Table
+
+__all__ = ["wait_time_summary", "bounded_slowdown", "utilization_timeline"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def wait_time_summary(jobs: Table) -> dict[str, float]:
+    """Queueing-delay quantiles in hours.
+
+    Raises
+    ------
+    ValueError
+        For an empty job table.
+    """
+    if jobs.n_rows == 0:
+        raise ValueError("wait_time_summary requires at least one job")
+    waits = (jobs["start_time"] - jobs["submit_time"]) / 3600.0
+    return {
+        "median_h": float(np.median(waits)),
+        "p90_h": float(np.percentile(waits, 90)),
+        "p99_h": float(np.percentile(waits, 99)),
+        "mean_h": float(waits.mean()),
+        "max_h": float(waits.max()),
+    }
+
+
+def bounded_slowdown(jobs: Table, bound_seconds: float = 600.0) -> np.ndarray:
+    """Per-job bounded slowdown: (wait + runtime) / max(runtime, bound).
+
+    The standard scheduling metric; the bound keeps very short jobs from
+    dominating.
+    """
+    if bound_seconds <= 0:
+        raise ValueError("bound must be positive")
+    wait = jobs["start_time"] - jobs["submit_time"]
+    runtime = jobs["end_time"] - jobs["start_time"]
+    return (wait + runtime) / np.maximum(runtime, bound_seconds)
+
+
+def utilization_timeline(
+    jobs: Table, spec: MachineSpec = MIRA, bucket_days: float = 1.0
+) -> Table:
+    """Fraction of machine node-time allocated per time bucket.
+
+    Sweeps job (start, end, nodes) intervals into fixed buckets;
+    returns ``(bucket, start_day, utilization)``.
+    """
+    if bucket_days <= 0:
+        raise ValueError("bucket_days must be positive")
+    if jobs.n_rows == 0:
+        return Table({"bucket": [], "start_day": [], "utilization": []})
+    bucket_seconds = bucket_days * SECONDS_PER_DAY
+    horizon = float(jobs["end_time"].max())
+    n_buckets = max(1, int(np.ceil(horizon / bucket_seconds)))
+    node_seconds = np.zeros(n_buckets, dtype=np.float64)
+    starts = jobs["start_time"]
+    ends = jobs["end_time"]
+    nodes = jobs["allocated_nodes"]
+    for start, end, n in zip(starts, ends, nodes):
+        first = int(start // bucket_seconds)
+        last = int(min(end, horizon - 1e-9) // bucket_seconds)
+        for bucket in range(first, last + 1):
+            lo = max(start, bucket * bucket_seconds)
+            hi = min(end, (bucket + 1) * bucket_seconds)
+            if hi > lo:
+                node_seconds[bucket] += (hi - lo) * n
+    capacity = spec.n_nodes * bucket_seconds
+    return Table(
+        {
+            "bucket": list(range(n_buckets)),
+            "start_day": [b * bucket_days for b in range(n_buckets)],
+            "utilization": node_seconds / capacity,
+        }
+    )

@@ -1,0 +1,46 @@
+"""Parsing and schema validation of on-disk job logs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.table import Table, read_csv
+
+from .jobs import JOB_COLUMNS
+
+__all__ = ["load_job_log", "validate_job_table"]
+
+
+def validate_job_table(table: Table) -> Table:
+    """Validate schema and basic invariants of a job table; returns it.
+
+    Raises
+    ------
+    ParseError
+        On missing columns, time-ordering violations, or out-of-range
+        exit statuses.
+    """
+    missing = [c for c in JOB_COLUMNS if c not in table]
+    if missing:
+        raise ParseError(f"job table missing columns {missing}")
+    if table.n_rows == 0:
+        return table
+    if (table["submit_time"] > table["start_time"]).any():
+        raise ParseError("job table has start_time before submit_time")
+    if (table["start_time"] > table["end_time"]).any():
+        raise ParseError("job table has end_time before start_time")
+    statuses = table["exit_status"]
+    if (statuses < 0).any() or (statuses > 255).any():
+        raise ParseError("job table has exit statuses outside [0, 255]")
+    if len(set(table["job_id"].tolist())) != table.n_rows:
+        raise ParseError("job table has duplicate job ids")
+    return table
+
+
+def load_job_log(path: str | Path) -> Table:
+    """Read and validate a job CSV log."""
+    table = read_csv(path)
+    if table.n_rows == 0 and not table.column_names:
+        raise ParseError(f"{path}: empty job log")
+    return validate_job_table(table)

@@ -1,0 +1,217 @@
+"""Standard Workload Format (SWF) interoperability.
+
+SWF is the interchange format of the Parallel Workloads Archive: one
+whitespace-separated line per job with 18 fixed fields.  Exporting the
+job log to SWF lets the synthetic (or a real) Mira trace drive external
+scheduler simulators; importing an SWF trace gives this toolkit's
+characterization analyses access to the archive's public logs (with the
+caveat that SWF carries no spatial placement, so RAS-join analyses are
+unavailable on imported traces).
+
+Field mapping (SWF index → our column):
+
+==  ======================  =====================================
+ 1  job number              job_id
+ 2  submit time             submit_time
+ 3  wait time               start_time - submit_time
+ 4  run time                end_time - start_time
+ 5  allocated processors    allocated_nodes * cores_per_node
+ 8  requested processors    requested_nodes * cores_per_node
+ 9  requested time          requested_walltime
+11  status                  1 if exit_status == 0 else 0
+12  user id                 numeric id assigned per user
+13  group id                numeric id assigned per project
+15  queue number            numeric id assigned per queue
+==  ======================  =====================================
+
+Unused SWF fields are written as -1 per the convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.errors import ParseError
+from repro.table import Table
+
+__all__ = ["write_swf", "read_swf", "intents_from_swf", "SWF_FIELDS"]
+
+SWF_FIELDS = 18
+_UNUSED = -1
+
+
+def _numeric_ids(values) -> tuple[list[int], dict[str, int]]:
+    mapping: dict[str, int] = {}
+    ids = []
+    for value in values:
+        if value not in mapping:
+            mapping[value] = len(mapping) + 1
+        ids.append(mapping[value])
+    return ids, mapping
+
+
+def write_swf(
+    jobs: Table, path: str | Path, spec: MachineSpec = MIRA
+) -> dict[str, dict[str, int]]:
+    """Write a job table as an SWF file.
+
+    Returns the name→numeric-id mappings used for users, projects and
+    queues (SWF requires numeric identities), so the caller can keep a
+    legend.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    user_ids, user_map = _numeric_ids(jobs["user"])
+    group_ids, group_map = _numeric_ids(jobs["project"])
+    queue_ids, queue_map = _numeric_ids(jobs["queue"])
+    cores = spec.cores_per_node
+    with path.open("w") as handle:
+        handle.write(f"; SWF export from repro ({spec.name}, {jobs.n_rows} jobs)\n")
+        handle.write(f"; MaxProcs: {spec.n_cores}\n")
+        for i, row in enumerate(jobs.to_rows()):
+            wait = row["start_time"] - row["submit_time"]
+            runtime = row["end_time"] - row["start_time"]
+            fields = [
+                row["job_id"],
+                int(row["submit_time"]),
+                int(wait),
+                int(runtime),
+                row["allocated_nodes"] * cores,
+                _UNUSED,  # average CPU time
+                _UNUSED,  # used memory
+                row["requested_nodes"] * cores,
+                int(row["requested_walltime"]),
+                _UNUSED,  # requested memory
+                1 if row["exit_status"] == 0 else 0,
+                user_ids[i],
+                group_ids[i],
+                _UNUSED,  # application number
+                queue_ids[i],
+                _UNUSED,  # partition
+                _UNUSED,  # preceding job
+                _UNUSED,  # think time
+            ]
+            handle.write(" ".join(str(f) for f in fields) + "\n")
+    return {"users": user_map, "projects": group_map, "queues": queue_map}
+
+
+def read_swf(path: str | Path, cores_per_node: int = 16) -> Table:
+    """Read an SWF file into a (placement-free) job table.
+
+    Produces the columns the non-spatial analyses need: job_id, user,
+    project, queue (as ``uNNN``/``gNNN``/``qNNN`` strings), times,
+    node counts (processors divided by ``cores_per_node``), walltime and
+    a reconstructed exit status (0 on SWF status 1, 1 otherwise).
+
+    Raises
+    ------
+    ParseError
+        On lines with the wrong field count or unparseable numbers.
+    """
+    path = Path(path)
+    rows: dict[str, list] = {
+        "job_id": [], "user": [], "project": [], "queue": [],
+        "submit_time": [], "start_time": [], "end_time": [],
+        "requested_nodes": [], "allocated_nodes": [],
+        "requested_walltime": [], "exit_status": [], "n_tasks": [],
+        "core_hours": [],
+    }
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(";"):
+                continue
+            parts = stripped.split()
+            if len(parts) != SWF_FIELDS:
+                raise ParseError(
+                    f"{path}:{line_number}: expected {SWF_FIELDS} SWF fields, "
+                    f"got {len(parts)}"
+                )
+            try:
+                values = [float(p) for p in parts]
+            except ValueError:
+                raise ParseError(
+                    f"{path}:{line_number}: non-numeric SWF field"
+                ) from None
+            submit, wait, runtime = values[1], max(values[2], 0), max(values[3], 0)
+            allocated_procs = max(values[4], values[7], cores_per_node)
+            requested_procs = values[7] if values[7] > 0 else allocated_procs
+            allocated_nodes = max(int(allocated_procs // cores_per_node), 1)
+            requested_nodes = max(int(requested_procs // cores_per_node), 1)
+            requested_nodes = min(requested_nodes, allocated_nodes)
+            walltime = values[8] if values[8] > 0 else runtime
+            rows["job_id"].append(int(values[0]))
+            rows["user"].append(f"u{int(values[11]):04d}")
+            rows["project"].append(f"g{int(values[12]):04d}")
+            rows["queue"].append(f"q{int(values[14])}")
+            rows["submit_time"].append(submit)
+            rows["start_time"].append(submit + wait)
+            rows["end_time"].append(submit + wait + runtime)
+            rows["requested_nodes"].append(requested_nodes)
+            rows["allocated_nodes"].append(allocated_nodes)
+            rows["requested_walltime"].append(max(walltime, runtime))
+            rows["exit_status"].append(0 if values[10] == 1 else 1)
+            rows["n_tasks"].append(1)
+            rows["core_hours"].append(
+                allocated_nodes * cores_per_node * runtime / 3600.0
+            )
+    return Table(rows)
+
+
+def intents_from_swf(
+    jobs: Table,
+    spec: MachineSpec = MIRA,
+    seed: int = 0,
+):
+    """Convert an SWF-imported job table into replayable job intents.
+
+    This lets a *real* archived trace drive the Cobalt simulator: each
+    job keeps its recorded submit time, shape, walltime and runtime;
+    recorded failures get an exit family drawn from the default user
+    mix (SWF stores only success/failure, not the exit code).  Node
+    requests are clamped to the target machine.
+
+    Returns a list of :class:`~repro.scheduler.workload.JobIntent`
+    sorted by submit time.
+    """
+    from repro.core.exitcodes import ExitFamily
+
+    from .jobs import FailureOrigin
+    from .workload import FAMILY_STATUS_CHOICES, JobIntent
+
+    rng = np.random.default_rng(seed)
+    families = list(FAMILY_STATUS_CHOICES)
+    intents = []
+    order = np.argsort(jobs["submit_time"], kind="stable")
+    for row in jobs.take(order).to_rows():
+        nodes = int(min(max(row["requested_nodes"], 1), spec.n_nodes))
+        runtime = max(row["end_time"] - row["start_time"], 1.0)
+        walltime = max(row["requested_walltime"], runtime * 1.001)
+        if row["exit_status"] == 0:
+            origin, status = FailureOrigin.NONE, 0
+        elif runtime >= walltime * 0.999:
+            origin, status = FailureOrigin.TIMEOUT, 143
+        else:
+            origin = FailureOrigin.USER
+            family: ExitFamily = families[int(rng.integers(0, len(families)))]
+            statuses, weights = FAMILY_STATUS_CHOICES[family]
+            status = int(rng.choice(np.asarray(statuses), p=np.asarray(weights)))
+        intents.append(
+            JobIntent(
+                job_id=int(row["job_id"]),
+                user=row["user"],
+                project=row["project"],
+                queue=row["queue"],
+                submit_time=float(row["submit_time"]),
+                requested_nodes=nodes,
+                requested_walltime=float(walltime),
+                planned_runtime=float(min(runtime, walltime * 0.999)),
+                planned_exit_status=status,
+                planned_origin=origin,
+                n_tasks=int(row.get("n_tasks", 1)),
+            )
+        )
+    return intents

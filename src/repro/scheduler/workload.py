@@ -1,0 +1,492 @@
+"""Stochastic workload model calibrated to the Mira study.
+
+The model generates *job intents*: submissions with a planned outcome
+(success, user failure of a given exit family, or walltime timeout)
+that the scheduler simulation then executes — and possibly overrides
+with a system failure when a fatal RAS incident strikes the job's
+block.
+
+Structural properties the paper's analyses depend on, and how the
+model produces them:
+
+* **User/project concentration** — user activity follows a Zipf law and
+  per-user failure propensity is Beta-distributed with high variance,
+  so a few users contribute most failures (E07).
+* **Scale dependence** — failure probability grows with job size (E05)
+  via a logarithmic boost.
+* **Per-family execution-length laws** — a user failure's execution
+  length is drawn from the distribution family the paper reports as
+  best-fitting for that exit code: Weibull for segfaults, Pareto for
+  aborts, inverse Gaussian for generic application errors, and
+  Erlang/exponential for configuration errors (E04).
+* **Job structure** — most jobs run one task; a minority are ensembles
+  with geometrically distributed task counts (E08).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgq.machine import MIRA, MachineSpec
+from repro.core.exitcodes import ExitFamily
+
+from .jobs import FailureOrigin
+
+__all__ = ["WorkloadParams", "JobIntent", "WorkloadModel", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86_400.0
+_HOUR = 3600.0
+
+#: Requested-size ladder (nodes) with submission probabilities,
+#: skewed toward small jobs as on Mira.
+DEFAULT_NODE_COUNTS = (512, 1024, 2048, 4096, 8192, 12288, 16384, 24576, 32768, 49152)
+DEFAULT_NODE_WEIGHTS = (0.34, 0.24, 0.16, 0.11, 0.07, 0.03, 0.025, 0.015, 0.007, 0.003)
+
+#: Walltime grid in hours (Cobalt queue limits).
+WALLTIME_GRID_HOURS = (0.5, 1.0, 2.0, 3.0, 6.0, 12.0, 24.0)
+
+#: Exit statuses per user-failure family, with intra-family weights.
+FAMILY_STATUS_CHOICES: dict[ExitFamily, tuple[tuple[int, ...], tuple[float, ...]]] = {
+    ExitFamily.SEGFAULT: ((139, 11), (0.9, 0.1)),
+    ExitFamily.ABORT: ((134, 6), (0.85, 0.15)),
+    ExitFamily.APP_ERROR: ((1, 255), (0.85, 0.15)),
+    ExitFamily.CONFIG: ((2, 127, 126, 125), (0.6, 0.25, 0.1, 0.05)),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Tunable knobs of the workload model (defaults = Mira calibration)."""
+
+    n_users: int = 900
+    n_projects: int = 350
+    arrival_rate_per_day: float = 140.0
+    diurnal_amplitude: float = 0.5
+    weekend_factor: float = 0.75
+    zipf_exponent: float = 0.95
+    base_fail_alpha: float = 0.7
+    base_fail_beta: float = 3.4
+    scale_fail_boost: float = 0.18
+    task_fail_boost: float = 0.12
+    # Users who run capability-scale jobs have a higher base failure
+    # propensity (harder codes, longer runs) — this is what makes the
+    # *marginal* failure-vs-scale correlation robust to the user-mix
+    # noise that otherwise dominates the rare large-size rungs.
+    size_affinity_fail_boost: float = 0.9
+    # Debug-resubmit cycles: after a failure the user may resubmit the
+    # same job, and the bug persists with ``refail_probability``.  Off by
+    # default so the calibrated trace stays stationary; turn it on to
+    # study genuine within-user failure streaks (E20).
+    resubmit_probability: float = 0.0
+    refail_probability: float = 0.6
+    resubmit_delay_seconds: float = 1800.0
+    max_resubmissions: int = 5
+    timeout_share: float = 0.05
+    ensemble_probability: float = 0.3
+    ensemble_mean_tasks: float = 6.0
+    max_tasks: int = 128
+    # Successful-run length: median 2.1h.  Calibrated jointly with the
+    # arrival rate so the machine runs at ~65% utilization — the busy
+    # fraction sets how often a hardware incident strikes a running job,
+    # and hence the job-interruption MTTI (~3.5 days at 0.44 incidents
+    # per day).
+    runtime_log_mean: float = np.log(2.1 * _HOUR)
+    runtime_log_sigma: float = 1.0
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS
+    node_weights: tuple[float, ...] = DEFAULT_NODE_WEIGHTS
+    # Per-family execution-length law parameters (seconds).  Scales are
+    # small relative to typical walltimes so that the walltime ceiling
+    # truncates little probability mass; draws that *do* exceed the
+    # walltime become timeouts (the app would have run past its limit).
+    segfault_weibull_shape: float = 0.6
+    segfault_weibull_scale: float = 1200.0
+    abort_pareto_alpha: float = 1.7
+    abort_pareto_xm: float = 240.0
+    app_invgauss_mu: float = 2000.0
+    app_invgauss_lambda: float = 6000.0
+    config_erlang_k: int = 1
+    config_erlang_scale: float = 400.0
+
+    def __post_init__(self):
+        if self.n_users < 1 or self.n_projects < 1:
+            raise ValueError("need at least one user and one project")
+        if len(self.node_counts) != len(self.node_weights):
+            raise ValueError("node_counts and node_weights length mismatch")
+        if abs(sum(self.node_weights) - 1.0) > 1e-6:
+            raise ValueError("node_weights must sum to 1")
+        if not 0 <= self.timeout_share < 1:
+            raise ValueError("timeout_share must be in [0, 1)")
+        if self.arrival_rate_per_day <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0.0 <= self.resubmit_probability <= 1.0:
+            raise ValueError("resubmit_probability must be in [0, 1]")
+        if not 0.0 <= self.refail_probability <= 1.0:
+            raise ValueError("refail_probability must be in [0, 1]")
+
+    @classmethod
+    def scaled_to(cls, spec: MachineSpec, **overrides) -> "WorkloadParams":
+        """Parameters rescaled to a non-Mira machine.
+
+        The size ladder becomes midplane multiples of ``spec`` (capped
+        at the whole machine) with the default weight profile, and the
+        arrival rate scales with machine capacity so offered load stays
+        at the calibrated fraction.  Any field can still be overridden.
+        """
+        per_midplane = spec.nodes_per_midplane
+        ladder_midplanes = (1, 2, 4, 8, 16, 24, 32, 48, 64, 96)
+        counts = []
+        for midplanes in ladder_midplanes:
+            nodes = midplanes * per_midplane
+            if nodes > spec.n_nodes:
+                break
+            counts.append(nodes)
+        if not counts:
+            counts = [spec.n_nodes]
+        weights = list(DEFAULT_NODE_WEIGHTS[: len(counts)])
+        weights[-1] += 1.0 - sum(weights)  # renormalize the truncated tail
+        capacity_ratio = spec.n_cores / MIRA.n_cores
+        defaults = dict(
+            node_counts=tuple(counts),
+            node_weights=tuple(weights),
+            arrival_rate_per_day=max(
+                cls.__dataclass_fields__["arrival_rate_per_day"].default
+                * capacity_ratio,
+                1.0,
+            ),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass(frozen=True)
+class JobIntent:
+    """A submission plus its planned (pre-incident) outcome."""
+
+    job_id: int
+    user: str
+    project: str
+    queue: str
+    submit_time: float
+    requested_nodes: int
+    requested_walltime: float
+    planned_runtime: float
+    planned_exit_status: int
+    planned_origin: FailureOrigin
+    n_tasks: int
+
+    def __post_init__(self):
+        if self.planned_runtime <= 0:
+            raise ValueError(f"job {self.job_id}: non-positive planned runtime")
+        if self.planned_runtime > self.requested_walltime + 1e-6:
+            raise ValueError(
+                f"job {self.job_id}: planned runtime exceeds walltime"
+            )
+
+
+@dataclass
+class _UserProfile:
+    name: str
+    project: str
+    activity: float
+    base_fail_probability: float
+    preferred_size_index: int
+    family_weights: np.ndarray  # over (SEGFAULT, ABORT, APP_ERROR, CONFIG)
+    ensemble_user: bool
+
+
+_USER_FAMILIES = (
+    ExitFamily.SEGFAULT,
+    ExitFamily.ABORT,
+    ExitFamily.APP_ERROR,
+    ExitFamily.CONFIG,
+)
+
+
+class WorkloadModel:
+    """Seeded generator of job intents."""
+
+    def __init__(
+        self,
+        spec: MachineSpec = MIRA,
+        params: WorkloadParams | None = None,
+        seed: int = 0,
+    ):
+        self.spec = spec
+        if params is None:
+            # Non-Mira machines get a size ladder and arrival rate scaled
+            # to their capacity; Mira gets the calibrated defaults.
+            params = (
+                WorkloadParams() if spec == MIRA else WorkloadParams.scaled_to(spec)
+            )
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+        self.users = self._build_users()
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+
+    def _build_users(self) -> list[_UserProfile]:
+        p = self.params
+        ranks = np.arange(1, p.n_users + 1, dtype=np.float64)
+        activity = ranks ** (-p.zipf_exponent)
+        activity /= activity.sum()
+        self._rng.shuffle(activity)
+        profiles = []
+        n_sizes = len(p.node_counts)
+        for i in range(p.n_users):
+            preferred = int(
+                self._rng.choice(n_sizes, p=np.asarray(p.node_weights))
+            )
+            base_fail = float(
+                self._rng.beta(p.base_fail_alpha, p.base_fail_beta)
+                * (1.0 + p.size_affinity_fail_boost * preferred / max(n_sizes - 1, 1))
+            )
+            profiles.append(
+                _UserProfile(
+                    name=f"user{i:04d}",
+                    project=f"proj{int(self._rng.integers(0, p.n_projects)):04d}",
+                    activity=float(activity[i]),
+                    base_fail_probability=min(base_fail, 0.95),
+                    preferred_size_index=preferred,
+                    family_weights=self._rng.dirichlet(np.full(len(_USER_FAMILIES), 0.8)),
+                    ensemble_user=bool(self._rng.uniform() < p.ensemble_probability),
+                )
+            )
+        return profiles
+
+    # ------------------------------------------------------------------
+    # arrival process
+    # ------------------------------------------------------------------
+
+    def _arrival_times(self, n_days: float) -> np.ndarray:
+        """Poisson arrivals with diurnal and weekly modulation (thinning)."""
+        p = self.params
+        peak = p.arrival_rate_per_day * (1.0 + p.diurnal_amplitude)
+        n_candidates = self._rng.poisson(peak * n_days)
+        times = self._rng.uniform(0.0, n_days * SECONDS_PER_DAY, n_candidates)
+        hours = (times / _HOUR) % 24.0
+        days = (times / SECONDS_PER_DAY).astype(np.int64)
+        diurnal = 1.0 + p.diurnal_amplitude * np.cos(2 * np.pi * (hours - 14.0) / 24.0)
+        weekly = np.where(days % 7 >= 5, p.weekend_factor, 1.0)
+        accept = self._rng.uniform(0, 1, n_candidates) < (
+            diurnal * weekly / (1.0 + p.diurnal_amplitude)
+        )
+        return np.sort(times[accept])
+
+    # ------------------------------------------------------------------
+    # outcome laws
+    # ------------------------------------------------------------------
+
+    def _failure_length(self, family: ExitFamily) -> float:
+        """Execution length of a failed job, per the family's law.
+
+        The caller converts draws exceeding the walltime into timeouts;
+        no clipping happens here, so observed per-family samples follow
+        the planted law (softly truncated at the walltime only).
+        """
+        p = self.params
+        if family is ExitFamily.SEGFAULT:
+            draw = p.segfault_weibull_scale * self._rng.weibull(p.segfault_weibull_shape)
+        elif family is ExitFamily.ABORT:
+            draw = p.abort_pareto_xm * (1.0 + self._rng.pareto(p.abort_pareto_alpha))
+        elif family is ExitFamily.APP_ERROR:
+            draw = self._rng.wald(p.app_invgauss_mu, p.app_invgauss_lambda)
+        elif family is ExitFamily.CONFIG:
+            draw = self._rng.gamma(p.config_erlang_k, p.config_erlang_scale)
+        else:
+            raise ValueError(f"no failure law for family {family}")
+        return float(max(draw, 1.0))
+
+    def _pick_walltime(self, intended_runtime: float) -> float:
+        """Smallest grid walltime comfortably above the intended runtime."""
+        target = intended_runtime * 1.25
+        for hours in WALLTIME_GRID_HOURS:
+            if hours * _HOUR >= target:
+                return hours * _HOUR
+        return WALLTIME_GRID_HOURS[-1] * _HOUR
+
+    def _queue_name(self, nodes: int, walltime: float) -> str:
+        if nodes >= 16384:
+            return "prod-capability"
+        return "prod-short" if walltime <= 2 * _HOUR else "prod-long"
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+
+    def generate(self, n_days: float) -> list[JobIntent]:
+        """Generate the intent stream for ``[0, n_days]`` (submit-sorted)."""
+        if n_days <= 0:
+            raise ValueError(f"n_days must be positive, got {n_days}")
+        p = self.params
+        times = self._arrival_times(n_days)
+        activities = np.array([u.activity for u in self.users])
+        user_indices = self._rng.choice(len(self.users), size=len(times), p=activities)
+        intents: list[JobIntent] = []
+        for job_id, (submit_time, user_index) in enumerate(zip(times, user_indices)):
+            user = self.users[user_index]
+            intents.append(self._one_intent(job_id, float(submit_time), user))
+        if p.resubmit_probability > 0.0:
+            intents = self._expand_resubmissions(intents, n_days)
+        return intents
+
+    def _expand_resubmissions(
+        self, intents: list[JobIntent], n_days: float
+    ) -> list[JobIntent]:
+        """Append debug-resubmit chains after failed intents.
+
+        The resubmission lands after the failed run plus a think-time
+        delay (submit-relative approximation: queueing wait is unknown
+        at intent time).  The chain ends when the bug is fixed, the
+        horizon is reached, or ``max_resubmissions`` is hit.  Job IDs
+        are reassigned in submit order afterwards.
+        """
+        import dataclasses
+
+        p = self.params
+        horizon = n_days * SECONDS_PER_DAY
+        chains: list[JobIntent] = []
+        for intent in intents:
+            previous = intent
+            for _ in range(p.max_resubmissions):
+                if previous.planned_origin not in (
+                    FailureOrigin.USER,
+                    FailureOrigin.TIMEOUT,
+                ):
+                    break
+                if self._rng.uniform() >= p.resubmit_probability:
+                    break
+                submit = (
+                    previous.submit_time
+                    + previous.planned_runtime
+                    + self._rng.exponential(p.resubmit_delay_seconds)
+                )
+                if submit >= horizon:
+                    break
+                previous = self._resubmission(previous, submit)
+                chains.append(previous)
+        merged = sorted(intents + chains, key=lambda i: i.submit_time)
+        return [
+            dataclasses.replace(intent, job_id=job_id)
+            for job_id, intent in enumerate(merged)
+        ]
+
+    def _resubmission(self, previous: JobIntent, submit: float) -> JobIntent:
+        """One retry of a failed job: same shape, bug persisting or fixed."""
+        import dataclasses
+
+        from repro.core.exitcodes import classify_exit_status
+
+        p = self.params
+        if self._rng.uniform() < p.refail_probability:
+            if previous.planned_origin is FailureOrigin.TIMEOUT:
+                runtime = previous.requested_walltime
+                status, origin = 143, FailureOrigin.TIMEOUT
+            else:
+                family = classify_exit_status(previous.planned_exit_status)
+                runtime = min(
+                    self._failure_length(family),
+                    previous.requested_walltime * 0.999,
+                )
+                status, origin = previous.planned_exit_status, FailureOrigin.USER
+        else:
+            runtime = min(
+                float(
+                    np.clip(
+                        self._rng.lognormal(p.runtime_log_mean, p.runtime_log_sigma),
+                        60.0,
+                        previous.requested_walltime * 0.999,
+                    )
+                ),
+                previous.requested_walltime * 0.999,
+            )
+            status, origin = 0, FailureOrigin.NONE
+        return dataclasses.replace(
+            previous,
+            submit_time=submit,
+            planned_runtime=runtime,
+            planned_exit_status=status,
+            planned_origin=origin,
+        )
+
+    def _one_intent(self, job_id: int, submit_time: float, user: _UserProfile) -> JobIntent:
+        p = self.params
+        size_index = int(
+            np.clip(
+                user.preferred_size_index + self._rng.integers(-1, 2),
+                0,
+                len(p.node_counts) - 1,
+            )
+        )
+        nodes = int(p.node_counts[size_index])
+        intended = float(
+            np.clip(
+                self._rng.lognormal(p.runtime_log_mean, p.runtime_log_sigma),
+                60.0,
+                WALLTIME_GRID_HOURS[-1] * _HOUR * 0.95,
+            )
+        )
+        walltime = self._pick_walltime(intended)
+
+        if user.ensemble_user:
+            n_tasks = int(
+                np.clip(
+                    1 + self._rng.geometric(1.0 / p.ensemble_mean_tasks),
+                    1,
+                    p.max_tasks,
+                )
+            )
+        else:
+            n_tasks = 1
+
+        # Every extra task and every doubling of scale is another failure
+        # opportunity (E05/E08: failure rate grows with scale and tasks).
+        scale_boost = 1.0 + p.scale_fail_boost * np.log2(nodes / p.node_counts[0])
+        task_boost = 1.0 + p.task_fail_boost * np.log2(n_tasks)
+        fail_probability = float(
+            np.clip(user.base_fail_probability * scale_boost * task_boost, 0.0, 0.95)
+        )
+        roll = self._rng.uniform()
+        if roll < fail_probability * p.timeout_share:
+            origin = FailureOrigin.TIMEOUT
+            runtime = walltime
+            status = 143
+        elif roll < fail_probability:
+            family = _USER_FAMILIES[
+                int(self._rng.choice(len(_USER_FAMILIES), p=user.family_weights))
+            ]
+            runtime = self._failure_length(family)
+            if runtime >= walltime * 0.999:
+                # The failure would have struck after the walltime: the
+                # scheduler kills the job first (a timeout, not the family
+                # failure) — this keeps observed family samples untruncated.
+                origin = FailureOrigin.TIMEOUT
+                runtime = walltime
+                status = 143
+            else:
+                origin = FailureOrigin.USER
+                statuses, weights = FAMILY_STATUS_CHOICES[family]
+                status = int(
+                    self._rng.choice(np.asarray(statuses), p=np.asarray(weights))
+                )
+        else:
+            origin = FailureOrigin.NONE
+            runtime = min(intended, walltime * 0.999)
+            status = 0
+
+        return JobIntent(
+            job_id=job_id,
+            user=user.name,
+            project=user.project,
+            queue=self._queue_name(nodes, walltime),
+            submit_time=submit_time,
+            requested_nodes=nodes,
+            requested_walltime=walltime,
+            planned_runtime=runtime,
+            planned_exit_status=status,
+            planned_origin=origin,
+            n_tasks=n_tasks,
+        )

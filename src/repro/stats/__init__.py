@@ -1,0 +1,33 @@
+"""Statistics substrate: ECDFs, correlations, tests, bootstrap."""
+
+from .bootstrap import BootstrapResult, bootstrap_ci
+from .changepoint import Changepoint, cusum_statistic, detect_changepoints
+from .correlation import cramers_v, gini, pearson, rank, spearman
+from .ecdf import Ecdf, ecdf, log_histogram, quantiles
+from .hypothesis_tests import (
+    KsResult,
+    chi_square_independence,
+    ks_statistic,
+    ks_test,
+)
+
+__all__ = [
+    "Ecdf",
+    "ecdf",
+    "quantiles",
+    "log_histogram",
+    "pearson",
+    "spearman",
+    "cramers_v",
+    "rank",
+    "gini",
+    "KsResult",
+    "ks_statistic",
+    "ks_test",
+    "chi_square_independence",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "Changepoint",
+    "cusum_statistic",
+    "detect_changepoints",
+]

@@ -1,0 +1,68 @@
+"""Bootstrap confidence intervals.
+
+The headline reliability numbers (MTTI, attribution ratio) come from a
+single observed trace; bootstrap resampling gives them error bars so
+`EXPERIMENTS.md` can report measured values with uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BootstrapResult", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with a percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    sample,
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Percentile bootstrap interval for ``statistic`` of a 1-D sample.
+
+    Parameters
+    ----------
+    statistic:
+        Any callable mapping a 1-D array to a float (``np.mean``,
+        ``np.median``, a quantile lambda, ...).
+    seed:
+        Deterministic resampling seed; the toolkit is reproducible
+        end-to-end.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(sample, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci requires a non-empty sample")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples, dtype=np.float64)
+    for i in range(n_resamples):
+        resample = arr[rng.integers(0, arr.size, size=arr.size)]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        estimate=float(statistic(arr)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )

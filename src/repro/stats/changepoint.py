@@ -1,0 +1,113 @@
+"""Mean-shift changepoint detection for rate series.
+
+Used by the machine-lifetime analysis (:mod:`repro.core.lifetime`) to
+find regime changes in monthly failure/event rates over the machine's
+2001-day life.  Implements binary segmentation with a CUSUM statistic
+and a permutation-style significance threshold — numpy only, no
+external dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Changepoint", "cusum_statistic", "detect_changepoints"]
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """A detected mean shift at ``index`` (first point of the new regime)."""
+
+    index: int
+    statistic: float
+    mean_before: float
+    mean_after: float
+
+    @property
+    def shift(self) -> float:
+        """Signed magnitude of the mean shift."""
+        return self.mean_after - self.mean_before
+
+
+def cusum_statistic(series: np.ndarray) -> tuple[int, float]:
+    """Best split point and its normalized CUSUM statistic.
+
+    The statistic is ``|mean_left - mean_right|`` scaled by the pooled
+    standard error; the split index is the start of the right segment.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    n = x.size
+    if n < 4:
+        raise ValueError(f"need at least 4 points, got {n}")
+    best_index, best_stat = -1, 0.0
+    total = x.sum()
+    cumulative = np.cumsum(x)
+    overall_std = x.std(ddof=1)
+    if overall_std == 0:
+        return n // 2, 0.0
+    for split in range(2, n - 1):
+        left_mean = cumulative[split - 1] / split
+        right_mean = (total - cumulative[split - 1]) / (n - split)
+        pooled = overall_std * np.sqrt(1.0 / split + 1.0 / (n - split))
+        stat = abs(left_mean - right_mean) / pooled
+        if stat > best_stat:
+            best_index, best_stat = split, stat
+    return best_index, float(best_stat)
+
+
+def _significant(series: np.ndarray, stat: float, n_permutations: int, seed: int,
+                 alpha: float) -> bool:
+    rng = np.random.default_rng(seed)
+    exceed = 0
+    for _ in range(n_permutations):
+        _, permuted_stat = cusum_statistic(rng.permutation(series))
+        exceed += permuted_stat >= stat
+    return exceed / n_permutations < alpha
+
+
+def detect_changepoints(
+    series,
+    max_changepoints: int = 3,
+    alpha: float = 0.01,
+    n_permutations: int = 200,
+    min_segment: int = 4,
+    seed: int = 0,
+) -> list[Changepoint]:
+    """Binary-segmentation changepoint detection.
+
+    Recursively splits the series at the most significant CUSUM point
+    until no split passes the permutation test at level ``alpha`` or
+    ``max_changepoints`` is reached.  Returns changepoints sorted by
+    index.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    found: list[Changepoint] = []
+    segments: list[tuple[int, int]] = [(0, x.size)]
+    while segments and len(found) < max_changepoints:
+        # Pick the segment whose best split is strongest.
+        best = None
+        for start, end in segments:
+            if end - start < 2 * min_segment:
+                continue
+            split, stat = cusum_statistic(x[start:end])
+            if best is None or stat > best[3]:
+                best = (start, end, start + split, stat)
+        if best is None:
+            break
+        start, end, index, stat = best
+        segments.remove((start, end))
+        if not _significant(x[start:end], stat, n_permutations, seed, alpha):
+            continue
+        found.append(
+            Changepoint(
+                index=index,
+                statistic=stat,
+                mean_before=float(x[start:index].mean()),
+                mean_after=float(x[index:end].mean()),
+            )
+        )
+        segments.append((start, index))
+        segments.append((index, end))
+    return sorted(found, key=lambda c: c.index)

@@ -1,0 +1,113 @@
+"""Correlation measures used by the characterization analyses.
+
+The paper correlates job failures with numeric attributes (scale,
+core-hours, tasks) and categorical ones (user, project, exit-code
+family).  We implement Pearson and Spearman for numeric pairs and
+Cramér's V for categorical pairs on plain numpy, with scipy only as a
+cross-check in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table.column import factorize
+
+__all__ = ["pearson", "spearman", "cramers_v", "rank", "gini"]
+
+
+def _validate_pair(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"expected equal-length 1-D arrays, got {x.shape}, {y.shape}")
+    if x.size < 2:
+        raise ValueError("correlation requires at least two observations")
+    return x, y
+
+
+def pearson(x, y) -> float:
+    """Pearson product-moment correlation coefficient.
+
+    Returns 0.0 when either input is constant (correlation undefined)
+    rather than propagating NaN, because the characterization pipeline
+    treats "no variation" as "no association".
+    """
+    x, y = _validate_pair(x, y)
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = np.sqrt((xd * xd).sum() * (yd * yd).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((xd * yd).sum() / denom)
+
+
+def rank(x) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing the mean rank."""
+    x = np.asarray(x, dtype=np.float64)
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(x.size, dtype=np.float64)
+    ranks[order] = np.arange(1, x.size + 1, dtype=np.float64)
+    # average ranks within tied groups
+    sorted_x = x[order]
+    boundaries = np.flatnonzero(np.diff(sorted_x)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [x.size]))
+    for start, end in zip(starts, ends):
+        if end - start > 1:
+            ranks[order[start:end]] = (start + 1 + end) / 2.0
+    return ranks
+
+
+def spearman(x, y) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    x, y = _validate_pair(x, y)
+    return pearson(rank(x), rank(y))
+
+
+def cramers_v(a, b) -> float:
+    """Cramér's V association between two categorical columns.
+
+    Accepts any factorizable sequences (strings or ints).  Returns a
+    value in [0, 1]; 0 means independence in the sample.
+    """
+    codes_a, uniques_a = factorize(np.asarray(a, dtype=object))
+    codes_b, uniques_b = factorize(np.asarray(b, dtype=object))
+    n = len(codes_a)
+    if n != len(codes_b):
+        raise ValueError("inputs must have equal length")
+    if n == 0:
+        raise ValueError("cramers_v requires at least one observation")
+    r, c = len(uniques_a), len(uniques_b)
+    if r < 2 or c < 2:
+        return 0.0
+    observed = np.zeros((r, c), dtype=np.float64)
+    np.add.at(observed, (codes_a, codes_b), 1.0)
+    row = observed.sum(axis=1, keepdims=True)
+    col = observed.sum(axis=0, keepdims=True)
+    expected = row @ col / n
+    with np.errstate(invalid="ignore", divide="ignore"):
+        terms = np.where(expected > 0, (observed - expected) ** 2 / expected, 0.0)
+    chi2 = terms.sum()
+    denom = n * (min(r, c) - 1)
+    return float(np.sqrt(chi2 / denom)) if denom > 0 else 0.0
+
+
+def gini(values) -> float:
+    """Gini concentration coefficient of a non-negative sample.
+
+    Used to quantify how concentrated failures are across users/projects
+    and how concentrated fatal events are across locations (the paper's
+    "strong locality feature").  0 = perfectly even, →1 = one holder.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("gini requires at least one value")
+    if np.any(arr < 0):
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0.0:
+        return 0.0
+    n = arr.size
+    index = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (index * arr).sum() / (n * total)) - (n + 1.0) / n)

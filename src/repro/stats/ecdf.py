@@ -1,0 +1,86 @@
+"""Empirical distribution utilities.
+
+These are the building blocks of every CDF-style figure in the paper:
+empirical CDFs of job execution lengths, complementary CDFs of event
+inter-arrival times, and quantile summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ecdf", "ecdf", "quantiles", "log_histogram"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF: sorted sample points and cumulative probabilities.
+
+    ``probabilities[i]`` is P(X <= values[i]) under the empirical measure.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def __call__(self, x: float | np.ndarray) -> np.ndarray:
+        """Evaluate the ECDF at arbitrary points."""
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        idx = np.searchsorted(self.values, x, side="right")
+        out = np.where(idx == 0, 0.0, self.probabilities[np.maximum(idx - 1, 0)])
+        return out
+
+    def survival(self, x: float | np.ndarray) -> np.ndarray:
+        """Complementary CDF P(X > x)."""
+        return 1.0 - self(x)
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return len(self.values)
+
+
+def ecdf(sample) -> Ecdf:
+    """Build an :class:`Ecdf` from a 1-D sample.
+
+    Raises
+    ------
+    ValueError
+        If the sample is empty.
+    """
+    arr = np.sort(np.asarray(sample, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("cannot build an ECDF from an empty sample")
+    probs = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return Ecdf(values=arr, probabilities=probs)
+
+
+def quantiles(sample, probs=(0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
+    """Return the requested quantiles of a sample as a prob→value dict."""
+    arr = np.asarray(sample, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot take quantiles of an empty sample")
+    values = np.quantile(arr, list(probs))
+    return {float(p): float(v) for p, v in zip(probs, values)}
+
+
+def log_histogram(sample, n_bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram a positive sample into logarithmically spaced bins.
+
+    Returns ``(bin_edges, counts)`` with ``len(edges) == len(counts)+1``.
+    Used for the heavy-tailed quantities in the paper (execution length,
+    core-hours, I/O volume) where linear bins hide the tail.
+    """
+    arr = np.asarray(sample, dtype=np.float64)
+    arr = arr[arr > 0]
+    if arr.size == 0:
+        raise ValueError("log_histogram requires at least one positive value")
+    low, high = arr.min(), arr.max()
+    # Pad both ends so samples sitting exactly on an edge (including the
+    # degenerate constant-sample case) are never lost to float rounding.
+    low = low * (1 - 1e-9)
+    high = high * (1 + 1e-9)
+    edges = np.logspace(np.log10(low), np.log10(high), n_bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    return edges, counts

@@ -1,0 +1,22 @@
+"""Columnar table substrate (pandas stand-in on numpy).
+
+Public surface::
+
+    from repro.table import Table, read_csv, write_csv
+"""
+
+from .column import as_column, factorize
+from .csvio import read_csv, read_jsonl, write_csv, write_jsonl
+from .frame import Table
+from .groupby import GroupBy
+
+__all__ = [
+    "Table",
+    "GroupBy",
+    "as_column",
+    "factorize",
+    "read_csv",
+    "write_csv",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,87 @@
+"""CSV and JSONL persistence for tables.
+
+Log files in this toolkit are stored as plain CSV (one file per log) so
+a real Mira trace exported to CSV drops in with no code change.  Type
+inference mirrors :func:`repro.table.column.as_column`: a column is
+int64 if every cell parses as int, float64 if every cell parses as
+float, else string.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .frame import Table
+
+__all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to ``path`` as CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        columns = [table[name].tolist() for name in table.column_names]
+        for row in zip(*columns):
+            writer.writerow(row)
+
+
+def _infer(values: list[str]):
+    """Convert a list of raw CSV strings to the narrowest common type.
+
+    Integer conversion is only applied when it round-trips exactly, so
+    identifier-like fields with leading zeros (RAS message IDs such as
+    ``00010001``) stay strings.
+    """
+    if any(len(v) > 1 and v.lstrip("-")[:1] == "0" and v.lstrip("-")[1:2].isdigit() for v in values):
+        return values
+    try:
+        return [int(v) for v in values]
+    except ValueError:
+        pass
+    try:
+        return [float(v) for v in values]
+    except ValueError:
+        pass
+    return values
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a CSV with a header row back into a table."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table({})
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} fields, got {len(row)}"
+                )
+            for cell, column in zip(row, raw_columns):
+                column.append(cell)
+    return Table({name: _infer(col) for name, col in zip(header, raw_columns)})
+
+
+def write_jsonl(rows: Iterable[dict], path: str | Path) -> None:
+    """Write an iterable of dicts as one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL file back into a list of dicts."""
+    with Path(path).open() as handle:
+        return [json.loads(line) for line in handle if line.strip()]

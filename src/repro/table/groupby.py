@@ -1,0 +1,182 @@
+"""Group-by aggregation over :class:`~repro.table.frame.Table`.
+
+Grouping factorizes each key column into integer codes, combines the
+codes into a single group id, and then computes aggregates with
+``np.bincount`` / sorted ``reduceat`` — no Python-level loop over rows,
+which keeps multi-hundred-thousand-row job logs fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .column import factorize
+
+__all__ = ["GroupBy", "AGGREGATIONS"]
+
+
+def _agg_sum(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    return np.bincount(group_ids, weights=values.astype(np.float64), minlength=n_groups)
+
+
+def _agg_count(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    return np.bincount(group_ids, minlength=n_groups).astype(np.int64)
+
+
+def _agg_mean(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    totals = _agg_sum(values, group_ids, n_groups)
+    counts = _agg_count(values, group_ids, n_groups)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return totals / counts
+
+
+def _sorted_reduce(
+    values: np.ndarray, group_ids: np.ndarray, n_groups: int, ufunc
+) -> np.ndarray:
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    starts = np.concatenate(([0], boundaries))
+    present = sorted_ids[starts]
+    reduced = ufunc.reduceat(sorted_values, starts)
+    out = np.full(n_groups, np.nan, dtype=np.float64)
+    out[present] = reduced
+    return out
+
+
+def _agg_min(values, group_ids, n_groups):
+    return _sorted_reduce(values, group_ids, n_groups, np.minimum)
+
+
+def _agg_max(values, group_ids, n_groups):
+    return _sorted_reduce(values, group_ids, n_groups, np.maximum)
+
+
+def _agg_median(values, group_ids, n_groups):
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_ids)]))
+    out = np.full(n_groups, np.nan, dtype=np.float64)
+    for start, end in zip(starts, ends):
+        out[sorted_ids[start]] = np.median(sorted_values[start:end])
+    return out
+
+
+AGGREGATIONS: dict[str, Callable] = {
+    "sum": _agg_sum,
+    "count": _agg_count,
+    "mean": _agg_mean,
+    "min": _agg_min,
+    "max": _agg_max,
+    "median": _agg_median,
+}
+
+
+#: Above this product of key cardinalities the dense radix encoding of
+#: multi-key groups would overflow int64; fall back to tuple hashing.
+_MAX_DENSE_GROUPS = 2**62
+
+
+class GroupBy:
+    """A deferred group-by produced by :meth:`Table.group_by`.
+
+    Examples
+    --------
+    >>> from repro.table import Table
+    >>> t = Table({"user": ["a", "b", "a"], "hours": [1.0, 2.0, 3.0]})
+    >>> t.group_by("user").agg(hours="sum").sort_by("user").to_rows()
+    [{'user': 'a', 'hours_sum': 4.0}, {'user': 'b', 'hours_sum': 2.0}]
+    """
+
+    def __init__(self, table, keys: Sequence[str]):
+        from .frame import Table
+
+        if not keys:
+            raise ValueError("group_by requires at least one key column")
+        self._table: Table = table
+        self._keys = list(keys)
+        code_arrays = []
+        unique_arrays = []
+        capacity = 1
+        for key in self._keys:
+            codes, uniques = factorize(table[key])
+            code_arrays.append(codes)
+            unique_arrays.append(uniques)
+            capacity *= max(len(uniques), 1)
+        if capacity <= _MAX_DENSE_GROUPS:
+            combined = np.zeros(len(table), dtype=np.int64)
+            for codes, uniques in zip(code_arrays, unique_arrays):
+                combined = combined * max(len(uniques), 1) + codes
+        else:
+            # Radix encoding would overflow int64: hash key tuples instead.
+            tuples = list(zip(*[c.tolist() for c in code_arrays]))
+            as_objects = np.empty(len(tuples), dtype=object)
+            as_objects[:] = tuples
+            combined, _ = factorize(as_objects)
+        group_ids, first_index = np.unique(combined, return_index=True)
+        remap = {gid: i for i, gid in enumerate(group_ids.tolist())}
+        self._group_ids = np.array([remap[g] for g in combined.tolist()], dtype=np.int64)
+        self._n_groups = len(group_ids)
+        self._key_values = {
+            key: table[key][first_index] for key in self._keys
+        }
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct key combinations."""
+        return self._n_groups
+
+    def size(self):
+        """Return a table of group keys plus a ``count`` column."""
+        return self.agg()
+
+    def agg(self, spec: Mapping[str, str] | None = None, **kwargs: str):
+        """Aggregate value columns.
+
+        Accepts either a mapping ``{"column": "sum"}`` or keyword form
+        ``column="sum"``.  Output columns are named ``<column>_<agg>``.
+        A ``count`` column with group sizes is always included.
+        """
+        from .frame import Table
+
+        merged: dict[str, str] = dict(spec or {})
+        merged.update(kwargs)
+        data: dict[str, np.ndarray] = dict(self._key_values)
+        data["count"] = _agg_count(
+            np.empty(len(self._group_ids)), self._group_ids, self._n_groups
+        )
+        for column, agg_name in merged.items():
+            if agg_name not in AGGREGATIONS:
+                raise ValueError(
+                    f"unknown aggregation {agg_name!r}; options: {sorted(AGGREGATIONS)}"
+                )
+            values = self._table[column]
+            if values.dtype.kind == "O":
+                raise TypeError(f"cannot aggregate string column {column!r}")
+            result = AGGREGATIONS[agg_name](
+                values, self._group_ids, self._n_groups
+            )
+            data[f"{column}_{agg_name}"] = result
+        return Table(data)
+
+    def apply(self, func: Callable) -> list:
+        """Call ``func(sub_table)`` for every group; returns the list of
+        results in group order.  Use for aggregations the vectorized
+        kernels do not cover (e.g. distribution fits per group)."""
+        results = []
+        for gid in range(self._n_groups):
+            mask = self._group_ids == gid
+            results.append(func(self._table.filter(mask)))
+        return results
+
+    def groups(self):
+        """Yield ``(key_dict, sub_table)`` pairs in group order."""
+        for gid in range(self._n_groups):
+            key = {k: self._key_values[k][gid] for k in self._keys}
+            yield key, self._table.filter(self._group_ids == gid)

@@ -1,0 +1,99 @@
+"""Hash joins between tables.
+
+Implements inner and left equi-joins on one or more key columns.  Keys
+are factorized to integer codes, the right side is indexed with a plain
+dict, and the output is gathered with a single ``take`` per side — good
+enough for the job↔RAS↔task↔I/O joins this toolkit performs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["join"]
+
+_NULLS = {"i": -1, "u": 0, "f": np.nan, "O": "", "b": False}
+
+
+def _key_tuples(table, keys: Sequence[str]) -> list[tuple]:
+    columns = [table[k].tolist() for k in keys]
+    return list(zip(*columns)) if columns else []
+
+
+def join(
+    left,
+    right,
+    on: str | Sequence[str],
+    how: str = "inner",
+    suffix: str = "_right",
+):
+    """Join ``left`` with ``right`` on key column(s) ``on``.
+
+    Parameters
+    ----------
+    on:
+        A column name or list of names present in both tables.
+    how:
+        ``"inner"`` keeps matching rows only; ``"left"`` keeps all left
+        rows, filling unmatched right columns with a type-appropriate
+        null (NaN / -1 / empty string).
+    suffix:
+        Appended to right-side non-key columns that collide with left
+        column names.
+
+    Right-side duplicates fan out: a left row matching k right rows
+    appears k times, mirroring SQL semantics.
+    """
+    if how not in ("inner", "left"):
+        raise ValueError(f"how must be 'inner' or 'left', got {how!r}")
+    keys = [on] if isinstance(on, str) else list(on)
+    for key in keys:
+        if key not in left:
+            raise KeyError(f"join key {key!r} missing from left table")
+        if key not in right:
+            raise KeyError(f"join key {key!r} missing from right table")
+
+    right_index: dict[tuple, list[int]] = {}
+    for i, key in enumerate(_key_tuples(right, keys)):
+        right_index.setdefault(key, []).append(i)
+
+    left_take: list[int] = []
+    right_take: list[int] = []
+    unmatched_left: list[int] = []
+    for i, key in enumerate(_key_tuples(left, keys)):
+        matches = right_index.get(key)
+        if matches:
+            left_take.extend([i] * len(matches))
+            right_take.extend(matches)
+        elif how == "left":
+            unmatched_left.append(i)
+
+    from .frame import Table
+
+    matched_left = left.take(np.array(left_take, dtype=np.int64))
+    matched_right = right.take(np.array(right_take, dtype=np.int64))
+
+    data: dict[str, np.ndarray] = {
+        name: matched_left[name] for name in left.column_names
+    }
+    right_value_columns = [c for c in right.column_names if c not in keys]
+    for name in right_value_columns:
+        out_name = name + suffix if name in data else name
+        data[out_name] = matched_right[name]
+    joined = Table(data)
+
+    if how == "left" and unmatched_left:
+        leftover = left.take(np.array(unmatched_left, dtype=np.int64))
+        filler: dict[str, np.ndarray] = {
+            name: leftover[name] for name in left.column_names
+        }
+        for name in right_value_columns:
+            out_name = name + suffix if name in left.column_names else name
+            kind = right[name].dtype.kind
+            null = _NULLS.get(kind, None)
+            dtype = object if kind == "O" else np.float64 if kind == "f" else np.int64
+            filler[out_name] = np.full(len(leftover), null, dtype=dtype)
+        joined = Table.concat([joined, Table(filler)])
+    return joined

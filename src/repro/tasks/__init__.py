@@ -1,0 +1,12 @@
+"""Task (runjob) log substrate."""
+
+from .generator import TaskLogGenerator, TaskLogParams
+from .runjob import TASK_COLUMNS, TaskRecord, tasks_to_table
+
+__all__ = [
+    "TaskRecord",
+    "TASK_COLUMNS",
+    "tasks_to_table",
+    "TaskLogGenerator",
+    "TaskLogParams",
+]

@@ -1,0 +1,101 @@
+"""Task-log generation from completed jobs.
+
+Splits each job's execution window into its ``n_tasks`` sequential
+``runjob`` invocations.  Durations follow a Dirichlet split (tasks of
+one ensemble differ in length but sum to the job's runtime); small
+inter-task gaps model script overhead.  Exit-status semantics: every
+task of a successful job exits 0; for a failed job the *last executed*
+task carries the job's exit status, and tasks that never ran (the
+script aborted the ensemble) are not logged — which is why the observed
+task count can be lower than the intended one for failed ensembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduler.jobs import JobRecord
+
+from .runjob import TaskRecord
+
+__all__ = ["TaskLogParams", "TaskLogGenerator"]
+
+
+@dataclass(frozen=True)
+class TaskLogParams:
+    """Shape knobs of the task split."""
+
+    gap_fraction: float = 0.02  # share of the window lost to script overhead
+    dirichlet_alpha: float = 2.0  # evenness of the split (higher = more even)
+    failed_truncation: float = 0.6  # mean fraction of tasks run before a failure
+
+    def __post_init__(self):
+        if not 0.0 <= self.gap_fraction < 0.5:
+            raise ValueError("gap_fraction must be in [0, 0.5)")
+        if self.dirichlet_alpha <= 0:
+            raise ValueError("dirichlet_alpha must be positive")
+        if not 0.0 < self.failed_truncation <= 1.0:
+            raise ValueError("failed_truncation must be in (0, 1]")
+
+
+class TaskLogGenerator:
+    """Seeded task-log generator."""
+
+    def __init__(self, params: TaskLogParams | None = None, seed: int = 0):
+        self.params = params or TaskLogParams()
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, jobs: list[JobRecord]) -> list[TaskRecord]:
+        """Produce the task log for the given completed jobs."""
+        tasks: list[TaskRecord] = []
+        task_id = 0
+        for job in sorted(jobs, key=lambda j: j.job_id):
+            for record in self._split_job(job, task_id):
+                tasks.append(record)
+                task_id += 1
+        return tasks
+
+    def _split_job(self, job: JobRecord, next_task_id: int) -> list[TaskRecord]:
+        p = self.params
+        n_intended = max(job.n_tasks, 1)
+        if job.failed and n_intended > 1:
+            # The ensemble aborted partway through.
+            n_run = int(
+                np.clip(
+                    self._rng.binomial(n_intended, p.failed_truncation), 1, n_intended
+                )
+            )
+        else:
+            n_run = n_intended
+
+        window = job.runtime * (1.0 - p.gap_fraction)
+        gap_total = job.runtime - window
+        gap = gap_total / (n_run + 1)
+        if n_run == 1:
+            shares = np.array([1.0])
+        else:
+            shares = self._rng.dirichlet(np.full(n_run, p.dirichlet_alpha))
+        durations = shares * window
+
+        records = []
+        cursor = job.start_time + gap
+        for index in range(n_run):
+            start = cursor
+            end = start + float(durations[index])
+            cursor = end + gap
+            is_last = index == n_run - 1
+            status = job.exit_status if (is_last and job.failed) else 0
+            records.append(
+                TaskRecord(
+                    task_id=next_task_id + index,
+                    job_id=job.job_id,
+                    task_index=index,
+                    start_time=start,
+                    end_time=min(end, job.end_time),
+                    n_nodes=job.requested_nodes,
+                    exit_status=status,
+                )
+            )
+        return records

@@ -1,0 +1,79 @@
+"""Task (``runjob``) execution records.
+
+On BG/Q a Cobalt *job* is a script that launches one or more physical
+execution *tasks* via ``runjob``; the task log records each launch with
+its own exit status.  The paper correlates job failures with this
+execution structure (number of tasks).  Our model runs a job's tasks
+sequentially inside the job's time window — production Mira also
+allowed concurrent sub-block tasks, a refinement the analyses do not
+depend on (they consume task counts and exit statuses only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.table import Table
+
+__all__ = ["TaskRecord", "tasks_to_table", "TASK_COLUMNS"]
+
+TASK_COLUMNS = [
+    "task_id",
+    "job_id",
+    "task_index",
+    "start_time",
+    "end_time",
+    "n_nodes",
+    "exit_status",
+]
+"""Canonical column order of a task log table."""
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One ``runjob`` invocation."""
+
+    task_id: int
+    job_id: int
+    task_index: int
+    start_time: float
+    end_time: float
+    n_nodes: int
+    exit_status: int
+
+    def __post_init__(self):
+        if self.start_time > self.end_time:
+            raise ValueError(
+                f"task {self.task_id}: start {self.start_time} after end {self.end_time}"
+            )
+        if self.task_index < 0:
+            raise ValueError(f"task {self.task_id}: negative index")
+        if not 0 <= self.exit_status <= 255:
+            raise ValueError(f"task {self.task_id}: exit status {self.exit_status}")
+
+    @property
+    def runtime(self) -> float:
+        """Task execution length in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def failed(self) -> bool:
+        """True for any non-zero exit status."""
+        return self.exit_status != 0
+
+
+def tasks_to_table(tasks: Sequence[TaskRecord]) -> Table:
+    """Pack task records into the canonical task table (by task_id)."""
+    ordered = sorted(tasks, key=lambda t: t.task_id)
+    return Table(
+        {
+            "task_id": [t.task_id for t in ordered],
+            "job_id": [t.job_id for t in ordered],
+            "task_index": [t.task_index for t in ordered],
+            "start_time": [t.start_time for t in ordered],
+            "end_time": [t.end_time for t in ordered],
+            "n_nodes": [t.n_nodes for t in ordered],
+            "exit_status": [t.exit_status for t in ordered],
+        }
+    )

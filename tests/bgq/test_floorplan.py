@@ -1,0 +1,50 @@
+"""Unit tests for the ASCII machine-floor heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.bgq import INTENSITY_RAMP, MIRA, MIRA_SMALL, render_midplane_heatmap
+
+
+class TestHeatmap:
+    def test_all_zero_is_blank(self):
+        text = render_midplane_heatmap(np.zeros(MIRA.n_midplanes))
+        body = [l for l in text.splitlines() if l.startswith("row")]
+        assert len(body) == MIRA.rack_rows
+        for line in body:
+            cells = line.split(" ", 2)[2]
+            assert set(cells) <= {" "}
+
+    def test_peak_is_at_max_ramp(self):
+        values = np.zeros(MIRA.n_midplanes)
+        values[0] = 100.0
+        text = render_midplane_heatmap(values)
+        first_row = [l for l in text.splitlines() if l.startswith("row 0")][0]
+        assert INTENSITY_RAMP[-1] in first_row
+
+    def test_nonzero_never_blank(self):
+        values = np.full(MIRA.n_midplanes, 1e-6)
+        values[0] = 1.0
+        text = render_midplane_heatmap(values)
+        rows = [l for l in text.splitlines() if l.startswith("row")]
+        cells = "".join(r.split(" ", 2)[2].replace(" ", "") for r in rows)
+        # Cells are either intensity chars; tiny values must render at
+        # least level 1 ('.'), never blank.
+        assert len(cells) == MIRA.n_midplanes
+        assert " " not in cells
+
+    def test_title_and_legend(self):
+        text = render_midplane_heatmap(np.zeros(MIRA.n_midplanes), title="T")
+        assert text.splitlines()[0] == "T"
+        assert "ramp" in text.splitlines()[-1]
+
+    def test_small_spec_layout(self):
+        text = render_midplane_heatmap(
+            np.arange(MIRA_SMALL.n_midplanes, dtype=float), spec=MIRA_SMALL
+        )
+        rows = [l for l in text.splitlines() if l.startswith("row")]
+        assert len(rows) == 1  # one rack row
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="midplane values"):
+            render_midplane_heatmap(np.zeros(10))

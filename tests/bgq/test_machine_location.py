@@ -1,0 +1,173 @@
+"""Unit tests for the machine spec and location codes."""
+
+import pytest
+
+from repro.bgq import MIRA, MIRA_SMALL, Level, Location, MachineSpec
+from repro.errors import LocationError
+
+
+class TestMachineSpec:
+    def test_mira_headline_counts(self):
+        assert MIRA.n_racks == 48
+        assert MIRA.n_midplanes == 96
+        assert MIRA.nodes_per_midplane == 512
+        assert MIRA.n_nodes == 49_152
+        assert MIRA.n_cores == 786_432
+
+    def test_small_counts(self):
+        assert MIRA_SMALL.n_nodes == 256
+        assert MIRA_SMALL.n_midplanes == 8
+
+    def test_rack_name_hex(self):
+        assert MIRA.rack_name(0) == "R00"
+        assert MIRA.rack_name(15) == "R0F"
+        assert MIRA.rack_name(16) == "R10"
+        assert MIRA.rack_name(47) == "R2F"
+
+    def test_rack_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            MIRA.rack_name(48)
+
+    def test_rack_index_roundtrip(self):
+        for i in range(MIRA.n_racks):
+            assert MIRA.rack_index(MIRA.rack_name(i)) == i
+
+    def test_rack_index_malformed(self):
+        for bad in ("X00", "R0", "R0G", "R300"):
+            with pytest.raises(ValueError):
+                MIRA.rack_index(bad)
+
+    def test_rack_index_outside_machine(self):
+        with pytest.raises(ValueError):
+            MIRA_SMALL.rack_index("R10")  # only one row
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(rack_rows=0)
+        with pytest.raises(ValueError):
+            MachineSpec(rack_columns=17)
+
+
+class TestLocationParse:
+    def test_full_hierarchy(self):
+        loc = Location.parse("R17-M0-N05-J12")
+        assert loc.rack == "R17"
+        assert loc.midplane == 0
+        assert loc.node_board == 5
+        assert loc.compute_card == 12
+        assert loc.level is Level.COMPUTE_CARD
+
+    def test_core_level(self):
+        loc = Location.parse("R00-M1-N15-J31-C15")
+        assert loc.core == 15
+        assert loc.level is Level.CORE
+
+    def test_rack_only(self):
+        assert Location.parse("R2F").level is Level.RACK
+
+    def test_midplane_only(self):
+        assert Location.parse("R00-M1").level is Level.MIDPLANE
+
+    def test_roundtrip_code(self):
+        for code in ("R00", "R13-M1", "R2A-M0-N09", "R01-M1-N00-J07"):
+            assert Location.parse(code).code == code
+
+    def test_malformed(self):
+        for bad in ("", "R0", "R000", "17-M0", "R17-M2-N00", "R17-M0-N16", "R17-M0-N00-J32"):
+            with pytest.raises(LocationError):
+                Location.parse(bad)
+
+    def test_skipped_level_rejected(self):
+        with pytest.raises(LocationError, match="skips"):
+            Location.parse("R17-N05")
+
+    def test_rack_outside_machine(self):
+        with pytest.raises(LocationError):
+            Location.parse("R30")  # rows are 0..2
+
+    def test_validate_against_small_spec(self):
+        with pytest.raises(LocationError):
+            Location.parse("R05", spec=MIRA_SMALL)  # only 4 columns
+        with pytest.raises(LocationError):
+            Location.parse("R00-M0-N04", spec=MIRA_SMALL)  # only 4 node boards
+
+
+class TestLocationNavigation:
+    def test_ancestor(self):
+        loc = Location.parse("R17-M0-N05-J12")
+        assert loc.ancestor(Level.MIDPLANE).code == "R17-M0"
+        assert loc.ancestor(Level.RACK).code == "R17"
+        assert loc.ancestor(Level.COMPUTE_CARD) == loc
+
+    def test_ancestor_finer_rejected(self):
+        with pytest.raises(LocationError):
+            Location.parse("R17-M0").ancestor(Level.COMPUTE_CARD)
+
+    def test_parent_chain(self):
+        loc = Location.parse("R17-M0-N05-J12")
+        assert loc.parent().code == "R17-M0-N05"
+        assert loc.parent().parent().code == "R17-M0"
+
+    def test_rack_has_no_parent(self):
+        with pytest.raises(LocationError):
+            Location.parse("R00").parent()
+
+    def test_contains(self):
+        rack = Location.parse("R17")
+        node = Location.parse("R17-M0-N05-J12")
+        assert rack.contains(node)
+        assert rack.contains(rack)
+        assert not node.contains(rack)
+        assert not Location.parse("R18").contains(node)
+
+
+class TestLocationIndices:
+    def test_midplane_index_layout(self):
+        assert Location.parse("R00-M0").midplane_index() == 0
+        assert Location.parse("R00-M1").midplane_index() == 1
+        assert Location.parse("R01-M0").midplane_index() == 2
+        assert Location.parse("R2F-M1").midplane_index() == 95
+
+    def test_midplane_index_requires_midplane(self):
+        with pytest.raises(LocationError):
+            Location.parse("R00").midplane_index()
+
+    def test_midplane_roundtrip(self):
+        for i in range(0, MIRA.n_midplanes, 7):
+            assert Location.from_midplane_index(i).midplane_index() == i
+
+    def test_midplane_index_bounds(self):
+        with pytest.raises(LocationError):
+            Location.from_midplane_index(96)
+
+    def test_node_index_roundtrip(self):
+        for i in (0, 1, 511, 512, 49_151, 30_000):
+            loc = Location.from_node_index(i)
+            assert loc.node_index() == i
+            assert loc.level is Level.COMPUTE_CARD
+
+    def test_node_index_requires_card(self):
+        with pytest.raises(LocationError):
+            Location.parse("R00-M0").node_index()
+
+    def test_node_index_bounds(self):
+        with pytest.raises(LocationError):
+            Location.from_node_index(49_152)
+
+    def test_small_spec_indices(self):
+        loc = Location.from_node_index(255, spec=MIRA_SMALL)
+        assert loc.node_index(MIRA_SMALL) == 255
+
+    def test_ordering_is_total(self):
+        codes = ["R01-M0", "R00-M1", "R00-M0"]
+        locs = sorted(Location.parse(c) for c in codes)
+        assert [l.code for l in locs] == ["R00-M0", "R00-M1", "R01-M0"]
+
+    def test_mixed_level_ordering(self):
+        # Coarser codes sort before their own descendants.
+        locs = [
+            Location.parse(c)
+            for c in ("R01", "R00-M1", "R00", "R00-M0-N03", "R00-M0")
+        ]
+        ordered = [l.code for l in sorted(locs)]
+        assert ordered == ["R00", "R00-M0", "R00-M0-N03", "R00-M1", "R01"]

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the BG/Q machine model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgq import (
+    MIRA,
+    MIRA_SMALL,
+    Location,
+    PartitionAllocator,
+    TorusTopology,
+    allowed_block_sizes,
+)
+
+node_indices = st.integers(min_value=0, max_value=MIRA.n_nodes - 1)
+midplane_indices = st.integers(min_value=0, max_value=MIRA.n_midplanes - 1)
+
+
+@given(index=node_indices)
+def test_location_node_roundtrip(index):
+    assert Location.from_node_index(index).node_index() == index
+
+
+@given(index=midplane_indices)
+def test_location_midplane_roundtrip(index):
+    assert Location.from_midplane_index(index).midplane_index() == index
+
+
+@given(index=node_indices)
+def test_location_code_reparse(index):
+    loc = Location.from_node_index(index)
+    assert Location.parse(loc.code) == loc
+
+
+@given(index=node_indices)
+def test_ancestor_contains(index):
+    loc = Location.from_node_index(index)
+    rack = loc.ancestor(type(loc.level).RACK)
+    assert rack.contains(loc)
+
+
+@settings(max_examples=30)
+@given(a=node_indices, b=node_indices)
+def test_torus_metric_axioms(a, b):
+    torus = TorusTopology(MIRA)
+    d = torus.distance(a, b)
+    assert d >= 0
+    assert (d == 0) == (a == b)
+    assert d == torus.distance(b, a)
+    # Metric bounded by the sum of half-dimensions.
+    assert d <= sum(dim // 2 for dim in torus.dims)
+
+
+@settings(max_examples=25)
+@given(index=node_indices)
+def test_torus_roundtrip(index):
+    torus = TorusTopology(MIRA)
+    assert torus.coords_to_node(torus.node_coords(index)) == index
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    requests=st.lists(
+        st.sampled_from([512, 1024, 2048, 4096, 8192, 12288, 24576]),
+        min_size=0,
+        max_size=30,
+    ),
+    release_choices=st.lists(st.integers(min_value=0, max_value=10**6), max_size=30),
+)
+def test_allocator_invariants_under_churn(requests, release_choices):
+    """Blocks never overlap, the busy count is exact, and released
+    capacity is reusable — under arbitrary allocate/release orderings."""
+    allocator = PartitionAllocator(MIRA)
+    live = []
+    release_iter = iter(release_choices)
+    for nodes in requests:
+        block = allocator.allocate(nodes)
+        if block is not None:
+            live.append(block)
+            assert block.first_midplane % block.n_midplanes == 0  # aligned
+        choice = next(release_iter, None)
+        if live and choice is not None and choice % 3 == 0:
+            allocator.release(live.pop(choice % len(live)))
+        occupied = [m for b in live for m in b.midplane_indices]
+        assert len(occupied) == len(set(occupied))
+        assert allocator.busy_midplanes == len(occupied)
+
+
+@given(nodes=st.integers(min_value=1, max_value=MIRA.n_nodes))
+def test_block_size_rounding_sound(nodes):
+    allocator = PartitionAllocator(MIRA)
+    size = allocator.block_midplanes_for(nodes)
+    assert size in allowed_block_sizes(MIRA)
+    assert size * MIRA.nodes_per_midplane >= nodes
+    # Minimality: no smaller allowed size fits.
+    smaller = [s for s in allowed_block_sizes(MIRA) if s < size]
+    if smaller:
+        assert max(smaller) * MIRA.nodes_per_midplane < nodes
+
+
+@settings(max_examples=20)
+@given(index=st.integers(min_value=0, max_value=MIRA_SMALL.n_nodes - 1))
+def test_small_machine_roundtrips(index):
+    torus = TorusTopology(MIRA_SMALL)
+    assert torus.coords_to_node(torus.node_coords(index)) == index
+    loc = Location.from_node_index(index, MIRA_SMALL)
+    assert loc.node_index(MIRA_SMALL) == index

@@ -1,0 +1,210 @@
+"""Unit tests for torus topology and the partition allocator."""
+
+import numpy as np
+import pytest
+
+from repro.bgq import (
+    MIRA,
+    MIRA_SMALL,
+    PartitionAllocator,
+    TorusTopology,
+    allowed_block_sizes,
+    balanced_dims,
+)
+from repro.errors import AllocationError
+
+
+class TestBalancedDims:
+    def test_mira_midplane_grid(self):
+        assert balanced_dims(96, 4) == (2, 3, 4, 4)
+
+    def test_mira_inner(self):
+        assert balanced_dims(256, 4) == (4, 4, 4, 4)
+
+    def test_product_preserved(self):
+        for n in (1, 2, 8, 96, 100, 360):
+            dims = balanced_dims(n, 4)
+            assert int(np.prod(dims)) == n
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_dims(0, 4)
+
+
+class TestTorus:
+    def test_mira_dims(self):
+        torus = TorusTopology(MIRA)
+        assert torus.dims == (8, 12, 16, 16, 2)
+        assert int(np.prod(torus.dims)) == MIRA.n_nodes
+        assert torus.midplane_dims == (4, 4, 4, 4, 2)
+
+    def test_small_dims_product(self):
+        torus = TorusTopology(MIRA_SMALL)
+        assert int(np.prod(torus.dims)) == MIRA_SMALL.n_nodes
+
+    def test_coords_roundtrip(self):
+        torus = TorusTopology(MIRA)
+        for node in (0, 1, 511, 512, 49_151, 12_345):
+            assert torus.coords_to_node(torus.node_coords(node)) == node
+
+    def test_coords_roundtrip_exhaustive_small(self):
+        torus = TorusTopology(MIRA_SMALL)
+        for node in range(MIRA_SMALL.n_nodes):
+            assert torus.coords_to_node(torus.node_coords(node)) == node
+
+    def test_coords_unique_small(self):
+        torus = TorusTopology(MIRA_SMALL)
+        coords = {torus.node_coords(n) for n in range(MIRA_SMALL.n_nodes)}
+        assert len(coords) == MIRA_SMALL.n_nodes
+
+    def test_distance_symmetric_and_identity(self):
+        torus = TorusTopology(MIRA)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = rng.integers(0, MIRA.n_nodes, 2)
+            assert torus.distance(a, a) == 0
+            assert torus.distance(a, b) == torus.distance(b, a)
+
+    def test_distance_triangle_inequality(self):
+        torus = TorusTopology(MIRA_SMALL)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b, c = rng.integers(0, MIRA_SMALL.n_nodes, 3)
+            assert torus.distance(a, c) <= torus.distance(a, b) + torus.distance(b, c)
+
+    def test_wraparound(self):
+        torus = TorusTopology(MIRA)
+        # Two nodes at opposite ends of the A dimension are 1 hop apart.
+        a = torus.coords_to_node((0, 0, 0, 0, 0))
+        b = torus.coords_to_node((7, 0, 0, 0, 0))
+        assert torus.distance(a, b) == 1
+
+    def test_neighbors_are_at_distance_one(self):
+        torus = TorusTopology(MIRA)
+        node = 12_345
+        neighbors = torus.neighbors(node)
+        assert 1 <= len(neighbors) <= 10
+        for neighbor in neighbors:
+            assert torus.distance(node, neighbor) == 1
+
+    def test_same_midplane_corner_distance(self):
+        torus = TorusTopology(MIRA)
+        # Nodes 0 and 511 sit at opposite corners of midplane 0's
+        # 4x4x4x4x2 block; the global torus does not wrap at midplane
+        # boundaries, so the distance is 3+3+3+3+1 = 13 hops.
+        assert torus.distance(0, 511) == 13
+
+    def test_graph_small_machine(self):
+        torus = TorusTopology(MIRA_SMALL)
+        g = torus.graph()
+        assert g.number_of_nodes() == MIRA_SMALL.n_nodes
+        degrees = [d for _, d in g.degree()]
+        assert max(degrees) <= 10
+
+    def test_graph_refused_for_mira(self):
+        with pytest.raises(ValueError, match="4096"):
+            TorusTopology(MIRA).graph()
+
+    def test_bad_node_index(self):
+        torus = TorusTopology(MIRA)
+        with pytest.raises(ValueError):
+            torus.node_coords(MIRA.n_nodes)
+        with pytest.raises(ValueError):
+            torus.coords_to_node((99, 0, 0, 0, 0))
+
+
+class TestAllowedSizes:
+    def test_mira_sizes(self):
+        assert allowed_block_sizes(MIRA) == [1, 2, 4, 8, 16, 24, 32, 48, 64, 96]
+
+    def test_small_sizes(self):
+        assert allowed_block_sizes(MIRA_SMALL) == [1, 2, 4, 8]
+
+
+class TestAllocator:
+    def test_min_allocation_is_one_midplane(self):
+        alloc = PartitionAllocator(MIRA)
+        block = alloc.allocate(13)
+        assert block is not None
+        assert block.n_midplanes == 1
+        assert block.n_nodes == 512
+
+    def test_round_up_to_allowed_size(self):
+        alloc = PartitionAllocator(MIRA)
+        assert alloc.block_midplanes_for(512) == 1
+        assert alloc.block_midplanes_for(513) == 2
+        assert alloc.block_midplanes_for(2048) == 4
+        assert alloc.block_midplanes_for(9000) == 24
+        assert alloc.block_midplanes_for(20_000) == 48
+        assert alloc.block_midplanes_for(30_000) == 64
+
+    def test_too_large_rejected(self):
+        alloc = PartitionAllocator(MIRA)
+        with pytest.raises(AllocationError):
+            alloc.block_midplanes_for(49_153)
+        with pytest.raises(AllocationError):
+            alloc.block_midplanes_for(0)
+
+    def test_alignment(self):
+        alloc = PartitionAllocator(MIRA)
+        alloc.allocate(512)  # occupies midplane 0
+        block = alloc.allocate(1024)  # needs 2-aligned start -> midplane 2
+        assert block.first_midplane == 2
+
+    def test_full_machine(self):
+        alloc = PartitionAllocator(MIRA)
+        block = alloc.allocate(49_152)
+        assert block.n_midplanes == 96
+        assert alloc.allocate(512) is None
+
+    def test_half_machine_anchoring(self):
+        alloc = PartitionAllocator(MIRA)
+        first = alloc.allocate(24_576)
+        second = alloc.allocate(24_576)
+        assert first.first_midplane == 0
+        assert second.first_midplane == 48
+        assert alloc.allocate(512) is None
+
+    def test_release_then_reallocate(self):
+        alloc = PartitionAllocator(MIRA)
+        block = alloc.allocate(49_152)
+        alloc.release(block)
+        assert alloc.busy_midplanes == 0
+        assert alloc.allocate(49_152) is not None
+
+    def test_double_release_rejected(self):
+        alloc = PartitionAllocator(MIRA)
+        block = alloc.allocate(512)
+        alloc.release(block)
+        with pytest.raises(AllocationError):
+            alloc.release(block)
+
+    def test_no_overlap_under_churn(self):
+        rng = np.random.default_rng(2)
+        alloc = PartitionAllocator(MIRA)
+        live = []
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                alloc.release(live.pop(rng.integers(0, len(live))))
+            else:
+                nodes = int(rng.choice([512, 1024, 2048, 4096, 8192]))
+                block = alloc.allocate(nodes)
+                if block is not None:
+                    live.append(block)
+            occupied = [m for b in live for m in b.midplane_indices]
+            assert len(occupied) == len(set(occupied))
+            assert alloc.busy_midplanes == len(occupied)
+
+    def test_block_name_and_locations(self):
+        alloc = PartitionAllocator(MIRA)
+        block = alloc.allocate(1024)
+        assert block.name == "MIRA-R00-M0-R00-M1-1024"
+        assert [l.code for l in block.locations] == ["R00-M0", "R00-M1"]
+        assert block.contains_midplane(0) and not block.contains_midplane(2)
+
+    def test_utilization(self):
+        alloc = PartitionAllocator(MIRA)
+        alloc.allocate(24_576)
+        assert alloc.utilization() == pytest.approx(0.5)
+        assert alloc.free_midplanes == 48
+        assert len(alloc.active_blocks) == 1

@@ -1,0 +1,162 @@
+"""Unit and integration tests for RAS↔job attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NO_JOB,
+    attribute_failures,
+    attribution_summary,
+    event_midplanes,
+    events_per_user,
+    map_events_to_jobs,
+)
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+
+def _jobs(rows):
+    """rows: (job_id, user, start, end, first_midplane, n_midplanes, exit)."""
+    return Table(
+        {
+            "job_id": [r[0] for r in rows],
+            "user": [r[1] for r in rows],
+            "start_time": [float(r[2]) for r in rows],
+            "end_time": [float(r[3]) for r in rows],
+            "first_midplane": [r[4] for r in rows],
+            "n_midplanes": [r[5] for r in rows],
+            "exit_status": [r[6] for r in rows],
+            "core_hours": [(r[3] - r[2]) * r[5] * 512 * 16 / 3600 for r in rows],
+        }
+    )
+
+
+def _events(rows):
+    """rows: (timestamp, location)."""
+    return Table(
+        {
+            "timestamp": [float(r[0]) for r in rows],
+            "location": [r[1] for r in rows],
+        }
+    )
+
+
+class TestEventMidplanes:
+    def test_midplane_level(self):
+        assert event_midplanes(["R00-M1"]) == [(1,)]
+
+    def test_card_level(self):
+        assert event_midplanes(["R01-M0-N00-J00"]) == [(2,)]
+
+    def test_rack_level_covers_both(self):
+        assert event_midplanes(["R01"]) == [(2, 3)]
+
+    def test_memoization_consistency(self):
+        out = event_midplanes(["R00-M0", "R00-M0", "R00-M1"])
+        assert out == [(0,), (0,), (1,)]
+
+
+class TestMapEventsToJobs:
+    def test_hit_inside_window_and_block(self):
+        jobs = _jobs([(7, "a", 100, 200, 0, 2, 0)])
+        events = _events([(150, "R00-M1-N03-J05")])
+        assert map_events_to_jobs(events, jobs).tolist() == [7]
+
+    def test_miss_wrong_midplane(self):
+        jobs = _jobs([(7, "a", 100, 200, 0, 1, 0)])
+        events = _events([(150, "R05-M0")])
+        assert map_events_to_jobs(events, jobs).tolist() == [NO_JOB]
+
+    def test_miss_outside_window(self):
+        jobs = _jobs([(7, "a", 100, 200, 0, 1, 0)])
+        events = _events([(250, "R00-M0"), (50, "R00-M0")])
+        assert map_events_to_jobs(events, jobs).tolist() == [NO_JOB, NO_JOB]
+
+    def test_boundary_semantics(self):
+        """Start-inclusive, end-exclusive."""
+        jobs = _jobs([(7, "a", 100, 200, 0, 1, 0)])
+        events = _events([(100, "R00-M0"), (200, "R00-M0")])
+        assert map_events_to_jobs(events, jobs).tolist() == [7, NO_JOB]
+
+    def test_sequential_jobs_same_midplane(self):
+        jobs = _jobs([(1, "a", 0, 100, 0, 1, 0), (2, "b", 100, 200, 0, 1, 0)])
+        events = _events([(50, "R00-M0"), (150, "R00-M0")])
+        assert map_events_to_jobs(events, jobs).tolist() == [1, 2]
+
+    def test_rack_event_charged_to_running_job(self):
+        jobs = _jobs([(3, "a", 0, 100, 1, 1, 0)])  # R00-M1 only
+        events = _events([(50, "R00")])
+        assert map_events_to_jobs(events, jobs).tolist() == [3]
+
+    def test_empty_jobs(self):
+        events = _events([(1.0, "R00-M0")])
+        assert map_events_to_jobs(events, _jobs([])).tolist() == [NO_JOB]
+
+
+class TestAttributeFailures:
+    def test_system_vs_user_split(self):
+        jobs = _jobs(
+            [
+                (1, "a", 0, 100, 0, 1, 137),  # hit by event below
+                (2, "b", 0, 100, 5, 1, 139),  # user failure
+                (3, "c", 0, 100, 10, 1, 0),  # success, excluded
+            ]
+        )
+        fatal = _events([(50, "R00-M0")])
+        attributed = attribute_failures(jobs, fatal)
+        assert attributed.n_rows == 2
+        by_id = {r["job_id"]: r["attributed"] for r in attributed.to_rows()}
+        assert by_id == {1: "system", 2: "user"}
+
+    def test_summary(self):
+        jobs = _jobs([(1, "a", 0, 100, 0, 1, 137), (2, "b", 0, 100, 5, 1, 139)])
+        fatal = _events([(50, "R00-M0")])
+        summary = attribution_summary(attribute_failures(jobs, fatal))
+        assert summary["n_failed"] == 2
+        assert summary["n_system"] == 1
+        assert summary["user_share"] == pytest.approx(0.5)
+
+    def test_no_failures(self):
+        jobs = _jobs([(1, "a", 0, 100, 0, 1, 0)])
+        summary = attribution_summary(attribute_failures(jobs, _events([])))
+        assert summary["n_failed"] == 0
+        assert np.isnan(summary["user_share"])
+
+
+class TestEndToEndAttribution:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return MiraDataset.synthesize(n_days=40.0, seed=21)
+
+    def test_matches_ground_truth(self, dataset):
+        """The RAS-join attribution must recover the simulator's origin
+        labels (high precision/recall, not necessarily perfect — an
+        incident burst may spill past one job)."""
+        attributed = attribute_failures(dataset.jobs, dataset.fatal_events(), dataset.spec)
+        truth = {
+            r["job_id"]: r["origin"] for r in dataset.failed_jobs().to_rows()
+        }
+        tp = fp = fn = 0
+        for row in attributed.to_rows():
+            is_system = row["attributed"] == "system"
+            truly_system = truth[row["job_id"]] == "system"
+            tp += is_system and truly_system
+            fp += is_system and not truly_system
+            fn += (not is_system) and truly_system
+        assert fn == 0  # every true system failure is detected
+        precision = tp / max(tp + fp, 1)
+        assert precision > 0.6
+
+    def test_user_share_dominates(self, dataset):
+        summary = attribution_summary(
+            attribute_failures(dataset.jobs, dataset.fatal_events(), dataset.spec)
+        )
+        assert summary["user_share"] > 0.95
+
+    def test_events_per_user_correlation(self, dataset):
+        per_user, correlations = events_per_user(
+            dataset.ras, dataset.jobs, dataset.spec
+        )
+        assert per_user.n_rows > 10
+        assert correlations["spearman"] > 0.3
+        assert per_user["n_events"].sum() > 0

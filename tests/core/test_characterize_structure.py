@@ -1,0 +1,248 @@
+"""Unit and integration tests for characterization, structure, correlation,
+and I/O analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    failing_task_position,
+    failure_concentration,
+    failure_correlations,
+    failure_rate_by_bins,
+    failure_rate_by_category,
+    failure_rate_by_task_count,
+    io_by_outcome,
+    io_volume_vs_corehours,
+    node_count_bins,
+    runtime_summary,
+    task_count_bins,
+    top_failing,
+)
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=45.0, seed=55)
+
+
+@pytest.fixture
+def tiny_jobs():
+    return Table(
+        {
+            "job_id": [1, 2, 3, 4, 5, 6],
+            "user": ["a", "a", "a", "b", "b", "c"],
+            "project": ["p", "p", "q", "q", "q", "q"],
+            "queue": ["s", "s", "l", "l", "s", "s"],
+            "exit_status": [0, 139, 139, 0, 0, 1],
+            "allocated_nodes": [512, 512, 1024, 2048, 512, 4096],
+            "core_hours": [10.0, 20.0, 40.0, 80.0, 15.0, 160.0],
+            "n_tasks": [1, 1, 4, 2, 1, 8],
+            "requested_walltime": [3600.0] * 6,
+            "start_time": [0.0] * 6,
+            "end_time": [100.0, 50.0, 200.0, 400.0, 120.0, 90.0],
+        }
+    )
+
+
+class TestFailureRateByCategory:
+    def test_per_user(self, tiny_jobs):
+        table = failure_rate_by_category(tiny_jobs, "user").sort_by("user")
+        rows = {r["user"]: r for r in table.to_rows()}
+        assert rows["a"]["n_jobs"] == 3
+        assert rows["a"]["n_failed"] == 2
+        assert rows["a"]["failure_rate"] == pytest.approx(2 / 3)
+        assert rows["b"]["failure_rate"] == 0.0
+
+    def test_sorted_by_volume(self, tiny_jobs):
+        table = failure_rate_by_category(tiny_jobs, "user")
+        assert table["n_jobs"].tolist() == sorted(table["n_jobs"].tolist(), reverse=True)
+
+
+class TestFailureRateByBins:
+    def test_counts_conserved(self, tiny_jobs):
+        table = failure_rate_by_bins(tiny_jobs, "core_hours", n_bins=4)
+        assert table["n_jobs"].sum() == 6
+        assert table["n_failed"].sum() == 3
+
+    def test_rejects_nonpositive(self, tiny_jobs):
+        bad = tiny_jobs.with_column("core_hours", [0.0, 1, 2, 3, 4, 5])
+        with pytest.raises(ValueError):
+            failure_rate_by_bins(bad, "core_hours")
+
+    def test_node_count_bins(self, tiny_jobs):
+        table = node_count_bins(tiny_jobs)
+        assert table["allocated_nodes"].tolist() == [512, 1024, 2048, 4096]
+
+
+class TestTopFailingConcentration:
+    def test_top_failing(self, tiny_jobs):
+        table = top_failing(tiny_jobs, "user", k=2)
+        assert table.row(0)["user"] == "a"
+        assert table.row(0)["n_failed"] == 2
+        assert table.row(0)["failure_share"] == pytest.approx(2 / 3)
+
+    def test_concentration_metrics(self, tiny_jobs):
+        metrics = failure_concentration(tiny_jobs, "user")
+        assert metrics["n_values"] == 3
+        assert metrics["n_values_with_failures"] == 2
+        assert 0 < metrics["gini"] <= 1
+
+    def test_no_failures_rejected(self, tiny_jobs):
+        ok = tiny_jobs.filter(tiny_jobs["exit_status"] == 0)
+        with pytest.raises(ValueError):
+            failure_concentration(ok, "user")
+
+
+class TestRuntimeSummary:
+    def test_two_rows(self, tiny_jobs):
+        table = runtime_summary(tiny_jobs)
+        assert set(table["outcome"]) == {"success", "failed"}
+        assert table["n"].sum() == 6
+
+
+class TestStructure:
+    def test_task_count_bins(self, tiny_jobs):
+        table = task_count_bins(tiny_jobs)
+        assert table["n_jobs"].sum() == 6
+        by_label = {r["bin_label"]: r for r in table.to_rows()}
+        assert by_label["1"]["n_jobs"] == 3
+
+    def test_failure_rate_ratio(self, tiny_jobs):
+        _, ratio = failure_rate_by_task_count(tiny_jobs)
+        # single-task: 1/3 fail; multi-task: 2/3 fail.
+        assert ratio == pytest.approx(2.0)
+
+    def test_failing_task_position(self):
+        tasks = Table(
+            {
+                "task_id": [0, 1, 2, 3],
+                "job_id": [9, 9, 9, 9],
+                "task_index": [0, 1, 2, 3],
+                "start_time": [0.0, 1.0, 2.0, 3.0],
+                "end_time": [1.0, 2.0, 3.0, 4.0],
+                "n_nodes": [512] * 4,
+                "exit_status": [0, 0, 0, 139],
+            }
+        )
+        table = failing_task_position(tasks)
+        rows = {r["position_bin"]: r["n"] for r in table.to_rows()}
+        assert rows["75-100%"] == 1
+
+    def test_failing_task_position_empty(self):
+        tasks = Table(
+            {
+                "task_id": [0],
+                "job_id": [1],
+                "task_index": [0],
+                "start_time": [0.0],
+                "end_time": [1.0],
+                "n_nodes": [512],
+                "exit_status": [0],
+            }
+        )
+        assert failing_task_position(tasks).n_rows == 0
+
+
+class TestCorrelations:
+    def test_structure_of_output(self, tiny_jobs):
+        table = failure_correlations(tiny_jobs)
+        methods = set(table["method"])
+        assert methods == {"pearson", "spearman", "cramers_v"}
+        assert (np.abs(table["value"]) <= 1.0 + 1e-9).all()
+
+    def test_too_few_jobs(self, tiny_jobs):
+        with pytest.raises(ValueError):
+            failure_correlations(tiny_jobs.head(2))
+
+    def test_scale_correlation_positive_on_synthetic(self, dataset):
+        table = failure_correlations(dataset.jobs)
+        rows = {
+            (r["attribute"], r["method"]): r["value"] for r in table.to_rows()
+        }
+        assert rows[("allocated_nodes", "spearman")] > 0.02
+        assert rows[("user", "cramers_v")] > 0.2
+
+
+class TestScaleAndUserEffects:
+    def test_failure_rate_grows_with_scale(self, dataset):
+        table = node_count_bins(dataset.jobs)
+        rates = table["failure_rate"]
+        sizes = table["allocated_nodes"]
+        # Weighted trend: largest sizes fail more than smallest.
+        small = rates[sizes <= 1024].mean()
+        large = rates[sizes >= 8192].mean()
+        assert large > small
+
+    def test_failures_concentrated_on_users(self, dataset):
+        metrics = failure_concentration(dataset.jobs, "user")
+        assert metrics["gini"] > 0.5
+        assert metrics["top10pct_share"] > 0.3
+
+
+class TestIoBehavior:
+    def test_failed_jobs_write_less_per_corehour(self, dataset):
+        table, ks = io_by_outcome(dataset.io, dataset.jobs)
+        rows = {r["outcome"]: r for r in table.to_rows()}
+        assert rows["failed"]["median_write_per_ch"] < rows["success"]["median_write_per_ch"]
+        assert ks["p_value"] < 0.01  # distributions clearly differ
+
+    def test_volume_grows_with_corehours(self, dataset):
+        table = io_volume_vs_corehours(dataset.io, dataset.jobs)
+        medians = table["median_bytes"]
+        assert medians[-1] > medians[0]
+
+    def test_empty_join_rejected(self, dataset):
+        empty_jobs = dataset.jobs.filter(dataset.jobs["job_id"] < 0)
+        with pytest.raises(ValueError):
+            io_by_outcome(dataset.io, empty_jobs)
+
+
+class TestWasteByFamily:
+    def test_shares_sum_to_one(self, dataset):
+        from repro.core.characterize import wasted_core_hours_by_family
+
+        table = wasted_core_hours_by_family(dataset.jobs)
+        assert table["share_of_waste"].sum() == pytest.approx(1.0)
+        assert (table["wasted_core_hours"][:-1] >= table["wasted_core_hours"][1:]).all()
+
+    def test_totals_match_failed_corehours(self, dataset):
+        from repro.core.characterize import wasted_core_hours_by_family
+
+        table = wasted_core_hours_by_family(dataset.jobs)
+        failed = dataset.jobs.filter(dataset.jobs["exit_status"] != 0)
+        assert table["wasted_core_hours"].sum() == pytest.approx(
+            float(failed["core_hours"].sum())
+        )
+        assert table["n_failed"].sum() == failed.n_rows
+
+    def test_no_failures_rejected(self, dataset):
+        from repro.core.characterize import wasted_core_hours_by_family
+
+        ok = dataset.jobs.filter(dataset.jobs["exit_status"] == 0)
+        with pytest.raises(ValueError):
+            wasted_core_hours_by_family(ok)
+
+
+class TestWalltimeAccuracy:
+    def test_two_outcome_rows(self, dataset):
+        from repro.core.characterize import walltime_accuracy
+
+        table = walltime_accuracy(dataset.jobs)
+        assert set(table["outcome"]) == {"success", "failed"}
+        assert table["n"].sum() == dataset.jobs.n_rows
+
+    def test_ratios_bounded(self, dataset):
+        from repro.core.characterize import walltime_accuracy
+
+        table = walltime_accuracy(dataset.jobs)
+        assert (table["median"] <= 1.0 + 1e-6).all()
+        assert (table["median"] > 0).all()
+
+    def test_failed_jobs_use_less_of_request(self, dataset):
+        from repro.core.characterize import walltime_accuracy
+
+        rows = {r["outcome"]: r for r in walltime_accuracy(dataset.jobs).to_rows()}
+        assert rows["failed"]["median"] < rows["success"]["median"]
+        assert rows["failed"]["share_under_10pct"] > rows["success"]["share_under_10pct"]

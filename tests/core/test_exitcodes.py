@@ -1,0 +1,67 @@
+"""Unit tests for the exit-status taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExitFamily,
+    classify_column,
+    classify_exit_status,
+    family_breakdown,
+    is_user_family,
+)
+from repro.table import Table
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "status,family",
+        [
+            (0, ExitFamily.SUCCESS),
+            (139, ExitFamily.SEGFAULT),
+            (11, ExitFamily.SEGFAULT),
+            (134, ExitFamily.ABORT),
+            (6, ExitFamily.ABORT),
+            (1, ExitFamily.APP_ERROR),
+            (255, ExitFamily.APP_ERROR),
+            (2, ExitFamily.CONFIG),
+            (127, ExitFamily.CONFIG),
+            (143, ExitFamily.TIMEOUT),
+            (137, ExitFamily.SYSTEM_KILL),
+            (42, ExitFamily.OTHER),
+        ],
+    )
+    def test_mapping(self, status, family):
+        assert classify_exit_status(status) is family
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            classify_exit_status(256)
+        with pytest.raises(ValueError):
+            classify_exit_status(-1)
+
+    def test_classify_column(self):
+        out = classify_column(np.array([0, 139, 137]))
+        assert out.tolist() == ["success", "segfault", "system_kill"]
+
+    def test_user_families(self):
+        assert is_user_family(ExitFamily.SEGFAULT)
+        assert is_user_family(ExitFamily.TIMEOUT)
+        assert not is_user_family(ExitFamily.SYSTEM_KILL)
+        assert not is_user_family(ExitFamily.SUCCESS)
+
+
+class TestFamilyBreakdown:
+    def test_counts_and_shares(self):
+        jobs = Table({"exit_status": [0, 0, 0, 139, 134, 1, 137]})
+        table = family_breakdown(jobs)
+        rows = {r["family"]: r for r in table.to_rows()}
+        assert rows["success"]["count"] == 3
+        assert rows["success"]["share"] == pytest.approx(3 / 7)
+        assert np.isnan(rows["success"]["failure_share"])
+        assert rows["segfault"]["failure_share"] == pytest.approx(1 / 4)
+
+    def test_counts_sum(self):
+        jobs = Table({"exit_status": [0, 1, 2, 139, 139, 143]})
+        table = family_breakdown(jobs)
+        assert table["count"].sum() == 6

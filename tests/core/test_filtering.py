@@ -1,0 +1,215 @@
+"""Unit and integration tests for the event-filtering stages."""
+
+import pytest
+
+from repro.bgq import Level
+from repro.core.filtering import (
+    default_pipeline,
+    events_to_clusters,
+    jaccard,
+    similarity_filter,
+    spatial_filter,
+    temporal_filter,
+    tokenize,
+)
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+
+def _events(rows):
+    """rows: (timestamp, msg_id, location, message)."""
+    return Table(
+        {
+            "timestamp": [float(r[0]) for r in rows],
+            "msg_id": [r[1] for r in rows],
+            "location": [r[2] for r in rows],
+            "message": [r[3] for r in rows],
+        }
+    )
+
+
+MSG = "uncorrectable DDR memory error at addr=0x{:06x}"
+
+
+class TestTemporal:
+    def test_burst_collapses(self):
+        events = _events(
+            [(t, "00010006", "R00-M0-N00-J00", MSG.format(t)) for t in (0, 10, 20, 30)]
+        )
+        out = temporal_filter(events_to_clusters(events), window_seconds=60)
+        assert out.n_rows == 1
+        assert out["n_events"][0] == 4
+        assert out["first_timestamp"][0] == 0.0
+        assert out["last_timestamp"][0] == 30.0
+
+    def test_gap_splits(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (10_000, "00010006", "R00-M0-N00-J00", MSG.format(2))]
+        )
+        out = temporal_filter(events_to_clusters(events), window_seconds=60)
+        assert out.n_rows == 2
+
+    def test_different_locations_not_merged(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (1, "00010006", "R00-M0-N00-J01", MSG.format(2))]
+        )
+        out = temporal_filter(events_to_clusters(events), window_seconds=60)
+        assert out.n_rows == 2
+
+    def test_different_msg_ids_not_merged(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (1, "00010005", "R00-M0-N00-J00", "machine check in core rank=3")]
+        )
+        out = temporal_filter(events_to_clusters(events), window_seconds=60)
+        assert out.n_rows == 2
+
+    def test_event_count_conserved(self):
+        events = _events(
+            [(t, "00010006", "R00-M0-N00-J00", MSG.format(t)) for t in range(0, 500, 7)]
+        )
+        out = temporal_filter(events_to_clusters(events), window_seconds=10)
+        assert out["n_events"].sum() == events.n_rows
+
+    def test_empty_input(self):
+        out = temporal_filter(events_to_clusters(_events([])), 60)
+        assert out.n_rows == 0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            temporal_filter(events_to_clusters(_events([])), 0)
+
+
+class TestSpatial:
+    def test_fanout_within_midplane_merges(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (5, "00010006", "R00-M0-N07-J12", MSG.format(2)),
+             (9, "00010006", "R00-M0-N02-J03", MSG.format(3))]
+        )
+        out = spatial_filter(events_to_clusters(events), window_seconds=60)
+        assert out.n_rows == 1
+        assert out["n_events"][0] == 3
+        assert out["location"][0] == "R00-M0"  # lifted to the midplane
+
+    def test_other_midplane_not_merged(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (5, "00010006", "R17-M1-N00-J00", MSG.format(2))]
+        )
+        out = spatial_filter(events_to_clusters(events), window_seconds=60)
+        assert out.n_rows == 2
+
+    def test_rack_level_grouping(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (5, "00010006", "R00-M1-N00-J00", MSG.format(2))]
+        )
+        midplane = spatial_filter(events_to_clusters(events), 60, level=Level.MIDPLANE)
+        rack = spatial_filter(events_to_clusters(events), 60, level=Level.RACK)
+        assert midplane.n_rows == 2
+        assert rack.n_rows == 1
+        assert rack["location"][0] == "R00"
+
+    def test_coarse_location_kept(self):
+        # A rack-level event cannot descend to midplane level; it groups
+        # at its own level.
+        events = _events([(0, "00040003", "R05", "bulk power module failure unit=2")])
+        out = spatial_filter(events_to_clusters(events), 60)
+        assert out.n_rows == 1
+        assert out["location"][0] == "R05"
+
+    def test_count_conserved(self):
+        events = _events(
+            [(t, "00010006", f"R00-M0-N{t % 16:02d}-J00", MSG.format(t))
+             for t in range(0, 100, 3)]
+        )
+        out = spatial_filter(events_to_clusters(events), window_seconds=10)
+        assert out["n_events"].sum() == events.n_rows
+
+
+class TestSimilarity:
+    def test_tokenize_drops_payload(self):
+        a = tokenize(MSG.format(1))
+        b = tokenize(MSG.format(999_999))
+        assert a == b
+
+    def test_jaccard_bounds(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+        assert jaccard(frozenset({"a"}), frozenset()) == 0.0
+        assert jaccard(frozenset({"a", "b"}), frozenset({"b", "c"})) == pytest.approx(1 / 3)
+
+    def test_similar_messages_merge_across_locations(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (30, "00010006", "R20-M1-N05-J09", MSG.format(2))]
+        )
+        out = similarity_filter(events_to_clusters(events), 60, threshold=0.5)
+        assert out.n_rows == 1
+
+    def test_dissimilar_messages_stay_separate(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (30, "00040003", "R05", "bulk power module failure unit=2")]
+        )
+        out = similarity_filter(events_to_clusters(events), 60, threshold=0.5)
+        assert out.n_rows == 2
+
+    def test_window_closes_clusters(self):
+        events = _events(
+            [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
+             (10_000, "00010006", "R00-M0-N00-J00", MSG.format(2))]
+        )
+        out = similarity_filter(events_to_clusters(events), 60, threshold=0.5)
+        assert out.n_rows == 2
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            similarity_filter(events_to_clusters(_events([])), 60, threshold=1.5)
+
+    def test_count_conserved(self):
+        events = _events(
+            [(t, "00010006", "R00-M0-N00-J00", MSG.format(t)) for t in range(0, 300, 5)]
+        )
+        out = similarity_filter(events_to_clusters(events), 60, 0.5)
+        assert out["n_events"].sum() == events.n_rows
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return MiraDataset.synthesize(n_days=60.0, seed=33)
+
+    def test_recovers_ground_truth_incidents(self, dataset):
+        outcome = default_pipeline().run(dataset.fatal_events())
+        truth = len(dataset.incidents)
+        # Filtering should land within a small factor of the truth.
+        assert 0.7 * truth <= outcome.n_clusters <= 1.3 * truth
+
+    def test_stage_counts_monotone(self, dataset):
+        outcome = default_pipeline().run(dataset.fatal_events())
+        counts = [c for _, c in outcome.stage_counts]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_total_reduction_substantial(self, dataset):
+        outcome = default_pipeline().run(dataset.fatal_events())
+        assert outcome.total_reduction > 5
+
+    def test_event_count_conserved(self, dataset):
+        fatal = dataset.fatal_events()
+        outcome = default_pipeline().run(fatal)
+        assert outcome.clusters["n_events"].sum() == fatal.n_rows
+
+    def test_reduction_factors(self, dataset):
+        outcome = default_pipeline().run(dataset.fatal_events())
+        factors = outcome.reduction_factors()
+        assert [name for name, _ in factors] == ["temporal", "spatial", "similarity"]
+        assert all(f >= 1.0 for _, f in factors)
+
+    def test_empty_pipeline_rejected(self):
+        from repro.core.filtering import FilterPipeline
+
+        with pytest.raises(ValueError):
+            FilterPipeline([])

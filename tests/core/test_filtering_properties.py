@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the filtering stages.
+
+The invariants: event mass is conserved through every stage, output
+cluster counts never exceed input counts, time ordering holds, and the
+stages are idempotent at fixpoint.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import (
+    events_to_clusters,
+    similarity_filter,
+    spatial_filter,
+    temporal_filter,
+)
+from repro.table import Table
+
+MSG_IDS = ("00010006", "00010005", "00020004")
+LOCATIONS = (
+    "R00-M0-N00-J00",
+    "R00-M0-N03-J10",
+    "R00-M1-N00-J00",
+    "R17-M0-N05-J12",
+)
+MESSAGES = (
+    "uncorrectable DDR memory error at addr=0x{:03x}",
+    "unrecoverable machine check in core rank={:03d}",
+    "torus link failure, wrap of dimension lane={:03d}",
+)
+
+
+@st.composite
+def event_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    timestamps = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0, max_value=100_000, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    rows = {"timestamp": [], "msg_id": [], "location": [], "message": []}
+    for i, ts in enumerate(timestamps):
+        kind = draw(st.integers(0, len(MSG_IDS) - 1))
+        rows["timestamp"].append(ts)
+        rows["msg_id"].append(MSG_IDS[kind])
+        rows["location"].append(draw(st.sampled_from(LOCATIONS)))
+        rows["message"].append(MESSAGES[kind].format(i))
+    return Table(rows)
+
+
+WINDOWS = st.floats(min_value=1.0, max_value=50_000.0, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=event_tables(), window=WINDOWS)
+def test_temporal_conserves_mass(events, window):
+    out = temporal_filter(events_to_clusters(events), window)
+    assert out["n_events"].sum() == events.n_rows
+    assert out.n_rows <= events.n_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=event_tables(), window=WINDOWS)
+def test_spatial_conserves_mass(events, window):
+    out = spatial_filter(events_to_clusters(events), window)
+    assert out["n_events"].sum() == events.n_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=event_tables(),
+    window=WINDOWS,
+    threshold=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_similarity_conserves_mass(events, window, threshold):
+    out = similarity_filter(events_to_clusters(events), window, threshold)
+    assert out["n_events"].sum() == events.n_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=event_tables(), window=WINDOWS)
+def test_stages_sorted_and_span_valid(events, window):
+    for stage in (
+        lambda t: temporal_filter(t, window),
+        lambda t: spatial_filter(t, window),
+        lambda t: similarity_filter(t, window, 0.5),
+    ):
+        out = stage(events_to_clusters(events))
+        firsts = out["first_timestamp"]
+        lasts = out["last_timestamp"]
+        assert (firsts[1:] >= firsts[:-1]).all()
+        assert (lasts >= firsts).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=event_tables(), window=WINDOWS)
+def test_temporal_idempotent(events, window):
+    once = temporal_filter(events_to_clusters(events), window)
+    twice = temporal_filter(once, window)
+    # Re-filtering cannot split clusters; count stays the same and mass
+    # is still conserved (merges may still occur when a run's span is
+    # covered by the window).
+    assert twice.n_rows <= once.n_rows
+    assert twice["n_events"].sum() == events.n_rows
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=event_tables())
+def test_wider_window_never_more_clusters(events):
+    narrow = temporal_filter(events_to_clusters(events), 10.0)
+    wide = temporal_filter(events_to_clusters(events), 10_000.0)
+    assert wide.n_rows <= narrow.n_rows
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=event_tables(), window=WINDOWS)
+def test_higher_threshold_never_fewer_clusters(events, window):
+    loose = similarity_filter(events_to_clusters(events), window, 0.1)
+    strict = similarity_filter(events_to_clusters(events), window, 0.9)
+    assert strict.n_rows >= loose.n_rows

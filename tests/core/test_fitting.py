@@ -1,0 +1,134 @@
+"""Unit tests for distribution fitting and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    CANDIDATE_MODELS,
+    best_fit,
+    cdf_comparison,
+    fit_all,
+    fits_to_table,
+    get_model,
+    qq_points,
+)
+from repro.errors import FitError
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(12)
+
+
+class TestModels:
+    def test_candidate_names(self):
+        names = {m.name for m in CANDIDATE_MODELS}
+        assert names == {
+            "weibull", "pareto", "invgauss", "exponential", "erlang", "lognormal",
+        }
+
+    def test_get_model_unknown(self):
+        with pytest.raises(FitError, match="unknown model"):
+            get_model("cauchy")
+
+    def test_fit_requires_positive(self, rng):
+        with pytest.raises(FitError, match="positive"):
+            get_model("weibull").fit(np.array([1.0, -2.0] * 10))
+
+    def test_fit_requires_enough_points(self):
+        with pytest.raises(FitError, match="at least 8"):
+            get_model("weibull").fit(np.array([1.0, 2.0]))
+
+    def test_fitted_cdf_monotone(self, rng):
+        sample = rng.weibull(1.2, 500) * 100
+        fitted = get_model("weibull").fit(sample)
+        xs = np.linspace(1, 500, 50)
+        cdf = fitted.cdf(xs)
+        assert (np.diff(cdf) >= 0).all()
+        assert 0 <= cdf[0] <= cdf[-1] <= 1
+
+    def test_information_criteria(self, rng):
+        sample = rng.exponential(100, 200)
+        fitted = get_model("exponential").fit(sample)
+        assert fitted.aic() == pytest.approx(
+            2 * 1 - 2 * fitted.log_likelihood
+        )
+        assert fitted.bic(200) == pytest.approx(
+            1 * np.log(200) - 2 * fitted.log_likelihood
+        )
+
+
+class TestRecovery:
+    """The selection machinery must recover planted families (the property
+    E04 relies on)."""
+
+    def test_weibull_recovered(self, rng):
+        sample = 3000 * rng.weibull(0.7, 4000)
+        assert best_fit(sample).model_name == "weibull"
+
+    def test_pareto_recovered(self, rng):
+        sample = 300 * (1 + rng.pareto(1.6, 4000))
+        assert best_fit(sample).model_name == "pareto"
+
+    def test_invgauss_recovered(self, rng):
+        sample = rng.wald(4000, 2500, 4000)
+        assert best_fit(sample).model_name == "invgauss"
+
+    def test_exponential_recovered_under_bic(self, rng):
+        sample = rng.exponential(400, 4000)
+        winner = best_fit(sample, criterion="bic").model_name
+        assert winner == "exponential"
+
+    def test_erlang_recovered(self, rng):
+        sample = rng.gamma(3, 400, 4000)
+        winner = best_fit(sample, criterion="bic").model_name
+        assert winner in ("erlang", "exponential")
+        assert winner == "erlang"
+
+    def test_lognormal_recovered(self, rng):
+        sample = rng.lognormal(5.0, 1.5, 4000)
+        assert best_fit(sample).model_name == "lognormal"
+
+
+class TestFitAll:
+    def test_sorted_by_ks(self, rng):
+        reports = fit_all(rng.exponential(10, 500))
+        stats = [r.ks_statistic for r in reports]
+        assert stats == sorted(stats)
+
+    def test_table_rendering(self, rng):
+        table = fits_to_table(fit_all(rng.exponential(10, 500)))
+        assert table.n_rows >= 4
+        assert "ks_statistic" in table
+
+    def test_bad_criterion(self, rng):
+        with pytest.raises(ValueError):
+            best_fit(rng.exponential(10, 100), criterion="rmse")
+
+    def test_unfittable_sample(self):
+        with pytest.raises(FitError):
+            fit_all(np.array([1.0]))
+
+
+class TestEmpirical:
+    def test_cdf_comparison_shapes(self, rng):
+        sample = rng.weibull(1.0, 300) * 50
+        fitted = get_model("weibull").fit(sample)
+        xs, emp, mod = cdf_comparison(sample, fitted, n_points=64)
+        assert len(xs) == len(emp) == len(mod) == 64
+        assert abs(emp[-1] - 1.0) < 1e-9
+        assert (np.abs(emp - mod) < 0.2).mean() > 0.9  # decent agreement
+
+    def test_cdf_comparison_empty(self, rng):
+        fitted = get_model("weibull").fit(rng.weibull(1.0, 100) + 0.1)
+        with pytest.raises(ValueError):
+            cdf_comparison([], fitted)
+
+    def test_qq_near_diagonal_for_good_fit(self, rng):
+        sample = rng.exponential(100, 2000)
+        fitted = get_model("exponential").fit(sample)
+        emp_q, mod_q = qq_points(sample, fitted, n_points=20)
+        # Bulk quantiles should agree within 15%.
+        middle = slice(2, 16)
+        ratio = emp_q[middle] / mod_q[middle]
+        assert (np.abs(ratio - 1) < 0.15).all()

@@ -1,0 +1,129 @@
+"""Unit tests for interruption-interval fitting and the user study."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import fit_interruption_intervals, interruption_intervals
+from repro.core.userstudy import failure_repetition, failure_streaks, learning_curve
+from repro.errors import FitError
+from repro.table import Table
+
+
+def _clusters(timestamps):
+    return Table(
+        {
+            "first_timestamp": [float(t) for t in timestamps],
+            "last_timestamp": [float(t) for t in timestamps],
+            "msg_id": ["00010006"] * len(timestamps),
+            "location": ["R00-M0"] * len(timestamps),
+            "message": ["m"] * len(timestamps),
+            "n_events": [1] * len(timestamps),
+        }
+    )
+
+
+def _jobs(user_sequences):
+    """user_sequences: {user: [exit_status, ...]} submitted in order."""
+    rows = {"user": [], "submit_time": [], "exit_status": []}
+    t = 0.0
+    for user, statuses in user_sequences.items():
+        for status in statuses:
+            rows["user"].append(user)
+            rows["submit_time"].append(t)
+            rows["exit_status"].append(status)
+            t += 10.0
+    return Table(rows)
+
+
+class TestIntervals:
+    def test_gaps_in_days(self):
+        clusters = _clusters([0, 86_400, 3 * 86_400])
+        assert interruption_intervals(clusters).tolist() == [1.0, 2.0]
+
+    def test_unsorted_input_handled(self):
+        clusters = _clusters([3 * 86_400, 0, 86_400])
+        assert interruption_intervals(clusters).tolist() == [1.0, 2.0]
+
+    def test_too_few(self):
+        with pytest.raises(ValueError):
+            interruption_intervals(_clusters([0]))
+
+    def test_fit_recovers_exponential(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(2.0 * 86_400, 400))
+        reports = fit_interruption_intervals(_clusters(times))
+        bic_winner = min(reports, key=lambda r: r.bic)
+        assert bic_winner.model_name in ("exponential", "erlang")
+
+    def test_fit_too_few_intervals(self):
+        with pytest.raises(FitError, match="intervals"):
+            fit_interruption_intervals(_clusters([0, 86_400, 2 * 86_400]))
+
+
+class TestRepetition:
+    def test_deterministic_sequences(self):
+        jobs = _jobs({"a": [0, 0, 1, 1, 0], "b": [1, 1, 1]})
+        result = failure_repetition(jobs)
+        # transitions a: 0->0, 0->1, 1->1, 1->0 ; b: 1->1, 1->1
+        assert result["n_after_fail"] == 4
+        assert result["n_after_success"] == 2
+        assert result["p_fail_after_fail"] == pytest.approx(3 / 4)
+        assert result["p_fail_after_success"] == pytest.approx(1 / 2)
+
+    def test_heterogeneity_inflates_repetition(self):
+        """Two users with different constant rates give factor > 1 even
+        with zero within-user autocorrelation."""
+        rng = np.random.default_rng(1)
+        jobs = _jobs(
+            {
+                "safe": list((rng.random(400) < 0.05).astype(int)),
+                "risky": list((rng.random(400) < 0.8).astype(int)),
+            }
+        )
+        result = failure_repetition(jobs)
+        assert result["repetition_factor"] > 2.0
+
+    def test_no_pairs_rejected(self):
+        jobs = _jobs({"a": [0], "b": [1]})
+        with pytest.raises(ValueError):
+            failure_repetition(jobs)
+
+
+class TestStreaks:
+    def test_counts(self):
+        jobs = _jobs({"a": [1, 1, 0, 1], "b": [1, 1, 1]})
+        table = failure_streaks(jobs)
+        by_length = dict(zip(table["length"].tolist(), table["count"].tolist()))
+        assert by_length[2] == 1  # a's leading pair
+        assert by_length[1] == 1  # a's trailing single
+        assert by_length[3] == 1  # b
+
+    def test_fold_long_streaks(self):
+        jobs = _jobs({"a": [1] * 30})
+        table = failure_streaks(jobs, max_length=5)
+        assert table.filter(table["length"] == 5)["count"][0] == 1
+
+    def test_total_failures_accounted(self):
+        rng = np.random.default_rng(2)
+        jobs = _jobs({"u": list((rng.random(200) < 0.3).astype(int))})
+        table = failure_streaks(jobs, max_length=200)
+        total_from_streaks = int((table["length"] * table["count"]).sum())
+        assert total_from_streaks == int((jobs["exit_status"] != 0).sum())
+
+
+class TestLearningCurve:
+    def test_declining_user(self):
+        # First half fails, second half succeeds.
+        jobs = _jobs({"a": [1] * 20 + [0] * 20})
+        curve = learning_curve(jobs, n_bins=2, min_jobs=10)
+        assert curve["failure_rate"][0] == 1.0
+        assert curve["failure_rate"][1] == 0.0
+
+    def test_short_users_excluded(self):
+        jobs = _jobs({"a": [1] * 5, "b": [0] * 40})
+        curve = learning_curve(jobs, n_bins=2, min_jobs=20)
+        assert curve["n_jobs"].sum() == 40
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            learning_curve(_jobs({"a": [0] * 30}), n_bins=1)

@@ -1,0 +1,46 @@
+"""Unit tests for the I/O throughput-by-scale analysis."""
+
+import pytest
+
+from repro.core.io_behavior import io_throughput_by_scale
+from repro.dataset import MiraDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=40.0, seed=71)
+
+
+class TestThroughputByScale:
+    def test_one_row_per_size(self, dataset):
+        table = io_throughput_by_scale(dataset.io, dataset.jobs)
+        sizes = set(table["allocated_nodes"].tolist())
+        covered = {
+            r["allocated_nodes"]
+            for r in dataset.jobs.join(
+                dataset.io.select(["job_id"]), on="job_id"
+            ).to_rows()
+        }
+        assert sizes == covered
+
+    def test_positive_values(self, dataset):
+        table = io_throughput_by_scale(dataset.io, dataset.jobs)
+        assert (table["median_throughput_mbs"] > 0).all()
+        assert (table["median_bytes_per_node"] > 0).all()
+
+    def test_larger_jobs_higher_throughput(self, dataset):
+        """Aggregate throughput grows with scale (more nodes moving data)."""
+        table = io_throughput_by_scale(dataset.io, dataset.jobs).sort_by(
+            "allocated_nodes"
+        )
+        populated = table.filter(table["n"] >= 10)
+        if populated.n_rows >= 2:
+            assert (
+                populated["median_throughput_mbs"][-1]
+                > populated["median_throughput_mbs"][0]
+            )
+
+    def test_empty_join_rejected(self, dataset):
+        empty = dataset.jobs.filter(dataset.jobs["job_id"] < 0)
+        with pytest.raises(ValueError):
+            io_throughput_by_scale(dataset.io, empty)

@@ -1,0 +1,163 @@
+"""Unit and integration tests for the lifetime and prediction extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import (
+    epoch_summary,
+    failure_rate_changepoints,
+    failure_rate_trend,
+)
+from repro.core.prediction import (
+    LogisticPredictor,
+    UserHistoryPredictor,
+    auc_score,
+    build_features,
+    evaluate_predictors,
+)
+from repro.dataset import MiraDataset
+from repro.scheduler import WorkloadParams
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=120.0, seed=66)
+
+
+class TestEpochSummary:
+    def test_partition_of_jobs(self, dataset):
+        epochs = epoch_summary(dataset, epoch_days=30.0)
+        assert epochs["jobs"].sum() == dataset.jobs.n_rows
+        assert epochs["failed"].sum() == dataset.failed_jobs().n_rows
+        assert epochs.n_rows == 4
+
+    def test_rates_bounded(self, dataset):
+        epochs = epoch_summary(dataset, epoch_days=30.0)
+        rates = epochs["failure_rate"]
+        assert ((rates >= 0) & (rates <= 1)).all()
+
+    def test_bad_epoch_length(self, dataset):
+        with pytest.raises(ValueError):
+            epoch_summary(dataset, epoch_days=0.0)
+
+
+class TestTrend:
+    def test_stationary_workload_weak_trend(self, dataset):
+        trend = failure_rate_trend(dataset, epoch_days=20.0)
+        assert abs(trend["spearman"]) < 0.95  # no engineered drift
+        assert trend["n_epochs"] == 6
+
+    def test_too_few_epochs(self, dataset):
+        with pytest.raises(ValueError, match="3 populated epochs"):
+            failure_rate_trend(dataset, epoch_days=120.0)
+
+
+class TestChangepoints:
+    def test_stationary_no_changepoints(self, dataset):
+        assert failure_rate_changepoints(dataset, epoch_days=10.0) == []
+
+    def test_detects_injected_regime_shift(self, dataset):
+        """Doubling the failure indicator in the second half of the trace
+        must produce a detected changepoint."""
+        jobs = dataset.jobs
+        midpoint = dataset.n_days * 86_400.0 / 2
+        late = jobs["submit_time"] > midpoint
+        rng = np.random.default_rng(0)
+        # Force extra failures late: flip half the late successes to 1.
+        flip = late & (jobs["exit_status"] == 0) & (rng.random(jobs.n_rows) < 0.5)
+        statuses = np.where(flip, 1, jobs["exit_status"])
+        import dataclasses
+
+        shifted = dataclasses.replace(
+            dataset, jobs=jobs.with_column("exit_status", statuses)
+        )
+        found = failure_rate_changepoints(shifted, epoch_days=5.0)
+        assert found
+        # The changepoint lands near the midpoint epoch (12 of 24).
+        assert any(8 <= c.index <= 16 for c in found)
+        assert all(c.shift > 0 for c in found if 8 <= c.index <= 16)
+
+
+class TestFeatures:
+    def test_shapes(self, dataset):
+        x, y = build_features(dataset.jobs)
+        assert x.shape == (dataset.jobs.n_rows, 5)
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_no_leakage_first_job_prior(self):
+        jobs = Table(
+            {
+                "job_id": [1, 2, 3],
+                "user": ["u", "u", "u"],
+                "submit_time": [0.0, 10.0, 20.0],
+                "exit_status": [1, 1, 0],
+                "allocated_nodes": [512] * 3,
+                "requested_walltime": [3600.0] * 3,
+                "n_tasks": [1] * 3,
+            }
+        )
+        x, _ = build_features(jobs, smoothing=2.0)
+        # First job: prior only (2 * 0.25 / 2 = 0.25).
+        assert x[0, 0] == pytest.approx(0.25)
+        # Second job: one previous failure -> (1 + 0.5) / 3.
+        assert x[1, 0] == pytest.approx(1.5 / 3)
+        # Third: two previous failures -> (2 + 0.5) / 4.
+        assert x[2, 0] == pytest.approx(2.5 / 4)
+
+    def test_history_feature_monotone_in_failures(self, dataset):
+        x, y = build_features(dataset.jobs)
+        assert 0.0 <= x[:, 0].min() and x[:, 0].max() <= 1.0
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert auc_score(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert abs(auc_score(y, scores) - 0.5) < 0.05
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc_score(np.zeros(10), np.random.default_rng(0).random(10))
+
+
+class TestPredictors:
+    def test_logistic_learns_synthetic_rule(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, (2000, 5))
+        logits = 2.0 * x[:, 0] - 1.5 * x[:, 2]
+        y = (rng.random(2000) < 1 / (1 + np.exp(-logits))).astype(float)
+        model = LogisticPredictor().fit(x[:1500], y[:1500])
+        assert auc_score(y[1500:], model.predict_proba(x[1500:])) > 0.8
+
+    def test_logistic_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticPredictor().predict_proba(np.zeros((2, 5)))
+
+    def test_logistic_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticPredictor().fit(np.zeros((0, 5)), np.zeros(0))
+
+    def test_user_history_passthrough(self):
+        x = np.array([[0.3, 1, 9, 8, 0], [0.7, 2, 9, 8, 0]])
+        assert UserHistoryPredictor().fit(x, np.array([0, 1])).predict_proba(x).tolist() == [0.3, 0.7]
+
+
+class TestEvaluate:
+    def test_both_predictors_beat_coin_flip(self, dataset):
+        table = evaluate_predictors(dataset.jobs)
+        assert table.n_rows == 2
+        assert (table["auc"] > 0.7).all()
+        assert (table["brier"] < 0.25).all()
+
+    def test_bad_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            evaluate_predictors(dataset.jobs, train_fraction=0.99)
+
+    def test_too_few_jobs(self, dataset):
+        with pytest.raises(ValueError, match="at least 10"):
+            evaluate_predictors(dataset.jobs.head(12))

@@ -1,0 +1,100 @@
+"""Unit tests for the WARN→FATAL precursor analysis."""
+
+import pytest
+
+from repro.bgq import Level
+from repro.core.precursors import alarm_quality, precursor_coverage
+from repro.table import Table
+
+
+def _warns(rows):
+    """rows: (timestamp, location)."""
+    return Table(
+        {
+            "timestamp": [float(r[0]) for r in rows],
+            "location": [r[1] for r in rows],
+        }
+    )
+
+
+def _clusters(rows):
+    """rows: (first_timestamp, location)."""
+    return Table(
+        {
+            "first_timestamp": [float(r[0]) for r in rows],
+            "last_timestamp": [float(r[0]) for r in rows],
+            "msg_id": ["00010006"] * len(rows),
+            "location": [r[1] for r in rows],
+            "message": ["m"] * len(rows),
+            "n_events": [1] * len(rows),
+        }
+    )
+
+
+class TestCoverage:
+    def test_covered_when_warn_precedes_same_midplane(self):
+        warns = _warns([(100, "R00-M0-N02-J05")])
+        clusters = _clusters([(500, "R00-M0-N07-J01")])
+        metrics, leads = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        assert metrics["coverage"] == 1.0
+        assert leads.tolist() == [400.0]
+
+    def test_not_covered_other_midplane(self):
+        warns = _warns([(100, "R00-M1")])
+        clusters = _clusters([(500, "R00-M0")])
+        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        assert metrics["coverage"] == 0.0
+
+    def test_not_covered_outside_lookback(self):
+        warns = _warns([(100, "R00-M0")])
+        clusters = _clusters([(50_000, "R00-M0")])
+        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        assert metrics["coverage"] == 0.0
+
+    def test_warn_after_fatal_does_not_count(self):
+        warns = _warns([(900, "R00-M0")])
+        clusters = _clusters([(500, "R00-M0")])
+        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        assert metrics["coverage"] == 0.0
+
+    def test_rack_level_grouping(self):
+        warns = _warns([(100, "R00-M1")])
+        clusters = _clusters([(500, "R00-M0")])
+        metrics, _ = precursor_coverage(
+            warns, clusters, lookback_seconds=1000, level=Level.RACK
+        )
+        assert metrics["coverage"] == 1.0
+
+    def test_bad_lookback(self):
+        with pytest.raises(ValueError):
+            precursor_coverage(_warns([]), _clusters([(1, "R00")]), lookback_seconds=0)
+
+    def test_no_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            precursor_coverage(_warns([]), _clusters([]), lookback_seconds=10)
+
+
+class TestAlarmQuality:
+    def test_perfect_alarm(self):
+        warns = _warns([(100, "R00-M0")])
+        clusters = _clusters([(500, "R00-M0")])
+        quality = alarm_quality(warns, clusters, horizon_seconds=1000)
+        assert quality["precision"] == 1.0
+        assert quality["recall"] == 1.0
+
+    def test_false_alarms_dilute_precision(self):
+        warns = _warns([(100, "R00-M0"), (100, "R10-M0"), (100, "R11-M1")])
+        clusters = _clusters([(500, "R00-M0")])
+        quality = alarm_quality(warns, clusters, horizon_seconds=1000)
+        assert quality["precision"] == pytest.approx(1 / 3)
+        assert quality["recall"] == 1.0
+
+    def test_missed_fatal_hurts_recall(self):
+        warns = _warns([(100, "R00-M0")])
+        clusters = _clusters([(500, "R00-M0"), (500, "R20-M1")])
+        quality = alarm_quality(warns, clusters, horizon_seconds=1000)
+        assert quality["recall"] == pytest.approx(0.5)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            alarm_quality(_warns([]), _clusters([(1, "R00")]), horizon_seconds=-1)

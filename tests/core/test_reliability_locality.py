@@ -1,0 +1,158 @@
+"""Unit and integration tests for reliability and locality analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    availability,
+    counts_by_midplane,
+    default_pipeline,
+    hot_midplanes,
+    job_interruption_mtti,
+    locality_metrics,
+    mtti_from_clusters,
+)
+from repro.dataset import MiraDataset
+from repro.table import Table
+
+
+def _clusters(timestamps, location="R00-M0"):
+    return Table(
+        {
+            "first_timestamp": [float(t) for t in timestamps],
+            "last_timestamp": [float(t) for t in timestamps],
+            "msg_id": ["00010006"] * len(timestamps),
+            "location": [location] * len(timestamps),
+            "message": ["m"] * len(timestamps),
+            "n_events": [1] * len(timestamps),
+        }
+    )
+
+
+class TestMtti:
+    def test_basic(self):
+        report = mtti_from_clusters(_clusters([0, 86_400, 172_800]), span_days=30)
+        assert report.n_interruptions == 3
+        assert report.mtti_days == pytest.approx(10.0)
+
+    def test_no_interruptions(self):
+        report = mtti_from_clusters(_clusters([]), span_days=10)
+        assert report.mtti_days == float("inf")
+
+    def test_inter_arrival(self):
+        report = mtti_from_clusters(_clusters([0, 86_400, 3 * 86_400]), span_days=10)
+        assert report.inter_arrival_days().tolist() == [1.0, 2.0]
+
+    def test_bad_span(self):
+        with pytest.raises(ValueError):
+            mtti_from_clusters(_clusters([0]), span_days=0)
+
+    def test_availability(self):
+        report = mtti_from_clusters(_clusters([0, 86_400]), span_days=10)
+        # 2 interruptions x 4h repair = 8h downtime over 10 days.
+        assert availability(report, repair_hours_per_interruption=4.0) == pytest.approx(
+            1 - (8 / 24) / 10
+        )
+
+    def test_availability_bad_repair(self):
+        report = mtti_from_clusters(_clusters([0]), span_days=1)
+        with pytest.raises(ValueError):
+            availability(report, repair_hours_per_interruption=-1)
+
+
+class TestJobInterruptionMtti:
+    def test_only_job_hits_count(self):
+        jobs = Table(
+            {
+                "job_id": [1],
+                "start_time": [0.0],
+                "end_time": [100.0],
+                "first_midplane": [0],
+                "n_midplanes": [1],
+            }
+        )
+        clusters = _clusters([50, 5000])  # second is after the job ended
+        report = job_interruption_mtti(clusters, jobs, span_days=10)
+        assert report.n_interruptions == 1
+        assert report.mtti_days == pytest.approx(10.0)
+
+    def test_empty_clusters(self):
+        jobs = Table(
+            {
+                "job_id": [1],
+                "start_time": [0.0],
+                "end_time": [100.0],
+                "first_midplane": [0],
+                "n_midplanes": [1],
+            }
+        )
+        report = job_interruption_mtti(_clusters([]), jobs, span_days=10)
+        assert report.n_interruptions == 0
+
+
+class TestLocalityMetrics:
+    def test_uniform_counts(self):
+        metrics = locality_metrics(np.full(96, 5))
+        assert metrics["gini"] == pytest.approx(0.0, abs=1e-9)
+        assert metrics["normalized_entropy"] == pytest.approx(1.0)
+
+    def test_concentrated_counts(self):
+        counts = np.zeros(96)
+        counts[3] = 100
+        metrics = locality_metrics(counts)
+        assert metrics["top1_share"] == 1.0
+        assert metrics["gini"] > 0.9
+        assert metrics["n_locations_hit"] == 1
+
+    def test_all_zero(self):
+        metrics = locality_metrics(np.zeros(96))
+        assert metrics["n_locations_hit"] == 0
+        assert metrics["normalized_entropy"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            locality_metrics(np.array([]))
+
+
+class TestEndToEndReliability:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return MiraDataset.synthesize(n_days=90.0, seed=44)
+
+    @pytest.fixture(scope="class")
+    def filtered(self, dataset):
+        return default_pipeline().run(dataset.fatal_events()).clusters
+
+    def test_system_mtti_near_incident_rate(self, dataset, filtered):
+        report = mtti_from_clusters(filtered, span_days=dataset.n_days)
+        # Raw incident rate is 0.44/day -> system MTTI ~2.3 days.
+        assert 1.2 < report.mtti_days < 4.5
+
+    def test_job_mtti_in_paper_band(self, dataset, filtered):
+        report = job_interruption_mtti(
+            filtered, dataset.jobs, span_days=dataset.n_days, spec=dataset.spec
+        )
+        # The paper's headline: ~3.5 days between job interruptions.
+        assert 2.0 < report.mtti_days < 7.0
+
+    def test_job_mtti_matches_system_failures(self, dataset, filtered):
+        """Filtered job-affecting clusters should approximate the number
+        of system-killed jobs."""
+        report = job_interruption_mtti(
+            filtered, dataset.jobs, span_days=dataset.n_days, spec=dataset.spec
+        )
+        n_system = dataset.jobs.filter(dataset.jobs["origin"] == "system").n_rows
+        assert abs(report.n_interruptions - n_system) <= max(3, 0.4 * n_system)
+
+    def test_fatal_locality_strong(self, dataset):
+        counts = counts_by_midplane(dataset.fatal_events(), dataset.spec)
+        metrics = locality_metrics(counts)
+        assert metrics["gini"] > 0.5
+        assert metrics["top10pct_share"] > 0.3
+
+    def test_hot_midplanes_table(self, dataset):
+        table = hot_midplanes(dataset.fatal_events(), dataset.spec, k=5)
+        assert table.n_rows == 5
+        counts = table["n_events"]
+        assert (counts[:-1] >= counts[1:]).all()
+        assert table["share"].sum() <= 1.0 + 1e-9

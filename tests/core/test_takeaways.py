@@ -1,0 +1,41 @@
+"""Unit tests for the takeaway scorecard machinery."""
+
+import pytest
+
+from repro.core.takeaways import Takeaway, compute_takeaways, takeaways_to_table
+from repro.dataset import MiraDataset
+
+
+@pytest.fixture(scope="module")
+def takeaways():
+    dataset = MiraDataset.synthesize(n_days=100.0, seed=111)
+    return compute_takeaways(dataset)
+
+
+class TestStructure:
+    def test_exactly_22(self, takeaways):
+        assert len(takeaways) == 22
+
+    def test_ids_sequential(self, takeaways):
+        assert [t.takeaway_id for t in takeaways] == [
+            f"T{i:02d}" for i in range(1, 23)
+        ]
+
+    def test_every_claim_has_measurement(self, takeaways):
+        for takeaway in takeaways:
+            assert isinstance(takeaway, Takeaway)
+            assert takeaway.claim
+            assert takeaway.measured
+            assert isinstance(takeaway.holds, bool)
+
+    def test_core_claims_hold_at_moderate_scale(self, takeaways):
+        """The non-marginal takeaways must hold even on a 100-day trace."""
+        must_hold = {"T01", "T02", "T10", "T16", "T17", "T18", "T19"}
+        holding = {t.takeaway_id for t in takeaways if t.holds}
+        assert must_hold <= holding
+
+    def test_table_rendering(self, takeaways):
+        table = takeaways_to_table(takeaways)
+        assert table.n_rows == 22
+        assert set(table.column_names) == {"id", "claim", "measured", "holds"}
+        assert set(table["holds"].tolist()) <= {0, 1}

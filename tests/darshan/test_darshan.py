@@ -1,0 +1,117 @@
+"""Unit tests for the Darshan I/O substrate."""
+
+import numpy as np
+import pytest
+
+from repro.darshan import DarshanGenerator, DarshanParams, IoRecord, io_to_table
+from repro.scheduler import CobaltScheduler, FailureOrigin, JobRecord, WorkloadModel
+
+
+def _job(job_id=0, exit_status=0, origin=FailureOrigin.NONE, runtime=3600.0, nodes=512):
+    return JobRecord(
+        job_id=job_id,
+        user="u",
+        project="p",
+        queue="q",
+        submit_time=0.0,
+        start_time=0.0,
+        end_time=runtime,
+        requested_nodes=nodes,
+        allocated_nodes=nodes,
+        requested_walltime=runtime * 2,
+        exit_status=exit_status,
+        block="B",
+        first_midplane=0,
+        n_midplanes=1,
+        n_tasks=1,
+        origin=origin,
+    )
+
+
+class TestIoRecord:
+    def test_derived(self):
+        r = IoRecord(0, "u", 100.0, 200.0, 5, 10.0, 100.0)
+        assert r.total_bytes == 300.0
+        assert r.io_intensity == pytest.approx(0.1)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            IoRecord(0, "u", -1.0, 0.0, 0, 0.0, 10.0)
+
+    def test_io_time_bounded_by_runtime(self):
+        with pytest.raises(ValueError):
+            IoRecord(0, "u", 0.0, 0.0, 0, 20.0, 10.0)
+
+    def test_zero_runtime_intensity(self):
+        assert IoRecord(0, "u", 0.0, 0.0, 0, 0.0, 0.0).io_intensity == 0.0
+
+
+class TestGenerator:
+    def test_coverage_subset(self):
+        jobs = [_job(job_id=i) for i in range(2000)]
+        params = DarshanParams(coverage=0.5)
+        records = DarshanGenerator(params, seed=0).generate(jobs)
+        assert 0.4 * len(jobs) < len(records) < 0.6 * len(jobs)
+        job_ids = {j.job_id for j in jobs}
+        assert all(r.job_id in job_ids for r in records)
+
+    def test_full_coverage(self):
+        jobs = [_job(job_id=i) for i in range(50)]
+        records = DarshanGenerator(DarshanParams(coverage=1.0), seed=1).generate(jobs)
+        assert len(records) == 50
+
+    def test_volume_scales_with_corehours(self):
+        small = [_job(job_id=i, nodes=512, runtime=1800.0) for i in range(300)]
+        large = [_job(job_id=1000 + i, nodes=8192, runtime=7200.0) for i in range(300)]
+        gen = DarshanGenerator(DarshanParams(coverage=1.0), seed=2)
+        rec_small = gen.generate(small)
+        rec_large = gen.generate(large)
+        assert np.median([r.total_bytes for r in rec_large]) > 10 * np.median(
+            [r.total_bytes for r in rec_small]
+        )
+
+    def test_failed_jobs_write_less(self):
+        ok = [_job(job_id=i) for i in range(500)]
+        bad = [
+            _job(job_id=1000 + i, exit_status=139, origin=FailureOrigin.USER)
+            for i in range(500)
+        ]
+        gen = DarshanGenerator(DarshanParams(coverage=1.0), seed=3)
+        written_ok = np.median([r.bytes_written for r in gen.generate(ok)])
+        written_bad = np.median([r.bytes_written for r in gen.generate(bad)])
+        assert written_bad < 0.7 * written_ok
+
+    def test_io_time_within_runtime(self):
+        jobs = [_job(job_id=i) for i in range(100)]
+        records = DarshanGenerator(DarshanParams(coverage=1.0), seed=4).generate(jobs)
+        assert all(0 <= r.io_time <= r.runtime for r in records)
+
+    def test_deterministic(self):
+        jobs = [_job(job_id=i) for i in range(20)]
+        a = DarshanGenerator(seed=5).generate(jobs)
+        b = DarshanGenerator(seed=5).generate(jobs)
+        assert [(r.job_id, r.bytes_read) for r in a] == [
+            (r.job_id, r.bytes_read) for r in b
+        ]
+
+    def test_table_schema(self):
+        jobs = [_job(job_id=i) for i in range(10)]
+        table = io_to_table(DarshanGenerator(DarshanParams(coverage=1.0), seed=6).generate(jobs))
+        assert table.n_rows == 10
+        assert set(table.column_names) >= {"bytes_read", "bytes_written", "io_time"}
+
+    def test_end_to_end(self):
+        intents = WorkloadModel(seed=41).generate(5.0)
+        result = CobaltScheduler().run(intents, horizon_days=5.0)
+        records = DarshanGenerator(seed=41).generate(result.jobs)
+        assert 0.3 * result.n_completed < len(records) < 0.8 * result.n_completed
+
+
+class TestParams:
+    def test_bad_coverage(self):
+        with pytest.raises(ValueError):
+            DarshanParams(coverage=0.0)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            DarshanParams(failed_write_factor=0.0)

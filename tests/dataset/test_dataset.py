@@ -1,0 +1,146 @@
+"""Integration tests for dataset synthesis, persistence, validation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bgq import MIRA
+from repro.dataset import MiraDataset, validate_dataset
+from repro.errors import DatasetError
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=20.0, seed=7)
+
+
+class TestSynthesize:
+    def test_all_logs_populated(self, dataset):
+        assert dataset.ras.n_rows > 0
+        assert dataset.jobs.n_rows > 0
+        assert dataset.tasks.n_rows >= dataset.jobs.n_rows
+        assert 0 < dataset.io.n_rows < dataset.jobs.n_rows
+
+    def test_summary_keys(self, dataset):
+        summary = dataset.summary()
+        assert summary["n_jobs"] == dataset.jobs.n_rows
+        assert summary["n_failed_jobs"] > 0
+        assert 0.1 < summary["failure_rate"] < 0.45
+        assert summary["total_core_hours"] > 0
+        assert (
+            summary["n_ras_info"] + summary["n_ras_warn"] + summary["n_ras_fatal"]
+            == summary["n_ras_events"]
+        )
+
+    def test_validates(self, dataset):
+        report = validate_dataset(dataset)
+        assert all(v == "ok" for v in report.values())
+
+    def test_block_annotation(self, dataset):
+        annotated = dataset.ras.filter(dataset.ras["block"] != "")
+        assert annotated.n_rows > 0
+        job_blocks = set(dataset.jobs["block"].tolist())
+        assert set(annotated.unique("block")) <= job_blocks
+
+    def test_fatal_slice(self, dataset):
+        fatal = dataset.fatal_events()
+        assert fatal.n_rows == dataset.summary()["n_ras_fatal"]
+        assert set(fatal.unique("severity")) == {"FATAL"}
+
+    def test_failed_slice(self, dataset):
+        failed = dataset.failed_jobs()
+        assert failed.n_rows == dataset.summary()["n_failed_jobs"]
+        assert (failed["exit_status"] != 0).all()
+
+    def test_deterministic(self):
+        a = MiraDataset.synthesize(n_days=3.0, seed=9)
+        b = MiraDataset.synthesize(n_days=3.0, seed=9)
+        assert a.jobs == b.jobs
+        assert a.ras == b.ras
+
+    def test_system_failures_recorded(self, dataset):
+        system = dataset.jobs.filter(dataset.jobs["origin"] == "system")
+        # 20 days at 0.44 incidents/day on a ~2/3-busy machine: expect a few.
+        assert system.n_rows >= 1
+        assert (system["exit_status"] == 137).all()
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, dataset):
+        dataset.save(tmp_path / "ds")
+        loaded = MiraDataset.load(tmp_path / "ds")
+        assert loaded.jobs.n_rows == dataset.jobs.n_rows
+        assert loaded.ras.n_rows == dataset.ras.n_rows
+        assert loaded.spec.n_nodes == MIRA.n_nodes
+        assert loaded.n_days == dataset.n_days
+        assert len(loaded.incidents) == len(dataset.incidents)
+        assert loaded.summary() == dataset.summary()
+
+    def test_loaded_dataset_validates(self, tmp_path, dataset):
+        dataset.save(tmp_path / "ds")
+        validate_dataset(MiraDataset.load(tmp_path / "ds"))
+
+    def test_missing_file_rejected(self, tmp_path, dataset):
+        dataset.save(tmp_path / "ds")
+        (tmp_path / "ds" / "jobs.csv").unlink()
+        with pytest.raises(DatasetError, match="missing"):
+            MiraDataset.load(tmp_path / "ds")
+
+    def test_load_nonexistent_dir(self, tmp_path):
+        with pytest.raises(DatasetError):
+            MiraDataset.load(tmp_path / "nope")
+
+
+class TestValidatorCatchesCorruption:
+    def test_orphan_task(self, dataset):
+        corrupted = dataclasses.replace(
+            dataset,
+            tasks=dataset.tasks.with_column(
+                "job_id", np.full(dataset.tasks.n_rows, 10**9)
+            ),
+        )
+        with pytest.raises(DatasetError, match="unknown jobs"):
+            validate_dataset(corrupted)
+
+    def test_task_outside_window(self, dataset):
+        corrupted = dataclasses.replace(
+            dataset,
+            tasks=dataset.tasks.with_column(
+                "end_time", dataset.tasks["end_time"] + 10**9
+            ),
+        )
+        with pytest.raises(DatasetError, match="end after"):
+            validate_dataset(corrupted)
+
+    def test_overlapping_jobs(self, dataset):
+        jobs = dataset.jobs
+        first_two = jobs.head(2)
+        forced = Table.concat(
+            [
+                first_two.with_column("first_midplane", [0, 0]).with_column(
+                    "n_midplanes", [1, 1]
+                ).with_column("start_time", [0.0, 0.0]).with_column(
+                    "end_time", [100.0, 100.0]
+                ).with_column("submit_time", [0.0, 0.0]),
+                jobs.take(np.arange(2, jobs.n_rows)),
+            ]
+        )
+        corrupted = dataclasses.replace(dataset, jobs=forced)
+        with pytest.raises(DatasetError, match="overlap"):
+            validate_dataset(corrupted)
+
+    def test_duplicate_io_profile(self, dataset):
+        doubled = Table.concat([dataset.io, dataset.io.head(1)])
+        corrupted = dataclasses.replace(dataset, io=doubled)
+        with pytest.raises(DatasetError, match="duplicate"):
+            validate_dataset(corrupted)
+
+    def test_incident_mismatch(self, dataset):
+        corrupted = dataclasses.replace(
+            dataset,
+            ras=dataset.ras.filter(dataset.ras["severity"] != "FATAL"),
+        )
+        with pytest.raises(DatasetError, match="ground truth"):
+            validate_dataset(corrupted)

@@ -1,0 +1,126 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not quietly.
+
+A toolkit consuming multi-GB production logs must reject malformed
+input with actionable errors rather than producing subtly wrong
+analyses.  These tests corrupt on-disk datasets and CSVs in targeted
+ways and assert the error surface.
+"""
+
+import pytest
+
+from repro.dataset import MiraDataset, validate_dataset
+from repro.errors import DatasetError, ParseError, ReproError
+from repro.ras import default_catalog, load_ras_log
+from repro.scheduler import load_job_log
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("ds") / "mira"
+    MiraDataset.synthesize(n_days=8.0, seed=55).save(directory)
+    return directory
+
+
+def _corrupt(path, transform):
+    text = path.read_text()
+    path.write_text(transform(text))
+
+
+class TestCorruptedJobLog:
+    def test_truncated_file(self, saved, tmp_path):
+        import shutil
+
+        target = tmp_path / "ds"
+        shutil.copytree(saved, target)
+        jobs = target / "jobs.csv"
+        lines = jobs.read_text().splitlines()
+        # Chop a line in half (ragged row).
+        lines[3] = lines[3].split(",")[0]
+        jobs.write_text("\n".join(lines))
+        with pytest.raises((ParseError, ValueError)):
+            MiraDataset.load(target)
+
+    def test_negative_runtime(self, saved, tmp_path):
+        import shutil
+
+        target = tmp_path / "ds"
+        shutil.copytree(saved, target)
+        table = load_job_log(target / "jobs.csv")
+        broken = table.with_column("end_time", table["start_time"] - 10.0)
+        from repro.table import write_csv
+
+        write_csv(broken, target / "jobs.csv")
+        with pytest.raises(ParseError, match="end_time"):
+            MiraDataset.load(target)
+
+    def test_exit_status_out_of_range(self, saved, tmp_path):
+        import shutil
+
+        target = tmp_path / "ds"
+        shutil.copytree(saved, target)
+        table = load_job_log(target / "jobs.csv")
+        broken = table.with_column("exit_status", [999] * table.n_rows)
+        from repro.table import write_csv
+
+        write_csv(broken, target / "jobs.csv")
+        with pytest.raises(ParseError, match="exit statuses"):
+            MiraDataset.load(target)
+
+
+class TestCorruptedRasLog:
+    def test_severity_typo(self, saved, tmp_path):
+        import shutil
+
+        target = tmp_path / "ds"
+        shutil.copytree(saved, target)
+        _corrupt(target / "ras.csv", lambda t: t.replace("FATAL", "FATAAL"))
+        with pytest.raises(ParseError, match="severities"):
+            MiraDataset.load(target)
+
+    def test_unknown_msg_id_vs_catalog(self, saved):
+        table = load_ras_log(saved / "ras.csv")
+        broken = table.with_column("msg_id", ["DEADBEEF"] * table.n_rows)
+        from repro.ras import validate_ras_table
+
+        with pytest.raises(ParseError, match="message ids"):
+            validate_ras_table(broken, catalog=default_catalog())
+
+
+class TestCorruptedMetadata:
+    def test_missing_meta(self, saved, tmp_path):
+        import shutil
+
+        target = tmp_path / "ds"
+        shutil.copytree(saved, target)
+        (target / "meta.jsonl").unlink()
+        with pytest.raises(DatasetError, match="missing"):
+            MiraDataset.load(target)
+
+    def test_garbled_meta(self, saved, tmp_path):
+        import shutil
+
+        target = tmp_path / "ds"
+        shutil.copytree(saved, target)
+        (target / "meta.jsonl").write_text("not json\n")
+        with pytest.raises(Exception):
+            MiraDataset.load(target)
+
+
+class TestErrorHierarchy:
+    def test_all_toolkit_errors_catchable(self):
+        """Every deliberate error derives from ReproError."""
+        from repro import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError)
+
+    def test_cross_log_errors_are_dataset_errors(self, saved):
+        import dataclasses
+
+        dataset = MiraDataset.load(saved)
+        broken = dataclasses.replace(
+            dataset, io=dataset.io.with_column("job_id", [10**9] * dataset.io.n_rows)
+        )
+        with pytest.raises(DatasetError):
+            validate_dataset(broken)

@@ -1,0 +1,235 @@
+"""Integration tests for the experiment suite.
+
+All experiments run against one shared 120-day dataset (module-scoped);
+assertions pin the paper's *shape* claims, not absolute counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset import MiraDataset
+from repro.experiments import ExperimentResult, all_experiments, get_experiment, run_experiment
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=120.0, seed=101)
+
+
+class TestFramework:
+    def test_all_experiments_registered(self):
+        ids = list(all_experiments())
+        # e01..e16 reconstruct the paper; e17..e21 are extensions.
+        assert ids == [f"e{i:02d}" for i in range(1, 22)]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("e99")
+
+    def test_result_text_rendering(self, dataset):
+        result = run_experiment("e01", dataset)
+        text = result.to_text()
+        assert "E01" in text and "overview" in text
+
+    def test_all_experiments_run(self, dataset):
+        for experiment_id in all_experiments():
+            result = run_experiment(experiment_id, dataset)
+            assert isinstance(result, ExperimentResult)
+            assert result.experiment_id == experiment_id
+            assert result.tables
+
+
+class TestE01Overview:
+    def test_totals_consistent(self, dataset):
+        result = run_experiment("e01", dataset)
+        assert result.metrics["n_jobs"] == dataset.jobs.n_rows
+        assert 0.3 < result.metrics["utilization"] < 0.95
+
+
+class TestE02ExitStatus:
+    def test_zero_dominates(self, dataset):
+        result = run_experiment("e02", dataset)
+        per_status = result.tables["per_status"]
+        assert per_status.row(0)["exit_status"] == 0
+        assert 0.1 < result.metrics["failure_rate"] < 0.45
+
+
+class TestE03Attribution:
+    def test_user_share_matches_paper_band(self, dataset):
+        result = run_experiment("e03", dataset)
+        assert result.metrics["user_share"] > 0.97
+        assert result.metrics["system_share"] < 0.03
+
+    def test_join_close_to_ground_truth(self, dataset):
+        result = run_experiment("e03", dataset)
+        breakdown = result.tables["breakdown"]
+        joined = {
+            (r["source"], r["cause"]): r["n_failures"] for r in breakdown.to_rows()
+        }
+        truth_system = joined[("ground_truth", "system")]
+        ras_system = joined[("ras_join", "system")]
+        assert abs(ras_system - truth_system) <= max(3, 0.5 * truth_system)
+
+
+class TestE04Distributions:
+    def test_majority_of_families_match(self, dataset):
+        result = run_experiment("e04", dataset)
+        assert result.metrics["families_checked"] == 4
+        # At 120-day scale sampling noise can flip one family.
+        assert result.metrics["families_matching_paper"] >= 3
+
+    def test_fit_table_schema(self, dataset):
+        fits = run_experiment("e04", dataset).tables["fits"]
+        assert set(fits["family"]) == {"segfault", "abort", "app_error", "config"}
+        assert (fits["ks_statistic"] < 0.2).all()
+
+
+class TestE05Scale:
+    def test_rate_grows_with_scale(self, dataset):
+        result = run_experiment("e05", dataset)
+        assert result.metrics["large_over_small"] > 1.2
+        assert result.metrics["spearman_size_vs_failure"] > 0
+
+
+class TestE06CoreHours:
+    def test_rate_grows_with_corehours(self, dataset):
+        result = run_experiment("e06", dataset)
+        bins = result.tables["by_corehours"]
+        assert bins["failure_rate"][-1] > bins["failure_rate"][0]
+        assert 0.05 < result.metrics["wasted_share"] < 0.8
+
+
+class TestE07Users:
+    def test_concentration(self, dataset):
+        result = run_experiment("e07", dataset)
+        assert result.metrics["user_top10pct_share"] > 0.5
+        assert result.metrics["user_gini"] > 0.6
+        top = result.tables["top_users"]
+        assert (top["n_failed"][:-1] >= top["n_failed"][1:]).all()
+
+
+class TestE08Structure:
+    def test_multi_task_fails_more(self, dataset):
+        result = run_experiment("e08", dataset)
+        assert result.metrics["multi_over_single_rate"] > 1.1
+
+
+class TestE09Ras:
+    def test_composition(self, dataset):
+        result = run_experiment("e09", dataset)
+        assert result.metrics["info_share"] > 0.5
+        assert result.metrics["fatal_share"] < 0.15
+        by_component = result.tables["by_component"]
+        assert by_component["total"].sum() == dataset.ras.n_rows
+
+
+class TestE10Temporal:
+    def test_human_cycles(self, dataset):
+        result = run_experiment("e10", dataset)
+        assert result.metrics["day_night_ratio"] > 1.2
+        assert result.metrics["weekday_weekend_ratio"] > 1.1
+        monthly = result.tables["monthly"]
+        assert monthly["jobs"].sum() == dataset.jobs.n_rows
+
+
+class TestE11Locality:
+    def test_strong_locality(self, dataset):
+        result = run_experiment("e11", dataset)
+        assert result.metrics["gini"] > 0.5
+        assert result.metrics["top10pct_share"] > 0.3
+        heatmap = result.tables["heatmap"]
+        assert heatmap.n_rows == dataset.spec.n_midplanes
+
+
+class TestE12Filtering:
+    def test_substantial_reduction(self, dataset):
+        result = run_experiment("e12", dataset)
+        assert result.metrics["total_reduction"] > 5
+        assert result.metrics["recovery_error"] < 0.3
+
+    def test_stage_monotonicity(self, dataset):
+        stages = run_experiment("e12", dataset).tables["stages"]
+        counts = stages["clusters"]
+        assert (counts[:-1] >= counts[1:]).all()
+
+
+class TestE13Mtti:
+    def test_mtti_in_paper_band(self, dataset):
+        result = run_experiment("e13", dataset)
+        assert 2.0 < result.metrics["job_mtti_days_at_default"] < 7.0
+
+    def test_sweep_monotone_in_threshold(self, dataset):
+        sweep = run_experiment("e13", dataset).tables["threshold_sweep"]
+        clusters = sweep["clusters"]
+        # Higher similarity threshold -> fewer merges -> more clusters.
+        assert (np.diff(clusters) >= 0).all()
+
+
+class TestE14RasCorrelation:
+    def test_high_correlation(self, dataset):
+        result = run_experiment("e14", dataset)
+        assert result.metrics["pearson"] > 0.5
+        assert result.metrics["spearman"] > 0.3
+
+
+class TestE15Io:
+    def test_failed_jobs_write_less(self, dataset):
+        result = run_experiment("e15", dataset)
+        assert result.metrics["write_per_ch_success_over_failed"] > 1.5
+        assert result.metrics["ks_p_value"] < 0.01
+
+
+class TestE16Takeaways:
+    def test_most_takeaways_hold(self, dataset):
+        result = run_experiment("e16", dataset)
+        assert result.metrics["n_takeaways"] == 22
+        # Marginal statistical takeaways can flip at sub-year scale.
+        assert result.metrics["n_holding"] >= 19
+
+    def test_table_has_all_ids(self, dataset):
+        table = run_experiment("e16", dataset).tables["takeaways"]
+        assert table["id"].tolist() == [f"T{i:02d}" for i in range(1, 23)]
+
+
+class TestE17Lifetime:
+    def test_stationary_no_changepoints(self, dataset):
+        result = run_experiment("e17", dataset)
+        assert result.metrics["n_changepoints"] == 0
+        epochs = result.tables["epochs"]
+        assert epochs["jobs"].sum() == dataset.jobs.n_rows
+
+
+class TestE18Prediction:
+    def test_predictable_far_above_coin_flip(self, dataset):
+        result = run_experiment("e18", dataset)
+        assert result.metrics["auc_user_history"] > 0.7
+        assert result.metrics["auc_logistic"] > 0.7
+
+
+class TestE19Intervals:
+    def test_poisson_process_recovered(self, dataset):
+        result = run_experiment("e19", dataset)
+        assert result.metrics["bic_winner_in_expected_family"] == 1
+        assert result.metrics["n_intervals"] >= 8
+
+
+class TestE20UserBehavior:
+    def test_repetition_above_one(self, dataset):
+        result = run_experiment("e20", dataset)
+        assert result.metrics["repetition_factor"] > 1.5
+        assert 0 <= result.metrics["p_fail_after_success"] <= 1
+
+
+class TestE21Precursors:
+    def test_coverage_tracks_planted_rate(self, dataset):
+        result = run_experiment("e21", dataset)
+        truth = result.metrics["ground_truth_precursor_rate"]
+        coverage = result.metrics["coverage"]
+        # Coverage >= planted rate (chance adds), and not wildly above.
+        assert coverage >= truth - 0.1
+        assert coverage <= min(truth + 0.35, 1.0)
+
+    def test_alarm_precision_is_low(self, dataset):
+        """Naive WARN alarms must be imprecise (background WARN dominates)."""
+        result = run_experiment("e21", dataset)
+        assert result.metrics["alarm_precision"] < 0.2

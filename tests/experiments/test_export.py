@@ -1,0 +1,61 @@
+"""Tests for experiment export (Markdown + CSV)."""
+
+import pytest
+
+from repro.cli import main_analyze
+from repro.dataset import MiraDataset
+from repro.experiments import export_all, export_result, result_to_markdown, run_experiment
+from repro.table import read_csv
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=12.0, seed=91)
+
+
+@pytest.fixture(scope="module")
+def result(dataset):
+    return run_experiment("e02", dataset)
+
+
+class TestMarkdown:
+    def test_contains_title_and_metrics(self, result):
+        md = result_to_markdown(result)
+        assert md.startswith("# E02")
+        assert "| failure_rate |" in md
+
+    def test_tables_rendered(self, result):
+        md = result_to_markdown(result)
+        assert "## per_status" in md
+        assert "| exit_status | count |" in md
+
+    def test_truncation_notice(self, result):
+        md = result_to_markdown(result, max_rows=2)
+        assert "more rows" in md
+
+
+class TestExport:
+    def test_writes_md_and_csvs(self, result, tmp_path):
+        written = export_result(result, tmp_path / "out")
+        names = {p.name for p in written}
+        assert "e02.md" in names
+        assert "e02_per_status.csv" in names
+        assert "e02_per_family.csv" in names
+
+    def test_csv_roundtrip(self, result, tmp_path):
+        export_result(result, tmp_path / "out")
+        table = read_csv(tmp_path / "out" / "e02_per_status.csv")
+        assert table.n_rows == result.tables["per_status"].n_rows
+
+    def test_export_all_subset(self, dataset, tmp_path):
+        written = export_all(dataset, tmp_path / "all", experiment_ids=["e01", "e02"])
+        ids = {p.name.split(".")[0].split("_")[0] for p in written}
+        assert ids == {"e01", "e02"}
+
+    def test_cli_output_flag(self, tmp_path, capsys):
+        rc = main_analyze(
+            ["e01", "--days", "5", "--seed", "1", "--output", str(tmp_path / "cli")]
+        )
+        assert rc == 0
+        assert "exported" in capsys.readouterr().out
+        assert (tmp_path / "cli" / "e01.md").exists()

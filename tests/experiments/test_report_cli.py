@@ -1,0 +1,101 @@
+"""Tests for the report renderer and the CLI entry points."""
+
+import pytest
+
+from repro.cli import main_analyze, main_gen, main_report
+from repro.core.report import render_report
+from repro.dataset import MiraDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=15.0, seed=77)
+
+
+class TestReport:
+    def test_subset_render(self, dataset):
+        text = render_report(dataset, experiment_ids=["e01", "e03"])
+        assert "E01" in text and "E03" in text and "E13" not in text
+
+    def test_header_mentions_span(self, dataset):
+        text = render_report(dataset, experiment_ids=["e01"])
+        assert "15 days" in text
+
+
+class TestCliGen:
+    def test_writes_dataset(self, tmp_path, capsys):
+        rc = main_gen([str(tmp_path / "ds"), "--days", "5", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out
+        loaded = MiraDataset.load(tmp_path / "ds")
+        assert loaded.n_days == 5
+
+
+class TestCliAnalyze:
+    def test_synthesize_on_the_fly(self, capsys):
+        rc = main_analyze(["e02", "--days", "5", "--seed", "3"])
+        assert rc == 0
+        assert "failure_rate" in capsys.readouterr().out
+
+    def test_load_from_dir(self, tmp_path, capsys):
+        main_gen([str(tmp_path / "ds"), "--days", "5", "--seed", "4"])
+        capsys.readouterr()
+        rc = main_analyze(["e01", "--dataset", str(tmp_path / "ds")])
+        assert rc == 0
+        assert "overview" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main_analyze(["e99", "--days", "1"])
+
+
+class TestCliReport:
+    def test_report_subset(self, capsys):
+        rc = main_report(["--days", "5", "--seed", "5", "--experiments", "e01", "e02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "E02" in out
+
+
+class TestCliValidate:
+    def test_valid_dataset(self, tmp_path, capsys):
+        from repro.cli import main_validate
+
+        main_gen([str(tmp_path / "ds"), "--days", "4", "--seed", "6"])
+        capsys.readouterr()
+        rc = main_validate([str(tmp_path / "ds")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out and "occupancy: ok" in out
+
+    def test_corrupted_dataset(self, tmp_path, capsys):
+        from repro.cli import main_validate
+
+        main_gen([str(tmp_path / "ds"), "--days", "4", "--seed", "6"])
+        (tmp_path / "ds" / "tasks.csv").unlink()
+        capsys.readouterr()
+        rc = main_validate([str(tmp_path / "ds")])
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestGracefulDegradation:
+    def test_report_survives_starved_experiments(self, capsys):
+        """A 5-day trace starves e19 (too few intervals); the report must
+        render every other experiment and note the skip."""
+        rc = main_report(["--days", "5", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E19 == skipped" in out
+        assert "E16" in out  # the rest still render
+
+    def test_export_omits_starved_experiments(self, tmp_path):
+        from repro.dataset import MiraDataset
+        from repro.experiments import export_all
+
+        dataset = MiraDataset.synthesize(n_days=5.0, seed=3)
+        written = export_all(dataset, tmp_path / "out", experiment_ids=["e01", "e19"])
+        names = {p.name for p in written}
+        assert "e01.md" in names
+        assert "e19.md" not in names

@@ -1,0 +1,156 @@
+"""Unit tests for severity, catalog, and event records."""
+
+import pytest
+
+from repro.bgq.components import Category, Component
+from repro.errors import CatalogError
+from repro.ras import (
+    CatalogEntry,
+    RasEvent,
+    Severity,
+    default_catalog,
+    events_to_table,
+    table_to_events,
+    validate_against_catalog,
+)
+
+
+class TestSeverity:
+    def test_parse_case_insensitive(self):
+        assert Severity.parse("fatal") is Severity.FATAL
+        assert Severity.parse(" Info ") is Severity.INFO
+
+    def test_parse_warning_alias(self):
+        assert Severity.parse("WARNING") is Severity.WARN
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("CRITICAL")
+
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARN < Severity.FATAL
+
+    def test_rank(self):
+        assert [s.rank for s in (Severity.INFO, Severity.WARN, Severity.FATAL)] == [0, 1, 2]
+
+
+class TestCatalogEntry:
+    def test_render(self):
+        entry = default_catalog().lookup("00010006")
+        msg = entry.render("addr=0xdeadbe")
+        assert "addr=0xdeadbe" in msg
+        assert "DDR" in msg
+
+    def test_bad_msg_id(self):
+        with pytest.raises(CatalogError):
+            CatalogEntry("xyz", Component.CNK, Category.DDR, Severity.INFO, "{detail}")
+
+    def test_template_requires_detail(self):
+        with pytest.raises(CatalogError, match="detail"):
+            CatalogEntry("00010001", Component.CNK, Category.DDR, Severity.INFO, "static")
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(CatalogError):
+            CatalogEntry(
+                "00010001", Component.CNK, Category.DDR, Severity.INFO, "{detail}", weight=0
+            )
+
+    def test_interrupts_requires_fatal(self):
+        with pytest.raises(CatalogError, match="FATAL"):
+            CatalogEntry(
+                "00010001", Component.CNK, Category.DDR, Severity.WARN,
+                "{detail}", interrupts_jobs=True,
+            )
+
+
+class TestDefaultCatalog:
+    def test_nonempty_all_severities(self):
+        catalog = default_catalog()
+        for severity in Severity:
+            assert catalog.by_severity(severity), severity
+
+    def test_lookup_unknown(self):
+        with pytest.raises(CatalogError):
+            default_catalog().lookup("FFFFFFFF")
+
+    def test_contains(self):
+        catalog = default_catalog()
+        assert "00010006" in catalog
+        assert "FFFFFFFF" not in catalog
+
+    def test_interrupting_ids_are_fatal(self):
+        catalog = default_catalog()
+        for msg_id in catalog.interrupting_ids():
+            assert catalog.lookup(msg_id).severity is Severity.FATAL
+
+    def test_every_fatal_interrupts(self):
+        # In this catalog all FATALs are job-interrupting by design.
+        catalog = default_catalog()
+        fatal_ids = {e.msg_id for e in catalog.by_severity(Severity.FATAL)}
+        assert fatal_ids == set(catalog.interrupting_ids())
+
+    def test_by_component_partition(self):
+        catalog = default_catalog()
+        total = sum(len(catalog.by_component(c)) for c in Component)
+        assert total == len(catalog)
+
+    def test_by_category(self):
+        catalog = default_catalog()
+        ddr = catalog.by_category(Category.DDR)
+        assert ddr and all(e.category is Category.DDR for e in ddr)
+
+    def test_duplicate_id_rejected(self):
+        entry = default_catalog().lookup("00010001")
+        from repro.ras import Catalog
+
+        with pytest.raises(CatalogError, match="duplicate"):
+            Catalog([entry, entry])
+
+
+def _event(record_id=0, ts=1.0, msg_id="00010006"):
+    entry = default_catalog().lookup(msg_id)
+    return RasEvent(
+        record_id=record_id,
+        timestamp=ts,
+        msg_id=msg_id,
+        severity=entry.severity,
+        component=entry.component,
+        category=entry.category,
+        location="R00-M0-N00-J00",
+        message=entry.render("x=1"),
+    )
+
+
+class TestRasEvent:
+    def test_is_fatal(self):
+        assert _event().is_fatal
+        assert not _event(msg_id="00010001").is_fatal
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            _event(ts=-1.0)
+
+    def test_table_roundtrip(self):
+        events = [_event(0, 5.0), _event(1, 2.0), _event(2, 9.0)]
+        table = events_to_table(events)
+        assert table["timestamp"].tolist() == [2.0, 5.0, 9.0]  # sorted
+        back = table_to_events(table)
+        assert {e.record_id for e in back} == {0, 1, 2}
+
+    def test_table_missing_column(self):
+        table = events_to_table([_event()]).drop(["message"])
+        with pytest.raises(KeyError):
+            table_to_events(table)
+
+    def test_validate_against_catalog_ok(self):
+        validate_against_catalog([_event()], default_catalog())
+
+    def test_validate_detects_severity_mismatch(self):
+        entry = default_catalog().lookup("00010006")
+        bad = RasEvent(
+            record_id=0, timestamp=0.0, msg_id="00010006",
+            severity=Severity.INFO, component=entry.component,
+            category=entry.category, location="R00", message="m",
+        )
+        with pytest.raises(CatalogError, match="severity"):
+            validate_against_catalog([bad], default_catalog())

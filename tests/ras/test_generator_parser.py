@@ -1,0 +1,175 @@
+"""Unit tests for the RAS generator and log parser."""
+
+import numpy as np
+import pytest
+
+from repro.bgq import MIRA, MIRA_SMALL, Location
+from repro.errors import ParseError
+from repro.ras import (
+    RasGenerator,
+    RasGeneratorParams,
+    Severity,
+    default_catalog,
+    load_ras_log,
+    validate_ras_table,
+)
+from repro.table import write_csv
+
+
+@pytest.fixture(scope="module")
+def stream():
+    generator = RasGenerator(spec=MIRA, seed=42)
+    table, incidents = generator.generate(n_days=30.0)
+    return table, incidents
+
+
+class TestGeneratorBasics:
+    def test_sorted_and_ids_sequential(self, stream):
+        table, _ = stream
+        ts = table["timestamp"]
+        assert (ts[1:] >= ts[:-1]).all()
+        assert table["record_id"].tolist() == list(range(table.n_rows))
+
+    def test_all_severities_present(self, stream):
+        table, _ = stream
+        assert set(table.unique("severity")) == {"INFO", "WARN", "FATAL"}
+
+    def test_severity_proportions(self, stream):
+        table, _ = stream
+        counts = {r["severity"]: r["count"] for r in table.value_counts("severity").to_rows()}
+        assert counts["INFO"] > counts["WARN"] > counts["FATAL"]
+
+    def test_locations_valid(self, stream):
+        table, _ = stream
+        for code in set(table.unique("location")):
+            Location.parse(code, spec=MIRA)  # raises on invalid
+
+    def test_messages_rendered_from_catalog(self, stream):
+        table, _ = stream
+        catalog = default_catalog()
+        row = table.filter(table["severity"] == "FATAL").row(0)
+        entry = catalog.lookup(row["msg_id"])
+        prefix = entry.template.split("{detail}")[0]
+        assert row["message"].startswith(prefix)
+
+    def test_timestamps_within_horizon(self, stream):
+        table, _ = stream
+        assert float(table["timestamp"].max()) <= 31 * 86_400.0
+
+    def test_deterministic(self):
+        a, _ = RasGenerator(spec=MIRA_SMALL, seed=7).generate(5.0)
+        b, _ = RasGenerator(spec=MIRA_SMALL, seed=7).generate(5.0)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a, _ = RasGenerator(spec=MIRA_SMALL, seed=1).generate(5.0)
+        b, _ = RasGenerator(spec=MIRA_SMALL, seed=2).generate(5.0)
+        assert a != b
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            RasGenerator(seed=0).generate(0.0)
+
+
+class TestIncidents:
+    def test_incident_count_near_rate(self, stream):
+        _, incidents = stream
+        # 30 days at 1/3.5 per day -> ~8.6 expected; Poisson 99.9% within [1, 25]
+        assert 1 <= len(incidents) <= 25
+
+    def test_fatal_events_match_incident_bursts(self, stream):
+        table, incidents = stream
+        n_fatal = int((table["severity"] == "FATAL").sum())
+        assert n_fatal == sum(i.n_events for i in incidents)
+
+    def test_burst_duplication(self, stream):
+        """A burst emits many near-duplicate records per incident."""
+        table, incidents = stream
+        n_fatal = int((table["severity"] == "FATAL").sum())
+        if incidents:
+            assert n_fatal / len(incidents) >= 2.0
+
+    def test_incident_msg_ids_interrupting(self, stream):
+        _, incidents = stream
+        interrupting = set(default_catalog().interrupting_ids())
+        assert all(i.msg_id in interrupting for i in incidents)
+
+    def test_locality_concentration(self):
+        """Fault propensity must be strongly non-uniform across midplanes."""
+        generator = RasGenerator(spec=MIRA, seed=3)
+        top_decile = np.sort(generator.midplane_propensity)[-10:].sum()
+        assert top_decile > 0.25  # top ~10% of midplanes hold >25% of propensity
+
+    def test_propensity_normalized(self):
+        generator = RasGenerator(spec=MIRA, seed=4)
+        assert generator.midplane_propensity.sum() == pytest.approx(1.0)
+
+
+class TestDiurnal:
+    def test_daytime_heavier_than_night(self):
+        params = RasGeneratorParams(
+            info_rate_per_day=2000.0, warn_rate_per_day=0.0,
+            diurnal_amplitude=0.8,
+        )
+        table, _ = RasGenerator(
+            spec=MIRA_SMALL, params=params, seed=11
+        ).generate(20.0)
+        info = table.filter(table["severity"] == "INFO")
+        hours = (info["timestamp"] / 3600.0) % 24.0
+        day = ((hours >= 10) & (hours < 18)).sum()
+        night = ((hours >= 0) & (hours < 8)).sum()
+        assert day > night * 1.5
+
+
+class TestParams:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RasGeneratorParams(info_rate_per_day=-1.0)
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            RasGeneratorParams(fanout_probability=1.5)
+
+    def test_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            RasGeneratorParams(diurnal_amplitude=1.0)
+
+
+class TestParser:
+    def test_roundtrip_through_csv(self, tmp_path, stream):
+        table, _ = stream
+        sample = table.head(500)
+        path = tmp_path / "ras.csv"
+        write_csv(sample, path)
+        loaded = load_ras_log(path, catalog=default_catalog())
+        assert loaded.n_rows == 500
+        assert loaded["msg_id"].tolist() == sample["msg_id"].tolist()
+
+    def test_missing_column_rejected(self, stream):
+        table, _ = stream
+        with pytest.raises(ParseError, match="missing"):
+            validate_ras_table(table.drop(["severity"]))
+
+    def test_unknown_severity_rejected(self, stream):
+        table, _ = stream
+        bad = table.head(5).with_column("severity", ["BAD"] * 5)
+        with pytest.raises(ParseError, match="severities"):
+            validate_ras_table(bad)
+
+    def test_unsorted_rejected(self, stream):
+        table, _ = stream
+        shuffled = table.head(10).take([5, 1, 3, 0, 2, 4, 9, 6, 8, 7])
+        with pytest.raises(ParseError, match="sorted"):
+            validate_ras_table(shuffled)
+
+    def test_unknown_msg_id_rejected(self, stream):
+        table, _ = stream
+        bad = table.head(3).with_column("msg_id", ["FFFFFFFF"] * 3)
+        with pytest.raises(ParseError, match="message ids"):
+            validate_ras_table(bad, catalog=default_catalog())
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ParseError, match="empty"):
+            load_ras_log(path)

@@ -1,0 +1,123 @@
+"""Tests for streaming replay and the online similarity filter."""
+
+import pytest
+
+from repro.core.filtering import events_to_clusters, similarity_filter
+from repro.dataset import MiraDataset
+from repro.ras.replay import OnlineSimilarityFilter, replay
+from repro.table import Table
+
+
+def _events(rows):
+    return Table(
+        {
+            "timestamp": [float(r[0]) for r in rows],
+            "msg_id": [r[1] for r in rows],
+            "location": [r[2] for r in rows],
+            "message": [r[3] for r in rows],
+        }
+    )
+
+
+MSG = "uncorrectable DDR memory error at addr=0x{:06x}"
+
+
+class TestReplay:
+    def test_yields_in_order(self):
+        table = _events([(1, "a", "R00", "m one"), (2, "b", "R01", "m two")])
+        rows = list(replay(table))
+        assert [r["timestamp"] for r in rows] == [1.0, 2.0]
+
+    def test_window(self):
+        table = _events([(t, "a", "R00", "m") for t in range(10)])
+        rows = list(replay(table, start=3, end=7))
+        assert [r["timestamp"] for r in rows] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_unsorted_rejected(self):
+        table = _events([(5, "a", "R00", "m"), (1, "a", "R00", "m")])
+        with pytest.raises(ValueError, match="sorted"):
+            list(replay(table))
+
+
+class TestOnlineFilter:
+    def test_burst_merges(self):
+        online = OnlineSimilarityFilter(window_seconds=60)
+        closed = []
+        for t in (0, 10, 20):
+            closed += online.push(
+                {"timestamp": t, "msg_id": "00010006", "location": "R00-M0",
+                 "message": MSG.format(t)}
+            )
+        closed += online.flush()
+        assert len(closed) == 1
+        assert closed[0].n_events == 3
+        assert closed[0].last_timestamp == 20.0
+
+    def test_window_closes_cluster(self):
+        online = OnlineSimilarityFilter(window_seconds=60)
+        online.push({"timestamp": 0, "msg_id": "a", "location": "R00",
+                     "message": MSG.format(1)})
+        closed = online.push({"timestamp": 1000, "msg_id": "a", "location": "R00",
+                              "message": MSG.format(2)})
+        assert len(closed) == 1
+        assert online.n_open == 1
+
+    def test_dissimilar_messages_separate(self):
+        online = OnlineSimilarityFilter(window_seconds=60, threshold=0.5)
+        online.push({"timestamp": 0, "msg_id": "a", "location": "R00",
+                     "message": MSG.format(1)})
+        online.push({"timestamp": 1, "msg_id": "b", "location": "R05",
+                     "message": "bulk power module failure unit=3"})
+        assert online.n_open == 2
+
+    def test_out_of_order_rejected(self):
+        online = OnlineSimilarityFilter()
+        online.push({"timestamp": 10, "msg_id": "a", "location": "R00", "message": "m x"})
+        with pytest.raises(ValueError, match="arrived after"):
+            online.push({"timestamp": 5, "msg_id": "a", "location": "R00", "message": "m x"})
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            OnlineSimilarityFilter(window_seconds=0)
+        with pytest.raises(ValueError):
+            OnlineSimilarityFilter(threshold=2.0)
+
+
+class TestBatchEquivalence:
+    """The online filter must reproduce the batch similarity filter."""
+
+    def _run_online(self, events, window, threshold):
+        online = OnlineSimilarityFilter(window, threshold)
+        closed = []
+        for row in replay(events):
+            closed += online.push(row)
+        closed += online.flush()
+        return sorted(
+            (c.first_timestamp, c.last_timestamp, c.n_events) for c in closed
+        )
+
+    def test_equivalence_on_synthetic_stream(self):
+        dataset = MiraDataset.synthesize(n_days=30.0, seed=88)
+        fatal = dataset.fatal_events()
+        batch = similarity_filter(
+            events_to_clusters(fatal), window_seconds=1800, threshold=0.5
+        )
+        batch_keys = sorted(
+            zip(
+                batch["first_timestamp"].tolist(),
+                batch["last_timestamp"].tolist(),
+                batch["n_events"].tolist(),
+            )
+        )
+        online_keys = self._run_online(fatal, 1800, 0.5)
+        assert online_keys == batch_keys
+
+    def test_equivalence_across_thresholds(self):
+        dataset = MiraDataset.synthesize(n_days=15.0, seed=89)
+        fatal = dataset.fatal_events()
+        for threshold in (0.3, 0.7):
+            batch = similarity_filter(
+                events_to_clusters(fatal), window_seconds=600, threshold=threshold
+            )
+            online = self._run_online(fatal, 600, threshold)
+            assert len(online) == batch.n_rows

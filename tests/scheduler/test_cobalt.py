@@ -1,0 +1,249 @@
+"""Unit and integration tests for the Cobalt-like scheduler simulation."""
+
+import pytest
+
+from repro.bgq import MIRA, MIRA_SMALL
+from repro.errors import ParseError
+from repro.ras import Incident, RasGenerator
+from repro.scheduler import (
+    CobaltScheduler,
+    FailureOrigin,
+    JobIntent,
+    SchedulerParams,
+    WorkloadModel,
+    jobs_to_table,
+    load_job_log,
+    validate_job_table,
+)
+from repro.table import write_csv
+
+
+def _intent(job_id, submit, nodes=512, runtime=100.0, walltime=3600.0,
+            status=0, origin=FailureOrigin.NONE, user="u0"):
+    return JobIntent(
+        job_id=job_id,
+        user=user,
+        project="p0",
+        queue="prod-short",
+        submit_time=submit,
+        requested_nodes=nodes,
+        requested_walltime=walltime,
+        planned_runtime=runtime,
+        planned_exit_status=status,
+        planned_origin=origin,
+        n_tasks=1,
+    )
+
+
+class TestBasicExecution:
+    def test_single_job(self):
+        result = CobaltScheduler(MIRA).run([_intent(0, 0.0)])
+        assert result.n_completed == 1
+        job = result.jobs[0]
+        assert job.start_time == 0.0
+        assert job.end_time == 100.0
+        assert job.allocated_nodes == 512
+        assert job.origin is FailureOrigin.NONE
+
+    def test_immediate_start_when_free(self):
+        intents = [_intent(i, float(i), nodes=512) for i in range(10)]
+        result = CobaltScheduler(MIRA).run(intents)
+        assert all(j.wait_time == 0.0 for j in result.jobs)
+
+    def test_fcfs_when_machine_full(self):
+        first = _intent(0, 0.0, nodes=49_152, runtime=1000.0)
+        second = _intent(1, 1.0, nodes=512, runtime=10.0, walltime=7200.0)
+        result = CobaltScheduler(MIRA).run([first, second])
+        by_id = {j.job_id: j for j in result.jobs}
+        assert by_id[1].start_time == pytest.approx(1000.0)
+
+    def test_backfill_small_job_jumps_queue(self):
+        # Job 0 holds half the machine; job 1 wants the full machine and
+        # must wait; job 2 is small with a short walltime and backfills.
+        blocker = _intent(0, 0.0, nodes=24_576, runtime=10_000.0, walltime=10_800.0)
+        big = _intent(1, 1.0, nodes=49_152, runtime=100.0, walltime=3600.0)
+        small = _intent(2, 2.0, nodes=512, runtime=50.0, walltime=1800.0)
+        result = CobaltScheduler(MIRA).run([blocker, big, small])
+        by_id = {j.job_id: j for j in result.jobs}
+        assert by_id[2].start_time == pytest.approx(2.0)  # backfilled
+        assert by_id[1].start_time >= 10_000.0
+
+    def test_backfill_respects_shadow(self):
+        # A long backfill candidate would delay the waiting big job, so it
+        # must NOT start before the big one.
+        blocker = _intent(0, 0.0, nodes=24_576, runtime=1000.0, walltime=1200.0)
+        big = _intent(1, 1.0, nodes=49_152, runtime=100.0, walltime=3600.0)
+        long_small = _intent(2, 2.0, nodes=512, runtime=5000.0, walltime=7200.0)
+        result = CobaltScheduler(MIRA).run([blocker, big, long_small])
+        by_id = {j.job_id: j for j in result.jobs}
+        assert by_id[2].start_time >= by_id[1].start_time
+
+    def test_no_node_oversubscription(self):
+        intents = [
+            _intent(i, 0.0, nodes=8192, runtime=500.0, walltime=3600.0)
+            for i in range(20)
+        ]
+        result = CobaltScheduler(MIRA).run(intents)
+        # Build a busy timeline and assert midplane occupancy never overlaps.
+        spans = [
+            (j.start_time, j.end_time, set(j.midplane_indices)) for j in result.jobs
+        ]
+        for i, (s1, e1, m1) in enumerate(spans):
+            for s2, e2, m2 in spans[i + 1 :]:
+                if s1 < e2 and s2 < e1:  # time overlap
+                    assert not (m1 & m2)
+
+    def test_horizon_truncation(self):
+        intents = [
+            _intent(0, 0.0, runtime=100.0),
+            _intent(1, 0.0, runtime=200_000.0, walltime=250_000.0),
+        ]
+        result = CobaltScheduler(MIRA).run(intents, horizon_days=1.0)
+        assert result.n_completed == 1
+        assert result.n_running_at_end == 1
+
+
+class TestSystemFailures:
+    def test_incident_kills_running_job(self):
+        incident = Incident(0, 50.0, "00010006", midplane_index=0, n_events=3)
+        result = CobaltScheduler(MIRA).run(
+            [_intent(0, 0.0, runtime=100.0)], incidents=[incident]
+        )
+        job = result.jobs[0]
+        assert job.origin is FailureOrigin.SYSTEM
+        assert job.exit_status == 137
+        delay = SchedulerParams().system_kill_delay_seconds
+        assert job.end_time == pytest.approx(50.0 + delay)
+        assert result.n_system_failures == 1
+
+    def test_incident_on_idle_midplane_harmless(self):
+        incident = Incident(0, 50.0, "00010006", midplane_index=40, n_events=3)
+        result = CobaltScheduler(MIRA).run(
+            [_intent(0, 0.0, runtime=100.0)], incidents=[incident]
+        )
+        assert result.jobs[0].origin is FailureOrigin.NONE
+
+    def test_incident_after_job_end_harmless(self):
+        incident = Incident(0, 150.0, "00010006", midplane_index=0, n_events=3)
+        result = CobaltScheduler(MIRA).run(
+            [_intent(0, 0.0, runtime=100.0)], incidents=[incident]
+        )
+        assert result.jobs[0].origin is FailureOrigin.NONE
+
+    def test_first_of_several_incidents_wins(self):
+        incidents = [
+            Incident(0, 80.0, "00010006", midplane_index=0, n_events=1),
+            Incident(1, 30.0, "00020004", midplane_index=0, n_events=1),
+        ]
+        result = CobaltScheduler(MIRA).run(
+            [_intent(0, 0.0, runtime=100.0)], incidents=incidents
+        )
+        delay = SchedulerParams().system_kill_delay_seconds
+        assert result.jobs[0].end_time == pytest.approx(30.0 + delay)
+
+    def test_system_override_of_planned_user_failure(self):
+        intent = _intent(0, 0.0, runtime=100.0, status=139, origin=FailureOrigin.USER)
+        incident = Incident(0, 10.0, "00010006", midplane_index=0, n_events=1)
+        result = CobaltScheduler(MIRA).run([intent], incidents=[incident])
+        job = result.jobs[0]
+        assert job.exit_status == 137
+        assert job.origin is FailureOrigin.SYSTEM
+
+
+class TestEndToEnd:
+    def test_realistic_month(self):
+        intents = WorkloadModel(spec=MIRA, seed=11).generate(30.0)
+        _, incidents = RasGenerator(spec=MIRA, seed=11).generate(30.0)
+        result = CobaltScheduler(MIRA).run(intents, incidents, horizon_days=30.0)
+        assert result.n_completed > 0.8 * result.n_submitted
+        failed = [j for j in result.jobs if j.failed]
+        rate = len(failed) / result.n_completed
+        assert 0.1 < rate < 0.5
+        # Ground truth bookkeeping is consistent.
+        system = [j for j in result.jobs if j.origin is FailureOrigin.SYSTEM]
+        assert len(system) == result.n_system_failures
+        assert all(j.exit_status == 137 for j in system)
+
+    def test_queue_stays_stable(self):
+        """The queue is stable: backlog transients drain rather than grow.
+
+        A fixed snapshot can catch a temporary capability-job bulge, so
+        stability is asserted as the backlog *fraction* not growing when
+        the horizon doubles, plus a generous absolute cap.
+        """
+        model = WorkloadModel(spec=MIRA, seed=13)
+        short = CobaltScheduler(MIRA).run(model.generate(60.0), horizon_days=60.0)
+        long = CobaltScheduler(MIRA).run(
+            WorkloadModel(spec=MIRA, seed=13).generate(120.0), horizon_days=120.0
+        )
+        short_fraction = short.n_unstarted / short.n_submitted
+        long_fraction = long.n_unstarted / long.n_submitted
+        assert long_fraction <= short_fraction + 0.01
+        assert long_fraction < 0.10
+
+    def test_job_table_valid(self):
+        intents = WorkloadModel(spec=MIRA, seed=17).generate(10.0)
+        result = CobaltScheduler(MIRA).run(intents, horizon_days=10.0)
+        table = jobs_to_table(result.jobs)
+        validate_job_table(table)
+
+    def test_small_machine(self):
+        intents = [
+            _intent(i, float(i * 10), nodes=32, runtime=100.0) for i in range(5)
+        ]
+        result = CobaltScheduler(MIRA_SMALL).run(intents)
+        assert result.n_completed == 5
+        assert all(j.allocated_nodes == 32 for j in result.jobs)
+
+
+class TestJobLogIo:
+    def test_roundtrip(self, tmp_path):
+        intents = WorkloadModel(spec=MIRA, seed=19).generate(3.0)
+        result = CobaltScheduler(MIRA).run(intents, horizon_days=3.0)
+        table = jobs_to_table(result.jobs)
+        path = tmp_path / "jobs.csv"
+        write_csv(table, path)
+        loaded = load_job_log(path)
+        assert loaded.n_rows == table.n_rows
+        assert loaded["exit_status"].tolist() == table["exit_status"].tolist()
+
+    def test_validation_rejects_bad_times(self):
+        table = jobs_to_table(
+            [
+                # build via record then corrupt the column
+            ]
+        )
+        intents = WorkloadModel(spec=MIRA, seed=23).generate(2.0)
+        result = CobaltScheduler(MIRA).run(intents, horizon_days=2.0)
+        table = jobs_to_table(result.jobs)
+        corrupted = table.with_column("end_time", table["start_time"] - 1.0)
+        with pytest.raises(ParseError):
+            validate_job_table(corrupted)
+
+    def test_validation_rejects_duplicate_ids(self):
+        intents = WorkloadModel(spec=MIRA, seed=29).generate(2.0)
+        result = CobaltScheduler(MIRA).run(intents, horizon_days=2.0)
+        table = jobs_to_table(result.jobs)
+        duplicated = table.with_column("job_id", [0] * table.n_rows)
+        with pytest.raises(ParseError, match="duplicate"):
+            validate_job_table(duplicated)
+
+
+class TestSchedulerParams:
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            SchedulerParams(backfill_depth=-1)
+
+
+class TestConservationProperties:
+    @pytest.mark.parametrize("seed", [3, 29, 71])
+    def test_every_submission_accounted_for(self, seed):
+        intents = WorkloadModel(spec=MIRA, seed=seed).generate(8.0)
+        result = CobaltScheduler(MIRA).run(intents, horizon_days=8.0)
+        assert (
+            result.n_completed + result.n_unstarted + result.n_running_at_end
+            == result.n_submitted
+        )
+        for job in result.jobs:
+            assert job.submit_time <= job.start_time <= job.end_time
+            assert job.allocated_nodes >= job.requested_nodes

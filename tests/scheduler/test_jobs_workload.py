@@ -1,0 +1,190 @@
+"""Unit tests for job records and the workload model."""
+
+import numpy as np
+import pytest
+
+from repro.core.exitcodes import ExitFamily, classify_exit_status
+from repro.scheduler import FailureOrigin, JobRecord, WorkloadModel, WorkloadParams, jobs_to_table
+from repro.scheduler.workload import WALLTIME_GRID_HOURS
+
+
+def _record(**overrides):
+    base = dict(
+        job_id=1,
+        user="u",
+        project="p",
+        queue="prod-short",
+        submit_time=0.0,
+        start_time=10.0,
+        end_time=110.0,
+        requested_nodes=512,
+        allocated_nodes=512,
+        requested_walltime=3600.0,
+        exit_status=0,
+        block="B",
+        first_midplane=0,
+        n_midplanes=1,
+        n_tasks=1,
+        origin=FailureOrigin.NONE,
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+class TestJobRecord:
+    def test_derived_quantities(self):
+        job = _record()
+        assert job.runtime == 100.0
+        assert job.wait_time == 10.0
+        assert job.core_hours == pytest.approx(512 * 16 * 100 / 3600.0)
+        assert not job.failed
+        assert list(job.midplane_indices) == [0]
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(ValueError, match="submit"):
+            _record(start_time=-5.0)
+        with pytest.raises(ValueError, match="submit"):
+            _record(end_time=5.0)
+
+    def test_allocation_ge_request(self):
+        with pytest.raises(ValueError):
+            _record(requested_nodes=1024)
+
+    def test_exit_status_range(self):
+        with pytest.raises(ValueError):
+            _record(exit_status=300, origin=FailureOrigin.USER)
+
+    def test_origin_consistency(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            _record(exit_status=1)  # NONE origin but failing status
+        with pytest.raises(ValueError, match="inconsistent"):
+            _record(exit_status=0, origin=FailureOrigin.USER)
+
+    def test_failed_flag(self):
+        assert _record(exit_status=139, origin=FailureOrigin.USER).failed
+
+    def test_jobs_to_table_sorted(self):
+        table = jobs_to_table([_record(job_id=5), _record(job_id=2)])
+        assert table["job_id"].tolist() == [2, 5]
+        assert table["core_hours"][0] == pytest.approx(512 * 16 * 100 / 3600.0)
+
+
+@pytest.fixture(scope="module")
+def intents():
+    return WorkloadModel(seed=3).generate(30.0)
+
+
+class TestWorkloadModel:
+    def test_volume_near_rate(self, intents):
+        # 160/day nominal, minus weekend dips: expect thousands over 30 days.
+        assert 3000 < len(intents) < 6000
+
+    def test_sorted_by_submit(self, intents):
+        times = [i.submit_time for i in intents]
+        assert times == sorted(times)
+
+    def test_job_ids_sequential(self, intents):
+        assert [i.job_id for i in intents] == list(range(len(intents)))
+
+    def test_walltime_on_grid(self, intents):
+        grid = {h * 3600.0 for h in WALLTIME_GRID_HOURS}
+        assert all(i.requested_walltime in grid for i in intents)
+
+    def test_runtime_within_walltime(self, intents):
+        assert all(i.planned_runtime <= i.requested_walltime + 1e-6 for i in intents)
+
+    def test_node_counts_on_ladder(self, intents):
+        ladder = set(WorkloadParams().node_counts)
+        assert all(i.requested_nodes in ladder for i in intents)
+
+    def test_outcome_mix(self, intents):
+        origins = {o: 0 for o in FailureOrigin}
+        for intent in intents:
+            origins[intent.planned_origin] += 1
+        assert origins[FailureOrigin.NONE] > origins[FailureOrigin.USER] > 0
+        assert origins[FailureOrigin.TIMEOUT] > 0
+        assert origins[FailureOrigin.SYSTEM] == 0  # decided by the simulator
+
+    def test_failure_rate_band(self, intents):
+        failed = sum(1 for i in intents if i.planned_origin is not FailureOrigin.NONE)
+        assert 0.15 < failed / len(intents) < 0.45
+
+    def test_exit_statuses_match_origin(self, intents):
+        for intent in intents:
+            family = classify_exit_status(intent.planned_exit_status)
+            if intent.planned_origin is FailureOrigin.NONE:
+                assert family is ExitFamily.SUCCESS
+            elif intent.planned_origin is FailureOrigin.TIMEOUT:
+                assert family is ExitFamily.TIMEOUT
+            else:
+                assert family in {
+                    ExitFamily.SEGFAULT,
+                    ExitFamily.ABORT,
+                    ExitFamily.APP_ERROR,
+                    ExitFamily.CONFIG,
+                }
+
+    def test_all_user_families_appear(self, intents):
+        families = {
+            classify_exit_status(i.planned_exit_status)
+            for i in intents
+            if i.planned_origin is FailureOrigin.USER
+        }
+        assert families == {
+            ExitFamily.SEGFAULT,
+            ExitFamily.ABORT,
+            ExitFamily.APP_ERROR,
+            ExitFamily.CONFIG,
+        }
+
+    def test_user_concentration(self, intents):
+        """A few users should dominate submissions (Zipf activity)."""
+        from collections import Counter
+
+        counts = Counter(i.user for i in intents)
+        top10 = sum(c for _, c in counts.most_common(10))
+        assert top10 / len(intents) > 0.3
+
+    def test_ensemble_tasks(self, intents):
+        multi = [i for i in intents if i.n_tasks > 1]
+        assert multi  # ensembles exist
+        assert max(i.n_tasks for i in intents) <= WorkloadParams().max_tasks
+
+    def test_deterministic(self):
+        a = WorkloadModel(seed=9).generate(5.0)
+        b = WorkloadModel(seed=9).generate(5.0)
+        assert [x.planned_exit_status for x in a] == [x.planned_exit_status for x in b]
+        assert [x.submit_time for x in a] == [x.submit_time for x in b]
+
+    def test_weekend_dip(self):
+        intents = WorkloadModel(seed=5).generate(70.0)
+        days = np.array([int(i.submit_time // 86_400) for i in intents])
+        weekday = sum(1 for d in days if d % 7 < 5) / 5
+        weekend = sum(1 for d in days if d % 7 >= 5) / 2
+        assert weekday > weekend
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(seed=0).generate(-1.0)
+
+
+class TestWorkloadParams:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(node_weights=(0.5, 0.6), node_counts=(512, 1024))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(node_weights=(1.0,), node_counts=(512, 1024))
+
+    def test_bad_timeout_share(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(timeout_share=1.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(arrival_rate_per_day=0.0)
+
+    def test_bad_population(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(n_users=0)

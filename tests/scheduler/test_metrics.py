@@ -1,0 +1,92 @@
+"""Unit tests for scheduler quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bgq import MIRA
+from repro.scheduler import (
+    CobaltScheduler,
+    WorkloadModel,
+    bounded_slowdown,
+    jobs_to_table,
+    utilization_timeline,
+    wait_time_summary,
+)
+from repro.table import Table
+
+
+def _jobs(rows):
+    """rows: (submit, start, end, nodes)."""
+    return Table(
+        {
+            "submit_time": [float(r[0]) for r in rows],
+            "start_time": [float(r[1]) for r in rows],
+            "end_time": [float(r[2]) for r in rows],
+            "allocated_nodes": [r[3] for r in rows],
+        }
+    )
+
+
+class TestWaitSummary:
+    def test_quantiles(self):
+        jobs = _jobs([(0, 3600, 7200, 512), (0, 0, 100, 512)])
+        summary = wait_time_summary(jobs)
+        assert summary["median_h"] == pytest.approx(0.5)
+        assert summary["max_h"] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wait_time_summary(_jobs([]))
+
+
+class TestBoundedSlowdown:
+    def test_long_job_unaffected_by_bound(self):
+        jobs = _jobs([(0, 1000, 11_000, 512)])  # wait 1000, run 10000
+        assert bounded_slowdown(jobs)[0] == pytest.approx(1.1)
+
+    def test_short_job_bounded(self):
+        jobs = _jobs([(0, 600, 610, 512)])  # run 10s << bound
+        assert bounded_slowdown(jobs, bound_seconds=600)[0] == pytest.approx(
+            (600 + 10) / 600
+        )
+
+    def test_no_wait_is_one_ish(self):
+        jobs = _jobs([(0, 0, 7200, 512)])
+        assert bounded_slowdown(jobs)[0] == pytest.approx(1.0)
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            bounded_slowdown(_jobs([(0, 0, 1, 1)]), bound_seconds=0)
+
+
+class TestUtilizationTimeline:
+    def test_full_machine_full_day(self):
+        jobs = _jobs([(0, 0, 86_400, MIRA.n_nodes)])
+        timeline = utilization_timeline(jobs, MIRA, bucket_days=1.0)
+        assert timeline.n_rows == 1
+        assert timeline["utilization"][0] == pytest.approx(1.0)
+
+    def test_half_machine(self):
+        jobs = _jobs([(0, 0, 86_400, MIRA.n_nodes // 2)])
+        timeline = utilization_timeline(jobs, MIRA, bucket_days=1.0)
+        assert timeline["utilization"][0] == pytest.approx(0.5)
+
+    def test_interval_split_across_buckets(self):
+        # Runs from noon day0 to noon day1: half in each bucket.
+        jobs = _jobs([(0, 43_200, 129_600, MIRA.n_nodes)])
+        timeline = utilization_timeline(jobs, MIRA, bucket_days=1.0)
+        assert timeline["utilization"].tolist() == pytest.approx([0.5, 0.5])
+
+    def test_empty(self):
+        assert utilization_timeline(_jobs([]), MIRA).n_rows == 0
+
+    def test_never_exceeds_one_on_simulated_trace(self):
+        intents = WorkloadModel(seed=51).generate(15.0)
+        result = CobaltScheduler().run(intents, horizon_days=15.0)
+        timeline = utilization_timeline(jobs_to_table(result.jobs), MIRA)
+        assert (timeline["utilization"] <= 1.0 + 1e-9).all()
+        assert (timeline["utilization"] >= 0).all()
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            utilization_timeline(_jobs([(0, 0, 1, 1)]), MIRA, bucket_days=0)

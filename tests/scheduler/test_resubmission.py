@@ -1,0 +1,92 @@
+"""Tests for the opt-in debug-resubmit model."""
+
+import pytest
+
+from repro.core.exitcodes import classify_exit_status
+from repro.dataset import MiraDataset
+from repro.experiments import run_experiment
+from repro.scheduler import FailureOrigin, WorkloadModel, WorkloadParams
+
+
+class TestResubmission:
+    def test_off_by_default(self):
+        assert WorkloadParams().resubmit_probability == 0.0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(resubmit_probability=1.5)
+        with pytest.raises(ValueError):
+            WorkloadParams(refail_probability=-0.1)
+
+    def test_adds_jobs(self):
+        base = WorkloadModel(
+            params=WorkloadParams(resubmit_probability=0.0), seed=5
+        ).generate(20.0)
+        with_resubmit = WorkloadModel(
+            params=WorkloadParams(resubmit_probability=0.6), seed=5
+        ).generate(20.0)
+        assert len(with_resubmit) > len(base)
+
+    def test_job_ids_sequential_and_sorted(self):
+        intents = WorkloadModel(
+            params=WorkloadParams(resubmit_probability=0.6), seed=6
+        ).generate(15.0)
+        assert [i.job_id for i in intents] == list(range(len(intents)))
+        submits = [i.submit_time for i in intents]
+        assert submits == sorted(submits)
+
+    def test_resubmission_preserves_shape(self):
+        """Retries keep the same user/project/size/tasks as the original."""
+        params = WorkloadParams(resubmit_probability=1.0, refail_probability=1.0,
+                                max_resubmissions=2)
+        intents = WorkloadModel(params=params, seed=7).generate(10.0)
+        by_user: dict = {}
+        for intent in intents:
+            by_user.setdefault(
+                (intent.user, intent.requested_nodes, intent.n_tasks), []
+            ).append(intent)
+        # With certain resubmission, failed shapes appear repeatedly.
+        repeated = [k for k, v in by_user.items() if len(v) >= 3]
+        assert repeated
+
+    def test_refail_keeps_exit_family(self):
+        params = WorkloadParams(resubmit_probability=1.0, refail_probability=1.0,
+                                max_resubmissions=1)
+        intents = WorkloadModel(params=params, seed=8).generate(10.0)
+        failures = [
+            i for i in intents if i.planned_origin is FailureOrigin.USER
+        ]
+        # Consecutive same-user failed submissions of the same shape share
+        # the exit family when the bug persists.
+        by_key: dict = {}
+        for intent in failures:
+            by_key.setdefault((intent.user, intent.requested_nodes), []).append(intent)
+        for sequence in by_key.values():
+            families = {
+                classify_exit_status(i.planned_exit_status) for i in sequence
+            }
+            if len(sequence) >= 2:
+                # A user can have several distinct failing codes, but
+                # chains keep families; assert no chain mixes more
+                # families than original failures could introduce.
+                assert len(families) <= len(sequence)
+
+    def test_resubmissions_within_horizon(self):
+        params = WorkloadParams(resubmit_probability=0.8)
+        intents = WorkloadModel(params=params, seed=9).generate(12.0)
+        assert all(i.submit_time < 12.0 * 86_400.0 for i in intents)
+
+    def test_repetition_factor_rises_with_resubmission(self):
+        """E20's repetition factor must increase when genuine resubmit
+        streaks are added on top of user heterogeneity."""
+        base = MiraDataset.synthesize(n_days=45.0, seed=14)
+        streaky = MiraDataset.synthesize(
+            n_days=45.0,
+            seed=14,
+            workload_params=WorkloadParams(
+                resubmit_probability=0.7, refail_probability=0.8
+            ),
+        )
+        factor_base = run_experiment("e20", base).metrics["repetition_factor"]
+        factor_streaky = run_experiment("e20", streaky).metrics["repetition_factor"]
+        assert factor_streaky > factor_base

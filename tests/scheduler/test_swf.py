@@ -1,0 +1,118 @@
+"""Tests for Standard Workload Format interoperability."""
+
+import pytest
+
+from repro.core import failure_rate_by_category
+from repro.dataset import MiraDataset
+from repro.errors import ParseError
+from repro.scheduler import read_swf, write_swf
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=10.0, seed=61)
+
+
+class TestRoundtrip:
+    def test_counts_preserved(self, dataset, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        assert back.n_rows == dataset.jobs.n_rows
+        assert back["job_id"].tolist() == dataset.jobs["job_id"].tolist()
+
+    def test_outcome_preserved(self, dataset, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        original_failed = (dataset.jobs["exit_status"] != 0)
+        imported_failed = (back["exit_status"] != 0)
+        assert imported_failed.tolist() == original_failed.tolist()
+
+    def test_nodes_preserved(self, dataset, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        assert back["allocated_nodes"].tolist() == dataset.jobs["allocated_nodes"].tolist()
+
+    def test_times_preserved_to_second(self, dataset, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        # SWF stores integer seconds.
+        drift = abs(back["submit_time"] - dataset.jobs["submit_time"])
+        assert drift.max() < 1.0
+
+    def test_identity_legend_returned(self, dataset, tmp_path):
+        legend = write_swf(dataset.jobs, tmp_path / "t.swf", dataset.spec)
+        assert set(legend) == {"users", "projects", "queues"}
+        n_users = len(set(dataset.jobs["user"].tolist()))
+        assert len(legend["users"]) == n_users
+
+    def test_analyses_run_on_imported_trace(self, dataset, tmp_path):
+        """Non-spatial characterization works on an SWF import."""
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        rates = failure_rate_by_category(back, "user")
+        assert rates["n_jobs"].sum() == back.n_rows
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("; header\n\n" + " ".join(["1"] + ["0"] * 17) + "\n")
+        assert read_swf(path).n_rows == 1
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ParseError, match="18"):
+            read_swf(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(" ".join(["x"] * 18) + "\n")
+        with pytest.raises(ParseError, match="non-numeric"):
+            read_swf(path)
+
+    def test_unused_fields_default(self, tmp_path):
+        # Status 1 (success), -1 walltime falls back to runtime.
+        line = "5 100 10 50 32 -1 -1 32 -1 -1 1 3 2 -1 1 -1 -1 -1"
+        path = tmp_path / "t.swf"
+        path.write_text(line + "\n")
+        table = read_swf(path, cores_per_node=16)
+        row = table.row(0)
+        assert row["job_id"] == 5
+        assert row["exit_status"] == 0
+        assert row["allocated_nodes"] == 2
+        assert row["requested_walltime"] == 50.0
+        assert row["start_time"] == 110.0
+
+
+class TestReplay:
+    def test_swf_trace_drives_simulator(self, dataset, tmp_path):
+        """An archived trace can be replayed through the Cobalt simulator."""
+        from repro.scheduler import CobaltScheduler, intents_from_swf
+
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        intents = intents_from_swf(back, dataset.spec, seed=1)
+        assert len(intents) == dataset.jobs.n_rows
+        result = CobaltScheduler(dataset.spec).run(intents, horizon_days=dataset.n_days + 5)
+        assert result.n_completed > 0.9 * len(intents)
+        # Replay preserves the outcome mix.
+        replay_rate = sum(1 for j in result.jobs if j.failed) / result.n_completed
+        original_rate = float((dataset.jobs["exit_status"] != 0).mean())
+        assert abs(replay_rate - original_rate) < 0.1
+
+    def test_intents_respect_machine_bounds(self, dataset, tmp_path):
+        from repro.bgq import MIRA_SMALL
+        from repro.scheduler import intents_from_swf
+
+        path = tmp_path / "trace.swf"
+        write_swf(dataset.jobs, path, dataset.spec)
+        back = read_swf(path, cores_per_node=dataset.spec.cores_per_node)
+        intents = intents_from_swf(back, MIRA_SMALL, seed=1)
+        assert all(i.requested_nodes <= MIRA_SMALL.n_nodes for i in intents)

@@ -1,0 +1,70 @@
+"""Unit tests for changepoint detection."""
+
+import numpy as np
+import pytest
+
+from repro.stats.changepoint import cusum_statistic, detect_changepoints
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCusum:
+    def test_finds_obvious_shift(self, rng):
+        series = np.concatenate([rng.normal(0, 1, 40), rng.normal(5, 1, 40)])
+        split, stat = cusum_statistic(series)
+        assert 35 <= split <= 45
+        assert stat > 5
+
+    def test_flat_series_weak(self, rng):
+        series = rng.normal(0, 1, 80)
+        _, stat = cusum_statistic(series)
+        assert stat < 5
+
+    def test_constant_series(self):
+        split, stat = cusum_statistic(np.full(20, 3.0))
+        assert stat == 0.0
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            cusum_statistic(np.array([1.0, 2.0]))
+
+
+class TestDetect:
+    def test_single_changepoint(self, rng):
+        series = np.concatenate([rng.normal(0.2, 0.02, 30), rng.normal(0.5, 0.02, 30)])
+        found = detect_changepoints(series, seed=1)
+        assert len(found) == 1
+        assert 27 <= found[0].index <= 33
+        assert found[0].shift > 0.25
+
+    def test_two_changepoints(self, rng):
+        series = np.concatenate(
+            [
+                rng.normal(0.2, 0.02, 30),
+                rng.normal(0.6, 0.02, 30),
+                rng.normal(0.3, 0.02, 30),
+            ]
+        )
+        found = detect_changepoints(series, seed=2)
+        assert len(found) == 2
+        indices = sorted(c.index for c in found)
+        assert 25 <= indices[0] <= 35
+        assert 55 <= indices[1] <= 65
+
+    def test_no_false_positives_on_noise(self, rng):
+        series = rng.normal(0.3, 0.05, 60)
+        found = detect_changepoints(series, seed=3)
+        assert found == []
+
+    def test_respects_max(self, rng):
+        series = np.concatenate([rng.normal(m, 0.01, 20) for m in (0, 1, 0, 1, 0)])
+        found = detect_changepoints(series, max_changepoints=2, seed=4)
+        assert len(found) <= 2
+
+    def test_sorted_by_index(self, rng):
+        series = np.concatenate([rng.normal(m, 0.02, 25) for m in (0.1, 0.5, 0.9)])
+        found = detect_changepoints(series, seed=5)
+        assert [c.index for c in found] == sorted(c.index for c in found)

@@ -1,0 +1,264 @@
+"""Unit tests for the statistics substrate, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats import (
+    bootstrap_ci,
+    chi_square_independence,
+    cramers_v,
+    ecdf,
+    gini,
+    ks_statistic,
+    ks_test,
+    log_histogram,
+    pearson,
+    quantiles,
+    rank,
+    spearman,
+)
+
+
+class TestEcdf:
+    def test_values_sorted(self):
+        e = ecdf([3.0, 1.0, 2.0])
+        assert e.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_probabilities(self):
+        e = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert e.probabilities.tolist() == [0.25, 0.5, 0.75, 1.0]
+
+    def test_call_below_min(self):
+        assert ecdf([1.0, 2.0])(0.5) == 0.0
+
+    def test_call_at_max(self):
+        assert ecdf([1.0, 2.0])(2.0) == 1.0
+
+    def test_call_between(self):
+        assert ecdf([1.0, 2.0, 3.0, 4.0])(2.5) == 0.5
+
+    def test_survival(self):
+        e = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert e.survival(2.5) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    def test_matches_manual_count(self):
+        rng = np.random.default_rng(0)
+        sample = rng.exponential(size=500)
+        e = ecdf(sample)
+        for x in (0.1, 0.5, 1.0, 3.0):
+            assert e(x) == pytest.approx((sample <= x).mean())
+
+
+class TestQuantiles:
+    def test_median(self):
+        q = quantiles([1.0, 2.0, 3.0], probs=(0.5,))
+        assert q[0.5] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantiles([])
+
+
+class TestLogHistogram:
+    def test_counts_conserved(self):
+        sample = np.logspace(0, 3, 200)
+        edges, counts = log_histogram(sample, n_bins=10)
+        assert counts.sum() == 200
+        assert len(edges) == 11
+
+    def test_nonpositive_dropped(self):
+        edges, counts = log_histogram([0.0, -1.0, 1.0, 10.0], n_bins=2)
+        assert counts.sum() == 2
+
+    def test_all_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            log_histogram([0.0, -3.0])
+
+    def test_constant_sample(self):
+        edges, counts = log_histogram([5.0, 5.0, 5.0], n_bins=3)
+        assert counts.sum() == 3
+
+
+class TestPearsonSpearman:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        x = rng.random(300)
+        y = x * 0.5 + rng.random(300)
+        assert pearson(x, y) == pytest.approx(sps.pearsonr(x, y).statistic, abs=1e-12)
+
+    def test_spearman_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        x = rng.random(300)
+        y = np.exp(x) + rng.random(300) * 0.1
+        assert spearman(x, y) == pytest.approx(
+            sps.spearmanr(x, y).statistic, abs=1e-10
+        )
+
+    def test_spearman_with_ties_matches_scipy(self):
+        x = np.array([1, 2, 2, 3, 3, 3, 4], dtype=float)
+        y = np.array([2, 1, 4, 4, 5, 5, 7], dtype=float)
+        assert spearman(x, y) == pytest.approx(sps.spearmanr(x, y).statistic, abs=1e-10)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1.0], [2.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2, 3], [1, 2])
+
+
+class TestRank:
+    def test_no_ties(self):
+        assert rank([30.0, 10.0, 20.0]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_average(self):
+        assert rank([1.0, 2.0, 2.0, 3.0]).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 10, 100).astype(float)
+        assert rank(x).tolist() == pytest.approx(sps.rankdata(x).tolist())
+
+
+class TestCramersV:
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.choice(["x", "y"], 5000)
+        b = rng.choice(["p", "q"], 5000)
+        assert cramers_v(a, b) < 0.05
+
+    def test_identical_is_one(self):
+        a = ["x", "y", "x", "y", "x", "y"] * 10
+        assert cramers_v(a, a) == pytest.approx(1.0)
+
+    def test_single_category_is_zero(self):
+        assert cramers_v(["x"] * 5, ["a", "b", "a", "b", "a"]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cramers_v(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cramers_v([], [])
+
+    def test_bounded(self):
+        rng = np.random.default_rng(5)
+        a = rng.choice(list("abcd"), 400)
+        b = np.where(rng.random(400) < 0.7, a, rng.choice(list("abcd"), 400))
+        v = cramers_v(a, b)
+        assert 0.0 <= v <= 1.0
+        assert v > 0.4  # strong designed association
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_holder_near_one(self):
+        assert gini([0.0] * 99 + [100.0]) == pytest.approx(0.99, abs=0.01)
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+    def test_scale_invariant(self):
+        values = [1.0, 4.0, 9.0, 16.0]
+        assert gini(values) == pytest.approx(gini([v * 7 for v in values]))
+
+
+class TestKs:
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(6)
+        sample = rng.exponential(scale=2.0, size=400)
+        cdf = lambda x: sps.expon.cdf(x, scale=2.0)
+        ours = ks_statistic(sample, cdf)
+        theirs = sps.kstest(sample, cdf).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_good_fit_high_p(self):
+        rng = np.random.default_rng(7)
+        sample = rng.weibull(1.5, size=500) * 3.0
+        result = ks_test(sample, lambda x: sps.weibull_min.cdf(x, 1.5, scale=3.0))
+        assert result.p_value > 0.05
+        assert not result.rejects()
+
+    def test_bad_fit_rejected(self):
+        rng = np.random.default_rng(8)
+        sample = rng.pareto(1.2, size=500) + 1.0
+        result = ks_test(sample, lambda x: sps.expon.cdf(x, scale=1.0))
+        assert result.rejects()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], lambda x: x)
+
+    def test_shape_mismatch_from_cdf(self):
+        with pytest.raises(ValueError):
+            ks_statistic([1.0, 2.0], lambda x: np.array([0.5]))
+
+
+class TestChiSquare:
+    def test_matches_scipy_contingency(self):
+        rng = np.random.default_rng(9)
+        a = rng.choice(["u", "v", "w"], 600)
+        b = rng.choice(["yes", "no"], 600)
+        chi2, p, dof = chi_square_independence(a, b)
+        table = np.zeros((3, 2))
+        for ai, bi in zip(a, b):
+            table["uvw".index(ai), 0 if bi == "yes" else 1] += 1
+        expected = sps.chi2_contingency(table, correction=False)
+        assert chi2 == pytest.approx(expected.statistic)
+        assert p == pytest.approx(expected.pvalue)
+        assert dof == expected.dof
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ValueError):
+            chi_square_independence(["a"] * 10, ["x", "y"] * 5)
+
+
+class TestBootstrap:
+    def test_mean_interval_contains_truth(self):
+        rng = np.random.default_rng(10)
+        sample = rng.normal(5.0, 1.0, size=400)
+        result = bootstrap_ci(sample, np.mean, seed=1)
+        assert float(np.mean(sample)) in result
+        assert result.low < result.estimate < result.high
+        # 95% interval for the mean of 400 unit-variance points: ~±0.1
+        assert result.high - result.low < 0.3
+
+    def test_deterministic(self):
+        sample = np.arange(50, dtype=float)
+        a = bootstrap_ci(sample, np.median, seed=3)
+        b = bootstrap_ci(sample, np.median, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean, confidence=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean)

@@ -1,0 +1,228 @@
+"""Unit tests for the Table core: construction, access, filter, sort."""
+
+import numpy as np
+import pytest
+
+from repro.table import Table
+
+
+@pytest.fixture
+def jobs():
+    return Table(
+        {
+            "job_id": [1, 2, 3, 4, 5],
+            "user": ["alice", "bob", "alice", "carol", "bob"],
+            "nodes": [512, 1024, 512, 2048, 512],
+            "hours": [1.0, 2.5, 0.5, 8.0, 1.5],
+        }
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self, jobs):
+        assert jobs.n_rows == 5
+        assert jobs.column_names == ["job_id", "user", "nodes", "hours"]
+
+    def test_len(self, jobs):
+        assert len(jobs) == 5
+
+    def test_empty_table(self):
+        t = Table({})
+        assert t.n_rows == 0
+        assert t.column_names == []
+        assert t.to_rows() == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_int_column_dtype(self, jobs):
+        assert jobs["job_id"].dtype == np.int64
+
+    def test_float_column_dtype(self, jobs):
+        assert jobs["hours"].dtype == np.float64
+
+    def test_string_column_dtype(self, jobs):
+        assert jobs["user"].dtype.kind == "O"
+
+    def test_from_rows_roundtrip(self, jobs):
+        assert Table.from_rows(jobs.to_rows()) == jobs
+
+    def test_from_rows_empty(self):
+        assert Table.from_rows([]).n_rows == 0
+
+    def test_from_rows_inconsistent_keys(self):
+        with pytest.raises(ValueError, match="keys"):
+            Table.from_rows([{"a": 1}, {"b": 2}])
+
+    def test_empty_with_schema(self):
+        t = Table.empty({"x": int, "y": float, "s": str})
+        assert t.n_rows == 0
+        assert t["x"].dtype == np.int64
+        assert t["y"].dtype == np.float64
+
+    def test_numpy_unicode_coerced_to_object(self):
+        t = Table({"s": np.array(["a", "bb"])})
+        assert t["s"].dtype.kind == "O"
+
+
+class TestAccess:
+    def test_getitem_unknown_column(self, jobs):
+        with pytest.raises(KeyError, match="available"):
+            jobs["nope"]
+
+    def test_contains(self, jobs):
+        assert "user" in jobs
+        assert "nope" not in jobs
+
+    def test_row(self, jobs):
+        assert jobs.row(0) == {"job_id": 1, "user": "alice", "nodes": 512, "hours": 1.0}
+
+    def test_row_negative_index(self, jobs):
+        assert jobs.row(-1)["user"] == "bob"
+
+    def test_row_out_of_range(self, jobs):
+        with pytest.raises(IndexError):
+            jobs.row(5)
+
+    def test_iteration_yields_rows(self, jobs):
+        rows = list(jobs)
+        assert len(rows) == 5
+        assert rows[1]["user"] == "bob"
+
+    def test_to_dict(self, jobs):
+        d = jobs.to_dict()
+        assert d["nodes"] == [512, 1024, 512, 2048, 512]
+
+    def test_repr_mentions_shape(self, jobs):
+        assert "5 rows" in repr(jobs)
+
+
+class TestProjection:
+    def test_select_order(self, jobs):
+        t = jobs.select(["hours", "user"])
+        assert t.column_names == ["hours", "user"]
+
+    def test_select_unknown(self, jobs):
+        with pytest.raises(KeyError):
+            jobs.select(["nope"])
+
+    def test_drop(self, jobs):
+        assert jobs.drop(["hours"]).column_names == ["job_id", "user", "nodes"]
+
+    def test_rename(self, jobs):
+        t = jobs.rename({"hours": "core_hours"})
+        assert "core_hours" in t and "hours" not in t
+
+    def test_with_column_add(self, jobs):
+        t = jobs.with_column("failed", [True, False, True, False, False])
+        assert t["failed"].sum() == 2
+        assert jobs.column_names == ["job_id", "user", "nodes", "hours"]  # original intact
+
+    def test_with_column_replace(self, jobs):
+        t = jobs.with_column("nodes", [1, 2, 3, 4, 5])
+        assert t["nodes"].tolist() == [1, 2, 3, 4, 5]
+
+    def test_with_column_wrong_length(self, jobs):
+        with pytest.raises(ValueError):
+            jobs.with_column("x", [1, 2])
+
+    def test_map_column(self, jobs):
+        t = jobs.map_column("user", str.upper)
+        assert t["user"][0] == "ALICE"
+
+
+class TestFilterSortTake:
+    def test_filter(self, jobs):
+        small = jobs.filter(jobs["nodes"] == 512)
+        assert small.n_rows == 3
+        assert set(small["user"]) == {"alice", "bob"}
+
+    def test_filter_requires_bool(self, jobs):
+        with pytest.raises(TypeError):
+            jobs.filter(np.array([1, 0, 1, 0, 1]))
+
+    def test_filter_length_mismatch(self, jobs):
+        with pytest.raises(ValueError):
+            jobs.filter(np.array([True, False]))
+
+    def test_take_order(self, jobs):
+        t = jobs.take([4, 0])
+        assert t["job_id"].tolist() == [5, 1]
+
+    def test_head(self, jobs):
+        assert jobs.head(2).n_rows == 2
+        assert jobs.head(100).n_rows == 5
+
+    def test_sort_numeric(self, jobs):
+        t = jobs.sort_by("hours")
+        assert t["hours"].tolist() == sorted(jobs["hours"].tolist())
+
+    def test_sort_reverse(self, jobs):
+        t = jobs.sort_by("hours", reverse=True)
+        assert t["hours"][0] == 8.0
+
+    def test_sort_string_then_numeric(self, jobs):
+        t = jobs.sort_by("user", "hours")
+        assert t["user"].tolist() == ["alice", "alice", "bob", "bob", "carol"]
+        assert t["hours"].tolist()[:2] == [0.5, 1.0]
+
+    def test_sort_requires_column(self, jobs):
+        with pytest.raises(ValueError):
+            jobs.sort_by()
+
+
+class TestSummaries:
+    def test_unique_strings(self, jobs):
+        assert set(jobs.unique("user")) == {"alice", "bob", "carol"}
+
+    def test_value_counts_sorted_desc(self, jobs):
+        vc = jobs.value_counts("user")
+        assert vc["count"].tolist() == sorted(vc["count"].tolist(), reverse=True)
+        assert vc["count"].sum() == 5
+
+    def test_value_counts_top(self, jobs):
+        vc = jobs.value_counts("nodes")
+        assert vc.row(0) == {"nodes": 512, "count": 3}
+
+
+class TestConcat:
+    def test_concat_two(self, jobs):
+        both = Table.concat([jobs, jobs])
+        assert both.n_rows == 10
+        assert both["user"].tolist() == jobs["user"].tolist() * 2
+
+    def test_concat_empty_list(self):
+        assert Table.concat([]).n_rows == 0
+
+    def test_concat_mismatched_columns(self, jobs):
+        with pytest.raises(ValueError):
+            Table.concat([jobs, jobs.drop(["hours"])])
+
+
+class TestEquality:
+    def test_equal_tables(self, jobs):
+        assert jobs == jobs.take(np.arange(5))
+
+    def test_unequal_values(self, jobs):
+        assert jobs != jobs.with_column("hours", [0, 0, 0, 0, 0.0])
+
+    def test_not_a_table(self, jobs):
+        assert jobs != 42
+
+
+class TestToText:
+    def test_contains_header_and_values(self, jobs):
+        text = jobs.to_text()
+        assert "user" in text and "alice" in text
+
+    def test_truncation_notice(self, jobs):
+        text = jobs.to_text(max_rows=2)
+        assert "3 more rows" in text
+
+    def test_empty(self):
+        assert Table({}).to_text() == "(empty table)"

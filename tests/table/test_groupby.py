@@ -1,0 +1,112 @@
+"""Unit tests for group-by aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.table import Table
+
+
+@pytest.fixture
+def jobs():
+    return Table(
+        {
+            "user": ["a", "b", "a", "c", "b", "a"],
+            "project": ["p1", "p1", "p2", "p2", "p1", "p2"],
+            "hours": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            "nodes": [512, 1024, 512, 2048, 512, 4096],
+        }
+    )
+
+
+class TestSingleKey:
+    def test_size(self, jobs):
+        sizes = jobs.group_by("user").size().sort_by("user")
+        assert sizes["user"].tolist() == ["a", "b", "c"]
+        assert sizes["count"].tolist() == [3, 2, 1]
+
+    def test_sum(self, jobs):
+        t = jobs.group_by("user").agg(hours="sum").sort_by("user")
+        assert t["hours_sum"].tolist() == [10.0, 7.0, 4.0]
+
+    def test_mean(self, jobs):
+        t = jobs.group_by("user").agg(hours="mean").sort_by("user")
+        assert t["hours_mean"].tolist() == pytest.approx([10 / 3, 3.5, 4.0])
+
+    def test_min_max(self, jobs):
+        t = jobs.group_by("user").agg({"hours": "min", "nodes": "max"}).sort_by("user")
+        assert t["hours_min"].tolist() == [1.0, 2.0, 4.0]
+        assert t["nodes_max"].tolist() == [4096, 1024, 2048]
+
+    def test_median(self, jobs):
+        t = jobs.group_by("user").agg(hours="median").sort_by("user")
+        assert t["hours_median"].tolist() == [3.0, 3.5, 4.0]
+
+    def test_numeric_key(self, jobs):
+        t = jobs.group_by("nodes").agg(hours="sum").sort_by("nodes")
+        assert t["nodes"].tolist() == [512, 1024, 2048, 4096]
+        assert t["hours_sum"].tolist() == [9.0, 2.0, 4.0, 6.0]
+
+    def test_n_groups(self, jobs):
+        assert jobs.group_by("user").n_groups == 3
+
+    def test_unknown_agg_rejected(self, jobs):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            jobs.group_by("user").agg(hours="mode")
+
+    def test_string_column_agg_rejected(self, jobs):
+        with pytest.raises(TypeError):
+            jobs.group_by("user").agg(project="sum")
+
+    def test_no_keys_rejected(self, jobs):
+        with pytest.raises(ValueError):
+            jobs.group_by()
+
+
+class TestMultiKey:
+    def test_group_count(self, jobs):
+        t = jobs.group_by("user", "project").size()
+        # distinct pairs: (a,p1) (a,p2) (b,p1) (c,p2)
+        assert t.n_rows == 4
+
+    def test_sums_per_pair(self, jobs):
+        t = (
+            jobs.group_by("user", "project")
+            .agg(hours="sum")
+            .sort_by("user", "project")
+        )
+        rows = {(r["user"], r["project"]): r["hours_sum"] for r in t.to_rows()}
+        assert rows[("a", "p2")] == 9.0
+        assert rows[("b", "p1")] == 7.0
+
+
+class TestApplyAndGroups:
+    def test_apply_returns_per_group(self, jobs):
+        spans = jobs.group_by("user").apply(lambda t: float(t["hours"].max() - t["hours"].min()))
+        assert len(spans) == 3
+
+    def test_groups_iteration(self, jobs):
+        seen = {}
+        for key, sub in jobs.group_by("user").groups():
+            seen[key["user"]] = sub.n_rows
+        assert seen == {"a": 3, "b": 2, "c": 1}
+
+
+class TestScale:
+    def test_large_groupby_matches_bincount(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 100, size=20_000)
+        values = rng.random(20_000)
+        t = Table({"k": keys, "v": values})
+        agg = t.group_by("k").agg(v="sum").sort_by("k")
+        expected = np.bincount(keys, weights=values, minlength=100)
+        assert agg["v_sum"].tolist() == pytest.approx(expected.tolist())
+
+
+class TestOverflowFallback:
+    def test_tuple_hash_path_matches_dense(self, jobs, monkeypatch):
+        import repro.table.groupby as gb
+
+        dense = jobs.group_by("user", "project").agg(hours="sum").sort_by("user", "project")
+        monkeypatch.setattr(gb, "_MAX_DENSE_GROUPS", 1)
+        sparse = jobs.group_by("user", "project").agg(hours="sum").sort_by("user", "project")
+        assert sparse == dense

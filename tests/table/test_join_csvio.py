@@ -1,0 +1,134 @@
+"""Unit tests for joins and CSV/JSONL persistence."""
+
+import numpy as np
+import pytest
+
+from repro.table import Table, read_csv, read_jsonl, write_csv, write_jsonl
+
+
+@pytest.fixture
+def jobs():
+    return Table({"job_id": [1, 2, 3], "user": ["a", "b", "a"]})
+
+
+@pytest.fixture
+def tasks():
+    return Table(
+        {
+            "job_id": [1, 1, 2, 9],
+            "task": [0, 1, 0, 0],
+            "exit": [0, 11, 0, 1],
+        }
+    )
+
+
+class TestInnerJoin:
+    def test_fanout(self, jobs, tasks):
+        j = jobs.join(tasks, on="job_id")
+        assert j.n_rows == 3  # job 1 matches twice, job 2 once, job 3/9 dropped
+        assert sorted(j["job_id"].tolist()) == [1, 1, 2]
+
+    def test_columns_merged(self, jobs, tasks):
+        j = jobs.join(tasks, on="job_id")
+        assert set(j.column_names) == {"job_id", "user", "task", "exit"}
+
+    def test_multi_key(self):
+        left = Table({"u": ["a", "a", "b"], "d": [1, 2, 1], "x": [10, 20, 30]})
+        right = Table({"u": ["a", "b"], "d": [2, 1], "y": [0.5, 0.7]})
+        j = left.join(right, on=["u", "d"])
+        assert j.n_rows == 2
+        assert sorted(j["x"].tolist()) == [20, 30]
+
+    def test_collision_suffix(self):
+        left = Table({"k": [1], "v": [10]})
+        right = Table({"k": [1], "v": [20]})
+        j = left.join(right, on="k")
+        assert j.row(0) == {"k": 1, "v": 10, "v_right": 20}
+
+    def test_missing_key_left(self, jobs, tasks):
+        with pytest.raises(KeyError, match="left"):
+            jobs.join(tasks, on="task")
+
+    def test_missing_key_right(self, jobs, tasks):
+        with pytest.raises(KeyError, match="right"):
+            jobs.join(tasks, on="user")
+
+    def test_bad_how(self, jobs, tasks):
+        with pytest.raises(ValueError):
+            jobs.join(tasks, on="job_id", how="outer")
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_kept(self, jobs, tasks):
+        j = jobs.join(tasks, on="job_id", how="left")
+        assert j.n_rows == 4  # 2 for job 1, 1 for job 2, 1 unmatched job 3
+
+    def test_null_fill_int(self, jobs, tasks):
+        j = jobs.join(tasks, on="job_id", how="left")
+        unmatched = j.filter(j["job_id"] == 3)
+        assert unmatched["task"].tolist() == [-1]
+
+    def test_null_fill_float(self):
+        left = Table({"k": [1, 2]})
+        right = Table({"k": [1], "w": [1.5]})
+        j = left.join(right, on="k", how="left").sort_by("k")
+        assert np.isnan(j["w"][1])
+
+    def test_null_fill_string(self):
+        left = Table({"k": [1, 2]})
+        right = Table({"k": [1], "s": ["x"]})
+        j = left.join(right, on="k", how="left").sort_by("k")
+        assert j["s"].tolist() == ["x", ""]
+
+    def test_all_unmatched(self):
+        left = Table({"k": [5, 6]})
+        right = Table({"k": [1], "w": [1.0]})
+        j = left.join(right, on="k", how="left")
+        assert j.n_rows == 2 and np.isnan(j["w"]).all()
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, tasks):
+        path = tmp_path / "tasks.csv"
+        write_csv(tasks, path)
+        assert read_csv(path) == tasks
+
+    def test_type_inference_float(self, tmp_path):
+        t = Table({"x": [1.5, 2.0]})
+        write_csv(t, tmp_path / "f.csv")
+        back = read_csv(tmp_path / "f.csv")
+        assert back["x"].dtype == np.float64
+
+    def test_type_inference_string(self, tmp_path):
+        t = Table({"loc": ["R00-M0", "R01-M1"]})
+        write_csv(t, tmp_path / "s.csv")
+        assert read_csv(tmp_path / "s.csv")["loc"].dtype.kind == "O"
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert read_csv(path).n_rows == 0
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="expected 2 fields"):
+            read_csv(path)
+
+    def test_creates_parent_dirs(self, tmp_path, tasks):
+        path = tmp_path / "deep" / "dir" / "t.csv"
+        write_csv(tasks, path)
+        assert path.exists()
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(rows, path)
+        assert read_jsonl(path) == rows
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert len(read_jsonl(path)) == 2

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the table substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table import Table
+from repro.table.column import factorize
+
+keys = st.lists(st.sampled_from(["u1", "u2", "u3", "u4"]), min_size=1, max_size=60)
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+)
+
+
+@given(keys=keys, data=st.data())
+def test_groupby_sum_partitions_total(keys, data):
+    """Group sums over any key partition must add up to the global sum."""
+    vals = data.draw(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=len(keys),
+            max_size=len(keys),
+        )
+    )
+    t = Table({"k": keys, "v": vals})
+    agg = t.group_by("k").agg(v="sum")
+    assert np.isclose(agg["v_sum"].sum(), np.sum(vals))
+    assert agg["count"].sum() == len(keys)
+
+
+@given(keys=keys)
+def test_value_counts_conserves_rows(keys):
+    t = Table({"k": keys})
+    vc = t.value_counts("k")
+    assert vc["count"].sum() == len(keys)
+    assert set(vc["k"]) == set(keys)
+
+
+@given(vals=values)
+def test_sort_is_permutation_and_ordered(vals):
+    t = Table({"v": vals})
+    s = t.sort_by("v")
+    assert sorted(vals) == s["v"].tolist()
+
+
+@given(vals=values)
+def test_filter_take_consistency(vals):
+    """filter(mask) must equal take(nonzero(mask))."""
+    t = Table({"v": vals})
+    mask = t["v"] > 0
+    assert t.filter(mask) == t.take(np.nonzero(mask)[0])
+
+
+@given(keys=keys)
+def test_factorize_roundtrip(keys):
+    codes, uniques = factorize(np.array(keys, dtype=object))
+    assert [uniques[c] for c in codes] == keys
+
+
+@settings(max_examples=25)
+@given(
+    left_keys=st.lists(st.integers(0, 5), min_size=0, max_size=20),
+    right_keys=st.lists(st.integers(0, 5), min_size=0, max_size=20),
+)
+def test_inner_join_row_count_matches_product(left_keys, right_keys):
+    """Inner-join cardinality = sum over keys of count_left * count_right."""
+    left = Table({"k": np.array(left_keys, dtype=np.int64)})
+    right = Table(
+        {
+            "k": np.array(right_keys, dtype=np.int64),
+            "x": np.arange(len(right_keys)),
+        }
+    )
+    joined = left.join(right, on="k")
+    expected = sum(
+        left_keys.count(k) * right_keys.count(k) for k in set(left_keys)
+    )
+    assert joined.n_rows == expected
+
+
+@given(rows=st.lists(st.integers(0, 100), min_size=1, max_size=50))
+def test_concat_then_filter_equals_filter_then_concat(rows):
+    t = Table({"v": rows})
+    mask = t["v"] % 2 == 0
+    both = Table.concat([t, t])
+    big_mask = np.concatenate([mask, mask])
+    assert both.filter(big_mask) == Table.concat([t.filter(mask), t.filter(mask)])

@@ -1,0 +1,147 @@
+"""Unit tests for the task log substrate."""
+
+import pytest
+
+from repro.scheduler import CobaltScheduler, FailureOrigin, JobRecord, WorkloadModel
+from repro.tasks import TaskLogGenerator, TaskLogParams, TaskRecord, tasks_to_table
+
+
+def _job(job_id=0, n_tasks=1, exit_status=0, origin=FailureOrigin.NONE, runtime=1000.0):
+    return JobRecord(
+        job_id=job_id,
+        user="u",
+        project="p",
+        queue="q",
+        submit_time=0.0,
+        start_time=100.0,
+        end_time=100.0 + runtime,
+        requested_nodes=512,
+        allocated_nodes=512,
+        requested_walltime=runtime * 2,
+        exit_status=exit_status,
+        block="B",
+        first_midplane=0,
+        n_midplanes=1,
+        n_tasks=n_tasks,
+        origin=origin,
+    )
+
+
+class TestTaskRecord:
+    def test_runtime_and_failed(self):
+        task = TaskRecord(0, 0, 0, 1.0, 5.0, 512, 139)
+        assert task.runtime == 4.0
+        assert task.failed
+
+    def test_bad_times(self):
+        with pytest.raises(ValueError):
+            TaskRecord(0, 0, 0, 5.0, 1.0, 512, 0)
+
+    def test_bad_exit(self):
+        with pytest.raises(ValueError):
+            TaskRecord(0, 0, 0, 0.0, 1.0, 512, 300)
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            TaskRecord(0, 0, -1, 0.0, 1.0, 512, 0)
+
+
+class TestGenerator:
+    def test_single_task_job(self):
+        tasks = TaskLogGenerator(seed=0).generate([_job(n_tasks=1)])
+        assert len(tasks) == 1
+        assert tasks[0].exit_status == 0
+
+    def test_ensemble_success_runs_all(self):
+        tasks = TaskLogGenerator(seed=0).generate([_job(n_tasks=8)])
+        assert len(tasks) == 8
+        assert all(t.exit_status == 0 for t in tasks)
+
+    def test_failed_ensemble_truncates(self):
+        jobs = [
+            _job(job_id=i, n_tasks=16, exit_status=139, origin=FailureOrigin.USER)
+            for i in range(30)
+        ]
+        tasks = TaskLogGenerator(seed=1).generate(jobs)
+        per_job = {}
+        for t in tasks:
+            per_job.setdefault(t.job_id, []).append(t)
+        # On average fewer than 16 tasks ran, never more, at least one.
+        counts = [len(v) for v in per_job.values()]
+        assert all(1 <= c <= 16 for c in counts)
+        assert sum(counts) / len(counts) < 16
+
+    def test_last_task_carries_failure(self):
+        jobs = [_job(n_tasks=4, exit_status=134, origin=FailureOrigin.USER)]
+        tasks = sorted(TaskLogGenerator(seed=2).generate(jobs), key=lambda t: t.task_index)
+        assert all(t.exit_status == 0 for t in tasks[:-1])
+        assert tasks[-1].exit_status == 134
+
+    def test_tasks_within_job_window(self):
+        job = _job(n_tasks=5)
+        tasks = TaskLogGenerator(seed=3).generate([job])
+        for t in tasks:
+            assert job.start_time <= t.start_time <= t.end_time <= job.end_time
+
+    def test_tasks_sequential_no_overlap(self):
+        tasks = sorted(
+            TaskLogGenerator(seed=4).generate([_job(n_tasks=10)]),
+            key=lambda t: t.task_index,
+        )
+        for a, b in zip(tasks, tasks[1:]):
+            assert a.end_time <= b.start_time + 1e-9
+
+    def test_task_ids_globally_unique(self):
+        jobs = [_job(job_id=i, n_tasks=3) for i in range(20)]
+        tasks = TaskLogGenerator(seed=5).generate(jobs)
+        ids = [t.task_id for t in tasks]
+        assert len(ids) == len(set(ids))
+
+    def test_durations_sum_to_window(self):
+        job = _job(n_tasks=6, runtime=3600.0)
+        params = TaskLogParams(gap_fraction=0.0)
+        tasks = TaskLogGenerator(params, seed=6).generate([job])
+        total = sum(t.runtime for t in tasks)
+        assert total == pytest.approx(job.runtime, rel=1e-6)
+
+    def test_deterministic(self):
+        jobs = [_job(job_id=i, n_tasks=4) for i in range(5)]
+        a = TaskLogGenerator(seed=7).generate(jobs)
+        b = TaskLogGenerator(seed=7).generate(jobs)
+        assert [(t.start_time, t.end_time) for t in a] == [
+            (t.start_time, t.end_time) for t in b
+        ]
+
+    def test_table_schema(self):
+        tasks = TaskLogGenerator(seed=8).generate([_job(n_tasks=2)])
+        table = tasks_to_table(tasks)
+        assert table.n_rows == 2
+        assert "task_index" in table
+
+    def test_end_to_end_with_scheduler(self):
+        intents = WorkloadModel(seed=31).generate(5.0)
+        result = CobaltScheduler().run(intents, horizon_days=5.0)
+        tasks = TaskLogGenerator(seed=31).generate(result.jobs)
+        by_job = {}
+        for t in tasks:
+            by_job.setdefault(t.job_id, []).append(t)
+        assert set(by_job) == {j.job_id for j in result.jobs}
+        for job in result.jobs:
+            job_tasks = by_job[job.job_id]
+            if job.failed:
+                last = max(job_tasks, key=lambda t: t.task_index)
+                assert last.exit_status == job.exit_status
+
+
+class TestParams:
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            TaskLogParams(gap_fraction=0.5)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            TaskLogParams(dirichlet_alpha=0.0)
+
+    def test_bad_truncation(self):
+        with pytest.raises(ValueError):
+            TaskLogParams(failed_truncation=0.0)

@@ -1,0 +1,38 @@
+"""Every example script must run end-to-end (small scale, fixed seed)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# (script, days, seed) — spans chosen so each script exercises its full
+# path quickly; distribution_fitting needs enough failures per family.
+CASES = [
+    ("quickstart.py", "15", "1"),
+    ("user_failure_report.py", "15", "1"),
+    ("mtti_filtering.py", "30", "2"),
+    ("distribution_fitting.py", "40", "4"),
+    ("fleet_comparison.py", "12", "5"),
+    ("live_monitoring.py", "12", "6"),
+    ("reliability_study.py", "40", "9"),
+]
+
+
+@pytest.mark.parametrize("script,days,seed", CASES)
+def test_example_runs(script, days, seed):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), days, seed],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == {script for script, _, _ in CASES}

@@ -1,0 +1,57 @@
+"""Smoke tests of the package's public surface.
+
+Guards against export drift: everything advertised in ``__all__`` must
+exist, and the README's quickstart snippet must run as written.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.table",
+    "repro.stats",
+    "repro.bgq",
+    "repro.ras",
+    "repro.scheduler",
+    "repro.tasks",
+    "repro.darshan",
+    "repro.dataset",
+    "repro.core",
+    "repro.core.fitting",
+    "repro.core.filtering",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_readme_quickstart():
+    from repro import MiraDataset, run_experiment
+
+    dataset = MiraDataset.synthesize(n_days=3, seed=0)
+    text = run_experiment("e02", dataset).to_text()
+    assert "failure_rate" in text
+
+
+def test_every_public_symbol_documented():
+    """Every callable/class exported at top level carries a docstring."""
+    import repro
+
+    for symbol in repro.__all__:
+        obj = getattr(repro, symbol)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{symbol} lacks a docstring"
