@@ -1,14 +1,18 @@
 """Command-line interface.
 
-Three entry points (installed as console scripts):
+Five entry points (installed as console scripts):
 
 - ``repro-gen``      — synthesize a dataset and write it to a directory
 - ``repro-analyze``  — run one experiment against a dataset directory
 - ``repro-report``   — render the full study report for a dataset
 - ``repro-validate`` — schema + cross-log validation of a dataset directory
+- ``repro-chaos``    — corrupt a dataset directory for resilience drills
 
-Each also accepts ``--synthesize`` so a dataset can be generated on the
-fly instead of loaded from disk.
+``repro-analyze``, ``repro-report``, and ``repro-validate`` accept
+``--days``/``--seed`` to synthesize a dataset on the fly when no
+directory is given, and ``--lenient``/``--max-bad-rows`` to load a
+dirty directory through the quarantining ingestion path instead of
+failing on the first bad record.
 """
 
 from __future__ import annotations
@@ -17,8 +21,15 @@ import argparse
 import sys
 
 from repro.dataset import MiraDataset, validate_dataset
+from repro.errors import ReproError
 
-__all__ = ["main_gen", "main_analyze", "main_report", "main_validate"]
+__all__ = [
+    "main_gen",
+    "main_analyze",
+    "main_report",
+    "main_validate",
+    "main_chaos",
+]
 
 
 def _add_synth_args(parser: argparse.ArgumentParser) -> None:
@@ -28,9 +39,27 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
 
 
+def _add_lenient_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine bad rows and degrade missing sources instead of failing",
+    )
+    parser.add_argument(
+        "--max-bad-rows",
+        type=int,
+        default=None,
+        help="abort a lenient load after this many quarantined rows",
+    )
+
+
 def _load_or_synthesize(args) -> MiraDataset:
     if getattr(args, "dataset", None):
-        return MiraDataset.load(args.dataset)
+        return MiraDataset.load(
+            args.dataset,
+            lenient=getattr(args, "lenient", False),
+            max_bad_rows=getattr(args, "max_bad_rows", None),
+        )
     return MiraDataset.synthesize(n_days=args.days, seed=args.seed)
 
 
@@ -59,7 +88,7 @@ def main_gen(argv: list[str] | None = None) -> int:
 
 
 def main_analyze(argv: list[str] | None = None) -> int:
-    """Run one experiment (e01..e16) and print its tables."""
+    """Run one experiment (e01..e21) and print its tables."""
     from repro.experiments import all_experiments, run_experiment
 
     parser = argparse.ArgumentParser(
@@ -73,6 +102,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
         "--dataset", help="dataset directory (from repro-gen); else synthesize"
     )
     _add_synth_args(parser)
+    _add_lenient_args(parser)
     parser.add_argument("--max-rows", type=int, default=25)
     parser.add_argument(
         "--output",
@@ -84,8 +114,12 @@ def main_analyze(argv: list[str] | None = None) -> int:
             f"unknown experiment {args.experiment!r}; "
             f"known: {', '.join(all_experiments())}"
         )
-    dataset = _load_or_synthesize(args)
-    result = run_experiment(args.experiment, dataset)
+    try:
+        dataset = _load_or_synthesize(args)
+        result = run_experiment(args.experiment, dataset)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
     print(result.to_text(max_rows=args.max_rows))
     if args.output:
         from repro.experiments import export_result
@@ -106,6 +140,7 @@ def main_report(argv: list[str] | None = None) -> int:
         "--dataset", help="dataset directory (from repro-gen); else synthesize"
     )
     _add_synth_args(parser)
+    _add_lenient_args(parser)
     parser.add_argument(
         "--experiments",
         nargs="*",
@@ -117,7 +152,11 @@ def main_report(argv: list[str] | None = None) -> int:
         help="also export every experiment as Markdown + CSVs into this directory",
     )
     args = parser.parse_args(argv)
-    dataset = _load_or_synthesize(args)
+    try:
+        dataset = _load_or_synthesize(args)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
     print(render_report(dataset, experiment_ids=args.experiments))
     if args.output:
         from repro.experiments import export_all
@@ -129,16 +168,21 @@ def main_report(argv: list[str] | None = None) -> int:
 
 def main_validate(argv: list[str] | None = None) -> int:
     """Validate a dataset directory (schemas + cross-log invariants)."""
-    from repro.errors import ReproError
-
     parser = argparse.ArgumentParser(
         prog="repro-validate", description=main_validate.__doc__
     )
-    parser.add_argument("dataset", help="dataset directory (from repro-gen or exports)")
+    parser.add_argument(
+        "dataset",
+        nargs="?",
+        default=None,
+        help="dataset directory (from repro-gen or exports); else synthesize",
+    )
+    _add_synth_args(parser)
+    _add_lenient_args(parser)
     args = parser.parse_args(argv)
     try:
-        dataset = MiraDataset.load(args.dataset)
-        report = validate_dataset(dataset)
+        dataset = _load_or_synthesize(args)
+        report = validate_dataset(dataset, lenient=args.lenient)
     except ReproError as error:
         print(f"INVALID: {error}")
         return 1
@@ -149,6 +193,56 @@ def main_validate(argv: list[str] | None = None) -> int:
         f"OK: {summary['n_jobs']} jobs / {summary['n_ras_events']} RAS events / "
         f"{summary['n_tasks']} tasks / {summary['n_io_profiles']} I/O profiles"
     )
+    return 0
+
+
+def main_chaos(argv: list[str] | None = None) -> int:
+    """Corrupt a saved dataset directory, reproducibly, for drills."""
+    from repro.faults import ALL_FAULTS, FaultPlan
+
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos", description=main_chaos.__doc__
+    )
+    parser.add_argument(
+        "dataset", nargs="?", default=None, help="dataset directory to corrupt in place"
+    )
+    parser.add_argument(
+        "--faults",
+        nargs="*",
+        default=None,
+        help=f"faults to inject, in order (default: all of {', '.join(ALL_FAULTS)})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.02,
+        help="fraction of rows each row-level fault corrupts",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available faults and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in ALL_FAULTS:
+            print(name)
+        return 0
+    if not args.dataset:
+        parser.error("dataset directory required unless --list is given")
+    try:
+        plan = FaultPlan(
+            faults=tuple(args.faults) if args.faults else ALL_FAULTS,
+            seed=args.seed,
+            rate=args.rate,
+        )
+        records = plan.inject(args.dataset)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
+    for record in records:
+        detail = f" ({record.detail})" if record.detail else ""
+        print(f"  {record.fault}: {record.path}, {record.n_rows} rows{detail}")
+    print(f"injected {len(records)} faults into {args.dataset} (seed {args.seed})")
     return 0
 
 

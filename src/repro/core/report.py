@@ -3,6 +3,11 @@
 Renders a dataset plus any subset of experiments into the terminal
 report the CLI's ``repro-report`` emits: overview, per-experiment
 tables, and the takeaway scorecard.
+
+Experiments are isolated from each other: one crashing experiment
+becomes a line in the report's failure section instead of aborting the
+run, and experiments degraded by missing sources (lenient ingestion)
+are listed there too, next to the quarantined-row counts.
 """
 
 from __future__ import annotations
@@ -23,7 +28,12 @@ def render_report(
     Parameters
     ----------
     experiment_ids:
-        Experiments to include (default: all sixteen, in order).
+        Experiments to include (default: all, in order).
+
+    Every experiment runs even if earlier ones fail; skips, errors, and
+    degradations are collected into a trailing ``INGESTION & FAILURES``
+    section together with the dataset's lenient-ingestion report (when
+    it was loaded with ``lenient=True``).
     """
     from repro.experiments import all_experiments, run_experiment
 
@@ -35,6 +45,8 @@ def render_report(
         "=" * 72,
     ]
     sections = []
+    failures: list[str] = []
+    degraded: list[str] = []
     for experiment_id in ids:
         try:
             result = run_experiment(experiment_id, dataset)
@@ -42,9 +54,22 @@ def render_report(
             # Small traces legitimately starve some experiments (too few
             # failures per family, too few interruption intervals, ...);
             # report the reason instead of aborting the whole report.
-            sections.append(
-                f"== {experiment_id.upper()} == skipped: {error}"
-            )
+            sections.append(f"== {experiment_id.upper()} == skipped: {error}")
+            failures.append(f"{experiment_id}: skipped: {error}")
             continue
+        except Exception as error:  # noqa: BLE001 - isolate experiment crashes
+            sections.append(f"== {experiment_id.upper()} == error: {error!r}")
+            failures.append(f"{experiment_id}: error: {error!r}")
+            continue
+        if result.degraded:
+            degraded.append(f"{experiment_id}: {result.notes}")
         sections.append(result.to_text(max_rows=max_rows))
+    ingestion = getattr(dataset, "ingestion", None)
+    if ingestion or failures or degraded:
+        tail = ["== INGESTION & FAILURES =="]
+        if ingestion:
+            tail.extend(f"  {line}" for line in ingestion.summary_lines())
+        tail.extend(f"  degraded experiment {line}" for line in degraded)
+        tail.extend(f"  failed experiment {line}" for line in failures)
+        sections.append("\n".join(tail))
     return "\n\n".join(["\n".join(header)] + sections)

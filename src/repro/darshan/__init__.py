@@ -1,12 +1,16 @@
 """Darshan-style I/O log substrate."""
 
 from .generator import DarshanGenerator, DarshanParams
-from .records import IO_COLUMNS, IoRecord, io_to_table
+from .parser import load_io_log, validate_io_table
+from .records import IO_COLUMNS, IO_SCHEMA, IoRecord, io_to_table
 
 __all__ = [
     "IoRecord",
     "IO_COLUMNS",
+    "IO_SCHEMA",
     "io_to_table",
     "DarshanGenerator",
     "DarshanParams",
+    "load_io_log",
+    "validate_io_table",
 ]

@@ -1,0 +1,98 @@
+"""Parsing and schema validation of on-disk Darshan-style I/O logs.
+
+Same two-mode contract as the other source parsers: strict raises
+:class:`~repro.errors.ParseError` on the first violation, lenient (a
+:class:`~repro.ingest.ParseReport` argument) quarantines bad rows and
+returns the salvageable rest.  Darshan coverage on Mira was partial to
+begin with, so the I/O log is the canonical candidate for whole-source
+dropout — callers degrade gracefully when the file is absent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParseError
+from repro.ingest import ParseReport, coerce_numeric_rows
+from repro.table import Table, read_csv
+
+from .records import IO_COLUMNS, IO_SCHEMA
+
+__all__ = ["load_io_log", "validate_io_table"]
+
+_IO_TIME_SLACK = 1e-6
+
+
+def _validate_strict(table: Table) -> Table:
+    if (table["bytes_read"] < 0).any() or (table["bytes_written"] < 0).any():
+        raise ParseError("I/O table has negative byte counts")
+    if (table["io_time"] > table["runtime"] + _IO_TIME_SLACK).any():
+        raise ParseError("I/O table has io_time exceeding runtime")
+    if len(set(table["job_id"].tolist())) != table.n_rows:
+        raise ParseError("I/O table has duplicate job ids")
+    return table
+
+
+def _validate_lenient(table: Table, report: ParseReport, source: str) -> Table:
+    columns, keep = coerce_numeric_rows(table, IO_SCHEMA, report, source)
+    checks = [
+        (keep & ((columns["bytes_read"] < 0) | (columns["bytes_written"] < 0)),
+         "negative byte count"),
+        (keep & (columns["io_time"] > columns["runtime"] + _IO_TIME_SLACK),
+         "io_time exceeds runtime"),
+    ]
+    for bad, reason in checks:
+        for i in np.nonzero(bad)[0]:
+            report.quarantine(source, int(i), reason)
+            keep[i] = False
+    seen: set[int] = set()
+    job_ids = columns["job_id"]
+    for i in np.nonzero(keep)[0]:
+        jid = int(job_ids[i])
+        if jid in seen:
+            report.quarantine(source, int(i), f"duplicate I/O profile for job {jid}")
+            keep[i] = False
+        else:
+            seen.add(jid)
+    for name, values in columns.items():
+        table = table.with_column(name, values)
+    table = table.filter(keep)
+    for name, pytype in IO_SCHEMA.items():
+        if pytype is int:
+            table = table.with_column(name, table[name].astype(np.int64))
+    return table
+
+
+def validate_io_table(
+    table: Table,
+    *,
+    report: ParseReport | None = None,
+    source: str = "io",
+) -> Table:
+    """Validate schema and basic invariants of an I/O table; returns it.
+
+    Raises
+    ------
+    ParseError
+        Strict mode: on missing columns, negative byte counts, io_time
+        exceeding runtime, or duplicate per-job profiles.  Lenient mode:
+        only on missing columns.
+    """
+    missing = [c for c in IO_COLUMNS if c not in table]
+    if missing:
+        raise ParseError(f"I/O table missing columns {missing}")
+    if table.n_rows == 0:
+        return table
+    if report is None:
+        return _validate_strict(table)
+    return _validate_lenient(table, report, source)
+
+
+def load_io_log(path: str | Path, *, report: ParseReport | None = None) -> Table:
+    """Read and validate an I/O CSV log (lenient when ``report`` given)."""
+    table = read_csv(path, report=report, source="io")
+    if table.n_rows == 0 and not table.column_names:
+        raise ParseError(f"{path}: empty I/O log")
+    return validate_io_table(table, report=report)

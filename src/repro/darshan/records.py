@@ -14,7 +14,7 @@ from typing import Sequence
 
 from repro.table import Table
 
-__all__ = ["IoRecord", "io_to_table", "IO_COLUMNS"]
+__all__ = ["IoRecord", "io_to_table", "IO_COLUMNS", "IO_SCHEMA"]
 
 IO_COLUMNS = [
     "job_id",
@@ -26,6 +26,17 @@ IO_COLUMNS = [
     "runtime",
 ]
 """Canonical column order of an I/O log table."""
+
+IO_SCHEMA: dict[str, type] = {
+    "job_id": int,
+    "user": str,
+    "bytes_read": float,
+    "bytes_written": float,
+    "files_accessed": int,
+    "io_time": float,
+    "runtime": float,
+}
+"""Column name → python type (drives empty tables and lenient coercion)."""
 
 
 @dataclass(frozen=True)

@@ -16,15 +16,25 @@ from pathlib import Path
 import numpy as np
 
 from repro.bgq.machine import MIRA, MachineSpec
-from repro.darshan import DarshanGenerator, DarshanParams, io_to_table
-from repro.errors import DatasetError
+from repro.darshan import (
+    IO_SCHEMA,
+    DarshanGenerator,
+    DarshanParams,
+    io_to_table,
+    validate_io_table,
+)
+from repro.errors import DatasetError, ParseError, QuarantineOverflowError
+from repro.ingest import ParseReport
 from repro.ras import (
+    RAS_SCHEMA,
     Incident,
     RasGenerator,
     RasGeneratorParams,
+    default_catalog,
     validate_ras_table,
 )
 from repro.scheduler import (
+    JOB_SCHEMA,
     CobaltScheduler,
     SchedulerParams,
     WorkloadModel,
@@ -33,7 +43,13 @@ from repro.scheduler import (
     validate_job_table,
 )
 from repro.table import Table, read_csv, read_jsonl, write_csv, write_jsonl
-from repro.tasks import TaskLogGenerator, TaskLogParams, tasks_to_table
+from repro.tasks import (
+    TASK_SCHEMA,
+    TaskLogGenerator,
+    TaskLogParams,
+    tasks_to_table,
+    validate_task_table,
+)
 
 __all__ = ["MiraDataset"]
 
@@ -43,6 +59,46 @@ _LOG_FILES = {
     "tasks": "tasks.csv",
     "io": "io.csv",
 }
+
+_LOG_SCHEMAS = {
+    "ras": RAS_SCHEMA,
+    "jobs": JOB_SCHEMA,
+    "tasks": TASK_SCHEMA,
+    "io": IO_SCHEMA,
+}
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def _spec_from_meta(meta: dict) -> MachineSpec:
+    """Rebuild the machine spec from a ``meta.jsonl`` record."""
+    return MachineSpec(
+        name=meta["spec_name"],
+        rack_rows=meta["rack_rows"],
+        rack_columns=meta["rack_columns"],
+        midplanes_per_rack=meta["midplanes_per_rack"],
+        node_boards_per_midplane=meta["node_boards_per_midplane"],
+        nodes_per_node_board=meta["nodes_per_node_board"],
+        cores_per_node=meta["cores_per_node"],
+    )
+
+
+def _read_incidents(directory: Path) -> list[Incident]:
+    """Read the synthesis ground truth, absent for real traces."""
+    path = directory / "incidents.jsonl"
+    if not path.exists():
+        return []
+    return [
+        Incident(
+            incident_id=row["incident_id"],
+            timestamp=row["timestamp"],
+            msg_id=row["msg_id"],
+            midplane_index=row["midplane_index"],
+            n_events=row["n_events"],
+            had_precursor=row.get("had_precursor", False),
+        )
+        for row in read_jsonl(path)
+    ]
 
 
 @dataclass
@@ -57,6 +113,9 @@ class MiraDataset:
     tasks: Table
     io: Table
     incidents: list[Incident] = field(default_factory=list)
+    #: Lenient-load quarantine/degradation record; ``None`` after a
+    #: strict load or synthesis.
+    ingestion: ParseReport | None = None
 
     # ------------------------------------------------------------------
     # synthesis
@@ -160,15 +219,34 @@ class MiraDataset:
         write_jsonl(incident_rows, directory / "incidents.jsonl")
 
     @classmethod
-    def load(cls, directory: str | Path) -> "MiraDataset":
+    def load(
+        cls,
+        directory: str | Path,
+        *,
+        lenient: bool = False,
+        max_bad_rows: int | None = None,
+    ) -> "MiraDataset":
         """Load a dataset previously written by :meth:`save`.
+
+        Strict mode (default) raises on the first problem.  Lenient mode
+        quarantines bad rows, substitutes empty tables for missing or
+        unsalvageable sources, and records everything it dropped in the
+        returned dataset's ``ingestion`` report; ``max_bad_rows`` bounds
+        the total quarantine size (exceeding it raises
+        :class:`~repro.errors.QuarantineOverflowError`).
 
         Raises
         ------
         DatasetError
-            When a log file or the metadata is missing.
+            When a log file or the metadata is missing (strict), or when
+            the directory holds no dataset files at all (both modes).
+        ParseError
+            When a log violates its schema (strict), or when lenient
+            parsing quarantines more than ``max_bad_rows`` rows.
         """
         directory = Path(directory)
+        if lenient:
+            return cls._load_lenient(directory, max_bad_rows)
         missing = [
             f for f in list(_LOG_FILES.values()) + ["meta.jsonl"]
             if not (directory / f).exists()
@@ -176,37 +254,96 @@ class MiraDataset:
         if missing:
             raise DatasetError(f"{directory}: missing dataset files {missing}")
         meta = read_jsonl(directory / "meta.jsonl")[0]
-        spec = MachineSpec(
-            name=meta["spec_name"],
-            rack_rows=meta["rack_rows"],
-            rack_columns=meta["rack_columns"],
-            midplanes_per_rack=meta["midplanes_per_rack"],
-            node_boards_per_midplane=meta["node_boards_per_midplane"],
-            nodes_per_node_board=meta["nodes_per_node_board"],
-            cores_per_node=meta["cores_per_node"],
-        )
-        incidents = [
-            Incident(
-                incident_id=row["incident_id"],
-                timestamp=row["timestamp"],
-                msg_id=row["msg_id"],
-                midplane_index=row["midplane_index"],
-                n_events=row["n_events"],
-                had_precursor=row.get("had_precursor", False),
-            )
-            for row in read_jsonl(directory / "incidents.jsonl")
-        ] if (directory / "incidents.jsonl").exists() else []
+        spec = _spec_from_meta(meta)
+        incidents = _read_incidents(directory)
         tables = {
             attr: read_csv(directory / filename)
             for attr, filename in _LOG_FILES.items()
         }
         validate_ras_table(tables["ras"])
         validate_job_table(tables["jobs"])
+        validate_task_table(tables["tasks"])
+        validate_io_table(tables["io"])
         return cls(
             spec=spec,
             n_days=meta["n_days"],
             seed=meta["seed"],
             incidents=incidents,
+            **tables,
+        )
+
+    @classmethod
+    def _load_lenient(
+        cls, directory: Path, max_bad_rows: int | None
+    ) -> "MiraDataset":
+        """Best-effort load: quarantine rows, degrade missing sources."""
+        if not directory.is_dir():
+            raise DatasetError(f"{directory}: not a dataset directory")
+        expected = list(_LOG_FILES.values()) + ["meta.jsonl"]
+        if not any((directory / f).exists() for f in expected):
+            raise DatasetError(f"{directory}: no dataset files found")
+        report = ParseReport(max_bad_rows=max_bad_rows)
+
+        spec, n_days, seed = MIRA, None, -1
+        meta_path = directory / "meta.jsonl"
+        if meta_path.exists():
+            try:
+                meta = read_jsonl(meta_path)[0]
+                spec = _spec_from_meta(meta)
+                n_days = float(meta["n_days"])
+                seed = int(meta["seed"])
+            except Exception as error:
+                report.degrade(
+                    "meta", f"unreadable meta.jsonl ({error}); assuming Mira spec"
+                )
+        else:
+            report.degrade("meta", "missing meta.jsonl; assuming Mira spec")
+
+        incidents: list[Incident] = []
+        if (directory / "incidents.jsonl").exists():
+            try:
+                incidents = _read_incidents(directory)
+            except Exception as error:
+                report.degrade("incidents", f"unreadable incidents.jsonl ({error})")
+
+        catalog = default_catalog()
+        validators = {
+            "ras": lambda t: validate_ras_table(t, catalog, report=report),
+            "jobs": lambda t: validate_job_table(t, report=report),
+            "tasks": lambda t: validate_task_table(t, report=report),
+            "io": lambda t: validate_io_table(t, report=report),
+        }
+        tables: dict[str, Table] = {}
+        for attr, filename in _LOG_FILES.items():
+            path = directory / filename
+            if not path.exists():
+                report.degrade(attr, f"missing {filename}")
+                tables[attr] = Table.empty(_LOG_SCHEMAS[attr])
+                continue
+            try:
+                tables[attr] = validators[attr](
+                    read_csv(path, report=report, source=attr)
+                )
+            except QuarantineOverflowError:
+                raise  # mostly-garbage data must not load as near-empty
+            except (ParseError, OSError) as error:
+                report.degrade(attr, str(error))
+                tables[attr] = Table.empty(_LOG_SCHEMAS[attr])
+
+        if n_days is None:
+            last = 0.0
+            if tables["jobs"].n_rows:
+                last = max(last, float(tables["jobs"]["end_time"].max()))
+            if tables["ras"].n_rows:
+                last = max(last, float(tables["ras"]["timestamp"].max()))
+            n_days = last / SECONDS_PER_DAY
+            report.note(f"meta: estimated span {n_days:.2f} days from log extents")
+        return cls(
+            spec=spec,
+            n_days=n_days,
+            seed=seed,
+            incidents=incidents,
+            ingestion=report,
             **tables,
         )
 

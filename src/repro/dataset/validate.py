@@ -111,15 +111,19 @@ def _check_incidents(dataset: MiraDataset, problems: list[str]) -> None:
         problems.append("incident midplane index out of range")
 
 
-def validate_dataset(dataset: MiraDataset) -> dict[str, str]:
+def validate_dataset(dataset: MiraDataset, *, lenient: bool = False) -> dict[str, str]:
     """Run all cross-log checks.
 
-    Returns a check-name → "ok" report on success.
+    Returns a check-name → "ok" report on success.  In lenient mode no
+    exception is raised: failed checks carry their violation text in the
+    report instead, and sources the ingestion layer degraded (missing or
+    unsalvageable files from a lenient load) appear as ``source:<name>``
+    entries — a degraded dataset is still usable, it just says so.
 
     Raises
     ------
     DatasetError
-        Listing every violated invariant.
+        Listing every violated invariant (strict mode only).
     """
     checks = {
         "task_consistency": _check_task_consistency,
@@ -133,7 +137,17 @@ def validate_dataset(dataset: MiraDataset) -> dict[str, str]:
     for name, check in checks.items():
         before = len(problems)
         check(dataset, problems)
-        report[name] = "ok" if len(problems) == before else "failed"
+        if len(problems) == before:
+            report[name] = "ok"
+        elif lenient:
+            report[name] = "failed: " + "; ".join(problems[before:])
+        else:
+            report[name] = "failed"
+    if lenient:
+        if dataset.ingestion is not None:
+            for source, reason in sorted(dataset.ingestion.degraded.items()):
+                report[f"source:{source}"] = f"degraded: {reason}"
+        return report
     if problems:
         raise DatasetError("; ".join(problems))
     return report

@@ -13,8 +13,10 @@ __all__ = [
     "AllocationError",
     "CatalogError",
     "ParseError",
+    "QuarantineOverflowError",
     "DatasetError",
     "FitError",
+    "FaultError",
 ]
 
 
@@ -34,8 +36,21 @@ class CatalogError(ReproError):
     """An unknown RAS message ID or malformed catalog entry."""
 
 
-class ParseError(ReproError):
-    """A log line or file that does not match the expected schema."""
+class ParseError(ReproError, ValueError):
+    """A log line or file that does not match the expected schema.
+
+    Also a :class:`ValueError`, so generic callers that treat malformed
+    input as a value problem keep working.
+    """
+
+
+class QuarantineOverflowError(ParseError):
+    """Lenient parsing quarantined more rows than ``max_bad_rows`` allows.
+
+    Distinct from :class:`ParseError` so resilient loaders can degrade a
+    structurally broken source yet still abort when the data is mostly
+    garbage.
+    """
 
 
 class DatasetError(ReproError):
@@ -44,3 +59,7 @@ class DatasetError(ReproError):
 
 class FitError(ReproError):
     """A distribution fit that cannot be computed for the given sample."""
+
+
+class FaultError(ReproError):
+    """An invalid fault-injection plan (unknown fault, bad target)."""

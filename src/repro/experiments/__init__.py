@@ -29,13 +29,14 @@ from . import (  # noqa: F401  (import for registration side effect)
     e20_user_behavior,
     e21_precursors,
 )
-from .base import ExperimentResult, all_experiments, get_experiment
+from .base import ExperimentResult, all_experiments, experiment_entry, get_experiment
 from .export import export_all, export_result, result_to_markdown
 
 __all__ = [
     "ExperimentResult",
     "all_experiments",
     "get_experiment",
+    "experiment_entry",
     "run_experiment",
     "result_to_markdown",
     "export_result",
@@ -44,5 +45,31 @@ __all__ = [
 
 
 def run_experiment(experiment_id: str, dataset, **params) -> ExperimentResult:
-    """Run one experiment by ID against a dataset."""
-    return get_experiment(experiment_id)(dataset, **params)
+    """Run one experiment by ID against a dataset.
+
+    When a source the experiment requires (declared via
+    ``register(..., requires=...)``) is missing or empty — e.g. a
+    lenient load degraded the Darshan log — a stub result with
+    ``degraded=True`` and an explanatory note is returned instead of
+    crashing the experiment.
+    """
+    title, func, requires = experiment_entry(experiment_id)
+    missing = [
+        source
+        for source in requires
+        if getattr(dataset, source, None) is None
+        or getattr(dataset, source).n_rows == 0
+    ]
+    if missing:
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title=title,
+            tables={},
+            metrics={},
+            notes=(
+                f"DEGRADED: required source(s) {', '.join(missing)} missing "
+                "or empty; analysis skipped."
+            ),
+            degraded=True,
+        )
+    return func(dataset, **params)

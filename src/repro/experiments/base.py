@@ -13,7 +13,13 @@ from typing import Callable, Mapping
 
 from repro.table import Table
 
-__all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "experiment_entry",
+    "all_experiments",
+]
 
 
 @dataclass(frozen=True)
@@ -30,10 +36,14 @@ class ExperimentResult:
     tables: Mapping[str, Table]
     metrics: Mapping[str, float]
     notes: str = ""
+    #: True when a required data source was missing/empty and the
+    #: experiment returned an explanatory stub instead of running.
+    degraded: bool = False
 
     def to_text(self, max_rows: int = 25) -> str:
         """Render the result for terminal output."""
-        lines = [f"== {self.experiment_id.upper()}: {self.title} =="]
+        marker = " [DEGRADED]" if self.degraded else ""
+        lines = [f"== {self.experiment_id.upper()}: {self.title} =={marker}"]
         if self.notes:
             lines.append(self.notes)
         if self.metrics:
@@ -49,31 +59,42 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-_REGISTRY: dict[str, tuple[str, Callable]] = {}
+_REGISTRY: dict[str, tuple[str, Callable, tuple[str, ...]]] = {}
 
 
-def register(experiment_id: str, title: str):
-    """Decorator registering an experiment ``run`` function."""
+def register(experiment_id: str, title: str, requires: tuple[str, ...] = ()):
+    """Decorator registering an experiment ``run`` function.
+
+    ``requires`` names the dataset sources (``"ras"``, ``"tasks"``,
+    ``"io"``) the experiment cannot run without; when one is empty the
+    runner returns a degraded stub result instead of calling ``func``.
+    The job log is implicit — every experiment needs it.
+    """
 
     def decorator(func: Callable):
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id}")
-        _REGISTRY[experiment_id] = (title, func)
+        _REGISTRY[experiment_id] = (title, func, tuple(requires))
         return func
 
     return decorator
 
 
-def get_experiment(experiment_id: str) -> Callable:
-    """Look up an experiment's run function by ID."""
+def experiment_entry(experiment_id: str) -> tuple[str, Callable, tuple[str, ...]]:
+    """Look up an experiment's (title, run function, required sources)."""
     try:
-        return _REGISTRY[experiment_id][1]
+        return _REGISTRY[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
         ) from None
 
 
+def get_experiment(experiment_id: str) -> Callable:
+    """Look up an experiment's run function by ID."""
+    return experiment_entry(experiment_id)[1]
+
+
 def all_experiments() -> dict[str, str]:
     """Mapping of experiment ID to title."""
-    return {eid: title for eid, (title, _) in sorted(_REGISTRY.items())}
+    return {eid: title for eid, (title, _, _) in sorted(_REGISTRY.items())}

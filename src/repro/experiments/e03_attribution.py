@@ -22,7 +22,7 @@ __all__ = ["run"]
 PAPER_USER_SHARE = 0.994
 
 
-@register("e03", "Failure attribution: user vs system caused")
+@register("e03", "Failure attribution: user vs system caused", requires=('ras',))
 def run(dataset: MiraDataset) -> ExperimentResult:
     """Attribute failures and compare to ground truth and the paper."""
     attributed = attribute_failures(dataset.jobs, dataset.fatal_events(), dataset.spec)

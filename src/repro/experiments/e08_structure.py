@@ -17,7 +17,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e08", "Job execution structure: tasks per job vs failure")
+@register("e08", "Job execution structure: tasks per job vs failure", requires=('tasks',))
 def run(dataset: MiraDataset) -> ExperimentResult:
     """Failure rate per task-count bin plus failing-task positions."""
     bins, ratio = failure_rate_by_task_count(dataset.jobs)

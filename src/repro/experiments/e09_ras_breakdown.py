@@ -34,7 +34,7 @@ def _crosstab(ras: Table, key: str) -> Table:
     ).sort_by("total", reverse=True)
 
 
-@register("e09", "RAS composition: severity by component and category")
+@register("e09", "RAS composition: severity by component and category", requires=('ras',))
 def run(dataset: MiraDataset) -> ExperimentResult:
     """Severity cross-tabs of the RAS stream."""
     by_component = _crosstab(dataset.ras, "component")

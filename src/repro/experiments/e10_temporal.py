@@ -55,7 +55,7 @@ def _weekday(jobs: Table) -> Table:
     )
 
 
-@register("e10", "Temporal patterns: monthly, diurnal, weekly")
+@register("e10", "Temporal patterns: monthly, diurnal, weekly", requires=('ras',))
 def run(dataset: MiraDataset) -> ExperimentResult:
     """Monthly/diurnal/weekly volume series."""
     hourly = _hourly(dataset.jobs)

@@ -20,7 +20,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e11", "Spatial locality of fatal events")
+@register("e11", "Spatial locality of fatal events", requires=('ras',))
 def run(dataset: MiraDataset, top_k: int = 10) -> ExperimentResult:
     """Per-midplane fatal counts plus concentration metrics."""
     fatal = dataset.fatal_events()

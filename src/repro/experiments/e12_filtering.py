@@ -17,7 +17,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e12", "Event-filtering ablation (per-stage reduction)")
+@register("e12", "Event-filtering ablation (per-stage reduction)", requires=('ras',))
 def run(
     dataset: MiraDataset,
     window_seconds: float = 3600.0,

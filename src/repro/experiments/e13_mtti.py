@@ -24,7 +24,7 @@ __all__ = ["run"]
 PAPER_MTTI_DAYS = 3.5
 
 
-@register("e13", "MTTI after similarity filtering (+threshold sweep)")
+@register("e13", "MTTI after similarity filtering (+threshold sweep)", requires=('ras',))
 def run(
     dataset: MiraDataset,
     thresholds: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),

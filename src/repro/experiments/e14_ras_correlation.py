@@ -16,7 +16,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e14", "RAS exposure vs users and core-hours")
+@register("e14", "RAS exposure vs users and core-hours", requires=('ras',))
 def run(dataset: MiraDataset, top_k: int = 10) -> ExperimentResult:
     """Per-user RAS exposure and its correlation with core-hours."""
     per_user, correlations = events_per_user(

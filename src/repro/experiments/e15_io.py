@@ -16,7 +16,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e15", "I/O behaviour: failed vs successful jobs")
+@register("e15", "I/O behaviour: failed vs successful jobs", requires=('io',))
 def run(dataset: MiraDataset, n_bins: int = 6) -> ExperimentResult:
     """Failed-vs-success I/O contrast plus the volume scaling curve."""
     by_outcome, ks = io_by_outcome(dataset.io, dataset.jobs)

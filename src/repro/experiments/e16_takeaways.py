@@ -15,7 +15,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e16", "The 22 takeaways, recomputed")
+@register("e16", "The 22 takeaways, recomputed", requires=("ras", "tasks", "io"))
 def run(dataset: MiraDataset) -> ExperimentResult:
     """Evaluate all takeaways and summarize the pass rate."""
     takeaways = compute_takeaways(dataset)

@@ -20,7 +20,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e19", "Best-fit distribution of interruption intervals")
+@register("e19", "Best-fit distribution of interruption intervals", requires=('ras',))
 def run(dataset: MiraDataset) -> ExperimentResult:
     """Fit candidates to inter-interruption gaps."""
     clusters = default_pipeline(spec=dataset.spec).run(dataset.fatal_events()).clusters

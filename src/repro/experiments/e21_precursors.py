@@ -22,7 +22,7 @@ from .base import ExperimentResult, register
 __all__ = ["run"]
 
 
-@register("e21", "WARN precursors of fatal events")
+@register("e21", "WARN precursors of fatal events", requires=('ras',))
 def run(dataset: MiraDataset, lookback_seconds: float = 7200.0) -> ExperimentResult:
     """Coverage, lead times, and alarm quality of WARN precursors."""
     warns = dataset.ras.filter(dataset.ras["severity"] == "WARN")

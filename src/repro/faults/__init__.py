@@ -1,0 +1,22 @@
+"""Deterministic fault injection for resilience drills.
+
+Corrupts a saved dataset directory the way production logging corrupts
+real traces, reproducibly::
+
+    from repro.faults import FaultPlan
+    records = FaultPlan(seed=7).inject("dataset_dir")
+
+The ``repro-chaos`` CLI wraps this for end-to-end drills against the
+lenient ingestion path.
+"""
+
+from .injectors import ALL_FAULTS, FAULT_INJECTORS, FaultRecord
+from .plan import FaultPlan, inject_faults
+
+__all__ = [
+    "ALL_FAULTS",
+    "FAULT_INJECTORS",
+    "FaultRecord",
+    "FaultPlan",
+    "inject_faults",
+]

@@ -1,0 +1,86 @@
+"""Composable, seeded fault plans.
+
+A :class:`FaultPlan` names an ordered set of faults, a seed, and a
+corruption rate; :meth:`FaultPlan.inject` applies them to a dataset
+directory in order, threading one seeded RNG through all injectors so
+the same plan always produces the same corruption.  That determinism is
+what makes chaos drills assertable: a test can corrupt a dataset, run
+the lenient pipeline, and check exact quarantine counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FaultError
+
+from .injectors import ALL_FAULTS, FAULT_INJECTORS, FaultRecord
+
+__all__ = ["FaultPlan", "inject_faults"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded, rate-controlled set of faults to inject.
+
+    Parameters
+    ----------
+    faults:
+        Fault names from :data:`~repro.faults.injectors.FAULT_INJECTORS`,
+        applied in the given order.
+    seed:
+        RNG seed; identical plans corrupt identically.
+    rate:
+        Fraction of data rows each row-level fault touches (at least
+        one row per fault).
+    """
+
+    faults: tuple[str, ...] = ALL_FAULTS
+    seed: int = 0
+    rate: float = 0.02
+
+    def __post_init__(self):
+        unknown = [name for name in self.faults if name not in FAULT_INJECTORS]
+        if unknown:
+            raise FaultError(
+                f"unknown fault(s) {unknown}; known: {sorted(FAULT_INJECTORS)}"
+            )
+        if not self.faults:
+            raise FaultError("fault plan is empty")
+        if not 0.0 < self.rate <= 1.0:
+            raise FaultError(f"rate {self.rate} outside (0, 1]")
+
+    def inject(self, directory: str | Path) -> list[FaultRecord]:
+        """Corrupt ``directory`` in place; returns one record per fault.
+
+        Raises
+        ------
+        FaultError
+            When the directory does not exist or holds no log files.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FaultError(f"{directory}: not a dataset directory")
+        if not any(directory.glob("*.csv")):
+            raise FaultError(f"{directory}: no log files to corrupt")
+        rng = np.random.default_rng(self.seed)
+        return [
+            FAULT_INJECTORS[name](directory, rng, self.rate)
+            for name in self.faults
+        ]
+
+
+def inject_faults(
+    directory: str | Path,
+    faults: tuple[str, ...] | list[str] | None = None,
+    seed: int = 0,
+    rate: float = 0.02,
+) -> list[FaultRecord]:
+    """One-call convenience wrapper around :class:`FaultPlan`."""
+    plan = FaultPlan(
+        faults=tuple(faults) if faults else ALL_FAULTS, seed=seed, rate=rate
+    )
+    return plan.inject(directory)

@@ -1,0 +1,184 @@
+"""Resilient-ingestion primitives: quarantine reports and bounded retry.
+
+The paper's methodology survives 2001 days of dirty production logs;
+this module gives the toolkit the same property.  A
+:class:`ParseReport` collects rows a lenient parser refused (with their
+source, position, and reason) instead of letting one bad line abort the
+run, and :func:`with_retry` bounds transient-``OSError`` retries around
+file reads.  Strict parsing never touches this module — a parser only
+quarantines when the caller hands it a report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, TypeVar
+
+import numpy as np
+
+from repro.errors import QuarantineOverflowError
+
+__all__ = [
+    "QuarantinedRow",
+    "ParseReport",
+    "with_retry",
+    "coerce_numeric_rows",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One record a lenient parser dropped.
+
+    ``row`` is the 1-based file line number when the CSV reader produced
+    it, or the 0-based index into the parsed table when a schema
+    validator produced it (the ``reason`` says which kind of check
+    fired).  ``raw`` carries the offending cell or line when available.
+    """
+
+    source: str
+    row: int
+    reason: str
+    raw: str = ""
+
+
+@dataclass
+class ParseReport:
+    """Structured record of everything lenient ingestion dropped.
+
+    Parameters
+    ----------
+    max_bad_rows:
+        Upper bound on the total number of quarantined rows across all
+        sources; exceeding it raises :class:`~repro.errors.ParseError`
+        (a dataset that is mostly garbage should not silently load as a
+        near-empty one).  ``None`` means unbounded.
+    """
+
+    max_bad_rows: int | None = None
+    quarantined: list[QuarantinedRow] = field(default_factory=list)
+    degraded: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def quarantine(self, source: str, row: int, reason: str, raw: str = "") -> None:
+        """Record one dropped row; enforce the ``max_bad_rows`` bound."""
+        self.quarantined.append(QuarantinedRow(source, row, reason, raw))
+        if self.max_bad_rows is not None and len(self.quarantined) > self.max_bad_rows:
+            raise QuarantineOverflowError(
+                f"quarantined more than {self.max_bad_rows} rows "
+                f"(last: {source} row {row}: {reason})"
+            )
+
+    def degrade(self, source: str, reason: str) -> None:
+        """Mark a whole source as unusable (missing or unsalvageable)."""
+        self.degraded[source] = reason
+
+    def note(self, text: str) -> None:
+        """Record a repair that dropped no rows (e.g. a re-sort)."""
+        self.notes.append(text)
+
+    @property
+    def n_quarantined(self) -> int:
+        """Total quarantined rows across all sources."""
+        return len(self.quarantined)
+
+    def counts(self) -> dict[str, int]:
+        """Quarantined-row count per source."""
+        out: dict[str, int] = {}
+        for entry in self.quarantined:
+            out[entry.source] = out.get(entry.source, 0) + 1
+        return out
+
+    def __bool__(self) -> bool:
+        return bool(self.quarantined or self.degraded or self.notes)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable one-line-per-item summary for reports."""
+        lines = [
+            f"quarantined[{source}]: {count} rows"
+            for source, count in sorted(self.counts().items())
+        ]
+        lines.extend(
+            f"degraded[{source}]: {reason}"
+            for source, reason in sorted(self.degraded.items())
+        )
+        lines.extend(f"note: {text}" for text in self.notes)
+        return lines
+
+
+# OSErrors that indicate a wrong path or permissions, not a transient
+# condition — retrying those only delays the real error.
+_PERMANENT_OSERRORS = (
+    FileNotFoundError,
+    IsADirectoryError,
+    NotADirectoryError,
+    PermissionError,
+)
+
+
+def with_retry(
+    fn: Callable[[], T],
+    *,
+    retries: int = 3,
+    base_delay: float = 0.01,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn``, retrying transient ``OSError`` with backoff.
+
+    Delays double each attempt starting at ``base_delay`` seconds.
+    Permanent errors (missing file, permissions) are raised immediately;
+    the last transient error is raised after ``retries`` attempts.
+    """
+    for attempt in range(retries):
+        try:
+            return fn()
+        except _PERMANENT_OSERRORS:
+            raise
+        except OSError:
+            if attempt == retries - 1:
+                raise
+            sleep(base_delay * 2**attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def coerce_numeric_rows(
+    table,
+    schema: Mapping[str, type],
+    report: ParseReport,
+    source: str,
+):
+    """Coerce a table's numeric columns row-wise, quarantining failures.
+
+    CSV type inference is column-wise: one garbled cell turns a whole
+    timestamp column into strings.  This helper recovers the parsable
+    rows — for every ``int``/``float`` column in ``schema`` it converts
+    cell by cell, quarantines rows with unparsable cells into
+    ``report``, and returns ``(columns, keep)`` where ``columns`` maps
+    each numeric column name to a coerced float array (NaN where
+    unparsable) and ``keep`` is the row mask of fully parsable rows.
+    """
+    n = table.n_rows
+    keep = np.ones(n, dtype=bool)
+    columns: dict[str, np.ndarray] = {}
+    for name, pytype in schema.items():
+        if pytype not in (int, float) or name not in table:
+            continue
+        raw = table[name]
+        if np.issubdtype(raw.dtype, np.number):
+            columns[name] = raw.astype(float)
+            continue
+        coerced = np.full(n, np.nan)
+        for i, value in enumerate(raw.tolist()):
+            try:
+                coerced[i] = float(value)
+            except (TypeError, ValueError):
+                if keep[i]:
+                    report.quarantine(
+                        source, i, f"unparsable {name} {value!r}", raw=str(value)
+                    )
+                keep[i] = False
+        columns[name] = coerced
+    return columns, keep

@@ -3,6 +3,7 @@
 from .catalog import Catalog, CatalogEntry, default_catalog
 from .events import (
     RAS_COLUMNS,
+    RAS_SCHEMA,
     RasEvent,
     events_to_table,
     table_to_events,
@@ -20,6 +21,7 @@ __all__ = [
     "default_catalog",
     "RasEvent",
     "RAS_COLUMNS",
+    "RAS_SCHEMA",
     "events_to_table",
     "table_to_events",
     "validate_against_catalog",

@@ -16,7 +16,13 @@ from repro.table import Table
 from .catalog import Catalog
 from .severity import Severity
 
-__all__ = ["RasEvent", "events_to_table", "table_to_events", "RAS_COLUMNS"]
+__all__ = [
+    "RasEvent",
+    "events_to_table",
+    "table_to_events",
+    "RAS_COLUMNS",
+    "RAS_SCHEMA",
+]
 
 RAS_COLUMNS = [
     "record_id",
@@ -30,6 +36,19 @@ RAS_COLUMNS = [
     "block",
 ]
 """Canonical column order of a RAS log table."""
+
+RAS_SCHEMA: dict[str, type] = {
+    "record_id": int,
+    "timestamp": float,
+    "msg_id": str,
+    "severity": str,
+    "component": str,
+    "category": str,
+    "location": str,
+    "message": str,
+    "block": str,
+}
+"""Column name → python type (drives empty tables and lenient coercion)."""
 
 
 @dataclass(frozen=True)

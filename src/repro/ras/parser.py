@@ -4,34 +4,33 @@ A RAS log is a CSV with the canonical columns of
 :data:`repro.ras.events.RAS_COLUMNS`.  ``load_ras_log`` reads and
 validates one, so a real (exported) Mira RAS CSV can replace the
 synthetic stream without touching the analysis layer.
+
+Both entry points have two modes.  Strict (the default) raises
+:class:`~repro.errors.ParseError` on the first violation.  Lenient —
+selected by passing a :class:`~repro.ingest.ParseReport` — quarantines
+each offending row into the report and returns the salvageable rest,
+mirroring how the paper's methodology filters rather than rejects dirty
+production logs.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.errors import ParseError
+from repro.ingest import ParseReport, coerce_numeric_rows
 from repro.table import Table, read_csv
 
 from .catalog import Catalog
-from .events import RAS_COLUMNS
+from .events import RAS_COLUMNS, RAS_SCHEMA
 from .severity import Severity
 
 __all__ = ["load_ras_log", "validate_ras_table"]
 
 
-def validate_ras_table(table: Table, catalog: Catalog | None = None) -> Table:
-    """Validate schema and value domains of a RAS table; returns it.
-
-    Raises
-    ------
-    ParseError
-        On missing columns, unknown severities, unsorted timestamps, or
-        (when a catalog is given) unknown message IDs.
-    """
-    missing = [c for c in RAS_COLUMNS if c not in table]
-    if missing:
-        raise ParseError(f"RAS table missing columns {missing}")
+def _validate_strict(table: Table, catalog: Catalog | None) -> Table:
     severities = set(table.unique("severity")) if table.n_rows else set()
     valid = {s.value for s in Severity}
     unknown = severities - valid
@@ -39,6 +38,8 @@ def validate_ras_table(table: Table, catalog: Catalog | None = None) -> Table:
         raise ParseError(f"unknown severities in RAS table: {sorted(unknown)}")
     if table.n_rows:
         timestamps = table["timestamp"]
+        if not np.issubdtype(timestamps.dtype, np.number):
+            raise ParseError("RAS table has non-numeric timestamps")
         if (timestamps[1:] < timestamps[:-1]).any():
             raise ParseError("RAS table timestamps are not sorted")
         if float(timestamps[0]) < 0:
@@ -50,9 +51,87 @@ def validate_ras_table(table: Table, catalog: Catalog | None = None) -> Table:
     return table
 
 
-def load_ras_log(path: str | Path, catalog: Catalog | None = None) -> Table:
-    """Read and validate a RAS CSV log."""
-    table = read_csv(path)
+def _validate_lenient(
+    table: Table, catalog: Catalog | None, report: ParseReport, source: str
+) -> Table:
+    if table.n_rows == 0:
+        return table
+    columns, keep = coerce_numeric_rows(table, RAS_SCHEMA, report, source)
+    timestamps = columns["timestamp"]
+    for i in np.nonzero(keep & (timestamps < 0))[0]:
+        report.quarantine(source, int(i), f"negative timestamp {timestamps[i]}")
+        keep[i] = False
+    valid = {s.value for s in Severity}
+    for i, value in enumerate(table["severity"].tolist()):
+        if keep[i] and value not in valid:
+            report.quarantine(source, i, f"unknown severity {value!r}")
+            keep[i] = False
+    if catalog is not None:
+        known = {m: (m in catalog) for m in set(table.unique("msg_id"))}
+        for i, msg_id in enumerate(table["msg_id"].tolist()):
+            if keep[i] and not known[msg_id]:
+                report.quarantine(source, i, f"unknown msg_id {msg_id!r}")
+                keep[i] = False
+    seen: set[int] = set()
+    record_ids = columns["record_id"]
+    for i in np.nonzero(keep)[0]:
+        rid = int(record_ids[i])
+        if rid in seen:
+            report.quarantine(source, int(i), f"duplicate record_id {rid}")
+            keep[i] = False
+        else:
+            seen.add(rid)
+    table = (
+        table.with_column("record_id", record_ids)
+        .with_column("timestamp", timestamps)
+        .filter(keep)
+    )
+    table = table.with_column("record_id", table["record_id"].astype(np.int64))
+    if table.n_rows and (table["timestamp"][1:] < table["timestamp"][:-1]).any():
+        n_inversions = int((table["timestamp"][1:] < table["timestamp"][:-1]).sum())
+        report.note(f"{source}: re-sorted {n_inversions} out-of-order timestamps")
+        table = table.sort_by("timestamp", "record_id")
+    return table
+
+
+def validate_ras_table(
+    table: Table,
+    catalog: Catalog | None = None,
+    *,
+    report: ParseReport | None = None,
+    source: str = "ras",
+) -> Table:
+    """Validate schema and value domains of a RAS table; returns it.
+
+    With a ``report``, offending rows (unparsable numerics, negative
+    timestamps, unknown severities, unknown message IDs, duplicate
+    record IDs) are quarantined instead of raising, and an unsorted
+    survivor set is re-sorted with a note.
+
+    Raises
+    ------
+    ParseError
+        Strict mode: on missing columns, unknown severities, unsorted or
+        negative timestamps, or (when a catalog is given) unknown
+        message IDs.  Lenient mode: only on missing columns — a table
+        without the canonical schema is not a RAS log at all.
+    """
+    missing = [c for c in RAS_COLUMNS if c not in table]
+    if missing:
+        raise ParseError(f"RAS table missing columns {missing}")
+    if report is None:
+        return _validate_strict(table, catalog)
+    return _validate_lenient(table, catalog, report, source)
+
+
+def load_ras_log(
+    path: str | Path,
+    catalog: Catalog | None = None,
+    *,
+    report: ParseReport | None = None,
+) -> Table:
+    """Read and validate a RAS CSV log (lenient when ``report`` given)."""
+    table = read_csv(path, report=report, source="ras")
     if table.n_rows == 0 and not table.column_names:
         raise ParseError(f"{path}: empty RAS log")
-    return validate_ras_table(table, catalog)
+    return validate_ras_table(table, catalog, report=report)

@@ -1,7 +1,7 @@
 """Cobalt-like scheduler substrate: jobs, workload model, simulator."""
 
 from .cobalt import CobaltScheduler, SchedulerParams, SimulationResult
-from .jobs import JOB_COLUMNS, FailureOrigin, JobRecord, jobs_to_table
+from .jobs import JOB_COLUMNS, JOB_SCHEMA, FailureOrigin, JobRecord, jobs_to_table
 from .metrics import bounded_slowdown, utilization_timeline, wait_time_summary
 from .parser import load_job_log, validate_job_table
 from .swf import intents_from_swf, read_swf, write_swf
@@ -11,6 +11,7 @@ __all__ = [
     "JobRecord",
     "FailureOrigin",
     "JOB_COLUMNS",
+    "JOB_SCHEMA",
     "jobs_to_table",
     "JobIntent",
     "WorkloadModel",

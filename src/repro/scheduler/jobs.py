@@ -16,7 +16,13 @@ from typing import Sequence
 
 from repro.table import Table
 
-__all__ = ["FailureOrigin", "JobRecord", "jobs_to_table", "JOB_COLUMNS"]
+__all__ = [
+    "FailureOrigin",
+    "JobRecord",
+    "jobs_to_table",
+    "JOB_COLUMNS",
+    "JOB_SCHEMA",
+]
 
 
 class FailureOrigin(Enum):
@@ -48,6 +54,27 @@ JOB_COLUMNS = [
     "origin",
 ]
 """Canonical column order of a job log table."""
+
+JOB_SCHEMA: dict[str, type] = {
+    "job_id": int,
+    "user": str,
+    "project": str,
+    "queue": str,
+    "submit_time": float,
+    "start_time": float,
+    "end_time": float,
+    "requested_nodes": int,
+    "allocated_nodes": int,
+    "requested_walltime": float,
+    "exit_status": int,
+    "block": str,
+    "first_midplane": int,
+    "n_midplanes": int,
+    "n_tasks": int,
+    "core_hours": float,
+    "origin": str,
+}
+"""Column name → python type (drives empty tables and lenient coercion)."""
 
 
 @dataclass(frozen=True)

@@ -1,31 +1,30 @@
-"""Parsing and schema validation of on-disk job logs."""
+"""Parsing and schema validation of on-disk job logs.
+
+Strict mode raises :class:`~repro.errors.ParseError` on the first
+violation; passing a :class:`~repro.ingest.ParseReport` selects lenient
+mode, which quarantines offending rows and returns the rest.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.errors import ParseError
+from repro.ingest import ParseReport, coerce_numeric_rows
 from repro.table import Table, read_csv
 
-from .jobs import JOB_COLUMNS
+from .jobs import JOB_COLUMNS, JOB_SCHEMA
 
 __all__ = ["load_job_log", "validate_job_table"]
 
+_INT_COLUMNS = [
+    name for name, pytype in JOB_SCHEMA.items() if pytype is int
+]
 
-def validate_job_table(table: Table) -> Table:
-    """Validate schema and basic invariants of a job table; returns it.
 
-    Raises
-    ------
-    ParseError
-        On missing columns, time-ordering violations, or out-of-range
-        exit statuses.
-    """
-    missing = [c for c in JOB_COLUMNS if c not in table]
-    if missing:
-        raise ParseError(f"job table missing columns {missing}")
-    if table.n_rows == 0:
-        return table
+def _validate_strict(table: Table) -> Table:
     if (table["submit_time"] > table["start_time"]).any():
         raise ParseError("job table has start_time before submit_time")
     if (table["start_time"] > table["end_time"]).any():
@@ -38,9 +37,72 @@ def validate_job_table(table: Table) -> Table:
     return table
 
 
-def load_job_log(path: str | Path) -> Table:
-    """Read and validate a job CSV log."""
-    table = read_csv(path)
+def _validate_lenient(table: Table, report: ParseReport, source: str) -> Table:
+    columns, keep = coerce_numeric_rows(table, JOB_SCHEMA, report, source)
+    submit, start, end = (
+        columns["submit_time"],
+        columns["start_time"],
+        columns["end_time"],
+    )
+    status = columns["exit_status"]
+    checks = [
+        (keep & (submit > start), "start_time before submit_time"),
+        (keep & (start > end), "end_time before start_time"),
+        (keep & ((status < 0) | (status > 255)), "exit status outside [0, 255]"),
+    ]
+    for bad, reason in checks:
+        for i in np.nonzero(bad)[0]:
+            report.quarantine(source, int(i), reason)
+            keep[i] = False
+    seen: set[int] = set()
+    job_ids = columns["job_id"]
+    for i in np.nonzero(keep)[0]:
+        jid = int(job_ids[i])
+        if jid in seen:
+            report.quarantine(source, int(i), f"duplicate job_id {jid}")
+            keep[i] = False
+        else:
+            seen.add(jid)
+    for name, values in columns.items():
+        table = table.with_column(name, values)
+    table = table.filter(keep)
+    for name in _INT_COLUMNS:
+        table = table.with_column(name, table[name].astype(np.int64))
+    return table
+
+
+def validate_job_table(
+    table: Table,
+    *,
+    report: ParseReport | None = None,
+    source: str = "jobs",
+) -> Table:
+    """Validate schema and basic invariants of a job table; returns it.
+
+    With a ``report``, offending rows (unparsable numerics, inverted
+    submit/start/end ordering, out-of-range exit statuses, duplicate job
+    IDs) are quarantined instead of raising.
+
+    Raises
+    ------
+    ParseError
+        Strict mode: on missing columns, time-ordering violations,
+        out-of-range exit statuses, or duplicate job IDs.  Lenient mode:
+        only on missing columns.
+    """
+    missing = [c for c in JOB_COLUMNS if c not in table]
+    if missing:
+        raise ParseError(f"job table missing columns {missing}")
+    if table.n_rows == 0:
+        return table
+    if report is None:
+        return _validate_strict(table)
+    return _validate_lenient(table, report, source)
+
+
+def load_job_log(path: str | Path, *, report: ParseReport | None = None) -> Table:
+    """Read and validate a job CSV log (lenient when ``report`` given)."""
+    table = read_csv(path, report=report, source="jobs")
     if table.n_rows == 0 and not table.column_names:
         raise ParseError(f"{path}: empty job log")
-    return validate_job_table(table)
+    return validate_job_table(table, report=report)

@@ -14,6 +14,9 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.errors import ParseError
+from repro.ingest import ParseReport, with_retry
+
 from .frame import Table
 
 __all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
@@ -51,23 +54,42 @@ def _infer(values: list[str]):
     return values
 
 
-def read_csv(path: str | Path) -> Table:
-    """Read a CSV with a header row back into a table."""
+def read_csv(
+    path: str | Path,
+    *,
+    report: ParseReport | None = None,
+    source: str | None = None,
+) -> Table:
+    """Read a CSV with a header row back into a table.
+
+    Strict mode (no ``report``) raises :class:`~repro.errors.ParseError`
+    on the first row whose field count disagrees with the header.  With
+    a :class:`~repro.ingest.ParseReport`, malformed rows are quarantined
+    into it (under ``source``, default the file name) and parsing
+    continues.  The underlying file read retries transient ``OSError``s
+    with backoff either way.
+    """
     path = Path(path)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            return Table({})
-        raw_columns: list[list[str]] = [[] for _ in header]
-        for line_no, row in enumerate(reader, start=2):
-            if len(row) != len(header):
-                raise ValueError(
-                    f"{path}:{line_no}: expected {len(header)} fields, got {len(row)}"
-                )
-            for cell, column in zip(row, raw_columns):
-                column.append(cell)
+    source = source or path.name
+
+    def _read_rows() -> list[list[str]]:
+        with path.open(newline="") as handle:
+            return list(csv.reader(handle))
+
+    rows = with_retry(_read_rows)
+    if not rows:
+        return Table({})
+    header, *body = rows
+    raw_columns: list[list[str]] = [[] for _ in header]
+    for line_no, row in enumerate(body, start=2):
+        if len(row) != len(header):
+            message = f"expected {len(header)} fields, got {len(row)}"
+            if report is None:
+                raise ParseError(f"{path}:{line_no}: {message}")
+            report.quarantine(source, line_no, message, raw=",".join(row))
+            continue
+        for cell, column in zip(row, raw_columns):
+            column.append(cell)
     return Table({name: _infer(col) for name, col in zip(header, raw_columns)})
 
 
@@ -82,6 +104,14 @@ def write_jsonl(rows: Iterable[dict], path: str | Path) -> None:
 
 
 def read_jsonl(path: str | Path) -> list[dict]:
-    """Read a JSONL file back into a list of dicts."""
-    with Path(path).open() as handle:
-        return [json.loads(line) for line in handle if line.strip()]
+    """Read a JSONL file back into a list of dicts.
+
+    Transient ``OSError``s are retried with backoff, matching
+    :func:`read_csv`.
+    """
+
+    def _read() -> list[dict]:
+        with Path(path).open() as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    return with_retry(_read)

@@ -1,12 +1,16 @@
 """Task (runjob) log substrate."""
 
 from .generator import TaskLogGenerator, TaskLogParams
-from .runjob import TASK_COLUMNS, TaskRecord, tasks_to_table
+from .parser import load_task_log, validate_task_table
+from .runjob import TASK_COLUMNS, TASK_SCHEMA, TaskRecord, tasks_to_table
 
 __all__ = [
     "TaskRecord",
     "TASK_COLUMNS",
+    "TASK_SCHEMA",
     "tasks_to_table",
     "TaskLogGenerator",
     "TaskLogParams",
+    "load_task_log",
+    "validate_task_table",
 ]

@@ -1,0 +1,99 @@
+"""Parsing and schema validation of on-disk task (runjob) logs.
+
+The seed toolkit only ever synthesized task logs; loading a dataset
+from disk took ``tasks.csv`` on faith.  This parser closes that gap
+with the same two-mode contract as the RAS and job parsers: strict
+raises :class:`~repro.errors.ParseError`, lenient (a
+:class:`~repro.ingest.ParseReport` argument) quarantines bad rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParseError
+from repro.ingest import ParseReport, coerce_numeric_rows
+from repro.table import Table, read_csv
+
+from .runjob import TASK_COLUMNS, TASK_SCHEMA
+
+__all__ = ["load_task_log", "validate_task_table"]
+
+
+def _validate_strict(table: Table) -> Table:
+    if (table["start_time"] > table["end_time"]).any():
+        raise ParseError("task table has end_time before start_time")
+    if (table["task_index"] < 0).any():
+        raise ParseError("task table has negative task indices")
+    statuses = table["exit_status"]
+    if (statuses < 0).any() or (statuses > 255).any():
+        raise ParseError("task table has exit statuses outside [0, 255]")
+    if len(set(table["task_id"].tolist())) != table.n_rows:
+        raise ParseError("task table has duplicate task ids")
+    return table
+
+
+def _validate_lenient(table: Table, report: ParseReport, source: str) -> Table:
+    columns, keep = coerce_numeric_rows(table, TASK_SCHEMA, report, source)
+    status = columns["exit_status"]
+    checks = [
+        (keep & (columns["start_time"] > columns["end_time"]),
+         "end_time before start_time"),
+        (keep & (columns["task_index"] < 0), "negative task index"),
+        (keep & ((status < 0) | (status > 255)), "exit status outside [0, 255]"),
+    ]
+    for bad, reason in checks:
+        for i in np.nonzero(bad)[0]:
+            report.quarantine(source, int(i), reason)
+            keep[i] = False
+    seen: set[int] = set()
+    task_ids = columns["task_id"]
+    for i in np.nonzero(keep)[0]:
+        tid = int(task_ids[i])
+        if tid in seen:
+            report.quarantine(source, int(i), f"duplicate task_id {tid}")
+            keep[i] = False
+        else:
+            seen.add(tid)
+    for name, values in columns.items():
+        table = table.with_column(name, values)
+    table = table.filter(keep)
+    for name, pytype in TASK_SCHEMA.items():
+        if pytype is int:
+            table = table.with_column(name, table[name].astype(np.int64))
+    return table
+
+
+def validate_task_table(
+    table: Table,
+    *,
+    report: ParseReport | None = None,
+    source: str = "tasks",
+) -> Table:
+    """Validate schema and basic invariants of a task table; returns it.
+
+    Raises
+    ------
+    ParseError
+        Strict mode: on missing columns, inverted time windows, negative
+        task indices, out-of-range exit statuses, or duplicate task IDs.
+        Lenient mode: only on missing columns.
+    """
+    missing = [c for c in TASK_COLUMNS if c not in table]
+    if missing:
+        raise ParseError(f"task table missing columns {missing}")
+    if table.n_rows == 0:
+        return table
+    if report is None:
+        return _validate_strict(table)
+    return _validate_lenient(table, report, source)
+
+
+def load_task_log(path: str | Path, *, report: ParseReport | None = None) -> Table:
+    """Read and validate a task CSV log (lenient when ``report`` given)."""
+    table = read_csv(path, report=report, source="tasks")
+    if table.n_rows == 0 and not table.column_names:
+        raise ParseError(f"{path}: empty task log")
+    return validate_task_table(table, report=report)

@@ -16,7 +16,7 @@ from typing import Sequence
 
 from repro.table import Table
 
-__all__ = ["TaskRecord", "tasks_to_table", "TASK_COLUMNS"]
+__all__ = ["TaskRecord", "tasks_to_table", "TASK_COLUMNS", "TASK_SCHEMA"]
 
 TASK_COLUMNS = [
     "task_id",
@@ -28,6 +28,17 @@ TASK_COLUMNS = [
     "exit_status",
 ]
 """Canonical column order of a task log table."""
+
+TASK_SCHEMA: dict[str, type] = {
+    "task_id": int,
+    "job_id": int,
+    "task_index": int,
+    "start_time": float,
+    "end_time": float,
+    "n_nodes": int,
+    "exit_status": int,
+}
+"""Column name → python type (drives empty tables and lenient coercion)."""
 
 
 @dataclass(frozen=True)

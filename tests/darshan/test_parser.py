@@ -1,0 +1,58 @@
+"""Strict-vs-lenient contract of the I/O-log parser."""
+
+import pytest
+
+from repro.darshan import load_io_log, validate_io_table
+from repro.errors import ParseError
+from repro.ingest import ParseReport
+from repro.table import Table, write_csv
+
+
+def io_table(**overrides):
+    base = {
+        "job_id": [10, 11, 12],
+        "user": ["u1", "u2", "u1"],
+        "bytes_read": [1e9, 2e9, 0.0],
+        "bytes_written": [5e8, 1e9, 1e7],
+        "files_accessed": [12, 40, 2],
+        "io_time": [60.0, 120.0, 5.0],
+        "runtime": [3600.0, 3600.0, 600.0],
+    }
+    base.update(overrides)
+    return Table(base)
+
+
+class TestStrict:
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ParseError, match="negative byte counts"):
+            validate_io_table(io_table(bytes_read=[-1.0, 2e9, 0.0]))
+
+    def test_io_time_beyond_runtime_raises(self):
+        with pytest.raises(ParseError, match="io_time exceeding runtime"):
+            validate_io_table(io_table(io_time=[60.0, 4000.0, 5.0]))
+
+    def test_duplicate_profiles_raise(self):
+        with pytest.raises(ParseError, match="duplicate job ids"):
+            validate_io_table(io_table(job_id=[10, 10, 12]))
+
+
+class TestLenient:
+    def test_bad_rows_quarantined(self):
+        report = ParseReport()
+        out = validate_io_table(
+            io_table(bytes_written=[-5.0, 1e9, 1e7], job_id=[10, 11, 11]),
+            report=report,
+        )
+        assert out.n_rows == 1
+        assert report.counts() == {"io": 2}
+        reasons = sorted(entry.reason for entry in report.quarantined)
+        assert any("duplicate I/O profile" in r for r in reasons)
+        assert any("negative byte count" in r for r in reasons)
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "io.csv"
+        write_csv(io_table(io_time=[60.0, 9999.0, 5.0]), path)
+        report = ParseReport()
+        out = load_io_log(path, report=report)
+        assert out.n_rows == 2
+        assert "io_time exceeds runtime" in report.quarantined[0].reason

@@ -1,0 +1,67 @@
+"""Lenient dataset loading: missing sources, broken metadata, and the
+degradation report."""
+
+import pytest
+
+from repro.dataset import MiraDataset, validate_dataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    MiraDataset.synthesize(n_days=4.0, seed=9).save(tmp_path / "ds")
+    return tmp_path / "ds"
+
+
+class TestMissingSources:
+    def test_missing_io_degrades_to_empty(self, saved):
+        (saved / "io.csv").unlink()
+        dataset = MiraDataset.load(saved, lenient=True)
+        assert dataset.io.n_rows == 0
+        assert dataset.io.column_names  # typed empty table, not zero-column
+        assert dataset.ingestion.degraded == {"io": "missing io.csv"}
+
+    def test_missing_meta_estimates_span(self, saved):
+        (saved / "meta.jsonl").unlink()
+        dataset = MiraDataset.load(saved, lenient=True)
+        assert "meta" in dataset.ingestion.degraded
+        assert 0 < dataset.n_days <= 5.0  # estimated from log extents
+        assert dataset.spec.name == "Mira"  # fallback spec
+
+    def test_corrupt_meta_degrades(self, saved):
+        (saved / "meta.jsonl").write_text("{not json\n")
+        dataset = MiraDataset.load(saved, lenient=True)
+        assert "meta" in dataset.ingestion.degraded
+
+    def test_corrupt_incidents_degrade(self, saved):
+        (saved / "incidents.jsonl").write_text("{broken\n")
+        dataset = MiraDataset.load(saved, lenient=True)
+        assert dataset.incidents == []
+        assert "incidents" in dataset.ingestion.degraded
+
+    def test_empty_directory_still_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(DatasetError, match="no dataset files"):
+            MiraDataset.load(empty, lenient=True)
+
+    def test_nonexistent_directory_fails(self, tmp_path):
+        with pytest.raises(DatasetError, match="not a dataset directory"):
+            MiraDataset.load(tmp_path / "nope", lenient=True)
+
+
+class TestCleanRoundTrip:
+    def test_clean_dataset_loads_without_report_entries(self, saved):
+        dataset = MiraDataset.load(saved, lenient=True)
+        assert not dataset.ingestion  # empty report is falsy
+        strict = MiraDataset.load(saved)
+        assert strict.ingestion is None
+        assert dataset.ras == strict.ras
+        assert dataset.jobs == strict.jobs
+
+    def test_lenient_validate_reports_degraded_sources(self, saved):
+        (saved / "tasks.csv").unlink()
+        dataset = MiraDataset.load(saved, lenient=True)
+        report = validate_dataset(dataset, lenient=True)
+        assert report["source:tasks"].startswith("degraded")
+        assert report["occupancy"] == "ok"

@@ -1,0 +1,115 @@
+"""End-to-end chaos drill (the PR's acceptance scenario).
+
+``repro-gen`` → ``repro-chaos`` (row corruption + Darshan dropout) →
+``repro-report --lenient`` must exit 0, render every non-degraded
+experiment, and list quarantine counts and degraded experiments in the
+failure section — while strict mode fails deterministically on the same
+corrupted dataset.
+"""
+
+import pytest
+
+from repro.cli import main_chaos, main_gen, main_report, main_validate
+from repro.dataset import MiraDataset
+from repro.errors import DatasetError, ParseError, QuarantineOverflowError
+
+
+@pytest.fixture(scope="module")
+def corrupted(tmp_path_factory):
+    """One generated-then-corrupted dataset shared by the drill tests."""
+    directory = tmp_path_factory.mktemp("chaos") / "ds"
+    assert main_gen([str(directory), "--days", "10", "--seed", "3"]) == 0
+    rc = main_chaos(
+        [
+            str(directory),
+            "--faults",
+            "truncate_rows",
+            "unknown_severity",
+            "negative_timestamps",
+            "duplicate_rows",
+            "drop_darshan",
+            "--seed",
+            "7",
+            "--rate",
+            "0.02",
+        ]
+    )
+    assert rc == 0
+    return directory
+
+
+class TestChaosCli:
+    def test_list_faults(self, capsys):
+        assert main_chaos(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "drop_darshan" in out and "truncate_rows" in out
+
+    def test_chaos_reports_each_fault(self, corrupted, capsys):
+        # fixture already ran; rerun on a missing dir for the error path
+        assert main_chaos([str(corrupted / "nope")]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestStrictFailsDeterministically:
+    def test_strict_load_raises(self, corrupted):
+        with pytest.raises((ParseError, DatasetError)):
+            MiraDataset.load(corrupted)
+
+    def test_strict_report_exits_1(self, corrupted, capsys):
+        assert main_report(["--dataset", str(corrupted)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_strict_analyze_exits_1(self, corrupted, capsys):
+        from repro.cli import main_analyze
+
+        assert main_analyze(["e01", "--dataset", str(corrupted)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestLenientSurvives:
+    def test_report_exits_0_and_lists_damage(self, corrupted, capsys):
+        rc = main_report(["--dataset", str(corrupted), "--lenient"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # failure section lists quarantined-row counts per source
+        assert "== INGESTION & FAILURES ==" in out
+        assert "quarantined[ras]:" in out
+        assert "quarantined[jobs]:" in out
+        assert "degraded[io]: missing io.csv" in out
+        # the I/O experiment degrades with an explanatory note
+        assert "degraded experiment e15" in out
+        # non-degraded experiments still render
+        for eid in ("E01", "E02", "E05", "E09", "E13"):
+            assert f"== {eid}:" in out
+
+    def test_lenient_load_preserves_good_rows(self, corrupted):
+        clean = MiraDataset.synthesize(n_days=10.0, seed=3)
+        dirty = MiraDataset.load(corrupted, lenient=True)
+        assert dirty.ingestion is not None
+        assert dirty.ingestion.n_quarantined > 0
+        # most of the data survives the 2% corruption
+        assert dirty.ras.n_rows > 0.9 * clean.ras.n_rows
+        assert dirty.jobs.n_rows == clean.jobs.n_rows  # dups dropped exactly
+        assert dirty.io.n_rows == 0  # dropped source degrades to empty
+
+    def test_lenient_validate_exits_0(self, corrupted, capsys):
+        assert main_validate([str(corrupted), "--lenient"]) == 0
+        out = capsys.readouterr().out
+        assert "source:io: degraded" in out
+
+    def test_max_bad_rows_aborts_lenient_load(self, corrupted):
+        with pytest.raises(QuarantineOverflowError):
+            MiraDataset.load(corrupted, lenient=True, max_bad_rows=1)
+
+    def test_max_bad_rows_cli(self, corrupted, capsys):
+        rc = main_report(
+            ["--dataset", str(corrupted), "--lenient", "--max-bad-rows", "1"]
+        )
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestValidateSynthesisParity:
+    def test_validate_synthesizes_without_dataset(self, capsys):
+        assert main_validate(["--days", "4", "--seed", "6"]) == 0
+        assert "OK:" in capsys.readouterr().out

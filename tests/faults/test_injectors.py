@@ -1,0 +1,125 @@
+"""Unit tests for the fault-injection subsystem: determinism, per-fault
+effects, and plan validation."""
+
+import pytest
+
+from repro.dataset import MiraDataset
+from repro.errors import FaultError, ParseError
+from repro.faults import ALL_FAULTS, FAULT_INJECTORS, FaultPlan, inject_faults
+from repro.ingest import ParseReport
+from repro.ras import default_catalog, load_ras_log
+from repro.scheduler import load_job_log
+
+
+@pytest.fixture()
+def dataset_dir(tmp_path):
+    MiraDataset.synthesize(n_days=5.0, seed=11).save(tmp_path / "ds")
+    return tmp_path / "ds"
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self, tmp_path):
+        dirs = []
+        for name in ("a", "b"):
+            MiraDataset.synthesize(n_days=3.0, seed=5).save(tmp_path / name)
+            FaultPlan(seed=123, rate=0.05).inject(tmp_path / name)
+            dirs.append(tmp_path / name)
+        assert (dirs[0] / "ras.csv").read_text() == (dirs[1] / "ras.csv").read_text()
+        assert (dirs[0] / "jobs.csv").read_text() == (dirs[1] / "jobs.csv").read_text()
+
+    def test_different_seed_different_corruption(self, tmp_path):
+        texts = []
+        for name, seed in (("a", 1), ("b", 2)):
+            MiraDataset.synthesize(n_days=3.0, seed=5).save(tmp_path / name)
+            FaultPlan(faults=("garble_rows",), seed=seed, rate=0.05).inject(
+                tmp_path / name
+            )
+            texts.append((tmp_path / name / "ras.csv").read_text())
+        assert texts[0] != texts[1]
+
+
+class TestFaultEffects:
+    def test_truncate_rows_breaks_strict_parse(self, dataset_dir):
+        inject_faults(dataset_dir, ["truncate_rows"], seed=1, rate=0.02)
+        with pytest.raises(ParseError, match="expected .* fields"):
+            load_ras_log(dataset_dir / "ras.csv")
+
+    def test_garble_rows_quarantined_in_lenient(self, dataset_dir):
+        records = inject_faults(dataset_dir, ["garble_rows"], seed=1, rate=0.02)
+        report = ParseReport()
+        load_ras_log(dataset_dir / "ras.csv", report=report)
+        assert report.counts()["ras"] == records[0].n_rows
+
+    def test_unknown_severity_detected(self, dataset_dir):
+        records = inject_faults(dataset_dir, ["unknown_severity"], seed=1, rate=0.02)
+        assert records[0].n_rows >= 1
+        with pytest.raises(ParseError, match="unknown severities"):
+            load_ras_log(dataset_dir / "ras.csv")
+
+    def test_unknown_msg_id_quarantined_with_catalog(self, dataset_dir):
+        records = inject_faults(dataset_dir, ["unknown_msg_id"], seed=1, rate=0.02)
+        report = ParseReport()
+        load_ras_log(dataset_dir / "ras.csv", default_catalog(), report=report)
+        assert report.counts()["ras"] == records[0].n_rows
+
+    def test_shuffle_timestamps_breaks_sortedness(self, dataset_dir):
+        records = inject_faults(dataset_dir, ["shuffle_timestamps"], seed=1, rate=0.02)
+        assert records[0].n_rows >= 1
+        with pytest.raises(ParseError, match="not sorted"):
+            load_ras_log(dataset_dir / "ras.csv")
+        report = ParseReport()
+        table = load_ras_log(dataset_dir / "ras.csv", report=report)
+        ts = table["timestamp"]
+        assert (ts[1:] >= ts[:-1]).all()
+
+    def test_negative_timestamps_quarantined(self, dataset_dir):
+        records = inject_faults(
+            dataset_dir, ["negative_timestamps"], seed=1, rate=0.02
+        )
+        report = ParseReport()
+        load_ras_log(dataset_dir / "ras.csv", report=report)
+        negative = [
+            e for e in report.quarantined if "negative timestamp" in e.reason
+        ]
+        assert len(negative) == records[0].n_rows
+
+    def test_duplicate_rows_detected(self, dataset_dir):
+        inject_faults(dataset_dir, ["duplicate_rows"], seed=1, rate=0.02)
+        with pytest.raises(ParseError, match="duplicate job ids"):
+            load_job_log(dataset_dir / "jobs.csv")
+
+    def test_drop_darshan_removes_file(self, dataset_dir):
+        record = inject_faults(dataset_dir, ["drop_darshan"], seed=1)[0]
+        assert not (dataset_dir / "io.csv").exists()
+        assert record.detail == "file deleted"
+        # A second application reports the target as already gone.
+        again = inject_faults(dataset_dir, ["drop_darshan"], seed=1)[0]
+        assert again.n_rows == 0 and "skipped" in again.detail
+
+
+class TestFaultPlan:
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault"):
+            FaultPlan(faults=("no_such_fault",))
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(FaultError, match="empty"):
+            FaultPlan(faults=())
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(FaultError, match="rate"):
+            FaultPlan(rate=0.0)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(FaultError, match="not a dataset directory"):
+            FaultPlan().inject(tmp_path / "nope")
+
+    def test_directory_without_logs_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FaultError, match="no log files"):
+            FaultPlan().inject(empty)
+
+    def test_registry_covers_all_faults(self):
+        assert set(ALL_FAULTS) == set(FAULT_INJECTORS)
+        assert len(ALL_FAULTS) >= 8

@@ -1,0 +1,146 @@
+"""Strict-vs-lenient contract of the RAS parser: every fault class the
+chaos subsystem injects must raise in strict mode and quarantine in
+lenient mode."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ingest import ParseReport
+from repro.ras import RAS_COLUMNS, default_catalog, load_ras_log, validate_ras_table
+from repro.table import Table, write_csv
+
+
+def ras_table(**overrides):
+    base = {
+        "record_id": [0, 1, 2],
+        "timestamp": [10.0, 20.0, 30.0],
+        "msg_id": ["00010001", "00010001", "00010001"],
+        "severity": ["INFO", "WARN", "FATAL"],
+        "component": ["CNK", "CNK", "CNK"],
+        "category": ["Software", "Software", "Software"],
+        "location": ["R00-M0", "R00-M0", "R00-M0"],
+        "message": ["a", "b", "c"],
+        "block": ["", "", ""],
+    }
+    base.update(overrides)
+    return Table(base)
+
+
+class TestStrict:
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ParseError, match="unknown severities"):
+            validate_ras_table(ras_table(severity=["INFO", "BOGUS", "FATAL"]))
+
+    def test_unsorted_timestamps_raise(self):
+        with pytest.raises(ParseError, match="not sorted"):
+            validate_ras_table(ras_table(timestamp=[10.0, 5.0, 30.0]))
+
+    def test_negative_timestamp_raises(self):
+        with pytest.raises(ParseError, match="negative"):
+            validate_ras_table(ras_table(timestamp=[-1.0, 20.0, 30.0]))
+
+    def test_non_numeric_timestamps_raise(self):
+        with pytest.raises(ParseError, match="non-numeric"):
+            validate_ras_table(ras_table(timestamp=["x", "y", "z"]))
+
+    def test_unknown_msg_id_raises_with_catalog(self):
+        table = ras_table(msg_id=["FFFFFFFF"] * 3)
+        with pytest.raises(ParseError, match="unknown RAS message ids"):
+            validate_ras_table(table, default_catalog())
+
+    def test_missing_column_raises(self):
+        table = ras_table().drop(["severity"])
+        with pytest.raises(ParseError, match="missing columns"):
+            validate_ras_table(table)
+
+    def test_valid_table_returned(self):
+        table = ras_table()
+        assert validate_ras_table(table, default_catalog()) is table
+
+
+class TestLenient:
+    def test_unknown_severity_quarantined(self):
+        report = ParseReport()
+        out = validate_ras_table(
+            ras_table(severity=["INFO", "BOGUS", "FATAL"]), report=report
+        )
+        assert out.n_rows == 2
+        assert report.counts() == {"ras": 1}
+        assert "unknown severity" in report.quarantined[0].reason
+
+    def test_negative_timestamp_quarantined(self):
+        report = ParseReport()
+        out = validate_ras_table(
+            ras_table(timestamp=[-5.0, 20.0, 30.0]), report=report
+        )
+        assert out.n_rows == 2
+        assert "negative timestamp" in report.quarantined[0].reason
+
+    def test_unparsable_timestamp_quarantined(self):
+        report = ParseReport()
+        out = validate_ras_table(
+            ras_table(timestamp=["10.0", "oops", "30.0"]), report=report
+        )
+        assert out.n_rows == 2
+        assert out["timestamp"].tolist() == [10.0, 30.0]
+        assert "unparsable timestamp" in report.quarantined[0].reason
+
+    def test_unsorted_resorted_with_note(self):
+        report = ParseReport()
+        out = validate_ras_table(
+            ras_table(timestamp=[30.0, 20.0, 10.0]), report=report
+        )
+        assert out.n_rows == 3
+        assert out["timestamp"].tolist() == [10.0, 20.0, 30.0]
+        assert report.n_quarantined == 0
+        assert any("re-sorted" in note for note in report.notes)
+
+    def test_unknown_msg_id_quarantined(self):
+        report = ParseReport()
+        out = validate_ras_table(
+            ras_table(msg_id=["00010001", "FFFFFFFF", "00010001"]),
+            default_catalog(),
+            report=report,
+        )
+        assert out.n_rows == 2
+        assert "unknown msg_id" in report.quarantined[0].reason
+
+    def test_duplicate_record_ids_deduplicated(self):
+        report = ParseReport()
+        out = validate_ras_table(
+            ras_table(record_id=[0, 0, 2]), report=report
+        )
+        assert out.n_rows == 2
+        assert "duplicate record_id" in report.quarantined[0].reason
+
+    def test_missing_column_still_raises(self):
+        table = ras_table().drop(["msg_id"])
+        with pytest.raises(ParseError, match="missing columns"):
+            validate_ras_table(table, report=ParseReport())
+
+    def test_clean_table_untouched(self):
+        report = ParseReport()
+        out = validate_ras_table(ras_table(), report=report)
+        assert out.n_rows == 3
+        assert not report
+
+
+class TestLoadRasLog:
+    def test_lenient_load_from_disk(self, tmp_path):
+        path = tmp_path / "ras.csv"
+        write_csv(ras_table(severity=["INFO", "NONSENSE", "FATAL"]), path)
+        report = ParseReport()
+        out = load_ras_log(path, report=report)
+        assert out.n_rows == 2
+        assert report.counts() == {"ras": 1}
+
+    def test_empty_file_raises_both_modes(self, tmp_path):
+        path = tmp_path / "ras.csv"
+        path.write_text("")
+        with pytest.raises(ParseError, match="empty RAS log"):
+            load_ras_log(path)
+        with pytest.raises(ParseError, match="empty RAS log"):
+            load_ras_log(path, report=ParseReport())
+
+    def test_column_order_is_canonical(self):
+        assert list(ras_table().column_names) == RAS_COLUMNS

@@ -1,0 +1,80 @@
+"""Strict-vs-lenient contract of the job-log parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ingest import ParseReport
+from repro.scheduler import JOB_COLUMNS, validate_job_table
+from repro.table import Table
+
+
+def job_table(**overrides):
+    base = {
+        "job_id": [1, 2, 3],
+        "user": ["u1", "u2", "u1"],
+        "project": ["p1", "p1", "p2"],
+        "queue": ["prod", "prod", "prod"],
+        "submit_time": [0.0, 10.0, 20.0],
+        "start_time": [5.0, 15.0, 25.0],
+        "end_time": [8.0, 18.0, 30.0],
+        "requested_nodes": [512, 512, 1024],
+        "allocated_nodes": [512, 512, 1024],
+        "requested_walltime": [3600.0, 3600.0, 7200.0],
+        "exit_status": [0, 1, 0],
+        "block": ["B0", "B1", "B2"],
+        "first_midplane": [0, 1, 2],
+        "n_midplanes": [1, 1, 2],
+        "n_tasks": [1, 1, 1],
+        "core_hours": [100.0, 100.0, 400.0],
+        "origin": ["none", "user", "none"],
+    }
+    base.update(overrides)
+    return Table(base)
+
+
+class TestStrict:
+    def test_duplicate_job_ids_raise(self):
+        with pytest.raises(ParseError, match="duplicate job ids"):
+            validate_job_table(job_table(job_id=[1, 1, 3]))
+
+    def test_start_before_submit_raises(self):
+        with pytest.raises(ParseError, match="start_time before submit_time"):
+            validate_job_table(job_table(submit_time=[6.0, 10.0, 20.0]))
+
+    def test_exit_status_range(self):
+        with pytest.raises(ParseError, match=r"\[0, 255\]"):
+            validate_job_table(job_table(exit_status=[0, 999, 0]))
+
+    def test_schema_is_canonical(self):
+        assert job_table().column_names == JOB_COLUMNS
+
+
+class TestLenient:
+    def test_duplicate_job_ids_keep_first(self):
+        report = ParseReport()
+        out = validate_job_table(job_table(job_id=[1, 1, 3]), report=report)
+        assert out["job_id"].tolist() == [1, 3]
+        assert "duplicate job_id 1" in report.quarantined[0].reason
+
+    def test_inverted_times_quarantined(self):
+        report = ParseReport()
+        out = validate_job_table(
+            job_table(end_time=[8.0, 12.0, 30.0]), report=report
+        )
+        assert out.n_rows == 2
+        assert "end_time before start_time" in report.quarantined[0].reason
+
+    def test_unparsable_numeric_quarantined(self):
+        report = ParseReport()
+        out = validate_job_table(
+            job_table(end_time=["8.0", "oops", "30.0"]), report=report
+        )
+        assert out.n_rows == 2
+        assert out["job_id"].dtype.kind == "i"  # ints survive the round trip
+        assert "unparsable end_time" in report.quarantined[0].reason
+
+    def test_out_of_range_exit_status_quarantined(self):
+        report = ParseReport()
+        out = validate_job_table(job_table(exit_status=[0, -3, 300]), report=report)
+        assert out.n_rows == 1
+        assert report.n_quarantined == 2

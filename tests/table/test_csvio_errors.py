@@ -1,0 +1,132 @@
+"""Parser error paths of the CSV layer: malformed rows, type-inference
+edge cases, and retry behaviour around transient read errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ingest import ParseReport, with_retry
+from repro.table import Table, read_csv, write_csv
+from repro.table.csvio import _infer
+
+
+class TestStrictErrors:
+    def test_ragged_row_raises_parse_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ParseError, match="expected 2 fields, got 1"):
+            read_csv(path)
+
+    def test_parse_error_is_value_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_missing_file_raises_immediately(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_gives_empty_table(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        table = read_csv(path)
+        assert table.n_rows == 0 and not table.column_names
+
+    def test_header_only_gives_zero_rows(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("a,b\n")
+        table = read_csv(path)
+        assert table.n_rows == 0 and table.column_names == ["a", "b"]
+
+
+class TestLenientQuarantine:
+    def test_ragged_rows_quarantined(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\ngarbled\n3,4\n5,6,7\n")
+        report = ParseReport()
+        table = read_csv(path, report=report, source="log")
+        assert table["a"].tolist() == [1, 3]
+        assert report.counts() == {"log": 2}
+        rows = {entry.row for entry in report.quarantined}
+        assert rows == {3, 5}  # 1-based file lines
+
+    def test_source_defaults_to_filename(self, tmp_path):
+        path = tmp_path / "mylog.csv"
+        path.write_text("a\n1\nx,y\n")
+        report = ParseReport()
+        read_csv(path, report=report)
+        assert report.quarantined[0].source == "mylog.csv"
+
+    def test_max_bad_rows_bound(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n" + "junk\n" * 5)
+        with pytest.raises(ParseError, match="more than 2"):
+            read_csv(path, report=ParseReport(max_bad_rows=2), source="log")
+
+
+class TestTypeInference:
+    def test_leading_zero_ids_stay_strings(self, tmp_path):
+        table = Table({"msg_id": ["00010001", "00070002"], "n": [1, 2]})
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back["msg_id"].tolist() == ["00010001", "00070002"]
+        assert back["n"].tolist() == [1, 2]
+
+    def test_negative_ints_round_trip(self):
+        assert _infer(["-1", "2"]) == [-1, 2]
+
+    def test_negative_leading_zero_stays_string(self):
+        assert _infer(["-01", "2"]) == ["-01", "2"]
+
+    def test_mixed_int_float_becomes_float(self):
+        assert _infer(["1", "2.5"]) == [1.0, 2.5]
+
+    def test_plain_zero_is_int(self):
+        assert _infer(["0", "10"]) == [0, 10]
+
+    def test_non_numeric_stays_string(self):
+        assert _infer(["1", "x"]) == ["1", "x"]
+
+
+class TestRetry:
+    def test_transient_oserror_retried(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert with_retry(flaky, retries=3, sleep=lambda _: None) == "ok"
+        assert len(attempts) == 3
+
+    def test_gives_up_after_retries(self):
+        def always_fails():
+            raise OSError("still broken")
+
+        with pytest.raises(OSError, match="still broken"):
+            with_retry(always_fails, retries=2, sleep=lambda _: None)
+
+    def test_permanent_error_not_retried(self):
+        attempts = []
+
+        def missing():
+            attempts.append(1)
+            raise FileNotFoundError("gone")
+
+        with pytest.raises(FileNotFoundError):
+            with_retry(missing, retries=5, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_backoff_doubles(self):
+        delays = []
+
+        def fail_then_ok():
+            if len(delays) < 2:
+                raise OSError("x")
+            return 1
+
+        with_retry(fail_then_ok, retries=3, base_delay=0.5, sleep=delays.append)
+        assert delays == [0.5, 1.0]

@@ -1,0 +1,68 @@
+"""Strict-vs-lenient contract of the task-log parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ingest import ParseReport
+from repro.tasks import load_task_log, validate_task_table
+from repro.table import Table, write_csv
+
+
+def task_table(**overrides):
+    base = {
+        "task_id": [0, 1, 2],
+        "job_id": [10, 10, 11],
+        "task_index": [0, 1, 0],
+        "start_time": [0.0, 5.0, 10.0],
+        "end_time": [4.0, 9.0, 20.0],
+        "n_nodes": [512, 512, 1024],
+        "exit_status": [0, 1, 0],
+    }
+    base.update(overrides)
+    return Table(base)
+
+
+class TestStrict:
+    def test_inverted_window_raises(self):
+        with pytest.raises(ParseError, match="end_time before start_time"):
+            validate_task_table(task_table(end_time=[4.0, 1.0, 20.0]))
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ParseError, match="negative task indices"):
+            validate_task_table(task_table(task_index=[0, -1, 0]))
+
+    def test_duplicate_task_ids_raise(self):
+        with pytest.raises(ParseError, match="duplicate task ids"):
+            validate_task_table(task_table(task_id=[0, 0, 2]))
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ParseError, match="missing columns"):
+            validate_task_table(task_table().drop(["n_nodes"]))
+
+
+class TestLenient:
+    def test_bad_rows_quarantined(self):
+        report = ParseReport()
+        out = validate_task_table(
+            task_table(end_time=[4.0, 1.0, 20.0], task_id=[0, 1, 1]),
+            report=report,
+        )
+        # row 1 has an inverted window; row 2 duplicates task_id 1 only
+        # if row 1 survived — here row 1 is dropped first, so task_id 1
+        # remains unique and row 2 survives.
+        assert out.n_rows == 2
+        assert report.counts() == {"tasks": 1}
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "tasks.csv"
+        write_csv(task_table(exit_status=[0, 777, 0]), path)
+        report = ParseReport()
+        out = load_task_log(path, report=report)
+        assert out.n_rows == 2
+        assert "exit status" in report.quarantined[0].reason
+
+    def test_strict_load_raises(self, tmp_path):
+        path = tmp_path / "tasks.csv"
+        write_csv(task_table(exit_status=[0, 777, 0]), path)
+        with pytest.raises(ParseError):
+            load_task_log(path)
