@@ -1,0 +1,171 @@
+"""Pipeline-level performance benchmarks for the three perf layers.
+
+Each test measures one layer against its baseline and the final test
+writes everything into ``BENCH_pipeline.json``:
+
+- vectorized ``read_csv`` vs the pre-vectorization row-at-a-time parser
+  (resulting tables asserted byte-identical)
+- cold CSV directory load vs warm columnar-cache load (warm must win —
+  this is the CI regression gate)
+- the experiment suite at ``jobs=1`` vs ``jobs=N`` (recorded, not
+  gated: single-core runners cannot speed up)
+
+Run ``pytest benchmarks/test_pipeline_bench.py -q -s`` for a readable
+summary.  ``REPRO_BENCH_DAYS`` scales the dataset (CI uses 30 days);
+``REPRO_BENCH_JSON`` overrides the output path.
+"""
+
+import csv
+import os
+import time
+from pathlib import Path
+
+import pytest
+from conftest import BENCH_DAYS, BENCH_SEED
+
+from repro.dataset import MiraDataset
+from repro.experiments.engine import bench_record, run_suite, write_bench_json
+from repro.table import Table, read_csv
+
+# Filled by the layer tests, written out by test_write_bench_json.
+_STAGES: dict[str, float] = {}
+_SUITES: dict[int, object] = {}
+
+
+@pytest.fixture(scope="module")
+def bench_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("pipeline-bench") / "ds"
+    dataset = MiraDataset.synthesize(n_days=BENCH_DAYS, seed=BENCH_SEED)
+    dataset.save(directory)
+    return directory
+
+
+def _best_of(n: int, *timed):
+    """Interleave the candidates across ``n`` rounds; report each one's
+    fastest round (interleaving keeps machine-load noise symmetric)."""
+    best = [float("inf")] * len(timed)
+    for _ in range(n):
+        for position, fn in enumerate(timed):
+            start = time.perf_counter()
+            fn()
+            best[position] = min(best[position], time.perf_counter() - start)
+    return best
+
+
+def _legacy_read_csv(path: Path) -> Table:
+    """The pre-vectorization parser: stdlib reader, per-cell appends,
+    per-cell int/float attempts.  Kept verbatim as the baseline."""
+
+    def infer(values):
+        if any(
+            len(v) > 1 and v.lstrip("-")[:1] == "0" and v.lstrip("-")[1:2].isdigit()
+            for v in values
+        ):
+            return values
+        try:
+            return [int(v) for v in values]
+        except ValueError:
+            pass
+        try:
+            return [float(v) for v in values]
+        except ValueError:
+            pass
+        return values
+
+    with Path(path).open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    header, *body = rows
+    columns = [[] for _ in header]
+    for row in body:
+        for cell, column in zip(row, columns):
+            column.append(cell)
+    return Table({name: infer(col) for name, col in zip(header, columns)})
+
+
+def test_read_csv_vectorization(bench_dir):
+    ras = bench_dir / "ras.csv"
+    vectorized, legacy = read_csv(ras), _legacy_read_csv(ras)
+    assert vectorized.column_names == legacy.column_names
+    for name in vectorized.column_names:
+        assert vectorized[name].dtype == legacy[name].dtype
+        assert vectorized[name].tolist() == legacy[name].tolist()
+    t_legacy, t_vec = _best_of(
+        5, lambda: _legacy_read_csv(ras), lambda: read_csv(ras)
+    )
+    _STAGES["read_csv_legacy_s"] = round(t_legacy, 4)
+    _STAGES["read_csv_vectorized_s"] = round(t_vec, 4)
+    _STAGES["read_csv_speedup"] = round(t_legacy / t_vec, 2)
+    print(
+        f"\nread_csv[ras]: legacy {t_legacy:.3f}s vectorized {t_vec:.3f}s "
+        f"({t_legacy / t_vec:.2f}x)"
+    )
+    assert t_legacy / t_vec > 1.3  # conservative floor; ~2x on a quiet box
+
+
+def test_cache_warm_vs_cold(bench_dir):
+    start = time.perf_counter()
+    cold = MiraDataset.load(bench_dir, cache=False)
+    t_cold = time.perf_counter() - start
+    MiraDataset.load(bench_dir)  # prime the columnar cache
+    start = time.perf_counter()
+    warm = MiraDataset.load(bench_dir)
+    t_warm = time.perf_counter() - start
+    assert warm.jobs == cold.jobs and warm.ras == cold.ras
+    _STAGES["load_cold_s"] = round(t_cold, 4)
+    _STAGES["load_warm_s"] = round(t_warm, 4)
+    _STAGES["load_speedup"] = round(t_cold / t_warm, 2)
+    print(f"\nload: cold {t_cold:.3f}s warm {t_warm:.3f}s ({t_cold / t_warm:.2f}x)")
+    assert t_warm < t_cold  # the CI regression gate
+
+
+def test_suite_jobs_scaling(bench_dir):
+    dataset = MiraDataset.load(bench_dir)
+    sequential = run_suite(dataset, jobs=1)
+    parallel = run_suite(dataset, jobs=4)
+    _SUITES[1], _SUITES[4] = sequential, parallel
+    _STAGES["suite_jobs1_s"] = round(sequential.total_seconds, 4)
+    _STAGES["suite_jobs4_s"] = round(parallel.total_seconds, 4)
+    _STAGES["suite_cpu_count"] = os.cpu_count() or 1
+    assert [o.experiment_id for o in parallel.outcomes] == [
+        o.experiment_id for o in sequential.outcomes
+    ]
+    assert [o.status for o in parallel.outcomes] == [
+        o.status for o in sequential.outcomes
+    ]
+    assert all(o.status == "ok" for o in sequential.outcomes)
+    print(
+        f"\nsuite: jobs=1 {sequential.total_seconds:.2f}s "
+        f"jobs=4 {parallel.total_seconds:.2f}s "
+        f"({os.cpu_count() or 1} CPU(s) available)"
+    )
+
+
+def test_end_to_end_report(bench_dir):
+    """Full repro-report path: synthesize (or hit the cache) + suite."""
+    def run_cold():
+        dataset = MiraDataset.synthesize(
+            n_days=BENCH_DAYS, seed=BENCH_SEED, refresh_cache=True
+        )
+        run_suite(dataset, jobs=1)
+
+    def run_warm():
+        dataset = MiraDataset.synthesize(n_days=BENCH_DAYS, seed=BENCH_SEED)
+        run_suite(dataset, jobs=1)
+
+    t_cold, t_warm = _best_of(2, run_cold, run_warm)
+    _STAGES["report_cold_s"] = round(t_cold, 4)
+    _STAGES["report_warm_s"] = round(t_warm, 4)
+    _STAGES["report_speedup"] = round(t_cold / t_warm, 2)
+    print(f"\nreport: cold {t_cold:.2f}s warm {t_warm:.2f}s ({t_cold / t_warm:.2f}x)")
+    assert t_warm < t_cold
+
+
+def test_write_bench_json(bench_dir):
+    dataset = MiraDataset.load(bench_dir)
+    suite = _SUITES.get(max(_SUITES)) if _SUITES else run_suite(dataset, jobs=1)
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_pipeline.json")
+    record = bench_record(suite, dataset, stages=dict(_STAGES))
+    record["bench"] = {"n_days": BENCH_DAYS, "seed": BENCH_SEED}
+    written = write_bench_json(path, record)
+    assert written.exists()
+    print(f"\nwrote {written} ({len(_STAGES)} stage timings)")

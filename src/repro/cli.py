@@ -13,6 +13,14 @@ Five entry points (installed as console scripts):
 directory is given, and ``--lenient``/``--max-bad-rows`` to load a
 dirty directory through the quarantining ingestion path instead of
 failing on the first bad record.
+
+Dataset loads and parameter-free syntheses are served from the
+columnar ``.npz`` cache (:mod:`repro.dataset.cache`); ``--no-cache``
+bypasses it and ``--refresh-cache`` rebuilds the entry.
+``repro-report`` additionally fans the experiment suite out across
+``--jobs`` worker processes and can record per-experiment timings
+(``--timings``) and a machine-readable perf trajectory
+(``--bench-json``).
 """
 
 from __future__ import annotations
@@ -53,14 +61,33 @@ def _add_lenient_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the columnar dataset cache entirely",
+    )
+    parser.add_argument(
+        "--refresh-cache",
+        action="store_true",
+        help="ignore any cached entry and rebuild it from source",
+    )
+
+
 def _load_or_synthesize(args) -> MiraDataset:
+    cache = not getattr(args, "no_cache", False)
+    refresh = getattr(args, "refresh_cache", False)
     if getattr(args, "dataset", None):
         return MiraDataset.load(
             args.dataset,
             lenient=getattr(args, "lenient", False),
             max_bad_rows=getattr(args, "max_bad_rows", None),
+            cache=cache,
+            refresh_cache=refresh,
         )
-    return MiraDataset.synthesize(n_days=args.days, seed=args.seed)
+    return MiraDataset.synthesize(
+        n_days=args.days, seed=args.seed, cache=cache, refresh_cache=refresh
+    )
 
 
 def main_gen(argv: list[str] | None = None) -> int:
@@ -70,11 +97,17 @@ def main_gen(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("output", help="directory to write the dataset into")
     _add_synth_args(parser)
+    _add_cache_args(parser)
     parser.add_argument(
         "--no-validate", action="store_true", help="skip cross-log validation"
     )
     args = parser.parse_args(argv)
-    dataset = MiraDataset.synthesize(n_days=args.days, seed=args.seed)
+    dataset = MiraDataset.synthesize(
+        n_days=args.days,
+        seed=args.seed,
+        cache=not args.no_cache,
+        refresh_cache=args.refresh_cache,
+    )
     if not args.no_validate:
         validate_dataset(dataset)
     dataset.save(args.output)
@@ -103,6 +136,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
     )
     _add_synth_args(parser)
     _add_lenient_args(parser)
+    _add_cache_args(parser)
     parser.add_argument("--max-rows", type=int, default=25)
     parser.add_argument(
         "--output",
@@ -131,7 +165,10 @@ def main_analyze(argv: list[str] | None = None) -> int:
 
 def main_report(argv: list[str] | None = None) -> int:
     """Render the full study report (all experiments + takeaways)."""
+    import os
+
     from repro.core.report import render_report
+    from repro.experiments.engine import bench_record, run_suite, write_bench_json
 
     parser = argparse.ArgumentParser(
         prog="repro-report", description=main_report.__doc__
@@ -141,11 +178,28 @@ def main_report(argv: list[str] | None = None) -> int:
     )
     _add_synth_args(parser)
     _add_lenient_args(parser)
+    _add_cache_args(parser)
     parser.add_argument(
         "--experiments",
         nargs="*",
         default=None,
         help="subset of experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes for the experiment suite (default: CPU count)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="append a per-experiment wall-time / peak-RSS section",
+    )
+    parser.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="write the suite's timing record as machine-readable JSON",
     )
     parser.add_argument(
         "--output",
@@ -157,7 +211,10 @@ def main_report(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"INVALID: {error}")
         return 1
-    print(render_report(dataset, experiment_ids=args.experiments))
+    suite = run_suite(dataset, args.experiments, jobs=args.jobs)
+    print(render_report(dataset, suite=suite, timings=args.timings))
+    if args.bench_json:
+        write_bench_json(args.bench_json, bench_record(suite, dataset))
     if args.output:
         from repro.experiments import export_all
 
@@ -179,6 +236,7 @@ def main_validate(argv: list[str] | None = None) -> int:
     )
     _add_synth_args(parser)
     _add_lenient_args(parser)
+    _add_cache_args(parser)
     args = parser.parse_args(argv)
     try:
         dataset = _load_or_synthesize(args)

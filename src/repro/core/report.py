@@ -4,16 +4,18 @@ Renders a dataset plus any subset of experiments into the terminal
 report the CLI's ``repro-report`` emits: overview, per-experiment
 tables, and the takeaway scorecard.
 
-Experiments are isolated from each other: one crashing experiment
-becomes a line in the report's failure section instead of aborting the
-run, and experiments degraded by missing sources (lenient ingestion)
-are listed there too, next to the quarantined-row counts.
+Experiment execution is delegated to
+:mod:`repro.experiments.engine`, which isolates failures (one crashing
+experiment becomes a line in the report's failure section instead of
+aborting the run) and can fan the suite out across worker processes;
+the rendered text is byte-identical whichever worker count ran it.
+Experiments degraded by missing sources (lenient ingestion) are listed
+in the trailing section next to the quarantined-row counts.
 """
 
 from __future__ import annotations
 
 from repro.dataset import MiraDataset
-from repro.errors import ReproError
 
 __all__ = ["render_report"]
 
@@ -22,6 +24,9 @@ def render_report(
     dataset: MiraDataset,
     experiment_ids: list[str] | None = None,
     max_rows: int = 20,
+    jobs: int = 1,
+    timings: bool = False,
+    suite=None,
 ) -> str:
     """Render a multi-experiment text report.
 
@@ -29,15 +34,26 @@ def render_report(
     ----------
     experiment_ids:
         Experiments to include (default: all, in order).
+    jobs:
+        Worker processes for the experiment suite (1 = in-process).
+        The output text does not depend on this.
+    timings:
+        Append a ``TIMINGS`` section with per-experiment wall time and
+        peak RSS.  Off by default so repeated runs stay byte-identical.
+    suite:
+        A pre-computed :class:`~repro.experiments.engine.SuiteResult`
+        to render instead of running the experiments here (used by the
+        CLI to share one run between the report and the bench record).
 
     Every experiment runs even if earlier ones fail; skips, errors, and
     degradations are collected into a trailing ``INGESTION & FAILURES``
     section together with the dataset's lenient-ingestion report (when
     it was loaded with ``lenient=True``).
     """
-    from repro.experiments import all_experiments, run_experiment
+    from repro.experiments.engine import run_suite, timing_lines
 
-    ids = experiment_ids if experiment_ids is not None else list(all_experiments())
+    if suite is None:
+        suite = run_suite(dataset, experiment_ids, jobs=jobs)
     header = [
         "=" * 72,
         f"Mira job-failure characterization — {dataset.spec.name}, "
@@ -47,20 +63,21 @@ def render_report(
     sections = []
     failures: list[str] = []
     degraded: list[str] = []
-    for experiment_id in ids:
-        try:
-            result = run_experiment(experiment_id, dataset)
-        except (ReproError, ValueError) as error:
-            # Small traces legitimately starve some experiments (too few
-            # failures per family, too few interruption intervals, ...);
-            # report the reason instead of aborting the whole report.
-            sections.append(f"== {experiment_id.upper()} == skipped: {error}")
-            failures.append(f"{experiment_id}: skipped: {error}")
+    for outcome in suite.outcomes:
+        experiment_id = outcome.experiment_id
+        if outcome.status == "skipped":
+            sections.append(
+                f"== {experiment_id.upper()} == skipped: {outcome.message}"
+            )
+            failures.append(f"{experiment_id}: skipped: {outcome.message}")
             continue
-        except Exception as error:  # noqa: BLE001 - isolate experiment crashes
-            sections.append(f"== {experiment_id.upper()} == error: {error!r}")
-            failures.append(f"{experiment_id}: error: {error!r}")
+        if outcome.status == "error":
+            sections.append(
+                f"== {experiment_id.upper()} == error: {outcome.message}"
+            )
+            failures.append(f"{experiment_id}: error: {outcome.message}")
             continue
+        result = outcome.result
         if result.degraded:
             degraded.append(f"{experiment_id}: {result.notes}")
         sections.append(result.to_text(max_rows=max_rows))
@@ -72,4 +89,8 @@ def render_report(
         tail.extend(f"  degraded experiment {line}" for line in degraded)
         tail.extend(f"  failed experiment {line}" for line in failures)
         sections.append("\n".join(tail))
+    if timings:
+        sections.append(
+            "\n".join(["== TIMINGS =="] + [f"  {line}" for line in timing_lines(suite)])
+        )
     return "\n\n".join(["\n".join(header)] + sections)

@@ -1,6 +1,13 @@
-"""Joint four-log dataset: assembly, persistence, validation."""
+"""Joint four-log dataset: assembly, persistence, validation, caching."""
 
+from .cache import SCHEMA_VERSION, default_cache_dir, fingerprint_directory
 from .mira import MiraDataset
 from .validate import validate_dataset
 
-__all__ = ["MiraDataset", "validate_dataset"]
+__all__ = [
+    "MiraDataset",
+    "validate_dataset",
+    "SCHEMA_VERSION",
+    "default_cache_dir",
+    "fingerprint_directory",
+]

@@ -1,0 +1,167 @@
+"""Content-addressed columnar cache for :class:`~repro.dataset.mira.MiraDataset`.
+
+Parsing the four CSV logs (plus validation) dominates ``repro-report``
+wall time; synthesis dominates when no dataset directory is given.
+This module caches the fully-assembled dataset as a compressed ``.npz``
+bundle (see :mod:`repro.table.npzio`) keyed by a *fingerprint*:
+
+- **Directory loads** — SHA-256 over the dataset schema version, the
+  toolkit version, and every source file's name, size, and content
+  hash.  Any edit to any source file changes the fingerprint, so a
+  stale entry can never be served (``touch`` alone does not invalidate:
+  the fingerprint is content-addressed, not mtime-addressed).
+- **Synthesis** — SHA-256 over the schema version, toolkit version,
+  machine-spec fields, ``n_days``, and ``seed``.  Only parameter-free
+  syntheses are cached; custom generator params bypass the cache
+  entirely rather than risk a collision.
+
+Entries live in ``<dataset_dir>/.repro-cache/`` for directory loads and
+in ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) for syntheses.
+Storing is best-effort — a read-only filesystem degrades to uncached
+operation, never to an error — and lenient loads that quarantined or
+degraded anything are **never** stored, so a damaged dataset cannot
+poison the cache for a later repaired load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.bgq.machine import MachineSpec
+from repro.errors import ParseError
+from repro.table import Table, read_npz, write_npz
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "default_cache_dir",
+    "fingerprint_directory",
+    "fingerprint_synthesis",
+    "dataset_cache_path",
+    "synthesis_cache_path",
+    "load_cached_bundle",
+    "store_bundle",
+]
+
+#: Bump whenever the dataset schemas or the cached-bundle layout change;
+#: old entries then miss on fingerprint and are pruned on the next store.
+SCHEMA_VERSION = 1
+
+#: Files that participate in a dataset directory's fingerprint (the
+#: cache subdirectory itself never does).
+FINGERPRINT_FILES = (
+    "ras.csv",
+    "jobs.csv",
+    "tasks.csv",
+    "io.csv",
+    "meta.jsonl",
+    "incidents.jsonl",
+)
+
+_CACHE_SUBDIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory for synthesis entries (``$REPRO_CACHE_DIR`` wins)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _versioned_hasher() -> "hashlib._Hash":
+    from repro import __version__
+
+    digest = hashlib.sha256()
+    digest.update(f"schema={SCHEMA_VERSION};repro={__version__};".encode())
+    return digest
+
+
+def fingerprint_directory(directory: str | Path) -> str:
+    """Content fingerprint of a dataset directory's source files."""
+    directory = Path(directory)
+    digest = _versioned_hasher()
+    for name in FINGERPRINT_FILES:
+        path = directory / name
+        if not path.exists():
+            digest.update(f"{name}=absent;".encode())
+            continue
+        content = path.read_bytes()
+        digest.update(
+            f"{name}:{len(content)}:{hashlib.sha256(content).hexdigest()};".encode()
+        )
+    return digest.hexdigest()
+
+
+def fingerprint_synthesis(spec: MachineSpec, n_days: float, seed: int) -> str:
+    """Fingerprint of a parameter-free synthesis request."""
+    digest = _versioned_hasher()
+    digest.update(
+        (
+            f"spec={spec.name}:{spec.rack_rows}:{spec.rack_columns}:"
+            f"{spec.midplanes_per_rack}:{spec.node_boards_per_midplane}:"
+            f"{spec.nodes_per_node_board}:{spec.cores_per_node};"
+            f"n_days={n_days!r};seed={seed};"
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+def dataset_cache_path(directory: str | Path, fingerprint: str) -> Path:
+    """Where a directory load's cache entry lives."""
+    return Path(directory) / _CACHE_SUBDIR / f"dataset-{fingerprint[:32]}.npz"
+
+
+def synthesis_cache_path(fingerprint: str) -> Path:
+    """Where a synthesis cache entry lives."""
+    return default_cache_dir() / f"synth-{fingerprint[:32]}.npz"
+
+
+def load_cached_bundle(path: Path) -> tuple[dict[str, Table], dict] | None:
+    """Read a cache entry; a missing or corrupt entry is a miss.
+
+    Corrupt entries are deleted on sight so they cannot shadow the slot
+    forever.
+    """
+    if not path.exists():
+        return None
+    try:
+        return read_npz(path)
+    except ParseError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_bundle(
+    path: Path,
+    tables: Mapping[str, Table],
+    meta: Mapping,
+    *,
+    prune_siblings: bool = False,
+) -> bool:
+    """Best-effort write of a cache entry.
+
+    Returns True when the entry was written.  With ``prune_siblings``
+    (used for per-directory entries, where only the current fingerprint
+    is ever valid) other ``*.npz`` entries beside ``path`` are removed
+    so an edited dataset does not accumulate stale bundles.  Synthesis
+    entries are not pruned — different ``(spec, days, seed)`` keys are
+    all simultaneously valid.
+    """
+    try:
+        write_npz(path, tables, meta=meta)
+    except OSError:
+        return False
+    if prune_siblings:
+        try:
+            for sibling in path.parent.glob("*.npz"):
+                if sibling != path:
+                    sibling.unlink(missing_ok=True)
+        except OSError:
+            pass
+    return True

@@ -51,6 +51,8 @@ from repro.tasks import (
     validate_task_table,
 )
 
+from . import cache as _cache
+
 __all__ = ["MiraDataset"]
 
 _LOG_FILES = {
@@ -132,6 +134,8 @@ class MiraDataset:
         scheduler_params: SchedulerParams | None = None,
         task_params: TaskLogParams | None = None,
         darshan_params: DarshanParams | None = None,
+        cache: bool = True,
+        refresh_cache: bool = False,
     ) -> "MiraDataset":
         """Generate a complete, internally consistent synthetic dataset.
 
@@ -139,7 +143,31 @@ class MiraDataset:
         intents → scheduler simulation (incidents kill overlapping
         jobs) → task log → I/O log → RAS block annotation via the
         event→job join.
+
+        Parameter-free syntheses (all ``*_params`` left ``None``) are
+        served from and stored to the columnar cache under
+        ``$REPRO_CACHE_DIR`` (see :mod:`repro.dataset.cache`), keyed by
+        ``(spec, n_days, seed)`` and the toolkit version.  ``cache=False``
+        bypasses it; ``refresh_cache=True`` regenerates and overwrites.
         """
+        cacheable = cache and all(
+            p is None
+            for p in (
+                workload_params,
+                ras_params,
+                scheduler_params,
+                task_params,
+                darshan_params,
+            )
+        )
+        cache_path = None
+        if cacheable:
+            fingerprint = _cache.fingerprint_synthesis(spec, n_days, seed)
+            cache_path = _cache.synthesis_cache_path(fingerprint)
+            if not refresh_cache:
+                bundle = _cache.load_cached_bundle(cache_path)
+                if bundle is not None:
+                    return cls._from_bundle(*bundle)
         ras_table, incidents = RasGenerator(
             spec=spec, params=ras_params, seed=seed
         ).generate(n_days)
@@ -157,7 +185,7 @@ class MiraDataset:
             result.jobs
         )
         ras_table = cls._annotate_blocks(ras_table, jobs_table, spec)
-        return cls(
+        dataset = cls(
             spec=spec,
             n_days=n_days,
             seed=seed,
@@ -167,6 +195,9 @@ class MiraDataset:
             io=io_to_table(io_records),
             incidents=incidents,
         )
+        if cache_path is not None:
+            _cache.store_bundle(cache_path, dataset._tables(), dataset._bundle_meta())
+        return dataset
 
     @staticmethod
     def _annotate_blocks(ras: Table, jobs: Table, spec: MachineSpec) -> Table:
@@ -187,13 +218,13 @@ class MiraDataset:
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, directory: str | Path) -> None:
-        """Write the dataset as CSVs plus a JSONL metadata file."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        for attr, filename in _LOG_FILES.items():
-            write_csv(getattr(self, attr), directory / filename)
-        meta = {
+    def _tables(self) -> dict[str, Table]:
+        """The four log tables keyed by attribute name."""
+        return {attr: getattr(self, attr) for attr in _LOG_FILES}
+
+    def _meta_record(self) -> dict:
+        """The ``meta.jsonl`` record: spec fields plus span and seed."""
+        return {
             "spec_name": self.spec.name,
             "rack_rows": self.spec.rack_rows,
             "rack_columns": self.spec.rack_columns,
@@ -204,7 +235,9 @@ class MiraDataset:
             "n_days": self.n_days,
             "seed": self.seed,
         }
-        incident_rows = [
+
+    def _incident_rows(self) -> list[dict]:
+        return [
             {
                 "incident_id": i.incident_id,
                 "timestamp": i.timestamp,
@@ -215,8 +248,49 @@ class MiraDataset:
             }
             for i in self.incidents
         ]
-        write_jsonl([meta], directory / "meta.jsonl")
-        write_jsonl(incident_rows, directory / "incidents.jsonl")
+
+    def _bundle_meta(self) -> dict:
+        """Metadata stored alongside the tables in a cache bundle."""
+        meta = self._meta_record()
+        meta["incidents"] = self._incident_rows()
+        return meta
+
+    @classmethod
+    def _from_bundle(
+        cls, tables: dict[str, Table], meta: dict, *, lenient: bool = False
+    ) -> "MiraDataset":
+        """Rebuild a dataset from a cache bundle (no parsing, no checks —
+        bundles are only ever written after a fully validated load)."""
+        incidents = [
+            Incident(
+                incident_id=row["incident_id"],
+                timestamp=row["timestamp"],
+                msg_id=row["msg_id"],
+                midplane_index=row["midplane_index"],
+                n_events=row["n_events"],
+                had_precursor=row.get("had_precursor", False),
+            )
+            for row in meta.get("incidents", [])
+        ]
+        return cls(
+            spec=_spec_from_meta(meta),
+            n_days=float(meta["n_days"]),
+            seed=int(meta["seed"]),
+            incidents=incidents,
+            # Lenient loads always carry a report; a cache hit means the
+            # sources were clean, so the report is empty.
+            ingestion=ParseReport() if lenient else None,
+            **{attr: tables[attr] for attr in _LOG_FILES},
+        )
+
+    def save(self, directory: str | Path) -> None:
+        """Write the dataset as CSVs plus a JSONL metadata file."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for attr, filename in _LOG_FILES.items():
+            write_csv(getattr(self, attr), directory / filename)
+        write_jsonl([self._meta_record()], directory / "meta.jsonl")
+        write_jsonl(self._incident_rows(), directory / "incidents.jsonl")
 
     @classmethod
     def load(
@@ -225,6 +299,8 @@ class MiraDataset:
         *,
         lenient: bool = False,
         max_bad_rows: int | None = None,
+        cache: bool = True,
+        refresh_cache: bool = False,
     ) -> "MiraDataset":
         """Load a dataset previously written by :meth:`save`.
 
@@ -234,6 +310,15 @@ class MiraDataset:
         returned dataset's ``ingestion`` report; ``max_bad_rows`` bounds
         the total quarantine size (exceeding it raises
         :class:`~repro.errors.QuarantineOverflowError`).
+
+        Loads are served from a columnar ``.npz`` cache under
+        ``<directory>/.repro-cache`` when the source files' content
+        fingerprint matches a stored entry (see
+        :mod:`repro.dataset.cache`); any edit to any source file misses.
+        Entries are only ever written after a fully clean load — a
+        lenient load that quarantined rows or degraded a source is never
+        cached.  ``cache=False`` bypasses the cache; ``refresh_cache=True``
+        reloads from the CSVs and overwrites the entry.
 
         Raises
         ------
@@ -245,8 +330,30 @@ class MiraDataset:
             parsing quarantines more than ``max_bad_rows`` rows.
         """
         directory = Path(directory)
+        cache_path = None
+        if cache and directory.is_dir():
+            fingerprint = _cache.fingerprint_directory(directory)
+            cache_path = _cache.dataset_cache_path(directory, fingerprint)
+            if not refresh_cache:
+                bundle = _cache.load_cached_bundle(cache_path)
+                if bundle is not None:
+                    return cls._from_bundle(*bundle, lenient=lenient)
         if lenient:
-            return cls._load_lenient(directory, max_bad_rows)
+            dataset = cls._load_lenient(directory, max_bad_rows)
+        else:
+            dataset = cls._load_strict(directory)
+        if cache_path is not None and not dataset.ingestion:
+            _cache.store_bundle(
+                cache_path,
+                dataset._tables(),
+                dataset._bundle_meta(),
+                prune_siblings=True,
+            )
+        return dataset
+
+    @classmethod
+    def _load_strict(cls, directory: Path) -> "MiraDataset":
+        """Parse and validate all sources, raising on the first problem."""
         missing = [
             f for f in list(_LOG_FILES.values()) + ["meta.jsonl"]
             if not (directory / f).exists()

@@ -30,14 +30,19 @@ from . import (  # noqa: F401  (import for registration side effect)
     e21_precursors,
 )
 from .base import ExperimentResult, all_experiments, experiment_entry, get_experiment
+from .engine import ExperimentOutcome, SuiteResult, run_suite, write_bench_json
 from .export import export_all, export_result, result_to_markdown
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentOutcome",
+    "SuiteResult",
     "all_experiments",
     "get_experiment",
     "experiment_entry",
     "run_experiment",
+    "run_suite",
+    "write_bench_json",
     "result_to_markdown",
     "export_result",
     "export_all",

@@ -1,0 +1,229 @@
+"""Parallel experiment engine.
+
+Runs a set of independent experiments against one dataset, optionally
+across a :class:`~concurrent.futures.ProcessPoolExecutor`, while
+preserving two invariants the report renderer depends on:
+
+- **Deterministic ordering** — outcomes come back in the exact order
+  the experiment IDs were requested, regardless of which worker
+  finished first.
+- **Failure isolation** — one crashing experiment becomes a recorded
+  outcome (``skipped`` for expected data-starvation errors, ``error``
+  for everything else), never an aborted suite.  A worker process dying
+  outright degrades the whole suite to an in-process sequential rerun
+  rather than losing results.
+
+Every outcome carries wall-time and peak-RSS measurements, and
+:func:`write_bench_json` serializes a suite into the machine-readable
+``BENCH_pipeline.json`` perf-trajectory format the benchmark harness
+and CI consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+
+from .base import ExperimentResult
+
+__all__ = [
+    "ExperimentOutcome",
+    "SuiteResult",
+    "run_suite",
+    "bench_record",
+    "write_bench_json",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's fate: its result or why it has none.
+
+    ``status`` is ``"ok"`` (``result`` is set), ``"skipped"`` (an
+    expected :class:`~repro.errors.ReproError`/:class:`ValueError`,
+    e.g. a small trace starving an analysis; ``message`` is ``str(error)``)
+    or ``"error"`` (an isolated crash; ``message`` is ``repr(error)``).
+    ``max_rss_kb`` is the running process's peak resident set in KiB as
+    reported by ``getrusage`` — per-worker under a process pool, shared
+    and monotonic when the suite runs in-process.
+    """
+
+    experiment_id: str
+    status: str
+    result: ExperimentResult | None
+    message: str
+    seconds: float
+    max_rss_kb: int
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All outcomes of one suite run, in requested order."""
+
+    outcomes: tuple[ExperimentOutcome, ...]
+    jobs: int
+    total_seconds: float
+
+    def outcome(self, experiment_id: str) -> ExperimentOutcome:
+        for outcome in self.outcomes:
+            if outcome.experiment_id == experiment_id:
+                return outcome
+        raise KeyError(f"no outcome for {experiment_id!r}")
+
+
+# Dataset shared with pool workers via the initializer, so it is pickled
+# once per worker instead of once per submitted experiment.
+_WORKER_DATASET = None
+
+
+def _init_worker(dataset) -> None:
+    global _WORKER_DATASET
+    _WORKER_DATASET = dataset
+
+
+def _run_one(experiment_id: str, dataset=None) -> ExperimentOutcome:
+    """Run one experiment with isolation, timing, and RSS accounting."""
+    from repro.experiments import run_experiment
+
+    if dataset is None:
+        dataset = _WORKER_DATASET
+    started = time.perf_counter()
+    try:
+        result = run_experiment(experiment_id, dataset)
+        status, message = "ok", ""
+    except (ReproError, ValueError) as error:
+        # Small traces legitimately starve some experiments (too few
+        # failures per family, too few interruption intervals, ...).
+        result, status, message = None, "skipped", str(error)
+    except Exception as error:  # noqa: BLE001 - isolate experiment crashes
+        result, status, message = None, "error", repr(error)
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        status=status,
+        result=result,
+        message=message,
+        seconds=time.perf_counter() - started,
+        max_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    )
+
+
+def run_suite(
+    dataset,
+    experiment_ids: list[str] | None = None,
+    *,
+    jobs: int | None = None,
+) -> SuiteResult:
+    """Run experiments (default: all registered) against ``dataset``.
+
+    ``jobs`` caps worker processes (default ``os.cpu_count()``); 1 runs
+    everything in-process.  The worker count never exceeds the number
+    of experiments, and a broken pool (worker killed, unpicklable
+    dataset) falls back to the sequential path so the suite still
+    completes with identical outcomes.
+    """
+    from repro.experiments import all_experiments
+
+    ids = (
+        list(experiment_ids)
+        if experiment_ids is not None
+        else list(all_experiments())
+    )
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, max(len(ids), 1))
+    started = time.perf_counter()
+    if jobs == 1:
+        outcomes = [_run_one(experiment_id, dataset) for experiment_id in ids]
+    else:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(dataset,),
+            ) as pool:
+                futures = {eid: pool.submit(_run_one, eid) for eid in ids}
+                outcomes = [futures[eid].result() for eid in ids]
+        except BrokenProcessPool:
+            outcomes = [_run_one(experiment_id, dataset) for experiment_id in ids]
+    return SuiteResult(
+        outcomes=tuple(outcomes),
+        jobs=jobs,
+        total_seconds=time.perf_counter() - started,
+    )
+
+
+def timing_lines(suite: SuiteResult) -> list[str]:
+    """Human-readable per-experiment timing block for the report."""
+    lines = [
+        f"suite: {len(suite.outcomes)} experiments in "
+        f"{suite.total_seconds:.3f}s with {suite.jobs} job(s)"
+    ]
+    for outcome in suite.outcomes:
+        lines.append(
+            f"{outcome.experiment_id}: {outcome.seconds:.3f}s  "
+            f"peak-rss {outcome.max_rss_kb / 1024:.1f} MiB  [{outcome.status}]"
+        )
+    return lines
+
+
+def bench_record(
+    suite: SuiteResult,
+    dataset=None,
+    stages: dict | None = None,
+) -> dict:
+    """Assemble the ``BENCH_pipeline.json`` record for one suite run.
+
+    ``stages`` carries pipeline-level timings (cold/warm load, ingest
+    rates) measured by the caller; the per-experiment section comes
+    from the suite itself.
+    """
+    from repro import __version__
+
+    record: dict = {
+        "schema": 1,
+        "toolkit_version": __version__,
+        "suite": {
+            "jobs": suite.jobs,
+            "total_seconds": round(suite.total_seconds, 6),
+            "n_experiments": len(suite.outcomes),
+        },
+        "experiments": [
+            {
+                "id": outcome.experiment_id,
+                "status": outcome.status,
+                "seconds": round(outcome.seconds, 6),
+                "max_rss_kb": outcome.max_rss_kb,
+            }
+            for outcome in suite.outcomes
+        ],
+    }
+    if dataset is not None:
+        record["dataset"] = {
+            "n_days": dataset.n_days,
+            "seed": dataset.seed,
+            "n_jobs": dataset.jobs.n_rows,
+            "n_ras_events": dataset.ras.n_rows,
+            "n_tasks": dataset.tasks.n_rows,
+            "n_io_profiles": dataset.io.n_rows,
+        }
+    if stages:
+        record["stages"] = stages
+    return record
+
+
+def write_bench_json(path: str | Path, record: dict) -> Path:
+    """Write a bench record as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

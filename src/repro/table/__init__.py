@@ -9,6 +9,7 @@ from .column import as_column, factorize
 from .csvio import read_csv, read_jsonl, write_csv, write_jsonl
 from .frame import Table
 from .groupby import GroupBy
+from .npzio import read_npz, write_npz
 
 __all__ = [
     "Table",
@@ -19,4 +20,6 @@ __all__ = [
     "write_csv",
     "read_jsonl",
     "write_jsonl",
+    "read_npz",
+    "write_npz",
 ]

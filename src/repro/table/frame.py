@@ -65,10 +65,13 @@ class Table:
         rows = list(rows)
         if not rows:
             return cls({})
-        names = list(rows[0].keys())
+        names = tuple(rows[0].keys())
+        n_names = len(names)
         for i, row in enumerate(rows):
-            if list(row.keys()) != names:
-                raise ValueError(f"row {i} keys {list(row.keys())} != {names}")
+            # len check first so conforming rows (the common case) pay one
+            # tuple build, not a per-row list allocation plus compare.
+            if len(row) != n_names or tuple(row.keys()) != names:
+                raise ValueError(f"row {i} keys {list(row.keys())} != {list(names)}")
         return cls({name: [row[name] for row in rows] for name in names})
 
     @classmethod

@@ -1,9 +1,11 @@
 """Hash joins between tables.
 
 Implements inner and left equi-joins on one or more key columns.  Keys
-are factorized to integer codes, the right side is indexed with a plain
-dict, and the output is gathered with a single ``take`` per side — good
-enough for the job↔RAS↔task↔I/O joins this toolkit performs.
+are factorized to integer codes shared across both sides (the same
+radix-combination trick ``groupby`` uses for multi-key grouping), the
+right side is indexed with a plain int→rows dict, and the output is
+gathered with a single ``take`` per side — good enough for the
+job↔RAS↔task↔I/O joins this toolkit performs.
 """
 
 from __future__ import annotations
@@ -12,14 +14,49 @@ from typing import Sequence
 
 import numpy as np
 
+from .column import factorize
+
 __all__ = ["join"]
 
 _NULLS = {"i": -1, "u": 0, "f": np.nan, "O": "", "b": False}
 
+#: Above this product of key cardinalities the dense radix encoding of
+#: multi-key codes would overflow int64; fall back to tuple hashing.
+_MAX_DENSE_KEYS = 2**62
 
-def _key_tuples(table, keys: Sequence[str]) -> list[tuple]:
-    columns = [table[k].tolist() for k in keys]
-    return list(zip(*columns)) if columns else []
+
+def _join_codes(left, right, keys: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode each row's join key as one int64, shared across sides.
+
+    Every key column is factorized over the concatenation of both
+    tables (so equal values get equal codes on either side), then the
+    per-key codes are radix-combined into a single integer.  Hashing
+    and comparing one machine int per row replaces the per-row Python
+    tuple construction a naive hash join pays.
+    """
+    n_left = len(left)
+    per_key: list[tuple[np.ndarray, int]] = []
+    capacity = 1
+    for key in keys:
+        a, b = left[key], right[key]
+        if a.dtype.kind == "O" or b.dtype.kind == "O":
+            merged = np.concatenate([a.astype(object), b.astype(object)])
+        else:
+            merged = np.concatenate([a, b])
+        codes, uniques = factorize(merged)
+        per_key.append((codes, max(len(uniques), 1)))
+        capacity *= max(len(uniques), 1)
+    if capacity <= _MAX_DENSE_KEYS:
+        combined = np.zeros(n_left + len(right), dtype=np.int64)
+        for codes, n_uniques in per_key:
+            combined = combined * n_uniques + codes
+    else:
+        # Radix encoding would overflow int64: hash code tuples instead.
+        tuples = list(zip(*[codes.tolist() for codes, _ in per_key]))
+        as_objects = np.empty(len(tuples), dtype=object)
+        as_objects[:] = tuples
+        combined, _ = factorize(as_objects)
+    return combined[:n_left], combined[n_left:]
 
 
 def join(
@@ -55,14 +92,15 @@ def join(
         if key not in right:
             raise KeyError(f"join key {key!r} missing from right table")
 
-    right_index: dict[tuple, list[int]] = {}
-    for i, key in enumerate(_key_tuples(right, keys)):
+    left_codes, right_codes = _join_codes(left, right, keys)
+    right_index: dict[int, list[int]] = {}
+    for i, key in enumerate(right_codes.tolist()):
         right_index.setdefault(key, []).append(i)
 
     left_take: list[int] = []
     right_take: list[int] = []
     unmatched_left: list[int] = []
-    for i, key in enumerate(_key_tuples(left, keys)):
+    for i, key in enumerate(left_codes.tolist()):
         matches = right_index.get(key)
         if matches:
             left_take.extend([i] * len(matches))

@@ -1,0 +1,130 @@
+"""Columnar binary persistence for tables (compressed ``.npz``).
+
+CSV is the interchange format a real Mira trace arrives in; parsing it
+is the slowest stage of the pipeline.  This module stores a *bundle* of
+named tables as one compressed NumPy ``.npz`` archive — each column a
+native array, string columns as fixed-width unicode — so a dataset can
+be rehydrated with zero parsing or type inference.  A JSON manifest
+embedded in the archive records table/column order, column kinds, and
+arbitrary caller metadata; ``allow_pickle`` stays off so a corrupted or
+malicious cache file cannot execute code on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ParseError
+from repro.ingest import with_retry
+
+from .frame import Table
+
+__all__ = ["write_npz", "read_npz", "NPZ_FORMAT_VERSION"]
+
+#: Bump when the archive layout changes; readers reject other versions.
+NPZ_FORMAT_VERSION = 1
+
+_MANIFEST_KEY = "__manifest__"
+
+
+def _pack_column(arr: np.ndarray) -> np.ndarray:
+    """Make one column storable without pickling (object → unicode)."""
+    if arr.dtype.kind != "O":
+        return arr
+    if len(arr) == 0:
+        return np.empty(0, dtype="U1")
+    packed = arr.astype(str)
+    if packed.dtype.itemsize == 0:  # all-empty strings infer width 0
+        packed = packed.astype("U1")
+    return packed
+
+
+def _unpack_column(arr: np.ndarray, kind: str) -> np.ndarray:
+    """Invert :func:`_pack_column` using the manifest's dtype kind."""
+    if kind == "O":
+        return arr.astype(object)
+    return arr
+
+
+def write_npz(
+    path: str | Path,
+    tables: Mapping[str, Table],
+    meta: Mapping | None = None,
+) -> None:
+    """Write named tables (plus JSON-serializable ``meta``) to ``path``.
+
+    The write is atomic: the archive is assembled in a sibling temp file
+    and renamed into place, so readers never observe a half-written
+    cache entry.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "format": NPZ_FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "tables": {},
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for table_name, table in tables.items():
+        columns = table.column_names
+        kinds = [table[name].dtype.kind for name in columns]
+        manifest["tables"][table_name] = {"columns": columns, "kinds": kinds}
+        for index, name in enumerate(columns):
+            arrays[f"{table_name}::{index}"] = _pack_column(table[name])
+    arrays[_MANIFEST_KEY] = np.array(json.dumps(manifest, sort_keys=True))
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with tmp.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def read_npz(path: str | Path) -> tuple[dict[str, Table], dict]:
+    """Read a table bundle back as ``(tables, meta)``.
+
+    Raises
+    ------
+    ParseError
+        If the file is not a table bundle, was written by an
+        incompatible format version, or is internally inconsistent.
+    """
+    path = Path(path)
+
+    def _load() -> dict[str, np.ndarray]:
+        with np.load(path, allow_pickle=False) as archive:
+            return {key: archive[key] for key in archive.files}
+
+    try:
+        arrays = with_retry(_load)
+    except (ValueError, EOFError, OSError) as error:
+        if isinstance(error, FileNotFoundError):
+            raise
+        raise ParseError(f"{path}: unreadable npz bundle ({error})") from error
+    if _MANIFEST_KEY not in arrays:
+        raise ParseError(f"{path}: not a table bundle (missing manifest)")
+    try:
+        manifest = json.loads(str(arrays[_MANIFEST_KEY]))
+    except json.JSONDecodeError as error:
+        raise ParseError(f"{path}: corrupt manifest ({error})") from error
+    if manifest.get("format") != NPZ_FORMAT_VERSION:
+        raise ParseError(
+            f"{path}: format version {manifest.get('format')!r} != "
+            f"{NPZ_FORMAT_VERSION}"
+        )
+    tables: dict[str, Table] = {}
+    for table_name, entry in manifest["tables"].items():
+        data: dict[str, np.ndarray] = {}
+        for index, (name, kind) in enumerate(zip(entry["columns"], entry["kinds"])):
+            key = f"{table_name}::{index}"
+            if key not in arrays:
+                raise ParseError(f"{path}: missing column array {key}")
+            data[name] = _unpack_column(arrays[key], kind)
+        tables[table_name] = Table(data)
+    return tables, manifest.get("meta", {})

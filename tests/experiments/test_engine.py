@@ -1,0 +1,127 @@
+"""Parallel experiment engine: ordering, isolation, parity, timings."""
+
+import json
+
+import pytest
+
+from repro.core.report import render_report
+from repro.dataset import MiraDataset
+from repro.experiments import run_suite
+from repro.experiments.base import _REGISTRY, register
+from repro.experiments.engine import bench_record, timing_lines, write_bench_json
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    import os
+
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("engine-cache"))
+    )
+    return MiraDataset.synthesize(n_days=5.0, seed=42)
+
+
+@pytest.fixture()
+def crashing_experiment():
+    """Temporarily register an experiment that always crashes."""
+
+    @register("zz_crash", "always crashes")
+    def _run(dataset):
+        raise RuntimeError("kaboom")
+
+    yield "zz_crash"
+    _REGISTRY.pop("zz_crash")
+
+
+@pytest.fixture()
+def starved_experiment():
+    """Temporarily register an experiment that raises an expected error."""
+
+    @register("zz_starved", "always starved")
+    def _run(dataset):
+        raise ValueError("not enough samples")
+
+    yield "zz_starved"
+    _REGISTRY.pop("zz_starved")
+
+
+class TestOrderingAndIsolation:
+    def test_outcomes_preserve_requested_order(self, dataset):
+        ids = ["e05", "e01", "e03"]
+        suite = run_suite(dataset, ids, jobs=2)
+        assert [o.experiment_id for o in suite.outcomes] == ids
+
+    def test_crash_is_isolated(self, dataset, crashing_experiment):
+        suite = run_suite(dataset, ["e01", crashing_experiment, "e02"], jobs=1)
+        statuses = {o.experiment_id: o.status for o in suite.outcomes}
+        assert statuses == {"e01": "ok", crashing_experiment: "error", "e02": "ok"}
+        crashed = suite.outcome(crashing_experiment)
+        assert crashed.message == "RuntimeError('kaboom')"
+        assert crashed.result is None
+
+    def test_expected_errors_become_skips(self, dataset, starved_experiment):
+        suite = run_suite(dataset, [starved_experiment], jobs=1)
+        outcome = suite.outcomes[0]
+        assert outcome.status == "skipped"
+        assert outcome.message == "not enough samples"
+
+    def test_unknown_experiment_is_isolated_too(self, dataset):
+        suite = run_suite(dataset, ["e01", "nope"], jobs=1)
+        assert suite.outcome("nope").status == "error"
+        assert suite.outcome("e01").status == "ok"
+
+    def test_jobs_validation(self, dataset):
+        with pytest.raises(ValueError, match="jobs must be"):
+            run_suite(dataset, ["e01"], jobs=0)
+
+
+class TestParallelParity:
+    def test_parallel_report_text_is_byte_identical(self, dataset):
+        ids = ["e01", "e02", "e03", "e04", "e05"]
+        sequential = render_report(dataset, suite=run_suite(dataset, ids, jobs=1))
+        parallel = render_report(dataset, suite=run_suite(dataset, ids, jobs=3))
+        assert sequential == parallel
+
+    def test_parallel_crash_parity(self, dataset, crashing_experiment):
+        ids = ["e01", crashing_experiment, "e02"]
+        sequential = render_report(dataset, suite=run_suite(dataset, ids, jobs=1))
+        parallel = render_report(dataset, suite=run_suite(dataset, ids, jobs=2))
+        assert sequential == parallel
+        assert "failed experiment zz_crash: error: RuntimeError('kaboom')" in parallel
+
+    def test_render_report_default_matches_engine_path(self, dataset):
+        ids = ["e01", "e13"]
+        assert render_report(dataset, experiment_ids=ids) == render_report(
+            dataset, suite=run_suite(dataset, ids, jobs=1)
+        )
+
+
+class TestTimingsAndBench:
+    def test_outcomes_carry_timings(self, dataset):
+        suite = run_suite(dataset, ["e01", "e02"], jobs=1)
+        for outcome in suite.outcomes:
+            assert outcome.seconds >= 0.0
+            assert outcome.max_rss_kb > 0
+        assert suite.total_seconds >= sum(o.seconds for o in suite.outcomes) * 0.5
+
+    def test_timings_section_is_flag_gated(self, dataset):
+        suite = run_suite(dataset, ["e01"], jobs=1)
+        plain = render_report(dataset, suite=suite)
+        timed = render_report(dataset, suite=suite, timings=True)
+        assert "== TIMINGS ==" not in plain
+        assert "== TIMINGS ==" in timed
+        assert "e01:" in "\n".join(timing_lines(suite))
+
+    def test_bench_record_and_json_round_trip(self, dataset, tmp_path):
+        suite = run_suite(dataset, ["e01", "e02"], jobs=2)
+        record = bench_record(
+            suite, dataset, stages={"load_cold_s": 1.5, "load_warm_s": 0.1}
+        )
+        path = write_bench_json(tmp_path / "BENCH_pipeline.json", record)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == 1
+        assert loaded["suite"]["jobs"] == 2
+        assert loaded["dataset"]["n_jobs"] == dataset.jobs.n_rows
+        assert loaded["stages"]["load_cold_s"] == 1.5
+        assert [e["id"] for e in loaded["experiments"]] == ["e01", "e02"]
+        assert all(e["status"] == "ok" for e in loaded["experiments"])

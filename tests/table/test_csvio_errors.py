@@ -130,3 +130,129 @@ class TestRetry:
 
         with_retry(fail_then_ok, retries=3, base_delay=0.5, sleep=delays.append)
         assert delays == [0.5, 1.0]
+
+
+class TestRoundTripInference:
+    """Inference is only applied when the text regenerates exactly."""
+
+    def test_explicit_plus_sign_stays_string(self):
+        assert _infer(["+3", "4"]) == ["+3", "4"]
+
+    def test_scientific_notation_stays_string(self):
+        assert _infer(["1e3", "2"]) == ["1e3", "2"]
+
+    def test_whitespace_variants_stay_strings(self):
+        assert _infer([" 3", "4"]) == [" 3", "4"]
+        assert _infer(["3 ", "4"]) == ["3 ", "4"]
+        assert _infer(["\t7"]) == ["\t7"]
+
+    def test_non_canonical_float_stays_string(self):
+        assert _infer(["2.50", "1.0"]) == ["2.50", "1.0"]
+        assert _infer([".5"]) == [".5"]
+
+    def test_canonical_floats_convert(self):
+        assert _infer(["2.5", "-0.25"]) == [2.5, -0.25]
+
+    def test_nan_and_inf_convert(self):
+        out = _infer(["nan", "inf", "1.5"])
+        assert out[1] == float("inf") and out[2] == 1.5
+        assert out[0] != out[0]  # NaN
+
+    def test_int64_boundaries_convert(self):
+        big = ["9223372036854775807", "-9223372036854775808"]
+        assert _infer(big) == [2**63 - 1, -(2**63)]
+
+    def test_beyond_int64_stays_string(self):
+        assert _infer(["99999999999999999999"]) == ["99999999999999999999"]
+
+    def test_empty_cells_stay_strings(self):
+        assert _infer(["", "1"]) == ["", "1"]
+
+    def test_empty_column_stays_empty(self):
+        assert _infer([]) == []
+
+    def test_vectorized_read_matches_reference_parse(self, tmp_path):
+        """read_csv's bulk path must equal a per-cell reference parse."""
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "id,score,label,msg\n"
+            "1,0.5,alpha,00010001\n"
+            "2,1.25,beta,00070002\n"
+            "3,-2.0,gamma,00010001\n"
+        )
+        table = read_csv(path)
+        assert table["id"].tolist() == [1, 2, 3]
+        assert table["score"].tolist() == [0.5, 1.25, -2.0]
+        assert table["label"].tolist() == ["alpha", "beta", "gamma"]
+        assert table["msg"].tolist() == ["00010001", "00070002", "00010001"]
+
+    def test_quoted_fields_with_commas_survive(self, tmp_path):
+        path = tmp_path / "quoted.csv"
+        path.write_text('a,b\n"x,y",1\nplain,2\n')
+        table = read_csv(path)
+        assert table["a"].tolist() == ["x,y", "plain"]
+        assert table["b"].tolist() == [1, 2]
+
+
+class TestDialectEdges:
+    """Line endings and quoting shapes the byte-offset fast path handles."""
+
+    def test_crlf_and_lf_parse_identically(self, tmp_path):
+        crlf, lf = tmp_path / "crlf.csv", tmp_path / "lf.csv"
+        crlf.write_bytes(b"a,b\r\n1,x\r\n2,y\r\n")
+        lf.write_bytes(b"a,b\n1,x\n2,y\n")
+        for column in ("a", "b"):
+            assert read_csv(crlf)[column].tolist() == read_csv(lf)[column].tolist()
+
+    def test_bare_cr_and_mixed_endings_normalize(self, tmp_path):
+        bare = tmp_path / "cr.csv"
+        bare.write_bytes(b"a,b\r1,x\r2,y\r")
+        mixed = tmp_path / "mixed.csv"
+        mixed.write_bytes(b"a,b\r\n1,x\n2,y\r\n")
+        for path in (bare, mixed):
+            table = read_csv(path)
+            assert table["a"].tolist() == [1, 2]
+            assert table["b"].tolist() == ["x", "y"]
+
+    def test_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "trunc.csv"
+        path.write_bytes(b"a,b\n1,x\n2,y")
+        assert read_csv(path)["a"].tolist() == [1, 2]
+
+    def test_quoted_field_spanning_lines(self, tmp_path):
+        path = tmp_path / "span.csv"
+        path.write_bytes(b'a,b\n"first\nsecond",1\nplain,2\n')
+        table = read_csv(path)
+        assert table["a"].tolist() == ["first\nsecond", "plain"]
+        assert table["b"].tolist() == [1, 2]
+
+    def test_escaped_quotes_and_crlf_inside_quoted_field(self, tmp_path):
+        path = tmp_path / "escaped.csv"
+        path.write_bytes(b'a,b\r\n"say ""hi""",1\r\n"x\r\ny",2\r\n')
+        table = read_csv(path)
+        assert table["a"].tolist() == ['say "hi"', "x\r\ny"]
+        assert table["b"].tolist() == [1, 2]
+
+    def test_quoted_rows_keep_row_order(self, tmp_path):
+        path = tmp_path / "order.csv"
+        path.write_bytes(b'a,b\n1,u\n"q,uoted",v\n3,w\n"z",x\n')
+        table = read_csv(path)
+        assert table["a"].tolist() == ["1", "q,uoted", "3", "z"]
+        assert table["b"].tolist() == ["u", "v", "w", "x"]
+
+    def test_lenient_quoted_bad_row_keeps_original_text(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_bytes(b'a,b\n"x,y"\n1,2\n')
+        report = ParseReport()
+        table = read_csv(path, report=report)
+        assert table["a"].tolist() == [1]
+        assert [q.raw for q in report.quarantined] == ['"x,y"']
+
+    def test_quarantine_with_quoted_and_dropped_rows_interleaved(self, tmp_path):
+        path = tmp_path / "mess.csv"
+        path.write_bytes(b'a,b\r\n1,u\r\nbad\r\n"q,q",v\r\n\r\n4,w\r\n')
+        report = ParseReport()
+        table = read_csv(path, report=report)
+        assert table["a"].tolist() == ["1", "q,q", "4"]
+        assert table["b"].tolist() == ["u", "v", "w"]
+        assert [q.row for q in report.quarantined] == [3, 5]

@@ -1,0 +1,83 @@
+"""Columnar ``.npz`` bundle round-trips and corruption handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.table import Table, read_npz, write_npz
+from repro.table.npzio import NPZ_FORMAT_VERSION
+
+
+def _sample_tables():
+    return {
+        "events": Table(
+            {
+                "timestamp": [1.5, 2.0, 3.25],
+                "count": [1, 2, 3],
+                "msg_id": ["00010001", "00070002", ""],
+            }
+        ),
+        "empty": Table({"a": np.empty(0, dtype=np.int64), "b": []}),
+        "nothing": Table({}),
+    }
+
+
+class TestRoundTrip:
+    def test_tables_and_meta_round_trip(self, tmp_path):
+        path = tmp_path / "bundle.npz"
+        write_npz(path, _sample_tables(), meta={"n_days": 3.5, "tags": ["x"]})
+        tables, meta = read_npz(path)
+        assert meta == {"n_days": 3.5, "tags": ["x"]}
+        assert set(tables) == {"events", "empty", "nothing"}
+        for name, original in _sample_tables().items():
+            assert tables[name] == original
+            assert tables[name].column_names == original.column_names
+
+    def test_dtypes_survive(self, tmp_path):
+        path = tmp_path / "bundle.npz"
+        write_npz(path, _sample_tables())
+        tables, _ = read_npz(path)
+        events = tables["events"]
+        assert events["timestamp"].dtype == np.float64
+        assert events["count"].dtype == np.int64
+        assert events["msg_id"].dtype.kind == "O"
+        assert events["msg_id"].tolist() == ["00010001", "00070002", ""]
+
+    def test_all_empty_string_column(self, tmp_path):
+        path = tmp_path / "bundle.npz"
+        write_npz(path, {"t": Table({"block": ["", "", ""]})})
+        tables, _ = read_npz(path)
+        assert tables["t"]["block"].tolist() == ["", "", ""]
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "bundle.npz"
+        write_npz(path, _sample_tables())
+        assert [p.name for p in tmp_path.iterdir()] == ["bundle.npz"]
+
+
+class TestCorruption:
+    def test_garbage_file_raises_parse_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an archive")
+        with pytest.raises(ParseError, match="unreadable npz"):
+            read_npz(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_npz(tmp_path / "nope.npz")
+
+    def test_plain_npz_without_manifest_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez_compressed(path, a=np.arange(3))
+        with pytest.raises(ParseError, match="missing manifest"):
+            read_npz(path)
+
+    def test_future_format_version_rejected(self, tmp_path, monkeypatch):
+        import repro.table.npzio as npzio
+
+        path = tmp_path / "bundle.npz"
+        monkeypatch.setattr(npzio, "NPZ_FORMAT_VERSION", NPZ_FORMAT_VERSION + 1)
+        write_npz(path, {"t": Table({"a": [1]})})
+        monkeypatch.undo()
+        with pytest.raises(ParseError, match="format version"):
+            read_npz(path)
