@@ -1,0 +1,80 @@
+"""CI regression gate for the e03 attribution experiment.
+
+Reads the committed ``BENCH_pipeline.json`` baseline, re-runs e03
+against the same synthesized dataset (``bench.n_days`` / ``bench.seed``
+from the baseline record), and fails if the fresh wall-time exceeds
+``--factor`` (default 2x) times the committed seconds.  A small
+absolute grace (``--grace``, default 0.25s) keeps sub-second baselines
+from tripping on scheduler jitter alone.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_e03_regression.py [BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def baseline_seconds(record: dict, experiment_id: str) -> float:
+    for entry in record.get("experiments", []):
+        if entry.get("id") == experiment_id and entry.get("status") == "ok":
+            return float(entry["seconds"])
+    raise SystemExit(
+        f"baseline has no ok outcome for {experiment_id!r}; "
+        "re-commit BENCH_pipeline.json from a full bench run"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "baseline", nargs="?", default="BENCH_pipeline.json",
+        help="committed bench record to gate against",
+    )
+    parser.add_argument("--experiment", default="e03")
+    parser.add_argument(
+        "--factor", type=float, default=2.0,
+        help="fail when fresh seconds > factor * baseline seconds",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=0.25,
+        help="absolute seconds always tolerated on top of the factor",
+    )
+    args = parser.parse_args(argv)
+
+    record = json.loads(Path(args.baseline).read_text())
+    bench = record.get("bench") or {}
+    n_days = float(bench.get("n_days", record["dataset"]["n_days"]))
+    seed = int(bench.get("seed", record["dataset"]["seed"]))
+    committed = baseline_seconds(record, args.experiment)
+
+    from repro.dataset import MiraDataset
+    from repro.experiments.engine import run_suite
+
+    dataset = MiraDataset.synthesize(n_days=n_days, seed=seed)
+    # Warm-up run first: the gate times the kernel, not import costs or
+    # first-touch allocator behaviour.
+    run_suite(dataset, [args.experiment], jobs=1)
+    suite = run_suite(dataset, [args.experiment], jobs=1)
+    outcome = suite.outcome(args.experiment)
+    if outcome.status != "ok":
+        print(f"FAIL: {args.experiment} did not complete: {outcome.message}")
+        return 1
+
+    limit = args.factor * committed + args.grace
+    verdict = "OK" if outcome.seconds <= limit else "FAIL"
+    print(
+        f"{verdict}: {args.experiment} at {n_days:g} days took "
+        f"{outcome.seconds:.3f}s (baseline {committed:.3f}s, "
+        f"limit {limit:.3f}s = {args.factor:g}x + {args.grace:g}s grace)"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -168,7 +168,12 @@ def main_report(argv: list[str] | None = None) -> int:
     import os
 
     from repro.core.report import render_report
-    from repro.experiments.engine import bench_record, run_suite, write_bench_json
+    from repro.experiments.engine import (
+        bench_record,
+        profile_lines,
+        run_suite,
+        write_bench_json,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-report", description=main_report.__doc__
@@ -202,6 +207,12 @@ def main_report(argv: list[str] | None = None) -> int:
         help="write the suite's timing record as machine-readable JSON",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append per-experiment cProfile top-20 cumulative hotspots "
+        "(re-runs the suite in-process under the profiler)",
+    )
+    parser.add_argument(
         "--output",
         help="also export every experiment as Markdown + CSVs into this directory",
     )
@@ -213,6 +224,9 @@ def main_report(argv: list[str] | None = None) -> int:
         return 1
     suite = run_suite(dataset, args.experiments, jobs=args.jobs)
     print(render_report(dataset, suite=suite, timings=args.timings))
+    if args.profile:
+        print("\nPROFILE (cProfile, top 20 by cumulative time)")
+        print("\n".join(profile_lines(dataset, args.experiments)))
     if args.bench_json:
         write_bench_json(args.bench_json, bench_record(suite, dataset))
     if args.output:

@@ -19,6 +19,7 @@ from .attribution import (
     NO_JOB,
     attribute_failures,
     attribution_summary,
+    event_midplane_spans,
     event_midplanes,
     events_per_user,
     map_events_to_jobs,
@@ -97,6 +98,7 @@ __all__ = [
     "attribute_failures",
     "attribution_summary",
     "events_per_user",
+    "event_midplane_spans",
     "event_midplanes",
     # fitting
     "CANDIDATE_MODELS",

@@ -8,12 +8,13 @@ correlations (E14), and the block annotation of the RAS log.
 
 The join is interval-based: jobs on the same midplane never overlap in
 time (the allocator guarantees it), so each (midplane, timestamp) query
-has at most one owning job, found by bisection.
+has at most one owning job.  The index flattens every job into
+per-midplane intervals sorted by ``(midplane, start)`` and resolves all
+queries in a single :func:`np.searchsorted` pass — no per-event Python
+loop, which is what keeps the full 2001-day trace tractable.
 """
 
 from __future__ import annotations
-
-from bisect import bisect_right
 
 import numpy as np
 
@@ -21,9 +22,11 @@ from repro.bgq.location import Location
 from repro.bgq.machine import MIRA, MachineSpec
 from repro.stats import pearson, spearman
 from repro.table import Table
+from repro.table.column import factorize
 
 __all__ = [
     "event_midplanes",
+    "event_midplane_spans",
     "map_events_to_jobs",
     "attribute_failures",
     "attribution_summary",
@@ -34,62 +37,198 @@ NO_JOB = -1
 """Sentinel job id for events that hit no running job."""
 
 
-def event_midplanes(locations, spec: MachineSpec = MIRA) -> list[tuple[int, ...]]:
-    """Midplane indices covered by each location code.
+def _hex_digit_values(chars: np.ndarray) -> np.ndarray:
+    """Codepoints → hex digit values; -1 where not an uppercase hex digit."""
+    values = np.full(chars.shape, -1, dtype=np.int64)
+    decimal = (chars >= 48) & (chars <= 57)
+    values[decimal] = chars[decimal].astype(np.int64) - 48
+    upper = (chars >= 65) & (chars <= 70)
+    values[upper] = chars[upper].astype(np.int64) - 55
+    return values
 
-    Midplane-level and finer codes map to one midplane; rack-level codes
-    (power/cooling/clock events) cover every midplane of the rack.
-    Parsing is memoized per distinct code — RAS logs repeat locations
-    heavily.
+
+def _parse_unique_spans(
+    uniques: np.ndarray, spec: MachineSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(first_midplane, n_midplanes)`` for each distinct location code.
+
+    The canonical grammar (``Rxx[-Md[-Nnn[-Jnn[-Cnn]]]]`` with
+    range-checked fields) is verified on a codepoint matrix — one
+    vectorized pass over all distinct codes instead of one regex parse
+    per code.  Anything the fast path rejects goes through
+    :meth:`Location.parse`, which either handles it or raises the
+    canonical :class:`~repro.errors.LocationError`.
     """
-    cache: dict[str, tuple[int, ...]] = {}
-    out: list[tuple[int, ...]] = []
-    for code in locations:
-        hit = cache.get(code)
-        if hit is None:
-            loc = Location.parse(code, spec)
-            if loc.midplane is not None:
-                hit = (loc.midplane_index(spec),)
-            else:
-                rack = spec.rack_index(loc.rack)
-                base = rack * spec.midplanes_per_rack
-                hit = tuple(range(base, base + spec.midplanes_per_rack))
-            cache[code] = hit
-        out.append(hit)
-    return out
+    n = len(uniques)
+    first = np.empty(n, dtype=np.int64)
+    count = np.empty(n, dtype=np.int64)
+    fixed = uniques.astype(str)
+    width = fixed.dtype.itemsize // 4
+    if n == 0 or width == 0:
+        slow = np.arange(n)
+    else:
+        chars = np.ascontiguousarray(fixed).view(np.uint32).reshape(n, width)
+
+        def column(i: int) -> np.ndarray:
+            return chars[:, i] if i < width else np.zeros(n, dtype=np.uint32)
+
+        def decimal_digit(i: int) -> np.ndarray:
+            c = column(i)
+            return np.where((c >= 48) & (c <= 57), c.astype(np.int64) - 48, -1)
+
+        nonzero = chars != 0
+        lengths = width - nonzero[:, ::-1].argmax(axis=1)
+        clean = nonzero.sum(axis=1) == lengths  # no embedded NULs
+        row = _hex_digit_values(column(1))
+        col = _hex_digit_values(column(2))
+        rack_ok = (
+            clean
+            & (lengths >= 3)
+            & (column(0) == ord("R"))
+            & (row >= 0)
+            & (row < spec.rack_rows)
+            & (col >= 0)
+            & (col < spec.rack_columns)
+        )
+        rack = row * spec.rack_columns + col
+        midplane = decimal_digit(5)
+        mp_ok = (
+            rack_ok
+            & (lengths >= 6)
+            & (column(3) == ord("-"))
+            & (column(4) == ord("M"))
+            & (midplane >= 0)
+            & (midplane < spec.midplanes_per_rack)
+        )
+        # Optional deeper levels: each must nest inside the previous one
+        # and stay in range, exactly like Location.parse + validate.
+        depth_ok = mp_ok
+        valid = rack_ok & (lengths == 3) | (mp_ok & (lengths == 6))
+        for offset, letter, bound in (
+            (6, "N", spec.node_boards_per_midplane),
+            (10, "J", spec.nodes_per_node_board),
+            (14, "C", spec.cores_per_node),
+        ):
+            tens, ones = decimal_digit(offset + 2), decimal_digit(offset + 3)
+            value = tens * 10 + ones
+            depth_ok = (
+                depth_ok
+                & (lengths >= offset + 4)
+                & (column(offset) == ord("-"))
+                & (column(offset + 1) == ord(letter))
+                & (tens >= 0)
+                & (ones >= 0)
+                & (value < bound)
+            )
+            valid |= depth_ok & (lengths == offset + 4)
+        is_rack_level = valid & (lengths == 3)
+        has_midplane = valid & ~is_rack_level
+        first[has_midplane] = (
+            rack[has_midplane] * spec.midplanes_per_rack + midplane[has_midplane]
+        )
+        count[has_midplane] = 1
+        first[is_rack_level] = rack[is_rack_level] * spec.midplanes_per_rack
+        count[is_rack_level] = spec.midplanes_per_rack
+        slow = np.flatnonzero(~valid)
+    for i in slow:
+        loc = Location.parse(uniques[i], spec)
+        if loc.midplane is not None:
+            first[i] = loc.midplane_index(spec)
+            count[i] = 1
+        else:
+            first[i] = spec.rack_index(loc.rack) * spec.midplanes_per_rack
+            count[i] = spec.midplanes_per_rack
+    return first, count
+
+
+def event_midplane_spans(
+    locations, spec: MachineSpec = MIRA
+) -> tuple[np.ndarray, np.ndarray]:
+    """Midplane coverage of each location code as ``(first, count)`` arrays.
+
+    Every covered span is contiguous: midplane-level and finer codes map
+    to one midplane (``count == 1``); rack-level codes (power/cooling/
+    clock events) cover every midplane of the rack.  Locations are
+    factorized so each distinct code — RAS logs repeat locations heavily
+    — is parsed exactly once, and the distinct codes themselves parse as
+    one vectorized pass (:func:`_parse_unique_spans`).
+    """
+    arr = np.asarray(locations, dtype=object)
+    codes, uniques = factorize(arr)
+    first, count = _parse_unique_spans(uniques, spec)
+    return first[codes], count[codes]
+
+
+def event_midplanes(locations, spec: MachineSpec = MIRA) -> list[tuple[int, ...]]:
+    """Midplane indices covered by each location code, as tuples.
+
+    Compatibility wrapper around :func:`event_midplane_spans` for
+    callers that want per-event tuples rather than flat arrays.
+    """
+    first, count = event_midplane_spans(locations, spec)
+    return [
+        tuple(range(f, f + c)) for f, c in zip(first.tolist(), count.tolist())
+    ]
+
+
+def _within_offsets(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0-1, 0..c1-1, ...]`` — offsets inside each repeated span."""
+    total = int(counts.sum())
+    return np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
 
 
 class _JobIntervalIndex:
-    """Per-midplane (start, end, job_id) intervals with bisection lookup."""
+    """Flattened per-midplane job intervals with one-pass batch lookup.
+
+    Jobs are expanded to one interval per covered midplane
+    (``np.repeat``), then sorted by ``(midplane, start, end, job_id)``.
+    :meth:`lookup_many` ranks all float timestamps through one shared
+    ``np.unique`` so the ``(midplane, start)`` composite keys are exact
+    integers — the float comparisons of the old bisection are preserved
+    bit-for-bit — and resolves every query with a single
+    ``np.searchsorted`` over the flat key array.
+    """
 
     def __init__(self, jobs: Table, spec: MachineSpec):
-        per_midplane: dict[int, list[tuple[float, float, int]]] = {}
-        starts = jobs["start_time"]
-        ends = jobs["end_time"]
-        firsts = jobs["first_midplane"]
-        counts = jobs["n_midplanes"]
-        ids = jobs["job_id"]
-        for i in range(jobs.n_rows):
-            for midplane in range(int(firsts[i]), int(firsts[i]) + int(counts[i])):
-                per_midplane.setdefault(midplane, []).append(
-                    (float(starts[i]), float(ends[i]), int(ids[i]))
-                )
-        self._starts: dict[int, list[float]] = {}
-        self._intervals: dict[int, list[tuple[float, float, int]]] = {}
-        for midplane, intervals in per_midplane.items():
-            intervals.sort()
-            self._intervals[midplane] = intervals
-            self._starts[midplane] = [iv[0] for iv in intervals]
+        n = jobs.n_rows
+        if n:
+            counts = np.asarray(jobs["n_midplanes"], dtype=np.int64)
+            firsts = np.asarray(jobs["first_midplane"], dtype=np.int64)
+            midplanes = np.repeat(firsts, counts) + _within_offsets(counts)
+            starts = np.repeat(
+                np.asarray(jobs["start_time"], dtype=np.float64), counts
+            )
+            ends = np.repeat(np.asarray(jobs["end_time"], dtype=np.float64), counts)
+            ids = np.repeat(np.asarray(jobs["job_id"], dtype=np.int64), counts)
+            order = np.lexsort((ids, ends, starts, midplanes))
+            self._midplanes = midplanes[order]
+            self._starts = starts[order]
+            self._ends = ends[order]
+            self._ids = ids[order]
+        else:
+            self._midplanes = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.float64)
+            self._ends = np.empty(0, dtype=np.float64)
+            self._ids = np.empty(0, dtype=np.int64)
 
-    def lookup(self, midplane: int, timestamp: float) -> int:
-        starts = self._starts.get(midplane)
-        if not starts:
-            return NO_JOB
-        index = bisect_right(starts, timestamp) - 1
-        if index < 0:
-            return NO_JOB
-        start, end, job_id = self._intervals[midplane][index]
-        return job_id if start <= timestamp < end else NO_JOB
+    def lookup_many(self, midplanes: np.ndarray, timestamps: np.ndarray) -> np.ndarray:
+        """Owning job id for each ``(midplane, timestamp)`` query row."""
+        if self._midplanes.size == 0 or midplanes.size == 0:
+            return np.full(midplanes.size, NO_JOB, dtype=np.int64)
+        ranks = np.unique(np.concatenate((self._starts, timestamps)))
+        radix = np.int64(ranks.size + 1)
+        keys = self._midplanes * radix + np.searchsorted(ranks, self._starts)
+        query_keys = midplanes * radix + np.searchsorted(ranks, timestamps)
+        pos = np.searchsorted(keys, query_keys, side="right") - 1
+        safe = np.maximum(pos, 0)
+        hit = (
+            (pos >= 0)
+            & (self._midplanes[safe] == midplanes)
+            & (timestamps < self._ends[safe])
+        )
+        return np.where(hit, self._ids[safe], NO_JOB)
 
 
 def map_events_to_jobs(
@@ -100,18 +239,28 @@ def map_events_to_jobs(
     An event affects a job when its timestamp falls inside the job's
     execution window and its location lies inside the job's block.  A
     rack-level event is charged to the first running job found among the
-    rack's midplanes.
+    rack's midplanes.  Events expand to one query per covered midplane
+    (``np.repeat``), all queries resolve in one ``searchsorted`` pass,
+    and the first midplane-order hit per event wins — identical
+    semantics to the old per-event bisection loop.
     """
-    index = _JobIntervalIndex(jobs, spec)
-    midplane_sets = event_midplanes(ras["location"], spec)
-    timestamps = ras["timestamp"]
+    first, count = event_midplane_spans(ras["location"], spec)
     out = np.full(ras.n_rows, NO_JOB, dtype=np.int64)
-    for i, (midplanes, timestamp) in enumerate(zip(midplane_sets, timestamps)):
-        for midplane in midplanes:
-            job_id = index.lookup(midplane, float(timestamp))
-            if job_id != NO_JOB:
-                out[i] = job_id
-                break
+    if ras.n_rows == 0 or jobs.n_rows == 0:
+        return out
+    event_index = np.repeat(np.arange(ras.n_rows, dtype=np.int64), count)
+    query_midplanes = np.repeat(first, count) + _within_offsets(count)
+    query_times = np.repeat(
+        np.asarray(ras["timestamp"], dtype=np.float64), count
+    )
+    index = _JobIntervalIndex(jobs, spec)
+    pair_jobs = index.lookup_many(query_midplanes, query_times)
+    hits = np.flatnonzero(pair_jobs != NO_JOB)
+    if hits.size:
+        # event_index is non-decreasing, so return_index picks each
+        # event's first hit in midplane order — the loop's `break`.
+        hit_events, first_hit = np.unique(event_index[hits], return_index=True)
+        out[hit_events] = pair_jobs[hits[first_hit]]
     return out
 
 
@@ -129,14 +278,10 @@ def attribute_failures(
     """
     failed = jobs.filter(jobs["exit_status"] != 0)
     mapped = map_events_to_jobs(fatal_events, failed, spec)
-    hit_jobs = set(int(j) for j in mapped if j != NO_JOB)
-    attributed = np.array(
-        [
-            "system" if int(job_id) in hit_jobs else "user"
-            for job_id in failed["job_id"]
-        ],
-        dtype=object,
-    )
+    is_system = np.isin(failed["job_id"], mapped[mapped != NO_JOB])
+    attributed = np.empty(failed.n_rows, dtype=object)
+    attributed[:] = "user"
+    attributed[is_system] = "system"
     return failed.with_column("attributed", attributed)
 
 

@@ -97,10 +97,20 @@ def classify_exit_status(status: int) -> ExitFamily:
 
 
 def classify_column(statuses) -> np.ndarray:
-    """Vector version: array of family value strings for a status column."""
-    return np.array(
-        [classify_exit_status(int(s)).value for s in statuses], dtype=object
+    """Vector version: array of family value strings for a status column.
+
+    Only the distinct statuses are classified (a full trace repeats a
+    handful of exit bytes millions of times); the result fans back out
+    through the inverse index.
+    """
+    arr = np.asarray(statuses)
+    if arr.size == 0:
+        return np.empty(0, dtype=object)
+    uniques, inverse = np.unique(arr, return_inverse=True)
+    families = np.array(
+        [classify_exit_status(int(s)).value for s in uniques], dtype=object
     )
+    return families[inverse]
 
 
 def is_user_family(family: ExitFamily) -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bgq.machine import MIRA, MachineSpec
-from repro.core.attribution import event_midplanes
+from repro.core.attribution import event_midplane_spans
 from repro.stats import gini
 from repro.table import Table
 
@@ -22,11 +22,12 @@ __all__ = ["counts_by_midplane", "locality_metrics", "hot_midplanes"]
 def counts_by_midplane(events: Table, spec: MachineSpec = MIRA) -> np.ndarray:
     """Event count per global midplane index (rack events count on each
     midplane of the rack)."""
-    counts = np.zeros(spec.n_midplanes, dtype=np.int64)
-    for midplanes in event_midplanes(events["location"], spec):
-        for midplane in midplanes:
-            counts[midplane] += 1
-    return counts
+    first, count = event_midplane_spans(events["location"], spec)
+    hits = np.repeat(first, count) + (
+        np.arange(int(count.sum()), dtype=np.int64)
+        - np.repeat(np.cumsum(count) - count, count)
+    )
+    return np.bincount(hits, minlength=spec.n_midplanes).astype(np.int64)
 
 
 def locality_metrics(counts: np.ndarray) -> dict[str, float]:

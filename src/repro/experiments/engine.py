@@ -38,6 +38,7 @@ __all__ = [
     "ExperimentOutcome",
     "SuiteResult",
     "run_suite",
+    "profile_lines",
     "bench_record",
     "write_bench_json",
 ]
@@ -173,6 +174,61 @@ def timing_lines(suite: SuiteResult) -> list[str]:
             f"{outcome.experiment_id}: {outcome.seconds:.3f}s  "
             f"peak-rss {outcome.max_rss_kb / 1024:.1f} MiB  [{outcome.status}]"
         )
+    return lines
+
+
+def profile_lines(
+    dataset,
+    experiment_ids: list[str] | None = None,
+    top: int = 20,
+) -> list[str]:
+    """Per-experiment cProfile hotspots, top-``top`` by cumulative time.
+
+    Runs each experiment in-process under ``cProfile`` (profiling and
+    worker pools don't mix) and returns a readable block per experiment
+    — the starting point for the next round of kernel optimization.
+    Expected data-starvation errors are reported, not raised, mirroring
+    :func:`run_suite`'s isolation.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.experiments import all_experiments, run_experiment
+
+    ids = (
+        list(experiment_ids)
+        if experiment_ids is not None
+        else list(all_experiments())
+    )
+    lines: list[str] = []
+    for experiment_id in ids:
+        profiler = cProfile.Profile()
+        status = "ok"
+        profiler.enable()
+        try:
+            run_experiment(experiment_id, dataset)
+        except (ReproError, ValueError) as error:
+            status = f"skipped: {error}"
+        except Exception as error:  # noqa: BLE001 - keep profiling the rest
+            status = f"error: {error!r}"
+        finally:
+            profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+        lines.append(f"--- {experiment_id} [{status}] ---")
+        # Drop the pstats preamble; keep the header row and entries.
+        body = stream.getvalue().splitlines()
+        keep = [
+            line
+            for line in body
+            if line.strip()
+            and not line.lstrip().startswith(("Ordered by", "List reduced"))
+            and "function calls" not in line
+        ]
+        lines.extend(keep)
+        lines.append("")
     return lines
 
 

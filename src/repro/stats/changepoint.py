@@ -5,6 +5,13 @@ find regime changes in monthly failure/event rates over the machine's
 2001-day life.  Implements binary segmentation with a CUSUM statistic
 and a permutation-style significance threshold — numpy only, no
 external dependencies.
+
+Both the per-split scan and the permutation null are vectorized: the
+CUSUM statistic for every candidate split comes from one prefix-sum
+expression, and all permutation replicates evaluate as a single 2-D
+computation.  Permutations are still drawn one ``rng.permutation`` at a
+time so the random stream — and therefore every detection decision —
+matches the original scalar implementation exactly.
 """
 
 from __future__ import annotations
@@ -31,6 +38,29 @@ class Changepoint:
         return self.mean_after - self.mean_before
 
 
+def _cusum_stats_matrix(rows: np.ndarray) -> np.ndarray:
+    """CUSUM statistic at every split for every row of ``rows``.
+
+    ``rows`` is ``(k, n)``; the result is ``(k, n - 3)`` covering splits
+    ``2 .. n-2`` (the same candidate range the scalar scan used).  Rows
+    with zero variance get all-zero statistics.
+    """
+    k, n = rows.shape
+    splits = np.arange(2, n - 1, dtype=np.float64)
+    cumulative = np.cumsum(rows, axis=1)
+    # Pairwise row sum, not cumulative[:, -1:] — the scalar scan used
+    # x.sum(), and the two differ in the last ulp on long series.
+    total = rows.sum(axis=1, keepdims=True)
+    left_sum = cumulative[:, 1:n - 2]
+    left_mean = left_sum / splits
+    right_mean = (total - left_sum) / (n - splits)
+    std = rows.std(axis=1, ddof=1, keepdims=True)
+    pooled = std * np.sqrt(1.0 / splits + 1.0 / (n - splits))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        stats = np.abs(left_mean - right_mean) / pooled
+    return np.where(std > 0, stats, 0.0)
+
+
 def cusum_statistic(series: np.ndarray) -> tuple[int, float]:
     """Best split point and its normalized CUSUM statistic.
 
@@ -41,29 +71,22 @@ def cusum_statistic(series: np.ndarray) -> tuple[int, float]:
     n = x.size
     if n < 4:
         raise ValueError(f"need at least 4 points, got {n}")
-    best_index, best_stat = -1, 0.0
-    total = x.sum()
-    cumulative = np.cumsum(x)
-    overall_std = x.std(ddof=1)
-    if overall_std == 0:
+    if x.std(ddof=1) == 0:
         return n // 2, 0.0
-    for split in range(2, n - 1):
-        left_mean = cumulative[split - 1] / split
-        right_mean = (total - cumulative[split - 1]) / (n - split)
-        pooled = overall_std * np.sqrt(1.0 / split + 1.0 / (n - split))
-        stat = abs(left_mean - right_mean) / pooled
-        if stat > best_stat:
-            best_index, best_stat = split, stat
-    return best_index, float(best_stat)
+    stats = _cusum_stats_matrix(x[None, :])[0]
+    best = int(np.argmax(stats))
+    best_stat = float(stats[best])
+    if not best_stat > 0.0:
+        return -1, 0.0
+    return best + 2, best_stat
 
 
 def _significant(series: np.ndarray, stat: float, n_permutations: int, seed: int,
                  alpha: float) -> bool:
     rng = np.random.default_rng(seed)
-    exceed = 0
-    for _ in range(n_permutations):
-        _, permuted_stat = cusum_statistic(rng.permutation(series))
-        exceed += permuted_stat >= stat
+    permuted = np.stack([rng.permutation(series) for _ in range(n_permutations)])
+    null_stats = _cusum_stats_matrix(permuted).max(axis=1)
+    exceed = int((null_stats >= stat).sum())
     return exceed / n_permutations < alpha
 
 

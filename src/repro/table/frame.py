@@ -56,6 +56,19 @@ class Table:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_arrays(cls, data: dict[str, np.ndarray], length: int) -> "Table":
+        """Wrap already-validated column arrays without re-coercing them.
+
+        Internal fast path for row-selection operations whose outputs are
+        slices/gathers of existing columns — group iteration builds one
+        sub-table per group, so per-table validation cost is hot there.
+        """
+        table = cls.__new__(cls)
+        table._data = data
+        table._length = length
+        return table
+
+    @classmethod
     def from_rows(cls, rows: Iterable[Mapping[str, Any]]) -> "Table":
         """Build a table from an iterable of dict-like rows.
 
@@ -205,7 +218,9 @@ class Table:
     def take(self, indices: np.ndarray | Sequence[int]) -> "Table":
         """Return rows at the given integer positions, in that order."""
         idx = np.asarray(indices, dtype=np.int64)
-        return Table({name: arr[idx] for name, arr in self._data.items()})
+        return Table._from_arrays(
+            {name: arr[idx] for name, arr in self._data.items()}, len(idx)
+        )
 
     def head(self, n: int = 10) -> "Table":
         """Return the first ``n`` rows."""

@@ -4,6 +4,12 @@ Grouping factorizes each key column into integer codes, combines the
 codes into a single group id, and then computes aggregates with
 ``np.bincount`` / sorted ``reduceat`` — no Python-level loop over rows,
 which keeps multi-hundred-thousand-row job logs fast.
+
+Group iteration (:meth:`GroupBy.apply`, :meth:`GroupBy.groups`) and the
+order-statistic aggregations share one stable argsort of the group ids:
+every group is a contiguous slice of the sorted row order, so walking
+all groups costs O(n log n) once instead of one O(n) mask scan per
+group.
 """
 
 from __future__ import annotations
@@ -32,6 +38,29 @@ def _agg_mean(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.nd
         return totals / counts
 
 
+def _agg_std(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    """Sample standard deviation (ddof=1); NaN for groups of size < 2.
+
+    Computed from per-group centered squares (not E[x²]−E[x]²), so it
+    stays accurate when group means dwarf the spread — core-hour columns
+    do exactly that.
+    """
+    counts = _agg_count(values, group_ids, n_groups)
+    means = _agg_mean(values, group_ids, n_groups)
+    deviations = values.astype(np.float64) - means[group_ids]
+    squares = np.bincount(group_ids, weights=deviations * deviations,
+                          minlength=n_groups)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.sqrt(squares / (counts - 1))
+
+
+def _agg_nancount(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    """Count of non-NaN values per group (the ``nan*`` naming follows
+    numpy: the aggregation ignores NaNs)."""
+    valid = ~np.isnan(values.astype(np.float64))
+    return np.bincount(group_ids, weights=valid, minlength=n_groups).astype(np.int64)
+
+
 def _sorted_reduce(
     values: np.ndarray, group_ids: np.ndarray, n_groups: int, ufunc
 ) -> np.ndarray:
@@ -56,15 +85,29 @@ def _agg_max(values, group_ids, n_groups):
 
 
 def _agg_median(values, group_ids, n_groups):
-    order = np.argsort(group_ids, kind="stable")
+    """Median per group without a per-group ``np.median`` call.
+
+    One lexsort orders rows by (group, value); each group's median is
+    then the mean of its two middle elements picked by index.  Groups
+    containing NaN report NaN, matching ``np.median``.
+    """
+    values = values.astype(np.float64, copy=False)
+    order = np.lexsort((values, group_ids))
     sorted_ids = group_ids[order]
     sorted_values = values[order]
     boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [len(sorted_ids)]))
+    sizes = ends - starts
+    lo = starts + (sizes - 1) // 2
+    hi = starts + sizes // 2
+    medians = 0.5 * (sorted_values[lo] + sorted_values[hi])
+    has_nan = np.bincount(
+        sorted_ids[np.isnan(sorted_values)], minlength=n_groups
+    ).astype(bool)
     out = np.full(n_groups, np.nan, dtype=np.float64)
-    for start, end in zip(starts, ends):
-        out[sorted_ids[start]] = np.median(sorted_values[start:end])
+    out[sorted_ids[starts]] = medians
+    out[has_nan] = np.nan
     return out
 
 
@@ -75,6 +118,8 @@ AGGREGATIONS: dict[str, Callable] = {
     "min": _agg_min,
     "max": _agg_max,
     "median": _agg_median,
+    "std": _agg_std,
+    "nancount": _agg_nancount,
 }
 
 
@@ -119,18 +164,32 @@ class GroupBy:
             as_objects = np.empty(len(tuples), dtype=object)
             as_objects[:] = tuples
             combined, _ = factorize(as_objects)
-        group_ids, first_index = np.unique(combined, return_index=True)
-        remap = {gid: i for i, gid in enumerate(group_ids.tolist())}
-        self._group_ids = np.array([remap[g] for g in combined.tolist()], dtype=np.int64)
+        group_ids, first_index, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        self._group_ids = inverse.astype(np.int64)
         self._n_groups = len(group_ids)
         self._key_values = {
             key: table[key][first_index] for key in self._keys
         }
+        self._slices: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @property
     def n_groups(self) -> int:
         """Number of distinct key combinations."""
         return self._n_groups
+
+    def _group_slices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(order, starts, ends)``: one stable argsort under which group
+        ``g`` is the contiguous slice ``order[starts[g]:ends[g]]`` in
+        original row order."""
+        if self._slices is None:
+            order = np.argsort(self._group_ids, kind="stable")
+            counts = np.bincount(self._group_ids, minlength=self._n_groups)
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            self._slices = (order, starts, ends)
+        return self._slices
 
     def size(self):
         """Return a table of group keys plus a ``count`` column."""
@@ -169,14 +228,15 @@ class GroupBy:
         """Call ``func(sub_table)`` for every group; returns the list of
         results in group order.  Use for aggregations the vectorized
         kernels do not cover (e.g. distribution fits per group)."""
-        results = []
-        for gid in range(self._n_groups):
-            mask = self._group_ids == gid
-            results.append(func(self._table.filter(mask)))
-        return results
+        order, starts, ends = self._group_slices()
+        return [
+            func(self._table.take(order[starts[gid]:ends[gid]]))
+            for gid in range(self._n_groups)
+        ]
 
     def groups(self):
         """Yield ``(key_dict, sub_table)`` pairs in group order."""
+        order, starts, ends = self._group_slices()
         for gid in range(self._n_groups):
             key = {k: self._key_values[k][gid] for k in self._keys}
-            yield key, self._table.filter(self._group_ids == gid)
+            yield key, self._table.take(order[starts[gid]:ends[gid]])

@@ -41,6 +41,40 @@ class TestSingleKey:
         t = jobs.group_by("user").agg(hours="median").sort_by("user")
         assert t["hours_median"].tolist() == [3.0, 3.5, 4.0]
 
+    def test_std(self, jobs):
+        t = jobs.group_by("user").agg(hours="std").sort_by("user")
+        assert t["hours_std"].tolist() == pytest.approx(
+            [np.std([1.0, 3.0, 6.0], ddof=1), np.std([2.0, 5.0], ddof=1), np.nan],
+            nan_ok=True,
+        )
+
+    def test_std_singleton_group_is_nan(self, jobs):
+        t = jobs.group_by("user").agg(hours="std").sort_by("user")
+        assert np.isnan(t["hours_std"][2])  # user "c" has one row
+
+    def test_std_large_offset_stays_accurate(self):
+        # E[x^2]-E[x]^2 would lose everything at this offset.
+        values = 1e9 + np.array([0.0, 1.0, 2.0, 3.0])
+        t = Table({"k": ["g"] * 4, "v": values})
+        agg = t.group_by("k").agg(v="std")
+        assert agg["v_std"][0] == pytest.approx(np.std(values, ddof=1), rel=1e-12)
+
+    def test_nancount(self):
+        t = Table(
+            {
+                "k": ["a", "a", "a", "b", "b"],
+                "v": [1.0, np.nan, 3.0, np.nan, np.nan],
+            }
+        )
+        agg = t.group_by("k").agg(v="nancount").sort_by("k")
+        assert agg["v_nancount"].tolist() == [2, 0]
+        assert agg["count"].tolist() == [3, 2]
+        assert agg["v_nancount"].dtype == np.int64
+
+    def test_nancount_integer_column(self, jobs):
+        agg = jobs.group_by("user").agg(nodes="nancount").sort_by("user")
+        assert agg["nodes_nancount"].tolist() == [3, 2, 1]
+
     def test_numeric_key(self, jobs):
         t = jobs.group_by("nodes").agg(hours="sum").sort_by("nodes")
         assert t["nodes"].tolist() == [512, 1024, 2048, 4096]

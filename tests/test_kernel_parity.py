@@ -1,0 +1,461 @@
+"""Golden-parity suite for the vectorized analytics kernels.
+
+Each pre-rewrite implementation is kept here verbatim as a
+``_reference_*`` function; every test asserts the vectorized kernel in
+``src/`` produces **value-identical** output on the seeded 120-day
+dataset plus empty-table and single-group edge cases.  If a future
+optimization changes any numeric result, these tests are the tripwire.
+"""
+
+from bisect import bisect_right
+
+import numpy as np
+import pytest
+
+from repro.bgq.location import Location
+from repro.bgq.machine import MIRA
+from repro.core.attribution import (
+    NO_JOB,
+    attribute_failures,
+    event_midplanes,
+    map_events_to_jobs,
+)
+from repro.core.exitcodes import classify_column, classify_exit_status
+from repro.dataset import MiraDataset
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.changepoint import cusum_statistic, detect_changepoints
+from repro.table import Table
+
+PARITY_DAYS = float(__import__("os").environ.get("REPRO_PARITY_DAYS", "120"))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=PARITY_DAYS, seed=2019)
+
+
+# ---------------------------------------------------------------------------
+# reference implementations (pre-vectorization, kept verbatim)
+# ---------------------------------------------------------------------------
+
+
+def _reference_event_midplanes(locations, spec=MIRA):
+    cache = {}
+    out = []
+    for code in locations:
+        hit = cache.get(code)
+        if hit is None:
+            loc = Location.parse(code, spec)
+            if loc.midplane is not None:
+                hit = (loc.midplane_index(spec),)
+            else:
+                rack = spec.rack_index(loc.rack)
+                base = rack * spec.midplanes_per_rack
+                hit = tuple(range(base, base + spec.midplanes_per_rack))
+            cache[code] = hit
+        out.append(hit)
+    return out
+
+
+class _ReferenceJobIntervalIndex:
+    def __init__(self, jobs, spec):
+        per_midplane = {}
+        starts = jobs["start_time"]
+        ends = jobs["end_time"]
+        firsts = jobs["first_midplane"]
+        counts = jobs["n_midplanes"]
+        ids = jobs["job_id"]
+        for i in range(jobs.n_rows):
+            for midplane in range(int(firsts[i]), int(firsts[i]) + int(counts[i])):
+                per_midplane.setdefault(midplane, []).append(
+                    (float(starts[i]), float(ends[i]), int(ids[i]))
+                )
+        self._starts = {}
+        self._intervals = {}
+        for midplane, intervals in per_midplane.items():
+            intervals.sort()
+            self._intervals[midplane] = intervals
+            self._starts[midplane] = [iv[0] for iv in intervals]
+
+    def lookup(self, midplane, timestamp):
+        starts = self._starts.get(midplane)
+        if not starts:
+            return NO_JOB
+        index = bisect_right(starts, timestamp) - 1
+        if index < 0:
+            return NO_JOB
+        start, end, job_id = self._intervals[midplane][index]
+        return job_id if start <= timestamp < end else NO_JOB
+
+
+def _reference_map_events_to_jobs(ras, jobs, spec=MIRA):
+    index = _ReferenceJobIntervalIndex(jobs, spec)
+    midplane_sets = _reference_event_midplanes(ras["location"], spec)
+    timestamps = ras["timestamp"]
+    out = np.full(ras.n_rows, NO_JOB, dtype=np.int64)
+    for i, (midplanes, timestamp) in enumerate(zip(midplane_sets, timestamps)):
+        for midplane in midplanes:
+            job_id = index.lookup(midplane, float(timestamp))
+            if job_id != NO_JOB:
+                out[i] = job_id
+                break
+    return out
+
+
+def _reference_attributed_column(failed, mapped):
+    hit_jobs = set(int(j) for j in mapped if j != NO_JOB)
+    return np.array(
+        [
+            "system" if int(job_id) in hit_jobs else "user"
+            for job_id in failed["job_id"]
+        ],
+        dtype=object,
+    )
+
+
+def _reference_bootstrap_estimates(sample, statistic, n_resamples=1000, seed=0):
+    arr = np.asarray(sample, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples, dtype=np.float64)
+    for i in range(n_resamples):
+        resample = arr[rng.integers(0, arr.size, size=arr.size)]
+        estimates[i] = statistic(resample)
+    return estimates
+
+
+def _reference_cusum_statistic(series):
+    x = np.asarray(series, dtype=np.float64)
+    n = x.size
+    if n < 4:
+        raise ValueError(f"need at least 4 points, got {n}")
+    best_index, best_stat = -1, 0.0
+    total = x.sum()
+    cumulative = np.cumsum(x)
+    overall_std = x.std(ddof=1)
+    if overall_std == 0:
+        return n // 2, 0.0
+    for split in range(2, n - 1):
+        left_mean = cumulative[split - 1] / split
+        right_mean = (total - cumulative[split - 1]) / (n - split)
+        pooled = overall_std * np.sqrt(1.0 / split + 1.0 / (n - split))
+        stat = abs(left_mean - right_mean) / pooled
+        if stat > best_stat:
+            best_index, best_stat = split, stat
+    return best_index, float(best_stat)
+
+
+def _reference_significant(series, stat, n_permutations, seed, alpha):
+    rng = np.random.default_rng(seed)
+    exceed = 0
+    for _ in range(n_permutations):
+        _, permuted_stat = _reference_cusum_statistic(rng.permutation(series))
+        exceed += permuted_stat >= stat
+    return exceed / n_permutations < alpha
+
+
+def _reference_classify_column(statuses):
+    return np.array(
+        [classify_exit_status(int(s)).value for s in statuses], dtype=object
+    )
+
+
+def _reference_group_apply(table, key, func):
+    """Mask-scan group iteration, as GroupBy.apply did pre-rewrite."""
+    gb = table.group_by(key)
+    results = []
+    for gid in range(gb._n_groups):
+        mask = gb._group_ids == gid
+        results.append(func(table.filter(mask)))
+    return results
+
+
+def _reference_group_median(table, key, column):
+    gb = table.group_by(key)
+    out = []
+    for gid in range(gb._n_groups):
+        out.append(float(np.median(table.filter(gb._group_ids == gid)[column])))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# attribution join
+# ---------------------------------------------------------------------------
+
+
+class TestAttributionParity:
+    def test_map_events_to_jobs_full_trace(self, dataset):
+        new = map_events_to_jobs(dataset.ras, dataset.jobs, dataset.spec)
+        old = _reference_map_events_to_jobs(dataset.ras, dataset.jobs, dataset.spec)
+        assert np.array_equal(new, old)
+
+    def test_map_fatal_events_to_failed_jobs(self, dataset):
+        failed = dataset.jobs.filter(dataset.jobs["exit_status"] != 0)
+        fatal = dataset.fatal_events()
+        new = map_events_to_jobs(fatal, failed, dataset.spec)
+        old = _reference_map_events_to_jobs(fatal, failed, dataset.spec)
+        assert np.array_equal(new, old)
+
+    def test_event_midplanes_full_trace(self, dataset):
+        locations = dataset.ras["location"]
+        assert event_midplanes(locations, dataset.spec) == (
+            _reference_event_midplanes(locations, dataset.spec)
+        )
+
+    def test_attributed_column(self, dataset):
+        failed = dataset.jobs.filter(dataset.jobs["exit_status"] != 0)
+        fatal = dataset.fatal_events()
+        mapped = map_events_to_jobs(fatal, failed, dataset.spec)
+        attributed = attribute_failures(dataset.jobs, fatal, dataset.spec)
+        expected = _reference_attributed_column(failed, mapped)
+        assert attributed["attributed"].tolist() == expected.tolist()
+        assert attributed["attributed"].dtype.kind == "O"
+
+    def test_empty_events(self, dataset):
+        empty = Table({"timestamp": np.empty(0), "location": np.empty(0, object)})
+        assert map_events_to_jobs(empty, dataset.jobs, dataset.spec).tolist() == []
+
+    def test_empty_jobs(self, dataset):
+        events = dataset.ras.head(50)
+        empty_jobs = dataset.jobs.filter(np.zeros(dataset.jobs.n_rows, dtype=bool))
+        new = map_events_to_jobs(events, empty_jobs, dataset.spec)
+        old = _reference_map_events_to_jobs(events, empty_jobs, dataset.spec)
+        assert np.array_equal(new, old)
+        assert (new == NO_JOB).all()
+
+    def test_single_job(self, dataset):
+        one_job = dataset.jobs.head(1)
+        new = map_events_to_jobs(dataset.ras, one_job, dataset.spec)
+        old = _reference_map_events_to_jobs(dataset.ras, one_job, dataset.spec)
+        assert np.array_equal(new, old)
+
+    def test_boundary_timestamps_match_bisection(self):
+        """Queries exactly on start/end boundaries keep bisect semantics."""
+        jobs = Table(
+            {
+                "job_id": [1, 2],
+                "start_time": [100.0, 200.0],
+                "end_time": [200.0, 300.0],
+                "first_midplane": [0, 0],
+                "n_midplanes": [1, 1],
+                "exit_status": [0, 0],
+            }
+        )
+        events = Table(
+            {
+                "timestamp": [99.999, 100.0, 199.999, 200.0, 300.0],
+                "location": ["R00-M0"] * 5,
+            }
+        )
+        new = map_events_to_jobs(events, jobs)
+        old = _reference_map_events_to_jobs(events, jobs)
+        assert np.array_equal(new, old)
+        assert new.tolist() == [NO_JOB, 1, 1, 2, NO_JOB]
+
+
+# ---------------------------------------------------------------------------
+# bootstrap
+# ---------------------------------------------------------------------------
+
+
+class TestBootstrapParity:
+    def _sample(self, dataset):
+        failed = dataset.jobs.filter(dataset.jobs["exit_status"] != 0)
+        return (failed["exit_status"] == 137).astype(np.float64)
+
+    @pytest.mark.parametrize("statistic", [np.mean, np.median])
+    def test_axis_aware_statistics(self, dataset, statistic):
+        sample = self._sample(dataset)
+        result = bootstrap_ci(sample, statistic, seed=0)
+        estimates = _reference_bootstrap_estimates(sample, statistic, seed=0)
+        low, high = np.quantile(estimates, [0.025, 0.975])
+        assert result.low == float(low)
+        assert result.high == float(high)
+        assert result.estimate == float(statistic(sample))
+
+    def test_non_vectorizable_callable(self, dataset):
+        sample = self._sample(dataset)[:500]
+        stat = lambda values: float(np.sort(values)[len(values) // 3])  # noqa: E731
+        result = bootstrap_ci(sample, stat, seed=3, n_resamples=200)
+        estimates = _reference_bootstrap_estimates(
+            sample, stat, n_resamples=200, seed=3
+        )
+        low, high = np.quantile(estimates, [0.025, 0.975])
+        assert result.low == float(low)
+        assert result.high == float(high)
+
+    def test_tiny_memory_budget_chunks_are_invisible(self, dataset):
+        sample = self._sample(dataset)[:300]
+        full = bootstrap_ci(sample, np.mean, seed=1, n_resamples=100)
+        chunked = bootstrap_ci(
+            sample, np.mean, seed=1, n_resamples=100, memory_budget=4096
+        )
+        assert (full.low, full.high) == (chunked.low, chunked.high)
+
+    def test_single_element_sample(self):
+        result = bootstrap_ci(np.array([4.0]), np.mean, seed=0, n_resamples=50)
+        assert result.low == result.high == result.estimate == 4.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), np.mean)
+
+
+# ---------------------------------------------------------------------------
+# changepoint
+# ---------------------------------------------------------------------------
+
+
+class TestChangepointParity:
+    def test_cusum_statistic_on_lifetime_series(self, dataset):
+        from repro.core.lifetime import epoch_summary
+
+        epochs = epoch_summary(dataset, epoch_days=7.0)
+        series = np.asarray(epochs["failure_rate"], dtype=np.float64)
+        assert cusum_statistic(series) == _reference_cusum_statistic(series)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_cusum_statistic_random_series(self, seed):
+        rng = np.random.default_rng(seed)
+        series = rng.normal(size=60)
+        series[30:] += rng.uniform(0, 3)
+        assert cusum_statistic(series) == _reference_cusum_statistic(series)
+
+    def test_cusum_constant_series(self):
+        series = np.full(12, 3.5)
+        assert cusum_statistic(series) == _reference_cusum_statistic(series) == (6, 0.0)
+
+    def test_cusum_minimum_length(self):
+        series = np.array([0.0, 0.0, 5.0, 5.0])
+        assert cusum_statistic(series) == _reference_cusum_statistic(series)
+        with pytest.raises(ValueError):
+            cusum_statistic(np.array([1.0, 2.0, 3.0]))
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_detect_changepoints_matches_reference_decisions(self, seed):
+        """detect_changepoints output is identical because the batched
+        permutation null consumes the RNG stream exactly like the loop."""
+        rng = np.random.default_rng(seed)
+        series = np.concatenate(
+            [rng.normal(1, 0.3, 24), rng.normal(3, 0.3, 24), rng.normal(0.5, 0.3, 24)]
+        )
+        found = detect_changepoints(series, seed=seed)
+        assert [c.index for c in found]  # the shifts are found
+        reference = _reference_detect_changepoints(series, seed=seed)
+        assert [(c.index, c.statistic, c.mean_before, c.mean_after) for c in found] == [
+            (c.index, c.statistic, c.mean_before, c.mean_after) for c in reference
+        ]
+
+
+def _reference_detect_changepoints(
+    series, max_changepoints=3, alpha=0.01, n_permutations=200, min_segment=4, seed=0
+):
+    from repro.stats.changepoint import Changepoint
+
+    x = np.asarray(series, dtype=np.float64)
+    found = []
+    segments = [(0, x.size)]
+    while segments and len(found) < max_changepoints:
+        best = None
+        for start, end in segments:
+            if end - start < 2 * min_segment:
+                continue
+            split, stat = _reference_cusum_statistic(x[start:end])
+            if best is None or stat > best[3]:
+                best = (start, end, start + split, stat)
+        if best is None:
+            break
+        start, end, index, stat = best
+        segments.remove((start, end))
+        if not _reference_significant(x[start:end], stat, n_permutations, seed, alpha):
+            continue
+        found.append(
+            Changepoint(
+                index=index,
+                statistic=stat,
+                mean_before=float(x[start:index].mean()),
+                mean_after=float(x[index:end].mean()),
+            )
+        )
+        segments.append((start, index))
+        segments.append((index, end))
+    return sorted(found, key=lambda c: c.index)
+
+
+# ---------------------------------------------------------------------------
+# exit-status classification
+# ---------------------------------------------------------------------------
+
+
+class TestClassifyParity:
+    def test_full_trace(self, dataset):
+        statuses = dataset.jobs["exit_status"]
+        assert classify_column(statuses).tolist() == (
+            _reference_classify_column(statuses).tolist()
+        )
+
+    def test_empty(self):
+        out = classify_column(np.empty(0, dtype=np.int64))
+        assert out.tolist() == [] and out.dtype.kind == "O"
+
+    def test_single(self):
+        assert classify_column(np.array([137])).tolist() == ["system_kill"]
+
+
+# ---------------------------------------------------------------------------
+# group-by iteration and aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestGroupByParity:
+    def test_apply_matches_mask_scan(self, dataset):
+        jobs = dataset.jobs
+        new = jobs.group_by("user").apply(lambda t: float(t["core_hours"].sum()))
+        old = _reference_group_apply(
+            jobs, "user", lambda t: float(t["core_hours"].sum())
+        )
+        assert new == old
+
+    def test_apply_preserves_row_order_within_group(self, dataset):
+        jobs = dataset.jobs
+        new = jobs.group_by("user").apply(lambda t: t["job_id"].tolist())
+        old = _reference_group_apply(jobs, "user", lambda t: t["job_id"].tolist())
+        assert new == old
+
+    def test_groups_iteration(self, dataset):
+        jobs = dataset.jobs.head(2000)
+        gb_rows = {
+            key["user"]: sub["job_id"].tolist()
+            for key, sub in jobs.group_by("user").groups()
+        }
+        old = dict(
+            zip(
+                jobs.group_by("user")._key_values["user"].tolist(),
+                _reference_group_apply(jobs, "user", lambda t: t["job_id"].tolist()),
+            )
+        )
+        assert gb_rows == old
+
+    def test_median_agg_matches_np_median(self, dataset):
+        jobs = dataset.jobs
+        new = jobs.group_by("user").agg(core_hours="median")
+        old = _reference_group_median(jobs, "user", "core_hours")
+        assert new["core_hours_median"].tolist() == old
+
+    def test_median_with_nan_group(self):
+        t = Table({"k": ["a", "a", "b"], "v": [1.0, np.nan, 2.0]})
+        medians = t.group_by("k").agg(v="median").sort_by("k")["v_median"]
+        assert np.isnan(medians[0]) and medians[1] == 2.0
+
+    def test_single_group(self):
+        t = Table({"k": ["x", "x", "x"], "v": [3.0, 1.0, 2.0]})
+        agg = t.group_by("k").agg(v="median")
+        assert agg["v_median"].tolist() == [2.0]
+        assert t.group_by("k").apply(lambda s: s.n_rows) == [3]
+
+    def test_empty_table(self):
+        t = Table({"k": np.empty(0, dtype=object), "v": np.empty(0)})
+        gb = t.group_by("k")
+        assert gb.n_groups == 0
+        assert gb.apply(lambda s: s.n_rows) == []
+        assert list(gb.groups()) == []
+        assert gb.agg(v="sum").n_rows == 0
