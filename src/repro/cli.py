@@ -18,18 +18,24 @@ Dataset loads and parameter-free syntheses are served from the
 columnar ``.npz`` cache (:mod:`repro.dataset.cache`); ``--no-cache``
 bypasses it and ``--refresh-cache`` rebuilds the entry.
 ``repro-report`` additionally fans the experiment suite out across
-``--jobs`` worker processes and can record per-experiment timings
-(``--timings``) and a machine-readable perf trajectory
-(``--bench-json``).
+``--jobs`` worker processes under crash-safe supervision: every run
+gets a journaled run directory (``--run-dir``/``--run-id``), each
+experiment a wall-time budget (``--timeout``) and a worker-death retry
+budget (``--retries``/``--backoff``), SIGINT/SIGTERM shut down
+gracefully with a resumable run ID, and ``--resume <run-id>`` replays
+the journal and runs only what is missing (see ``docs/robustness.md``).
+It can also record per-experiment timings (``--timings``) and a
+machine-readable perf trajectory (``--bench-json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro.dataset import MiraDataset, validate_dataset
-from repro.errors import ReproError
+from repro.errors import JournalError, ReproError
 
 __all__ = [
     "main_gen",
@@ -163,20 +169,39 @@ def main_analyze(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt()
+
+
 def main_report(argv: list[str] | None = None) -> int:
     """Render the full study report (all experiments + takeaways)."""
     import os
+    from pathlib import Path
 
     from repro.core.report import render_report
+    from repro.dataset.cache import fingerprint_for_run
     from repro.experiments.engine import (
         bench_record,
         profile_lines,
         run_suite,
         write_bench_json,
     )
+    from repro.experiments.journal import RunJournal, default_runs_dir
+    from repro.util.atomic import atomic_write_text
 
     parser = argparse.ArgumentParser(
-        prog="repro-report", description=main_report.__doc__
+        prog="repro-report",
+        description=main_report.__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0    report rendered, no experiment errored\n"
+            "  1    invalid input, or >=1 experiment errored "
+            "(--allow-errors downgrades this to 0)\n"
+            "  2    bad command line\n"
+            "  130  interrupted (SIGINT/SIGTERM); finished experiments are\n"
+            "       journaled — rerun with --resume RUN_ID to finish the rest"
+        ),
     )
     parser.add_argument(
         "--dataset", help="dataset directory (from repro-gen); else synthesize"
@@ -195,6 +220,57 @@ def main_report(argv: list[str] | None = None) -> int:
         type=int,
         default=os.cpu_count() or 1,
         help="worker processes for the experiment suite (default: CPU count)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-time budget; an experiment exceeding it "
+        "becomes an error outcome (default: unlimited)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-dispatches of an experiment whose worker died (default: 2)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay between re-dispatch rounds, doubled each round "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="root for journaled run directories "
+        "(default: $REPRO_RUNS_DIR or results/runs)",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        help="explicit run ID (default: generated timestamp-suffix ID)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="do not journal this run (it will not be resumable)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help="resume a journaled run: replay its completed experiments and "
+        "run only what is missing (dataset flags are taken from the journal)",
+    )
+    parser.add_argument(
+        "--allow-errors",
+        action="store_true",
+        help="exit 0 even when experiments errored (they are still "
+        "reported in the INGESTION & FAILURES section)",
     )
     parser.add_argument(
         "--timings",
@@ -217,23 +293,134 @@ def main_report(argv: list[str] | None = None) -> int:
         help="also export every experiment as Markdown + CSVs into this directory",
     )
     args = parser.parse_args(argv)
+    if args.resume and args.no_journal:
+        parser.error("--resume and --no-journal are mutually exclusive")
+    runs_root = Path(args.run_dir) if args.run_dir else default_runs_dir()
+
+    journal = None
+    completed = None
+    experiment_ids = args.experiments
+    timeout, retries, backoff = args.timeout, args.retries, args.backoff
     try:
-        dataset = _load_or_synthesize(args)
-    except ReproError as error:
+        if args.resume:
+            journal, state = RunJournal.resume(runs_root, args.resume)
+            config = state.config
+            # The journal's config pins what the run *is* (dataset
+            # identity, experiment set, supervision budgets); only
+            # execution knobs (--jobs, cache flags) follow the CLI.
+            replay_args = argparse.Namespace(
+                dataset=config.get("dataset"),
+                days=config.get("days", 90.0),
+                seed=config.get("seed", 0),
+                lenient=config.get("lenient", False),
+                max_bad_rows=config.get("max_bad_rows"),
+                no_cache=args.no_cache,
+                refresh_cache=args.refresh_cache,
+            )
+            dataset = _load_or_synthesize(replay_args)
+            fingerprint = fingerprint_for_run(
+                replay_args.dataset, replay_args.days, replay_args.seed
+            )
+            if fingerprint != state.fingerprint:
+                raise JournalError(
+                    f"run {args.resume!r} was journaled against a different "
+                    "dataset (fingerprint mismatch); refusing to mix results"
+                )
+            experiment_ids = config.get("experiments")
+            timeout = config.get("timeout")
+            retries = config.get("retries", retries)
+            backoff = config.get("backoff", backoff)
+            completed = state.outcomes
+        else:
+            dataset = _load_or_synthesize(args)
+            fingerprint = fingerprint_for_run(args.dataset, args.days, args.seed)
+            if not args.no_journal:
+                journal = RunJournal.start(
+                    runs_root,
+                    fingerprint=fingerprint,
+                    run_id=args.run_id,
+                    config={
+                        "dataset": args.dataset or None,
+                        "days": args.days,
+                        "seed": args.seed,
+                        "lenient": args.lenient,
+                        "max_bad_rows": args.max_bad_rows,
+                        "experiments": args.experiments,
+                        "jobs": args.jobs,
+                        "timeout": args.timeout,
+                        "retries": args.retries,
+                        "backoff": args.backoff,
+                    },
+                )
+    except (ReproError, OSError) as error:
         print(f"INVALID: {error}")
         return 1
-    suite = run_suite(dataset, args.experiments, jobs=args.jobs)
-    print(render_report(dataset, suite=suite, timings=args.timings))
+
+    # SIGTERM gets the same graceful path as Ctrl-C: cancel what has
+    # not started, keep what finished, leave a resumable journal.
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    try:
+        suite = run_suite(
+            dataset,
+            experiment_ids,
+            jobs=args.jobs,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            completed=completed,
+            on_outcome=journal.append_outcome if journal else None,
+        )
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+
+    if suite.interrupted:
+        if journal:
+            journal.append_end("interrupted", suite.total_seconds)
+            print(
+                f"interrupted: {len(suite.outcomes)} experiment(s) journaled; "
+                f"finish with: repro-report --resume {journal.run_id}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted: run was not journaled (--no-journal), "
+                "partial results were discarded",
+                file=sys.stderr,
+            )
+        return 130
+
+    text = render_report(dataset, suite=suite, timings=args.timings)
+    print(text)
+    if journal:
+        journal.append_end("complete", suite.total_seconds)
+        atomic_write_text(journal.report_path, text + "\n")
+        print(
+            f"run {journal.run_id}: journal + report in {journal.directory}",
+            file=sys.stderr,
+        )
     if args.profile:
         print("\nPROFILE (cProfile, top 20 by cumulative time)")
-        print("\n".join(profile_lines(dataset, args.experiments)))
+        print("\n".join(profile_lines(dataset, experiment_ids)))
     if args.bench_json:
         write_bench_json(args.bench_json, bench_record(suite, dataset))
     if args.output:
         from repro.experiments import export_all
 
-        written = export_all(dataset, args.output, experiment_ids=args.experiments)
+        written = export_all(dataset, args.output, experiment_ids=experiment_ids)
         print(f"exported {len(written)} files to {args.output}")
+    errored = [o.experiment_id for o in suite.outcomes if o.status == "error"]
+    if errored and not args.allow_errors:
+        print(
+            f"{len(errored)} experiment(s) errored ({', '.join(errored)}); "
+            "exiting 1 (--allow-errors to override)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -270,7 +457,13 @@ def main_validate(argv: list[str] | None = None) -> int:
 
 def main_chaos(argv: list[str] | None = None) -> int:
     """Corrupt a saved dataset directory, reproducibly, for drills."""
-    from repro.faults import ALL_FAULTS, FaultPlan
+    from repro.faults import (
+        ALL_FAULTS,
+        PROCESS_FAULT_ENV,
+        PROCESS_FAULTS,
+        FaultPlan,
+        ProcessFaultPlan,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-chaos", description=main_chaos.__doc__
@@ -294,13 +487,33 @@ def main_chaos(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available faults and exit"
     )
+    parser.add_argument(
+        "--process-faults",
+        metavar="SPEC",
+        help="validate a process-level fault spec (kind:experiment[:amount], "
+        "';'-joined; kinds: " + ", ".join(PROCESS_FAULTS) + ") and print the "
+        "environment assignment that arms it for repro-report, e.g. "
+        "env $(repro-chaos --process-faults kill_worker:e03) repro-report --jobs 4",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in ALL_FAULTS:
             print(name)
+        for name in PROCESS_FAULTS:
+            print(f"{name} (process-level)")
+        return 0
+    if args.process_faults:
+        try:
+            plan = ProcessFaultPlan.parse(args.process_faults)
+        except ReproError as error:
+            print(f"INVALID: {error}")
+            return 1
+        print(f"{PROCESS_FAULT_ENV}={plan.spec()}")
         return 0
     if not args.dataset:
-        parser.error("dataset directory required unless --list is given")
+        parser.error(
+            "dataset directory required unless --list or --process-faults is given"
+        )
     try:
         plan = FaultPlan(
             faults=tuple(args.faults) if args.faults else ALL_FAULTS,

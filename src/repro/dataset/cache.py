@@ -30,7 +30,7 @@ import os
 from pathlib import Path
 from typing import Mapping
 
-from repro.bgq.machine import MachineSpec
+from repro.bgq.machine import MIRA, MachineSpec
 from repro.errors import ParseError
 from repro.table import Table, read_npz, write_npz
 
@@ -39,6 +39,7 @@ __all__ = [
     "default_cache_dir",
     "fingerprint_directory",
     "fingerprint_synthesis",
+    "fingerprint_for_run",
     "dataset_cache_path",
     "synthesis_cache_path",
     "load_cached_bundle",
@@ -107,6 +108,27 @@ def fingerprint_synthesis(spec: MachineSpec, n_days: float, seed: int) -> str:
         ).encode()
     )
     return digest.hexdigest()
+
+
+def fingerprint_for_run(
+    dataset_dir: str | Path | None,
+    n_days: float,
+    seed: int,
+    spec: MachineSpec = MIRA,
+) -> str:
+    """Fingerprint identifying a report run's input dataset.
+
+    The run journal pins this at run start and ``--resume`` refuses a
+    mismatch, reusing the cache's content-addressed fingerprints: a
+    directory load hashes the source files' contents
+    (:func:`fingerprint_directory`), a synthesis hashes the generating
+    parameters (:func:`fingerprint_synthesis`).  Either way, resumed
+    outcomes can only ever be merged with outcomes computed from the
+    same data.
+    """
+    if dataset_dir:
+        return fingerprint_directory(dataset_dir)
+    return fingerprint_synthesis(spec, n_days, seed)
 
 
 def dataset_cache_path(directory: str | Path, fingerprint: str) -> Path:

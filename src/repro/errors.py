@@ -17,6 +17,7 @@ __all__ = [
     "DatasetError",
     "FitError",
     "FaultError",
+    "JournalError",
 ]
 
 
@@ -63,3 +64,8 @@ class FitError(ReproError):
 
 class FaultError(ReproError):
     """An invalid fault-injection plan (unknown fault, bad target)."""
+
+
+class JournalError(ReproError):
+    """A run journal that is missing, malformed, or does not match the
+    dataset it is being resumed against."""

@@ -32,17 +32,22 @@ from . import (  # noqa: F401  (import for registration side effect)
 from .base import ExperimentResult, all_experiments, experiment_entry, get_experiment
 from .engine import ExperimentOutcome, SuiteResult, run_suite, write_bench_json
 from .export import export_all, export_result, result_to_markdown
+from .journal import RunJournal, RunState, default_runs_dir, new_run_id
 
 __all__ = [
     "ExperimentResult",
     "ExperimentOutcome",
     "SuiteResult",
+    "RunJournal",
+    "RunState",
     "all_experiments",
     "get_experiment",
     "experiment_entry",
     "run_experiment",
     "run_suite",
     "write_bench_json",
+    "default_runs_dir",
+    "new_run_id",
     "result_to_markdown",
     "export_result",
     "export_all",

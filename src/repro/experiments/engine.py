@@ -1,4 +1,4 @@
-"""Parallel experiment engine.
+"""Supervised parallel experiment engine.
 
 Runs a set of independent experiments against one dataset, optionally
 across a :class:`~concurrent.futures.ProcessPoolExecutor`, while
@@ -9,14 +9,38 @@ preserving two invariants the report renderer depends on:
   finished first.
 - **Failure isolation** — one crashing experiment becomes a recorded
   outcome (``skipped`` for expected data-starvation errors, ``error``
-  for everything else), never an aborted suite.  A worker process dying
-  outright degrades the whole suite to an in-process sequential rerun
-  rather than losing results.
+  for everything else), never an aborted suite.
 
-Every outcome carries wall-time and peak-RSS measurements, and
-:func:`write_bench_json` serializes a suite into the machine-readable
-``BENCH_pipeline.json`` perf-trajectory format the benchmark harness
-and CI consume.
+On top of those, :func:`run_suite` supervises the pool the way a batch
+scheduler supervises jobs:
+
+- a per-experiment **timeout** is enforced inside the worker via
+  ``SIGALRM`` (an experiment that exceeds it becomes an ``error``
+  outcome), with a supervisor-side stall detector as backstop: when no
+  experiment completes for roughly twice the timeout, the wedged
+  workers are killed and their experiments re-dispatched;
+- a **worker death** (``BrokenProcessPool``) re-dispatches *only the
+  experiments without a recorded outcome* to a fresh pool, with
+  bounded retries and exponential backoff — completed work is never
+  discarded and never re-run.  Retries run isolated (one pool per
+  experiment) so a repeat offender cannot take healthy experiments
+  down with it, and a pool that breaks because the dataset cannot be
+  pickled across the process boundary falls back to the in-process
+  sequential path instead;
+- **graceful shutdown** — ``KeyboardInterrupt`` (SIGINT, or SIGTERM
+  mapped to it by the CLI) kills outstanding workers, keeps every
+  outcome already collected, and returns a partial
+  :class:`SuiteResult` with ``interrupted=True`` so the caller can
+  journal it and offer a resume;
+- **crash-safe journaling** — every freshly computed outcome is pushed
+  through the ``on_outcome`` callback the moment it is collected, and
+  ``completed`` outcomes replayed from a journal are returned verbatim
+  without re-running their experiments.
+
+Every outcome carries wall-time, peak-RSS, and the attempt number that
+produced it, and :func:`write_bench_json` serializes a suite into the
+machine-readable ``BENCH_pipeline.json`` perf-trajectory format the
+benchmark harness and CI consume.
 """
 
 from __future__ import annotations
@@ -24,13 +48,20 @@ from __future__ import annotations
 import json
 import os
 import resource
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
+from typing import Callable, Mapping
 
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
+from repro.util.atomic import atomic_write_text
 
 from .base import ExperimentResult
 
@@ -51,10 +82,13 @@ class ExperimentOutcome:
     ``status`` is ``"ok"`` (``result`` is set), ``"skipped"`` (an
     expected :class:`~repro.errors.ReproError`/:class:`ValueError`,
     e.g. a small trace starving an analysis; ``message`` is ``str(error)``)
-    or ``"error"`` (an isolated crash; ``message`` is ``repr(error)``).
+    or ``"error"`` (an isolated crash, a timeout, or a worker lost
+    beyond its retry budget; ``message`` says which).
     ``max_rss_kb`` is the running process's peak resident set in KiB as
     reported by ``getrusage`` — per-worker under a process pool, shared
-    and monotonic when the suite runs in-process.
+    and monotonic when the suite runs in-process.  ``attempt`` is the
+    dispatch number that produced this outcome (``2`` means the first
+    worker died and the retry succeeded).
     """
 
     experiment_id: str
@@ -63,21 +97,32 @@ class ExperimentOutcome:
     message: str
     seconds: float
     max_rss_kb: int
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
 class SuiteResult:
-    """All outcomes of one suite run, in requested order."""
+    """All outcomes of one suite run, in requested order.
+
+    ``interrupted`` is True when the run was cut short (SIGINT/SIGTERM)
+    and ``outcomes`` holds only what finished before the interrupt.
+    """
 
     outcomes: tuple[ExperimentOutcome, ...]
     jobs: int
     total_seconds: float
+    interrupted: bool = False
+
+    @cached_property
+    def _by_id(self) -> dict[str, ExperimentOutcome]:
+        return {outcome.experiment_id: outcome for outcome in self.outcomes}
 
     def outcome(self, experiment_id: str) -> ExperimentOutcome:
-        for outcome in self.outcomes:
-            if outcome.experiment_id == experiment_id:
-                return outcome
-        raise KeyError(f"no outcome for {experiment_id!r}")
+        """O(1) lookup of one experiment's outcome by ID."""
+        try:
+            return self._by_id[experiment_id]
+        except KeyError:
+            raise KeyError(f"no outcome for {experiment_id!r}") from None
 
 
 # Dataset shared with pool workers via the initializer, so it is pickled
@@ -90,16 +135,66 @@ def _init_worker(dataset) -> None:
     _WORKER_DATASET = dataset
 
 
-def _run_one(experiment_id: str, dataset=None) -> ExperimentOutcome:
+class _ExperimentTimeout(Exception):
+    """Raised inside a worker when the per-experiment alarm fires."""
+
+
+@contextmanager
+def _alarm_after(seconds: float | None):
+    """Arm a real-time alarm that raises :class:`_ExperimentTimeout`.
+
+    A no-op when no timeout is set, on platforms without ``SIGALRM``,
+    or off the main thread (signals can only be armed there).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _ExperimentTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_one(
+    experiment_id: str,
+    dataset=None,
+    timeout: float | None = None,
+    attempt: int = 1,
+) -> ExperimentOutcome:
     """Run one experiment with isolation, timing, and RSS accounting."""
     from repro.experiments import run_experiment
+    from repro.faults.plan import apply_process_faults
 
     if dataset is None:
         dataset = _WORKER_DATASET
     started = time.perf_counter()
     try:
-        result = run_experiment(experiment_id, dataset)
+        with _alarm_after(timeout):
+            # Deterministic chaos (kill/hang/slow) fires here, inside
+            # the timeout window, so drills exercise the same
+            # supervision paths real failures would.
+            apply_process_faults(experiment_id, attempt)
+            result = run_experiment(experiment_id, dataset)
         status, message = "ok", ""
+    except _ExperimentTimeout:
+        result, status = None, "error"
+        message = f"timeout: exceeded {timeout:g}s"
+    except FaultError as error:
+        # A misspelled REPRO_PROCESS_FAULTS spec must surface, not be
+        # mistaken for a data-starved skip.
+        result, status, message = None, "error", repr(error)
     except (ReproError, ValueError) as error:
         # Small traces legitimately starve some experiments (too few
         # failures per family, too few interruption intervals, ...).
@@ -113,7 +208,169 @@ def _run_one(experiment_id: str, dataset=None) -> ExperimentOutcome:
         message=message,
         seconds=time.perf_counter() - started,
         max_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        attempt=attempt,
     )
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly end a pool's worker processes (stall/interrupt path)."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.kill()
+        except OSError:
+            pass
+
+
+def _drain(futures, timeout: float | None, record) -> str:
+    """Collect outcomes as futures finish; returns how the round ended.
+
+    ``"ok"`` — every future resolved; ``"broken"`` — a worker died
+    (results collected up to that point are kept); ``"stalled"`` — no
+    future completed within the grace window (only possible with a
+    timeout set), meaning a worker is wedged beyond what the in-worker
+    alarm can interrupt.
+    """
+    grace = None if timeout is None else timeout * 2.0 + 1.0
+    not_done = set(futures)
+    broken = False
+    while not_done:
+        done, not_done = wait(not_done, timeout=grace, return_when=FIRST_COMPLETED)
+        if not done:
+            return "stalled"
+        for future in done:
+            try:
+                record(future.result())
+            except BrokenProcessPool:
+                broken = True
+        if broken:
+            return "broken"
+    return "ok"
+
+
+def _dispatch_round(
+    dataset,
+    ids: list[str],
+    jobs: int,
+    timeout: float | None,
+    attempts: Mapping[str, int],
+    record: Callable[[ExperimentOutcome], None],
+) -> None:
+    """Submit ``ids`` to one fresh pool and drain it.
+
+    A broken or stalled pool ends the round early with its workers
+    killed; whatever completed first is already recorded.
+    """
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(ids)),
+            initializer=_init_worker,
+            initargs=(dataset,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_one, eid, None, timeout, attempts[eid])
+                for eid in ids
+            ]
+            try:
+                ended = _drain(futures, timeout, record)
+            except KeyboardInterrupt:
+                # Don't let pool.__exit__ wait on running workers;
+                # in-flight experiments are simply re-run on resume.
+                _kill_pool_workers(pool)
+                raise
+            if ended == "stalled":
+                _kill_pool_workers(pool)
+    except BrokenProcessPool:
+        pass
+
+
+def _can_pickle(obj) -> bool:
+    import pickle
+
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 - any failure means "cannot cross"
+        return False
+    return True
+
+
+def _run_supervised(
+    dataset,
+    pending: list[str],
+    *,
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    record: Callable[[ExperimentOutcome], None],
+    recorded: Callable[[str], bool],
+) -> None:
+    """Dispatch ``pending`` across pools until done or retries exhaust.
+
+    Each round submits every still-unfinished experiment to a fresh
+    pool.  A broken or stalled round loses only the experiments without
+    a recorded outcome; those are re-dispatched (up to ``1 + retries``
+    total attempts each, sleeping ``backoff * 2**(round-1)`` between
+    rounds) while completed outcomes are kept.  Retry rounds run each
+    survivor in its *own* single-worker pool so a poison experiment
+    that keeps killing its process cannot take other experiments'
+    in-flight work down with it again.  An experiment whose every
+    attempt died is recorded as an ``error`` outcome, and a pool that
+    breaks because the dataset cannot cross the process boundary at
+    all (nothing ever completed *and* the dataset does not pickle)
+    falls back to the in-process sequential path.
+    """
+    attempts = dict.fromkeys(pending, 0)
+    ever_recorded = False
+    isolate = False
+    round_index = 0
+    while pending:
+        round_index += 1
+        for experiment_id in pending:
+            attempts[experiment_id] += 1
+        if isolate:
+            for experiment_id in pending:
+                _dispatch_round(
+                    dataset, [experiment_id], 1, timeout, attempts, record
+                )
+        else:
+            _dispatch_round(dataset, pending, jobs, timeout, attempts, record)
+        survivors = [eid for eid in pending if not recorded(eid)]
+        if not survivors:
+            return
+        # Survivors mean a worker died or stalled mid-round: from here
+        # on, never let one experiment's process share a pool with
+        # another's retry.
+        isolate = True
+        ever_recorded = ever_recorded or len(survivors) < len(pending)
+        if not ever_recorded and not _can_pickle(dataset):
+            # Nothing has ever come back from a worker and the dataset
+            # cannot cross the process boundary: the pool itself is
+            # unusable.  Run the remainder in-process.
+            for experiment_id in survivors:
+                record(_run_one(experiment_id, dataset, timeout, attempts[experiment_id]))
+            return
+        still_pending = []
+        for experiment_id in survivors:
+            if attempts[experiment_id] >= 1 + retries:
+                record(
+                    ExperimentOutcome(
+                        experiment_id=experiment_id,
+                        status="error",
+                        result=None,
+                        message=(
+                            "worker lost (process died or hung) after "
+                            f"{attempts[experiment_id]} attempt(s)"
+                        ),
+                        seconds=0.0,
+                        max_rss_kb=0,
+                        attempt=attempts[experiment_id],
+                    )
+                )
+            else:
+                still_pending.append(experiment_id)
+        pending = still_pending
+        if pending:
+            time.sleep(backoff * 2 ** (round_index - 1))
 
 
 def run_suite(
@@ -121,14 +378,28 @@ def run_suite(
     experiment_ids: list[str] | None = None,
     *,
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    completed: Mapping[str, ExperimentOutcome] | None = None,
+    on_outcome: Callable[[ExperimentOutcome], None] | None = None,
 ) -> SuiteResult:
     """Run experiments (default: all registered) against ``dataset``.
 
     ``jobs`` caps worker processes (default ``os.cpu_count()``); 1 runs
     everything in-process.  The worker count never exceeds the number
-    of experiments, and a broken pool (worker killed, unpicklable
-    dataset) falls back to the sequential path so the suite still
-    completes with identical outcomes.
+    of experiments.  ``timeout`` bounds each experiment's wall time
+    (``None`` = unlimited); ``retries``/``backoff`` govern re-dispatch
+    after worker deaths (see :func:`_run_supervised`).  ``completed``
+    supplies already-journaled outcomes to replay instead of re-running
+    (the ``--resume`` path), and ``on_outcome`` is invoked once per
+    *freshly computed* outcome, in completion order, so a journal can
+    be flushed as the suite progresses.
+
+    Raises
+    ------
+    ValueError
+        On ``jobs < 1``, ``retries < 0``, or duplicate experiment IDs.
     """
     from repro.experiments import all_experiments
 
@@ -137,29 +408,55 @@ def run_suite(
         if experiment_ids is not None
         else list(all_experiments())
     )
+    duplicates = sorted(eid for eid, n in Counter(ids).items() if n > 1)
+    if duplicates:
+        raise ValueError(f"duplicate experiment id(s): {duplicates}")
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     jobs = min(jobs, max(len(ids), 1))
+
+    done: dict[str, ExperimentOutcome] = {}
+    if completed:
+        for experiment_id in ids:
+            if experiment_id in completed:
+                done[experiment_id] = completed[experiment_id]
+
+    def record(outcome: ExperimentOutcome) -> None:
+        if outcome.experiment_id in done:
+            return
+        done[outcome.experiment_id] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    pending = [eid for eid in ids if eid not in done]
     started = time.perf_counter()
-    if jobs == 1:
-        outcomes = [_run_one(experiment_id, dataset) for experiment_id in ids]
-    else:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_init_worker,
-                initargs=(dataset,),
-            ) as pool:
-                futures = {eid: pool.submit(_run_one, eid) for eid in ids}
-                outcomes = [futures[eid].result() for eid in ids]
-        except BrokenProcessPool:
-            outcomes = [_run_one(experiment_id, dataset) for experiment_id in ids]
+    interrupted = False
+    try:
+        if jobs == 1:
+            for experiment_id in pending:
+                record(_run_one(experiment_id, dataset, timeout))
+        elif pending:
+            _run_supervised(
+                dataset,
+                pending,
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                record=record,
+                recorded=done.__contains__,
+            )
+    except KeyboardInterrupt:
+        interrupted = True
     return SuiteResult(
-        outcomes=tuple(outcomes),
+        outcomes=tuple(done[eid] for eid in ids if eid in done),
         jobs=jobs,
         total_seconds=time.perf_counter() - started,
+        interrupted=interrupted,
     )
 
 
@@ -278,8 +575,7 @@ def bench_record(
 
 
 def write_bench_json(path: str | Path, record: dict) -> Path:
-    """Write a bench record as pretty-printed JSON; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    return path
+    """Write a bench record as pretty-printed JSON, atomically."""
+    return atomic_write_text(
+        path, json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )

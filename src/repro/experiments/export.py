@@ -11,6 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.table import Table, write_csv
+from repro.util.atomic import atomic_write_text
 
 from .base import ExperimentResult
 
@@ -64,7 +65,7 @@ def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]
     directory.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     md_path = directory / f"{result.experiment_id}.md"
-    md_path.write_text(result_to_markdown(result))
+    atomic_write_text(md_path, result_to_markdown(result))
     written.append(md_path)
     for name, table in result.tables.items():
         csv_path = directory / f"{result.experiment_id}_{name}.csv"

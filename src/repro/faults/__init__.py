@@ -1,22 +1,51 @@
 """Deterministic fault injection for resilience drills.
 
-Corrupts a saved dataset directory the way production logging corrupts
-real traces, reproducibly::
+Two fault families, both reproducible:
 
-    from repro.faults import FaultPlan
-    records = FaultPlan(seed=7).inject("dataset_dir")
+- **On-disk** — corrupt a saved dataset directory the way production
+  logging corrupts real traces::
 
-The ``repro-chaos`` CLI wraps this for end-to-end drills against the
-lenient ingestion path.
+      from repro.faults import FaultPlan
+      records = FaultPlan(seed=7).inject("dataset_dir")
+
+- **Process-level** — kill, hang, or slow the process running a named
+  experiment, driving the engine's supervision paths (worker-death
+  re-dispatch, timeout, stall recovery)::
+
+      from repro.faults import process_faults
+      with process_faults("kill_worker:e03"):
+          suite = run_suite(dataset, jobs=4)
+
+The ``repro-chaos`` CLI wraps both for end-to-end drills against the
+lenient ingestion path and the crash-safe run orchestration.
 """
 
-from .injectors import ALL_FAULTS, FAULT_INJECTORS, FaultRecord
-from .plan import FaultPlan, inject_faults
+from .injectors import (
+    ALL_FAULTS,
+    FAULT_INJECTORS,
+    PROCESS_FAULTS,
+    FaultRecord,
+)
+from .plan import (
+    PROCESS_FAULT_ENV,
+    FaultPlan,
+    ProcessFaultPlan,
+    active_process_plan,
+    apply_process_faults,
+    inject_faults,
+    process_faults,
+)
 
 __all__ = [
     "ALL_FAULTS",
     "FAULT_INJECTORS",
+    "PROCESS_FAULTS",
     "FaultRecord",
     "FaultPlan",
+    "ProcessFaultPlan",
+    "PROCESS_FAULT_ENV",
+    "active_process_plan",
+    "apply_process_faults",
     "inject_faults",
+    "process_faults",
 ]

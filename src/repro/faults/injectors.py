@@ -18,13 +18,24 @@ from __future__ import annotations
 
 import csv
 import io
+import os
+import signal
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["FaultRecord", "FAULT_INJECTORS", "ALL_FAULTS"]
+__all__ = [
+    "FaultRecord",
+    "FAULT_INJECTORS",
+    "ALL_FAULTS",
+    "PROCESS_FAULTS",
+    "kill_worker_action",
+    "hang_action",
+    "slow_action",
+]
 
 _GARBAGE_ALPHABET = list("#@!%&*~?^|;$ ")
 _UNKNOWN_SEVERITY = "CATASTROPHIC"
@@ -240,6 +251,58 @@ def drop_tasks(
     n_rows = max(len(_read_lines(path)) - 1, 0)
     path.unlink()
     return FaultRecord("drop_tasks", "tasks.csv", n_rows, "file deleted")
+
+
+# ----------------------------------------------------------------------
+# process-level fault actions
+# ----------------------------------------------------------------------
+#
+# Unlike the on-disk injectors above, these act on the *running*
+# experiment process, modeling the failure modes a long campaign
+# actually dies of: a worker OOM-killed mid-experiment, an experiment
+# wedged in an uninterruptible call, and an experiment that is merely
+# far slower than budgeted.  They are armed per experiment through a
+# :class:`~repro.faults.plan.ProcessFaultPlan` (usually via the
+# ``REPRO_PROCESS_FAULTS`` environment variable, which crosses into
+# pool workers), and are fully deterministic: the same plan kills the
+# same experiment on the same attempt every run.
+
+
+def kill_worker_action() -> None:
+    """Die instantly (SIGKILL self), like an OOM-killed pool worker.
+
+    No Python cleanup runs — the supervising engine sees a broken pool
+    exactly as it would for a real worker death.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def hang_action(seconds: float) -> None:
+    """Wedge for ``seconds`` with ``SIGALRM`` blocked.
+
+    Blocking the alarm makes the hang immune to the engine's in-worker
+    timeout, so it exercises the supervisor-side stall detector (the
+    path a worker stuck in uninterruptible C code would take).
+    """
+    if hasattr(signal, "pthread_sigmask") and hasattr(signal, "SIGALRM"):
+        signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(min(1.0, max(deadline - time.monotonic(), 0.0)))
+
+
+def slow_action(seconds: float) -> None:
+    """Sleep ``seconds`` before the experiment runs (interruptible).
+
+    With a ``--timeout`` below ``seconds`` this deterministically
+    drives the in-worker timeout path; without one it just paces the
+    suite (useful for kill-mid-run drills).
+    """
+    time.sleep(seconds)
+
+
+PROCESS_FAULTS: tuple[str, ...] = ("kill_worker", "hang", "slow")
+"""Process-level fault kinds accepted by a ``ProcessFaultPlan`` spec."""
 
 
 FAULT_INJECTORS: dict[str, Callable[[Path, np.random.Generator, float], FaultRecord]] = {

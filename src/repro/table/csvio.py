@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ParseError
 from repro.ingest import ParseReport, with_retry
+from repro.util.atomic import atomic_open
 
 from .frame import Table
 
@@ -30,10 +31,12 @@ __all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
 
 
 def write_csv(table: Table, path: str | Path) -> None:
-    """Write a table to ``path`` as CSV with a header row."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
+    """Write a table to ``path`` as CSV with a header row.
+
+    The write is atomic (temp file + rename), so a crash mid-write
+    never leaves a truncated log behind.
+    """
+    with atomic_open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(table.column_names)
         columns = [table[name].tolist() for name in table.column_names]
@@ -396,10 +399,12 @@ def _read_stdlib(
 
 
 def write_jsonl(rows: Iterable[dict], path: str | Path) -> None:
-    """Write an iterable of dicts as one JSON object per line."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
+    """Write an iterable of dicts as one JSON object per line.
+
+    Atomic like :func:`write_csv`: readers see the old file or the new
+    one, never a partial line.
+    """
+    with atomic_open(path, "w") as handle:
         for row in rows:
             handle.write(json.dumps(row, sort_keys=True))
             handle.write("\n")

@@ -13,7 +13,6 @@ malicious cache file cannot execute code on load.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Mapping
 
@@ -21,6 +20,7 @@ import numpy as np
 
 from repro.errors import ParseError
 from repro.ingest import with_retry
+from repro.util.atomic import atomic_open
 
 from .frame import Table
 
@@ -58,12 +58,11 @@ def write_npz(
 ) -> None:
     """Write named tables (plus JSON-serializable ``meta``) to ``path``.
 
-    The write is atomic: the archive is assembled in a sibling temp file
-    and renamed into place, so readers never observe a half-written
-    cache entry.
+    The write is atomic (:func:`repro.util.atomic.atomic_open`): the
+    archive is assembled in a sibling temp file and renamed into place,
+    so readers never observe a half-written cache entry.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     manifest: dict = {
         "format": NPZ_FORMAT_VERSION,
         "meta": dict(meta or {}),
@@ -77,13 +76,8 @@ def write_npz(
         for index, name in enumerate(columns):
             arrays[f"{table_name}::{index}"] = _pack_column(table[name])
     arrays[_MANIFEST_KEY] = np.array(json.dumps(manifest, sort_keys=True))
-    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    try:
-        with tmp.open("wb") as handle:
-            np.savez_compressed(handle, **arrays)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+    with atomic_open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
 
 
 def read_npz(path: str | Path) -> tuple[dict[str, Table], dict]:

@@ -1,0 +1,10 @@
+"""Small shared utilities with no domain knowledge.
+
+Currently just :mod:`repro.util.atomic`, the single home of the
+sibling-temp-file + ``os.replace`` write pattern every result-file
+writer in the toolkit uses.
+"""
+
+from .atomic import atomic_open, atomic_write_bytes, atomic_write_text
+
+__all__ = ["atomic_open", "atomic_write_bytes", "atomic_write_text"]

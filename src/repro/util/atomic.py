@@ -1,0 +1,64 @@
+"""Atomic file writes: sibling temp file + ``os.replace``.
+
+A crash (or SIGKILL) halfway through a write must never leave a
+half-written result file where a reader — a resumed run, CI, a cache
+lookup — could mistake it for a complete one.  Every result-file
+writer in the toolkit therefore goes through this module: the content
+is assembled in a temp file *next to* the target (same filesystem, so
+the final rename is atomic), flushed and fsynced, then renamed over the
+destination.  Readers observe either the old file or the new one,
+never a torn mix.
+
+Append-only files (the run journal) deliberately do **not** use this —
+appending is their crash-safety mechanism — but everything written
+whole does.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["atomic_open", "atomic_write_text", "atomic_write_bytes"]
+
+
+@contextmanager
+def atomic_open(path: str | Path, mode: str = "w", **open_kwargs) -> Iterator:
+    """Open a sibling temp file for writing; rename onto ``path`` on success.
+
+    Parent directories are created.  On any exception inside the block
+    the temp file is removed and ``path`` is left untouched.  Only the
+    whole-file write modes ``"w"``, ``"wb"``, and ``"x"`` make sense
+    here; append modes defeat atomicity and are rejected.
+    """
+    if mode not in ("w", "wb", "x", "xb"):
+        raise ValueError(f"atomic_open mode must be a write mode, got {mode!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("wb" if "b" in mode else "w", **open_kwargs) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: str | Path, text: str, **open_kwargs) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path."""
+    path = Path(path)
+    with atomic_open(path, "w", **open_kwargs) as handle:
+        handle.write(text)
+    return path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    path = Path(path)
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)
+    return path

@@ -1,0 +1,13 @@
+"""Shared test fixtures.
+
+Every ``repro-report`` invocation journals a run directory; point the
+runs root at each test's tmp dir so tests never write into the
+repository's ``results/`` tree (and never see each other's runs).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

@@ -9,6 +9,7 @@ from repro.dataset import MiraDataset
 from repro.experiments import run_suite
 from repro.experiments.base import _REGISTRY, register
 from repro.experiments.engine import bench_record, timing_lines, write_bench_json
+from repro.faults import process_faults
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +74,116 @@ class TestOrderingAndIsolation:
     def test_jobs_validation(self, dataset):
         with pytest.raises(ValueError, match="jobs must be"):
             run_suite(dataset, ["e01"], jobs=0)
+
+    def test_duplicate_ids_rejected(self, dataset):
+        with pytest.raises(ValueError, match="duplicate experiment id"):
+            run_suite(dataset, ["e01", "e02", "e01"], jobs=1)
+
+    def test_retries_validation(self, dataset):
+        with pytest.raises(ValueError, match="retries must be"):
+            run_suite(dataset, ["e01"], jobs=1, retries=-1)
+
+    def test_outcome_lookup(self, dataset):
+        suite = run_suite(dataset, ["e01", "e02"], jobs=1)
+        assert suite.outcome("e02").experiment_id == "e02"
+        with pytest.raises(KeyError, match="no outcome"):
+            suite.outcome("e99")
+
+
+class TestSupervision:
+    """Timeout, worker-death re-dispatch, and replay — driven by the
+    deterministic process-fault injectors."""
+
+    def test_timeout_becomes_error_in_process(self, dataset):
+        with process_faults("slow:e01:30"):
+            suite = run_suite(dataset, ["e01"], jobs=1, timeout=0.5)
+        outcome = suite.outcome("e01")
+        assert outcome.status == "error"
+        assert outcome.message == "timeout: exceeded 0.5s"
+        assert not suite.interrupted
+
+    def test_timeout_becomes_error_in_pool(self, dataset):
+        with process_faults("slow:e01:30"):
+            suite = run_suite(
+                dataset, ["e01", "e02"], jobs=2, timeout=0.5, backoff=0.01
+            )
+        assert suite.outcome("e01").status == "error"
+        assert "timeout" in suite.outcome("e01").message
+        assert suite.outcome("e02").status == "ok"
+
+    def test_worker_kill_redispatches_only_lost_work(self, dataset):
+        journaled = []
+        with process_faults("kill_worker:e03"):
+            suite = run_suite(
+                dataset,
+                ["e01", "e03"],
+                jobs=2,
+                retries=2,
+                backoff=0.01,
+                on_outcome=journaled.append,
+            )
+        outcome = suite.outcome("e03")
+        assert outcome.status == "ok"
+        assert outcome.attempt == 2  # first dispatch died, retry survived
+        assert suite.outcome("e01").status == "ok"
+        # each experiment produced exactly one outcome — no full rerun
+        ids = [o.experiment_id for o in journaled]
+        assert sorted(ids) == ["e01", "e03"]
+
+    def test_retry_budget_exhaustion_is_an_error_outcome(self, dataset):
+        with process_faults("kill_worker:e03:9"):
+            suite = run_suite(
+                dataset, ["e01", "e03"], jobs=2, retries=1, backoff=0.01
+            )
+        outcome = suite.outcome("e03")
+        assert outcome.status == "error"
+        assert "worker lost" in outcome.message
+        assert outcome.attempt == 2  # 1 + retries dispatches, all died
+        assert suite.outcome("e01").status == "ok"
+
+    def test_hang_trips_stall_detector_then_exhausts(self, dataset):
+        # A hang blocks SIGALRM, so only the supervisor-side stall
+        # detector can reclaim the worker.
+        with process_faults("hang:e01:120"):
+            suite = run_suite(
+                dataset,
+                ["e01", "e02"],
+                jobs=2,
+                timeout=0.3,
+                retries=1,
+                backoff=0.01,
+            )
+        outcome = suite.outcome("e01")
+        assert outcome.status == "error"
+        assert "worker lost" in outcome.message
+        assert suite.outcome("e02").status == "ok"
+
+    def test_completed_outcomes_replay_without_rerun(self, dataset):
+        first = run_suite(dataset, ["e01", "e02"], jobs=1)
+        fresh = []
+        replayed = run_suite(
+            dataset,
+            ["e01", "e02"],
+            jobs=1,
+            completed={o.experiment_id: o for o in first.outcomes},
+            on_outcome=fresh.append,
+        )
+        assert fresh == []  # nothing recomputed
+        assert [o.experiment_id for o in replayed.outcomes] == ["e01", "e02"]
+        assert replayed.outcome("e01") is first.outcome("e01")
+
+    def test_partial_replay_runs_only_missing(self, dataset):
+        first = run_suite(dataset, ["e01"], jobs=1)
+        fresh = []
+        suite = run_suite(
+            dataset,
+            ["e01", "e02"],
+            jobs=1,
+            completed={o.experiment_id: o for o in first.outcomes},
+            on_outcome=fresh.append,
+        )
+        assert [o.experiment_id for o in fresh] == ["e02"]
+        assert [o.experiment_id for o in suite.outcomes] == ["e01", "e02"]
 
 
 class TestParallelParity:

@@ -1,0 +1,165 @@
+"""Run journal: exact outcome round-trips, replay, torn-tail tolerance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import JournalError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.engine import ExperimentOutcome
+from repro.experiments.journal import (
+    RunJournal,
+    new_run_id,
+    outcome_from_record,
+    outcome_to_record,
+)
+from repro.table import Table
+
+
+def _rich_outcome() -> ExperimentOutcome:
+    """An outcome exercising every dtype kind and awkward float values."""
+    table = Table(
+        {
+            "name": np.array(["abort", "segfault"], dtype=object),
+            "count": np.array([29, 26], dtype=np.int64),
+            "code": np.array([134, 139], dtype=np.uint64),
+            "share": np.array([0.1234567890123, np.nan], dtype=np.float64),
+            "fatal": np.array([True, False], dtype=np.bool_),
+        }
+    )
+    result = ExperimentResult(
+        experiment_id="e02",
+        title="Exit-status breakdown",
+        tables={"per_family": table},
+        metrics={
+            "n_jobs": np.int64(491),
+            "failure_rate": 0.23625254841998087,
+            "utilization": np.float64(0.532984),
+            "degraded_flag": np.bool_(False),
+        },
+        notes="round-trip me",
+    )
+    return ExperimentOutcome(
+        experiment_id="e02",
+        status="ok",
+        result=result,
+        message="",
+        seconds=0.125,
+        max_rss_kb=43210,
+        attempt=2,
+    )
+
+
+class TestOutcomeRoundTrip:
+    def test_json_round_trip_is_value_identical(self):
+        outcome = _rich_outcome()
+        # through an actual JSON encode/decode, like the journal file
+        record = json.loads(json.dumps(outcome_to_record(outcome)))
+        back = outcome_from_record(record)
+        assert back.experiment_id == outcome.experiment_id
+        assert back.status == outcome.status
+        assert back.seconds == outcome.seconds
+        assert back.attempt == 2
+        table, original = back.result.tables["per_family"], outcome.result.tables[
+            "per_family"
+        ]
+        assert table.column_names == original.column_names
+        for name in original.column_names:
+            assert table[name].dtype.kind == original[name].dtype.kind
+            np.testing.assert_array_equal(table[name], original[name])
+
+    def test_rendered_text_is_byte_identical(self):
+        outcome = _rich_outcome()
+        record = json.loads(json.dumps(outcome_to_record(outcome)))
+        back = outcome_from_record(record)
+        assert back.result.to_text() == outcome.result.to_text()
+
+    def test_metric_order_survives(self):
+        outcome = _rich_outcome()
+        record = json.loads(json.dumps(outcome_to_record(outcome)))
+        back = outcome_from_record(record)
+        assert list(back.result.metrics) == list(outcome.result.metrics)
+
+    def test_error_outcome_without_result(self):
+        outcome = ExperimentOutcome(
+            experiment_id="e07",
+            status="error",
+            result=None,
+            message="RuntimeError('kaboom')",
+            seconds=0.01,
+            max_rss_kb=100,
+        )
+        back = outcome_from_record(json.loads(json.dumps(outcome_to_record(outcome))))
+        assert back == outcome
+
+
+class TestJournalLifecycle:
+    def test_start_resume_round_trip(self, tmp_path):
+        journal = RunJournal.start(
+            tmp_path, fingerprint="f" * 64, config={"days": 4.0, "seed": 9}
+        )
+        outcome = _rich_outcome()
+        journal.append_outcome(outcome)
+        journal.append_end("complete", 1.5)
+
+        resumed, state = RunJournal.resume(tmp_path, journal.run_id)
+        assert resumed.path == journal.path
+        assert state.fingerprint == "f" * 64
+        assert state.config == {"days": 4.0, "seed": 9}
+        assert state.complete
+        assert set(state.outcomes) == {"e02"}
+        replayed = state.outcomes["e02"]
+        assert replayed.result.to_text() == outcome.result.to_text()
+
+    def test_interrupted_run_is_not_complete(self, tmp_path):
+        journal = RunJournal.start(tmp_path, fingerprint="a", config={})
+        journal.append_end("interrupted", 0.5)
+        _, state = RunJournal.resume(tmp_path, journal.run_id)
+        assert not state.complete
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        journal = RunJournal.start(tmp_path, fingerprint="a", config={})
+        journal.append_outcome(_rich_outcome())
+        with journal.path.open("a") as handle:
+            handle.write('{"kind": "outcome", "experiment_id": "e0')  # SIGKILL here
+        _, state = RunJournal.resume(tmp_path, journal.run_id)
+        assert set(state.outcomes) == {"e02"}
+
+    def test_duplicate_outcome_first_wins(self, tmp_path):
+        journal = RunJournal.start(tmp_path, fingerprint="a", config={})
+        first = _rich_outcome()
+        journal.append_outcome(first)
+        journal.append_outcome(
+            ExperimentOutcome("e02", "error", None, "late dup", 0.0, 0)
+        )
+        _, state = RunJournal.resume(tmp_path, journal.run_id)
+        assert state.outcomes["e02"].status == "ok"
+
+    def test_existing_run_id_refused(self, tmp_path):
+        RunJournal.start(tmp_path, fingerprint="a", config={}, run_id="r1")
+        with pytest.raises(JournalError, match="already exists"):
+            RunJournal.start(tmp_path, fingerprint="a", config={}, run_id="r1")
+
+    def test_missing_run_refused(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            RunJournal.resume(tmp_path, "nope")
+
+    def test_wrong_schema_refused(self, tmp_path):
+        run_dir = tmp_path / "old"
+        run_dir.mkdir()
+        (run_dir / "journal.jsonl").write_text(
+            json.dumps({"kind": "run", "schema": 99, "run_id": "old"}) + "\n"
+        )
+        with pytest.raises(JournalError, match="schema"):
+            RunJournal.resume(tmp_path, "old")
+
+    def test_headerless_file_refused(self, tmp_path):
+        run_dir = tmp_path / "junk"
+        run_dir.mkdir()
+        (run_dir / "journal.jsonl").write_text("not json\n")
+        with pytest.raises(JournalError, match="not a run journal"):
+            RunJournal.resume(tmp_path, "junk")
+
+    def test_new_run_ids_are_unique(self):
+        assert new_run_id() != new_run_id()

@@ -58,6 +58,120 @@ class TestCliReport:
         assert "E01" in out and "E02" in out
 
 
+class TestCliReportJournal:
+    def test_run_directory_written(self, tmp_path, capsys):
+        rc = main_report(
+            ["--days", "4", "--seed", "8", "--experiments", "e01",
+             "--run-dir", str(tmp_path / "runs"), "--run-id", "r1"]
+        )
+        assert rc == 0
+        run_dir = tmp_path / "runs" / "r1"
+        assert (run_dir / "journal.jsonl").exists()
+        report = (run_dir / "report.txt").read_text()
+        assert report == capsys.readouterr().out
+
+    def test_no_journal_writes_nothing(self, tmp_path, capsys):
+        rc = main_report(
+            ["--days", "4", "--seed", "8", "--experiments", "e01",
+             "--run-dir", str(tmp_path / "runs"), "--no-journal"]
+        )
+        assert rc == 0
+        assert not (tmp_path / "runs").exists()
+
+    def test_resume_conflicts_with_no_journal(self):
+        with pytest.raises(SystemExit):
+            main_report(["--resume", "r1", "--no-journal"])
+
+    def test_resume_unknown_run_exits_1(self, capsys):
+        assert main_report(["--resume", "no-such-run"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_resume_refuses_fingerprint_mismatch(self, tmp_path, capsys):
+        import json
+
+        runs = tmp_path / "runs"
+        rc = main_report(
+            ["--days", "4", "--seed", "8", "--experiments", "e01",
+             "--run-dir", str(runs), "--run-id", "r1"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        # tamper with the journaled dataset identity
+        journal = runs / "r1" / "journal.jsonl"
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["fingerprint"] = "0" * 64
+        journal.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        assert main_report(["--run-dir", str(runs), "--resume", "r1"]) == 1
+        out = capsys.readouterr().out
+        assert "fingerprint mismatch" in out
+
+    def test_duplicate_run_id_exits_1(self, tmp_path, capsys):
+        argv = ["--days", "4", "--seed", "8", "--experiments", "e01",
+                "--run-dir", str(tmp_path / "runs"), "--run-id", "r1"]
+        assert main_report(argv) == 0
+        capsys.readouterr()
+        assert main_report(argv) == 1
+        assert "already exists" in capsys.readouterr().out
+
+
+class TestCliReportExitCodes:
+    @pytest.fixture()
+    def crashing_experiment(self):
+        from repro.experiments.base import _REGISTRY, register
+
+        @register("zz_crash", "always crashes")
+        def _run(dataset):
+            raise RuntimeError("kaboom")
+
+        yield "zz_crash"
+        _REGISTRY.pop("zz_crash")
+
+    def test_errored_experiment_exits_1(self, crashing_experiment, capsys):
+        rc = main_report(
+            ["--days", "4", "--seed", "8", "--jobs", "1",
+             "--experiments", "e01", crashing_experiment]
+        )
+        assert rc == 1
+        # the report still renders; the nonzero exit is the contract
+        assert "E01" in capsys.readouterr().out
+
+    def test_allow_errors_downgrades_to_0(self, crashing_experiment, capsys):
+        rc = main_report(
+            ["--days", "4", "--seed", "8", "--jobs", "1",
+             "--experiments", "e01", crashing_experiment, "--allow-errors"]
+        )
+        assert rc == 0
+
+    def test_exit_code_contract_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main_report(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out and "130" in out
+
+
+class TestCliChaosProcessFaults:
+    def test_spec_printed_for_arming(self, capsys):
+        from repro.cli import main_chaos
+
+        assert main_chaos(["--process-faults", "kill_worker:e03"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "REPRO_PROCESS_FAULTS=kill_worker:e03:1"
+
+    def test_bad_spec_rejected(self, capsys):
+        from repro.cli import main_chaos
+
+        assert main_chaos(["--process-faults", "explode:e01"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_list_includes_process_kinds(self, capsys):
+        from repro.cli import main_chaos
+
+        assert main_chaos(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "kill_worker (process-level)" in out
+
+
 class TestCliValidate:
     def test_valid_dataset(self, tmp_path, capsys):
         from repro.cli import main_validate

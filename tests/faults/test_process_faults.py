@@ -1,0 +1,106 @@
+"""Process-level fault plans: spec grammar, env transport, determinism."""
+
+import os
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    PROCESS_FAULT_ENV,
+    ProcessFaultPlan,
+    active_process_plan,
+    process_faults,
+)
+
+
+class TestSpecGrammar:
+    def test_parse_all_kinds(self):
+        plan = ProcessFaultPlan.parse("kill_worker:e03:2;hang:e05:60;slow:e07:0.5")
+        assert plan.kills == {"e03": 2}
+        assert plan.hangs == {"e05": 60.0}
+        assert plan.slows == {"e07": 0.5}
+
+    def test_spec_round_trips(self):
+        spec = "kill_worker:e03:2;hang:e05:60;slow:e07:0.5"
+        plan = ProcessFaultPlan.parse(spec)
+        assert ProcessFaultPlan.parse(plan.spec()) == plan
+
+    def test_defaults(self):
+        plan = ProcessFaultPlan.parse("kill_worker:e03;hang:e05;slow:e01")
+        assert plan.kills["e03"] == 1
+        assert plan.hangs["e05"] == 3600.0
+        assert plan.slows["e01"] == 1.0
+
+    def test_blank_clauses_skipped(self):
+        plan = ProcessFaultPlan.parse("slow:e01:0.1; ;")
+        assert plan.slows == {"e01": 0.1}
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode:e01",  # unknown kind
+            "kill_worker",  # no experiment
+            "slow::1.0",  # empty experiment
+            "slow:e01:fast",  # non-numeric amount
+            "kill_worker:e01:1:extra",  # too many fields
+            "",  # nothing armed
+            ";;",
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultError):
+            ProcessFaultPlan.parse(spec)
+
+
+class TestEnvTransport:
+    def test_context_manager_arms_and_restores(self, monkeypatch):
+        monkeypatch.delenv(PROCESS_FAULT_ENV, raising=False)
+        assert active_process_plan() is None
+        with process_faults("slow:e01:0.1") as plan:
+            assert os.environ[PROCESS_FAULT_ENV] == plan.spec()
+            assert active_process_plan() == plan
+        assert PROCESS_FAULT_ENV not in os.environ
+        assert active_process_plan() is None
+
+    def test_previous_value_restored(self, monkeypatch):
+        monkeypatch.setenv(PROCESS_FAULT_ENV, "slow:e09:9")
+        with process_faults("slow:e01:0.1"):
+            assert "e01" in os.environ[PROCESS_FAULT_ENV]
+        assert os.environ[PROCESS_FAULT_ENV] == "slow:e09:9"
+
+    def test_bad_env_spec_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(PROCESS_FAULT_ENV, "explode:e01")
+        with pytest.raises(FaultError):
+            active_process_plan()
+
+    def test_bad_spec_rejected_before_arming(self, monkeypatch):
+        monkeypatch.delenv(PROCESS_FAULT_ENV, raising=False)
+        with pytest.raises(FaultError):
+            with process_faults("explode:e01"):
+                pass
+        assert PROCESS_FAULT_ENV not in os.environ
+
+
+class TestApply:
+    def test_unmatched_experiment_is_untouched(self):
+        plan = ProcessFaultPlan.parse("slow:e01:30;hang:e02:30")
+        plan.apply("e99", attempt=1)  # must return immediately
+
+    def test_kill_respects_attempt_budget(self, monkeypatch):
+        fired = []
+        monkeypatch.setattr(
+            "repro.faults.plan.kill_worker_action", lambda: fired.append(True)
+        )
+        plan = ProcessFaultPlan.parse("kill_worker:e03:2")
+        plan.apply("e03", attempt=1)
+        plan.apply("e03", attempt=2)
+        plan.apply("e03", attempt=3)  # survives past the budget
+        assert len(fired) == 2
+
+    def test_slow_sleeps_roughly_requested(self):
+        import time
+
+        plan = ProcessFaultPlan.parse("slow:e01:0.05")
+        started = time.perf_counter()
+        plan.apply("e01")
+        assert time.perf_counter() - started >= 0.05

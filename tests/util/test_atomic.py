@@ -1,0 +1,63 @@
+"""Atomic write helper: all-or-nothing file replacement."""
+
+import pytest
+
+from repro.util.atomic import atomic_open, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_write_text_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.txt"
+        assert atomic_write_text(target, "hello\n") == target
+        assert target.read_text() == "hello\n"
+
+    def test_write_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestFailureLeavesTargetUntouched:
+    def test_exception_mid_write_preserves_old_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("intact")
+        with pytest.raises(RuntimeError):
+            with atomic_open(target) as handle:
+                handle.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "intact"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_exception_with_no_preexisting_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("crash")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestModeValidation:
+    @pytest.mark.parametrize("mode", ["a", "ab", "r", "r+", "w+"])
+    def test_non_whole_file_modes_rejected(self, tmp_path, mode):
+        with pytest.raises(ValueError, match="write mode"):
+            with atomic_open(tmp_path / "out.txt", mode):
+                pass
+
+    def test_binary_mode_yields_binary_handle(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_open(target, "wb") as handle:
+            handle.write(b"bytes")
+        assert target.read_bytes() == b"bytes"
