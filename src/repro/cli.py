@@ -24,8 +24,11 @@ experiment a wall-time budget (``--timeout``) and a worker-death retry
 budget (``--retries``/``--backoff``), SIGINT/SIGTERM shut down
 gracefully with a resumable run ID, and ``--resume <run-id>`` replays
 the journal and runs only what is missing (see ``docs/robustness.md``).
-It can also record per-experiment timings (``--timings``) and a
-machine-readable perf trajectory (``--bench-json``).
+It can also record per-experiment timings (``--timings``), a
+machine-readable perf trajectory (``--bench-json``), and a structured
+span trace (``--trace``, written to ``trace.jsonl`` in the run
+directory and inspected with the ``repro-trace`` entry point from
+:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -278,6 +281,12 @@ def main_report(argv: list[str] | None = None) -> int:
         help="append a per-experiment wall-time / peak-RSS section",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record structured spans/counters to trace.jsonl in the run "
+        "directory (implies --timings; inspect with repro-trace)",
+    )
+    parser.add_argument(
         "--bench-json",
         metavar="PATH",
         help="write the suite's timing record as machine-readable JSON",
@@ -295,7 +304,22 @@ def main_report(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.no_journal:
         parser.error("--resume and --no-journal are mutually exclusive")
+    if args.trace and args.no_journal:
+        parser.error("--trace needs a run directory; drop --no-journal")
     runs_root = Path(args.run_dir) if args.run_dir else default_runs_dir()
+
+    recorder = None
+    if args.trace:
+        try:
+            from repro.obs import trace as obs_trace
+        except ImportError:
+            print(
+                "warning: repro.obs unavailable; running without --trace",
+                file=sys.stderr,
+            )
+            args.trace = False
+        else:
+            recorder = obs_trace.install(obs_trace.TraceRecorder())
 
     journal = None
     completed = None
@@ -354,6 +378,8 @@ def main_report(argv: list[str] | None = None) -> int:
                 )
     except (ReproError, OSError) as error:
         print(f"INVALID: {error}")
+        if recorder is not None:
+            obs_trace.uninstall()
         return 1
 
     # SIGTERM gets the same graceful path as Ctrl-C: cancel what has
@@ -373,6 +399,7 @@ def main_report(argv: list[str] | None = None) -> int:
             backoff=backoff,
             completed=completed,
             on_outcome=journal.append_outcome if journal else None,
+            trace=args.trace,
         )
     finally:
         if previous_sigterm is not None:
@@ -381,6 +408,12 @@ def main_report(argv: list[str] | None = None) -> int:
     if suite.interrupted:
         if journal:
             journal.append_end("interrupted", suite.total_seconds)
+            if recorder is not None:
+                # A partial trace still shows where the time went.
+                obs_trace.uninstall()
+                recorder.write(
+                    journal.directory / "trace.jsonl", run_id=journal.run_id
+                )
             print(
                 f"interrupted: {len(suite.outcomes)} experiment(s) journaled; "
                 f"finish with: repro-report --resume {journal.run_id}",
@@ -394,11 +427,18 @@ def main_report(argv: list[str] | None = None) -> int:
             )
         return 130
 
-    text = render_report(dataset, suite=suite, timings=args.timings)
+    text = render_report(
+        dataset, suite=suite, timings=args.timings or args.trace
+    )
     print(text)
     if journal:
         journal.append_end("complete", suite.total_seconds)
         atomic_write_text(journal.report_path, text + "\n")
+        if recorder is not None:
+            obs_trace.uninstall()
+            recorder.write(
+                journal.directory / "trace.jsonl", run_id=journal.run_id
+            )
         print(
             f"run {journal.run_id}: journal + report in {journal.directory}",
             file=sys.stderr,

@@ -24,6 +24,26 @@ from repro.stats import pearson, spearman
 from repro.table import Table
 from repro.table.column import factorize
 
+try:  # tracing is optional: without repro.obs the kernel runs untraced
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+
 __all__ = [
     "event_midplanes",
     "event_midplane_spans",
@@ -244,24 +264,27 @@ def map_events_to_jobs(
     and the first midplane-order hit per event wins — identical
     semantics to the old per-event bisection loop.
     """
-    first, count = event_midplane_spans(ras["location"], spec)
-    out = np.full(ras.n_rows, NO_JOB, dtype=np.int64)
-    if ras.n_rows == 0 or jobs.n_rows == 0:
+    with trace_span(
+        "kernel.attribution", n_events=ras.n_rows, n_jobs=jobs.n_rows
+    ):
+        first, count = event_midplane_spans(ras["location"], spec)
+        out = np.full(ras.n_rows, NO_JOB, dtype=np.int64)
+        if ras.n_rows == 0 or jobs.n_rows == 0:
+            return out
+        event_index = np.repeat(np.arange(ras.n_rows, dtype=np.int64), count)
+        query_midplanes = np.repeat(first, count) + _within_offsets(count)
+        query_times = np.repeat(
+            np.asarray(ras["timestamp"], dtype=np.float64), count
+        )
+        index = _JobIntervalIndex(jobs, spec)
+        pair_jobs = index.lookup_many(query_midplanes, query_times)
+        hits = np.flatnonzero(pair_jobs != NO_JOB)
+        if hits.size:
+            # event_index is non-decreasing, so return_index picks each
+            # event's first hit in midplane order — the loop's `break`.
+            hit_events, first_hit = np.unique(event_index[hits], return_index=True)
+            out[hit_events] = pair_jobs[hits[first_hit]]
         return out
-    event_index = np.repeat(np.arange(ras.n_rows, dtype=np.int64), count)
-    query_midplanes = np.repeat(first, count) + _within_offsets(count)
-    query_times = np.repeat(
-        np.asarray(ras["timestamp"], dtype=np.float64), count
-    )
-    index = _JobIntervalIndex(jobs, spec)
-    pair_jobs = index.lookup_many(query_midplanes, query_times)
-    hits = np.flatnonzero(pair_jobs != NO_JOB)
-    if hits.size:
-        # event_index is non-decreasing, so return_index picks each
-        # event's first hit in midplane order — the loop's `break`.
-        hit_events, first_hit = np.unique(event_index[hits], return_index=True)
-        out[hit_events] = pair_jobs[hits[first_hit]]
-    return out
 
 
 def attribute_failures(

@@ -34,6 +34,30 @@ from repro.bgq.machine import MIRA, MachineSpec
 from repro.errors import ParseError
 from repro.table import Table, read_npz, write_npz
 
+try:  # tracing is optional: without repro.obs the cache runs untraced
+    from repro.obs.trace import add as trace_add
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+    def trace_add(name, value=1):
+        return None
+
+
 __all__ = [
     "SCHEMA_VERSION",
     "default_cache_dir",
@@ -148,15 +172,23 @@ def load_cached_bundle(path: Path) -> tuple[dict[str, Table], dict] | None:
     forever.
     """
     if not path.exists():
+        trace_add("cache.miss")
         return None
-    try:
-        return read_npz(path)
-    except ParseError:
+    size = path.stat().st_size
+    with trace_span("cache.read", file=path.name, bytes=size):
         try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+            bundle = read_npz(path)
+        except ParseError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            trace_add("cache.corrupt")
+            trace_add("cache.miss")
+            return None
+    trace_add("cache.hit")
+    trace_add("cache.read_bytes", size)
+    return bundle
 
 
 def store_bundle(
@@ -175,10 +207,15 @@ def store_bundle(
     entries are not pruned — different ``(spec, days, seed)`` keys are
     all simultaneously valid.
     """
-    try:
-        write_npz(path, tables, meta=meta)
-    except OSError:
-        return False
+    with trace_span("cache.write", file=path.name) as sp:
+        try:
+            write_npz(path, tables, meta=meta)
+            written = path.stat().st_size
+        except OSError:
+            return False
+        sp.note(bytes=written)
+    trace_add("cache.store")
+    trace_add("cache.write_bytes", written)
     if prune_siblings:
         try:
             for sibling in path.parent.glob("*.npz"):

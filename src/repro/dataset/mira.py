@@ -53,6 +53,30 @@ from repro.tasks import (
 
 from . import cache as _cache
 
+try:  # tracing is optional: without repro.obs the dataset runs untraced
+    from repro.obs.trace import add as trace_add
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+    def trace_add(name, value=1):
+        return None
+
+
 __all__ = ["MiraDataset"]
 
 _LOG_FILES = {
@@ -150,54 +174,67 @@ class MiraDataset:
         ``(spec, n_days, seed)`` and the toolkit version.  ``cache=False``
         bypasses it; ``refresh_cache=True`` regenerates and overwrites.
         """
-        cacheable = cache and all(
-            p is None
-            for p in (
-                workload_params,
-                ras_params,
-                scheduler_params,
-                task_params,
-                darshan_params,
+        with trace_span("dataset.synthesize", n_days=n_days, seed=seed):
+            cacheable = cache and all(
+                p is None
+                for p in (
+                    workload_params,
+                    ras_params,
+                    scheduler_params,
+                    task_params,
+                    darshan_params,
+                )
             )
-        )
-        cache_path = None
-        if cacheable:
-            fingerprint = _cache.fingerprint_synthesis(spec, n_days, seed)
-            cache_path = _cache.synthesis_cache_path(fingerprint)
-            if not refresh_cache:
-                bundle = _cache.load_cached_bundle(cache_path)
-                if bundle is not None:
-                    return cls._from_bundle(*bundle)
-        ras_table, incidents = RasGenerator(
-            spec=spec, params=ras_params, seed=seed
-        ).generate(n_days)
-        intents = WorkloadModel(
-            spec=spec, params=workload_params, seed=seed + 1
-        ).generate(n_days)
-        result = CobaltScheduler(spec=spec, params=scheduler_params).run(
-            intents, incidents, horizon_days=n_days
-        )
-        jobs_table = jobs_to_table(result.jobs)
-        task_records = TaskLogGenerator(params=task_params, seed=seed + 2).generate(
-            result.jobs
-        )
-        io_records = DarshanGenerator(params=darshan_params, seed=seed + 3).generate(
-            result.jobs
-        )
-        ras_table = cls._annotate_blocks(ras_table, jobs_table, spec)
-        dataset = cls(
-            spec=spec,
-            n_days=n_days,
-            seed=seed,
-            ras=ras_table,
-            jobs=jobs_table,
-            tasks=tasks_to_table(task_records),
-            io=io_to_table(io_records),
-            incidents=incidents,
-        )
-        if cache_path is not None:
-            _cache.store_bundle(cache_path, dataset._tables(), dataset._bundle_meta())
-        return dataset
+            cache_path = None
+            if cacheable:
+                fingerprint = _cache.fingerprint_synthesis(spec, n_days, seed)
+                cache_path = _cache.synthesis_cache_path(fingerprint)
+                if refresh_cache:
+                    trace_add("cache.refresh")
+                else:
+                    bundle = _cache.load_cached_bundle(cache_path)
+                    if bundle is not None:
+                        return cls._from_bundle(*bundle)
+            with trace_span("synth.ras"):
+                ras_table, incidents = RasGenerator(
+                    spec=spec, params=ras_params, seed=seed
+                ).generate(n_days)
+            with trace_span("synth.workload"):
+                intents = WorkloadModel(
+                    spec=spec, params=workload_params, seed=seed + 1
+                ).generate(n_days)
+            with trace_span("synth.scheduler"):
+                result = CobaltScheduler(spec=spec, params=scheduler_params).run(
+                    intents, incidents, horizon_days=n_days
+                )
+                jobs_table = jobs_to_table(result.jobs)
+            with trace_span("synth.tasks"):
+                task_records = TaskLogGenerator(
+                    params=task_params, seed=seed + 2
+                ).generate(result.jobs)
+                tasks_table = tasks_to_table(task_records)
+            with trace_span("synth.io"):
+                io_records = DarshanGenerator(
+                    params=darshan_params, seed=seed + 3
+                ).generate(result.jobs)
+                io_table = io_to_table(io_records)
+            with trace_span("synth.annotate"):
+                ras_table = cls._annotate_blocks(ras_table, jobs_table, spec)
+            dataset = cls(
+                spec=spec,
+                n_days=n_days,
+                seed=seed,
+                ras=ras_table,
+                jobs=jobs_table,
+                tasks=tasks_table,
+                io=io_table,
+                incidents=incidents,
+            )
+            if cache_path is not None:
+                _cache.store_bundle(
+                    cache_path, dataset._tables(), dataset._bundle_meta()
+                )
+            return dataset
 
     @staticmethod
     def _annotate_blocks(ras: Table, jobs: Table, spec: MachineSpec) -> Table:
@@ -330,26 +367,29 @@ class MiraDataset:
             parsing quarantines more than ``max_bad_rows`` rows.
         """
         directory = Path(directory)
-        cache_path = None
-        if cache and directory.is_dir():
-            fingerprint = _cache.fingerprint_directory(directory)
-            cache_path = _cache.dataset_cache_path(directory, fingerprint)
-            if not refresh_cache:
-                bundle = _cache.load_cached_bundle(cache_path)
-                if bundle is not None:
-                    return cls._from_bundle(*bundle, lenient=lenient)
-        if lenient:
-            dataset = cls._load_lenient(directory, max_bad_rows)
-        else:
-            dataset = cls._load_strict(directory)
-        if cache_path is not None and not dataset.ingestion:
-            _cache.store_bundle(
-                cache_path,
-                dataset._tables(),
-                dataset._bundle_meta(),
-                prune_siblings=True,
-            )
-        return dataset
+        with trace_span("dataset.load", directory=directory.name, lenient=lenient):
+            cache_path = None
+            if cache and directory.is_dir():
+                fingerprint = _cache.fingerprint_directory(directory)
+                cache_path = _cache.dataset_cache_path(directory, fingerprint)
+                if refresh_cache:
+                    trace_add("cache.refresh")
+                else:
+                    bundle = _cache.load_cached_bundle(cache_path)
+                    if bundle is not None:
+                        return cls._from_bundle(*bundle, lenient=lenient)
+            if lenient:
+                dataset = cls._load_lenient(directory, max_bad_rows)
+            else:
+                dataset = cls._load_strict(directory)
+            if cache_path is not None and not dataset.ingestion:
+                _cache.store_bundle(
+                    cache_path,
+                    dataset._tables(),
+                    dataset._bundle_meta(),
+                    prune_siblings=True,
+                )
+            return dataset
 
     @classmethod
     def _load_strict(cls, directory: Path) -> "MiraDataset":

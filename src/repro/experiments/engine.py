@@ -49,6 +49,7 @@ import json
 import os
 import resource
 import signal
+import sys
 import threading
 import time
 from collections import Counter
@@ -64,6 +65,32 @@ from repro.errors import FaultError, ReproError
 from repro.util.atomic import atomic_write_text
 
 from .base import ExperimentResult
+
+try:  # tracing is optional: without repro.obs the suite runs untraced
+    from repro.obs import trace as _obs
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+    _obs = None
+
+
+class _SpanOff:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def note(self, **attrs):
+        return None
+
+
+_SPAN_OFF = _SpanOff()
+
+
+def _trace_span(name, **attrs):
+    if _obs is None:
+        return _SPAN_OFF
+    return _obs.span(name, **attrs)
+
 
 __all__ = [
     "ExperimentOutcome",
@@ -84,11 +111,18 @@ class ExperimentOutcome:
     e.g. a small trace starving an analysis; ``message`` is ``str(error)``)
     or ``"error"`` (an isolated crash, a timeout, or a worker lost
     beyond its retry budget; ``message`` says which).
-    ``max_rss_kb`` is the running process's peak resident set in KiB as
-    reported by ``getrusage`` — per-worker under a process pool, shared
-    and monotonic when the suite runs in-process.  ``attempt`` is the
-    dispatch number that produced this outcome (``2`` means the first
-    worker died and the retry succeeded).
+    ``max_rss_kb`` is a peak resident set from ``getrusage``,
+    normalized to KiB on every platform (Linux reports KiB natively,
+    macOS reports bytes).  ``rss_scope`` says what that peak covers:
+    ``"worker"`` — the pool worker process that ran this experiment —
+    or ``"process"`` — the whole supervisor, when the experiment ran
+    in-process (``jobs=1`` or the unpicklable-dataset fallback), where
+    the number is a shared monotonic high-water mark, *not* this
+    experiment's own footprint.  ``attempt`` is the dispatch number
+    that produced this outcome (``2`` means the first worker died and
+    the retry succeeded).  ``spans`` carries trace spans recorded in
+    the worker when the suite ran with tracing on; the supervisor
+    merges them into the active recorder and they are never journaled.
     """
 
     experiment_id: str
@@ -98,6 +132,8 @@ class ExperimentOutcome:
     seconds: float
     max_rss_kb: int
     attempt: int = 1
+    rss_scope: str = "worker"
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -167,26 +203,61 @@ def _alarm_after(seconds: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
+def _peak_rss_kb() -> int:
+    """Peak resident set of this process in KiB, on every platform.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but in *bytes*
+    on macOS — normalizing at the one call site keeps every journal,
+    bench record, and report comparable across platforms.
+    """
+    raw = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        return raw // 1024
+    return raw
+
+
 def _run_one(
     experiment_id: str,
     dataset=None,
     timeout: float | None = None,
     attempt: int = 1,
+    trace: bool = False,
 ) -> ExperimentOutcome:
-    """Run one experiment with isolation, timing, and RSS accounting."""
+    """Run one experiment with isolation, timing, and RSS accounting.
+
+    ``dataset=None`` means "running inside a pool worker" (the dataset
+    arrives via the initializer); that distinction also fixes the RSS
+    scope — a worker's ``ru_maxrss`` is (approximately) this
+    experiment's own peak, while in-process it is the whole
+    supervisor's shared high-water mark and is labelled as such.  With
+    ``trace=True`` in a worker, a process-local recorder captures the
+    experiment's spans and ships them back on the outcome; in-process,
+    spans flow straight into the supervisor's active recorder.
+    """
     from repro.experiments import run_experiment
     from repro.faults.plan import apply_process_faults
 
+    in_process = dataset is not None
     if dataset is None:
         dataset = _WORKER_DATASET
+    recorder = None
+    if trace and _obs is not None:
+        if not in_process:
+            # Always start fresh in a worker: under the fork start
+            # method the child inherits the supervisor's recorder, and
+            # spans added to that copy would be silently discarded.
+            recorder = _obs.install(_obs.TraceRecorder())
+        elif _obs.active() is None:
+            recorder = _obs.install(_obs.TraceRecorder())
     started = time.perf_counter()
     try:
         with _alarm_after(timeout):
-            # Deterministic chaos (kill/hang/slow) fires here, inside
-            # the timeout window, so drills exercise the same
-            # supervision paths real failures would.
-            apply_process_faults(experiment_id, attempt)
-            result = run_experiment(experiment_id, dataset)
+            with _trace_span("experiment", id=experiment_id, attempt=attempt):
+                # Deterministic chaos (kill/hang/slow) fires here, inside
+                # the timeout window, so drills exercise the same
+                # supervision paths real failures would.
+                apply_process_faults(experiment_id, attempt)
+                result = run_experiment(experiment_id, dataset)
         status, message = "ok", ""
     except _ExperimentTimeout:
         result, status = None, "error"
@@ -201,14 +272,20 @@ def _run_one(
         result, status, message = None, "skipped", str(error)
     except Exception as error:  # noqa: BLE001 - isolate experiment crashes
         result, status, message = None, "error", repr(error)
+    spans: tuple = ()
+    if recorder is not None:
+        _obs.uninstall()
+        spans = tuple(recorder.spans)
     return ExperimentOutcome(
         experiment_id=experiment_id,
         status=status,
         result=result,
         message=message,
         seconds=time.perf_counter() - started,
-        max_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        max_rss_kb=_peak_rss_kb(),
         attempt=attempt,
+        rss_scope="process" if in_process else "worker",
+        spans=spans,
     )
 
 
@@ -254,6 +331,7 @@ def _dispatch_round(
     timeout: float | None,
     attempts: Mapping[str, int],
     record: Callable[[ExperimentOutcome], None],
+    trace: bool = False,
 ) -> None:
     """Submit ``ids`` to one fresh pool and drain it.
 
@@ -267,7 +345,7 @@ def _dispatch_round(
             initargs=(dataset,),
         ) as pool:
             futures = [
-                pool.submit(_run_one, eid, None, timeout, attempts[eid])
+                pool.submit(_run_one, eid, None, timeout, attempts[eid], trace)
                 for eid in ids
             ]
             try:
@@ -303,6 +381,7 @@ def _run_supervised(
     backoff: float,
     record: Callable[[ExperimentOutcome], None],
     recorded: Callable[[str], bool],
+    trace: bool = False,
 ) -> None:
     """Dispatch ``pending`` across pools until done or retries exhaust.
 
@@ -330,10 +409,13 @@ def _run_supervised(
         if isolate:
             for experiment_id in pending:
                 _dispatch_round(
-                    dataset, [experiment_id], 1, timeout, attempts, record
+                    dataset, [experiment_id], 1, timeout, attempts, record,
+                    trace,
                 )
         else:
-            _dispatch_round(dataset, pending, jobs, timeout, attempts, record)
+            _dispatch_round(
+                dataset, pending, jobs, timeout, attempts, record, trace
+            )
         survivors = [eid for eid in pending if not recorded(eid)]
         if not survivors:
             return
@@ -347,7 +429,12 @@ def _run_supervised(
             # cannot cross the process boundary: the pool itself is
             # unusable.  Run the remainder in-process.
             for experiment_id in survivors:
-                record(_run_one(experiment_id, dataset, timeout, attempts[experiment_id]))
+                record(
+                    _run_one(
+                        experiment_id, dataset, timeout,
+                        attempts[experiment_id], trace,
+                    )
+                )
             return
         still_pending = []
         for experiment_id in survivors:
@@ -383,6 +470,7 @@ def run_suite(
     backoff: float = 0.5,
     completed: Mapping[str, ExperimentOutcome] | None = None,
     on_outcome: Callable[[ExperimentOutcome], None] | None = None,
+    trace: bool = False,
 ) -> SuiteResult:
     """Run experiments (default: all registered) against ``dataset``.
 
@@ -394,7 +482,11 @@ def run_suite(
     supplies already-journaled outcomes to replay instead of re-running
     (the ``--resume`` path), and ``on_outcome`` is invoked once per
     *freshly computed* outcome, in completion order, so a journal can
-    be flushed as the suite progresses.
+    be flushed as the suite progresses.  ``trace`` asks workers to
+    record per-experiment spans; the supervisor merges shipped spans
+    into its active :mod:`repro.obs` recorder as outcomes arrive (a
+    no-op when the obs package is unavailable or no recorder is
+    installed).
 
     Raises
     ------
@@ -429,6 +521,10 @@ def run_suite(
         if outcome.experiment_id in done:
             return
         done[outcome.experiment_id] = outcome
+        if outcome.spans and _obs is not None:
+            recorder = _obs.active()
+            if recorder is not None:
+                recorder.absorb(outcome.spans)
         if on_outcome is not None:
             on_outcome(outcome)
 
@@ -438,7 +534,7 @@ def run_suite(
     try:
         if jobs == 1:
             for experiment_id in pending:
-                record(_run_one(experiment_id, dataset, timeout))
+                record(_run_one(experiment_id, dataset, timeout, trace=trace))
         elif pending:
             _run_supervised(
                 dataset,
@@ -449,6 +545,7 @@ def run_suite(
                 backoff=backoff,
                 record=record,
                 recorded=done.__contains__,
+                trace=trace,
             )
     except KeyboardInterrupt:
         interrupted = True
@@ -467,9 +564,14 @@ def timing_lines(suite: SuiteResult) -> list[str]:
         f"{suite.total_seconds:.3f}s with {suite.jobs} job(s)"
     ]
     for outcome in suite.outcomes:
+        # A process-scoped peak is the whole supervisor's high-water
+        # mark, not this experiment's own footprint — label it so the
+        # numbers are not misread as per-experiment attribution.
+        scope = "" if outcome.rss_scope == "worker" else " (process-wide)"
         lines.append(
             f"{outcome.experiment_id}: {outcome.seconds:.3f}s  "
-            f"peak-rss {outcome.max_rss_kb / 1024:.1f} MiB  [{outcome.status}]"
+            f"peak-rss {outcome.max_rss_kb / 1024:.1f} MiB{scope}  "
+            f"[{outcome.status}]"
         )
     return lines
 
@@ -556,6 +658,7 @@ def bench_record(
                 "status": outcome.status,
                 "seconds": round(outcome.seconds, 6),
                 "max_rss_kb": outcome.max_rss_kb,
+                "rss_scope": outcome.rss_scope,
             }
             for outcome in suite.outcomes
         ],

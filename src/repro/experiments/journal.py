@@ -29,6 +29,7 @@ and ignored on replay.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
@@ -80,10 +81,24 @@ def default_runs_dir() -> Path:
     return Path(os.environ.get(RUNS_DIR_ENV) or _DEFAULT_RUNS_DIR)
 
 
+#: Monotonic per-process sequence folded into run IDs; randomness alone
+#: (a 24-bit tail) collides with ~11% probability at 2000 IDs/second.
+_RUN_ID_SEQUENCE = itertools.count()
+
+
 def new_run_id() -> str:
-    """A sortable, collision-safe run ID (UTC timestamp + random tail)."""
+    """A sortable, collision-safe run ID.
+
+    UTC timestamp for sortability, then the minting PID and a
+    process-local sequence number that make collisions structurally
+    impossible rather than merely unlikely: IDs from one process
+    differ in the sequence, IDs from concurrent processes differ in
+    the PID, and the random tail covers the remaining case of a
+    recycled PID landing in the same second.
+    """
     stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
-    return f"{stamp}-{uuid.uuid4().hex[:6]}"
+    seq = next(_RUN_ID_SEQUENCE)
+    return f"{stamp}-p{os.getpid():x}s{seq:x}-{uuid.uuid4().hex[:6]}"
 
 
 # ----------------------------------------------------------------------
@@ -160,8 +175,14 @@ def _result_from_json(payload: dict | None) -> ExperimentResult | None:
 
 
 def outcome_to_record(outcome: ExperimentOutcome) -> dict:
-    """Serialize one outcome as a journal record."""
-    return {
+    """Serialize one outcome as a journal record.
+
+    ``rss_scope`` is journaled only when it is not the default
+    ``"worker"`` — worker-pool journals keep their pre-scope byte
+    layout, and trace spans are never journaled at all (they belong to
+    ``trace.jsonl``).
+    """
+    record = {
         "kind": "outcome",
         "experiment_id": outcome.experiment_id,
         "status": outcome.status,
@@ -169,8 +190,11 @@ def outcome_to_record(outcome: ExperimentOutcome) -> dict:
         "seconds": outcome.seconds,
         "max_rss_kb": outcome.max_rss_kb,
         "attempt": outcome.attempt,
-        "result": _result_to_json(outcome.result),
     }
+    if outcome.rss_scope != "worker":
+        record["rss_scope"] = outcome.rss_scope
+    record["result"] = _result_to_json(outcome.result)
+    return record
 
 
 def outcome_from_record(record: dict) -> ExperimentOutcome:
@@ -183,6 +207,7 @@ def outcome_from_record(record: dict) -> ExperimentOutcome:
         seconds=record["seconds"],
         max_rss_kb=record["max_rss_kb"],
         attempt=record.get("attempt", 1),
+        rss_scope=record.get("rss_scope", "worker"),
     )
 
 

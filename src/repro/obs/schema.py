@@ -1,0 +1,142 @@
+"""``trace.jsonl`` schema validation.
+
+A trace file is JSONL: a ``kind: "trace"`` header first, then ``span``
+records in start order, then final ``counter``/``gauge`` totals.  The
+validators here are what ``repro-trace`` and the CI trace-smoke job run
+against every line — strict on structure (required keys, types, parent
+links) so a malformed writer fails loudly instead of producing a file
+that summarizes to garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import TRACE_SCHEMA
+
+__all__ = ["TraceSchemaError", "validate_record", "validate_lines", "validate_file"]
+
+_SCALAR = (str, int, float, bool, type(None))
+
+_KINDS = ("trace", "span", "counter", "gauge")
+
+
+class TraceSchemaError(ValueError):
+    """A trace record violates the trace.jsonl schema."""
+
+
+def _require(record: dict, key: str, types, where: str):
+    if key not in record:
+        raise TraceSchemaError(f"{where}: missing key {key!r}")
+    value = record[key]
+    type_tuple = types if isinstance(types, tuple) else (types,)
+    # bool subclasses int; a True pid/seconds is a writer bug, not a number.
+    if isinstance(value, bool) or not isinstance(value, type_tuple):
+        raise TraceSchemaError(
+            f"{where}: key {key!r} has {type(value).__name__}, "
+            f"expected {'/'.join(t.__name__ for t in type_tuple)}"
+        )
+    return value
+
+
+def validate_record(record: dict, where: str = "trace record") -> str:
+    """Validate one parsed record; returns its ``kind``.
+
+    Raises
+    ------
+    TraceSchemaError
+        On a missing/unknown kind, missing keys, or wrong value types.
+    """
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"{where}: not a JSON object")
+    kind = record.get("kind")
+    if kind not in _KINDS:
+        raise TraceSchemaError(f"{where}: unknown kind {kind!r}")
+    if kind == "trace":
+        schema = _require(record, "schema", int, where)
+        if schema != TRACE_SCHEMA:
+            raise TraceSchemaError(
+                f"{where}: trace schema {schema!r} != {TRACE_SCHEMA}"
+            )
+        _require(record, "toolkit_version", str, where)
+        _require(record, "pid", int, where)
+        if not isinstance(record.get("run_id"), (str, type(None))):
+            raise TraceSchemaError(f"{where}: run_id must be string or null")
+    elif kind == "span":
+        span_id = _require(record, "id", int, where)
+        if span_id < 0:
+            raise TraceSchemaError(f"{where}: negative span id {span_id}")
+        parent = record.get("parent")
+        if parent is not None and (not isinstance(parent, int) or parent < 0):
+            raise TraceSchemaError(f"{where}: bad parent {parent!r}")
+        name = _require(record, "name", str, where)
+        if not name:
+            raise TraceSchemaError(f"{where}: empty span name")
+        for key in ("start", "seconds"):
+            value = _require(record, key, (int, float), where)
+            if value < 0:
+                raise TraceSchemaError(f"{where}: negative {key} {value!r}")
+        depth = _require(record, "depth", int, where)
+        if depth < 0:
+            raise TraceSchemaError(f"{where}: negative depth {depth}")
+        _require(record, "pid", int, where)
+        attrs = _require(record, "attrs", dict, where)
+        for key, value in attrs.items():
+            if not isinstance(key, str) or not isinstance(value, _SCALAR):
+                raise TraceSchemaError(
+                    f"{where}: attr {key!r} must map a string to a scalar"
+                )
+    else:  # counter / gauge
+        name = _require(record, "name", str, where)
+        if not name:
+            raise TraceSchemaError(f"{where}: empty {kind} name")
+        _require(record, "value", (int, float), where)
+        _require(record, "pid", int, where)
+    return kind
+
+
+def validate_lines(lines, where: str = "trace") -> list[dict]:
+    """Validate a whole trace, line by line; returns the parsed records.
+
+    Beyond per-record checks this enforces file-level invariants: the
+    first record is the header, span ids are unique, and every parent
+    id references an *earlier* span (children cannot precede the span
+    that contains them).
+    """
+    records: list[dict] = []
+    seen_ids: set[int] = set()
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        label = f"{where}:{line_no}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceSchemaError(f"{label}: not JSON ({error})") from None
+        kind = validate_record(record, label)
+        if not records and kind != "trace":
+            raise TraceSchemaError(f"{label}: first record must be the header")
+        if records and kind == "trace":
+            raise TraceSchemaError(f"{label}: duplicate trace header")
+        if kind == "span":
+            span_id = record["id"]
+            if span_id in seen_ids:
+                raise TraceSchemaError(f"{label}: duplicate span id {span_id}")
+            parent = record.get("parent")
+            if parent is not None and parent not in seen_ids:
+                raise TraceSchemaError(
+                    f"{label}: parent {parent} is not an earlier span"
+                )
+            seen_ids.add(span_id)
+        records.append(record)
+    if not records:
+        raise TraceSchemaError(f"{where}: empty trace")
+    return records
+
+
+def validate_file(path: str | Path) -> list[dict]:
+    """Validate ``path`` as a trace.jsonl file; returns the records."""
+    path = Path(path)
+    return validate_lines(path.read_text().splitlines(), where=str(path))

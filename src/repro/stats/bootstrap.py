@@ -21,6 +21,26 @@ from typing import Callable
 
 import numpy as np
 
+try:  # tracing is optional: without repro.obs the kernel runs untraced
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+
 __all__ = ["BootstrapResult", "bootstrap_ci"]
 
 #: Default cap on transient resample storage (index matrix + gathered
@@ -94,28 +114,32 @@ def bootstrap_ci(
     estimates = np.empty(n_resamples, dtype=np.float64)
     vectorize: bool | None = None  # decided on the first chunk
     done = 0
-    while done < n_resamples:
-        rows = min(chunk_rows, n_resamples - done)
-        resamples = arr[rng.integers(0, arr.size, size=(rows, arr.size))]
-        chunk_out = None
-        if vectorize is not False:
-            try:
-                vectorized = np.asarray(statistic(resamples, axis=-1), dtype=np.float64)
-            except TypeError:
-                vectorize = False
-            else:
-                if vectorized.shape != (rows,):
+    with trace_span("kernel.bootstrap", n=arr.size, n_resamples=n_resamples):
+        while done < n_resamples:
+            rows = min(chunk_rows, n_resamples - done)
+            resamples = arr[rng.integers(0, arr.size, size=(rows, arr.size))]
+            chunk_out = None
+            if vectorize is not False:
+                try:
+                    vectorized = np.asarray(
+                        statistic(resamples, axis=-1), dtype=np.float64
+                    )
+                except TypeError:
                     vectorize = False
-                elif vectorize is None:
-                    vectorize = _rows_match(vectorized, resamples, statistic)
-                if vectorize:
-                    chunk_out = vectorized
-        if chunk_out is None:
-            chunk_out = np.array(
-                [statistic(resamples[i]) for i in range(rows)], dtype=np.float64
-            )
-        estimates[done:done + rows] = chunk_out
-        done += rows
+                else:
+                    if vectorized.shape != (rows,):
+                        vectorize = False
+                    elif vectorize is None:
+                        vectorize = _rows_match(vectorized, resamples, statistic)
+                    if vectorize:
+                        chunk_out = vectorized
+            if chunk_out is None:
+                chunk_out = np.array(
+                    [statistic(resamples[i]) for i in range(rows)],
+                    dtype=np.float64,
+                )
+            estimates[done:done + rows] = chunk_out
+            done += rows
     alpha = (1.0 - confidence) / 2.0
     low, high = np.quantile(estimates, [alpha, 1.0 - alpha])
     return BootstrapResult(

@@ -20,6 +20,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
+try:  # tracing is optional: without repro.obs the kernel runs untraced
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+
 __all__ = ["Changepoint", "cusum_statistic", "detect_changepoints"]
 
 
@@ -108,29 +128,32 @@ def detect_changepoints(
     x = np.asarray(series, dtype=np.float64)
     found: list[Changepoint] = []
     segments: list[tuple[int, int]] = [(0, x.size)]
-    while segments and len(found) < max_changepoints:
-        # Pick the segment whose best split is strongest.
-        best = None
-        for start, end in segments:
-            if end - start < 2 * min_segment:
+    with trace_span(
+        "kernel.changepoint", n=int(x.size), n_permutations=n_permutations
+    ):
+        while segments and len(found) < max_changepoints:
+            # Pick the segment whose best split is strongest.
+            best = None
+            for start, end in segments:
+                if end - start < 2 * min_segment:
+                    continue
+                split, stat = cusum_statistic(x[start:end])
+                if best is None or stat > best[3]:
+                    best = (start, end, start + split, stat)
+            if best is None:
+                break
+            start, end, index, stat = best
+            segments.remove((start, end))
+            if not _significant(x[start:end], stat, n_permutations, seed, alpha):
                 continue
-            split, stat = cusum_statistic(x[start:end])
-            if best is None or stat > best[3]:
-                best = (start, end, start + split, stat)
-        if best is None:
-            break
-        start, end, index, stat = best
-        segments.remove((start, end))
-        if not _significant(x[start:end], stat, n_permutations, seed, alpha):
-            continue
-        found.append(
-            Changepoint(
-                index=index,
-                statistic=stat,
-                mean_before=float(x[start:index].mean()),
-                mean_after=float(x[index:end].mean()),
+            found.append(
+                Changepoint(
+                    index=index,
+                    statistic=stat,
+                    mean_before=float(x[start:index].mean()),
+                    mean_after=float(x[index:end].mean()),
+                )
             )
-        )
-        segments.append((start, index))
-        segments.append((index, end))
-    return sorted(found, key=lambda c: c.index)
+            segments.append((start, index))
+            segments.append((index, end))
+        return sorted(found, key=lambda c: c.index)

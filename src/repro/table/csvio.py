@@ -27,6 +27,30 @@ from repro.util.atomic import atomic_open
 
 from .frame import Table
 
+try:  # tracing is optional: without repro.obs the parser runs untraced
+    from repro.obs.trace import add as trace_add
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+    def trace_add(name, value=1):
+        return None
+
+
 __all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
 
 
@@ -172,15 +196,20 @@ def read_csv(
     """
     path = Path(path)
     source = source or path.name
-    data = with_retry(path.read_bytes)
-    if not data:
-        return Table({})
-    table = _read_lines(path, data, report, source)
-    if table is not None:
+    with trace_span("csv.read", file=source) as sp:
+        data = with_retry(path.read_bytes)
+        sp.note(bytes=len(data))
+        trace_add("csv.bytes", len(data))
+        if not data:
+            return Table({})
+        table = _read_lines(path, data, report, source)
+        if table is None:
+            # A quoted field spanning lines: only the stdlib reader can
+            # reassemble those records, so take the slow path.
+            table = _read_stdlib(path, data.decode(), report, source)
+        sp.note(rows=table.n_rows)
+        trace_add("csv.rows", table.n_rows)
         return table
-    # A quoted field spanning lines: only the stdlib reader can
-    # reassemble those records, so take the slow path.
-    return _read_stdlib(path, data.decode(), report, source)
 
 
 def _screen(
@@ -239,134 +268,142 @@ def _read_lines(
     field spanning lines — so the caller can rerun via the stdlib
     reader; nothing is quarantined before that bail-out.
     """
-    terminator = b"\n"
-    while True:
-        buf = np.frombuffer(data, dtype=np.uint8)
-        separators = np.flatnonzero(_SEPARATOR_LUT[buf])
-        kinds = buf[separators]
-        cr_at = separators[kinds == 13]
-        if not cr_at.size:
-            break
-        # The stdlib writer terminates records with CRLF; keep that as
-        # the line terminator when every CR pairs with the LF after it,
-        # otherwise normalize the stragglers and rescan.  A CR *inside*
-        # a field is always quoted, which the parity check below routes
-        # to the stdlib reader (via the fake break normalization adds).
-        lf_at = separators[kinds == 10]
-        if cr_at.size == lf_at.size and bool((cr_at + 1 == lf_at).all()):
-            terminator = b"\r\n"
-            break
-        data = data.replace(b"\r\n", b"\n").replace(b"\r", b"\n")
-    has_quotes = bool((kinds == 34).any())
-    is_newline = kinds == 10
-    # Line index of each separator; a newline closes its own line.
-    line_of = np.cumsum(is_newline) - is_newline
-    newline_at = separators[is_newline]
-    n_lines = int(newline_at.size) + (0 if data.endswith(b"\n") else 1)
-    comma_counts = np.bincount(line_of[kinds == 44], minlength=n_lines)
+    with trace_span("csv.scan", bytes=len(data)):
+        terminator = b"\n"
+        while True:
+            buf = np.frombuffer(data, dtype=np.uint8)
+            separators = np.flatnonzero(_SEPARATOR_LUT[buf])
+            kinds = buf[separators]
+            cr_at = separators[kinds == 13]
+            if not cr_at.size:
+                break
+            # The stdlib writer terminates records with CRLF; keep that as
+            # the line terminator when every CR pairs with the LF after it,
+            # otherwise normalize the stragglers and rescan.  A CR *inside*
+            # a field is always quoted, which the parity check below routes
+            # to the stdlib reader (via the fake break normalization adds).
+            lf_at = separators[kinds == 10]
+            if cr_at.size == lf_at.size and bool((cr_at + 1 == lf_at).all()):
+                terminator = b"\r\n"
+                break
+            data = data.replace(b"\r\n", b"\n").replace(b"\r", b"\n")
+        has_quotes = bool((kinds == 34).any())
+        is_newline = kinds == 10
+        # Line index of each separator; a newline closes its own line.
+        line_of = np.cumsum(is_newline) - is_newline
+        newline_at = separators[is_newline]
+        n_lines = int(newline_at.size) + (0 if data.endswith(b"\n") else 1)
+        comma_counts = np.bincount(line_of[kinds == 44], minlength=n_lines)
 
-    if has_quotes:
-        quote_counts = np.bincount(line_of[kinds == 34], minlength=n_lines)
-        if (quote_counts & 1).any():
-            return None
-    else:
-        quote_counts = None
+        if has_quotes:
+            quote_counts = np.bincount(line_of[kinds == 34], minlength=n_lines)
+            if (quote_counts & 1).any():
+                return None
+        else:
+            quote_counts = None
 
-    # Line spans: [starts, line_ends) excludes the newline; content_ends
-    # additionally strips the CR of a CRLF terminator.
-    starts = np.empty(n_lines, dtype=np.int64)
-    line_ends = np.empty(n_lines, dtype=np.int64)
-    line_ends[: newline_at.size] = newline_at
-    if newline_at.size < n_lines:
-        line_ends[-1] = len(data)
-    starts[0] = 0
-    starts[1:] = line_ends[:-1] + 1
-    if terminator == b"\r\n":
-        content_ends = line_ends - (
-            (line_ends > starts) & (buf[np.maximum(line_ends - 1, 0)] == 13)
-        )
-    else:
-        content_ends = line_ends
+        # Line spans: [starts, line_ends) excludes the newline; content_ends
+        # additionally strips the CR of a CRLF terminator.
+        starts = np.empty(n_lines, dtype=np.int64)
+        line_ends = np.empty(n_lines, dtype=np.int64)
+        line_ends[: newline_at.size] = newline_at
+        if newline_at.size < n_lines:
+            line_ends[-1] = len(data)
+        starts[0] = 0
+        starts[1:] = line_ends[:-1] + 1
+        if terminator == b"\r\n":
+            content_ends = line_ends - (
+                (line_ends > starts) & (buf[np.maximum(line_ends - 1, 0)] == 13)
+            )
+        else:
+            content_ends = line_ends
 
     def line_at(index: int) -> str:
         return data[starts[index] : content_ends[index]].decode()
 
-    if quote_counts is not None and quote_counts[0]:
-        header = next(csv.reader([line_at(0)]))
-    else:
-        # A blank first line means zero header fields (what csv.reader
-        # yields for it), not one empty-named column.
-        header = line_at(0).split(",") if content_ends[0] > starts[0] else []
-    n_fields = len(header)
-    n_body = n_lines - 1
-    if n_body <= 0:
-        return Table({name: [] for name in header})
-
-    lengths = comma_counts[1:] + 1
-    blank = content_ends[1:] == starts[1:]
-    if blank.any():
-        lengths[blank] = 0
-    quoted_rows: dict[int, list[str]] = {}
-    if quote_counts is not None:
-        quoted_indices = np.flatnonzero(quote_counts[1:]).tolist()
-        if quoted_indices:
-            parsed = csv.reader(line_at(i + 1) for i in quoted_indices)
-            for index, row in zip(quoted_indices, parsed):
-                quoted_rows[index] = row
-                lengths[index] = len(row)
-
-    keep = _screen(
-        path, source, report, lengths, n_fields, lambda i: line_at(i + 1)
-    )
-    if n_fields == 0:
-        return Table({})
-    n_rows = n_body if keep is None else int(keep.size)
-    if n_rows == 0:
-        return Table({name: [] for name in header})
-
-    # Splice quarantined lines out of (and placeholder cells for quoted
-    # lines into) the body region by byte offset, then explode every
-    # remaining cell with a single terminator-to-comma replace + split.
-    dropped = (
-        set() if keep is None else set(np.flatnonzero(lengths != n_fields).tolist())
-    )
-    placeholder = b"," * (n_fields - 1) + terminator
-    special = sorted(set(quoted_rows) | dropped)
-    region_start = int(starts[1])
-    if special:
-        pieces = []
-        previous = region_start
-        for index in special:
-            pieces.append(data[previous : starts[index + 1]])
-            if index not in dropped:
-                pieces.append(placeholder)
-            previous = int(starts[index + 2]) if index + 2 < n_lines else len(data)
-        pieces.append(data[previous:])
-        region = b"".join(pieces)
-    else:
-        region = data[region_start:]
-    if region.endswith(terminator):
-        region = region[: -len(terminator)]
-    # translate() turns every LF into a comma and drops terminator CRs
-    # (which are the only CRs left here) in one pass over the region.
-    flat = region.translate(_NL_TO_COMMA, b"\r").decode().split(",")
-    if len(flat) != n_rows * n_fields:  # pragma: no cover - safety net
-        return None
-    grid = np.empty(n_rows * n_fields, dtype=object)
-    grid[:] = flat
-    grid = grid.reshape(n_rows, n_fields)
-
-    quoted_kept = [i for i in special if i not in dropped]
-    if quoted_kept:
-        cells = np.empty((len(quoted_kept), n_fields), dtype=object)
-        cells[:] = [quoted_rows[i] for i in quoted_kept]
-        if keep is None:
-            grid[quoted_kept] = cells
+    with trace_span("csv.tokenize") as sp:
+        if quote_counts is not None and quote_counts[0]:
+            header = next(csv.reader([line_at(0)]))
         else:
-            grid[np.searchsorted(keep, quoted_kept)] = cells
-    return Table(
-        {name: _infer_array(grid[:, j]) for j, name in enumerate(header)}
-    )
+            # A blank first line means zero header fields (what csv.reader
+            # yields for it), not one empty-named column.
+            header = line_at(0).split(",") if content_ends[0] > starts[0] else []
+        n_fields = len(header)
+        n_body = n_lines - 1
+        if n_body <= 0:
+            return Table({name: [] for name in header})
+
+        lengths = comma_counts[1:] + 1
+        blank = content_ends[1:] == starts[1:]
+        if blank.any():
+            lengths[blank] = 0
+        quoted_rows: dict[int, list[str]] = {}
+        if quote_counts is not None:
+            quoted_indices = np.flatnonzero(quote_counts[1:]).tolist()
+            if quoted_indices:
+                parsed = csv.reader(line_at(i + 1) for i in quoted_indices)
+                for index, row in zip(quoted_indices, parsed):
+                    quoted_rows[index] = row
+                    lengths[index] = len(row)
+
+        keep = _screen(
+            path, source, report, lengths, n_fields, lambda i: line_at(i + 1)
+        )
+        if n_fields == 0:
+            return Table({})
+        n_rows = n_body if keep is None else int(keep.size)
+        sp.note(rows=n_rows, fields=n_fields)
+        if n_rows == 0:
+            return Table({name: [] for name in header})
+
+        # Splice quarantined lines out of (and placeholder cells for quoted
+        # lines into) the body region by byte offset, then explode every
+        # remaining cell with a single terminator-to-comma replace + split.
+        dropped = (
+            set()
+            if keep is None
+            else set(np.flatnonzero(lengths != n_fields).tolist())
+        )
+        placeholder = b"," * (n_fields - 1) + terminator
+        special = sorted(set(quoted_rows) | dropped)
+        region_start = int(starts[1])
+        if special:
+            pieces = []
+            previous = region_start
+            for index in special:
+                pieces.append(data[previous : starts[index + 1]])
+                if index not in dropped:
+                    pieces.append(placeholder)
+                previous = (
+                    int(starts[index + 2]) if index + 2 < n_lines else len(data)
+                )
+            pieces.append(data[previous:])
+            region = b"".join(pieces)
+        else:
+            region = data[region_start:]
+        if region.endswith(terminator):
+            region = region[: -len(terminator)]
+        # translate() turns every LF into a comma and drops terminator CRs
+        # (which are the only CRs left here) in one pass over the region.
+        flat = region.translate(_NL_TO_COMMA, b"\r").decode().split(",")
+        if len(flat) != n_rows * n_fields:  # pragma: no cover - safety net
+            return None
+        grid = np.empty(n_rows * n_fields, dtype=object)
+        grid[:] = flat
+        grid = grid.reshape(n_rows, n_fields)
+
+        quoted_kept = [i for i in special if i not in dropped]
+        if quoted_kept:
+            cells = np.empty((len(quoted_kept), n_fields), dtype=object)
+            cells[:] = [quoted_rows[i] for i in quoted_kept]
+            if keep is None:
+                grid[quoted_kept] = cells
+            else:
+                grid[np.searchsorted(keep, quoted_kept)] = cells
+    with trace_span("csv.infer", rows=n_rows, fields=n_fields):
+        return Table(
+            {name: _infer_array(grid[:, j]) for j, name in enumerate(header)}
+        )
 
 
 def _read_stdlib(
@@ -374,28 +411,33 @@ def _read_stdlib(
 ) -> Table:
     """Full stdlib-reader parse for CSV dialect the fast path cannot
     split line-by-line (carriage returns, multi-line quoted fields)."""
-    rows = list(csv.reader(io.StringIO(text, newline="")))
-    if not rows:
-        return Table({})
-    header, body = rows[0], rows[1:]
-    n_fields = len(header)
-    if not body:
-        return Table({name: [] for name in header})
-    lengths = np.fromiter((len(r) for r in body), dtype=np.int64, count=len(body))
-    keep = _screen(
-        path, source, report, lengths, n_fields, lambda i: ",".join(body[i])
-    )
-    if keep is not None:
-        body = [body[i] for i in keep.tolist()]
+    with trace_span("csv.stdlib", bytes=len(text)) as sp:
+        rows = list(csv.reader(io.StringIO(text, newline="")))
+        if not rows:
+            return Table({})
+        header, body = rows[0], rows[1:]
+        n_fields = len(header)
         if not body:
             return Table({name: [] for name in header})
-    if n_fields == 0:
-        return Table({})
-    matrix = np.empty((len(body), n_fields), dtype=object)
-    matrix[:] = body
-    return Table(
-        {name: _infer_array(matrix[:, j]) for j, name in enumerate(header)}
-    )
+        lengths = np.fromiter(
+            (len(r) for r in body), dtype=np.int64, count=len(body)
+        )
+        keep = _screen(
+            path, source, report, lengths, n_fields, lambda i: ",".join(body[i])
+        )
+        if keep is not None:
+            body = [body[i] for i in keep.tolist()]
+            if not body:
+                return Table({name: [] for name in header})
+        if n_fields == 0:
+            return Table({})
+        sp.note(rows=len(body), fields=n_fields)
+        matrix = np.empty((len(body), n_fields), dtype=object)
+        matrix[:] = body
+        with trace_span("csv.infer", rows=len(body), fields=n_fields):
+            return Table(
+                {name: _infer_array(matrix[:, j]) for j, name in enumerate(header)}
+            )
 
 
 def write_jsonl(rows: Iterable[dict], path: str | Path) -> None:

@@ -20,6 +20,26 @@ import numpy as np
 
 from .column import factorize
 
+try:  # tracing is optional: without repro.obs the kernel runs untraced
+    from repro.obs.trace import span as trace_span
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+
+    class _SpanOff:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+        def note(self, **attrs):
+            return None
+
+    _SPAN_OFF = _SpanOff()
+
+    def trace_span(name, **attrs):
+        return _SPAN_OFF
+
+
 __all__ = ["GroupBy", "AGGREGATIONS"]
 
 
@@ -206,33 +226,45 @@ class GroupBy:
 
         merged: dict[str, str] = dict(spec or {})
         merged.update(kwargs)
-        data: dict[str, np.ndarray] = dict(self._key_values)
-        data["count"] = _agg_count(
-            np.empty(len(self._group_ids)), self._group_ids, self._n_groups
-        )
-        for column, agg_name in merged.items():
-            if agg_name not in AGGREGATIONS:
-                raise ValueError(
-                    f"unknown aggregation {agg_name!r}; options: {sorted(AGGREGATIONS)}"
-                )
-            values = self._table[column]
-            if values.dtype.kind == "O":
-                raise TypeError(f"cannot aggregate string column {column!r}")
-            result = AGGREGATIONS[agg_name](
-                values, self._group_ids, self._n_groups
+        with trace_span(
+            "kernel.groupby",
+            n_rows=len(self._group_ids),
+            n_groups=self._n_groups,
+            n_aggs=len(merged),
+        ):
+            data: dict[str, np.ndarray] = dict(self._key_values)
+            data["count"] = _agg_count(
+                np.empty(len(self._group_ids)), self._group_ids, self._n_groups
             )
-            data[f"{column}_{agg_name}"] = result
-        return Table(data)
+            for column, agg_name in merged.items():
+                if agg_name not in AGGREGATIONS:
+                    raise ValueError(
+                        f"unknown aggregation {agg_name!r}; "
+                        f"options: {sorted(AGGREGATIONS)}"
+                    )
+                values = self._table[column]
+                if values.dtype.kind == "O":
+                    raise TypeError(f"cannot aggregate string column {column!r}")
+                result = AGGREGATIONS[agg_name](
+                    values, self._group_ids, self._n_groups
+                )
+                data[f"{column}_{agg_name}"] = result
+            return Table(data)
 
     def apply(self, func: Callable) -> list:
         """Call ``func(sub_table)`` for every group; returns the list of
         results in group order.  Use for aggregations the vectorized
         kernels do not cover (e.g. distribution fits per group)."""
-        order, starts, ends = self._group_slices()
-        return [
-            func(self._table.take(order[starts[gid]:ends[gid]]))
-            for gid in range(self._n_groups)
-        ]
+        with trace_span(
+            "kernel.groupby.apply",
+            n_rows=len(self._group_ids),
+            n_groups=self._n_groups,
+        ):
+            order, starts, ends = self._group_slices()
+            return [
+                func(self._table.take(order[starts[gid]:ends[gid]]))
+                for gid in range(self._n_groups)
+            ]
 
     def groups(self):
         """Yield ``(key_dict, sub_table)`` pairs in group order."""

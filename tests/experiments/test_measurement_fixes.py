@@ -1,0 +1,162 @@
+"""Measurement bugfixes: RSS units, RSS scope attribution, run-id collisions."""
+
+import os
+import re
+from types import SimpleNamespace
+
+import pytest
+
+from repro.dataset import MiraDataset
+from repro.experiments import engine, journal
+from repro.experiments.engine import (
+    ExperimentOutcome,
+    SuiteResult,
+    run_suite,
+    timing_lines,
+    bench_record,
+)
+from repro.experiments.journal import (
+    new_run_id,
+    outcome_from_record,
+    outcome_to_record,
+)
+
+
+def _fake_rusage(monkeypatch, platform: str, ru_maxrss: int) -> None:
+    """Swap engine's module bindings only — not the global modules."""
+    monkeypatch.setattr(engine, "sys", SimpleNamespace(platform=platform))
+    monkeypatch.setattr(
+        engine,
+        "resource",
+        SimpleNamespace(
+            RUSAGE_SELF=0,
+            getrusage=lambda who: SimpleNamespace(ru_maxrss=ru_maxrss),
+        ),
+    )
+
+
+class TestRssUnits:
+    def test_linux_kib_passes_through(self, monkeypatch):
+        _fake_rusage(monkeypatch, "linux", ru_maxrss=8192)
+        assert engine._peak_rss_kb() == 8192
+
+    def test_darwin_bytes_normalized_to_kib(self, monkeypatch):
+        # macOS getrusage reports bytes; 8 MiB must come back as 8192 KiB,
+        # not as an absurd 8388608 "KiB".
+        _fake_rusage(monkeypatch, "darwin", ru_maxrss=8 * 1024 * 1024)
+        assert engine._peak_rss_kb() == 8192
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("measure-cache"))
+    )
+    return MiraDataset.synthesize(n_days=5.0, seed=42)
+
+
+class TestRssScope:
+    def test_in_process_outcomes_are_process_scoped(self, dataset):
+        suite = run_suite(dataset, ["e01", "e02"], jobs=1)
+        assert all(o.rss_scope == "process" for o in suite.outcomes)
+
+    def test_worker_outcomes_are_worker_scoped(self, dataset):
+        suite = run_suite(dataset, ["e01", "e02"], jobs=2)
+        assert all(o.rss_scope == "worker" for o in suite.outcomes)
+
+    def test_timing_lines_label_process_scope(self):
+        def outcome(scope):
+            return ExperimentOutcome(
+                experiment_id="e01",
+                status="ok",
+                result=None,
+                message="",
+                seconds=0.5,
+                max_rss_kb=2048,
+                rss_scope=scope,
+            )
+
+        def lines_for(scope):
+            suite = SuiteResult(
+                outcomes=(outcome(scope),), jobs=1, total_seconds=0.5
+            )
+            return "\n".join(timing_lines(suite))
+
+        assert "(process-wide)" in lines_for("process")
+        assert "(process-wide)" not in lines_for("worker")
+
+    def test_bench_record_carries_scope(self):
+        suite = SuiteResult(
+            outcomes=(
+                ExperimentOutcome(
+                    experiment_id="e01",
+                    status="ok",
+                    result=None,
+                    message="",
+                    seconds=0.1,
+                    max_rss_kb=1024,
+                    rss_scope="process",
+                ),
+            ),
+            jobs=1,
+            total_seconds=0.1,
+        )
+        record = bench_record(suite)
+        assert record["experiments"][0]["rss_scope"] == "process"
+
+
+class TestRssScopeJournal:
+    def _outcome(self, scope):
+        return ExperimentOutcome(
+            experiment_id="e01",
+            status="skipped",
+            result=None,
+            message="starved",
+            seconds=0.1,
+            max_rss_kb=1024,
+            rss_scope=scope,
+        )
+
+    def test_process_scope_round_trips(self):
+        record = outcome_to_record(self._outcome("process"))
+        assert record["rss_scope"] == "process"
+        assert outcome_from_record(record).rss_scope == "process"
+
+    def test_worker_scope_is_not_serialized(self):
+        # Pre-scope journals had no rss_scope key; worker outcomes keep
+        # that byte layout and rehydrate to the default.
+        record = outcome_to_record(self._outcome("worker"))
+        assert "rss_scope" not in record
+        assert outcome_from_record(record).rss_scope == "worker"
+
+
+class TestRunIdCollisions:
+    def test_many_ids_are_unique(self):
+        ids = {new_run_id() for _ in range(2000)}
+        assert len(ids) == 2000
+
+    def test_unique_even_within_one_timestamp_second(self, monkeypatch):
+        # Freeze the clock: the random tail alone must prevent collisions
+        # for IDs minted back to back inside the same second.
+        monkeypatch.setattr(
+            journal,
+            "time",
+            SimpleNamespace(
+                strftime=lambda fmt, t=None: "20260807-000000",
+                gmtime=lambda: None,
+            ),
+        )
+        ids = {new_run_id() for _ in range(500)}
+        assert len(ids) == 500
+        assert all(i.startswith("20260807-000000-") for i in ids)
+
+    def test_id_embeds_pid_and_sequence(self):
+        # Two supervisors launched the same second differ in PID; two
+        # IDs minted by one process differ in the sequence — collisions
+        # are structurally impossible, not just improbable.
+        pid = format(os.getpid(), "x")
+        first, second = new_run_id(), new_run_id()
+        pattern = r"\d{8}-\d{6}-p" + pid + r"s([0-9a-f]+)-[0-9a-f]{6}"
+        match_a, match_b = re.fullmatch(pattern, first), re.fullmatch(pattern, second)
+        assert match_a and match_b
+        assert int(match_b.group(1), 16) == int(match_a.group(1), 16) + 1

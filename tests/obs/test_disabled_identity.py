@@ -1,0 +1,96 @@
+"""With tracing off, the obs package must be invisible.
+
+Two subprocess report runs with identical inputs — one with every
+``repro.obs`` import blocked — must produce a byte-identical
+``report.txt`` and an equivalent ``journal.jsonl`` (equal after
+normalizing wall-time and RSS, which vary run to run).  That is the
+contract behind the guarded-import pattern in every instrumented
+module: deleting ``src/repro/obs/`` degrades nothing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_DRIVER = """
+import sys
+if sys.argv[1] == "block":
+    class _BlockObs:
+        def find_spec(self, name, path=None, target=None):
+            if name == "repro.obs" or name.startswith("repro.obs."):
+                raise ImportError("repro.obs blocked for the obs-less drill")
+            return None
+    sys.meta_path.insert(0, _BlockObs())
+from repro.cli import main_report
+sys.exit(main_report([
+    "--days", "6", "--seed", "7", "--jobs", "1", "--no-cache",
+    "--run-id", sys.argv[2],
+]))
+"""
+
+
+def _run_report(tmp_path: Path, mode: str) -> Path:
+    # Each mode gets its own runs root so both runs share one run ID —
+    # the journals then differ only in genuinely volatile fields.
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src)
+    env["REPRO_RUNS_DIR"] = str(tmp_path / mode / "runs")
+    result = subprocess.run(
+        [sys.executable, "-c", _DRIVER, mode, "identity"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return tmp_path / mode / "runs" / "identity"
+
+
+def _normalized_journal(run_dir: Path) -> list[dict]:
+    records = [
+        json.loads(line)
+        for line in (run_dir / "journal.jsonl").read_text().splitlines()
+    ]
+    for record in records:
+        for volatile in ("seconds", "total_seconds", "max_rss_kb"):
+            record.pop(volatile, None)
+    return records
+
+
+@pytest.fixture(scope="module")
+def run_pair(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("identity")
+    with_obs = _run_report(tmp_path, "allow")
+    without_obs = _run_report(tmp_path, "block")
+    return with_obs, without_obs
+
+
+class TestObsLessIdentity:
+    def test_report_is_byte_identical(self, run_pair):
+        with_obs, without_obs = run_pair
+        assert (
+            (with_obs / "report.txt").read_bytes()
+            == (without_obs / "report.txt").read_bytes()
+        )
+
+    def test_journal_matches_after_normalizing_volatile_fields(self, run_pair):
+        with_obs, without_obs = run_pair
+        assert _normalized_journal(with_obs) == _normalized_journal(without_obs)
+
+    def test_journal_keys_are_identical_per_record(self, run_pair):
+        # Stronger than value equality post-normalization: the obs-less
+        # run must not change which fields get journaled (rss_scope is
+        # driven by jobs, not by obs availability).
+        with_obs, without_obs = run_pair
+        keys_a = [list(r) for r in _normalized_journal(with_obs)]
+        keys_b = [list(r) for r in _normalized_journal(without_obs)]
+        assert keys_a == keys_b
+
+    def test_no_trace_file_without_trace_flag(self, run_pair):
+        for run_dir in run_pair:
+            assert not (run_dir / "trace.jsonl").exists()
