@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_serve.json`` record: schema-valid and a clean drill.
+
+Used by the CI ``serve-smoke`` job after ``repro-replay`` has fired a
+chaos-armed workload at a live ``repro-serve``.  Exits 1 (with a
+reason) unless:
+
+- the record matches the bench-serve schema (kind, version, sections);
+- every fired request is accounted for by a typed protocol outcome
+  (no ``unreachable``, no ``unaccounted``, counts sum to the total);
+- the daemon survived the drill (healthy before and after, same PID);
+- latency percentiles were actually measured (p50/p99 present, sane).
+
+Usage: ``python benchmarks/check_serve_bench.py [BENCH_serve.json]``
+"""
+
+import json
+import sys
+
+from repro.serve.protocol import OUTCOMES
+
+REQUIRED_LATENCY_KEYS = ("count", "p50_ms", "p99_ms", "mean_ms", "max_ms")
+
+
+def fail(reason: str) -> "int":
+    print(f"FAIL: {reason}")
+    return 1
+
+
+def check(record: dict) -> int:
+    if record.get("schema") != 1 or record.get("kind") != "bench-serve":
+        return fail(
+            f"not a bench-serve record (schema={record.get('schema')!r}, "
+            f"kind={record.get('kind')!r})"
+        )
+    for section in ("config", "requests", "latency_ms", "server"):
+        if not isinstance(record.get(section), dict):
+            return fail(f"missing section {section!r}")
+
+    requests = record["requests"]
+    total = requests.get("total", 0)
+    if not isinstance(total, int) or total < 1:
+        return fail(f"no requests recorded (total={total!r})")
+    outcomes = requests.get("outcomes", {})
+    unknown = sorted(set(outcomes) - set(OUTCOMES))
+    if unknown:
+        return fail(f"unknown outcome(s) in record: {', '.join(unknown)}")
+    if sum(outcomes.values()) != total:
+        return fail(
+            f"outcome counts {outcomes} do not sum to total {total}"
+        )
+    if requests.get("unreachable", 1) != 0:
+        return fail(f"{requests.get('unreachable')} request(s) unreachable")
+    if requests.get("unaccounted", 1) != 0:
+        return fail(f"{requests.get('unaccounted')} request(s) unaccounted")
+
+    server = record["server"]
+    for key in ("healthy_before", "healthy_after", "same_pid"):
+        if server.get(key) is not True:
+            return fail(f"server.{key} is {server.get(key)!r} (daemon died?)")
+
+    overall = record["latency_ms"].get("overall", {})
+    missing = [k for k in REQUIRED_LATENCY_KEYS if k not in overall]
+    if missing:
+        return fail(f"latency_ms.overall missing {', '.join(missing)}")
+    if overall["count"] != total:
+        return fail(
+            f"latency count {overall['count']} != request total {total}"
+        )
+    if not (0 < overall["p50_ms"] <= overall["p99_ms"] <= overall["max_ms"]):
+        return fail(
+            "latency percentiles not ordered: "
+            f"p50={overall['p50_ms']} p99={overall['p99_ms']} "
+            f"max={overall['max_ms']}"
+        )
+
+    if record.get("clean") is not True:
+        return fail("record is not marked clean")
+
+    shed = outcomes.get("shed", 0)
+    errors = outcomes.get("error", 0)
+    print(
+        f"OK: {total} request(s) all typed "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(outcomes.items()))}); "
+        f"p50 {overall['p50_ms']}ms p99 {overall['p99_ms']}ms; "
+        f"shed={shed} errors={errors}; daemon survived (pid "
+        f"{server.get('pid')}, {server.get('workers_replaced')} worker "
+        "replacement(s))"
+    )
+    return 0
+
+
+def main(argv: list) -> int:
+    path = argv[1] if len(argv) > 1 else "BENCH_serve.json"
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as error:
+        return fail(f"cannot read {path}: {error}")
+    if not isinstance(record, dict):
+        return fail(f"{path}: not a JSON object")
+    return check(record)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,14 +48,11 @@ from __future__ import annotations
 import json
 import os
 import resource
-import signal
 import sys
-import threading
 import time
 from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
@@ -63,6 +60,7 @@ from typing import Callable, Mapping
 
 from repro.errors import FaultError, ReproError
 from repro.util.atomic import atomic_write_text
+from repro.util.deadline import DeadlineExceeded, deadline
 
 from .base import ExperimentResult
 
@@ -171,38 +169,6 @@ def _init_worker(dataset) -> None:
     _WORKER_DATASET = dataset
 
 
-class _ExperimentTimeout(Exception):
-    """Raised inside a worker when the per-experiment alarm fires."""
-
-
-@contextmanager
-def _alarm_after(seconds: float | None):
-    """Arm a real-time alarm that raises :class:`_ExperimentTimeout`.
-
-    A no-op when no timeout is set, on platforms without ``SIGALRM``,
-    or off the main thread (signals can only be armed there).
-    """
-    usable = (
-        seconds is not None
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise _ExperimentTimeout()
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
 def _peak_rss_kb() -> int:
     """Peak resident set of this process in KiB, on every platform.
 
@@ -251,7 +217,7 @@ def _run_one(
             recorder = _obs.install(_obs.TraceRecorder())
     started = time.perf_counter()
     try:
-        with _alarm_after(timeout):
+        with deadline(timeout):
             with _trace_span("experiment", id=experiment_id, attempt=attempt):
                 # Deterministic chaos (kill/hang/slow) fires here, inside
                 # the timeout window, so drills exercise the same
@@ -259,7 +225,7 @@ def _run_one(
                 apply_process_faults(experiment_id, attempt)
                 result = run_experiment(experiment_id, dataset)
         status, message = "ok", ""
-    except _ExperimentTimeout:
+    except DeadlineExceeded:
         result, status = None, "error"
         message = f"timeout: exceeded {timeout:g}s"
     except FaultError as error:

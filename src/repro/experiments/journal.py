@@ -55,6 +55,8 @@ __all__ = [
     "new_run_id",
     "outcome_to_record",
     "outcome_from_record",
+    "result_to_json",
+    "result_from_json",
 ]
 
 #: Bump when the journal record layout changes; resume refuses other
@@ -172,6 +174,19 @@ def _result_from_json(payload: dict | None) -> ExperimentResult | None:
             for name, table in payload["tables"].items()
         },
     )
+
+
+# Public names for the exact-round-trip result codecs: the query
+# server's wire protocol reuses them so a replayed response rehydrates
+# into the same ExperimentResult a journal replay would.
+def result_to_json(result: ExperimentResult | None) -> dict | None:
+    """Serialize an :class:`ExperimentResult` to its journal JSON form."""
+    return _result_to_json(result)
+
+
+def result_from_json(payload: dict | None) -> ExperimentResult | None:
+    """Rehydrate a result serialized by :func:`result_to_json`."""
+    return _result_from_json(payload)
 
 
 def outcome_to_record(outcome: ExperimentOutcome) -> dict:
@@ -346,6 +361,18 @@ class RunJournal:
     def append_outcome(self, outcome: ExperimentOutcome) -> None:
         """Journal one completed experiment (flushed + fsynced)."""
         self._append(outcome_to_record(outcome))
+
+    def append_event(self, event: str, **fields) -> None:
+        """Journal a labelled lifecycle event (flushed + fsynced).
+
+        Long-lived daemons (``repro-serve``) use these to record
+        listening/drain/shutdown milestones.  ``kind: "event"``
+        records are ignored by :meth:`resume`, so an event-bearing
+        journal stays replayable.
+        """
+        record: dict = {"kind": "event", "event": event}
+        record.update(fields)
+        self._append(record)
 
     def append_end(self, status: str, total_seconds: float) -> None:
         """Journal the run's end (``"complete"`` or ``"interrupted"``)."""

@@ -35,6 +35,35 @@ def trace_path(runs_root: Path, run: str) -> Path:
     return runs_root / run / TRACE_NAME
 
 
+def _load_labelled(path: Path, side: str = "") -> "object":
+    """Load a trace, turning every read failure into a typed error.
+
+    ``side`` names the operand (``baseline`` / ``candidate``) so a
+    two-file ``diff`` says *which* trace was empty, missing its run
+    header, unreadable, or not text — instead of a traceback that
+    names neither.
+    """
+    label = f"{side} trace {path}" if side else f"trace {path}"
+    try:
+        return load_trace(path)
+    except FileNotFoundError:
+        raise TraceSchemaError(f"{label}: no such file") from None
+    except OSError as error:
+        reason = error.strerror or error
+        raise TraceSchemaError(f"{label}: unreadable ({reason})") from None
+    except UnicodeDecodeError:
+        raise TraceSchemaError(
+            f"{label}: not a text file (binary or corrupt data)"
+        ) from None
+    except TraceSchemaError as error:
+        message = str(error)
+        # validate_lines already embeds ``path:line`` in its messages;
+        # only prepend the side label diff needs.
+        raise TraceSchemaError(
+            f"{side} {message}" if side else message
+        ) from None
+
+
 def main_trace(argv: list[str] | None = None) -> int:
     """Summarize, diff, or validate run traces (repro-report --trace)."""
     from repro.experiments.journal import default_runs_dir
@@ -83,18 +112,24 @@ def main_trace(argv: list[str] | None = None) -> int:
 
     try:
         if args.command == "summarize":
-            trace = load_trace(trace_path(runs_root, args.run))
+            trace = _load_labelled(trace_path(runs_root, args.run))
             print("\n".join(summarize_lines(trace, top=args.top)))
             return 0
         if args.command == "validate":
             path = trace_path(runs_root, args.run)
-            records = validate_file(path)
+            try:
+                records = validate_file(path)
+            except (OSError, UnicodeDecodeError):
+                _load_labelled(path)  # raises the typed equivalent
+                raise  # pragma: no cover - _load_labelled always raises
             n_spans = sum(1 for r in records if r["kind"] == "span")
             print(f"OK: {path}: {len(records)} records, {n_spans} spans")
             return 0
         # diff
-        trace_a = load_trace(trace_path(runs_root, args.run_a))
-        trace_b = load_trace(trace_path(runs_root, args.run_b))
+        trace_a = _load_labelled(trace_path(runs_root, args.run_a), "baseline")
+        trace_b = _load_labelled(
+            trace_path(runs_root, args.run_b), "candidate"
+        )
         lines, regressed = diff_lines(
             trace_a, trace_b, fail_above=args.fail_above
         )

@@ -1,0 +1,49 @@
+"""``repro-serve`` — a resilient, long-lived analysis query server.
+
+The batch pipeline answers one report invocation; this package answers
+a *stream* of experiment/query requests against one hot dataset, with
+resilience as the design axis:
+
+- :mod:`repro.serve.protocol` — the JSON request/response wire format
+  and its typed outcomes (``ok`` / ``shed`` / ``deadline_exceeded`` /
+  ``breaker_open`` / ...);
+- :mod:`repro.serve.admission` — the bounded two-lane admission queue
+  (interactive before batch) whose only overload behavior is an
+  immediate typed rejection with a retry-after hint;
+- :mod:`repro.serve.breaker` — per-experiment circuit breakers
+  (consecutive failures trip them, half-open probes close them);
+- :mod:`repro.serve.workers` — supervised worker processes with
+  per-request deadlines (:mod:`repro.util.deadline`), crash isolation,
+  and automatic replacement;
+- :mod:`repro.serve.server` — the HTTP daemon tying those together,
+  with ``/healthz``, ``/readyz``, graceful SIGTERM drain, journaled
+  lifecycle events, and per-request obs spans;
+- :mod:`repro.serve.replay` — the ``repro-replay`` load client: fires
+  timestamped request CSVs at the server, arms chaos plans against it,
+  and writes the ``BENCH_serve.json`` latency/saturation record.
+"""
+
+from .admission import AdmissionQueue, Ticket
+from .breaker import BreakerBoard, CircuitBreaker
+from .protocol import (
+    OUTCOMES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    ServeRequest,
+    ServeResponse,
+)
+from .server import ReproServer, ServeConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "OUTCOMES",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "ReproServer",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "Ticket",
+]

@@ -1,0 +1,173 @@
+"""Bounded two-lane admission control with explicit load shedding.
+
+The server's overload policy lives here and is deliberately blunt:
+each priority lane (``interactive``, ``batch``) is a bounded FIFO, and
+a submit against a full lane **fails immediately** — the caller turns
+that into a typed ``shed`` response with a retry-after hint.  Nothing
+is ever buffered beyond the configured capacities, so an overloaded
+server degrades into fast, honest rejections instead of unbounded
+queues and timeouts for everyone.
+
+Dispatchers always serve the interactive lane first; batch work only
+runs when no interactive request is waiting.  The queue also keeps an
+EWMA of recent service times so the retry-after hint tracks observed
+load (queued work ahead of you × recent seconds per request ÷
+workers) rather than being a constant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.util.deadline import Deadline
+
+from .protocol import ServeRequest, ServeResponse
+
+__all__ = ["AdmissionQueue", "Ticket"]
+
+#: Seed for the service-time EWMA before any request has completed.
+_INITIAL_SERVICE_S = 0.05
+_EWMA_ALPHA = 0.2
+_RETRY_AFTER_MIN_S = 0.1
+_RETRY_AFTER_MAX_S = 30.0
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling from HTTP thread to dispatcher.
+
+    The HTTP handler waits on ``done``; a dispatcher (or the drain
+    path) calls :meth:`complete` exactly once — later calls are
+    ignored, so a supervisor killing a worker at the drain deadline
+    cannot double-answer a request that just finished.
+    """
+
+    request: ServeRequest
+    deadline: Deadline
+    enqueued_at: float = field(default_factory=time.monotonic)
+    chaos_spec: str = ""
+    probe: bool = False
+    done: threading.Event = field(default_factory=threading.Event)
+    response: ServeResponse | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def complete(self, response: ServeResponse) -> bool:
+        """Attach the response and wake the waiter; first call wins."""
+        with self._lock:
+            if self.response is not None:
+                return False
+            self.response = response
+        self.done.set()
+        return True
+
+    @property
+    def completed(self) -> bool:
+        return self.response is not None
+
+
+class AdmissionQueue:
+    """Two bounded FIFO lanes, interactive drained before batch."""
+
+    def __init__(
+        self,
+        interactive_capacity: int = 16,
+        batch_capacity: int = 64,
+    ):
+        if interactive_capacity < 1 or batch_capacity < 1:
+            raise ValueError(
+                "lane capacities must be >= 1, got "
+                f"{interactive_capacity}/{batch_capacity}"
+            )
+        self._caps = {
+            "interactive": interactive_capacity,
+            "batch": batch_capacity,
+        }
+        self._lanes: dict[str, deque[Ticket]] = {
+            "interactive": deque(),
+            "batch": deque(),
+        }
+        self._cond = threading.Condition()
+        self._closed = False
+        self._service_ewma = _INITIAL_SERVICE_S
+
+    def submit(self, ticket: Ticket) -> bool:
+        """Admit ``ticket`` or refuse instantly (full lane / closed)."""
+        lane = ticket.request.priority
+        with self._cond:
+            if self._closed:
+                return False
+            if len(self._lanes[lane]) >= self._caps[lane]:
+                return False
+            self._lanes[lane].append(ticket)
+            self._cond.notify()
+            return True
+
+    def take(self, timeout: float | None = None) -> Ticket | None:
+        """Next ticket, interactive first; ``None`` on timeout/closed-empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                for lane in ("interactive", "batch"):
+                    if self._lanes[lane]:
+                        return self._lanes[lane].popleft()
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if not any(self._lanes.values()):
+                            return None
+
+    def close(self) -> None:
+        """Refuse new submits and wake every blocked taker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_remaining(self) -> list[Ticket]:
+        """Remove and return every still-queued ticket (shutdown path)."""
+        with self._cond:
+            leftovers = [
+                ticket
+                for lane in ("interactive", "batch")
+                for ticket in self._lanes[lane]
+            ]
+            for lane in self._lanes.values():
+                lane.clear()
+            return leftovers
+
+    def depths(self) -> dict[str, int]:
+        with self._cond:
+            return {lane: len(q) for lane, q in self._lanes.items()}
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return sum(len(q) for q in self._lanes.values())
+
+    def record_service(self, seconds: float) -> None:
+        """Fold one completed request's service time into the EWMA."""
+        with self._cond:
+            self._service_ewma = (
+                (1.0 - _EWMA_ALPHA) * self._service_ewma
+                + _EWMA_ALPHA * max(seconds, 0.0)
+            )
+
+    def retry_after_s(self, workers: int) -> float:
+        """How long a shed client should wait before retrying.
+
+        Queued work ahead of a hypothetical retry × recent seconds per
+        request ÷ worker count, clamped to a sane band so the hint is
+        never zero and never absurd.
+        """
+        with self._cond:
+            depth = sum(len(q) for q in self._lanes.values())
+            estimate = (depth + 1) * self._service_ewma / max(workers, 1)
+        return round(
+            min(max(estimate, _RETRY_AFTER_MIN_S), _RETRY_AFTER_MAX_S), 3
+        )

@@ -1,0 +1,162 @@
+"""Per-source circuit breakers: fail fast on a degraded experiment.
+
+Each queried experiment gets its own :class:`CircuitBreaker`.
+``threshold`` *consecutive* failures (crashes, errors, exhausted
+deadlines) trip it **open**: further requests for that experiment are
+refused instantly with a typed ``breaker_open`` response instead of
+burning a worker on work that keeps dying.  After ``cooldown_s`` the
+breaker goes **half-open** and admits exactly one probe request; the
+probe's fate decides everything — success closes the breaker, failure
+reopens it for another cooldown.
+
+State transitions only happen on :meth:`admit`/:meth:`record` calls
+(no timers), the clock is injectable, and every decision is taken
+under the breaker's own lock, so the behavior is deterministic and
+directly unit-testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["BreakerBoard", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One experiment's failure gate.
+
+    :meth:`admit` returns the admission verdict — ``"closed"`` (run
+    it), ``"probe"`` (run it, and you are the half-open probe) or
+    ``"open"`` (refuse) — and :meth:`record` reports how an admitted
+    request ended.  A probe verdict reserves the half-open slot:
+    concurrent requests see ``"open"`` until the probe resolves, and a
+    probe that is shed before running must call :meth:`cancel_probe`
+    to release it.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 3.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    def admit(self) -> str:
+        """Admission verdict: ``"closed"``, ``"probe"``, or ``"open"``."""
+        with self._lock:
+            if self._state == CLOSED:
+                return CLOSED
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return "probe"
+                return OPEN
+            # HALF_OPEN: one probe at a time.
+            if self._probe_in_flight:
+                return OPEN
+            self._probe_in_flight = True
+            return "probe"
+
+    def record(self, success: bool, probe: bool = False) -> None:
+        """Report an admitted request's fate.
+
+        ``success`` covers ``ok`` and ``skipped`` outcomes (the source
+        answered; starving on data is not degradation).  A failed
+        probe — or ``threshold`` consecutive ordinary failures —
+        (re)opens the breaker.
+        """
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+            if success:
+                self._state = CLOSED
+                self._consecutive_failures = 0
+                return
+            self._consecutive_failures += 1
+            if probe or self._consecutive_failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def cancel_probe(self) -> None:
+        """Release the half-open slot of a probe that never ran."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe could be admitted."""
+        with self._lock:
+            if self._state == OPEN:
+                remaining = self.cooldown_s - (self._clock() - self._opened_at)
+                return round(max(remaining, 0.05), 3)
+            if self._state == HALF_OPEN:
+                # A probe is (or just was) deciding; check back shortly.
+                return round(min(self.cooldown_s, 1.0), 3)
+            return 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for responses and ``/healthz``."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+
+
+class BreakerBoard:
+    """Lazy map of source key → :class:`CircuitBreaker`."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 3.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._threshold = threshold
+        self._cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self._threshold, self._cooldown_s, self._clock
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every non-closed breaker's state (closed ones are noise)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {
+            key: state
+            for key, state in (
+                (key, breaker.snapshot()) for key, breaker in breakers.items()
+            )
+            if state["state"] != CLOSED or state["consecutive_failures"] > 0
+        }

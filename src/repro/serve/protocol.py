@@ -1,0 +1,259 @@
+"""The ``repro-serve`` JSON wire protocol.
+
+One request shape, one response shape, both versioned by
+``PROTOCOL_SCHEMA`` and both **tolerant of unknown fields** so older
+replay clients keep working as the protocol grows: parsers read the
+keys they know and ignore the rest, and a round-trip through
+``to_json``/``parse`` is value-identical for every known field.
+
+A response always carries exactly one *typed outcome* from
+:data:`OUTCOMES` — the server's whole resilience contract is that no
+request ever ends any other way:
+
+=====================  ====  =============================================
+outcome                HTTP  meaning
+=====================  ====  =============================================
+``ok``                 200   the query ran; ``result`` holds its payload
+``skipped``            200   the query ran but the data legitimately
+                             starves it (small traces)
+``invalid``            400   the request itself is malformed
+``error``              500   the query crashed (isolated; worker replaced)
+``shed``               503   admission queue full — retry after
+                             ``retry_after_s``
+``breaker_open``       503   this experiment's circuit breaker is open
+``draining``           503   the server is shutting down gracefully
+``deadline_exceeded``  504   the request's deadline expired (queued or
+                             running; a running worker is cancelled)
+=====================  ====  =============================================
+
+Experiment results cross the wire in the run journal's exact
+round-trip JSON form (:func:`repro.experiments.journal.result_to_json`),
+so a replay client rehydrates the same ``ExperimentResult`` a resumed
+report would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "HTTP_STATUS",
+    "MODES",
+    "OUTCOMES",
+    "PRIORITIES",
+    "PROTOCOL_SCHEMA",
+    "RETRYABLE_OUTCOMES",
+    "ProtocolError",
+    "ServeRequest",
+    "ServeResponse",
+]
+
+#: Bump when the wire layout changes; parsers refuse other versions.
+PROTOCOL_SCHEMA = 1
+
+PRIORITIES: tuple[str, ...] = ("interactive", "batch")
+
+#: ``experiment`` runs one registered experiment; ``summary`` returns
+#: the dataset summary; ``ping`` round-trips through a worker doing no
+#: work; ``sleep`` holds a worker for ``seconds`` (load shaping and
+#: drain/deadline drills).
+MODES: tuple[str, ...] = ("experiment", "summary", "ping", "sleep")
+
+OUTCOMES: tuple[str, ...] = (
+    "ok",
+    "skipped",
+    "invalid",
+    "error",
+    "shed",
+    "breaker_open",
+    "draining",
+    "deadline_exceeded",
+)
+
+#: Outcomes a client should retry after ``retry_after_s`` — the server
+#: refused the work without attempting it.
+RETRYABLE_OUTCOMES = frozenset({"shed", "breaker_open", "draining"})
+
+HTTP_STATUS: dict[str, int] = {
+    "ok": 200,
+    "skipped": 200,
+    "invalid": 400,
+    "error": 500,
+    "shed": 503,
+    "breaker_open": 503,
+    "draining": 503,
+    "deadline_exceeded": 504,
+}
+
+
+class ProtocolError(ReproError):
+    """A request or response that violates the serve wire protocol."""
+
+
+def _require_type(payload: dict, key: str, types, default, where: str):
+    value = payload.get(key, default)
+    if value is default:
+        return default
+    type_tuple = types if isinstance(types, tuple) else (types,)
+    if isinstance(value, bool) and bool not in type_tuple:
+        raise ProtocolError(f"{where}: {key!r} must not be a boolean")
+    if not isinstance(value, type_tuple):
+        raise ProtocolError(
+            f"{where}: {key!r} has {type(value).__name__}, expected "
+            + "/".join(t.__name__ for t in type_tuple)
+        )
+    return value
+
+
+def _check_schema(payload, where: str) -> None:
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{where}: not a JSON object")
+    schema = payload.get("schema", PROTOCOL_SCHEMA)
+    if schema != PROTOCOL_SCHEMA:
+        raise ProtocolError(
+            f"{where}: protocol schema {schema!r} != {PROTOCOL_SCHEMA}"
+        )
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query: what to run, how urgently, and for how long.
+
+    ``deadline_ms`` covers queue wait *and* execution; ``None`` asks
+    for the server default.  ``seconds`` is only meaningful for
+    ``mode="sleep"``.
+    """
+
+    mode: str
+    request_id: str = ""
+    experiment: str = ""
+    priority: str = "interactive"
+    deadline_ms: int | None = None
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ProtocolError(
+                f"unknown mode {self.mode!r}; known: {', '.join(MODES)}"
+            )
+        if self.priority not in PRIORITIES:
+            raise ProtocolError(
+                f"unknown priority {self.priority!r}; "
+                f"known: {', '.join(PRIORITIES)}"
+            )
+        if self.mode == "experiment" and not self.experiment:
+            raise ProtocolError("mode 'experiment' needs an 'experiment' id")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ProtocolError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
+        if self.seconds < 0:
+            raise ProtocolError(f"seconds must be >= 0, got {self.seconds}")
+
+    @classmethod
+    def parse(cls, payload: dict) -> "ServeRequest":
+        """Build a request from wire JSON, ignoring unknown fields.
+
+        Raises
+        ------
+        ProtocolError
+            On a non-object payload, a wrong schema, a missing mode,
+            or a known field of the wrong type.
+        """
+        _check_schema(payload, "request")
+        mode = _require_type(payload, "mode", str, None, "request")
+        if mode is None:
+            raise ProtocolError("request: missing 'mode'")
+        deadline_ms = _require_type(
+            payload, "deadline_ms", int, None, "request"
+        )
+        return cls(
+            mode=mode,
+            request_id=_require_type(payload, "request_id", str, "", "request"),
+            experiment=_require_type(payload, "experiment", str, "", "request"),
+            priority=_require_type(
+                payload, "priority", str, "interactive", "request"
+            ),
+            deadline_ms=deadline_ms,
+            seconds=float(
+                _require_type(payload, "seconds", (int, float), 0.0, "request")
+            ),
+        )
+
+    def to_json(self) -> dict:
+        """Wire form; ``parse(request.to_json()) == request``."""
+        payload: dict = {"schema": PROTOCOL_SCHEMA, "kind": "request"}
+        payload.update(asdict(self))
+        return payload
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One typed answer.
+
+    ``seconds`` is the server-side total (queue + execution) and
+    ``queue_seconds`` the admission-to-dispatch share of it.
+    ``retry_after_s`` is set exactly for :data:`RETRYABLE_OUTCOMES`.
+    ``breaker`` surfaces the relevant breaker's snapshot when one
+    influenced (or will influence) this experiment's fate, and
+    ``result`` carries the mode-specific payload for ``ok``.
+    """
+
+    request_id: str
+    outcome: str
+    message: str = ""
+    seconds: float = 0.0
+    queue_seconds: float = 0.0
+    retry_after_s: float | None = None
+    breaker: dict | None = None
+    result: dict | None = None
+
+    def __post_init__(self):
+        if self.outcome not in OUTCOMES:
+            raise ProtocolError(
+                f"unknown outcome {self.outcome!r}; known: {', '.join(OUTCOMES)}"
+            )
+
+    @property
+    def http_status(self) -> int:
+        return HTTP_STATUS[self.outcome]
+
+    @classmethod
+    def parse(cls, payload: dict) -> "ServeResponse":
+        """Build a response from wire JSON, ignoring unknown fields."""
+        _check_schema(payload, "response")
+        outcome = _require_type(payload, "outcome", str, None, "response")
+        if outcome is None:
+            raise ProtocolError("response: missing 'outcome'")
+        retry_after = _require_type(
+            payload, "retry_after_s", (int, float), None, "response"
+        )
+        return cls(
+            request_id=_require_type(
+                payload, "request_id", str, "", "response"
+            ),
+            outcome=outcome,
+            message=_require_type(payload, "message", str, "", "response"),
+            seconds=float(
+                _require_type(payload, "seconds", (int, float), 0.0, "response")
+            ),
+            queue_seconds=float(
+                _require_type(
+                    payload, "queue_seconds", (int, float), 0.0, "response"
+                )
+            ),
+            retry_after_s=(
+                None if retry_after is None else float(retry_after)
+            ),
+            breaker=_require_type(payload, "breaker", dict, None, "response"),
+            result=_require_type(payload, "result", dict, None, "response"),
+        )
+
+    def to_json(self) -> dict:
+        """Wire form; ``parse(response.to_json()) == response``."""
+        payload: dict = {"schema": PROTOCOL_SCHEMA, "kind": "response"}
+        payload.update(asdict(self))
+        payload["http_status"] = self.http_status
+        return payload

@@ -1,0 +1,478 @@
+"""``repro-replay`` — timestamped workload replay against ``repro-serve``.
+
+Drives a live server from a request CSV::
+
+    request_id,arrival_offset_s,mode,priority,deadline_ms
+    r-0001,0.000,ping,interactive,2000
+    r-0002,0.050,e03,batch,8000
+    r-0003,0.090,sleep:0.25,interactive,1000
+
+``mode`` is an experiment id (``e03``), a built-in mode (``ping``,
+``summary``), or ``sleep:SECONDS``.  Arrival offsets can be replayed
+as recorded (scaled by ``--speed``) or overridden by a fixed
+``--rps``; a ``--rps-sweep`` refires the same request set at each rate
+and locates the **saturation point** — the first rate whose ok-rate
+drops below the threshold.  A chaos window (``--chaos``) arms a
+:mod:`repro.faults` process-fault plan against the live server for
+part of the replay, turning the run into an e2e resilience drill.
+
+Every fired request must come back with a typed protocol outcome; the
+client additionally checks ``/healthz`` before and after (same PID,
+still answering) so a drill can assert "zero daemon crashes"
+mechanically.  Results — per-outcome counts, p50/p99 latency overall
+and per priority lane, the sweep trajectory, and the saturation point
+— are written to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import csv
+import http.client
+import json
+import random
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.util.atomic import atomic_write_text
+
+from .protocol import MODES, OUTCOMES, PRIORITIES
+
+__all__ = [
+    "ReplayError",
+    "RequestSpec",
+    "fire_requests",
+    "generate_requests",
+    "latency_stats",
+    "load_request_csv",
+    "run_replay",
+    "write_request_csv",
+]
+
+_CSV_COLUMNS = (
+    "request_id",
+    "arrival_offset_s",
+    "mode",
+    "priority",
+    "deadline_ms",
+)
+
+#: Client-side slack beyond a request's deadline before the HTTP read
+#: times out (the server already adds its own supervision grace).
+_CLIENT_SLACK_S = 8.0
+
+
+class ReplayError(ReproError):
+    """A malformed replay CSV or an unusable replay configuration."""
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One scheduled request of a replay workload."""
+
+    request_id: str
+    arrival_offset_s: float
+    mode: str
+    priority: str = "interactive"
+    deadline_ms: int = 5000
+
+    def payload(self) -> dict:
+        """The wire request this spec fires."""
+        body = {
+            "schema": 1,
+            "request_id": self.request_id,
+            "priority": self.priority,
+            "deadline_ms": self.deadline_ms,
+        }
+        if self.mode.startswith("sleep:"):
+            body["mode"] = "sleep"
+            body["seconds"] = float(self.mode.split(":", 1)[1])
+        elif self.mode in MODES and self.mode != "experiment":
+            body["mode"] = self.mode
+        else:
+            body["mode"] = "experiment"
+            body["experiment"] = self.mode
+        return body
+
+
+def load_request_csv(path) -> list[RequestSpec]:
+    """Parse a replay CSV; typed errors, never a traceback.
+
+    Raises
+    ------
+    ReplayError
+        On a missing file, missing columns, or an unparseable row.
+    """
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise ReplayError(f"{path}: empty request CSV")
+            missing = [c for c in _CSV_COLUMNS if c not in reader.fieldnames]
+            if missing:
+                raise ReplayError(
+                    f"{path}: missing column(s) {', '.join(missing)}; "
+                    f"expected header {','.join(_CSV_COLUMNS)}"
+                )
+            specs = []
+            for line_no, row in enumerate(reader, start=2):
+                try:
+                    spec = RequestSpec(
+                        request_id=row["request_id"].strip(),
+                        arrival_offset_s=float(row["arrival_offset_s"]),
+                        mode=row["mode"].strip(),
+                        priority=row["priority"].strip() or "interactive",
+                        deadline_ms=int(row["deadline_ms"]),
+                    )
+                except (KeyError, TypeError, ValueError) as error:
+                    raise ReplayError(
+                        f"{path}:{line_no}: bad request row ({error})"
+                    ) from None
+                if spec.arrival_offset_s < 0:
+                    raise ReplayError(
+                        f"{path}:{line_no}: negative arrival offset"
+                    )
+                if spec.priority not in PRIORITIES:
+                    raise ReplayError(
+                        f"{path}:{line_no}: unknown priority "
+                        f"{spec.priority!r}"
+                    )
+                specs.append(spec)
+    except OSError as error:
+        raise ReplayError(f"cannot read request CSV: {error}") from None
+    if not specs:
+        raise ReplayError(f"{path}: no request rows")
+    return specs
+
+
+def write_request_csv(path, specs: list[RequestSpec]):
+    """Write specs in the canonical CSV layout (atomic)."""
+    lines = [",".join(_CSV_COLUMNS)]
+    for spec in specs:
+        lines.append(
+            f"{spec.request_id},{spec.arrival_offset_s:.3f},{spec.mode},"
+            f"{spec.priority},{spec.deadline_ms}"
+        )
+    return atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def generate_requests(
+    n: int,
+    rps: float,
+    modes: list[str],
+    seed: int = 0,
+    deadline_ms: int = 5000,
+    batch_fraction: float = 0.25,
+) -> list[RequestSpec]:
+    """A deterministic synthetic workload: ``n`` requests at ``rps``."""
+    if n < 1:
+        raise ReplayError(f"need at least 1 request, got {n}")
+    if rps <= 0:
+        raise ReplayError(f"rps must be positive, got {rps}")
+    if not modes:
+        raise ReplayError("need at least one mode to generate")
+    rng = random.Random(seed)
+    specs = []
+    for index in range(n):
+        priority = (
+            "batch" if rng.random() < batch_fraction else "interactive"
+        )
+        specs.append(
+            RequestSpec(
+                request_id=f"r-{index:05d}",
+                arrival_offset_s=round(index / rps, 4),
+                mode=rng.choice(modes),
+                priority=priority,
+                deadline_ms=deadline_ms,
+            )
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+
+def _http_json(
+    url: str, method: str, path: str, body: dict | None = None,
+    timeout: float = 10.0,
+) -> tuple[int, dict]:
+    """One request against ``url``; raises OSError family on failure."""
+    parsed = urllib.parse.urlsplit(url)
+    conn = http.client.HTTPConnection(
+        parsed.hostname, parsed.port, timeout=timeout
+    )
+    try:
+        data = None if body is None else json.dumps(body).encode()
+        conn.request(
+            method, path, body=data,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            payload = {}
+        return response.status, payload if isinstance(payload, dict) else {}
+    finally:
+        conn.close()
+
+
+def check_health(url: str, timeout: float = 5.0) -> dict | None:
+    """``/healthz`` payload, or ``None`` when the server is unreachable."""
+    try:
+        status, payload = _http_json(url, "GET", "/healthz", timeout=timeout)
+    except OSError:
+        return None
+    return payload if status == 200 else None
+
+
+def arm_chaos(url: str, spec: str, timeout: float = 5.0) -> bool:
+    """Arm (or clear, with ``""``) a chaos plan on the live server."""
+    try:
+        status, _ = _http_json(
+            url, "POST", "/admin/chaos", {"spec": spec}, timeout=timeout
+        )
+    except OSError:
+        return False
+    return status == 200
+
+
+# ----------------------------------------------------------------------
+# firing and measuring
+# ----------------------------------------------------------------------
+
+
+def _fire_one(url: str, spec: RequestSpec, results: list, index: int):
+    timeout = spec.deadline_ms / 1000.0 + _CLIENT_SLACK_S
+    started = time.monotonic()
+    try:
+        status, payload = _http_json(
+            url, "POST", "/query", spec.payload(), timeout=timeout
+        )
+        outcome = payload.get("outcome", "")
+        if outcome not in OUTCOMES:
+            outcome = "unaccounted"
+    except OSError:
+        status, outcome = 0, "unreachable"
+    results[index] = {
+        "request_id": spec.request_id,
+        "mode": spec.mode,
+        "priority": spec.priority,
+        "outcome": outcome,
+        "http_status": status,
+        "latency_ms": round((time.monotonic() - started) * 1000.0, 3),
+    }
+
+
+def fire_requests(
+    url: str, specs: list[RequestSpec], speed: float = 1.0
+) -> list[dict]:
+    """Fire every spec at its (speed-scaled) arrival offset.
+
+    One thread per request honors the recorded concurrency: a slow
+    response never delays later arrivals, exactly like independent
+    clients.  Returns one result dict per spec, in spec order.
+    """
+    if speed <= 0:
+        raise ReplayError(f"speed must be positive, got {speed}")
+    ordered = sorted(
+        range(len(specs)), key=lambda i: specs[i].arrival_offset_s
+    )
+    results: list = [None] * len(specs)
+    threads = []
+    t0 = time.monotonic()
+    for index in ordered:
+        spec = specs[index]
+        due = t0 + spec.arrival_offset_s / speed
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(
+            target=_fire_one, args=(url, spec, results, index), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def latency_stats(results: list[dict]) -> dict:
+    """p50/p99/mean/max latency over a result subset."""
+    values = sorted(r["latency_ms"] for r in results)
+    if not values:
+        return {
+            "count": 0, "p50_ms": 0.0, "p99_ms": 0.0,
+            "mean_ms": 0.0, "max_ms": 0.0,
+        }
+    return {
+        "count": len(values),
+        "p50_ms": round(_percentile(values, 0.50), 3),
+        "p99_ms": round(_percentile(values, 0.99), 3),
+        "mean_ms": round(sum(values) / len(values), 3),
+        "max_ms": round(values[-1], 3),
+    }
+
+
+def _outcome_counts(results: list[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for result in results:
+        counts[result["outcome"]] = counts.get(result["outcome"], 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _ok_rate(results: list[dict]) -> float:
+    if not results:
+        return 0.0
+    good = sum(1 for r in results if r["outcome"] in ("ok", "skipped"))
+    return round(good / len(results), 4)
+
+
+def _at_rps(specs: list[RequestSpec], rps: float) -> list[RequestSpec]:
+    """The same requests re-timed to a uniform arrival rate."""
+    return [
+        RequestSpec(
+            request_id=f"{spec.request_id}@{rps:g}",
+            arrival_offset_s=round(index / rps, 4),
+            mode=spec.mode,
+            priority=spec.priority,
+            deadline_ms=spec.deadline_ms,
+        )
+        for index, spec in enumerate(specs)
+    ]
+
+
+def run_replay(
+    url: str,
+    specs: list[RequestSpec],
+    *,
+    speed: float = 1.0,
+    rps: float | None = None,
+    rps_sweep: list[float] | None = None,
+    chaos_spec: str = "",
+    chaos_start_s: float = 0.0,
+    chaos_duration_s: float | None = None,
+    saturation_ok_rate: float = 0.95,
+    source: str = "csv",
+) -> dict:
+    """Run the whole drill and assemble the ``BENCH_serve.json`` record."""
+    from repro import __version__
+
+    health_before = check_health(url)
+    chaos_timers: list[threading.Timer] = []
+    if chaos_spec:
+        arm = threading.Timer(
+            max(chaos_start_s, 0.0), arm_chaos, args=(url, chaos_spec)
+        )
+        arm.daemon = True
+        arm.start()
+        chaos_timers.append(arm)
+        if chaos_duration_s is not None:
+            clear = threading.Timer(
+                max(chaos_start_s, 0.0) + chaos_duration_s,
+                arm_chaos,
+                args=(url, ""),
+            )
+            clear.daemon = True
+            clear.start()
+            chaos_timers.append(clear)
+    try:
+        main_specs = _at_rps(specs, rps) if rps else specs
+        results = fire_requests(url, main_specs, speed=speed)
+        sweep_records = []
+        saturation_rps = None
+        for sweep_rate in rps_sweep or []:
+            sweep_results = fire_requests(url, _at_rps(specs, sweep_rate))
+            ok_rate = _ok_rate(sweep_results)
+            stats = latency_stats(sweep_results)
+            sweep_records.append(
+                {
+                    "rps": sweep_rate,
+                    "total": len(sweep_results),
+                    "outcomes": _outcome_counts(sweep_results),
+                    "ok_rate": ok_rate,
+                    "p50_ms": stats["p50_ms"],
+                    "p99_ms": stats["p99_ms"],
+                }
+            )
+            if saturation_rps is None and ok_rate < saturation_ok_rate:
+                saturation_rps = sweep_rate
+            time.sleep(0.2)  # let the queue settle between rates
+    finally:
+        for timer in chaos_timers:
+            timer.cancel()
+        if chaos_spec:
+            arm_chaos(url, "")  # never leave a drill armed
+    health_after = check_health(url)
+    outcomes = _outcome_counts(results)
+    unreachable = outcomes.get("unreachable", 0)
+    unaccounted = outcomes.get("unaccounted", 0)
+    same_pid = (
+        health_before is not None
+        and health_after is not None
+        and health_before.get("pid") == health_after.get("pid")
+    )
+    record = {
+        "schema": 1,
+        "kind": "bench-serve",
+        "toolkit_version": __version__,
+        "url": url,
+        "config": {
+            "source": source,
+            "n_requests": len(main_specs),
+            "speed": speed,
+            "rps": rps,
+            "rps_sweep": list(rps_sweep or []),
+            "chaos": chaos_spec,
+            "chaos_start_s": chaos_start_s,
+            "chaos_duration_s": chaos_duration_s,
+            "saturation_ok_rate": saturation_ok_rate,
+        },
+        "requests": {
+            "total": len(results),
+            "outcomes": outcomes,
+            "ok_rate": _ok_rate(results),
+            "unreachable": unreachable,
+            "unaccounted": unaccounted,
+        },
+        "latency_ms": {
+            "overall": latency_stats(results),
+            "ok": latency_stats(
+                [r for r in results if r["outcome"] == "ok"]
+            ),
+            "interactive": latency_stats(
+                [r for r in results if r["priority"] == "interactive"]
+            ),
+            "batch": latency_stats(
+                [r for r in results if r["priority"] == "batch"]
+            ),
+        },
+        "sweep": sweep_records,
+        "saturation_rps": saturation_rps,
+        "server": {
+            "healthy_before": health_before is not None,
+            "healthy_after": health_after is not None,
+            "same_pid": same_pid,
+            "pid": (health_after or {}).get("pid"),
+            "workers_replaced": (health_after or {})
+            .get("workers", {})
+            .get("replaced"),
+            "outcomes": (health_after or {}).get("requests", {}),
+        },
+    }
+    record["clean"] = bool(
+        same_pid and unreachable == 0 and unaccounted == 0
+    )
+    return record

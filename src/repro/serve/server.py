@@ -1,0 +1,687 @@
+"""The ``repro-serve`` daemon: HTTP front, supervised workers behind.
+
+Request lifecycle — every stage either advances the request or ends it
+with a typed outcome, so nothing is ever silently dropped:
+
+1. an HTTP handler thread parses the body (``invalid`` on protocol
+   violations) and asks :meth:`ReproServer.handle_query`;
+2. admission: draining servers answer ``draining``; an open circuit
+   breaker answers ``breaker_open``; a full lane answers ``shed`` with
+   a load-derived ``retry_after_s`` — all three without touching a
+   worker;
+3. a dispatcher thread (one per worker slot) takes the ticket —
+   interactive lane first — charges queue wait against its deadline,
+   and runs it on its supervised worker process with the *remaining*
+   budget;
+4. the verdict (worker outcome, crash, or stall-kill) becomes the
+   response, feeds the experiment's breaker, and wakes the waiting
+   HTTP thread.
+
+Shutdown (SIGTERM/SIGINT or ``POST /admin/drain``) is a graceful
+drain: stop admitting, finish in-flight work within the drain
+deadline, answer whatever remains with ``draining``, journal the
+shutdown, and write the run's ``trace.jsonl`` with one span per
+request.  ``GET /healthz`` (always 200 while the process lives) and
+``GET /readyz`` (503 once draining or worker-less) report queue
+depths, breaker states, outcome counts, and the dataset fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import FaultError
+from repro.faults.plan import ProcessFaultPlan
+from repro.util.deadline import Deadline
+
+from .admission import AdmissionQueue, Ticket
+from .breaker import BreakerBoard
+from .protocol import ProtocolError, ServeRequest, ServeResponse
+from .workers import SUPERVISOR_GRACE_S, WorkerSlot
+
+try:  # tracing is optional: without repro.obs the server runs untraced
+    from repro.obs import trace as _obs
+except ImportError:  # pragma: no cover - exercised by the obs-less drill
+    _obs = None
+
+__all__ = ["ReproServer", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one server instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    interactive_capacity: int = 16
+    batch_capacity: int = 64
+    default_deadline_ms: int = 10_000
+    max_deadline_ms: int = 60_000
+    drain_s: float = 5.0
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 3.0
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.default_deadline_ms < 1 or self.max_deadline_ms < 1:
+            raise ValueError("deadlines must be positive")
+        if self.drain_s < 0:
+            raise ValueError(f"drain_s must be >= 0, got {self.drain_s}")
+
+
+class _ServeTrace:
+    """Thread-safe per-request span/counter sink for ``trace.jsonl``.
+
+    The obs :class:`TraceRecorder` is single-threaded by design (its
+    span stack assumes one thread), so the server records flat,
+    parentless spans itself — one per request, made under a lock —
+    and absorbs them into a recorder only at write time.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._epoch = time.monotonic()
+        self._spans: list[dict] = []
+        self._counters: dict[str, float] = {}
+        self._pid = os.getpid()
+
+    def record_span(self, name: str, start: float, seconds: float, **attrs):
+        with self._lock:
+            self._spans.append(
+                {
+                    "kind": "span",
+                    "id": len(self._spans),
+                    "parent": None,
+                    "name": name,
+                    "start": round(max(start - self._epoch, 0.0), 9),
+                    "seconds": round(max(seconds, 0.0), 9),
+                    "depth": 0,
+                    "pid": self._pid,
+                    "attrs": attrs,
+                }
+            )
+
+    def incr(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def write(self, path, run_id: str | None):
+        if _obs is None:  # pragma: no cover - obs-less install
+            return None
+        recorder = _obs.TraceRecorder()
+        with self._lock:
+            recorder.absorb(list(self._spans), dict(self._counters))
+        return recorder.write(path, run_id=run_id)
+
+
+class ReproServer:
+    """One live daemon: dataset, queue, breakers, workers, HTTP front."""
+
+    def __init__(
+        self,
+        dataset,
+        fingerprint: str = "",
+        config: ServeConfig | None = None,
+        journal=None,
+    ):
+        self.dataset = dataset
+        self.fingerprint = fingerprint
+        self.config = config or ServeConfig()
+        self.journal = journal
+        self.queue = AdmissionQueue(
+            self.config.interactive_capacity, self.config.batch_capacity
+        )
+        self.breakers = BreakerBoard(
+            self.config.breaker_threshold, self.config.breaker_cooldown_s
+        )
+        self._trace = _ServeTrace() if self.config.trace else None
+        self._lock = threading.Lock()
+        self._outcome_counts: dict[str, int] = {}
+        self._outstanding = 0
+        self._request_seq = 0
+        self._chaos_spec = ""
+        self._draining = False
+        self._drain_reason = ""
+        self._killing_workers = False
+        self._stop_requested = threading.Event()
+        self._stop_dispatch = threading.Event()
+        self._stopped = threading.Event()
+        self._started_at = time.monotonic()
+        self._slots: list[WorkerSlot] = []
+        self._dispatchers: list[threading.Thread] = []
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Spawn workers + dispatchers, bind HTTP; returns (host, port)."""
+        self._started_at = time.monotonic()
+        for _ in range(self.config.workers):
+            self._slots.append(WorkerSlot(self.dataset))
+        for index, slot in enumerate(self._slots):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(slot,),
+                name=f"serve-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._dispatchers.append(thread)
+        self._httpd = _ServeHTTPServer(
+            (self.config.host, self.config.port), _ServeHandler
+        )
+        self._httpd.repro = self
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        if self.journal is not None:
+            self.journal.append_event(
+                "serve-listening",
+                host=self.config.host,
+                port=self.port,
+                pid=os.getpid(),
+                workers=self.config.workers,
+            )
+        return self.config.host, self.port
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_port if self._httpd else self.config.port
+
+    def request_stop(self, reason: str = "requested") -> None:
+        """Begin a graceful drain; idempotent and signal-handler-safe.
+
+        Admission flips to ``draining`` immediately; the thread inside
+        :meth:`run_until_stopped` performs the actual drain.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            self._drain_reason = reason
+        self._stop_requested.set()
+
+    def run_until_stopped(self) -> None:
+        """Block until a stop is requested, then drain and shut down."""
+        self._stop_requested.wait()
+        self._shutdown()
+
+    def drain_and_stop(self, reason: str = "requested") -> None:
+        """Synchronous stop for tests: request + drain + shut down."""
+        self.request_stop(reason)
+        self.run_until_stopped()
+
+    def _shutdown(self) -> None:
+        if self._stopped.is_set():
+            return
+        reason = self._drain_reason or "requested"
+        if self.journal is not None:
+            self.journal.append_event(
+                "drain-start",
+                reason=reason,
+                outstanding=self._outstanding,
+                drain_s=self.config.drain_s,
+            )
+        drain_deadline = Deadline.after(self.config.drain_s)
+        while self._outstanding > 0 and not drain_deadline.expired:
+            time.sleep(0.02)
+        drained_in_time = self._outstanding == 0
+        self.queue.close()
+        # Whatever never reached a worker answers `draining` — typed,
+        # accounted for, and honest about why.
+        for ticket in self.queue.drain_remaining():
+            self._complete(
+                ticket,
+                outcome="draining",
+                message=f"server shut down before dispatch ({reason})",
+                retry_after_s=None,
+            )
+        if self._outstanding > 0:
+            # In-flight work blew the drain budget: kill the busy
+            # workers so their dispatchers answer promptly.
+            self._killing_workers = True
+            for slot in self._slots:
+                if slot.busy:
+                    slot.kill()
+        self._stop_dispatch.set()
+        for thread in self._dispatchers:
+            thread.join(timeout=SUPERVISOR_GRACE_S + 5.0)
+        for slot in self._slots:
+            slot.close()
+        uptime = time.monotonic() - self._started_at
+        if self.journal is not None:
+            self.journal.append_event(
+                "shutdown",
+                reason=reason,
+                drained_in_time=drained_in_time,
+                uptime_s=round(uptime, 3),
+                outcomes=self.outcome_counts(),
+                workers_replaced=self.workers_replaced(),
+            )
+            self.journal.append_end("complete", uptime)
+            if self._trace is not None:
+                self._trace.incr(
+                    "serve.workers.replaced", self.workers_replaced()
+                )
+                self._trace.write(
+                    self.journal.directory / "trace.jsonl",
+                    run_id=self.journal.run_id,
+                )
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+        self._stopped.set()
+
+    # -- chaos ---------------------------------------------------------
+
+    def arm_chaos(self, spec: str) -> dict:
+        """Arm (or, with an empty spec, clear) a process-fault plan.
+
+        The spec is validated eagerly and snapshotted into every
+        subsequently admitted request, so arming a live server affects
+        exactly the requests admitted while it is armed.
+        """
+        spec = (spec or "").strip()
+        if spec:
+            ProcessFaultPlan.parse(spec)  # FaultError on a bad spec
+        with self._lock:
+            self._chaos_spec = spec
+        if self.journal is not None:
+            self.journal.append_event(
+                "chaos-armed" if spec else "chaos-cleared", spec=spec
+            )
+        return {"armed": bool(spec), "spec": spec}
+
+    # -- request path --------------------------------------------------
+
+    def handle_query(self, payload: dict) -> ServeResponse:
+        """Admit, run, and answer one request; never raises."""
+        arrived = time.monotonic()
+        try:
+            request = ServeRequest.parse(payload)
+        except ProtocolError as error:
+            response = ServeResponse(
+                request_id=str(payload.get("request_id", ""))
+                if isinstance(payload, dict)
+                else "",
+                outcome="invalid",
+                message=str(error),
+            )
+            self._account(response, arrived, None)
+            return response
+        if not request.request_id:
+            with self._lock:
+                self._request_seq += 1
+                seq = self._request_seq
+            request = ServeRequest(
+                mode=request.mode,
+                request_id=f"srv-{seq:06d}",
+                experiment=request.experiment,
+                priority=request.priority,
+                deadline_ms=request.deadline_ms,
+                seconds=request.seconds,
+            )
+        if request.mode == "experiment":
+            from repro.experiments import all_experiments
+
+            if request.experiment not in all_experiments():
+                response = ServeResponse(
+                    request_id=request.request_id,
+                    outcome="invalid",
+                    message=f"unknown experiment {request.experiment!r}",
+                )
+                self._account(response, arrived, request)
+                return response
+        if self._draining:
+            response = ServeResponse(
+                request_id=request.request_id,
+                outcome="draining",
+                message="server is draining; not accepting new requests",
+                retry_after_s=round(self.config.drain_s + 1.0, 3),
+            )
+            self._account(response, arrived, request)
+            return response
+        probe = False
+        breaker = None
+        if request.mode == "experiment":
+            breaker = self.breakers.get(request.experiment)
+            verdict = breaker.admit()
+            if verdict == "open":
+                response = ServeResponse(
+                    request_id=request.request_id,
+                    outcome="breaker_open",
+                    message=(
+                        f"circuit breaker for {request.experiment!r} is open"
+                    ),
+                    retry_after_s=breaker.retry_after_s(),
+                    breaker=breaker.snapshot(),
+                )
+                self._account(response, arrived, request)
+                return response
+            probe = verdict == "probe"
+        deadline_ms = min(
+            request.deadline_ms or self.config.default_deadline_ms,
+            self.config.max_deadline_ms,
+        )
+        with self._lock:
+            chaos_spec = self._chaos_spec
+        ticket = Ticket(
+            request=request,
+            deadline=Deadline.after(deadline_ms / 1000.0),
+            chaos_spec=chaos_spec,
+            probe=probe,
+        )
+        admitted = self.queue.submit(ticket)
+        if not admitted:
+            if probe and breaker is not None:
+                breaker.cancel_probe()
+            response = ServeResponse(
+                request_id=request.request_id,
+                outcome="shed",
+                message=(
+                    f"admission queue full ({request.priority} lane); "
+                    "retry after the hinted delay"
+                ),
+                retry_after_s=self.queue.retry_after_s(self.config.workers),
+            )
+            self._account(response, arrived, request)
+            return response
+        with self._lock:
+            self._outstanding += 1
+        budget_s = deadline_ms / 1000.0 + SUPERVISOR_GRACE_S + 3.0
+        if not ticket.done.wait(budget_s):
+            # Belt-and-braces: a dispatcher should always answer first.
+            self._complete(
+                ticket,
+                outcome="error",
+                message="internal: dispatch never answered",
+                retry_after_s=None,
+            )
+            ticket.done.wait(1.0)
+        response = ticket.response
+        if response is None:  # pragma: no cover - complete() always sets it
+            response = ServeResponse(
+                request_id=request.request_id,
+                outcome="error",
+                message="internal: request lost",
+            )
+        return response
+
+    def _dispatch_loop(self, slot: WorkerSlot) -> None:
+        while True:
+            ticket = self.queue.take(timeout=0.1)
+            if ticket is None:
+                if self._stop_dispatch.is_set():
+                    return
+                continue
+            self._run_ticket(slot, ticket)
+
+    def _run_ticket(self, slot: WorkerSlot, ticket: Ticket) -> None:
+        request = ticket.request
+        if ticket.deadline.expired:
+            self._complete(
+                ticket,
+                outcome="deadline_exceeded",
+                message=(
+                    f"deadline ({ticket.deadline.budget:.3f}s) expired "
+                    "while queued"
+                ),
+                retry_after_s=None,
+            )
+            return
+        remaining = ticket.deadline.remaining()
+        queue_seconds = time.monotonic() - ticket.enqueued_at
+        job = {
+            "request_id": request.request_id,
+            "mode": request.mode,
+            "experiment": request.experiment,
+            "seconds": request.seconds,
+            "deadline_s": remaining,
+            "chaos_spec": ticket.chaos_spec,
+            "attempt": 1,
+        }
+        verdict = slot.run(job, remaining)
+        if verdict.kind == "done":
+            payload = verdict.payload or {}
+            outcome = payload.get("outcome", "error")
+            message = payload.get("message", "")
+            result = payload.get("result")
+            self.queue.record_service(float(payload.get("seconds", 0.0)))
+        elif verdict.kind == "stalled":
+            outcome = "deadline_exceeded"
+            message = (
+                "worker exceeded the deadline and was killed "
+                f"(budget {ticket.deadline.budget:.3f}s + grace)"
+            )
+            result = None
+        else:  # crashed
+            if self._killing_workers:
+                outcome, message = "draining", (
+                    "in-flight work killed at the drain deadline"
+                )
+            else:
+                outcome = "error"
+                message = "worker process died mid-request; replaced"
+            result = None
+        if request.mode == "experiment":
+            self.breakers.get(request.experiment).record(
+                success=outcome in ("ok", "skipped"), probe=ticket.probe
+            )
+        self._complete(
+            ticket,
+            outcome=outcome,
+            message=message,
+            retry_after_s=None,
+            result=result,
+            queue_seconds=queue_seconds,
+        )
+
+    def _complete(
+        self,
+        ticket: Ticket,
+        *,
+        outcome: str,
+        message: str,
+        retry_after_s: float | None,
+        result: dict | None = None,
+        queue_seconds: float | None = None,
+    ) -> None:
+        now = time.monotonic()
+        request = ticket.request
+        breaker_state = None
+        if request.mode == "experiment":
+            breaker_state = self.breakers.get(request.experiment).snapshot()
+        if queue_seconds is None:
+            # Never dispatched: the whole wait was queue time.
+            queue_seconds = now - ticket.enqueued_at
+        response = ServeResponse(
+            request_id=request.request_id,
+            outcome=outcome,
+            message=message,
+            seconds=round(now - ticket.enqueued_at, 6),
+            queue_seconds=round(max(queue_seconds, 0.0), 6),
+            retry_after_s=retry_after_s,
+            breaker=breaker_state,
+            result=result,
+        )
+        if ticket.complete(response):
+            with self._lock:
+                self._outstanding -= 1
+            self._account(response, ticket.enqueued_at, request)
+
+    def _account(
+        self,
+        response: ServeResponse,
+        started_monotonic: float,
+        request: ServeRequest | None,
+    ) -> None:
+        with self._lock:
+            self._outcome_counts[response.outcome] = (
+                self._outcome_counts.get(response.outcome, 0) + 1
+            )
+        if self._trace is not None:
+            attrs = {
+                "request_id": response.request_id,
+                "outcome": response.outcome,
+            }
+            if request is not None:
+                attrs["mode"] = request.mode
+                attrs["priority"] = request.priority
+                if request.experiment:
+                    attrs["experiment"] = request.experiment
+            self._trace.record_span(
+                "serve.request",
+                started_monotonic,
+                time.monotonic() - started_monotonic,
+                **attrs,
+            )
+            self._trace.incr("serve.requests.total")
+            self._trace.incr(f"serve.outcome.{response.outcome}")
+
+    # -- introspection -------------------------------------------------
+
+    def outcome_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._outcome_counts.items()))
+
+    def workers_replaced(self) -> int:
+        return sum(slot.replacements for slot in self._slots)
+
+    def healthz(self) -> dict:
+        summary = {}
+        try:
+            summary = {
+                "n_jobs": self.dataset.jobs.n_rows,
+                "n_ras_events": self.dataset.ras.n_rows,
+            }
+        except Exception:  # noqa: BLE001 - health must never raise
+            pass
+        alive = sum(1 for slot in self._slots if slot.alive)
+        with self._lock:
+            chaos = self._chaos_spec
+            outstanding = self._outstanding
+        return {
+            "status": "draining" if self._draining else "ok",
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "draining": self._draining,
+            "dataset": {"fingerprint": self.fingerprint, **summary},
+            "queue": {**self.queue.depths(), "outstanding": outstanding},
+            "workers": {
+                "slots": len(self._slots),
+                "alive": alive,
+                "replaced": self.workers_replaced(),
+            },
+            "breakers": self.breakers.snapshot(),
+            "requests": self.outcome_counts(),
+            "chaos": chaos,
+        }
+
+    def readyz(self) -> tuple[bool, dict]:
+        alive = sum(1 for slot in self._slots if slot.alive)
+        if self._draining:
+            return False, {"ready": False, "reason": "draining"}
+        if alive == 0:
+            return False, {"ready": False, "reason": "no live workers"}
+        return True, {"ready": True, "workers_alive": alive}
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    repro: ReproServer  # attached right after construction
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the journal and trace are the record, not stderr
+
+    def _send_json(
+        self, status: int, payload: dict, retry_after_s: float | None = None
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", f"{retry_after_s:g}")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up; the outcome is already accounted
+
+    def _read_json(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return None
+        if length <= 0:
+            return None
+        try:
+            raw = self.rfile.read(length)
+            parsed = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        return parsed if isinstance(parsed, dict) else None
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        server = self.server.repro
+        if self.path == "/healthz":
+            self._send_json(200, server.healthz())
+        elif self.path == "/readyz":
+            ready, payload = server.readyz()
+            self._send_json(200 if ready else 503, payload)
+        else:
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        server = self.server.repro
+        if self.path == "/query":
+            payload = self._read_json()
+            if payload is None:
+                response = ServeResponse(
+                    request_id="",
+                    outcome="invalid",
+                    message="body must be a JSON object",
+                )
+            else:
+                response = server.handle_query(payload)
+            self._send_json(
+                response.http_status,
+                response.to_json(),
+                retry_after_s=response.retry_after_s,
+            )
+        elif self.path == "/admin/chaos":
+            payload = self._read_json() or {}
+            try:
+                result = server.arm_chaos(str(payload.get("spec", "")))
+            except FaultError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            self._send_json(200, result)
+        elif self.path == "/admin/drain":
+            server.request_stop("admin-drain")
+            self._send_json(
+                200, {"draining": True, "drain_s": server.config.drain_s}
+            )
+        else:
+            self._send_json(404, {"error": f"no such path {self.path!r}"})

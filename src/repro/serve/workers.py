@@ -1,0 +1,219 @@
+"""Supervised worker processes: crash isolation for the query server.
+
+Every query runs in a worker *process*, never in the daemon itself, so
+a poisoned request — one that segfaults numpy, exhausts memory, or is
+deliberately killed by an armed chaos plan — costs exactly one worker.
+The supervising :class:`WorkerSlot` detects the death (pipe EOF),
+reports a typed verdict, and respawns a fresh worker before the next
+request, mirroring the batch engine's supervised-pool behavior
+(PR 4) in long-lived form.
+
+Deadlines are enforced twice, as in the batch engine:
+
+- inside the worker, :func:`repro.util.deadline.deadline` arms a
+  ``SIGALRM`` for the request's *remaining* budget, so a slow query is
+  cancelled in place and the worker survives to serve the next one;
+- the supervisor polls the result pipe for the same budget plus a
+  grace period, and a worker that blows through it (e.g. an armed
+  ``hang`` fault blocking ``SIGALRM``) is SIGKILLed and replaced.
+
+Chaos plans travel *per job*, not via the environment: the server
+snapshots its armed spec into each job, and the worker applies it with
+:class:`repro.faults.ProcessFaultPlan` keyed by the experiment id (or
+the mode name for ``ping``/``sleep``/``summary``), so a live server
+can be armed and disarmed between requests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.errors import FaultError, ReproError
+from repro.util.deadline import DeadlineExceeded, deadline
+
+__all__ = ["WorkerSlot", "WorkerVerdict", "run_job"]
+
+#: Extra seconds the supervisor waits beyond a job's deadline before
+#: declaring the worker wedged and killing it.
+SUPERVISOR_GRACE_S = 2.0
+
+
+@dataclass(frozen=True)
+class WorkerVerdict:
+    """How one dispatched job ended, as seen by the supervisor.
+
+    ``kind`` is ``"done"`` (``payload`` holds the worker's outcome
+    dict), ``"crashed"`` (the worker died mid-job), or ``"stalled"``
+    (it exceeded deadline + grace and was killed).  For the latter two
+    the worker has already been replaced by the time the verdict is
+    returned.
+    """
+
+    kind: str
+    payload: dict | None = None
+
+
+def run_job(job: dict, dataset) -> dict:
+    """Execute one job dict against ``dataset``; always returns an outcome.
+
+    The outcome dict carries ``outcome`` (``ok`` / ``skipped`` /
+    ``deadline_exceeded`` / ``error``), ``message``, ``seconds`` (run
+    time inside the worker), and ``result`` (mode-specific payload for
+    ``ok``).  Runs inside the worker process, but is also directly
+    callable in-process by tests.
+    """
+    from repro.faults.plan import ProcessFaultPlan
+
+    started = time.perf_counter()
+    outcome, message, result = "ok", "", None
+    try:
+        with deadline(job.get("deadline_s")):
+            spec = job.get("chaos_spec") or ""
+            if spec:
+                # Chaos is keyed like the batch engine: by experiment
+                # id, falling back to the mode name so drills can
+                # target ping/sleep traffic without a dataset.
+                key = job.get("experiment") or job["mode"]
+                ProcessFaultPlan.parse(spec).apply(key, job.get("attempt", 1))
+            mode = job["mode"]
+            if mode == "ping":
+                result = None
+            elif mode == "sleep":
+                time.sleep(float(job.get("seconds", 0.0)))
+            elif mode == "summary":
+                result = {"summary": dataset.summary()}
+            elif mode == "experiment":
+                from repro.experiments import run_experiment
+                from repro.experiments.journal import result_to_json
+
+                experiment_result = run_experiment(
+                    job["experiment"], dataset
+                )
+                result = result_to_json(experiment_result)
+            else:
+                outcome, message = "error", f"unknown mode {mode!r}"
+    except DeadlineExceeded:
+        outcome = "deadline_exceeded"
+        message = f"deadline exceeded after {job.get('deadline_s', 0):.3f}s"
+        result = None
+    except FaultError as error:
+        outcome, message, result = "error", repr(error), None
+    except (ReproError, ValueError) as error:
+        outcome, message, result = "skipped", str(error), None
+    except Exception as error:  # noqa: BLE001 - isolate query crashes
+        outcome, message, result = "error", repr(error), None
+    return {
+        "request_id": job.get("request_id", ""),
+        "outcome": outcome,
+        "message": message,
+        "seconds": time.perf_counter() - started,
+        "result": result,
+    }
+
+
+def _worker_main(conn, dataset) -> None:
+    """Worker process body: serve jobs from the pipe until told to stop."""
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            return
+        if job is None:
+            return
+        try:
+            conn.send(run_job(job, dataset))
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _pick_context():
+    methods = multiprocessing.get_all_start_methods()
+    # fork shares the loaded dataset copy-on-write — one hot copy for
+    # every worker, exactly the "hold the dataset hot" design goal.
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerSlot:
+    """One supervised worker process, auto-replaced on crash or stall."""
+
+    def __init__(self, dataset):
+        self._dataset = dataset
+        self._ctx = _pick_context()
+        self.replacements = 0
+        self.busy = False
+        self._process = None
+        self._conn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._dataset),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._process, self._conn = process, parent_conn
+
+    def _replace(self) -> None:
+        self.kill()
+        self.replacements += 1
+        self._spawn()
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def run(self, job: dict, budget_s: float) -> WorkerVerdict:
+        """Dispatch ``job`` and supervise it for ``budget_s`` + grace.
+
+        Exactly one of the three verdict kinds comes back, and the
+        slot is guaranteed to hold a live, idle worker afterwards.
+        """
+        self.busy = True
+        try:
+            try:
+                self._conn.send(job)
+            except (BrokenPipeError, OSError):
+                self._replace()
+                return WorkerVerdict("crashed")
+            wait_s = max(budget_s, 0.0) + SUPERVISOR_GRACE_S
+            try:
+                if not self._conn.poll(wait_s):
+                    self._replace()
+                    return WorkerVerdict("stalled")
+                payload = self._conn.recv()
+            except (EOFError, OSError):
+                self._replace()
+                return WorkerVerdict("crashed")
+            return WorkerVerdict("done", payload)
+        finally:
+            self.busy = False
+
+    def kill(self) -> None:
+        """Forcibly end the worker process and close its pipe."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=5.0)
+        self._process, self._conn = None, None
+
+    def close(self, timeout: float = 1.0) -> None:
+        """Ask the worker to exit; escalate to kill after ``timeout``."""
+        if self._conn is not None:
+            try:
+                self._conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        if self._process is not None:
+            self._process.join(timeout=timeout)
+        self.kill()

@@ -1,0 +1,114 @@
+"""Admission queue: bounded lanes, priority order, shed hints."""
+
+from repro.serve.admission import AdmissionQueue, Ticket
+from repro.serve.protocol import ServeRequest, ServeResponse
+from repro.util.deadline import Deadline
+
+import pytest
+
+
+def _ticket(priority="interactive", mode="ping"):
+    return Ticket(
+        request=ServeRequest(mode=mode, priority=priority),
+        deadline=Deadline.after(10.0),
+    )
+
+
+class TestBoundedLanes:
+    def test_full_lane_refuses_instantly(self):
+        queue = AdmissionQueue(interactive_capacity=2, batch_capacity=2)
+        assert queue.submit(_ticket())
+        assert queue.submit(_ticket())
+        assert not queue.submit(_ticket())  # shed
+        # The batch lane is independent.
+        assert queue.submit(_ticket(priority="batch"))
+
+    def test_capacity_frees_after_take(self):
+        queue = AdmissionQueue(interactive_capacity=1, batch_capacity=1)
+        assert queue.submit(_ticket())
+        assert not queue.submit(_ticket())
+        assert queue.take(timeout=0.1) is not None
+        assert queue.submit(_ticket())
+
+    def test_capacities_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacities"):
+            AdmissionQueue(interactive_capacity=0)
+
+
+class TestPriorityOrder:
+    def test_interactive_drains_before_batch(self):
+        queue = AdmissionQueue()
+        first_batch = _ticket(priority="batch")
+        queue.submit(first_batch)
+        urgent = _ticket(priority="interactive")
+        queue.submit(urgent)
+        assert queue.take(timeout=0.1) is urgent
+        assert queue.take(timeout=0.1) is first_batch
+
+    def test_fifo_within_a_lane(self):
+        queue = AdmissionQueue()
+        tickets = [_ticket() for _ in range(3)]
+        for ticket in tickets:
+            queue.submit(ticket)
+        assert [queue.take(timeout=0.1) for _ in tickets] == tickets
+
+    def test_take_times_out_empty(self):
+        queue = AdmissionQueue()
+        assert queue.take(timeout=0.05) is None
+
+
+class TestCloseAndDrain:
+    def test_closed_queue_refuses_submits(self):
+        queue = AdmissionQueue()
+        queue.close()
+        assert not queue.submit(_ticket())
+
+    def test_drain_remaining_empties_both_lanes(self):
+        queue = AdmissionQueue()
+        queue.submit(_ticket())
+        queue.submit(_ticket(priority="batch"))
+        leftovers = queue.drain_remaining()
+        assert len(leftovers) == 2
+        assert queue.depth == 0
+
+    def test_close_drains_queued_work_before_returning_none(self):
+        queue = AdmissionQueue()
+        ticket = _ticket()
+        queue.submit(ticket)
+        queue.close()
+        assert queue.take(timeout=0.1) is ticket
+        assert queue.take(timeout=0.1) is None
+
+
+class TestRetryAfter:
+    def test_hint_tracks_depth_and_service_time(self):
+        queue = AdmissionQueue()
+        baseline = queue.retry_after_s(workers=2)
+        for _ in range(8):
+            queue.submit(_ticket())
+        deeper = queue.retry_after_s(workers=2)
+        assert deeper > baseline
+        # Slower observed service times push the hint up further.
+        for _ in range(20):
+            queue.record_service(2.0)
+        assert queue.retry_after_s(workers=2) > deeper
+
+    def test_hint_is_clamped_to_a_sane_band(self):
+        queue = AdmissionQueue()
+        assert queue.retry_after_s(workers=64) >= 0.1
+        for _ in range(20):
+            queue.record_service(3600.0)
+        for _ in range(10):
+            queue.submit(_ticket())
+        assert queue.retry_after_s(workers=1) <= 30.0
+
+
+class TestTicket:
+    def test_complete_is_first_wins(self):
+        ticket = _ticket()
+        first = ServeResponse(request_id="r", outcome="ok")
+        second = ServeResponse(request_id="r", outcome="error")
+        assert ticket.complete(first)
+        assert not ticket.complete(second)
+        assert ticket.response is first
+        assert ticket.done.is_set()

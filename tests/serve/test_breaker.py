@@ -1,0 +1,135 @@
+"""Circuit breaker state machine, driven by an injected clock."""
+
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+
+import pytest
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestTrip:
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+        for _ in range(2):
+            assert breaker.admit() == "closed"
+            breaker.record(success=False)
+        assert breaker.admit() == "closed"
+
+    def test_consecutive_failures_trip_it_open(self, clock):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record(success=False)
+        assert breaker.admit() == "open"
+        assert breaker.snapshot()["state"] == "open"
+
+    def test_success_resets_the_streak(self, clock):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+        breaker.record(success=False)
+        breaker.record(success=False)
+        breaker.record(success=True)
+        breaker.record(success=False)
+        breaker.record(success=False)
+        assert breaker.admit() == "closed"
+
+
+class TestHalfOpen:
+    def _tripped(self, clock, threshold=2, cooldown_s=5.0):
+        breaker = CircuitBreaker(
+            threshold=threshold, cooldown_s=cooldown_s, clock=clock
+        )
+        for _ in range(threshold):
+            breaker.record(success=False)
+        return breaker
+
+    def test_open_until_cooldown_elapses(self, clock):
+        breaker = self._tripped(clock)
+        assert breaker.admit() == "open"
+        clock.advance(4.9)
+        assert breaker.admit() == "open"
+        clock.advance(0.2)
+        assert breaker.admit() == "probe"
+
+    def test_single_probe_at_a_time(self, clock):
+        breaker = self._tripped(clock)
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+        # Concurrent admits while the probe is deciding are refused.
+        assert breaker.admit() == "open"
+
+    def test_successful_probe_closes(self, clock):
+        breaker = self._tripped(clock)
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+        breaker.record(success=True, probe=True)
+        assert breaker.admit() == "closed"
+        assert breaker.snapshot()["consecutive_failures"] == 0
+
+    def test_failed_probe_reopens_for_another_cooldown(self, clock):
+        breaker = self._tripped(clock)
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+        breaker.record(success=False, probe=True)
+        assert breaker.admit() == "open"
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+
+    def test_cancelled_probe_releases_the_slot(self, clock):
+        # A probe shed at admission never runs; the slot must free up
+        # or the breaker would refuse probes forever.
+        breaker = self._tripped(clock)
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+        breaker.cancel_probe()
+        assert breaker.admit() == "probe"
+
+
+class TestRetryAfter:
+    def test_counts_down_with_the_clock(self, clock):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record(success=False)
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.advance(6.0)
+        assert breaker.retry_after_s() == pytest.approx(4.0)
+
+    def test_closed_breaker_needs_no_retry(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.retry_after_s() == 0.0
+
+
+class TestBoard:
+    def test_keys_are_independent(self, clock):
+        board = BreakerBoard(threshold=1, cooldown_s=5.0, clock=clock)
+        board.get("e03").record(success=False)
+        assert board.get("e03").admit() == "open"
+        assert board.get("e05").admit() == "closed"
+
+    def test_snapshot_hides_clean_breakers(self, clock):
+        board = BreakerBoard(threshold=2, cooldown_s=5.0, clock=clock)
+        board.get("quiet").record(success=True)
+        board.get("flaky").record(success=False)
+        board.get("dead").record(success=False)
+        board.get("dead").record(success=False)
+        snap = board.snapshot()
+        assert set(snap) == {"flaky", "dead"}
+        assert snap["dead"]["state"] == "open"
+        assert snap["flaky"]["consecutive_failures"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown_s=0.0)

@@ -1,0 +1,147 @@
+"""Wire-protocol schema tests: golden round-trips + tolerance rules."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    HTTP_STATUS,
+    MODES,
+    OUTCOMES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    ServeRequest,
+    ServeResponse,
+)
+
+GOLDEN_REQUESTS = [
+    {"schema": 1, "kind": "request", "mode": "ping", "request_id": "r1",
+     "experiment": "", "priority": "interactive", "deadline_ms": None,
+     "seconds": 0.0},
+    {"schema": 1, "kind": "request", "mode": "experiment",
+     "request_id": "r2", "experiment": "e03", "priority": "batch",
+     "deadline_ms": 2500, "seconds": 0.0},
+    {"schema": 1, "kind": "request", "mode": "sleep", "request_id": "r3",
+     "experiment": "", "priority": "interactive", "deadline_ms": 100,
+     "seconds": 0.25},
+    {"schema": 1, "kind": "request", "mode": "summary", "request_id": "",
+     "experiment": "", "priority": "interactive", "deadline_ms": None,
+     "seconds": 0.0},
+]
+
+GOLDEN_RESPONSES = [
+    {"schema": 1, "kind": "response", "request_id": "r1", "outcome": "ok",
+     "message": "", "seconds": 0.012, "queue_seconds": 0.001,
+     "retry_after_s": None, "breaker": None,
+     "result": {"summary": {"n_jobs": 3}}, "http_status": 200},
+    {"schema": 1, "kind": "response", "request_id": "r2",
+     "outcome": "shed", "message": "queue full", "seconds": 0.0,
+     "queue_seconds": 0.0, "retry_after_s": 0.4, "breaker": None,
+     "result": None, "http_status": 503},
+    {"schema": 1, "kind": "response", "request_id": "r3",
+     "outcome": "breaker_open", "message": "e03 breaker open",
+     "seconds": 0.0, "queue_seconds": 0.0, "retry_after_s": 2.1,
+     "breaker": {"state": "open", "consecutive_failures": 5,
+                 "threshold": 5, "cooldown_s": 3.0},
+     "result": None, "http_status": 503},
+    {"schema": 1, "kind": "response", "request_id": "r4",
+     "outcome": "deadline_exceeded", "message": "deadline exceeded",
+     "seconds": 0.5, "queue_seconds": 0.2, "retry_after_s": None,
+     "breaker": None, "result": None, "http_status": 504},
+]
+
+
+class TestGoldenRoundTrips:
+    @pytest.mark.parametrize("payload", GOLDEN_REQUESTS)
+    def test_request_round_trip_is_identity(self, payload):
+        request = ServeRequest.parse(payload)
+        assert request.to_json() == payload
+        # And a second hop stays stable.
+        assert ServeRequest.parse(request.to_json()) == request
+
+    @pytest.mark.parametrize("payload", GOLDEN_RESPONSES)
+    def test_response_round_trip_is_identity(self, payload):
+        response = ServeResponse.parse(payload)
+        assert response.to_json() == payload
+        assert ServeResponse.parse(response.to_json()) == response
+
+    @pytest.mark.parametrize("payload", GOLDEN_REQUESTS + GOLDEN_RESPONSES)
+    def test_wire_form_is_json_serializable(self, payload):
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestTolerance:
+    def test_request_ignores_unknown_fields(self):
+        request = ServeRequest.parse(
+            {"schema": 1, "mode": "ping", "request_id": "r1",
+             "a_future_field": {"nested": True}, "another": 7}
+        )
+        assert request == ServeRequest(mode="ping", request_id="r1")
+
+    def test_response_ignores_unknown_fields(self):
+        response = ServeResponse.parse(
+            {"schema": 1, "request_id": "r", "outcome": "ok",
+             "shiny_new_hint": [1, 2, 3]}
+        )
+        assert response.outcome == "ok"
+
+    def test_missing_schema_defaults_to_current(self):
+        assert ServeRequest.parse({"mode": "ping"}).mode == "ping"
+
+    def test_future_schema_is_refused(self):
+        with pytest.raises(ProtocolError, match="protocol schema"):
+            ServeRequest.parse({"schema": 99, "mode": "ping"})
+
+
+class TestValidation:
+    def test_every_outcome_has_an_http_status(self):
+        assert set(HTTP_STATUS) == set(OUTCOMES)
+
+    @pytest.mark.parametrize("outcome", OUTCOMES)
+    def test_http_status_property(self, outcome):
+        response = ServeResponse(request_id="r", outcome=outcome)
+        assert response.http_status == HTTP_STATUS[outcome]
+
+    def test_unknown_mode_is_typed(self):
+        with pytest.raises(ProtocolError, match="unknown mode"):
+            ServeRequest(mode="teleport")
+
+    def test_unknown_priority_is_typed(self):
+        with pytest.raises(ProtocolError, match="unknown priority"):
+            ServeRequest(mode="ping", priority="urgent")
+
+    def test_experiment_mode_needs_an_id(self):
+        with pytest.raises(ProtocolError, match="needs an 'experiment'"):
+            ServeRequest(mode="experiment")
+
+    def test_nonpositive_deadline_is_typed(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            ServeRequest(mode="ping", deadline_ms=0)
+
+    def test_unknown_outcome_is_typed(self):
+        with pytest.raises(ProtocolError, match="unknown outcome"):
+            ServeResponse(request_id="r", outcome="mystery")
+
+    def test_non_object_payload_is_typed(self):
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            ServeRequest.parse(["mode", "ping"])
+
+    def test_wrong_field_type_is_typed(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            ServeRequest.parse(
+                {"schema": 1, "mode": "ping", "deadline_ms": "fast"}
+            )
+
+    def test_boolean_is_not_a_number(self):
+        with pytest.raises(ProtocolError, match="seconds"):
+            ServeRequest.parse({"schema": 1, "mode": "sleep", "seconds": True})
+
+    def test_missing_mode_is_typed(self):
+        with pytest.raises(ProtocolError, match="missing 'mode'"):
+            ServeRequest.parse({"schema": 1})
+
+    def test_modes_are_stable(self):
+        # The replay CSV format and docs enumerate these; growing the
+        # tuple is fine, renaming/removing is a protocol break.
+        assert set(MODES) >= {"experiment", "summary", "ping", "sleep"}
+        assert PROTOCOL_SCHEMA == 1

@@ -1,0 +1,155 @@
+"""repro-replay: CSV handling, workload generation, and a live drill."""
+
+import pytest
+
+from repro.dataset import MiraDataset
+from repro.serve.replay import (
+    RequestSpec,
+    ReplayError,
+    generate_requests,
+    latency_stats,
+    load_request_csv,
+    run_replay,
+    write_request_csv,
+)
+from repro.serve.server import ReproServer, ServeConfig
+
+
+class TestRequestCsv:
+    def test_write_then_load_round_trips(self, tmp_path):
+        specs = [
+            RequestSpec("r1", 0.0, "ping", "interactive", 2000),
+            RequestSpec("r2", 0.05, "e03", "batch", 8000),
+            RequestSpec("r3", 0.125, "sleep:0.25", "interactive", 1000),
+        ]
+        path = tmp_path / "requests.csv"
+        write_request_csv(path, specs)
+        assert load_request_csv(path) == specs
+
+    def test_header_is_the_documented_format(self, tmp_path):
+        path = tmp_path / "requests.csv"
+        write_request_csv(path, [RequestSpec("r1", 0.0, "ping")])
+        header = path.read_text().splitlines()[0]
+        assert header == "request_id,arrival_offset_s,mode,priority,deadline_ms"
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(ReplayError, match="cannot read"):
+            load_request_csv(tmp_path / "absent.csv")
+
+    def test_missing_column_is_typed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("request_id,mode\nr1,ping\n")
+        with pytest.raises(ReplayError, match="missing column"):
+            load_request_csv(path)
+
+    def test_bad_row_is_typed_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "request_id,arrival_offset_s,mode,priority,deadline_ms\n"
+            "r1,zero,ping,interactive,1000\n"
+        )
+        with pytest.raises(ReplayError, match=":2:"):
+            load_request_csv(path)
+
+    def test_negative_offset_is_typed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "request_id,arrival_offset_s,mode,priority,deadline_ms\n"
+            "r1,-1.0,ping,interactive,1000\n"
+        )
+        with pytest.raises(ReplayError, match="negative"):
+            load_request_csv(path)
+
+    def test_empty_body_is_typed(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(
+            "request_id,arrival_offset_s,mode,priority,deadline_ms\n"
+        )
+        with pytest.raises(ReplayError, match="no request rows"):
+            load_request_csv(path)
+
+
+class TestGenerate:
+    def test_deterministic_for_a_seed(self):
+        a = generate_requests(20, 50.0, ["ping", "e01"], seed=7)
+        b = generate_requests(20, 50.0, ["ping", "e01"], seed=7)
+        assert a == b
+        assert a != generate_requests(20, 50.0, ["ping", "e01"], seed=8)
+
+    def test_offsets_follow_the_rate(self):
+        specs = generate_requests(10, 20.0, ["ping"])
+        assert specs[0].arrival_offset_s == 0.0
+        assert specs[4].arrival_offset_s == pytest.approx(0.2)
+
+    def test_mixes_priorities(self):
+        specs = generate_requests(40, 100.0, ["ping"], seed=0)
+        priorities = {spec.priority for spec in specs}
+        assert priorities == {"interactive", "batch"}
+
+    def test_validation(self):
+        with pytest.raises(ReplayError):
+            generate_requests(0, 10.0, ["ping"])
+        with pytest.raises(ReplayError):
+            generate_requests(5, 0.0, ["ping"])
+        with pytest.raises(ReplayError):
+            generate_requests(5, 10.0, [])
+
+
+class TestSpecPayload:
+    def test_sleep_mode_carries_seconds(self):
+        payload = RequestSpec("r", 0.0, "sleep:0.75").payload()
+        assert payload["mode"] == "sleep"
+        assert payload["seconds"] == 0.75
+
+    def test_experiment_ids_become_experiment_mode(self):
+        payload = RequestSpec("r", 0.0, "e05").payload()
+        assert payload["mode"] == "experiment"
+        assert payload["experiment"] == "e05"
+
+    def test_builtin_modes_pass_through(self):
+        assert RequestSpec("r", 0.0, "summary").payload()["mode"] == "summary"
+
+
+class TestLatencyStats:
+    def test_percentiles_over_known_values(self):
+        results = [{"latency_ms": float(v)} for v in range(1, 101)]
+        stats = latency_stats(results)
+        assert stats["count"] == 100
+        assert stats["p50_ms"] == 51.0
+        assert stats["p99_ms"] == 100.0
+        assert stats["max_ms"] == 100.0
+
+    def test_empty_subset_is_zeroed(self):
+        assert latency_stats([])["count"] == 0
+
+
+class TestLiveReplay:
+    def test_drill_against_a_live_server_is_clean(self):
+        dataset = MiraDataset.synthesize(n_days=2.0, seed=3)
+        server = ReproServer(
+            dataset, config=ServeConfig(workers=2, drain_s=3.0)
+        )
+        server.start()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            specs = generate_requests(
+                12, 40.0, ["ping", "e01"], seed=1, deadline_ms=8000
+            )
+            record = run_replay(url, specs, source="test")
+        finally:
+            server.drain_and_stop("test-teardown")
+        assert record["clean"] is True
+        assert record["requests"]["total"] == 12
+        assert record["requests"]["outcomes"].get("ok") == 12
+        assert record["requests"]["unreachable"] == 0
+        assert record["requests"]["unaccounted"] == 0
+        assert record["server"]["same_pid"] is True
+        assert record["latency_ms"]["overall"]["count"] == 12
+        assert record["latency_ms"]["overall"]["p99_ms"] > 0
+
+    def test_unreachable_server_is_reported_not_raised(self):
+        specs = [RequestSpec("r1", 0.0, "ping", deadline_ms=500)]
+        record = run_replay("http://127.0.0.1:9", specs, source="test")
+        assert record["clean"] is False
+        assert record["requests"]["outcomes"] == {"unreachable": 1}
+        assert record["server"]["healthy_before"] is False

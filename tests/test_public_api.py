@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core.fitting",
     "repro.core.filtering",
     "repro.experiments",
+    "repro.serve",
 ]
 
 

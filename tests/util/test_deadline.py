@@ -1,0 +1,84 @@
+"""Unit tests for the shared deadline utilities (``repro.util.deadline``).
+
+This module was extracted from the experiment engine's private SIGALRM
+machinery so the serve daemon could reuse it; these tests pin its
+contract independently of either caller.
+"""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.util.deadline import Deadline, DeadlineExceeded, deadline
+
+
+class TestDeadlineContext:
+    def test_fires_on_overrun(self):
+        with pytest.raises(DeadlineExceeded):
+            with deadline(0.05):
+                time.sleep(5.0)
+
+    def test_noop_within_budget(self):
+        with deadline(5.0):
+            value = 1 + 1
+        assert value == 2
+
+    def test_none_disables_enforcement(self):
+        with deadline(None):
+            time.sleep(0.01)
+
+    def test_restores_previous_handler_and_timer(self):
+        previous = signal.getsignal(signal.SIGALRM)
+        with deadline(5.0):
+            pass
+        assert signal.getsignal(signal.SIGALRM) is previous
+        # The itimer must be fully disarmed afterwards.
+        remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert remaining == 0.0
+
+    def test_restores_handler_after_expiry(self):
+        previous = signal.getsignal(signal.SIGALRM)
+        with pytest.raises(DeadlineExceeded):
+            with deadline(0.05):
+                time.sleep(5.0)
+        assert signal.getsignal(signal.SIGALRM) is previous
+
+    def test_off_main_thread_is_a_noop(self):
+        # SIGALRM can only be armed from the main thread; elsewhere the
+        # context must degrade to no enforcement instead of crashing.
+        outcome = {}
+
+        def body():
+            try:
+                with deadline(0.05):
+                    time.sleep(0.2)
+                outcome["ok"] = True
+            except Exception as error:  # pragma: no cover - failure path
+                outcome["error"] = error
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert outcome == {"ok": True}
+
+    def test_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        # Engine and server both map timeouts specially; a timeout
+        # must never be swallowed by a generic ReproError handler.
+        assert not issubclass(DeadlineExceeded, ReproError)
+
+
+class TestDeadlineClock:
+    def test_after_sets_budget_and_remaining(self):
+        d = Deadline.after(10.0)
+        assert d.budget == 10.0
+        assert 9.0 < d.remaining() <= 10.0
+        assert not d.expired
+
+    def test_expired_deadline_clamps_remaining_to_zero(self):
+        d = Deadline(expires_at=time.monotonic() - 1.0, budget=0.5)
+        assert d.remaining() == 0.0
+        assert d.expired
