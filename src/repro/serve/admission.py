@@ -53,6 +53,7 @@ class Ticket:
     done: threading.Event = field(default_factory=threading.Event)
     response: ServeResponse | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock)
+    _probe_settled: bool = False
 
     def complete(self, response: ServeResponse) -> bool:
         """Attach the response and wake the waiter; first call wins."""
@@ -62,6 +63,22 @@ class Ticket:
             self.response = response
         self.done.set()
         return True
+
+    def settle_probe(self) -> bool:
+        """Claim the right to resolve this ticket's half-open probe.
+
+        A probe ticket holds its breaker's single half-open slot, which
+        must be released exactly once — by ``record()`` when the probe
+        actually ran, or by ``cancel_probe()`` when it never reached a
+        worker (expired in queue, answered by the drain path, or ended
+        by the dispatch backstop).  First caller wins; later callers
+        must leave the breaker alone.
+        """
+        with self._lock:
+            if self._probe_settled:
+                return False
+            self._probe_settled = True
+            return True
 
     @property
     def completed(self) -> bool:

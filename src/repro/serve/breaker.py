@@ -83,16 +83,32 @@ class CircuitBreaker:
         answered; starving on data is not degradation).  A failed
         probe — or ``threshold`` consecutive ordinary failures —
         (re)opens the breaker.
+
+        Once the breaker has left CLOSED, only probes (and the
+        cooldown clock, via :meth:`admit`) move the state: a stale
+        non-probe result — admitted before the trip, finishing while
+        the breaker is OPEN or a probe is in flight — must neither
+        force-close the breaker around the single-probe protocol nor
+        reopen it under a live probe.
         """
         with self._lock:
             if probe:
                 self._probe_in_flight = False
+                if success:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                else:
+                    self._consecutive_failures += 1
+                    self._state = OPEN
+                    self._opened_at = self._clock()
+                return
+            if self._state != CLOSED:
+                return  # stale result from before the trip: no vote
             if success:
-                self._state = CLOSED
                 self._consecutive_failures = 0
                 return
             self._consecutive_failures += 1
-            if probe or self._consecutive_failures >= self.threshold:
+            if self._consecutive_failures >= self.threshold:
                 self._state = OPEN
                 self._opened_at = self._clock()
 

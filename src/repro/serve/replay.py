@@ -417,8 +417,15 @@ def run_replay(
             arm_chaos(url, "")  # never leave a drill armed
     health_after = check_health(url)
     outcomes = _outcome_counts(results)
-    unreachable = outcomes.get("unreachable", 0)
-    unaccounted = outcomes.get("unaccounted", 0)
+    # The clean verdict covers *every* response the drill elicited:
+    # sweep passes count toward unreachable/unaccounted exactly like
+    # the main pass, per the documented exit-code contract.
+    unreachable = outcomes.get("unreachable", 0) + sum(
+        rec["outcomes"].get("unreachable", 0) for rec in sweep_records
+    )
+    unaccounted = outcomes.get("unaccounted", 0) + sum(
+        rec["outcomes"].get("unaccounted", 0) for rec in sweep_records
+    )
     same_pid = (
         health_before is not None
         and health_after is not None

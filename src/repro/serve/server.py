@@ -42,7 +42,7 @@ from repro.util.deadline import Deadline
 from .admission import AdmissionQueue, Ticket
 from .breaker import BreakerBoard
 from .protocol import ProtocolError, ServeRequest, ServeResponse
-from .workers import SUPERVISOR_GRACE_S, WorkerSlot
+from .workers import FORK_LOCK, SUPERVISOR_GRACE_S, WorkerSlot
 
 try:  # tracing is optional: without repro.obs the server runs untraced
     from repro.obs import trace as _obs
@@ -162,6 +162,18 @@ class ReproServer:
 
     # -- lifecycle -----------------------------------------------------
 
+    def _journal_event(self, name: str, **fields) -> None:
+        """Journal one event under :data:`FORK_LOCK`.
+
+        Worker replacements fork from this multithreaded process; the
+        lock keeps the journal's append from being mid-write — and its
+        lock from being copied held — in the forked child.
+        """
+        if self.journal is None:
+            return
+        with FORK_LOCK:
+            self.journal.append_event(name, **fields)
+
     def start(self) -> tuple[str, int]:
         """Spawn workers + dispatchers, bind HTTP; returns (host, port)."""
         self._started_at = time.monotonic()
@@ -187,14 +199,13 @@ class ReproServer:
             daemon=True,
         )
         self._http_thread.start()
-        if self.journal is not None:
-            self.journal.append_event(
-                "serve-listening",
-                host=self.config.host,
-                port=self.port,
-                pid=os.getpid(),
-                workers=self.config.workers,
-            )
+        self._journal_event(
+            "serve-listening",
+            host=self.config.host,
+            port=self.port,
+            pid=os.getpid(),
+            workers=self.config.workers,
+        )
         return self.config.host, self.port
 
     @property
@@ -228,13 +239,12 @@ class ReproServer:
         if self._stopped.is_set():
             return
         reason = self._drain_reason or "requested"
-        if self.journal is not None:
-            self.journal.append_event(
-                "drain-start",
-                reason=reason,
-                outstanding=self._outstanding,
-                drain_s=self.config.drain_s,
-            )
+        self._journal_event(
+            "drain-start",
+            reason=reason,
+            outstanding=self._outstanding,
+            drain_s=self.config.drain_s,
+        )
         drain_deadline = Deadline.after(self.config.drain_s)
         while self._outstanding > 0 and not drain_deadline.expired:
             time.sleep(0.02)
@@ -263,7 +273,7 @@ class ReproServer:
             slot.close()
         uptime = time.monotonic() - self._started_at
         if self.journal is not None:
-            self.journal.append_event(
+            self._journal_event(
                 "shutdown",
                 reason=reason,
                 drained_in_time=drained_in_time,
@@ -271,7 +281,8 @@ class ReproServer:
                 outcomes=self.outcome_counts(),
                 workers_replaced=self.workers_replaced(),
             )
-            self.journal.append_end("complete", uptime)
+            with FORK_LOCK:
+                self.journal.append_end("complete", uptime)
             if self._trace is not None:
                 self._trace.incr(
                     "serve.workers.replaced", self.workers_replaced()
@@ -301,10 +312,9 @@ class ReproServer:
             ProcessFaultPlan.parse(spec)  # FaultError on a bad spec
         with self._lock:
             self._chaos_spec = spec
-        if self.journal is not None:
-            self.journal.append_event(
-                "chaos-armed" if spec else "chaos-cleared", spec=spec
-            )
+        self._journal_event(
+            "chaos-armed" if spec else "chaos-cleared", spec=spec
+        )
         return {"armed": bool(spec), "spec": spec}
 
     # -- request path --------------------------------------------------
@@ -388,7 +398,7 @@ class ReproServer:
         )
         admitted = self.queue.submit(ticket)
         if not admitted:
-            if probe and breaker is not None:
+            if probe and breaker is not None and ticket.settle_probe():
                 breaker.cancel_probe()
             response = ServeResponse(
                 request_id=request.request_id,
@@ -478,7 +488,11 @@ class ReproServer:
                 outcome = "error"
                 message = "worker process died mid-request; replaced"
             result = None
-        if request.mode == "experiment":
+        if request.mode == "experiment" and (
+            not ticket.probe or ticket.settle_probe()
+        ):
+            # A probe that lost the settle race (the dispatch backstop
+            # already cancelled it) must not vote twice.
             self.breakers.get(request.experiment).record(
                 success=outcome in ("ok", "skipped"), probe=ticket.probe
             )
@@ -505,7 +519,14 @@ class ReproServer:
         request = ticket.request
         breaker_state = None
         if request.mode == "experiment":
-            breaker_state = self.breakers.get(request.experiment).snapshot()
+            breaker = self.breakers.get(request.experiment)
+            if ticket.probe and ticket.settle_probe():
+                # The probe never produced a verdict (deadline expired
+                # while queued, drain path, or the dispatch backstop):
+                # release the half-open slot, or the breaker would
+                # answer breaker_open forever.
+                breaker.cancel_probe()
+            breaker_state = breaker.snapshot()
         if queue_seconds is None:
             # Never dispatched: the whole wait was queue time.
             queue_seconds = now - ticket.enqueued_at

@@ -22,22 +22,62 @@ snapshots its armed spec into each job, and the worker applies it with
 :class:`repro.faults.ProcessFaultPlan` keyed by the experiment id (or
 the mode name for ``ping``/``sleep``/``summary``), so a live server
 can be armed and disarmed between requests.
+
+**Fork-from-threads hazard.**  Workers use the ``fork`` start method
+so every worker shares the loaded dataset copy-on-write.  The initial
+workers fork before the daemon starts any threads, which is safe; a
+*replacement* forks from the fully multithreaded daemon, where a lock
+held by another thread at fork time (a journal file append, the import
+machinery) is copied *locked* into the child and can deadlock it
+(CPython 3.12+ also warns about this pattern).  Two mitigations keep
+the window closed in practice:
+
+- :data:`FORK_LOCK` serialises every fork against the daemon's journal
+  and trace writes (the server takes the same lock around them), so
+  the child can never inherit those locks held;
+- :func:`_preload_worker_modules` imports everything ``run_job`` needs
+  *before* the fork, so the child never enters the import machinery —
+  whose per-module locks a concurrently-importing handler thread could
+  hold — for anything but ``sys.modules`` cache hits.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass
 
 from repro.errors import FaultError, ReproError
 from repro.util.deadline import DeadlineExceeded, deadline
 
-__all__ = ["WorkerSlot", "WorkerVerdict", "run_job"]
+__all__ = ["FORK_LOCK", "WorkerSlot", "WorkerVerdict", "run_job"]
 
 #: Extra seconds the supervisor waits beyond a job's deadline before
 #: declaring the worker wedged and killing it.
 SUPERVISOR_GRACE_S = 2.0
+
+#: Held across every worker fork, and by the server around journal and
+#: trace writes, so a replacement forked from the multithreaded daemon
+#: can never inherit one of those locks in the held state (see the
+#: module docstring's fork-from-threads hazard).
+FORK_LOCK = threading.Lock()
+
+
+def _preload_worker_modules() -> None:
+    """Import everything ``run_job`` lazily imports, pre-fork.
+
+    Runs in the *parent* before each fork so the child's imports are
+    pure ``sys.modules`` cache hits and never contend on import locks
+    a handler thread may hold at fork time.
+    """
+    import repro.faults.plan  # noqa: F401
+
+    try:
+        import repro.experiments  # noqa: F401
+        import repro.experiments.journal  # noqa: F401
+    except ImportError:  # pragma: no cover - minimal installs
+        pass
 
 
 @dataclass(frozen=True)
@@ -145,20 +185,28 @@ class WorkerSlot:
         self._ctx = _pick_context()
         self.replacements = 0
         self.busy = False
+        # Guards the (_process, _conn) pair: kill() may race _replace()
+        # (drain-deadline kill vs. the dispatcher's crash recovery),
+        # and each must atomically take or install the pair so a kill
+        # can never dismantle a replacement it did not target.
+        self._state_lock = threading.Lock()
         self._process = None
         self._conn = None
         self._spawn()
 
     def _spawn(self) -> None:
+        _preload_worker_modules()
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, self._dataset),
             daemon=True,
         )
-        process.start()
+        with FORK_LOCK:
+            process.start()
         child_conn.close()
-        self._process, self._conn = process, parent_conn
+        with self._state_lock:
+            self._process, self._conn = process, parent_conn
 
     def _replace(self) -> None:
         self.kill()
@@ -167,7 +215,8 @@ class WorkerSlot:
 
     @property
     def alive(self) -> bool:
-        return self._process is not None and self._process.is_alive()
+        process = self._process  # snapshot: kill() nulls it concurrently
+        return process is not None and process.is_alive()
 
     def run(self, job: dict, budget_s: float) -> WorkerVerdict:
         """Dispatch ``job`` and supervise it for ``budget_s`` + grace.
@@ -177,17 +226,26 @@ class WorkerSlot:
         """
         self.busy = True
         try:
+            # Snapshot the pipe once: a concurrent kill() (the drain
+            # deadline killing busy workers) nulls self._conn, and the
+            # snapshot keeps that from surfacing as an AttributeError
+            # mid-poll — the closed pipe raises OSError instead, which
+            # lands in the ordinary crash path below.
+            conn = self._conn
+            if conn is None:
+                self._replace()
+                return WorkerVerdict("crashed")
             try:
-                self._conn.send(job)
+                conn.send(job)
             except (BrokenPipeError, OSError):
                 self._replace()
                 return WorkerVerdict("crashed")
             wait_s = max(budget_s, 0.0) + SUPERVISOR_GRACE_S
             try:
-                if not self._conn.poll(wait_s):
+                if not conn.poll(wait_s):
                     self._replace()
                     return WorkerVerdict("stalled")
-                payload = self._conn.recv()
+                payload = conn.recv()
             except (EOFError, OSError):
                 self._replace()
                 return WorkerVerdict("crashed")
@@ -196,24 +254,34 @@ class WorkerSlot:
             self.busy = False
 
     def kill(self) -> None:
-        """Forcibly end the worker process and close its pipe."""
-        if self._conn is not None:
+        """Forcibly end the worker process and close its pipe.
+
+        Takes ownership of the (process, pipe) pair atomically, so a
+        concurrent :meth:`_replace` installing a fresh worker is never
+        half-dismantled — whichever caller pops the pair dismantles
+        exactly that worker and nothing newer.
+        """
+        with self._state_lock:
+            process, conn = self._process, self._conn
+            self._process, self._conn = None, None
+        if conn is not None:
             try:
-                self._conn.close()
+                conn.close()
             except OSError:
                 pass
-        if self._process is not None and self._process.is_alive():
-            self._process.kill()
-            self._process.join(timeout=5.0)
-        self._process, self._conn = None, None
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
 
     def close(self, timeout: float = 1.0) -> None:
         """Ask the worker to exit; escalate to kill after ``timeout``."""
-        if self._conn is not None:
+        with self._state_lock:
+            process, conn = self._process, self._conn
+        if conn is not None:
             try:
-                self._conn.send(None)
+                conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        if self._process is not None:
-            self._process.join(timeout=timeout)
+        if process is not None:
+            process.join(timeout=timeout)
         self.kill()

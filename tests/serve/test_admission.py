@@ -112,3 +112,10 @@ class TestTicket:
         assert not ticket.complete(second)
         assert ticket.response is first
         assert ticket.done.is_set()
+
+    def test_settle_probe_is_first_wins(self):
+        # The breaker's half-open slot must be released exactly once —
+        # by record() or cancel_probe(), whichever claims it first.
+        ticket = _ticket()
+        assert ticket.settle_probe()
+        assert not ticket.settle_probe()

@@ -97,6 +97,43 @@ class TestHalfOpen:
         assert breaker.admit() == "probe"
 
 
+class TestStaleResults:
+    """Results from requests admitted *before* a trip must not move
+    the state machine around the single-probe half-open protocol."""
+
+    def _tripped(self, clock, threshold=2, cooldown_s=5.0):
+        breaker = CircuitBreaker(
+            threshold=threshold, cooldown_s=cooldown_s, clock=clock
+        )
+        for _ in range(threshold):
+            breaker.record(success=False)
+        return breaker
+
+    def test_stale_success_cannot_force_close_an_open_breaker(self, clock):
+        breaker = self._tripped(clock)
+        breaker.record(success=True)  # admitted pre-trip, finished late
+        assert breaker.admit() == "open"
+
+    def test_stale_success_cannot_bypass_an_inflight_probe(self, clock):
+        breaker = self._tripped(clock)
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+        breaker.record(success=True)  # stale non-probe result
+        # The probe still owns the half-open slot, and its verdict —
+        # not the stale success — decides the state.
+        assert breaker.admit() == "open"
+        breaker.record(success=False, probe=True)
+        assert breaker.admit() == "open"
+
+    def test_stale_failure_cannot_reopen_under_a_probe(self, clock):
+        breaker = self._tripped(clock)
+        clock.advance(5.1)
+        assert breaker.admit() == "probe"
+        breaker.record(success=False)  # stale non-probe failure
+        breaker.record(success=True, probe=True)
+        assert breaker.admit() == "closed"
+
+
 class TestRetryAfter:
     def test_counts_down_with_the_clock(self, clock):
         breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)

@@ -153,3 +153,39 @@ class TestLiveReplay:
         assert record["clean"] is False
         assert record["requests"]["outcomes"] == {"unreachable": 1}
         assert record["server"]["healthy_before"] is False
+
+    def test_sweep_failures_fail_the_clean_verdict(self, monkeypatch):
+        # Regression: unreachable/untyped responses during --rps-sweep
+        # passes used to be invisible to the clean verdict (and so to
+        # the exit code), violating the documented contract.
+        import repro.serve.replay as replay_mod
+
+        calls = {"n": 0}
+
+        def fake_fire(url, specs, speed=1.0):
+            calls["n"] += 1
+            outcome = "ok" if calls["n"] == 1 else "unreachable"
+            return [
+                {
+                    "request_id": spec.request_id,
+                    "mode": spec.mode,
+                    "priority": spec.priority,
+                    "outcome": outcome,
+                    "http_status": 200 if outcome == "ok" else 0,
+                    "latency_ms": 1.0,
+                }
+                for spec in specs
+            ]
+
+        monkeypatch.setattr(replay_mod, "fire_requests", fake_fire)
+        monkeypatch.setattr(
+            replay_mod, "check_health", lambda url, timeout=5.0: {"pid": 7}
+        )
+        specs = [RequestSpec("r1", 0.0, "ping", deadline_ms=500)]
+        record = replay_mod.run_replay(
+            "http://test", specs, rps_sweep=[5.0], source="test"
+        )
+        # The main pass was clean; only the sweep went unreachable.
+        assert record["requests"]["outcomes"] == {"ok": 1}
+        assert record["requests"]["unreachable"] == 1
+        assert record["clean"] is False

@@ -192,6 +192,38 @@ class TestBreaker:
             query(srv, mode="experiment", experiment="e02").outcome == "ok"
         )
 
+    def test_probe_expiring_in_queue_releases_the_half_open_slot(
+        self, flaky_server
+    ):
+        # Regression: a half-open probe whose deadline expired while
+        # queued used to keep the probe slot reserved forever, so every
+        # later request answered breaker_open until a restart.
+        srv = flaky_server
+        srv.arm_chaos("kill_worker:e01:1")
+        for _ in range(2):
+            assert (
+                query(srv, mode="experiment", experiment="e01").outcome
+                == "error"
+            )
+        srv.arm_chaos("")
+        # Occupy the only worker so the probe has to sit in queue.
+        blocker = threading.Thread(
+            target=lambda: query(srv, mode="sleep", seconds=1.2),
+            daemon=True,
+        )
+        blocker.start()
+        time.sleep(0.6)  # worker busy, breaker cooldown (0.4s) elapsed
+        probe = query(
+            srv, mode="experiment", experiment="e01", deadline_ms=200
+        )
+        assert probe.outcome == "deadline_exceeded"
+        blocker.join(timeout=10.0)
+        # The slot was released: the next request is admitted as the
+        # new probe, succeeds, and closes the breaker.
+        recovered = query(srv, mode="experiment", experiment="e01")
+        assert recovered.outcome == "ok"
+        assert recovered.breaker["state"] == "closed"
+
 
 class TestOverload:
     """Satellite: a full queue sheds with a typed response + retry hint."""
