@@ -21,9 +21,20 @@ from pathlib import Path
 
 
 def baseline_seconds(record: dict, experiment_id: str) -> float:
+    """Committed wall-time for one experiment.
+
+    Only ``id``/``status``/``seconds`` are read; any other field on the
+    entry (``max_rss_kb``, future additions) and any other top-level
+    section (``rss``, ``kernel_sweep``, ...) is ignored, so the gate
+    keeps working as the bench record grows.
+    """
     for entry in record.get("experiments", []):
-        if entry.get("id") == experiment_id and entry.get("status") == "ok":
+        if entry.get("id") != experiment_id or entry.get("status") != "ok":
+            continue
+        try:
             return float(entry["seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue
     raise SystemExit(
         f"baseline has no ok outcome for {experiment_id!r}; "
         "re-commit BENCH_pipeline.json from a full bench run"

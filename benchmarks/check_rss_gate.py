@@ -1,0 +1,193 @@
+"""CI gate for the zero-copy dataset hand-off: worker RSS by mode.
+
+Measures the peak resident set of a *fresh* worker process that
+receives the benchmark dataset two ways:
+
+- ``pickle`` (``mode="ram"``): the dataset is serialized in full and
+  the worker materializes every column — the pre-arena hand-off.
+- ``arena`` (``mode="mmap"``): the dataset pickles as tiny
+  ``(path, table, fingerprint)`` descriptors and the worker attaches
+  the shared read-only arena (:mod:`repro.table.arena`), paying only
+  for the pages its queries actually touch.
+
+A third baseline worker loads no dataset at all; its RSS (interpreter
+plus numpy) is subtracted from both measurements so the gate compares
+dataset *increments*, not interpreter overhead.  Every worker is a
+fresh subprocess (``--measure``) because ``ru_maxrss`` is a monotonic
+per-process high-water mark.
+
+The gate fails when the arena increment exceeds ``--limit-ratio``
+(default 0.5) of the pickle increment.  With ``--json`` the measured
+numbers are merged into ``BENCH_pipeline.json`` under ``"rss"``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_rss_gate.py [--days 500]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import resource
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def _max_rss_kb() -> int:
+    """Peak RSS of this process in KiB.
+
+    Prefers ``/proc/self/status`` ``VmHWM``: unlike ``ru_maxrss`` —
+    which Linux carries *across exec*, so a worker forked from a fat
+    parent inherits the parent's high-water mark — ``VmHWM`` belongs
+    to the process's own address space and starts fresh.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+def _measure(payload: str) -> int:
+    """Worker body: optionally load a pickled dataset, do work, report.
+
+    The work mirrors a serve/pool worker answering one query: a summary
+    plus one experiment.  Prints a one-line JSON record on stdout.
+    """
+    # Everything a worker imports is charged to the baseline too, so
+    # the increments isolate the dataset hand-off itself.
+    import numpy  # noqa: F401
+    import repro.experiments  # noqa: F401
+    from repro.dataset import MiraDataset  # noqa: F401
+
+    if payload != "none":
+        with open(payload, "rb") as handle:
+            dataset = pickle.load(handle)
+        dataset.summary()
+        from repro.experiments import run_experiment
+
+        run_experiment("e01", dataset)
+    print(json.dumps({"max_rss_kb": _max_rss_kb()}))
+    return 0
+
+
+def _spawn_measure(payload: str) -> int:
+    output = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--measure", payload],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=os.environ,
+    ).stdout
+    return int(json.loads(output.strip().splitlines()[-1])["max_rss_kb"])
+
+
+def measure_modes(n_days: float, seed: int) -> dict:
+    """Measure per-worker RSS increments for both hand-off modes.
+
+    Returns ``{"n_days", "baseline_kb", "pickle_handoff_kb",
+    "arena_handoff_kb", "reduction"}`` where the hand-off numbers are
+    increments over the no-dataset baseline worker.
+    """
+    from repro.dataset import MiraDataset
+
+    ram = MiraDataset.synthesize(n_days=n_days, seed=seed, mode="ram")
+    mmap = MiraDataset.synthesize(n_days=n_days, seed=seed, mode="mmap")
+
+    with tempfile.TemporaryDirectory(prefix="rss-gate-") as tmp:
+        ram_pickle = Path(tmp) / "ram.pkl"
+        mmap_pickle = Path(tmp) / "mmap.pkl"
+        ram_pickle.write_bytes(pickle.dumps(ram))
+        mmap_pickle.write_bytes(pickle.dumps(mmap))
+        print(
+            f"hand-off bytes: pickle {ram_pickle.stat().st_size:,} "
+            f"arena descriptor {mmap_pickle.stat().st_size:,}"
+        )
+        baseline_kb = _spawn_measure("none")
+        pickle_kb = _spawn_measure(str(ram_pickle))
+        arena_kb = _spawn_measure(str(mmap_pickle))
+
+    pickle_inc = max(pickle_kb - baseline_kb, 1)
+    arena_inc = max(arena_kb - baseline_kb, 1)
+    return {
+        "n_days": n_days,
+        "baseline_kb": baseline_kb,
+        "pickle_handoff_kb": pickle_inc,
+        "arena_handoff_kb": arena_inc,
+        "reduction": round(pickle_inc / arena_inc, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--measure", metavar="PICKLE",
+        help="internal: run as a measurement worker on this payload "
+             "('none' = baseline)",
+    )
+    parser.add_argument(
+        "--days", type=float,
+        default=float(os.environ.get("REPRO_RSS_GATE_DAYS", "500")),
+        help="dataset size for the gate (the largest practical sweep)",
+    )
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument(
+        "--limit-ratio", type=float, default=0.5,
+        help="fail when arena increment > ratio * pickle increment",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="merge the measurements into this BENCH_pipeline.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.measure:
+        return _measure(args.measure)
+
+    record = measure_modes(args.days, args.seed)
+    print(
+        f"worker RSS at {args.days:g} days: baseline {record['baseline_kb']:,} KiB, "
+        f"+{record['pickle_handoff_kb']:,} KiB pickled, "
+        f"+{record['arena_handoff_kb']:,} KiB arena "
+        f"({record['reduction']:.2f}x reduction)"
+    )
+
+    if args.json:
+        target = Path(args.json)
+        merged = {}
+        if target.exists():
+            try:
+                merged = json.loads(target.read_text())
+            except json.JSONDecodeError:
+                merged = {}
+        merged["rss"] = record
+        target.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"merged rss section into {target}")
+
+    limit = args.limit_ratio * record["pickle_handoff_kb"]
+    if record["arena_handoff_kb"] > limit:
+        print(
+            f"FAIL: arena worker RSS {record['arena_handoff_kb']:,} KiB exceeds "
+            f"{args.limit_ratio:g}x pickle-mode ({limit:,.0f} KiB)"
+        )
+        return 1
+    print(
+        f"OK: arena worker RSS {record['arena_handoff_kb']:,} KiB <= "
+        f"{args.limit_ratio:g}x pickle-mode ({limit:,.0f} KiB)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,11 @@ Two jobs, both recorded into ``BENCH_pipeline.json``:
    dataset.  Results are asserted value-identical before timing, so the
    speedup numbers always compare equal outputs.
 2. **Scaling sweep** — the vectorized kernels run at every
-   ``REPRO_KERNEL_SWEEP_DAYS`` scale (default ``120,500,2001`` — the
-   full BlueGene/Q lifespan is the routinely benchmarked configuration)
-   and the per-kernel wall-times plus a log-log scaling exponent land
-   in the ``kernel_sweep`` section.
+   ``REPRO_KERNEL_SWEEP_DAYS`` scale (default ``120,500,1000,2001`` —
+   the full BlueGene/Q lifespan is the routinely benchmarked
+   configuration) and the per-kernel wall-times, the process RSS
+   high-water mark after each scale, plus a log-log scaling exponent
+   land in the ``kernel_sweep`` section.
 
 Run ``pytest benchmarks/test_kernels_bench.py -q -s`` for the readable
 summary.  CI scales the sweep down via the env knob.
@@ -36,7 +37,9 @@ from repro.table import Table
 BENCH_SEED = 2019
 SWEEP_DAYS = [
     float(d)
-    for d in os.environ.get("REPRO_KERNEL_SWEEP_DAYS", "120,500,2001").split(",")
+    for d in os.environ.get(
+        "REPRO_KERNEL_SWEEP_DAYS", "120,500,1000,2001"
+    ).split(",")
 ]
 BASE_DAYS = SWEEP_DAYS[0]
 BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_pipeline.json")
@@ -303,6 +306,8 @@ def test_kernel_sweep(n_days):
     failure_rate_changepoints(dataset)
     changepoint_s = time.perf_counter() - start
 
+    from check_rss_gate import _max_rss_kb
+
     entry = {
         "n_days": n_days,
         "n_jobs": jobs.n_rows,
@@ -311,6 +316,10 @@ def test_kernel_sweep(n_days):
         "bootstrap_s": round(bootstrap_s, 4),
         "groupby_apply_s": round(groupby_s, 4),
         "changepoint_s": round(changepoint_s, 4),
+        # Process high-water mark after this scale: monotonic within
+        # one run, so read it as "footprint by the time this scale
+        # finished" (scales run in ascending order).
+        "max_rss_kb": _max_rss_kb(),
     }
     _SWEEP.append(entry)
     print(f"\nsweep {n_days:g}d: {entry}")

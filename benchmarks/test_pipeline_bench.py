@@ -30,6 +30,7 @@ from repro.table import Table, read_csv
 # Filled by the layer tests, written out by test_write_bench_json.
 _STAGES: dict[str, float] = {}
 _SUITES: dict[int, object] = {}
+_RSS: dict[str, float] = {}
 
 
 @pytest.fixture(scope="module")
@@ -160,6 +161,29 @@ def test_end_to_end_report(bench_dir):
     assert t_warm < t_cold
 
 
+def test_worker_rss_by_mode():
+    """Per-worker peak RSS, pickled hand-off vs shared arena.
+
+    Each measurement is a fresh subprocess (see
+    ``check_rss_gate.py``); the recorded numbers are increments over a
+    no-dataset baseline worker and land in the ``rss`` section of
+    ``BENCH_pipeline.json``.
+    """
+    from check_rss_gate import measure_modes
+
+    record = measure_modes(BENCH_DAYS, BENCH_SEED)
+    _RSS.update(record)
+    print(
+        f"\nworker rss at {BENCH_DAYS:g}d: "
+        f"pickle +{record['pickle_handoff_kb']:,} KiB, "
+        f"arena +{record['arena_handoff_kb']:,} KiB "
+        f"({record['reduction']:.2f}x reduction)"
+    )
+    # The CI gate runs check_rss_gate.py at a larger scale; here we
+    # only require the arena hand-off to actually be the smaller one.
+    assert record["arena_handoff_kb"] < record["pickle_handoff_kb"]
+
+
 def test_write_bench_json(bench_dir):
     import json
 
@@ -168,6 +192,8 @@ def test_write_bench_json(bench_dir):
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_pipeline.json")
     record = bench_record(suite, dataset, stages=dict(_STAGES))
     record["bench"] = {"n_days": BENCH_DAYS, "seed": BENCH_SEED}
+    if _RSS:
+        record["rss"] = dict(_RSS)
     # The kernel microbenchmarks (test_kernels_bench.py) own the
     # "kernels"/"kernel_sweep" sections of the same file; carry them over
     # so whichever bench runs second does not drop the other's results.
@@ -180,6 +206,8 @@ def test_write_bench_json(bench_dir):
         for key in ("kernels", "kernel_sweep"):
             if key in previous:
                 record[key] = previous[key]
+        if "rss" in previous and not _RSS:
+            record["rss"] = previous["rss"]
     written = write_bench_json(path, record)
     assert written.exists()
     print(f"\nwrote {written} ({len(_STAGES)} stage timings)")

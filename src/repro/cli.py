@@ -54,6 +54,13 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
         "--days", type=float, default=90.0, help="observation span in days"
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="fleet replication factor: synthesize N systems' worth of "
+        "load on an N-fold machine (synthesis only; 1 = plain Mira)",
+    )
 
 
 def _add_lenient_args(parser: argparse.ArgumentParser) -> None:
@@ -81,11 +88,21 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore any cached entry and rebuild it from source",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("ram", "mmap"),
+        default="ram",
+        help="dataset residency: 'mmap' serves read-only memory-mapped "
+        "columns from a shared arena (O(1) RAM load, zero-copy workers)",
+    )
 
 
 def _load_or_synthesize(args) -> MiraDataset:
     cache = not getattr(args, "no_cache", False)
     refresh = getattr(args, "refresh_cache", False)
+    mode = getattr(args, "mode", "ram")
+    if mode == "mmap" and not cache:
+        raise ReproError("--mode mmap needs the dataset cache; drop --no-cache")
     if getattr(args, "dataset", None):
         return MiraDataset.load(
             args.dataset,
@@ -93,9 +110,15 @@ def _load_or_synthesize(args) -> MiraDataset:
             max_bad_rows=getattr(args, "max_bad_rows", None),
             cache=cache,
             refresh_cache=refresh,
+            mode=mode,
         )
     return MiraDataset.synthesize(
-        n_days=args.days, seed=args.seed, cache=cache, refresh_cache=refresh
+        n_days=args.days,
+        seed=args.seed,
+        cache=cache,
+        refresh_cache=refresh,
+        mode=mode,
+        scale=getattr(args, "scale", 1),
     )
 
 
@@ -336,14 +359,19 @@ def main_report(argv: list[str] | None = None) -> int:
                 dataset=config.get("dataset"),
                 days=config.get("days", 90.0),
                 seed=config.get("seed", 0),
+                scale=config.get("scale", 1),
                 lenient=config.get("lenient", False),
                 max_bad_rows=config.get("max_bad_rows"),
                 no_cache=args.no_cache,
                 refresh_cache=args.refresh_cache,
+                mode=args.mode,
             )
             dataset = _load_or_synthesize(replay_args)
             fingerprint = fingerprint_for_run(
-                replay_args.dataset, replay_args.days, replay_args.seed
+                replay_args.dataset,
+                replay_args.days,
+                replay_args.seed,
+                scale=replay_args.scale,
             )
             if fingerprint != state.fingerprint:
                 raise JournalError(
@@ -357,7 +385,9 @@ def main_report(argv: list[str] | None = None) -> int:
             completed = state.outcomes
         else:
             dataset = _load_or_synthesize(args)
-            fingerprint = fingerprint_for_run(args.dataset, args.days, args.seed)
+            fingerprint = fingerprint_for_run(
+                args.dataset, args.days, args.seed, scale=args.scale
+            )
             if not args.no_journal:
                 journal = RunJournal.start(
                     runs_root,
@@ -367,6 +397,7 @@ def main_report(argv: list[str] | None = None) -> int:
                         "dataset": args.dataset or None,
                         "days": args.days,
                         "seed": args.seed,
+                        "scale": args.scale,
                         "lenient": args.lenient,
                         "max_bad_rows": args.max_bad_rows,
                         "experiments": args.experiments,

@@ -23,6 +23,7 @@ from repro.bgq.machine import MIRA, MachineSpec
 from repro.stats import pearson, spearman
 from repro.table import Table
 from repro.table.column import factorize
+from repro.util.chunking import chunk_rows, iter_slices
 
 try:  # tracing is optional: without repro.obs the kernel runs untraced
     from repro.obs.trace import span as trace_span
@@ -263,27 +264,51 @@ def map_events_to_jobs(
     (``np.repeat``), all queries resolve in one ``searchsorted`` pass,
     and the first midplane-order hit per event wins — identical
     semantics to the old per-event bisection loop.
+
+    When ``REPRO_CHUNK_ROWS`` is set, events stream through the join in
+    chunks: the interval index is built once, but the repeat expansion
+    and rank arrays only ever cover one chunk of events, bounding the
+    working set on fleet-scale traces.  The output is bit-identical to
+    the single-pass join — the timestamp ranking only ever compares job
+    starts against query timestamps pairwise, so it is insensitive to
+    which other timestamps share the batch.
     """
+    size = chunk_rows()
+    chunked = 0 < size < ras.n_rows
     with trace_span(
-        "kernel.attribution", n_events=ras.n_rows, n_jobs=jobs.n_rows
+        "kernel.attribution",
+        n_events=ras.n_rows,
+        n_jobs=jobs.n_rows,
+        chunked=chunked,
     ):
         first, count = event_midplane_spans(ras["location"], spec)
         out = np.full(ras.n_rows, NO_JOB, dtype=np.int64)
         if ras.n_rows == 0 or jobs.n_rows == 0:
             return out
-        event_index = np.repeat(np.arange(ras.n_rows, dtype=np.int64), count)
-        query_midplanes = np.repeat(first, count) + _within_offsets(count)
-        query_times = np.repeat(
-            np.asarray(ras["timestamp"], dtype=np.float64), count
-        )
         index = _JobIntervalIndex(jobs, spec)
-        pair_jobs = index.lookup_many(query_midplanes, query_times)
-        hits = np.flatnonzero(pair_jobs != NO_JOB)
-        if hits.size:
-            # event_index is non-decreasing, so return_index picks each
-            # event's first hit in midplane order — the loop's `break`.
-            hit_events, first_hit = np.unique(event_index[hits], return_index=True)
-            out[hit_events] = pair_jobs[hits[first_hit]]
+        timestamps = np.asarray(ras["timestamp"], dtype=np.float64)
+        spans = (
+            iter_slices(ras.n_rows, size) if chunked else [(0, ras.n_rows)]
+        )
+        for lo, hi in spans:
+            span_count = count[lo:hi]
+            event_index = np.repeat(
+                np.arange(hi - lo, dtype=np.int64), span_count
+            )
+            query_midplanes = (
+                np.repeat(first[lo:hi], span_count) + _within_offsets(span_count)
+            )
+            query_times = np.repeat(timestamps[lo:hi], span_count)
+            pair_jobs = index.lookup_many(query_midplanes, query_times)
+            hits = np.flatnonzero(pair_jobs != NO_JOB)
+            if hits.size:
+                # event_index is non-decreasing, so return_index picks
+                # each event's first hit in midplane order — the loop's
+                # `break`.
+                hit_events, first_hit = np.unique(
+                    event_index[hits], return_index=True
+                )
+                out[lo + hit_events] = pair_jobs[hits[first_hit]]
         return out
 
 

@@ -32,7 +32,8 @@ from typing import Mapping
 
 from repro.bgq.machine import MIRA, MachineSpec
 from repro.errors import ParseError
-from repro.table import Table, read_npz, write_npz
+from repro.table import Table, attach_arena, read_npz, write_npz
+from repro.table.arena import prune_stale_temps, write_arena
 
 try:  # tracing is optional: without repro.obs the cache runs untraced
     from repro.obs.trace import add as trace_add
@@ -66,8 +67,12 @@ __all__ = [
     "fingerprint_for_run",
     "dataset_cache_path",
     "synthesis_cache_path",
+    "dataset_arena_path",
+    "synthesis_arena_path",
     "load_cached_bundle",
     "store_bundle",
+    "load_arena",
+    "store_arena",
 ]
 
 #: Bump whenever the dataset schemas or the cached-bundle layout change;
@@ -120,8 +125,17 @@ def fingerprint_directory(directory: str | Path) -> str:
     return digest.hexdigest()
 
 
-def fingerprint_synthesis(spec: MachineSpec, n_days: float, seed: int) -> str:
-    """Fingerprint of a parameter-free synthesis request."""
+def fingerprint_synthesis(
+    spec: MachineSpec, n_days: float, seed: int, scale: float = 1.0
+) -> str:
+    """Fingerprint of a parameter-free synthesis request.
+
+    ``scale`` is the fleet replication factor of
+    :meth:`~repro.dataset.mira.MiraDataset.synthesize`; the default
+    ``1.0`` is deliberately left out of the hash so every fingerprint
+    minted before the knob existed stays valid.  ``spec`` is always the
+    *base* machine — the fleet spec is derived from ``(spec, scale)``.
+    """
     digest = _versioned_hasher()
     digest.update(
         (
@@ -131,6 +145,8 @@ def fingerprint_synthesis(spec: MachineSpec, n_days: float, seed: int) -> str:
             f"n_days={n_days!r};seed={seed};"
         ).encode()
     )
+    if scale != 1.0:
+        digest.update(f"scale={scale!r};".encode())
     return digest.hexdigest()
 
 
@@ -139,6 +155,7 @@ def fingerprint_for_run(
     n_days: float,
     seed: int,
     spec: MachineSpec = MIRA,
+    scale: float = 1.0,
 ) -> str:
     """Fingerprint identifying a report run's input dataset.
 
@@ -152,7 +169,7 @@ def fingerprint_for_run(
     """
     if dataset_dir:
         return fingerprint_directory(dataset_dir)
-    return fingerprint_synthesis(spec, n_days, seed)
+    return fingerprint_synthesis(spec, n_days, seed, scale)
 
 
 def dataset_cache_path(directory: str | Path, fingerprint: str) -> Path:
@@ -163,6 +180,21 @@ def dataset_cache_path(directory: str | Path, fingerprint: str) -> Path:
 def synthesis_cache_path(fingerprint: str) -> Path:
     """Where a synthesis cache entry lives."""
     return default_cache_dir() / f"synth-{fingerprint[:32]}.npz"
+
+
+def dataset_arena_path(directory: str | Path, fingerprint: str) -> Path:
+    """Where a directory load's memory-mapped arena lives.
+
+    Kept beside the ``.npz`` entry under the same content fingerprint:
+    the ``.npz`` is the portable/cold format, the arena the hot
+    zero-copy one materialized from it on first ``mode="mmap"`` use.
+    """
+    return Path(directory) / _CACHE_SUBDIR / f"dataset-{fingerprint[:32]}.arena"
+
+
+def synthesis_arena_path(fingerprint: str) -> Path:
+    """Where a synthesis's memory-mapped arena lives."""
+    return default_cache_dir() / f"synth-{fingerprint[:32]}.arena"
 
 
 def load_cached_bundle(path: Path) -> tuple[dict[str, Table], dict] | None:
@@ -207,6 +239,10 @@ def store_bundle(
     entries are not pruned — different ``(spec, days, seed)`` keys are
     all simultaneously valid.
     """
+    if path.parent.exists():
+        # A SIGKILLed earlier writer may have left *.tmp.<pid> files
+        # beside the entry; reclaim any whose writer is dead.
+        prune_stale_temps(path.parent)
     with trace_span("cache.write", file=path.name) as sp:
         try:
             write_npz(path, tables, meta=meta)
@@ -219,6 +255,72 @@ def store_bundle(
     if prune_siblings:
         try:
             for sibling in path.parent.glob("*.npz"):
+                if sibling != path:
+                    sibling.unlink(missing_ok=True)
+        except OSError:
+            pass
+    return True
+
+
+def load_arena(path: Path, fingerprint: str) -> tuple[dict[str, Table], dict] | None:
+    """Attach an arena cache entry; a missing, corrupt, or stale one is a miss.
+
+    Attachment goes through the per-process cache
+    (:func:`repro.table.attach_arena`), so repeated loads of the same
+    entry share one mapping and the returned tables pickle as
+    descriptors.  A corrupt or fingerprint-mismatched file is deleted
+    on sight, exactly like a corrupt ``.npz`` entry.
+    """
+    if not path.exists():
+        trace_add("arena.miss")
+        return None
+    with trace_span("arena.attach", file=path.name, bytes=path.stat().st_size):
+        try:
+            tables, meta = attach_arena(path, fingerprint)
+        except (ParseError, OSError) as error:
+            if isinstance(error, ParseError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            trace_add("arena.corrupt")
+            trace_add("arena.miss")
+            return None
+    trace_add("arena.hit")
+    return tables, meta
+
+
+def store_arena(
+    path: Path,
+    tables: Mapping[str, Table],
+    meta: Mapping,
+    fingerprint: str,
+    *,
+    prune_siblings: bool = False,
+) -> bool:
+    """Best-effort write of an arena entry keyed by ``fingerprint``.
+
+    The fingerprint is embedded in the arena's meta so an attach can
+    verify it belongs to the current sources.  ``prune_siblings``
+    removes other ``*.arena`` entries beside ``path`` (per-directory
+    entries: only the current fingerprint is ever valid); stale
+    ``*.tmp.*`` leftovers from killed writers are always pruned by the
+    writer itself.  Returns True when the entry was written.
+    """
+    stored_meta = dict(meta)
+    stored_meta["fingerprint"] = fingerprint
+    with trace_span("arena.write", file=path.name) as sp:
+        try:
+            write_arena(path, tables, meta=stored_meta)
+            written = path.stat().st_size
+        except OSError:
+            return False
+        sp.note(bytes=written)
+    trace_add("arena.store")
+    trace_add("arena.write_bytes", written)
+    if prune_siblings:
+        try:
+            for sibling in path.parent.glob("*.arena"):
                 if sibling != path:
                     sibling.unlink(missing_ok=True)
         except OSError:

@@ -10,7 +10,7 @@ loaded from CSVs in place of a synthetic one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -96,6 +96,22 @@ _LOG_SCHEMAS = {
 SECONDS_PER_DAY = 86_400.0
 
 
+def _fleet_spec(spec: MachineSpec, k: int) -> MachineSpec:
+    """``k`` identical systems modeled as one row-wise widened machine.
+
+    Replication extends the rack grid row-wise so every location keeps
+    the standard three-character rack name; BG/Q hex naming caps the
+    grid at 16 rows, which bounds the factor (5× for Mira's 3 rows).
+    """
+    rows = spec.rack_rows * k
+    if rows > 16:
+        raise ValueError(
+            f"scale={k} needs {rows} rack rows; BG/Q rack naming allows "
+            f"at most 16 (max scale for {spec.name}: {16 // spec.rack_rows})"
+        )
+    return replace(spec, name=f"{spec.name}x{k}", rack_rows=rows)
+
+
 def _spec_from_meta(meta: dict) -> MachineSpec:
     """Rebuild the machine spec from a ``meta.jsonl`` record."""
     return MachineSpec(
@@ -160,6 +176,8 @@ class MiraDataset:
         darshan_params: DarshanParams | None = None,
         cache: bool = True,
         refresh_cache: bool = False,
+        mode: str = "ram",
+        scale: float = 1.0,
     ) -> "MiraDataset":
         """Generate a complete, internally consistent synthetic dataset.
 
@@ -173,8 +191,35 @@ class MiraDataset:
         ``$REPRO_CACHE_DIR`` (see :mod:`repro.dataset.cache`), keyed by
         ``(spec, n_days, seed)`` and the toolkit version.  ``cache=False``
         bypasses it; ``refresh_cache=True`` regenerates and overwrites.
+
+        ``scale`` models a fleet of ``scale`` identical systems sharing
+        one trace: the rack grid is replicated row-wise, and workload
+        arrival, scheduler capacity, and incident rates all grow with
+        it (combined with a multi-year ``n_days``, row counts reach the
+        ~10⁷ range).  ``scale=1`` is the exact pre-knob pipeline, bit
+        for bit — the default RNG streams are untouched.  Explicit
+        ``workload_params`` are used as given, not auto-rescaled.
+
+        ``mode="mmap"`` additionally materializes the cached bundle as
+        a page-aligned columnar arena (:mod:`repro.table.arena`) and
+        returns tables backed by read-only memory maps: loading is
+        O(1) RAM until columns are touched, and worker processes
+        attach the same mapping instead of receiving a pickled copy.
+        It requires a cacheable synthesis (``cache=True`` and no custom
+        ``*_params``), since the arena lives in the cache directory.
         """
+        if mode not in ("ram", "mmap"):
+            raise ValueError(f"mode must be 'ram' or 'mmap', got {mode!r}")
+        if scale != int(scale) or scale < 1:
+            raise ValueError(
+                "scale must be a positive integer (fleet replication "
+                f"factor), got {scale!r}"
+            )
         with trace_span("dataset.synthesize", n_days=n_days, seed=seed):
+            # Cacheability is decided *before* the scale knob rewrites
+            # workload_params: a scaled parameter-free synthesis is still
+            # parameter-free as far as the fingerprint is concerned
+            # (scale is hashed separately by fingerprint_synthesis).
             cacheable = cache and all(
                 p is None
                 for p in (
@@ -185,16 +230,55 @@ class MiraDataset:
                     darshan_params,
                 )
             )
-            cache_path = None
+            if mode == "mmap" and not cacheable:
+                raise ValueError(
+                    "mode='mmap' requires a cacheable synthesis "
+                    "(cache=True and no custom *_params): the arena is "
+                    "materialized in the synthesis cache directory"
+                )
+            cache_path = arena_path = None
             if cacheable:
-                fingerprint = _cache.fingerprint_synthesis(spec, n_days, seed)
+                fingerprint = _cache.fingerprint_synthesis(spec, n_days, seed, scale)
                 cache_path = _cache.synthesis_cache_path(fingerprint)
+                if mode == "mmap":
+                    arena_path = _cache.synthesis_arena_path(fingerprint)
                 if refresh_cache:
                     trace_add("cache.refresh")
                 else:
+                    if arena_path is not None:
+                        bundle = _cache.load_arena(arena_path, fingerprint)
+                        if bundle is not None:
+                            return cls._from_bundle(*bundle)
                     bundle = _cache.load_cached_bundle(cache_path)
                     if bundle is not None:
+                        if arena_path is not None:
+                            return cls._via_arena(
+                                arena_path, fingerprint, *bundle
+                            )
                         return cls._from_bundle(*bundle)
+            if scale != 1.0:
+                k = int(scale)
+                spec = _fleet_spec(spec, k)
+                # The workload model auto-rescales to the widened spec
+                # (WorkloadParams.scaled_to); RAS rates and the backfill
+                # window are per-machine constants, so a fleet of k
+                # systems needs them multiplied explicitly.  Derived
+                # params stay out of the fingerprint: (spec, n_days,
+                # seed, scale) determines them completely.
+                if ras_params is None:
+                    base_ras = RasGeneratorParams()
+                    ras_params = replace(
+                        base_ras,
+                        info_rate_per_day=base_ras.info_rate_per_day * k,
+                        warn_rate_per_day=base_ras.warn_rate_per_day * k,
+                        incident_rate_per_day=base_ras.incident_rate_per_day * k,
+                    )
+                if scheduler_params is None:
+                    base_sched = SchedulerParams()
+                    scheduler_params = replace(
+                        base_sched,
+                        backfill_depth=base_sched.backfill_depth * k,
+                    )
             with trace_span("synth.ras"):
                 ras_table, incidents = RasGenerator(
                     spec=spec, params=ras_params, seed=seed
@@ -234,6 +318,13 @@ class MiraDataset:
                 _cache.store_bundle(
                     cache_path, dataset._tables(), dataset._bundle_meta()
                 )
+                if arena_path is not None:
+                    return cls._via_arena(
+                        arena_path,
+                        fingerprint,
+                        dataset._tables(),
+                        dataset._bundle_meta(),
+                    )
             return dataset
 
     @staticmethod
@@ -293,6 +384,33 @@ class MiraDataset:
         return meta
 
     @classmethod
+    def _via_arena(
+        cls,
+        arena_path: Path,
+        fingerprint: str,
+        tables: dict[str, Table],
+        meta: dict,
+        *,
+        lenient: bool = False,
+        prune: bool = False,
+    ) -> "MiraDataset":
+        """Materialize ``tables`` as an arena and return the attached view.
+
+        Best-effort, like every cache write: when the filesystem refuses
+        the arena (or a concurrent writer races us and leaves something
+        unattachable), the in-RAM tables are returned unchanged instead
+        of failing the load.
+        """
+        stored = _cache.store_arena(
+            arena_path, tables, meta, fingerprint, prune_siblings=prune
+        )
+        if stored:
+            bundle = _cache.load_arena(arena_path, fingerprint)
+            if bundle is not None:
+                return cls._from_bundle(*bundle, lenient=lenient)
+        return cls._from_bundle(tables, meta, lenient=lenient)
+
+    @classmethod
     def _from_bundle(
         cls, tables: dict[str, Table], meta: dict, *, lenient: bool = False
     ) -> "MiraDataset":
@@ -320,6 +438,30 @@ class MiraDataset:
             **{attr: tables[attr] for attr in _LOG_FILES},
         )
 
+    def pickle_probe(self) -> tuple:
+        """A cheap stand-in for probing picklability (O(columns), not O(rows)).
+
+        The experiment engine pickles the dataset once per worker and
+        needs to know *up front* whether that will work, without paying
+        for a full serialization.  Arena-backed tables already pickle as
+        tiny descriptors, so they go in whole; in-RAM tables are
+        represented by a small head slice, which still exercises every
+        column dtype.  The spec, incidents head, and ingestion report
+        ride along because those are the realistic failure sources.
+        """
+        tables = {
+            name: table if table._arena is not None else table.head(4)
+            for name, table in self._tables().items()
+        }
+        return (
+            self.spec,
+            self.n_days,
+            self.seed,
+            tables,
+            self.incidents[:4],
+            self.ingestion,
+        )
+
     def save(self, directory: str | Path) -> None:
         """Write the dataset as CSVs plus a JSONL metadata file."""
         directory = Path(directory)
@@ -338,6 +480,7 @@ class MiraDataset:
         max_bad_rows: int | None = None,
         cache: bool = True,
         refresh_cache: bool = False,
+        mode: str = "ram",
     ) -> "MiraDataset":
         """Load a dataset previously written by :meth:`save`.
 
@@ -357,6 +500,17 @@ class MiraDataset:
         cached.  ``cache=False`` bypasses the cache; ``refresh_cache=True``
         reloads from the CSVs and overwrites the entry.
 
+        ``mode="mmap"`` serves the dataset from a page-aligned columnar
+        arena beside the ``.npz`` entry (same content fingerprint, so
+        editing any source file invalidates both): tables come back as
+        read-only memory-mapped views, the load is O(1) RAM until
+        columns are touched, and worker processes attach the mapping by
+        descriptor instead of receiving a pickled copy.  The arena is
+        materialized from the bundle on first ``mmap`` use.  Requires
+        ``cache=True``; a lenient load that quarantined or degraded
+        anything falls back to in-RAM tables (dirty data is never
+        persisted, in either format).
+
         Raises
         ------
         DatasetError
@@ -366,17 +520,38 @@ class MiraDataset:
             When a log violates its schema (strict), or when lenient
             parsing quarantines more than ``max_bad_rows`` rows.
         """
+        if mode not in ("ram", "mmap"):
+            raise ValueError(f"mode must be 'ram' or 'mmap', got {mode!r}")
+        if mode == "mmap" and not cache:
+            raise ValueError(
+                "mode='mmap' requires cache=True: the arena lives in the "
+                "dataset's cache directory"
+            )
         directory = Path(directory)
         with trace_span("dataset.load", directory=directory.name, lenient=lenient):
-            cache_path = None
+            cache_path = arena_path = None
             if cache and directory.is_dir():
                 fingerprint = _cache.fingerprint_directory(directory)
                 cache_path = _cache.dataset_cache_path(directory, fingerprint)
+                if mode == "mmap":
+                    arena_path = _cache.dataset_arena_path(directory, fingerprint)
                 if refresh_cache:
                     trace_add("cache.refresh")
                 else:
+                    if arena_path is not None:
+                        bundle = _cache.load_arena(arena_path, fingerprint)
+                        if bundle is not None:
+                            return cls._from_bundle(*bundle, lenient=lenient)
                     bundle = _cache.load_cached_bundle(cache_path)
                     if bundle is not None:
+                        if arena_path is not None:
+                            return cls._via_arena(
+                                arena_path,
+                                fingerprint,
+                                *bundle,
+                                lenient=lenient,
+                                prune=True,
+                            )
                         return cls._from_bundle(*bundle, lenient=lenient)
             if lenient:
                 dataset = cls._load_lenient(directory, max_bad_rows)
@@ -389,6 +564,15 @@ class MiraDataset:
                     dataset._bundle_meta(),
                     prune_siblings=True,
                 )
+                if arena_path is not None:
+                    return cls._via_arena(
+                        arena_path,
+                        fingerprint,
+                        dataset._tables(),
+                        dataset._bundle_meta(),
+                        lenient=lenient,
+                        prune=True,
+                    )
             return dataset
 
     @classmethod

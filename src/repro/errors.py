@@ -14,6 +14,7 @@ __all__ = [
     "CatalogError",
     "ParseError",
     "QuarantineOverflowError",
+    "ColumnTypeError",
     "DatasetError",
     "FitError",
     "FaultError",
@@ -51,6 +52,18 @@ class QuarantineOverflowError(ParseError):
     Distinct from :class:`ParseError` so resilient loaders can degrade a
     structurally broken source yet still abort when the data is mostly
     garbage.
+    """
+
+
+class ColumnTypeError(ReproError, TypeError):
+    """A column whose values cannot be serialized losslessly.
+
+    Raised at *write* time — e.g. an object-dtype column holding
+    non-string values headed for an ``.npz`` bundle or a columnar
+    arena, both of which store strings only (``allow_pickle`` stays
+    off on read, so anything else would silently round-trip through
+    ``str()``).  Also a :class:`TypeError`, because the problem is the
+    value's type, not its content.
     """
 
 

@@ -327,11 +327,30 @@ def _dispatch_round(
         pass
 
 
+class _NullWriter:
+    """A write-only sink: lets ``pickle.dump`` run without buffering the
+    stream, so probing picklability costs no memory."""
+
+    def write(self, data) -> int:
+        return len(data)
+
+
 def _can_pickle(obj) -> bool:
+    """Whether ``obj`` can cross the process boundary.
+
+    Objects exposing ``pickle_probe()`` (:class:`MiraDataset` does) are
+    probed through that cheap surrogate instead of being serialized
+    whole — the probe carries every pickling hazard (spec, reports,
+    column dtypes, table descriptors) at O(columns) cost, which matters
+    because this check runs on the failure path where the full dataset
+    may be gigabytes.  Either way the stream goes to a null sink, never
+    into a bytes object.
+    """
     import pickle
 
+    probe = getattr(obj, "pickle_probe", None)
     try:
-        pickle.dumps(obj)
+        pickle.dump(probe() if callable(probe) else obj, _NullWriter())
     except Exception:  # noqa: BLE001 - any failure means "cannot cross"
         return False
     return True

@@ -162,7 +162,9 @@ def main_serve(argv: list[str] | None = None) -> int:
     journal = None
     try:
         dataset = _load_or_synthesize(args)
-        fingerprint = fingerprint_for_run(args.dataset, args.days, args.seed)
+        fingerprint = fingerprint_for_run(
+            args.dataset, args.days, args.seed, scale=args.scale
+        )
         if not args.no_journal:
             runs_root = (
                 Path(args.run_dir) if args.run_dir else default_runs_dir()
@@ -176,6 +178,8 @@ def main_serve(argv: list[str] | None = None) -> int:
                     "dataset": args.dataset or None,
                     "days": args.days,
                     "seed": args.seed,
+                    "scale": args.scale,
+                    "dataset_mode": args.mode,
                     "workers": args.workers,
                     "queue_capacity": args.queue_capacity,
                     "batch_capacity": args.batch_capacity,

@@ -589,6 +589,11 @@ class ReproServer:
             summary = {
                 "n_jobs": self.dataset.jobs.n_rows,
                 "n_ras_events": self.dataset.ras.n_rows,
+                # Arena-backed tables mean workers attach the shared
+                # memory map instead of holding private copies.
+                "mode": (
+                    "mmap" if self.dataset.jobs._arena is not None else "ram"
+                ),
             }
         except Exception:  # noqa: BLE001 - health must never raise
             pass

@@ -23,6 +23,14 @@ snapshots its armed spec into each job, and the worker applies it with
 the mode name for ``ping``/``sleep``/``summary``), so a live server
 can be armed and disarmed between requests.
 
+**Dataset sharing.**  A dataset loaded with ``--mode mmap`` is backed
+by the columnar arena (:mod:`repro.table.arena`): its tables pickle as
+tiny ``(path, table, fingerprint)`` descriptors and every worker —
+forked or respawned — attaches the same read-only memory map, so
+worker RSS stays O(touched pages) no matter how many workers run or
+die.  In-RAM datasets fall back to the older copy-on-write reliance
+below, which only helps until a worker is *replaced*.
+
 **Fork-from-threads hazard.**  Workers use the ``fork`` start method
 so every worker shares the loaded dataset copy-on-write.  The initial
 workers fork before the daemon starts any threads, which is safe; a

@@ -3,8 +3,14 @@
 Public surface::
 
     from repro.table import Table, read_csv, write_csv
+
+Persistence comes in two formats: the portable compressed ``.npz``
+bundle (:func:`write_npz`/:func:`read_npz`) and the memory-mapped
+columnar arena (:func:`write_arena`/:func:`read_arena`) that attaches
+as zero-copy read-only views shared across processes.
 """
 
+from .arena import attach_arena, read_arena, write_arena
 from .column import as_column, factorize
 from .csvio import read_csv, read_jsonl, write_csv, write_jsonl
 from .frame import Table
@@ -22,4 +28,7 @@ __all__ = [
     "write_jsonl",
     "read_npz",
     "write_npz",
+    "read_arena",
+    "write_arena",
+    "attach_arena",
 ]

@@ -13,6 +13,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import ColumnTypeError
+
 __all__ = [
     "as_column",
     "is_numeric",
@@ -20,6 +22,7 @@ __all__ = [
     "is_boolean",
     "common_kind",
     "factorize",
+    "ensure_string_values",
 ]
 
 
@@ -84,6 +87,29 @@ def common_kind(arrays: Iterable[np.ndarray]) -> str:
         if order.get(kind, 3) > order[best]:
             best = kind if kind in order else "O"
     return best
+
+
+def ensure_string_values(arr: np.ndarray, context: str) -> None:
+    """Reject object-dtype columns holding anything but ``str``.
+
+    Both persistent formats (``.npz`` bundle and columnar arena) store
+    object columns as strings only — ``.npz`` reads back with
+    ``allow_pickle=False`` and the arena dictionary-encodes UTF-8 — so
+    a non-string value must fail loudly at *write* time instead of
+    silently round-tripping through ``str()``.
+
+    Raises
+    ------
+    ColumnTypeError
+        Naming ``context`` (e.g. ``"jobs.user"``), the offending row,
+        and the value's type.
+    """
+    for i, value in enumerate(arr):
+        if not isinstance(value, str):
+            raise ColumnTypeError(
+                f"{context}: object column must contain only str values; "
+                f"found {type(value).__name__} at row {i}"
+            )
 
 
 def factorize(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -18,6 +18,48 @@ from .column import as_column, factorize, is_numeric
 __all__ = ["Table"]
 
 
+class _ColumnStore(dict):
+    """Column mapping that materializes lazy loaders on first access.
+
+    Arena-backed tables (:mod:`repro.table.arena`) defer string-column
+    decoding: the store holds a loader per deferred column and swaps in
+    the decoded array the first time the column is read.  All read
+    paths (``[]``, ``get``, ``items``, ``values``) materialize; key
+    iteration and membership never do, so listing columns stays free.
+
+    .. warning:: ``dict(store)`` uses CPython's raw-storage merge fast
+       path and would copy un-materialized placeholders — always go
+       through ``dict(store.items())`` (as :meth:`Table.with_column`
+       does) when snapshotting.
+    """
+
+    __slots__ = ("_lazy",)
+
+    def __init__(self, data, lazy):
+        super().__init__(data)
+        self._lazy = dict(lazy)
+
+    def __getitem__(self, key):
+        loader = self._lazy.get(key)
+        if loader is not None:
+            arr = loader.load()
+            dict.__setitem__(self, key, arr)
+            del self._lazy[key]
+            return arr
+        return dict.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        if dict.__contains__(self, key):
+            return self[key]
+        return default
+
+    def values(self):
+        return [self[key] for key in dict.keys(self)]
+
+    def items(self):
+        return [(key, self[key]) for key in dict.keys(self)]
+
+
 class Table:
     """An immutable-by-convention columnar table.
 
@@ -35,6 +77,12 @@ class Table:
     >>> t.filter(t["jobs"] > 1).to_rows()
     [{'user': 'a', 'jobs': 3}, {'user': 'a', 'jobs': 2}]
     """
+
+    #: Set on arena-backed root tables to ``(path, table_name,
+    #: fingerprint)``; pickling such a table ships this descriptor and
+    #: the receiver re-attaches the shared mapping
+    #: (:func:`repro.table.arena.attach_table`) instead of the bytes.
+    _arena: tuple[str, str, str] | None = None
 
     def __init__(self, columns: Mapping[str, Sequence | np.ndarray]):
         data: dict[str, np.ndarray] = {}
@@ -67,6 +115,32 @@ class Table:
         table._data = data
         table._length = length
         return table
+
+    @classmethod
+    def _from_lazy(
+        cls,
+        data: dict[str, np.ndarray],
+        lazy: Mapping[str, Any],
+        length: int,
+    ) -> "Table":
+        """Wrap columns where some values are deferred loaders.
+
+        ``data`` fixes column order (deferred names hold placeholders);
+        ``lazy`` maps those names to objects with a zero-arg ``load()``
+        returning the column array.  Used by the arena reader so an
+        attached dataset is O(1) RAM until a string column is touched.
+        """
+        table = cls.__new__(cls)
+        table._data = _ColumnStore(data, lazy)
+        table._length = length
+        return table
+
+    def __reduce__(self):
+        if self._arena is not None:
+            from .arena import attach_table
+
+            return (attach_table, self._arena)
+        return (Table._from_arrays, (dict(self._data.items()), self._length))
 
     @classmethod
     def from_rows(cls, rows: Iterable[Mapping[str, Any]]) -> "Table":
@@ -194,7 +268,10 @@ class Table:
             raise ValueError(
                 f"column {name!r} has length {len(arr)}, expected {self._length}"
             )
-        data = dict(self._data)
+        # dict(self._data) would take CPython's raw-storage merge fast
+        # path, bypassing a lazy store's materializing __getitem__ —
+        # snapshot through items(), which always materializes.
+        data = dict(self._data.items())
         data[name] = arr
         return Table(data)
 

@@ -10,6 +10,17 @@ order-statistic aggregations share one stable argsort of the group ids:
 every group is a contiguous slice of the sorted row order, so walking
 all groups costs O(n log n) once instead of one O(n) mask scan per
 group.
+
+When ``REPRO_CHUNK_ROWS`` is set (see :mod:`repro.util.chunking`),
+:meth:`GroupBy.agg` streams decomposable aggregations over row chunks
+instead of materializing whole-column float temporaries — the working
+set becomes O(chunk + groups) regardless of table length, which is what
+lets memory-mapped fleet-scale tables aggregate without faulting every
+page in at once.  ``count``/``nancount``/``min``/``max`` are exactly
+the full-pass results; ``sum``/``mean``/``std`` accumulate partial sums
+per chunk, so they agree with the full pass to floating-point
+associativity (``allclose``, not bit equality).  ``median`` needs a
+global sort and always takes the full-pass kernel.
 """
 
 from __future__ import annotations
@@ -17,6 +28,8 @@ from __future__ import annotations
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
+
+from repro.util.chunking import chunk_rows, iter_slices
 
 from .column import factorize
 
@@ -40,7 +53,7 @@ except ImportError:  # pragma: no cover - exercised by the obs-less drill
         return _SPAN_OFF
 
 
-__all__ = ["GroupBy", "AGGREGATIONS"]
+__all__ = ["GroupBy", "AGGREGATIONS", "STREAMING_AGGREGATIONS"]
 
 
 def _agg_sum(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> np.ndarray:
@@ -143,6 +156,109 @@ AGGREGATIONS: dict[str, Callable] = {
 }
 
 
+# ----------------------------------------------------------------------
+# streaming (chunked) kernels
+# ----------------------------------------------------------------------
+
+
+def _stream_count(group_ids, n_groups, size):
+    out = np.zeros(n_groups, dtype=np.int64)
+    for start, stop in iter_slices(len(group_ids), size):
+        out += np.bincount(group_ids[start:stop], minlength=n_groups).astype(np.int64)
+    return out
+
+
+def _stream_weighted(values, group_ids, n_groups, size, weight_of):
+    """Accumulate per-chunk ``bincount`` partials (float64)."""
+    out = np.zeros(n_groups, dtype=np.float64)
+    for start, stop in iter_slices(len(group_ids), size):
+        out += np.bincount(
+            group_ids[start:stop],
+            weights=weight_of(values[start:stop]),
+            minlength=n_groups,
+        )
+    return out
+
+
+def _stream_sum(values, group_ids, n_groups, size):
+    return _stream_weighted(
+        values, group_ids, n_groups, size, lambda v: v.astype(np.float64)
+    )
+
+
+def _stream_nancount(values, group_ids, n_groups, size):
+    return _stream_weighted(
+        values,
+        group_ids,
+        n_groups,
+        size,
+        lambda v: (~np.isnan(v.astype(np.float64))).astype(np.float64),
+    ).astype(np.int64)
+
+
+def _stream_mean(values, group_ids, n_groups, size):
+    totals = _stream_sum(values, group_ids, n_groups, size)
+    counts = _stream_count(group_ids, n_groups, size)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return totals / counts
+
+
+def _stream_std(values, group_ids, n_groups, size):
+    """Two-pass streaming std: means first, then centered squares."""
+    counts = _stream_count(group_ids, n_groups, size)
+    means = _stream_mean(values, group_ids, n_groups, size)
+    squares = np.zeros(n_groups, dtype=np.float64)
+    for start, stop in iter_slices(len(group_ids), size):
+        ids = group_ids[start:stop]
+        deviations = values[start:stop].astype(np.float64) - means[ids]
+        squares += np.bincount(ids, weights=deviations * deviations,
+                               minlength=n_groups)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.sqrt(squares / (counts - 1))
+
+
+def _stream_extremum(ufunc):
+    """Running elementwise min/max over per-chunk sorted reductions.
+
+    Exactly matches the full-pass kernel: an extremum over any chunk
+    partition is the extremum of the partial extrema, and a NaN value
+    poisons its group's partial, which then propagates through the
+    NaN-propagating ``ufunc`` — while groups merely *absent* from a
+    chunk (whose partial slot is the NaN placeholder) are skipped via
+    the presence mask instead of poisoning the running value.
+    """
+
+    def stream(values, group_ids, n_groups, size):
+        out = np.full(n_groups, np.nan, dtype=np.float64)
+        seen = np.zeros(n_groups, dtype=bool)
+        for start, stop in iter_slices(len(group_ids), size):
+            ids = group_ids[start:stop]
+            reduced = _sorted_reduce(values[start:stop], ids, n_groups, ufunc)
+            present = np.bincount(ids, minlength=n_groups) > 0
+            both = seen & present
+            out[both] = ufunc(out[both], reduced[both])
+            fresh = present & ~seen
+            out[fresh] = reduced[fresh]
+            seen |= present
+        return out
+
+    return stream
+
+
+STREAMING_AGGREGATIONS: dict[str, Callable] = {
+    "sum": _stream_sum,
+    "count": lambda values, group_ids, n_groups, size: _stream_count(
+        group_ids, n_groups, size
+    ),
+    "mean": _stream_mean,
+    "min": _stream_extremum(np.minimum),
+    "max": _stream_extremum(np.maximum),
+    "std": _stream_std,
+    "nancount": _stream_nancount,
+    # median intentionally absent: it needs a global sort.
+}
+
+
 #: Above this product of key cardinalities the dense radix encoding of
 #: multi-key groups would overflow int64; fall back to tuple hashing.
 _MAX_DENSE_GROUPS = 2**62
@@ -226,16 +342,24 @@ class GroupBy:
 
         merged: dict[str, str] = dict(spec or {})
         merged.update(kwargs)
+        size = chunk_rows()
+        streaming = 0 < size < len(self._group_ids)
         with trace_span(
             "kernel.groupby",
             n_rows=len(self._group_ids),
             n_groups=self._n_groups,
             n_aggs=len(merged),
+            chunked=streaming,
         ):
             data: dict[str, np.ndarray] = dict(self._key_values)
-            data["count"] = _agg_count(
-                np.empty(len(self._group_ids)), self._group_ids, self._n_groups
-            )
+            if streaming:
+                data["count"] = _stream_count(
+                    self._group_ids, self._n_groups, size
+                )
+            else:
+                data["count"] = _agg_count(
+                    np.empty(len(self._group_ids)), self._group_ids, self._n_groups
+                )
             for column, agg_name in merged.items():
                 if agg_name not in AGGREGATIONS:
                     raise ValueError(
@@ -245,9 +369,14 @@ class GroupBy:
                 values = self._table[column]
                 if values.dtype.kind == "O":
                     raise TypeError(f"cannot aggregate string column {column!r}")
-                result = AGGREGATIONS[agg_name](
-                    values, self._group_ids, self._n_groups
-                )
+                if streaming and agg_name in STREAMING_AGGREGATIONS:
+                    result = STREAMING_AGGREGATIONS[agg_name](
+                        values, self._group_ids, self._n_groups, size
+                    )
+                else:
+                    result = AGGREGATIONS[agg_name](
+                        values, self._group_ids, self._n_groups
+                    )
                 data[f"{column}_{agg_name}"] = result
             return Table(data)
 

@@ -22,6 +22,7 @@ from repro.errors import ParseError
 from repro.ingest import with_retry
 from repro.util.atomic import atomic_open
 
+from .column import ensure_string_values
 from .frame import Table
 
 __all__ = ["write_npz", "read_npz", "NPZ_FORMAT_VERSION"]
@@ -32,12 +33,19 @@ NPZ_FORMAT_VERSION = 1
 _MANIFEST_KEY = "__manifest__"
 
 
-def _pack_column(arr: np.ndarray) -> np.ndarray:
-    """Make one column storable without pickling (object → unicode)."""
+def _pack_column(arr: np.ndarray, context: str) -> np.ndarray:
+    """Make one column storable without pickling (object → unicode).
+
+    Raises :class:`~repro.errors.ColumnTypeError` when an object column
+    holds non-string values — the read side opens with
+    ``allow_pickle=False``, so anything else would silently become its
+    ``str()`` rendering on the round trip.
+    """
     if arr.dtype.kind != "O":
         return arr
     if len(arr) == 0:
         return np.empty(0, dtype="U1")
+    ensure_string_values(arr, context)
     packed = arr.astype(str)
     if packed.dtype.itemsize == 0:  # all-empty strings infer width 0
         packed = packed.astype("U1")
@@ -74,7 +82,9 @@ def write_npz(
         kinds = [table[name].dtype.kind for name in columns]
         manifest["tables"][table_name] = {"columns": columns, "kinds": kinds}
         for index, name in enumerate(columns):
-            arrays[f"{table_name}::{index}"] = _pack_column(table[name])
+            arrays[f"{table_name}::{index}"] = _pack_column(
+                table[name], f"{table_name}.{name}"
+            )
     arrays[_MANIFEST_KEY] = np.array(json.dumps(manifest, sort_keys=True))
     with atomic_open(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)

@@ -1,0 +1,61 @@
+"""Row-chunking policy for out-of-core streaming kernels.
+
+The streaming variants of the GroupBy aggregation and the RAS↔job
+attribution join process a table in fixed-size row chunks instead of
+materializing O(rows) scratch at once, which is what keeps fleet-scale
+traces (10⁷–10⁸ rows) inside a bounded working set — especially when
+the columns themselves are read-only memmap views
+(:mod:`repro.table.arena`) that the OS pages in on demand.
+
+``REPRO_CHUNK_ROWS`` sets the chunk size in rows.  Unset or ``0``
+disables chunking (the kernels take their single-pass path); anything
+else must parse as a positive integer.  The kernels only switch to the
+streaming path when the input is actually larger than one chunk, so a
+configured chunk size never slows small tables down.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+__all__ = ["CHUNK_ROWS_ENV", "chunk_rows", "iter_slices"]
+
+#: Environment variable holding the streaming chunk size in rows.
+CHUNK_ROWS_ENV = "REPRO_CHUNK_ROWS"
+
+
+def chunk_rows() -> int:
+    """The configured streaming chunk size in rows (0 = disabled).
+
+    Raises
+    ------
+    ValueError
+        When ``REPRO_CHUNK_ROWS`` is set but is not a non-negative
+        integer — a silently ignored typo would quietly change the
+        memory profile of every kernel.
+    """
+    raw = os.environ.get(CHUNK_ROWS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CHUNK_ROWS_ENV}={raw!r} is not an integer"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{CHUNK_ROWS_ENV} must be >= 0, got {value}")
+    return value
+
+
+def iter_slices(n_rows: int, size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` bounds covering ``0..n_rows`` in order.
+
+    The last slice may be short.  ``size`` must be positive; an empty
+    input yields nothing.
+    """
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    for start in range(0, n_rows, size):
+        yield start, min(start + size, n_rows)

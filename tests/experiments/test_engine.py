@@ -236,3 +236,39 @@ class TestTimingsAndBench:
         assert loaded["stages"]["load_cold_s"] == 1.5
         assert [e["id"] for e in loaded["experiments"]] == ["e01", "e02"]
         assert all(e["status"] == "ok" for e in loaded["experiments"])
+
+
+class TestPickleProbe:
+    """_can_pickle must be O(1): it probes ``pickle_probe()`` when the
+    object offers one instead of serializing the full dataset."""
+
+    def test_dataset_probe_is_tiny(self, dataset):
+        import pickle
+
+        probe = dataset.pickle_probe()
+        assert len(pickle.dumps(probe)) < 64 * 1024
+        assert len(pickle.dumps(probe)) < len(pickle.dumps(dataset)) / 4
+
+    def test_can_pickle_accepts_dataset(self, dataset):
+        from repro.experiments.engine import _can_pickle
+
+        assert _can_pickle(dataset)
+        assert _can_pickle({"plain": [1, 2, 3]})
+
+    def test_can_pickle_rejects_unpicklable(self):
+        from repro.experiments.engine import _can_pickle
+
+        assert not _can_pickle(lambda: None)
+
+        class Liar:
+            def pickle_probe(self):
+                return lambda: None  # probe itself unpicklable
+
+        assert not _can_pickle(Liar())
+
+    def test_null_writer_consumes_without_buffering(self):
+        from repro.experiments.engine import _NullWriter
+
+        writer = _NullWriter()
+        assert writer.write(b"xyz") == 3
+        assert not hasattr(writer, "getvalue")

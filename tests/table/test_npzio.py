@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import ColumnTypeError, ParseError
 from repro.table import Table, read_npz, write_npz
 from repro.table.npzio import NPZ_FORMAT_VERSION
 
@@ -53,6 +53,14 @@ class TestRoundTrip:
         path = tmp_path / "bundle.npz"
         write_npz(path, _sample_tables())
         assert [p.name for p in tmp_path.iterdir()] == ["bundle.npz"]
+
+    def test_object_column_with_non_strings_rejected(self, tmp_path):
+        bad = np.empty(2, dtype=object)
+        bad[0], bad[1] = "fine", 3.5
+        table = Table({"a": [1, 2]}).with_column("label", bad)
+        with pytest.raises(ColumnTypeError, match=r"t\.label"):
+            write_npz(tmp_path / "bad.npz", {"t": table})
+        assert not (tmp_path / "bad.npz").exists()
 
 
 class TestCorruption:

@@ -459,3 +459,96 @@ class TestGroupByParity:
         assert gb.apply(lambda s: s.n_rows) == []
         assert list(gb.groups()) == []
         assert gb.agg(v="sum").n_rows == 0
+
+
+# ---------------------------------------------------------------------------
+# chunked streaming kernels (REPRO_CHUNK_ROWS)
+# ---------------------------------------------------------------------------
+
+
+class TestChunkedParity:
+    """The streaming kernels must be value-identical to the single-pass
+    ones: bit-identical for order-independent aggregations and the
+    attribution join, allclose for float reductions whose partial sums
+    add in a different order."""
+
+    CHUNK = "257"  # prime, never divides the row count evenly
+
+    def _agg_pair(self, monkeypatch, table, key, column, agg_name):
+        monkeypatch.delenv("REPRO_CHUNK_ROWS", raising=False)
+        whole = table.group_by(key).agg({column: agg_name})
+        monkeypatch.setenv("REPRO_CHUNK_ROWS", self.CHUNK)
+        chunked = table.group_by(key).agg({column: agg_name})
+        return whole, chunked
+
+    @pytest.mark.parametrize("agg_name", ["min", "max", "nancount"])
+    def test_exact_aggregations(self, dataset, monkeypatch, agg_name):
+        whole, chunked = self._agg_pair(
+            monkeypatch, dataset.jobs, "user", "core_hours", agg_name
+        )
+        for name in whole.column_names:
+            assert np.array_equal(
+                np.asarray(whole[name]), np.asarray(chunked[name])
+            ), name
+
+    @pytest.mark.parametrize("agg_name", ["sum", "mean", "std"])
+    def test_float_aggregations_allclose(self, dataset, monkeypatch, agg_name):
+        whole, chunked = self._agg_pair(
+            monkeypatch, dataset.jobs, "user", "core_hours", agg_name
+        )
+        assert whole["user"].tolist() == chunked["user"].tolist()
+        assert whole["count"].tolist() == chunked["count"].tolist()
+        assert np.allclose(
+            whole[f"core_hours_{agg_name}"],
+            chunked[f"core_hours_{agg_name}"],
+            rtol=1e-12,
+            equal_nan=True,
+        )
+
+    @pytest.mark.parametrize("agg_name", ["min", "max", "nancount"])
+    def test_nan_groups_survive_chunking(self, monkeypatch, agg_name):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=1000)
+        values[rng.integers(0, 1000, size=90)] = np.nan
+        t = Table({"k": rng.integers(0, 9, size=1000), "v": values})
+        whole, chunked = self._agg_pair(monkeypatch, t, "k", "v", agg_name)
+        for name in whole.column_names:
+            assert np.array_equal(
+                np.asarray(whole[name]),
+                np.asarray(chunked[name]),
+                equal_nan=True,
+            ), name
+
+    def test_median_falls_back_to_single_pass(self, dataset, monkeypatch):
+        """Median needs a global sort, so it is intentionally absent from
+        STREAMING_AGGREGATIONS and must stay bit-identical regardless."""
+        from repro.table.groupby import STREAMING_AGGREGATIONS
+
+        assert "median" not in STREAMING_AGGREGATIONS
+        whole, chunked = self._agg_pair(
+            monkeypatch, dataset.jobs, "user", "core_hours", "median"
+        )
+        assert np.array_equal(whole["core_hours_median"], chunked["core_hours_median"])
+
+    def test_attribution_join_bit_identical(self, dataset, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNK_ROWS", raising=False)
+        whole = map_events_to_jobs(dataset.ras, dataset.jobs, dataset.spec)
+        monkeypatch.setenv("REPRO_CHUNK_ROWS", self.CHUNK)
+        chunked = map_events_to_jobs(dataset.ras, dataset.jobs, dataset.spec)
+        assert np.array_equal(whole, chunked)
+
+    def test_chunk_size_larger_than_table_is_single_pass(self, monkeypatch):
+        t = Table({"k": ["a", "b", "a"], "v": [1.0, 2.0, 3.0]})
+        monkeypatch.setenv("REPRO_CHUNK_ROWS", "1000000")
+        agg = t.group_by("k").agg(v="sum")
+        assert agg.sort_by("k")["v_sum"].tolist() == [4.0, 2.0]
+
+    def test_invalid_chunk_env_rejected(self, monkeypatch):
+        from repro.util.chunking import chunk_rows
+
+        monkeypatch.setenv("REPRO_CHUNK_ROWS", "lots")
+        with pytest.raises(ValueError, match="not an integer"):
+            chunk_rows()
+        monkeypatch.setenv("REPRO_CHUNK_ROWS", "-5")
+        with pytest.raises(ValueError, match=">= 0"):
+            chunk_rows()
