@@ -2,24 +2,36 @@
 """Gate a ``BENCH_serve.json`` record: schema-valid and a clean drill.
 
 Used by the CI ``serve-smoke`` job after ``repro-replay`` has fired a
-chaos-armed workload at a live ``repro-serve``.  Exits 1 (with a
-reason) unless:
+workload at a live ``repro-serve``.  Exits 1 (with a reason) unless:
 
 - the record matches the bench-serve schema (kind, version, sections);
 - every fired request is accounted for by a typed protocol outcome
   (no ``unreachable``, no ``unaccounted``, counts sum to the total);
 - the daemon survived the drill (healthy before and after, same PID);
-- latency percentiles were actually measured (p50/p99 present, sane).
+- latency percentiles were actually measured (p50/p99 present, sane);
+- when a ``cache`` section is present, its shape is valid.
 
-Usage: ``python benchmarks/check_serve_bench.py [BENCH_serve.json]``
+Optional result-cache gates (the CI warm/cold pass sets both)::
+
+    --require-cache-speedup 5   # warm-hit p50 must be >= 5x faster
+                                # than the cold (computed-miss) p50
+    --require-coalesced         # >0 requests rode an in-flight twin
+
+Usage: ``python benchmarks/check_serve_bench.py [BENCH_serve.json]
+[--require-cache-speedup X] [--require-coalesced]``
 """
 
+import argparse
 import json
 import sys
 
 from repro.serve.protocol import OUTCOMES
 
 REQUIRED_LATENCY_KEYS = ("count", "p50_ms", "p99_ms", "mean_ms", "max_ms")
+REQUIRED_CACHE_KEYS = (
+    "hits", "misses", "coalesced", "bypasses", "hit_rate",
+    "warm_p50_ms", "cold_p50_ms",
+)
 
 
 def fail(reason: str) -> "int":
@@ -27,7 +39,45 @@ def fail(reason: str) -> "int":
     return 1
 
 
-def check(record: dict) -> int:
+def check_cache(
+    record: dict, require_speedup: float | None, require_coalesced: bool
+) -> int | None:
+    """Cache-section gates; ``None`` means this part passed."""
+    cache = record.get("cache")
+    if cache is None:
+        # Old records have no cache section; that only fails when a
+        # cache gate was explicitly requested.
+        if require_speedup is not None or require_coalesced:
+            return fail("cache gate requested but record has no cache section")
+        return None
+    if not isinstance(cache, dict):
+        return fail(f"cache section is {type(cache).__name__}, not object")
+    missing = [k for k in REQUIRED_CACHE_KEYS if k not in cache]
+    if missing:
+        return fail(f"cache section missing {', '.join(missing)}")
+    if require_speedup is not None:
+        if cache["hits"] < 1:
+            return fail("cache speedup gate: no cache hits recorded")
+        warm, cold = cache["warm_p50_ms"], cache["cold_p50_ms"]
+        if not warm or warm <= 0:
+            return fail(f"cache speedup gate: warm p50 is {warm!r}")
+        if not cold or cold <= 0:
+            return fail(f"cache speedup gate: cold p50 is {cold!r}")
+        if cold < require_speedup * warm:
+            return fail(
+                f"warm-hit p50 {warm}ms is only {cold / warm:.1f}x faster "
+                f"than cold p50 {cold}ms (need >= {require_speedup:g}x)"
+            )
+    if require_coalesced and cache.get("coalesced", 0) < 1:
+        return fail("coalescing gate: no requests were coalesced")
+    return None
+
+
+def check(
+    record: dict,
+    require_speedup: float | None = None,
+    require_coalesced: bool = False,
+) -> int:
     if record.get("schema") != 1 or record.get("kind") != "bench-serve":
         return fail(
             f"not a bench-serve record (schema={record.get('schema')!r}, "
@@ -77,9 +127,13 @@ def check(record: dict) -> int:
     if record.get("clean") is not True:
         return fail("record is not marked clean")
 
+    failed = check_cache(record, require_speedup, require_coalesced)
+    if failed is not None:
+        return failed
+
     shed = outcomes.get("shed", 0)
     errors = outcomes.get("error", 0)
-    print(
+    summary = (
         f"OK: {total} request(s) all typed "
         f"({', '.join(f'{k}={v}' for k, v in sorted(outcomes.items()))}); "
         f"p50 {overall['p50_ms']}ms p99 {overall['p99_ms']}ms; "
@@ -87,19 +141,51 @@ def check(record: dict) -> int:
         f"{server.get('pid')}, {server.get('workers_replaced')} worker "
         "replacement(s))"
     )
+    cache = record.get("cache")
+    if isinstance(cache, dict):
+        summary += (
+            f"; cache hits={cache.get('hits')} "
+            f"misses={cache.get('misses')} "
+            f"coalesced={cache.get('coalesced')} "
+            f"hit_rate={cache.get('hit_rate')} "
+            f"warm_p50={cache.get('warm_p50_ms')}ms "
+            f"cold_p50={cache.get('cold_p50_ms')}ms"
+        )
+    print(summary)
     return 0
 
 
 def main(argv: list) -> int:
-    path = argv[1] if len(argv) > 1 else "BENCH_serve.json"
+    parser = argparse.ArgumentParser(
+        prog="check_serve_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("path", nargs="?", default="BENCH_serve.json")
+    parser.add_argument(
+        "--require-cache-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless cold p50 >= X * warm-hit p50 (and hits > 0)",
+    )
+    parser.add_argument(
+        "--require-coalesced",
+        action="store_true",
+        help="fail unless at least one request was coalesced",
+    )
+    args = parser.parse_args(argv[1:])
     try:
-        with open(path) as handle:
+        with open(args.path) as handle:
             record = json.load(handle)
     except (OSError, ValueError) as error:
-        return fail(f"cannot read {path}: {error}")
+        return fail(f"cannot read {args.path}: {error}")
     if not isinstance(record, dict):
-        return fail(f"{path}: not a JSON object")
-    return check(record)
+        return fail(f"{args.path}: not a JSON object")
+    return check(
+        record,
+        require_speedup=args.require_cache_speedup,
+        require_coalesced=args.require_coalesced,
+    )
 
 
 if __name__ == "__main__":

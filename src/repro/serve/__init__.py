@@ -15,8 +15,12 @@ resilience as the design axis:
 - :mod:`repro.serve.workers` — supervised worker processes with
   per-request deadlines (:mod:`repro.util.deadline`), crash isolation,
   and automatic replacement;
+- :mod:`repro.serve.resultcache` — the content-addressed result cache
+  (memory LRU + optional disk tier) that turns repeated deterministic
+  queries into lookups;
 - :mod:`repro.serve.server` — the HTTP daemon tying those together,
-  with ``/healthz``, ``/readyz``, graceful SIGTERM drain, journaled
+  with ``/healthz``, ``/readyz``, ``/admin/cache``, single-flight
+  request coalescing, batch folding, graceful SIGTERM drain, journaled
   lifecycle events, and per-request obs spans;
 - :mod:`repro.serve.replay` — the ``repro-replay`` load client: fires
   timestamped request CSVs at the server, arms chaos plans against it,
@@ -26,24 +30,29 @@ resilience as the design axis:
 from .admission import AdmissionQueue, Ticket
 from .breaker import BreakerBoard, CircuitBreaker
 from .protocol import (
+    CACHE_STATES,
     OUTCOMES,
     PROTOCOL_SCHEMA,
     ProtocolError,
     ServeRequest,
     ServeResponse,
 )
+from .resultcache import ResultCache, result_key
 from .server import ReproServer, ServeConfig
 
 __all__ = [
     "AdmissionQueue",
     "BreakerBoard",
+    "CACHE_STATES",
     "CircuitBreaker",
     "OUTCOMES",
     "PROTOCOL_SCHEMA",
     "ProtocolError",
     "ReproServer",
+    "ResultCache",
     "ServeConfig",
     "ServeRequest",
     "ServeResponse",
     "Ticket",
+    "result_key",
 ]

@@ -43,6 +43,15 @@ class Ticket:
     path) calls :meth:`complete` exactly once — later calls are
     ignored, so a supervisor killing a worker at the drain deadline
     cannot double-answer a request that just finished.
+
+    A ticket may additionally *lead a flight*: identical requests that
+    arrive while it is in progress attach themselves as followers
+    (:meth:`attach_follower`) instead of dispatching their own worker
+    jobs, and whoever completes the leader fans its answer out to
+    them.  ``cache_key`` is the leader's content address (empty when
+    the request is uncacheable), ``params`` its canonical parameter
+    tuple, and ``counted`` records whether the server charged it
+    against the outstanding-work gauge.
     """
 
     request: ServeRequest
@@ -50,10 +59,16 @@ class Ticket:
     enqueued_at: float = field(default_factory=time.monotonic)
     chaos_spec: str = ""
     probe: bool = False
+    cache_key: str = ""
+    cache_status: str | None = None
+    flight_id: str = ""
+    params: tuple = ()
+    counted: bool = False
     done: threading.Event = field(default_factory=threading.Event)
     response: ServeResponse | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock)
     _probe_settled: bool = False
+    _followers: list["Ticket"] = field(default_factory=list)
 
     def complete(self, response: ServeResponse) -> bool:
         """Attach the response and wake the waiter; first call wins."""
@@ -63,6 +78,26 @@ class Ticket:
             self.response = response
         self.done.set()
         return True
+
+    def attach_follower(self, follower: "Ticket") -> bool:
+        """Join ``follower`` to this ticket's flight.
+
+        Returns ``False`` when this ticket has already completed — the
+        race loser must answer from :attr:`response` (or re-check the
+        cache) instead, because the fan-out has already happened.
+        """
+        with self._lock:
+            if self.response is not None:
+                return False
+            self._followers.append(follower)
+            return True
+
+    def take_followers(self) -> list["Ticket"]:
+        """Drain the follower list exactly once (fan-out path)."""
+        with self._lock:
+            followers = self._followers
+            self._followers = []
+            return followers
 
     def settle_probe(self) -> bool:
         """Claim the right to resolve this ticket's half-open probe.
@@ -139,6 +174,29 @@ class AdmissionQueue:
                     if remaining <= 0 or not self._cond.wait(remaining):
                         if not any(self._lanes.values()):
                             return None
+
+    def take_compatible_batch(self, max_n: int, predicate) -> list[Ticket]:
+        """Pop up to ``max_n`` foldable tickets off the batch lane head.
+
+        Used by a dispatcher that just took a batch-lane ticket and
+        wants to amortize the worker round-trip: consecutive head
+        tickets satisfying ``predicate`` are removed in FIFO order (so
+        folding never reorders the lane) and returned for execution in
+        the same worker dispatch.  Stops at the first incompatible
+        ticket, and takes nothing while interactive work is waiting —
+        batch folding must never widen the interactive lane's queue
+        delay.
+        """
+        if max_n < 1:
+            return []
+        with self._cond:
+            if self._lanes["interactive"]:
+                return []
+            lane = self._lanes["batch"]
+            taken: list[Ticket] = []
+            while lane and len(taken) < max_n and predicate(lane[0]):
+                taken.append(lane.popleft())
+            return taken
 
     def close(self) -> None:
         """Refuse new submits and wake every blocked taker."""

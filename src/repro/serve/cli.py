@@ -34,9 +34,10 @@ def main_serve(argv: list[str] | None = None) -> int:
     """Serve experiment/query requests from a hot dataset over HTTP."""
     from repro.cli import _add_cache_args, _add_lenient_args, _add_synth_args
     from repro.cli import _load_or_synthesize
-    from repro.dataset.cache import fingerprint_for_run
+    from repro.dataset.cache import default_cache_dir, fingerprint_for_run
     from repro.experiments.journal import RunJournal, default_runs_dir
     from repro.serve.server import ReproServer, ServeConfig
+    from repro.table.arena import prune_stale_temps
     from repro.util.atomic import atomic_write_text
 
     parser = argparse.ArgumentParser(
@@ -118,6 +119,35 @@ def main_serve(argv: list[str] | None = None) -> int:
         help="open-state cooldown before a half-open probe (default: 3)",
     )
     parser.add_argument(
+        "--cache-mb",
+        type=int,
+        default=64,
+        metavar="MB",
+        help="in-memory result-cache budget in MiB; 0 disables the "
+        "result cache (default: 64)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent result-cache tier (e.g. "
+        "results/cache); default: memory-only",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the content-addressed result cache (coalescing "
+        "still applies); implied by --no-cache",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=4,
+        metavar="N",
+        help="max batch-lane requests folded into one worker "
+        "round-trip; 1 disables folding (default: 4)",
+    )
+    parser.add_argument(
         "--run-dir",
         default=None,
         metavar="DIR",
@@ -143,6 +173,14 @@ def main_serve(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.trace and args.no_journal:
         parser.error("--trace needs a run directory; drop --no-journal")
+    if args.cache_mb < 0:
+        parser.error(f"--cache-mb must be >= 0, got {args.cache_mb}")
+    # --no-cache means "trust nothing content-addressed": it bypasses
+    # the columnar dataset cache, so the result cache (keyed by that
+    # same fingerprint discipline) goes with it.
+    result_cache_enabled = (
+        not args.no_cache and not args.no_result_cache and args.cache_mb > 0
+    )
     try:
         config = ServeConfig(
             host=args.host,
@@ -156,9 +194,21 @@ def main_serve(argv: list[str] | None = None) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown_s=args.breaker_cooldown,
             trace=args.trace,
+            cache_enabled=result_cache_enabled,
+            cache_max_bytes=max(args.cache_mb, 1) * 1024 * 1024,
+            cache_dir=args.cache_dir if result_cache_enabled else None,
+            batch_max=args.batch_max,
         )
     except ValueError as error:
         parser.error(str(error))
+    # A previous daemon SIGKILLed mid-write (chaos drills do exactly
+    # this) leaves `*.tmp.<pid>` orphans next to the arena and cache
+    # entries; their writer PIDs are dead, so reclaim them up front.
+    pruned_temps = prune_stale_temps(default_cache_dir())
+    if args.dataset:
+        pruned_temps += prune_stale_temps(Path(args.dataset) / ".repro-cache")
+    if args.cache_dir:
+        pruned_temps += prune_stale_temps(args.cache_dir)
     journal = None
     try:
         dataset = _load_or_synthesize(args)
@@ -187,8 +237,16 @@ def main_serve(argv: list[str] | None = None) -> int:
                     "drain_seconds": args.drain_seconds,
                     "breaker_threshold": args.breaker_threshold,
                     "breaker_cooldown": args.breaker_cooldown,
+                    "batch_max": args.batch_max,
+                    "result_cache": result_cache_enabled,
+                    "result_cache_mb": args.cache_mb,
+                    "result_cache_dir": args.cache_dir or None,
                 },
             )
+            if pruned_temps:
+                journal.append_event(
+                    "startup-prune", stale_temps_removed=pruned_temps
+                )
     except (ReproError, OSError) as error:
         print(f"INVALID: {error}")
         return 1
@@ -317,6 +375,20 @@ def main_replay(argv: list[str] | None = None) -> int:
         "--gen-seed", type=int, default=0, help="RNG seed for --gen"
     )
     parser.add_argument(
+        "--gen-dist",
+        choices=("uniform", "zipf"),
+        default="uniform",
+        help="mode popularity for --gen: uniform, or zipf (few hot "
+        "queries — the shape a result cache is measured under)",
+    )
+    parser.add_argument(
+        "--gen-zipf-s",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="Zipf exponent for --gen-dist zipf (default: 1.1)",
+    )
+    parser.add_argument(
         "--gen-deadline-ms", type=int, default=5000,
         help="deadline for generated requests (default: 5000)",
     )
@@ -359,6 +431,12 @@ def main_replay(argv: list[str] | None = None) -> int:
         help="disarm the chaos plan after this long (default: whole run)",
     )
     parser.add_argument(
+        "--flush-cache",
+        action="store_true",
+        help="POST /admin/cache before firing so the drill starts with "
+        "a cold result cache (warm/cold comparisons)",
+    )
+    parser.add_argument(
         "--bench-json",
         default="BENCH_serve.json",
         metavar="PATH",
@@ -377,10 +455,15 @@ def main_replay(argv: list[str] | None = None) -> int:
                 modes,
                 seed=args.gen_seed,
                 deadline_ms=args.gen_deadline_ms,
+                dist=args.gen_dist,
+                zipf_s=args.gen_zipf_s,
             )
             if args.gen_out:
                 write_request_csv(args.gen_out, specs)
-            source = f"generated(n={args.gen}, rps={args.gen_rps:g})"
+            source = (
+                f"generated(n={args.gen}, rps={args.gen_rps:g}, "
+                f"dist={args.gen_dist})"
+            )
         else:
             specs = load_request_csv(args.csv)
             source = args.csv
@@ -395,6 +478,7 @@ def main_replay(argv: list[str] | None = None) -> int:
             chaos_duration_s=args.chaos_duration,
             saturation_ok_rate=args.saturation_ok_rate,
             source=source,
+            flush_cache_first=args.flush_cache,
         )
     except ReplayError as error:
         print(f"INVALID: {error}")
@@ -417,6 +501,13 @@ def main_replay(argv: list[str] | None = None) -> int:
     print(
         f"latency p50 {latency['p50_ms']:.1f}ms  "
         f"p99 {latency['p99_ms']:.1f}ms  max {latency['max_ms']:.1f}ms"
+    )
+    cache = record["cache"]
+    print(
+        f"cache hits={cache['hits']} misses={cache['misses']} "
+        f"coalesced={cache['coalesced']} hit_rate={cache['hit_rate']:.3f} "
+        f"warm_p50 {cache['warm_p50_ms']:.1f}ms  "
+        f"cold_p50 {cache['cold_p50_ms']:.1f}ms"
     )
     if record["sweep"]:
         for entry in record["sweep"]:

@@ -34,11 +34,12 @@ report would.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from repro.errors import ReproError
 
 __all__ = [
+    "CACHE_STATES",
     "HTTP_STATUS",
     "MODES",
     "OUTCOMES",
@@ -75,6 +76,20 @@ OUTCOMES: tuple[str, ...] = (
 #: Outcomes a client should retry after ``retry_after_s`` — the server
 #: refused the work without attempting it.
 RETRYABLE_OUTCOMES = frozenset({"shed", "breaker_open", "draining"})
+
+#: How the result cache treated a request (the response's ``cache``
+#: field; ``None`` for modes the cache never sees, e.g. ``ping``):
+#: served from the memory/disk tier, computed fresh (``miss``), fanned
+#: out from an identical in-flight request (``coalesced``), or
+#: deliberately skipped (``bypass`` — chaos armed, dirty dataset, or
+#: the cache disabled).
+CACHE_STATES: tuple[str, ...] = (
+    "hit_memory",
+    "hit_disk",
+    "miss",
+    "coalesced",
+    "bypass",
+)
 
 HTTP_STATUS: dict[str, int] = {
     "ok": 200,
@@ -188,6 +203,28 @@ class ServeRequest:
         payload.update(asdict(self))
         return payload
 
+    def with_request_id(self, request_id: str) -> "ServeRequest":
+        """This request under a (server-assigned) id, all else equal."""
+        return replace(self, request_id=request_id)
+
+    def canonical_params(self) -> tuple[tuple[str, object], ...]:
+        """The request's *semantic* parameters, canonicalized once.
+
+        A sorted ``(name, value)`` tuple of exactly the fields that
+        change the answer — mode, the experiment id for experiment
+        queries, the duration for sleeps.  Request id, priority, and
+        deadline are transport concerns and deliberately excluded, so
+        two requests for the same analysis canonicalize identically.
+        The server computes this once at admission and reuses it for
+        the cache key, coalescing, and the journal/trace record.
+        """
+        params: dict[str, object] = {"mode": self.mode}
+        if self.mode == "experiment":
+            params["experiment"] = self.experiment
+        elif self.mode == "sleep":
+            params["seconds"] = self.seconds
+        return tuple(sorted(params.items()))
+
 
 @dataclass(frozen=True)
 class ServeResponse:
@@ -199,6 +236,9 @@ class ServeResponse:
     ``breaker`` surfaces the relevant breaker's snapshot when one
     influenced (or will influence) this experiment's fate, and
     ``result`` carries the mode-specific payload for ``ok``.
+    ``cache`` reports how the result cache treated the request — one
+    of :data:`CACHE_STATES`, or ``None`` when the cache was never in
+    play (``ping``/``sleep``, refusals before dispatch).
     """
 
     request_id: str
@@ -209,11 +249,17 @@ class ServeResponse:
     retry_after_s: float | None = None
     breaker: dict | None = None
     result: dict | None = None
+    cache: str | None = None
 
     def __post_init__(self):
         if self.outcome not in OUTCOMES:
             raise ProtocolError(
                 f"unknown outcome {self.outcome!r}; known: {', '.join(OUTCOMES)}"
+            )
+        if self.cache is not None and self.cache not in CACHE_STATES:
+            raise ProtocolError(
+                f"unknown cache state {self.cache!r}; "
+                f"known: {', '.join(CACHE_STATES)}"
             )
 
     @property
@@ -249,6 +295,7 @@ class ServeResponse:
             ),
             breaker=_require_type(payload, "breaker", dict, None, "response"),
             result=_require_type(payload, "result", dict, None, "response"),
+            cache=_require_type(payload, "cache", str, None, "response"),
         )
 
     def to_json(self) -> dict:

@@ -43,7 +43,9 @@ from .protocol import MODES, OUTCOMES, PRIORITIES
 __all__ = [
     "ReplayError",
     "RequestSpec",
+    "cache_summary",
     "fire_requests",
+    "flush_cache",
     "generate_requests",
     "latency_stats",
     "load_request_csv",
@@ -165,15 +167,31 @@ def generate_requests(
     seed: int = 0,
     deadline_ms: int = 5000,
     batch_fraction: float = 0.25,
+    dist: str = "uniform",
+    zipf_s: float = 1.1,
 ) -> list[RequestSpec]:
-    """A deterministic synthetic workload: ``n`` requests at ``rps``."""
+    """A deterministic synthetic workload: ``n`` requests at ``rps``.
+
+    ``dist`` picks how requests spread over ``modes``: ``"uniform"``
+    (every mode equally likely) or ``"zipf"`` — mode *k* (0-based, in
+    the order given) is drawn with weight ``1/(k+1)**zipf_s``, the
+    skewed few-hot-queries shape real analysis traffic has, and the
+    one a result cache + request coalescing should be measured under.
+    """
     if n < 1:
         raise ReplayError(f"need at least 1 request, got {n}")
     if rps <= 0:
         raise ReplayError(f"rps must be positive, got {rps}")
     if not modes:
         raise ReplayError("need at least one mode to generate")
+    if dist not in ("uniform", "zipf"):
+        raise ReplayError(f"unknown --gen-dist {dist!r}")
+    if zipf_s <= 0:
+        raise ReplayError(f"zipf exponent must be positive, got {zipf_s}")
     rng = random.Random(seed)
+    weights = None
+    if dist == "zipf":
+        weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(modes))]
     specs = []
     for index in range(n):
         priority = (
@@ -183,7 +201,11 @@ def generate_requests(
             RequestSpec(
                 request_id=f"r-{index:05d}",
                 arrival_offset_s=round(index / rps, 4),
-                mode=rng.choice(modes),
+                mode=(
+                    rng.choice(modes)
+                    if weights is None
+                    else rng.choices(modes, weights=weights)[0]
+                ),
                 priority=priority,
                 deadline_ms=deadline_ms,
             )
@@ -222,13 +244,45 @@ def _http_json(
         conn.close()
 
 
+#: Keys every ``/healthz`` ``cache`` block must carry; the PID check
+#: asserts this schema so a server missing its cache telemetry fails
+#: the drill as loudly as one that crashed.
+_HEALTH_CACHE_KEYS = ("enabled", "hits", "misses", "hit_ratio", "coalesced")
+
+
 def check_health(url: str, timeout: float = 5.0) -> dict | None:
-    """``/healthz`` payload, or ``None`` when the server is unreachable."""
+    """``/healthz`` payload, or ``None`` when unreachable or malformed.
+
+    Malformed means structurally unusable for the drill's clean
+    verdict: a non-integer ``pid``, or a missing/incomplete ``cache``
+    stats block (the replay record embeds it, so its shape is part of
+    the server's contract).
+    """
     try:
         status, payload = _http_json(url, "GET", "/healthz", timeout=timeout)
     except OSError:
         return None
-    return payload if status == 200 else None
+    if status != 200 or not isinstance(payload, dict):
+        return None
+    if not isinstance(payload.get("pid"), int):
+        return None
+    cache = payload.get("cache")
+    if not isinstance(cache, dict) or any(
+        key not in cache for key in _HEALTH_CACHE_KEYS
+    ):
+        return None
+    return payload
+
+
+def flush_cache(url: str, timeout: float = 5.0) -> bool:
+    """``POST /admin/cache``: drop both result-cache tiers."""
+    try:
+        status, _ = _http_json(
+            url, "POST", "/admin/cache", {"flush": True}, timeout=timeout
+        )
+    except OSError:
+        return False
+    return status == 200
 
 
 def arm_chaos(url: str, spec: str, timeout: float = 5.0) -> bool:
@@ -257,13 +311,15 @@ def _fire_one(url: str, spec: RequestSpec, results: list, index: int):
         outcome = payload.get("outcome", "")
         if outcome not in OUTCOMES:
             outcome = "unaccounted"
+        cache = payload.get("cache")
     except OSError:
-        status, outcome = 0, "unreachable"
+        status, outcome, cache = 0, "unreachable", None
     results[index] = {
         "request_id": spec.request_id,
         "mode": spec.mode,
         "priority": spec.priority,
         "outcome": outcome,
+        "cache": cache if isinstance(cache, str) else None,
         "http_status": status,
         "latency_ms": round((time.monotonic() - started) * 1000.0, 3),
     }
@@ -340,6 +396,33 @@ def _ok_rate(results: list[dict]) -> float:
     return round(good / len(results), 4)
 
 
+def cache_summary(results: list[dict], server_cache=None) -> dict:
+    """Client-observed cache behavior: hit rate + warm vs cold latency.
+
+    ``warm_p50_ms`` is the p50 over cache hits (either tier) and
+    ``cold_p50_ms`` the p50 over successfully *computed* answers
+    (``miss`` with an ok/skipped outcome), so the pair measures what
+    the cache actually buys at the client.  ``server_cache`` embeds
+    the server's own ``/healthz`` cache block for cross-checking.
+    """
+    hits = [r for r in results if r.get("cache") in ("hit_memory", "hit_disk")]
+    misses = [r for r in results if r.get("cache") == "miss"]
+    looked = len(hits) + len(misses)
+    cold = [r for r in misses if r["outcome"] in ("ok", "skipped")]
+    return {
+        "hits": len(hits),
+        "misses": len(misses),
+        "coalesced": sum(
+            1 for r in results if r.get("cache") == "coalesced"
+        ),
+        "bypasses": sum(1 for r in results if r.get("cache") == "bypass"),
+        "hit_rate": round(len(hits) / looked, 4) if looked else 0.0,
+        "warm_p50_ms": latency_stats(hits)["p50_ms"],
+        "cold_p50_ms": latency_stats(cold)["p50_ms"],
+        "server": server_cache if isinstance(server_cache, dict) else None,
+    }
+
+
 def _at_rps(specs: list[RequestSpec], rps: float) -> list[RequestSpec]:
     """The same requests re-timed to a uniform arrival rate."""
     return [
@@ -366,11 +449,16 @@ def run_replay(
     chaos_duration_s: float | None = None,
     saturation_ok_rate: float = 0.95,
     source: str = "csv",
+    flush_cache_first: bool = False,
 ) -> dict:
     """Run the whole drill and assemble the ``BENCH_serve.json`` record."""
     from repro import __version__
 
     health_before = check_health(url)
+    if flush_cache_first:
+        # Start cold on purpose: warm/cold comparisons are meaningless
+        # when an earlier drill already populated the cache.
+        flush_cache(url)
     chaos_timers: list[threading.Timer] = []
     if chaos_spec:
         arm = threading.Timer(
@@ -466,6 +554,9 @@ def run_replay(
                 [r for r in results if r["priority"] == "batch"]
             ),
         },
+        "cache": cache_summary(
+            results, (health_after or {}).get("cache")
+        ),
         "sweep": sweep_records,
         "saturation_rps": saturation_rps,
         "server": {

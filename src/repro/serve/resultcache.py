@@ -1,0 +1,335 @@
+"""Content-addressed result cache for the query server.
+
+Every analysis the server can run is a **deterministic function of an
+immutable input**: the dataset (identified by its content
+fingerprint), the experiment id, the request's canonicalized
+parameters, and the toolkit version.  That makes repeated queries pure
+cache lookups — the whole point of this module — and makes the cache
+key trivial to get right:
+
+    key = sha256(fingerprint, canonical params, toolkit version)
+
+Two tiers, both living in the *daemon* (never in a worker, so entries
+survive every worker crash and respawn for free):
+
+- an in-memory LRU bounded by **bytes** (per-entry size accounting on
+  the serialized envelope, not an entry count, so one giant result
+  cannot silently blow the budget 64 small ones respect);
+- an optional disk tier — one ``<key>.json`` envelope per entry,
+  written with the shared atomic-write utilities — which additionally
+  survives daemon restarts (e.g. under ``results/cache/``).
+
+Strict correctness guards (enforced by the server, re-checked here):
+
+- only ``ok`` / ``skipped`` outcomes are storable — errors, crashes,
+  and deadline expiries never poison the cache;
+- chaos-armed requests and lenient/dirty datasets bypass the cache
+  entirely (the server never computes a key for them);
+- the fingerprint and toolkit version are baked into the key *and*
+  embedded in every disk envelope, so stale entries are structurally
+  unreachable; :meth:`ResultCache.prune_mismatched` additionally
+  garbage-collects them on startup.
+
+The cache is thread-safe: HTTP handler threads ``get`` while
+dispatcher threads ``put``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.util.atomic import atomic_write_text
+
+__all__ = [
+    "CACHEABLE_OUTCOMES",
+    "CACHE_SCHEMA",
+    "CachedResult",
+    "ResultCache",
+    "result_key",
+]
+
+#: Bump when the envelope layout changes; old disk entries are ignored.
+CACHE_SCHEMA = 1
+
+#: Only deterministic, successful outcomes may enter the cache.
+CACHEABLE_OUTCOMES = frozenset({"ok", "skipped"})
+
+
+def result_key(
+    fingerprint: str,
+    params: tuple,
+    toolkit_version: str,
+) -> str:
+    """The content address of one analysis answer.
+
+    ``params`` is the request's canonical parameter tuple
+    (:meth:`repro.serve.protocol.ServeRequest.canonical_params`) —
+    sorted ``(name, value)`` pairs, so two requests that mean the same
+    thing hash the same regardless of wire-field order.
+    """
+    blob = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "params": [list(pair) for pair in params],
+            "toolkit_version": toolkit_version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CachedResult:
+    """One cached answer plus its serialized size (LRU accounting)."""
+
+    __slots__ = ("outcome", "message", "result", "encoded", "size_bytes")
+
+    def __init__(self, outcome: str, message: str, result: dict | None,
+                 encoded: str):
+        self.outcome = outcome
+        self.message = message
+        self.result = result
+        self.encoded = encoded
+        self.size_bytes = len(encoded.encode())
+
+
+class ResultCache:
+    """Bounded two-tier (memory LRU + optional disk) result cache.
+
+    ``on_event(name, value)`` — when given — receives one call per
+    ``hit_memory`` / ``hit_disk`` / ``miss`` / ``store`` / ``evict`` /
+    ``coalesced``, which the server wires to its obs counters.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int,
+        directory: str | Path | None = None,
+        on_event=None,
+    ):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.directory = Path(directory) if directory else None
+        self._on_event = on_event
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self._bytes = 0
+        self._stats = {
+            "hits_memory": 0,
+            "hits_disk": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+        }
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- events / stats ------------------------------------------------
+
+    def _event(self, name: str, value: int = 1) -> None:
+        if self._on_event is not None:
+            self._on_event(name, value)
+
+    def stats(self) -> dict:
+        """Snapshot: tier sizes, counters, and the derived hit ratio."""
+        with self._lock:
+            stats = dict(self._stats)
+            entries = len(self._entries)
+            used = self._bytes
+        hits = stats["hits_memory"] + stats["hits_disk"]
+        looked = hits + stats["misses"]
+        disk_entries = None
+        if self.directory is not None:
+            try:
+                disk_entries = sum(
+                    1 for _ in self.directory.glob("*.json")
+                )
+            except OSError:  # pragma: no cover - unreadable cache dir
+                disk_entries = None
+        return {
+            **stats,
+            "hits": hits,
+            "hit_ratio": round(hits / looked, 4) if looked else 0.0,
+            "memory": {
+                "entries": entries,
+                "bytes": used,
+                "max_bytes": self.max_bytes,
+            },
+            "disk": {
+                "dir": str(self.directory) if self.directory else None,
+                "entries": disk_entries,
+            },
+        }
+
+    # -- the tiers -----------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> tuple[CachedResult, str] | None:
+        """``(entry, tier)`` for a hit, ``None`` for a miss.
+
+        A disk hit is promoted into the memory tier so the next lookup
+        is O(1) without touching the filesystem.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats["hits_memory"] += 1
+                self._event("hit_memory")
+                return entry, "memory"
+        entry = self._read_disk(key)
+        if entry is not None:
+            with self._lock:
+                self._stats["hits_disk"] += 1
+                self._install(key, entry)
+            self._event("hit_disk")
+            return entry, "disk"
+        with self._lock:
+            self._stats["misses"] += 1
+        self._event("miss")
+        return None
+
+    def _read_disk(self, key: str) -> CachedResult | None:
+        if self.directory is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            encoded = path.read_text()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(encoded)
+        except ValueError:
+            envelope = None  # unparseable: falls into the garbage branch
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != CACHE_SCHEMA
+            or envelope.get("key") != key
+            or envelope.get("outcome") not in CACHEABLE_OUTCOMES
+        ):
+            # A corrupt or foreign file is garbage: remove it so it is
+            # never re-read, and treat the lookup as a miss.
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            return None
+        return CachedResult(
+            envelope["outcome"],
+            envelope.get("message", ""),
+            envelope.get("result"),
+            encoded,
+        )
+
+    def put(
+        self,
+        key: str,
+        *,
+        outcome: str,
+        message: str,
+        result: dict | None,
+        fingerprint: str = "",
+        toolkit_version: str = "",
+        params: tuple = (),
+    ) -> bool:
+        """Store one answer under ``key``; refuses uncacheable outcomes."""
+        if outcome not in CACHEABLE_OUTCOMES:
+            return False
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "kind": "serve-cache-entry",
+            "key": key,
+            "fingerprint": fingerprint,
+            "toolkit_version": toolkit_version,
+            "params": [list(pair) for pair in params],
+            "outcome": outcome,
+            "message": message,
+            "result": result,
+        }
+        encoded = json.dumps(envelope, sort_keys=True)
+        entry = CachedResult(outcome, message, result, encoded)
+        with self._lock:
+            self._install(key, entry)
+            self._stats["stores"] += 1
+        self._event("store")
+        if self.directory is not None:
+            try:
+                atomic_write_text(self._disk_path(key), encoded + "\n")
+            except OSError:  # pragma: no cover - disk tier best-effort
+                pass
+        return True
+
+    def _install(self, key: str, entry: CachedResult) -> None:
+        """Insert into the memory LRU, evicting to the byte budget.
+
+        Caller holds the lock.  An entry bigger than the whole budget
+        is not memory-cached at all (it would evict everything and
+        still not fit); the disk tier still serves it.
+        """
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.size_bytes
+        if entry.size_bytes > self.max_bytes:
+            return
+        self._entries[key] = entry
+        self._bytes += entry.size_bytes
+        while self._bytes > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size_bytes
+            self._stats["evictions"] += 1
+            self._event("evict")
+
+    # -- maintenance ---------------------------------------------------
+
+    def flush(self) -> dict[str, int]:
+        """Drop every entry from both tiers; returns removal counts."""
+        with self._lock:
+            memory = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+        disk = 0
+        if self.directory is not None:
+            for path in sorted(self.directory.glob("*.json")):
+                try:
+                    path.unlink()
+                    disk += 1
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+        return {"memory": memory, "disk": disk}
+
+    def prune_mismatched(
+        self, fingerprint: str, toolkit_version: str
+    ) -> int:
+        """Delete disk entries for any other dataset or toolkit version.
+
+        Their keys already make them unreachable; this reclaims the
+        bytes.  Returns the number of files removed.
+        """
+        if self.directory is None:
+            return 0
+        removed = 0
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, ValueError):
+                envelope = None
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != CACHE_SCHEMA
+                or envelope.get("fingerprint") != fingerprint
+                or envelope.get("toolkit_version") != toolkit_version
+            ):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+        return removed

@@ -5,17 +5,22 @@ with a typed outcome, so nothing is ever silently dropped:
 
 1. an HTTP handler thread parses the body (``invalid`` on protocol
    violations) and asks :meth:`ReproServer.handle_query`;
-2. admission: draining servers answer ``draining``; an open circuit
-   breaker answers ``breaker_open``; a full lane answers ``shed`` with
-   a load-derived ``retry_after_s`` — all three without touching a
-   worker;
+2. admission: draining servers answer ``draining``; a clean dataset's
+   deterministic queries are answered straight from the content-
+   addressed result cache (:mod:`repro.serve.resultcache`) when
+   present; identical in-flight requests coalesce behind one leader
+   (single-flight); an open circuit breaker answers ``breaker_open``;
+   a full lane answers ``shed`` with a load-derived ``retry_after_s``
+   — all without touching a worker;
 3. a dispatcher thread (one per worker slot) takes the ticket —
    interactive lane first — charges queue wait against its deadline,
    and runs it on its supervised worker process with the *remaining*
-   budget;
+   budget; compatible batch-lane neighbors fold into the same worker
+   round-trip (up to ``batch_max``) when no interactive work waits;
 4. the verdict (worker outcome, crash, or stall-kill) becomes the
-   response, feeds the experiment's breaker, and wakes the waiting
-   HTTP thread.
+   response, feeds the experiment's breaker and — for ``ok`` /
+   ``skipped`` answers with a cache key — the result cache, fans out
+   to any coalesced followers, and wakes the waiting HTTP thread.
 
 Shutdown (SIGTERM/SIGINT or ``POST /admin/drain``) is a graceful
 drain: stop admitting, finish in-flight work within the drain
@@ -35,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import __version__
 from repro.errors import FaultError
 from repro.faults.plan import ProcessFaultPlan
 from repro.util.deadline import Deadline
@@ -42,7 +48,8 @@ from repro.util.deadline import Deadline
 from .admission import AdmissionQueue, Ticket
 from .breaker import BreakerBoard
 from .protocol import ProtocolError, ServeRequest, ServeResponse
-from .workers import FORK_LOCK, SUPERVISOR_GRACE_S, WorkerSlot
+from .resultcache import CACHEABLE_OUTCOMES, ResultCache, result_key
+from .workers import FORK_LOCK, SUPERVISOR_GRACE_S, WorkerSlot, WorkerVerdict
 
 try:  # tracing is optional: without repro.obs the server runs untraced
     from repro.obs import trace as _obs
@@ -67,6 +74,10 @@ class ServeConfig:
     breaker_threshold: int = 5
     breaker_cooldown_s: float = 3.0
     trace: bool = False
+    cache_enabled: bool = True
+    cache_max_bytes: int = 64 * 1024 * 1024
+    cache_dir: str | None = None
+    batch_max: int = 4
 
     def __post_init__(self):
         if self.workers < 1:
@@ -75,6 +86,12 @@ class ServeConfig:
             raise ValueError("deadlines must be positive")
         if self.drain_s < 0:
             raise ValueError(f"drain_s must be >= 0, got {self.drain_s}")
+        if self.cache_enabled and self.cache_max_bytes < 1:
+            raise ValueError(
+                f"cache_max_bytes must be >= 1, got {self.cache_max_bytes}"
+            )
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
 
 
 class _ServeTrace:
@@ -144,6 +161,23 @@ class ReproServer:
         )
         self._trace = _ServeTrace() if self.config.trace else None
         self._lock = threading.Lock()
+        # A lenient load that quarantined or degraded anything is not
+        # content-addressable: its fingerprint names the *source*, not
+        # the salvaged tables actually in memory, so its answers are
+        # never cached (they still coalesce — determinism within one
+        # live dataset copy holds).
+        self._dirty_dataset = bool(getattr(dataset, "ingestion", None))
+        self.cache: ResultCache | None = None
+        if self.config.cache_enabled:
+            self.cache = ResultCache(
+                self.config.cache_max_bytes,
+                directory=self.config.cache_dir,
+                on_event=self._cache_event,
+            )
+        self._flights: dict[str, Ticket] = {}
+        self._coalesced = 0
+        self._batched = 0
+        self._bypasses = 0
         self._outcome_counts: dict[str, int] = {}
         self._outstanding = 0
         self._request_seq = 0
@@ -174,9 +208,24 @@ class ReproServer:
         with FORK_LOCK:
             self.journal.append_event(name, **fields)
 
+    def _cache_event(self, name: str, value: int = 1) -> None:
+        if self._trace is not None:
+            self._trace.incr(f"serve.cache.{name}", value)
+
     def start(self) -> tuple[str, int]:
         """Spawn workers + dispatchers, bind HTTP; returns (host, port)."""
         self._started_at = time.monotonic()
+        if self.cache is not None and self.cache.directory is not None:
+            # Entries keyed by another fingerprint or toolkit version
+            # are structurally unreachable; reclaim them now so the
+            # disk tier only ever holds live answers.
+            removed = self.cache.prune_mismatched(self.fingerprint, __version__)
+            if removed:
+                self._journal_event(
+                    "cache-pruned",
+                    removed=removed,
+                    fingerprint=self.fingerprint,
+                )
         for _ in range(self.config.workers):
             self._slots.append(WorkerSlot(self.dataset))
         for index, slot in enumerate(self._slots):
@@ -280,6 +329,7 @@ class ReproServer:
                 uptime_s=round(uptime, 3),
                 outcomes=self.outcome_counts(),
                 workers_replaced=self.workers_replaced(),
+                cache=self.cache_stats(),
             )
             with FORK_LOCK:
                 self.journal.append_end("complete", uptime)
@@ -338,14 +388,7 @@ class ReproServer:
             with self._lock:
                 self._request_seq += 1
                 seq = self._request_seq
-            request = ServeRequest(
-                mode=request.mode,
-                request_id=f"srv-{seq:06d}",
-                experiment=request.experiment,
-                priority=request.priority,
-                deadline_ms=request.deadline_ms,
-                seconds=request.seconds,
-            )
+            request = request.with_request_id(f"srv-{seq:06d}")
         if request.mode == "experiment":
             from repro.experiments import all_experiments
 
@@ -366,42 +409,113 @@ class ReproServer:
             )
             self._account(response, arrived, request)
             return response
-        probe = False
-        breaker = None
+        params = request.canonical_params()
+        with self._lock:
+            chaos_spec = self._chaos_spec
+        # Experiment and summary answers are deterministic functions of
+        # the loaded dataset, so identical requests may share one
+        # execution (coalesce) and — when the dataset is clean and
+        # content-addressed — one cached answer.  Chaos-armed requests
+        # must each reach a worker to experience their fault, so they
+        # do neither.
+        coalescable = (
+            request.mode in ("experiment", "summary") and not chaos_spec
+        )
+        cacheable = (
+            coalescable
+            and self.cache is not None
+            and not self._dirty_dataset
+            and bool(self.fingerprint)
+        )
+        key = (
+            result_key(self.fingerprint, params, __version__)
+            if cacheable
+            else ""
+        )
+        if cacheable:
+            hit = self.cache.get(key)
+            if hit is not None:
+                entry, tier = hit
+                response = ServeResponse(
+                    request_id=request.request_id,
+                    outcome=entry.outcome,
+                    message=entry.message,
+                    seconds=round(time.monotonic() - arrived, 6),
+                    result=entry.result,
+                    cache=f"hit_{tier}",
+                )
+                self._account(response, arrived, request)
+                return response
+        elif request.mode in ("experiment", "summary"):
+            with self._lock:
+                self._bypasses += 1
+            self._cache_event("bypass")
+        deadline_ms = min(
+            request.deadline_ms or self.config.default_deadline_ms,
+            self.config.max_deadline_ms,
+        )
+        ticket = Ticket(
+            request=request,
+            deadline=Deadline.after(deadline_ms / 1000.0),
+            chaos_spec=chaos_spec,
+            cache_key=key,
+            params=params,
+        )
+        if key:
+            ticket.cache_status = "miss"
+        elif request.mode in ("experiment", "summary"):
+            ticket.cache_status = "bypass"
+        leader: Ticket | None = None
+        if coalescable:
+            # Single-flight: the first request for a key leads; every
+            # identical request admitted while it is in progress rides
+            # along instead of dispatching its own worker job.
+            flight_id = key or f"params:{params!r}"
+            with self._lock:
+                leader = self._flights.get(flight_id)
+                if leader is None:
+                    ticket.flight_id = flight_id
+                    self._flights[flight_id] = ticket
+        if leader is not None:
+            with self._lock:
+                self._coalesced += 1
+            self._cache_event("coalesced")
+            if leader.attach_follower(ticket):
+                return self._await_coalesced(ticket)
+            # The leader completed while we were attaching; its fan-out
+            # has already happened, so answer from its response.
+            fanned = leader.response
+            response = ServeResponse(
+                request_id=request.request_id,
+                outcome=fanned.outcome,
+                message=fanned.message,
+                seconds=round(time.monotonic() - arrived, 6),
+                retry_after_s=fanned.retry_after_s,
+                result=fanned.result,
+                cache="coalesced",
+            )
+            self._account(response, arrived, request)
+            return response
         if request.mode == "experiment":
             breaker = self.breakers.get(request.experiment)
             verdict = breaker.admit()
             if verdict == "open":
-                response = ServeResponse(
-                    request_id=request.request_id,
+                self._complete(
+                    ticket,
                     outcome="breaker_open",
                     message=(
                         f"circuit breaker for {request.experiment!r} is open"
                     ),
                     retry_after_s=breaker.retry_after_s(),
-                    breaker=breaker.snapshot(),
                 )
-                self._account(response, arrived, request)
-                return response
-            probe = verdict == "probe"
-        deadline_ms = min(
-            request.deadline_ms or self.config.default_deadline_ms,
-            self.config.max_deadline_ms,
-        )
-        with self._lock:
-            chaos_spec = self._chaos_spec
-        ticket = Ticket(
-            request=request,
-            deadline=Deadline.after(deadline_ms / 1000.0),
-            chaos_spec=chaos_spec,
-            probe=probe,
-        )
+                return ticket.response
+            ticket.probe = verdict == "probe"
         admitted = self.queue.submit(ticket)
         if not admitted:
-            if probe and breaker is not None and ticket.settle_probe():
-                breaker.cancel_probe()
-            response = ServeResponse(
-                request_id=request.request_id,
+            # _complete releases a probe reservation and fans the shed
+            # out to any follower that attached in the meantime.
+            self._complete(
+                ticket,
                 outcome="shed",
                 message=(
                     f"admission queue full ({request.priority} lane); "
@@ -409,10 +523,10 @@ class ReproServer:
                 ),
                 retry_after_s=self.queue.retry_after_s(self.config.workers),
             )
-            self._account(response, arrived, request)
-            return response
+            return ticket.response
         with self._lock:
             self._outstanding += 1
+            ticket.counted = True
         budget_s = deadline_ms / 1000.0 + SUPERVISOR_GRACE_S + 3.0
         if not ticket.done.wait(budget_s):
             # Belt-and-braces: a dispatcher should always answer first.
@@ -432,6 +546,31 @@ class ReproServer:
             )
         return response
 
+    def _await_coalesced(self, ticket: Ticket) -> ServeResponse:
+        """Wait out a follower: the leader's fan-out answers it, or its
+        own deadline does — a coalesced waiter never outlives its
+        deadline just because the shared flight is slow."""
+        if not ticket.done.wait(ticket.deadline.remaining()):
+            self._complete(
+                ticket,
+                outcome="deadline_exceeded",
+                message=(
+                    f"deadline ({ticket.deadline.budget:.3f}s) expired "
+                    "while coalesced behind an identical in-flight request"
+                ),
+                retry_after_s=None,
+                cache_status="coalesced",
+            )
+            ticket.done.wait(1.0)
+        response = ticket.response
+        if response is None:  # pragma: no cover - complete() always sets it
+            response = ServeResponse(
+                request_id=ticket.request.request_id,
+                outcome="error",
+                message="internal: coalesced request lost",
+            )
+        return response
+
     def _dispatch_loop(self, slot: WorkerSlot) -> None:
         while True:
             ticket = self.queue.take(timeout=0.1)
@@ -441,8 +580,34 @@ class ReproServer:
                 continue
             self._run_ticket(slot, ticket)
 
-    def _run_ticket(self, slot: WorkerSlot, ticket: Ticket) -> None:
+    def _foldable(self, ticket: Ticket) -> bool:
+        """May ``ticket`` join a folded batch dispatch?
+
+        Chaos-armed work must crash its own worker dispatch, a breaker
+        probe must produce exactly one attributable verdict, sleeps
+        would serialize the whole fold, and an expired ticket needs a
+        ``deadline_exceeded`` answer, not an execution.
+        """
+        return (
+            not ticket.probe
+            and not ticket.chaos_spec
+            and ticket.request.mode in ("experiment", "summary", "ping")
+            and not ticket.deadline.expired
+        )
+
+    def _job_for(self, ticket: Ticket) -> dict:
         request = ticket.request
+        return {
+            "request_id": request.request_id,
+            "mode": request.mode,
+            "experiment": request.experiment,
+            "seconds": request.seconds,
+            "deadline_s": ticket.deadline.remaining(),
+            "chaos_spec": ticket.chaos_spec,
+            "attempt": 1,
+        }
+
+    def _run_ticket(self, slot: WorkerSlot, ticket: Ticket) -> None:
         if ticket.deadline.expired:
             self._complete(
                 ticket,
@@ -454,18 +619,67 @@ class ReproServer:
                 retry_after_s=None,
             )
             return
-        remaining = ticket.deadline.remaining()
+        if (
+            ticket.request.priority == "batch"
+            and self.config.batch_max > 1
+            and self._foldable(ticket)
+        ):
+            extras = self.queue.take_compatible_batch(
+                self.config.batch_max - 1, self._foldable
+            )
+            if extras:
+                self._run_folded(slot, [ticket] + extras)
+                return
         queue_seconds = time.monotonic() - ticket.enqueued_at
+        job = self._job_for(ticket)
+        verdict = slot.run(job, job["deadline_s"])
+        self._settle_verdict(ticket, verdict, queue_seconds)
+
+    def _run_folded(self, slot: WorkerSlot, members: list[Ticket]) -> None:
+        """One worker round-trip for several compatible batch requests.
+
+        The dispatch/IPC cost is paid once; each member keeps its own
+        deadline (the worker charges earlier members' runtime against
+        later budgets) and its own typed outcome, breaker vote, and
+        cache entry.
+        """
+        dispatched_at = time.monotonic()
+        jobs = [self._job_for(ticket) for ticket in members]
         job = {
-            "request_id": request.request_id,
-            "mode": request.mode,
-            "experiment": request.experiment,
-            "seconds": request.seconds,
-            "deadline_s": remaining,
-            "chaos_spec": ticket.chaos_spec,
-            "attempt": 1,
+            "mode": "batch",
+            "request_id": members[0].request.request_id,
+            "jobs": jobs,
         }
-        verdict = slot.run(job, remaining)
+        with self._lock:
+            self._batched += len(members)
+        self._cache_event("batched", len(members))
+        # Worst case every member uses its full remaining budget, one
+        # after the other; the in-worker SIGALRMs keep it far smaller.
+        budget = sum(sub["deadline_s"] for sub in jobs)
+        verdict = slot.run(job, budget)
+        results = (verdict.payload or {}).get("results") or []
+        for index, ticket in enumerate(members):
+            queue_seconds = dispatched_at - ticket.enqueued_at
+            if verdict.kind != "done":
+                self._settle_verdict(ticket, verdict, queue_seconds)
+                continue
+            sub = results[index] if index < len(results) else None
+            if not isinstance(sub, dict):
+                sub_verdict = WorkerVerdict(
+                    "done",
+                    {
+                        "outcome": "error",
+                        "message": "internal: batch result misaligned",
+                    },
+                )
+            else:
+                sub_verdict = WorkerVerdict("done", sub)
+            self._settle_verdict(ticket, sub_verdict, queue_seconds)
+
+    def _settle_verdict(
+        self, ticket: Ticket, verdict: WorkerVerdict, queue_seconds: float
+    ) -> None:
+        request = ticket.request
         if verdict.kind == "done":
             payload = verdict.payload or {}
             outcome = payload.get("outcome", "error")
@@ -514,6 +728,7 @@ class ReproServer:
         retry_after_s: float | None,
         result: dict | None = None,
         queue_seconds: float | None = None,
+        cache_status: str | None = None,
     ) -> None:
         now = time.monotonic()
         request = ticket.request
@@ -530,6 +745,8 @@ class ReproServer:
         if queue_seconds is None:
             # Never dispatched: the whole wait was queue time.
             queue_seconds = now - ticket.enqueued_at
+        if cache_status is None:
+            cache_status = ticket.cache_status
         response = ServeResponse(
             request_id=request.request_id,
             outcome=outcome,
@@ -539,11 +756,51 @@ class ReproServer:
             retry_after_s=retry_after_s,
             breaker=breaker_state,
             result=result,
+            cache=cache_status,
         )
+        if (
+            ticket.cache_key
+            and self.cache is not None
+            and outcome in CACHEABLE_OUTCOMES
+            and not ticket.completed
+        ):
+            # Store before waking the waiter (read-your-writes: once a
+            # client holds an answer, the cache verifiably holds it
+            # too — even across a daemon restart) and before
+            # unregistering the flight, so there is no window where an
+            # identical request neither hits the cache nor finds a
+            # leader to coalesce behind.
+            self.cache.put(
+                ticket.cache_key,
+                outcome=outcome,
+                message=message,
+                result=result,
+                fingerprint=self.fingerprint,
+                toolkit_version=__version__,
+                params=ticket.params,
+            )
         if ticket.complete(response):
-            with self._lock:
-                self._outstanding -= 1
+            if ticket.flight_id:
+                with self._lock:
+                    if self._flights.get(ticket.flight_id) is ticket:
+                        del self._flights[ticket.flight_id]
+            if ticket.counted:
+                with self._lock:
+                    self._outstanding -= 1
             self._account(response, ticket.enqueued_at, request)
+            # Fan the leader's answer out to every coalesced follower.
+            # Followers never lead flights, hold cache keys, or count
+            # against the outstanding gauge, so this recursion is one
+            # level deep and side-effect-free beyond answering them.
+            for follower in ticket.take_followers():
+                self._complete(
+                    follower,
+                    outcome=outcome,
+                    message=message,
+                    retry_after_s=retry_after_s,
+                    result=result,
+                    cache_status="coalesced",
+                )
 
     def _account(
         self,
@@ -560,6 +817,8 @@ class ReproServer:
                 "request_id": response.request_id,
                 "outcome": response.outcome,
             }
+            if response.cache is not None:
+                attrs["cache"] = response.cache
             if request is not None:
                 attrs["mode"] = request.mode
                 attrs["priority"] = request.priority
@@ -579,6 +838,42 @@ class ReproServer:
     def outcome_counts(self) -> dict[str, int]:
         with self._lock:
             return dict(sorted(self._outcome_counts.items()))
+
+    def cache_stats(self) -> dict:
+        """Result-cache and coalescing counters for /healthz and /admin.
+
+        Always present — even with the cache disabled — so monitoring
+        and the replay harness can assert its shape unconditionally.
+        """
+        if self.cache is not None:
+            stats = self.cache.stats()
+        else:
+            stats = {
+                "hits_memory": 0,
+                "hits_disk": 0,
+                "misses": 0,
+                "stores": 0,
+                "evictions": 0,
+                "hits": 0,
+                "hit_ratio": 0.0,
+                "memory": {"entries": 0, "bytes": 0, "max_bytes": 0},
+                "disk": {"dir": None, "entries": None},
+            }
+        with self._lock:
+            stats["coalesced"] = self._coalesced
+            stats["batched"] = self._batched
+            stats["bypasses"] = self._bypasses
+        stats["enabled"] = self.cache is not None
+        stats["dirty_bypass"] = self._dirty_dataset
+        return stats
+
+    def flush_cache(self) -> dict:
+        """Drop both cache tiers (``POST /admin/cache``); journaled."""
+        if self.cache is None:
+            return {"enabled": False, "flushed": {"memory": 0, "disk": 0}}
+        flushed = self.cache.flush()
+        self._journal_event("cache-flush", **flushed)
+        return {"enabled": True, "flushed": flushed}
 
     def workers_replaced(self) -> int:
         return sum(slot.replacements for slot in self._slots)
@@ -615,6 +910,7 @@ class ReproServer:
             },
             "breakers": self.breakers.snapshot(),
             "requests": self.outcome_counts(),
+            "cache": self.cache_stats(),
             "chaos": chaos,
         }
 
@@ -676,6 +972,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
         elif self.path == "/readyz":
             ready, payload = server.readyz()
             self._send_json(200 if ready else 503, payload)
+        elif self.path == "/admin/cache":
+            self._send_json(200, server.cache_stats())
         else:
             self._send_json(404, {"error": f"no such path {self.path!r}"})
 
@@ -704,6 +1002,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 self._send_json(400, {"error": str(error)})
                 return
             self._send_json(200, result)
+        elif self.path == "/admin/cache":
+            # Any POST body flushes; {"flush": true} is the idiom.
+            flushed = server.flush_cache()
+            self._send_json(200, {**flushed, "stats": server.cache_stats()})
         elif self.path == "/admin/drain":
             server.request_stop("admin-drain")
             self._send_json(

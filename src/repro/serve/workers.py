@@ -59,7 +59,7 @@ from dataclasses import dataclass
 from repro.errors import FaultError, ReproError
 from repro.util.deadline import DeadlineExceeded, deadline
 
-__all__ = ["FORK_LOCK", "WorkerSlot", "WorkerVerdict", "run_job"]
+__all__ = ["FORK_LOCK", "WorkerSlot", "WorkerVerdict", "run_batch", "run_job"]
 
 #: Extra seconds the supervisor waits beyond a job's deadline before
 #: declaring the worker wedged and killing it.
@@ -161,6 +161,49 @@ def run_job(job: dict, dataset) -> dict:
     }
 
 
+def run_batch(job: dict, dataset) -> dict:
+    """Execute a folded batch job: sub-jobs back to back, one round-trip.
+
+    The dispatcher folds compatible queued batch-lane requests into
+    ``{"mode": "batch", "jobs": [...]}`` so N cheap queries cost one
+    pipe send/recv instead of N.  Each sub-job runs through
+    :func:`run_job` with its *own* remaining deadline — reduced by the
+    time earlier members already spent, so a request's deadline keeps
+    covering queue wait *plus* execution even inside a fold — and its
+    SIGALRM fires individually, so one slow member times out alone
+    without poisoning its batchmates' outcomes.  ``results`` is
+    index-aligned with ``jobs``.
+    """
+    started = time.perf_counter()
+    results = []
+    for sub in job.get("jobs", ()):
+        budget = sub.get("deadline_s")
+        if budget is not None:
+            budget -= time.perf_counter() - started
+            if budget <= 0:
+                results.append(
+                    {
+                        "request_id": sub.get("request_id", ""),
+                        "outcome": "deadline_exceeded",
+                        "message": (
+                            "deadline expired behind earlier batch members"
+                        ),
+                        "seconds": 0.0,
+                        "result": None,
+                    }
+                )
+                continue
+            sub = dict(sub, deadline_s=budget)
+        results.append(run_job(sub, dataset))
+    return {
+        "request_id": job.get("request_id", ""),
+        "outcome": "ok",
+        "message": "",
+        "seconds": time.perf_counter() - started,
+        "results": results,
+    }
+
+
 def _worker_main(conn, dataset) -> None:
     """Worker process body: serve jobs from the pipe until told to stop."""
     while True:
@@ -170,8 +213,9 @@ def _worker_main(conn, dataset) -> None:
             return
         if job is None:
             return
+        runner = run_batch if job.get("mode") == "batch" else run_job
         try:
-            conn.send(run_job(job, dataset))
+            conn.send(runner(job, dataset))
         except (BrokenPipeError, OSError):
             return
 

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.serve.protocol import (
+    CACHE_STATES,
     HTTP_STATUS,
     MODES,
     OUTCOMES,
@@ -33,21 +34,28 @@ GOLDEN_RESPONSES = [
     {"schema": 1, "kind": "response", "request_id": "r1", "outcome": "ok",
      "message": "", "seconds": 0.012, "queue_seconds": 0.001,
      "retry_after_s": None, "breaker": None,
-     "result": {"summary": {"n_jobs": 3}}, "http_status": 200},
+     "result": {"summary": {"n_jobs": 3}}, "cache": "miss",
+     "http_status": 200},
     {"schema": 1, "kind": "response", "request_id": "r2",
      "outcome": "shed", "message": "queue full", "seconds": 0.0,
      "queue_seconds": 0.0, "retry_after_s": 0.4, "breaker": None,
-     "result": None, "http_status": 503},
+     "result": None, "cache": None, "http_status": 503},
     {"schema": 1, "kind": "response", "request_id": "r3",
      "outcome": "breaker_open", "message": "e03 breaker open",
      "seconds": 0.0, "queue_seconds": 0.0, "retry_after_s": 2.1,
      "breaker": {"state": "open", "consecutive_failures": 5,
                  "threshold": 5, "cooldown_s": 3.0},
-     "result": None, "http_status": 503},
+     "result": None, "cache": None, "http_status": 503},
     {"schema": 1, "kind": "response", "request_id": "r4",
      "outcome": "deadline_exceeded", "message": "deadline exceeded",
      "seconds": 0.5, "queue_seconds": 0.2, "retry_after_s": None,
-     "breaker": None, "result": None, "http_status": 504},
+     "breaker": None, "result": None, "cache": "coalesced",
+     "http_status": 504},
+    {"schema": 1, "kind": "response", "request_id": "r5", "outcome": "ok",
+     "message": "", "seconds": 0.001, "queue_seconds": 0.0,
+     "retry_after_s": None, "breaker": None,
+     "result": {"summary": {"n_jobs": 3}}, "cache": "hit_memory",
+     "http_status": 200},
 ]
 
 
@@ -121,6 +129,15 @@ class TestValidation:
     def test_unknown_outcome_is_typed(self):
         with pytest.raises(ProtocolError, match="unknown outcome"):
             ServeResponse(request_id="r", outcome="mystery")
+
+    def test_unknown_cache_state_is_typed(self):
+        with pytest.raises(ProtocolError, match="unknown cache state"):
+            ServeResponse(request_id="r", outcome="ok", cache="maybe")
+
+    @pytest.mark.parametrize("state", CACHE_STATES)
+    def test_every_cache_state_round_trips(self, state):
+        response = ServeResponse(request_id="r", outcome="ok", cache=state)
+        assert ServeResponse.parse(response.to_json()) == response
 
     def test_non_object_payload_is_typed(self):
         with pytest.raises(ProtocolError, match="not a JSON object"):

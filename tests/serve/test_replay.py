@@ -6,6 +6,7 @@ from repro.dataset import MiraDataset
 from repro.serve.replay import (
     RequestSpec,
     ReplayError,
+    cache_summary,
     generate_requests,
     latency_stats,
     load_request_csv,
@@ -93,6 +94,39 @@ class TestGenerate:
             generate_requests(5, 0.0, ["ping"])
         with pytest.raises(ReplayError):
             generate_requests(5, 10.0, [])
+        with pytest.raises(ReplayError):
+            generate_requests(5, 10.0, ["ping"], dist="pareto")
+        with pytest.raises(ReplayError):
+            generate_requests(5, 10.0, ["ping"], dist="zipf", zipf_s=0.0)
+
+    def test_zipf_is_deterministic_for_a_seed(self):
+        a = generate_requests(30, 50.0, ["e01", "e02", "e03"], seed=7,
+                              dist="zipf")
+        b = generate_requests(30, 50.0, ["e01", "e02", "e03"], seed=7,
+                              dist="zipf")
+        assert a == b
+
+    def test_zipf_skews_toward_the_first_mode(self):
+        modes = ["e01", "e02", "e03", "e04", "e05"]
+        specs = generate_requests(
+            400, 100.0, modes, seed=1, dist="zipf", zipf_s=1.5
+        )
+        counts = {mode: 0 for mode in modes}
+        for spec in specs:
+            counts[spec.mode] += 1
+        # Rank-1 dominates and the tail thins out — the hot-query
+        # shape a result cache is supposed to exploit.
+        assert counts["e01"] > counts["e03"] > counts["e05"]
+        assert counts["e01"] > len(specs) * 0.35
+
+    def test_uniform_generation_is_unchanged_by_the_dist_knob(self):
+        # dist="uniform" must keep the exact pre-existing RNG stream so
+        # recorded workloads (and goldens) stay reproducible.
+        assert generate_requests(20, 50.0, ["ping", "e01"], seed=7) == (
+            generate_requests(
+                20, 50.0, ["ping", "e01"], seed=7, dist="uniform"
+            )
+        )
 
 
 class TestSpecPayload:
@@ -108,6 +142,48 @@ class TestSpecPayload:
 
     def test_builtin_modes_pass_through(self):
         assert RequestSpec("r", 0.0, "summary").payload()["mode"] == "summary"
+
+
+class TestCacheSummary:
+    @staticmethod
+    def result(cache, outcome="ok", latency_ms=10.0):
+        return {
+            "request_id": "r", "mode": "e01", "priority": "interactive",
+            "outcome": outcome, "cache": cache, "http_status": 200,
+            "latency_ms": latency_ms,
+        }
+
+    def test_hit_rate_and_warm_cold_split(self):
+        results = (
+            [self.result("hit_memory", latency_ms=1.0)] * 3
+            + [self.result("hit_disk", latency_ms=2.0)]
+            + [self.result("miss", latency_ms=50.0)] * 2
+            + [self.result("coalesced", latency_ms=30.0)]
+            + [self.result("bypass", latency_ms=40.0)]
+            + [self.result(None, latency_ms=5.0)]
+        )
+        summary = cache_summary(results)
+        assert summary["hits"] == 4
+        assert summary["misses"] == 2
+        assert summary["coalesced"] == 1
+        assert summary["bypasses"] == 1
+        assert summary["hit_rate"] == pytest.approx(4 / 6, abs=1e-4)
+        assert summary["warm_p50_ms"] <= 2.0
+        assert summary["cold_p50_ms"] == 50.0
+
+    def test_failed_misses_do_not_pollute_cold_latency(self):
+        results = [
+            self.result("miss", outcome="deadline_exceeded",
+                        latency_ms=5000.0),
+            self.result("miss", outcome="ok", latency_ms=40.0),
+        ]
+        assert cache_summary(results)["cold_p50_ms"] == 40.0
+
+    def test_empty_results_are_zeroed(self):
+        summary = cache_summary([])
+        assert summary["hits"] == 0
+        assert summary["hit_rate"] == 0.0
+        assert summary["server"] is None
 
 
 class TestLatencyStats:
@@ -146,6 +222,36 @@ class TestLiveReplay:
         assert record["server"]["same_pid"] is True
         assert record["latency_ms"]["overall"]["count"] == 12
         assert record["latency_ms"]["overall"]["p99_ms"] > 0
+
+    def test_zipf_replay_records_cache_hits(self):
+        dataset = MiraDataset.synthesize(n_days=2.0, seed=3)
+        server = ReproServer(
+            dataset,
+            fingerprint="replay-fp",
+            config=ServeConfig(workers=2, drain_s=3.0),
+        )
+        server.start()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            specs = generate_requests(
+                16, 30.0, ["e01", "e02"], seed=2, deadline_ms=15_000,
+                dist="zipf", zipf_s=1.5,
+            )
+            record = run_replay(
+                url, specs, source="test", flush_cache_first=True
+            )
+        finally:
+            server.drain_and_stop("test-teardown")
+        assert record["clean"] is True
+        cache = record["cache"]
+        # 16 requests over two distinct analyses: at most a handful of
+        # true computations, everything else hits or coalesces.
+        assert cache["hits"] + cache["coalesced"] >= 10
+        assert cache["hits"] > 0
+        assert cache["hit_rate"] > 0.5
+        assert cache["warm_p50_ms"] > 0.0
+        assert cache["server"]["enabled"] is True
+        assert cache["server"]["hits"] >= cache["hits"]
 
     def test_unreachable_server_is_reported_not_raised(self):
         specs = [RequestSpec("r1", 0.0, "ping", deadline_ms=500)]

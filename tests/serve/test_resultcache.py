@@ -1,0 +1,202 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.serve.resultcache import (
+    CACHE_SCHEMA,
+    CACHEABLE_OUTCOMES,
+    ResultCache,
+    result_key,
+)
+
+
+class TestResultKey:
+    def test_deterministic(self):
+        params = (("experiment", "e03"), ("mode", "experiment"))
+        assert result_key("fp", params, "1.0.0") == result_key(
+            "fp", params, "1.0.0"
+        )
+
+    def test_fingerprint_changes_the_key(self):
+        params = (("mode", "summary"),)
+        assert result_key("fp-a", params, "1.0.0") != result_key(
+            "fp-b", params, "1.0.0"
+        )
+
+    def test_toolkit_version_changes_the_key(self):
+        params = (("mode", "summary"),)
+        assert result_key("fp", params, "1.0.0") != result_key(
+            "fp", params, "1.0.1"
+        )
+
+    def test_params_change_the_key(self):
+        assert result_key(
+            "fp", (("experiment", "e01"), ("mode", "experiment")), "1"
+        ) != result_key(
+            "fp", (("experiment", "e02"), ("mode", "experiment")), "1"
+        )
+
+
+class TestMemoryTier:
+    def put(self, cache, key, payload="x"):
+        return cache.put(
+            key, outcome="ok", message="", result={"payload": payload}
+        )
+
+    def test_round_trip(self):
+        cache = ResultCache(1 << 20)
+        self.put(cache, "k1", "hello")
+        entry, tier = cache.get("k1")
+        assert tier == "memory"
+        assert entry.outcome == "ok"
+        assert entry.result == {"payload": "hello"}
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache(1 << 20)
+        assert cache.get("nope") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_uncacheable_outcomes_are_refused(self):
+        cache = ResultCache(1 << 20)
+        for outcome in ("error", "deadline_exceeded", "shed", "draining"):
+            assert outcome not in CACHEABLE_OUTCOMES
+            assert not cache.put(
+                "k", outcome=outcome, message="boom", result=None
+            )
+        assert cache.get("k") is None
+
+    def test_lru_eviction_is_byte_bounded(self):
+        cache = ResultCache(max_bytes=400)
+        for index in range(10):
+            self.put(cache, f"k{index}", "v" * 50)
+        stats = cache.stats()
+        assert stats["memory"]["bytes"] <= 400
+        assert stats["evictions"] > 0
+        # The newest entry survived; the oldest was evicted.
+        assert cache.get("k9") is not None
+        assert cache.get("k0") is None
+
+    def test_get_refreshes_recency(self):
+        probe = ResultCache(1 << 20)
+        self.put(probe, "a", "v" * 40)
+        entry_bytes = probe.stats()["memory"]["bytes"]
+        # Room for two entries but not three.
+        cache = ResultCache(max_bytes=entry_bytes * 2 + entry_bytes // 2)
+        self.put(cache, "a", "v" * 40)
+        self.put(cache, "b", "v" * 40)
+        assert cache.get("a") is not None  # a is now most-recent
+        self.put(cache, "c", "v" * 40)  # forces one eviction
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_oversized_entry_skips_the_memory_tier(self):
+        cache = ResultCache(max_bytes=64)
+        self.put(cache, "big", "v" * 500)
+        assert cache.stats()["memory"]["entries"] == 0
+        assert cache.get("big") is None
+
+    def test_overwrite_replaces_accounting(self):
+        cache = ResultCache(1 << 20)
+        self.put(cache, "k", "v" * 100)
+        before = cache.stats()["memory"]["bytes"]
+        self.put(cache, "k", "v")
+        after = cache.stats()["memory"]["bytes"]
+        assert cache.stats()["memory"]["entries"] == 1
+        assert after < before
+
+    def test_flush_empties_the_tier(self):
+        cache = ResultCache(1 << 20)
+        self.put(cache, "k1")
+        self.put(cache, "k2")
+        assert cache.flush() == {"memory": 2, "disk": 0}
+        assert cache.stats()["memory"]["entries"] == 0
+
+    def test_events_are_emitted(self):
+        events = []
+        cache = ResultCache(
+            1 << 20, on_event=lambda name, value: events.append(name)
+        )
+        self.put(cache, "k")
+        cache.get("k")
+        cache.get("absent")
+        assert events == ["store", "hit_memory", "miss"]
+
+
+class TestDiskTier:
+    def test_round_trip_and_promotion(self, tmp_path):
+        writer = ResultCache(1 << 20, directory=tmp_path)
+        writer.put("k", outcome="ok", message="", result={"n": 1})
+        # A fresh cache (new daemon) reads the entry from disk...
+        reader = ResultCache(1 << 20, directory=tmp_path)
+        entry, tier = reader.get("k")
+        assert tier == "disk"
+        assert entry.result == {"n": 1}
+        # ...and promotes it, so the next hit is memory.
+        _, tier = reader.get("k")
+        assert tier == "memory"
+
+    def test_disk_payload_is_byte_identical_across_processes(self, tmp_path):
+        writer = ResultCache(1 << 20, directory=tmp_path)
+        writer.put("k", outcome="ok", message="", result={"n": [1, 2]})
+        fresh = ResultCache(1 << 20, directory=tmp_path)
+        entry, _ = fresh.get("k")
+        direct, _ = writer.get("k")
+        assert entry.encoded.strip() == direct.encoded.strip()
+        assert entry.result == direct.result
+
+    def test_corrupt_file_is_removed_and_missed(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        cache = ResultCache(1 << 20, directory=tmp_path)
+        assert cache.get("bad") is None
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_key_mismatch_is_treated_as_garbage(self, tmp_path):
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "key": "other",
+            "outcome": "ok",
+            "result": None,
+        }
+        (tmp_path / "stolen.json").write_text(json.dumps(envelope))
+        cache = ResultCache(1 << 20, directory=tmp_path)
+        assert cache.get("stolen") is None
+        assert not (tmp_path / "stolen.json").exists()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(1 << 20, directory=tmp_path)
+        for index in range(5):
+            cache.put(f"k{index}", outcome="ok", message="", result={})
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_flush_unlinks_disk_entries(self, tmp_path):
+        cache = ResultCache(1 << 20, directory=tmp_path)
+        cache.put("k1", outcome="ok", message="", result=None)
+        cache.put("k2", outcome="skipped", message="small", result=None)
+        assert cache.flush() == {"memory": 2, "disk": 2}
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_prune_mismatched_removes_stale_envelopes(self, tmp_path):
+        cache = ResultCache(1 << 20, directory=tmp_path)
+        cache.put(
+            "live", outcome="ok", message="", result=None,
+            fingerprint="fp-now", toolkit_version="2.0",
+        )
+        cache.put(
+            "stale-fp", outcome="ok", message="", result=None,
+            fingerprint="fp-old", toolkit_version="2.0",
+        )
+        cache.put(
+            "stale-ver", outcome="ok", message="", result=None,
+            fingerprint="fp-now", toolkit_version="1.0",
+        )
+        assert cache.prune_mismatched("fp-now", "2.0") == 2
+        names = {path.stem for path in tmp_path.glob("*.json")}
+        assert names == {"live"}
+
+
+class TestValidation:
+    def test_nonpositive_budget_is_refused(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(0)

@@ -1,0 +1,380 @@
+"""E2e tests for result caching, coalescing, and batch folding.
+
+The correctness bar for the whole caching layer is *byte identity*: a
+cached answer must be indistinguishable from a freshly computed one
+for every experiment, and anything non-deterministic (chaos, dirty
+datasets, error outcomes) must never enter the cache.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import __version__
+from repro.dataset import MiraDataset
+from repro.experiments import all_experiments
+from repro.serve.replay import check_health
+from repro.serve.server import ReproServer, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MiraDataset.synthesize(n_days=2.0, seed=3)
+
+
+def make_server(dataset, tmp_path=None, **config):
+    config.setdefault("workers", 2)
+    config.setdefault("drain_s", 3.0)
+    if tmp_path is not None:
+        config.setdefault("cache_dir", str(tmp_path))
+    srv = ReproServer(
+        dataset,
+        fingerprint=config.pop("fingerprint", "cache-fp"),
+        config=ServeConfig(**config),
+    )
+    srv.start()
+    return srv
+
+
+def query(srv, **payload):
+    payload.setdefault("schema", 1)
+    return srv.handle_query(payload)
+
+
+def canonical_bytes(result):
+    return json.dumps(result, sort_keys=True)
+
+
+class TestByteIdentity:
+    @pytest.fixture(scope="class")
+    def server(self, dataset):
+        srv = make_server(dataset)
+        yield srv
+        srv.drain_and_stop("test-teardown")
+
+    def test_every_experiment_is_byte_identical_from_cache(self, server):
+        for experiment in sorted(all_experiments()):
+            fresh = query(
+                server, mode="experiment", experiment=experiment,
+                deadline_ms=30_000,
+            )
+            cached = query(
+                server, mode="experiment", experiment=experiment,
+                deadline_ms=30_000,
+            )
+            assert fresh.cache == "miss", experiment
+            assert cached.cache == "hit_memory", experiment
+            assert cached.outcome == fresh.outcome, experiment
+            assert cached.message == fresh.message, experiment
+            assert canonical_bytes(cached.result) == canonical_bytes(
+                fresh.result
+            ), experiment
+
+    def test_summary_hits_too(self, server):
+        first = query(server, mode="summary")
+        second = query(server, mode="summary")
+        assert first.cache in ("miss", "hit_memory")
+        assert second.cache == "hit_memory"
+        assert canonical_bytes(second.result) == canonical_bytes(
+            first.result
+        )
+
+    def test_ping_is_never_cached(self, server):
+        assert query(server, mode="ping").cache is None
+
+    def test_healthz_reports_the_cache_block(self, server):
+        health = server.healthz()
+        cache = health["cache"]
+        assert cache["enabled"] is True
+        assert cache["hits"] > 0
+        assert 0.0 <= cache["hit_ratio"] <= 1.0
+        assert cache["memory"]["entries"] > 0
+        assert {"coalesced", "batched", "bypasses"} <= set(cache)
+
+
+class TestInvalidation:
+    def test_fingerprint_change_invalidates_the_disk_tier(
+        self, dataset, tmp_path
+    ):
+        first = make_server(dataset, tmp_path, fingerprint="fp-old")
+        try:
+            assert query(first, mode="summary").cache == "miss"
+            assert query(first, mode="summary").cache == "hit_memory"
+            assert first.cache.stats()["disk"]["entries"] == 1
+        finally:
+            first.drain_and_stop("test-teardown")
+        # Same cache dir, different dataset fingerprint: the old entry
+        # is unreachable by key and pruned from disk at startup.
+        second = make_server(dataset, tmp_path, fingerprint="fp-new")
+        try:
+            assert second.cache.stats()["disk"]["entries"] == 0
+            assert query(second, mode="summary").cache == "miss"
+        finally:
+            second.drain_and_stop("test-teardown")
+
+    def test_disk_tier_survives_a_daemon_restart(self, dataset, tmp_path):
+        first = make_server(dataset, tmp_path, fingerprint="fp-same")
+        try:
+            fresh = query(first, mode="summary")
+            assert fresh.cache == "miss"
+        finally:
+            first.drain_and_stop("test-teardown")
+        second = make_server(dataset, tmp_path, fingerprint="fp-same")
+        try:
+            warm = query(second, mode="summary")
+            assert warm.cache == "hit_disk"
+            assert canonical_bytes(warm.result) == canonical_bytes(
+                fresh.result
+            )
+        finally:
+            second.drain_and_stop("test-teardown")
+
+
+class TestBypasses:
+    def test_chaos_armed_requests_bypass_and_never_store(self, dataset):
+        server = make_server(dataset)
+        try:
+            server.arm_chaos("kill_worker:e01:99")
+            try:
+                doomed = query(server, mode="experiment", experiment="e01")
+            finally:
+                server.arm_chaos("")
+            assert doomed.outcome == "error"
+            assert doomed.cache == "bypass"
+            # The error was not cached; the next request computes.
+            clean = query(server, mode="experiment", experiment="e01")
+            assert clean.outcome == "ok"
+            assert clean.cache == "miss"
+            assert server.cache_stats()["bypasses"] >= 1
+        finally:
+            server.drain_and_stop("test-teardown")
+
+    def test_dirty_dataset_bypasses_the_cache(self):
+        dirty = MiraDataset.synthesize(n_days=1.0, seed=5)
+        dirty.ingestion = {"quarantined_rows": 2}
+        server = make_server(dirty, fingerprint="dirty-fp")
+        try:
+            assert query(server, mode="summary").cache == "bypass"
+            assert query(server, mode="summary").cache == "bypass"
+            stats = server.cache_stats()
+            assert stats["dirty_bypass"] is True
+            assert stats["stores"] == 0
+        finally:
+            server.drain_and_stop("test-teardown")
+
+    def test_cache_disabled_still_serves(self, dataset):
+        server = make_server(dataset, cache_enabled=False)
+        try:
+            assert query(server, mode="summary").cache == "bypass"
+            stats = server.cache_stats()
+            assert stats["enabled"] is False
+            assert stats["hits"] == 0
+        finally:
+            server.drain_and_stop("test-teardown")
+
+    def test_error_outcomes_are_never_cached(self, dataset):
+        server = make_server(dataset, workers=1)
+        try:
+            slow = query(server, mode="sleep", seconds=10.0, deadline_ms=200)
+            assert slow.outcome == "deadline_exceeded"
+            assert server.cache_stats()["stores"] == 0
+        finally:
+            server.drain_and_stop("test-teardown")
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_execution(self, dataset):
+        server = make_server(dataset, workers=1)
+        try:
+            # Occupy the only worker so identical requests pile up in
+            # the queue behind one leader flight.
+            responses = {}
+
+            def fire(name, **payload):
+                responses[name] = query(server, **payload)
+
+            blocker = threading.Thread(
+                target=fire,
+                args=("blocker",),
+                kwargs={"mode": "sleep", "seconds": 0.6, "deadline_ms": 5000},
+            )
+            blocker.start()
+            time.sleep(0.15)  # let the blocker reach the worker
+            threads = [
+                threading.Thread(
+                    target=fire,
+                    args=(f"rider-{index}",),
+                    kwargs={
+                        "mode": "experiment",
+                        "experiment": "e01",
+                        "deadline_ms": 30_000,
+                    },
+                )
+                for index in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.05)
+            for thread in [blocker, *threads]:
+                thread.join()
+            riders = [responses[f"rider-{i}"] for i in range(3)]
+            assert all(r.outcome == "ok" for r in riders)
+            payloads = {canonical_bytes(r.result) for r in riders}
+            assert len(payloads) == 1
+            states = sorted(r.cache for r in riders)
+            assert "coalesced" in states
+            assert server.cache_stats()["coalesced"] >= 1
+        finally:
+            server.drain_and_stop("test-teardown")
+
+    def test_coalesced_waiter_honors_its_own_deadline(self, dataset):
+        server = make_server(dataset, workers=1)
+        try:
+            responses = {}
+
+            def fire(name, **payload):
+                responses[name] = query(server, **payload)
+
+            blocker = threading.Thread(
+                target=fire,
+                args=("blocker",),
+                kwargs={"mode": "sleep", "seconds": 1.0, "deadline_ms": 5000},
+            )
+            leader = threading.Thread(
+                target=fire,
+                args=("leader",),
+                kwargs={
+                    "mode": "experiment",
+                    "experiment": "e02",
+                    "deadline_ms": 30_000,
+                },
+            )
+            follower = threading.Thread(
+                target=fire,
+                args=("follower",),
+                kwargs={
+                    "mode": "experiment",
+                    "experiment": "e02",
+                    "deadline_ms": 250,
+                },
+            )
+            blocker.start()
+            time.sleep(0.15)
+            leader.start()
+            time.sleep(0.1)
+            follower.start()
+            for thread in (blocker, leader, follower):
+                thread.join()
+            # The follower's own (tiny) deadline expired while it was
+            # coalesced behind the leader's flight...
+            assert responses["follower"].outcome == "deadline_exceeded"
+            assert responses["follower"].cache == "coalesced"
+            assert "coalesced" in responses["follower"].message
+            # ...without affecting the leader's flight at all.
+            assert responses["leader"].outcome == "ok"
+        finally:
+            server.drain_and_stop("test-teardown")
+
+
+class TestBatchFolding:
+    def test_queued_batch_requests_fold_into_one_dispatch(self, dataset):
+        server = make_server(dataset, workers=1, batch_max=4)
+        try:
+            responses = {}
+
+            def fire(name, **payload):
+                responses[name] = query(server, **payload)
+
+            blocker = threading.Thread(
+                target=fire,
+                args=("blocker",),
+                kwargs={"mode": "sleep", "seconds": 0.6, "deadline_ms": 5000},
+            )
+            blocker.start()
+            time.sleep(0.15)
+            experiments = ("e01", "e02", "e03")
+            threads = [
+                threading.Thread(
+                    target=fire,
+                    args=(experiment,),
+                    kwargs={
+                        "mode": "experiment",
+                        "experiment": experiment,
+                        "priority": "batch",
+                        "deadline_ms": 30_000,
+                    },
+                )
+                for experiment in experiments
+            ]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.05)
+            for thread in [blocker, *threads]:
+                thread.join()
+            for experiment in experiments:
+                assert responses[experiment].outcome == "ok", experiment
+                assert responses[experiment].result is not None
+            assert server.cache_stats()["batched"] >= 2
+            # Folded answers enter the cache like any other.
+            assert query(
+                server, mode="experiment", experiment="e01",
+                priority="batch", deadline_ms=30_000,
+            ).cache == "hit_memory"
+        finally:
+            server.drain_and_stop("test-teardown")
+
+
+class TestAdminEndpoints:
+    def test_admin_cache_get_and_flush_over_http(self, dataset):
+        import http.client
+
+        server = make_server(dataset)
+        try:
+            assert query(server, mode="summary").outcome == "ok"
+            url = f"http://127.0.0.1:{server.port}"
+            health = check_health(url)
+            assert health is not None
+            assert isinstance(health["cache"], dict)
+
+            conn = http.client.HTTPConnection("127.0.0.1", server.port)
+            try:
+                conn.request("GET", "/admin/cache")
+                stats = json.loads(conn.getresponse().read())
+                assert stats["enabled"] is True
+                assert stats["stores"] >= 1
+
+                body = json.dumps({"flush": True}).encode()
+                conn.request(
+                    "POST", "/admin/cache", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                flushed = json.loads(conn.getresponse().read())
+                assert flushed["enabled"] is True
+                assert flushed["flushed"]["memory"] >= 1
+            finally:
+                conn.close()
+            assert query(server, mode="summary").cache == "miss"
+        finally:
+            server.drain_and_stop("test-teardown")
+
+    def test_check_health_rejects_a_missing_cache_block(self, dataset):
+        server = make_server(dataset)
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            assert check_health(url) is not None
+            assert check_health(url)["cache"]["enabled"] is True
+        finally:
+            server.drain_and_stop("test-teardown")
+        assert check_health(url) is None  # unreachable after shutdown
+
+
+class TestKeying:
+    def test_cache_keys_embed_fingerprint_and_version(self, dataset):
+        from repro.serve.resultcache import result_key
+
+        params = (("mode", "summary"),)
+        key_now = result_key("cache-fp", params, __version__)
+        assert key_now != result_key("other-fp", params, __version__)
+        assert key_now != result_key("cache-fp", params, "0.0.0")
