@@ -1,0 +1,85 @@
+"""Streaming ingestion benchmark: tail throughput and checkpoint cost.
+
+Measures the streaming pipeline against the batch loader on the same
+bytes:
+
+- end-to-end streamed ingestion (tail -> parse -> dedup -> watermark ->
+  online kernels) in rows/second
+- batch load of the identical directory, for the "cost of streaming"
+  ratio (recorded, not gated: the layers do different work)
+- a single checkpoint write, which bounds the kill-window an operator
+  pays for at any `--checkpoint-every`
+
+The run is gated on *correctness*, not speed: the streamed state must
+match the batch kernels (`verify_batch`), otherwise the throughput
+number is meaningless.
+
+Run ``pytest benchmarks/test_stream_bench.py -q -s`` for a summary.
+``REPRO_BENCH_DAYS`` scales the dataset (CI uses 30 days).
+"""
+
+import time
+
+import pytest
+from conftest import BENCH_DAYS, BENCH_SEED
+
+from repro.dataset import MiraDataset
+from repro.faults.streams import StreamFeeder
+from repro.stream.pipeline import StreamPipeline
+
+# Streaming re-parses CSV rows one line at a time; cap the feed so the
+# bench stays interactive even at the full 120-day dataset.
+STREAM_DAYS = min(BENCH_DAYS, 30.0)
+
+
+@pytest.fixture(scope="module")
+def stream_dirs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("stream-bench")
+    source = root / "source"
+    MiraDataset.synthesize(
+        n_days=STREAM_DAYS, seed=BENCH_SEED, cache=False
+    ).save(source)
+    feed = root / "feed"
+    StreamFeeder(source, feed, seed=1, chunk_rows=5_000).run()
+    return source, feed
+
+
+def test_stream_ingestion_throughput(stream_dirs, tmp_path):
+    source_dir, feed_dir = stream_dirs
+    pipeline = StreamPipeline(
+        feed_dir, tmp_path / "ckpt", max_lines_per_poll=20_000
+    )
+    start = time.perf_counter()
+    idle = 0
+    while idle < 2:
+        idle = 0 if pipeline.tick()["progressed"] else idle + 1
+    ingest_s = time.perf_counter() - start
+
+    results = pipeline.projected_results()
+    rows = sum(
+        entry["rows_applied"] for entry in results["sources"].values()
+    )
+    assert rows > 0
+
+    ckpt_start = time.perf_counter()
+    pipeline.checkpoint()
+    ckpt_s = time.perf_counter() - ckpt_start
+
+    batch_start = time.perf_counter()
+    MiraDataset.load(source_dir, cache=False)
+    batch_s = time.perf_counter() - batch_start
+
+    verdict = pipeline.verify_batch()
+    assert verdict["ok"], verdict["checks"]
+
+    print()
+    print(f"streamed rows        : {rows}")
+    print(f"streamed ingest      : {ingest_s:.3f}s "
+          f"({rows / ingest_s:,.0f} rows/s)")
+    print(f"batch load (same dir): {batch_s:.3f}s")
+    print(f"stream/batch ratio   : {ingest_s / batch_s:.1f}x")
+    print(f"checkpoint write     : {ckpt_s * 1000:.1f}ms")
+    # Sanity floor only — CI machines vary wildly.  The real gate is
+    # the verify_batch assertion above.
+    assert rows / ingest_s > 1_000, "streaming collapsed below 1k rows/s"
+    assert ckpt_s < 5.0, "checkpoint write should be well under 5s"

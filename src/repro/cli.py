@@ -532,8 +532,10 @@ def main_chaos(argv: list[str] | None = None) -> int:
         ALL_FAULTS,
         PROCESS_FAULT_ENV,
         PROCESS_FAULTS,
+        STREAM_FAULTS,
         FaultPlan,
         ProcessFaultPlan,
+        StreamFeeder,
     )
 
     parser = argparse.ArgumentParser(
@@ -566,12 +568,65 @@ def main_chaos(argv: list[str] | None = None) -> int:
         "environment assignment that arms it for repro-report, e.g. "
         "env $(repro-chaos --process-faults kill_worker:e03) repro-report --jobs 4",
     )
+    parser.add_argument(
+        "--stream-from",
+        metavar="SOURCE",
+        help="replay SOURCE dataset dir as a chaos-armed append-only feed "
+        "into the positional directory (for repro-tail drills); progress "
+        "persists in .feeder-state.json, so repeated invocations continue "
+        "the same feed",
+    )
+    parser.add_argument(
+        "--stream-steps",
+        type=int,
+        default=None,
+        help="append rounds per invocation (default: run until exhausted)",
+    )
+    parser.add_argument(
+        "--stream-chunk-rows",
+        type=int,
+        default=200,
+        help="rows appended per source per round (default 200)",
+    )
+    parser.add_argument(
+        "--stream-faults",
+        nargs="*",
+        default=None,
+        help="stream faults to arm (default: none — pure append); "
+        f"available: {', '.join(STREAM_FAULTS)}",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in ALL_FAULTS:
             print(name)
         for name in PROCESS_FAULTS:
             print(f"{name} (process-level)")
+        for name in STREAM_FAULTS:
+            print(f"{name} (stream-level)")
+        return 0
+    if args.stream_from:
+        if not args.dataset:
+            parser.error("--stream-from needs the positional feed directory")
+        try:
+            feeder = StreamFeeder(
+                args.stream_from,
+                args.dataset,
+                seed=args.seed,
+                chunk_rows=args.stream_chunk_rows,
+                faults=tuple(args.stream_faults or ()),
+                rate=args.rate,
+            )
+            summary = feeder.run(steps=args.stream_steps)
+        except ReproError as error:
+            print(f"INVALID: {error}")
+            return 1
+        for fired in summary["faults"]:
+            print(f"  {fired}")
+        print(
+            f"fed {summary['wrote']} rows in {summary['steps']} steps "
+            f"into {args.dataset} (seed {args.seed}, "
+            f"done={summary['done']})"
+        )
         return 0
     if args.process_faults:
         try:

@@ -19,6 +19,8 @@ __all__ = [
     "FitError",
     "FaultError",
     "JournalError",
+    "StreamError",
+    "CheckpointError",
 ]
 
 
@@ -82,3 +84,17 @@ class FaultError(ReproError):
 class JournalError(ReproError):
     """A run journal that is missing, malformed, or does not match the
     dataset it is being resumed against."""
+
+
+class StreamError(ReproError):
+    """A streaming-ingestion failure the tailer cannot absorb.
+
+    Transient I/O problems are retried and rotation/truncation are
+    handled in-band; this class covers the rest — misconfiguration,
+    an unreadable feed directory, or a pipeline invariant violation.
+    """
+
+
+class CheckpointError(StreamError):
+    """A stream checkpoint that is missing, corrupt, or from a
+    different feed/schema than the pipeline being resumed."""

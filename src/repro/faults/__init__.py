@@ -35,6 +35,7 @@ from .plan import (
     inject_faults,
     process_faults,
 )
+from .streams import STREAM_FAULTS, StreamFeeder
 
 __all__ = [
     "ALL_FAULTS",
@@ -48,4 +49,6 @@ __all__ = [
     "apply_process_faults",
     "inject_faults",
     "process_faults",
+    "STREAM_FAULTS",
+    "StreamFeeder",
 ]

@@ -1,0 +1,250 @@
+"""Seeded chaos feeder: replay a closed dataset as a hostile live feed.
+
+The :class:`StreamFeeder` turns a saved dataset directory (the closed
+window) into an *append-only feed* the streaming pipeline can tail,
+while optionally injecting the stream-level faults the tailer must
+survive:
+
+- ``torn_write`` — append only a prefix of a row, finish it on the
+  next step (a writer killed mid-``write``);
+- ``rotate`` — logrotate-style shift (``f.N → f.(N+1)``, ``f → f.1``
+  by *rename*, preserving the inode, then a fresh ``f`` with the
+  header) under the reader's feet;
+- ``duplicate_replay`` — re-append an already-delivered row (an
+  upstream shipper retrying after a lost ack);
+- ``burst`` — a backlog flood (several chunks at once);
+- ``stall`` — a source that goes quiet for a step.
+
+Everything is deterministic: step *k* of a feeder constructed with
+seed *s* draws from ``default_rng([s, k])``, and progress persists in
+``FEED/.feeder-state.json`` (atomic write), so a multi-invocation CI
+drill — feed, kill the tailer, feed more, resume — replays the exact
+same byte history every time.
+
+Because rotation renames (never copies) and completes any pending torn
+row first, the full feed history remains reconstructable from the
+rotated siblings plus the live file — which is what lets the stream
+pipeline's ``verify_batch`` prove online/batch parity even under
+chaos.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.util.atomic import atomic_write_text
+
+__all__ = ["STREAM_FAULTS", "StreamFeeder"]
+
+STREAM_FAULTS = ("torn_write", "rotate", "duplicate_replay", "burst", "stall")
+
+_STATE_NAME = ".feeder-state.json"
+
+_FEED_FILES = ("ras.csv", "jobs.csv", "tasks.csv", "io.csv")
+
+
+class StreamFeeder:
+    """Deterministic incremental appender with optional stream faults."""
+
+    def __init__(
+        self,
+        source_dir: str | Path,
+        feed_dir: str | Path,
+        *,
+        seed: int = 0,
+        chunk_rows: int = 200,
+        faults: tuple | list = (),
+        rate: float = 0.1,
+    ):
+        self.source_dir = Path(source_dir)
+        self.feed_dir = Path(feed_dir)
+        self.seed = int(seed)
+        self.chunk_rows = int(chunk_rows)
+        for fault in faults:
+            if fault not in STREAM_FAULTS:
+                raise FaultError(
+                    f"unknown stream fault {fault!r} "
+                    f"(have: {', '.join(STREAM_FAULTS)})"
+                )
+        self.faults = tuple(faults)
+        self.rate = float(rate)
+        if not self.source_dir.is_dir():
+            raise FaultError(f"source dataset not found: {self.source_dir}")
+        self.feed_dir.mkdir(parents=True, exist_ok=True)
+        # Source lines, loaded once: [header, row, row, ...] per file.
+        self._lines: dict[str, list[str]] = {}
+        for name in _FEED_FILES:
+            path = self.source_dir / name
+            if not path.exists():
+                raise FaultError(f"source feed file missing: {path}")
+            self._lines[name] = path.read_text().splitlines()
+        self._state = self._load_state()
+
+    # -- persistent progress -------------------------------------------
+
+    def _state_path(self) -> Path:
+        return self.feed_dir / _STATE_NAME
+
+    def _load_state(self) -> dict:
+        try:
+            state = json.loads(self._state_path().read_text())
+        except (OSError, ValueError):
+            state = {}
+        if not isinstance(state, dict) or "positions" not in state:
+            state = {
+                "step": 0,
+                # next un-appended data-row index per file (0 = none yet;
+                # index is into the data rows, header excluded)
+                "positions": {name: 0 for name in _FEED_FILES},
+                # pending torn fragment per file: [row_index, n_chars]
+                "torn": {},
+            }
+        return state
+
+    def _save_state(self) -> None:
+        atomic_write_text(
+            self._state_path(),
+            json.dumps(self._state, sort_keys=True) + "\n",
+        )
+
+    # -- feed primitives -----------------------------------------------
+
+    def _data_rows(self, name: str) -> list[str]:
+        return self._lines[name][1:]
+
+    def _header(self, name: str) -> str:
+        return self._lines[name][0]
+
+    def _append(self, name: str, text: str) -> None:
+        path = self.feed_dir / name
+        if not path.exists():
+            path.write_text(self._header(name) + "\n")
+        with open(path, "a") as fh:
+            fh.write(text)
+
+    def _complete_torn(self, name: str) -> bool:
+        torn = self._state["torn"].pop(name, None)
+        if torn is None:
+            return False
+        row_index, n_chars = torn
+        row = self._data_rows(name)[row_index]
+        self._append(name, row[n_chars:] + "\n")
+        return True
+
+    def _rotate(self, name: str) -> None:
+        """Logrotate shift by rename — the live file keeps its inode as
+        ``<name>.1``, so the tailer can drain its unread tail."""
+        base = self.feed_dir / name
+        if not base.exists():
+            return
+        numbered = []
+        for sibling in self.feed_dir.glob(name + ".*"):
+            suffix = sibling.name[len(name) + 1:]
+            if suffix.isdigit():
+                numbered.append(int(suffix))
+        for n in sorted(numbered, reverse=True):
+            (self.feed_dir / f"{name}.{n}").rename(
+                self.feed_dir / f"{name}.{n + 1}"
+            )
+        base.rename(self.feed_dir / f"{name}.1")
+        (self.feed_dir / name).write_text(self._header(name) + "\n")
+
+    # -- stepping ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return all(
+            self._state["positions"][name] >= len(self._data_rows(name))
+            and name not in self._state["torn"]
+            for name in _FEED_FILES
+        )
+
+    def step(self) -> dict:
+        """One deterministic append round across every source."""
+        step_index = int(self._state["step"])
+        rng = np.random.default_rng([self.seed, step_index])
+        fired: list[str] = []
+        wrote = 0
+        for name in _FEED_FILES:
+            rows = self._data_rows(name)
+            position = int(self._state["positions"][name])
+            # A pending torn row is always finished before anything
+            # else happens to this source (so rotation never strands a
+            # half-row in a rotated-out file).
+            if self._complete_torn(name):
+                fired.append(f"torn_complete:{name}")
+                wrote += 1
+            if position >= len(rows):
+                continue
+            if "stall" in self.faults and rng.random() < self.rate:
+                fired.append(f"stall:{name}")
+                continue
+            if "rotate" in self.faults and rng.random() < self.rate:
+                self._rotate(name)
+                fired.append(f"rotate:{name}")
+            chunk = self.chunk_rows
+            if "burst" in self.faults and rng.random() < self.rate:
+                chunk *= 5
+                fired.append(f"burst:{name}")
+            if (
+                "duplicate_replay" in self.faults
+                and position > 0
+                and rng.random() < self.rate
+            ):
+                replayed = int(rng.integers(0, position))
+                self._append(name, rows[replayed] + "\n")
+                fired.append(f"duplicate_replay:{name}")
+                wrote += 1
+            end = min(position + chunk, len(rows))
+            torn_here = (
+                "torn_write" in self.faults
+                and end > position
+                and end < len(rows)  # never tear the very last row
+                and rng.random() < self.rate
+            )
+            if torn_here:
+                # write whole rows up to end-1, then a prefix of row end-1
+                whole = rows[position:end - 1]
+                if whole:
+                    self._append(name, "\n".join(whole) + "\n")
+                    wrote += len(whole)
+                victim = rows[end - 1]
+                n_chars = max(1, int(rng.integers(1, max(2, len(victim)))))
+                self._append(name, victim[:n_chars])
+                self._state["torn"][name] = [end - 1, n_chars]
+                fired.append(f"torn_write:{name}")
+            else:
+                batch = rows[position:end]
+                if batch:
+                    self._append(name, "\n".join(batch) + "\n")
+                    wrote += len(batch)
+            self._state["positions"][name] = end
+        self._state["step"] = step_index + 1
+        self._save_state()
+        return {"step": step_index, "wrote": wrote, "faults": fired,
+                "done": self.done}
+
+    def run(self, steps: int | None = None) -> dict:
+        """Run ``steps`` rounds (or until the source is exhausted)."""
+        summaries = []
+        while not self.done:
+            summaries.append(self.step())
+            if steps is not None and len(summaries) >= steps:
+                break
+        if self.done:
+            # Exhausted: finish any trailing torn fragment so the feed
+            # ends newline-terminated (a still-live feeder would have
+            # completed it on its next step anyway).
+            for name in _FEED_FILES:
+                if self._complete_torn(name):
+                    self._save_state()
+        return {
+            "steps": len(summaries),
+            "wrote": sum(s["wrote"] for s in summaries),
+            "faults": [f for s in summaries for f in s["faults"]],
+            "done": self.done,
+        }

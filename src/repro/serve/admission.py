@@ -64,6 +64,9 @@ class Ticket:
     flight_id: str = ""
     params: tuple = ()
     counted: bool = False
+    #: dataset epoch at admission; the server refuses to cache a result
+    #: computed under a different (post-advance) epoch.
+    epoch: int = 0
     done: threading.Event = field(default_factory=threading.Event)
     response: ServeResponse | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock)

@@ -250,8 +250,25 @@ def main_serve(argv: list[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"INVALID: {error}")
         return 1
+    reloader = None
+    if args.dataset:
+        # Live dataset epochs: POST /admin/epoch re-reads the dataset
+        # directory through the same loader + fingerprint discipline as
+        # startup.  Synthesized datasets are parameter-determined and
+        # can never change, so they get no reloader.
+        def reloader():
+            reloaded = _load_or_synthesize(args)
+            new_fingerprint = fingerprint_for_run(
+                args.dataset, args.days, args.seed, scale=args.scale
+            )
+            return reloaded, new_fingerprint
+
     server = ReproServer(
-        dataset, fingerprint=fingerprint, config=config, journal=journal
+        dataset,
+        fingerprint=fingerprint,
+        config=config,
+        journal=journal,
+        reloader=reloader,
     )
     host, _ = server.start()
     url = f"http://{host}:{server.port}"
@@ -437,6 +454,14 @@ def main_replay(argv: list[str] | None = None) -> int:
         "a cold result cache (warm/cold comparisons)",
     )
     parser.add_argument(
+        "--tail-concurrent",
+        action="store_true",
+        help="epoch-consistency drill: the server is expected to advance "
+        "dataset epochs mid-replay (repro-tail --notify-serve); assert "
+        "every successful answer is tagged with exactly one epoch and "
+        "no response mixes two",
+    )
+    parser.add_argument(
         "--bench-json",
         default="BENCH_serve.json",
         metavar="PATH",
@@ -479,6 +504,7 @@ def main_replay(argv: list[str] | None = None) -> int:
             saturation_ok_rate=args.saturation_ok_rate,
             source=source,
             flush_cache_first=args.flush_cache,
+            tail_concurrent=args.tail_concurrent,
         )
     except ReplayError as error:
         print(f"INVALID: {error}")
@@ -509,6 +535,13 @@ def main_replay(argv: list[str] | None = None) -> int:
         f"warm_p50 {cache['warm_p50_ms']:.1f}ms  "
         f"cold_p50 {cache['cold_p50_ms']:.1f}ms"
     )
+    epochs = record["epochs"]
+    if args.tail_concurrent or epochs["observed"]:
+        print(
+            f"epochs observed={epochs['observed']} "
+            f"untagged={epochs['untagged']} mixed={epochs['mixed']} "
+            f"consistent={epochs['consistent']}"
+        )
     if record["sweep"]:
         for entry in record["sweep"]:
             print(
@@ -522,15 +555,13 @@ def main_replay(argv: list[str] | None = None) -> int:
         )
     print(f"wrote {args.bench_json}")
     if not record["clean"]:
-        print(
-            "DRILL FAILED: "
-            + (
-                "server unreachable or restarted"
-                if not record["server"]["same_pid"]
-                else "responses unaccounted for"
-            ),
-            file=sys.stderr,
-        )
+        if not record["server"]["same_pid"]:
+            reason = "server unreachable or restarted"
+        elif not epochs["consistent"]:
+            reason = "epoch inconsistency (mixed or untagged answers)"
+        else:
+            reason = "responses unaccounted for"
+        print(f"DRILL FAILED: {reason}", file=sys.stderr)
         return 1
     return 0
 

@@ -239,6 +239,12 @@ class ServeResponse:
     ``cache`` reports how the result cache treated the request — one
     of :data:`CACHE_STATES`, or ``None`` when the cache was never in
     play (``ping``/``sleep``, refusals before dispatch).
+    ``epoch`` names the dataset epoch that produced the answer (live
+    servers advance it on streaming-ingestion progress); ``None`` on
+    servers predating epochs or for answers that never touched a
+    dataset.  A single response is always computed against exactly one
+    epoch — the replay harness's ``--tail-concurrent`` drill asserts
+    it.
     """
 
     request_id: str
@@ -250,6 +256,7 @@ class ServeResponse:
     breaker: dict | None = None
     result: dict | None = None
     cache: str | None = None
+    epoch: int | None = None
 
     def __post_init__(self):
         if self.outcome not in OUTCOMES:
@@ -296,6 +303,7 @@ class ServeResponse:
             breaker=_require_type(payload, "breaker", dict, None, "response"),
             result=_require_type(payload, "result", dict, None, "response"),
             cache=_require_type(payload, "cache", str, None, "response"),
+            epoch=_require_type(payload, "epoch", int, None, "response"),
         )
 
     def to_json(self) -> dict:

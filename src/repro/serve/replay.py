@@ -312,14 +312,22 @@ def _fire_one(url: str, spec: RequestSpec, results: list, index: int):
         if outcome not in OUTCOMES:
             outcome = "unaccounted"
         cache = payload.get("cache")
+        epoch = payload.get("epoch")
+        # Witness value for the epoch-consistency drill: every answer
+        # tagged with one epoch must describe the same dataset.
+        summary = (payload.get("result") or {}).get("summary") or {}
+        n_jobs = summary.get("n_jobs")
     except OSError:
         status, outcome, cache = 0, "unreachable", None
+        epoch, n_jobs = None, None
     results[index] = {
         "request_id": spec.request_id,
         "mode": spec.mode,
         "priority": spec.priority,
         "outcome": outcome,
         "cache": cache if isinstance(cache, str) else None,
+        "epoch": epoch if isinstance(epoch, int) else None,
+        "n_jobs": n_jobs if isinstance(n_jobs, int) else None,
         "http_status": status,
         "latency_ms": round((time.monotonic() - started) * 1000.0, 3),
     }
@@ -423,6 +431,43 @@ def cache_summary(results: list[dict], server_cache=None) -> dict:
     }
 
 
+def epoch_summary(results: list[dict], enabled: bool) -> dict:
+    """Epoch-consistency verdict for the ``--tail-concurrent`` drill.
+
+    A live server advancing dataset epochs mid-replay must still hand
+    every client an answer computed against exactly **one** epoch.  Two
+    observable guarantees are checked over the successful responses:
+
+    - every ``ok``/``skipped`` answer carries an epoch tag
+      (``untagged`` counts the ones that do not);
+    - all answers tagged with the same epoch that embed a dataset
+      summary report the same ``n_jobs`` — an answer computed half
+      under epoch N and half under N+1 would disagree with its
+      epoch-mates (``mixed`` lists the offending epochs).
+
+    ``consistent`` is the drill verdict; when ``enabled`` it folds
+    into the record's ``clean`` flag.
+    """
+    good = [r for r in results if r["outcome"] in ("ok", "skipped")]
+    untagged = sum(1 for r in good if r.get("epoch") is None)
+    witnesses: dict[int, set[int]] = {}
+    for result in good:
+        epoch, n_jobs = result.get("epoch"), result.get("n_jobs")
+        if epoch is not None and n_jobs is not None:
+            witnesses.setdefault(epoch, set()).add(n_jobs)
+    mixed = sorted(e for e, seen in witnesses.items() if len(seen) > 1)
+    observed = sorted(
+        {r["epoch"] for r in good if r.get("epoch") is not None}
+    )
+    return {
+        "enabled": enabled,
+        "observed": observed,
+        "untagged": untagged,
+        "mixed": mixed,
+        "consistent": not mixed and (not enabled or untagged == 0),
+    }
+
+
 def _at_rps(specs: list[RequestSpec], rps: float) -> list[RequestSpec]:
     """The same requests re-timed to a uniform arrival rate."""
     return [
@@ -450,6 +495,7 @@ def run_replay(
     saturation_ok_rate: float = 0.95,
     source: str = "csv",
     flush_cache_first: bool = False,
+    tail_concurrent: bool = False,
 ) -> dict:
     """Run the whole drill and assemble the ``BENCH_serve.json`` record."""
     from repro import __version__
@@ -557,6 +603,7 @@ def run_replay(
         "cache": cache_summary(
             results, (health_after or {}).get("cache")
         ),
+        "epochs": epoch_summary(results, tail_concurrent),
         "sweep": sweep_records,
         "saturation_rps": saturation_rps,
         "server": {
@@ -571,6 +618,9 @@ def run_replay(
         },
     }
     record["clean"] = bool(
-        same_pid and unreachable == 0 and unaccounted == 0
+        same_pid
+        and unreachable == 0
+        and unaccounted == 0
+        and record["epochs"]["consistent"]
     )
     return record

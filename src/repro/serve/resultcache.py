@@ -305,6 +305,34 @@ class ResultCache:
                     pass
         return {"memory": memory, "disk": disk}
 
+    def prune_memory_mismatched(self, fingerprint: str) -> int:
+        """Evict memory entries whose envelope names another dataset.
+
+        Used on a live **epoch advance**: keys embed the fingerprint,
+        so entries for the previous epoch are already unreachable by
+        new requests — but they would squat in the LRU byte budget
+        until natural eviction.  Only the affected entries go; answers
+        for the new fingerprint (none yet, by construction) and the
+        disk tier (handled by :meth:`prune_mismatched`) are untouched.
+        Returns the number of entries removed.
+        """
+        removed = 0
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                try:
+                    envelope = json.loads(entry.encoded)
+                except ValueError:
+                    envelope = None
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("fingerprint") != fingerprint
+                ):
+                    self._bytes -= entry.size_bytes
+                    del self._entries[key]
+                    removed += 1
+        return removed
+
     def prune_mismatched(
         self, fingerprint: str, toolkit_version: str
     ) -> int:

@@ -148,11 +148,18 @@ class ReproServer:
         fingerprint: str = "",
         config: ServeConfig | None = None,
         journal=None,
+        reloader=None,
     ):
         self.dataset = dataset
         self.fingerprint = fingerprint
         self.config = config or ServeConfig()
         self.journal = journal
+        #: zero-arg callable returning ``(dataset, fingerprint)``; when
+        #: given, ``POST /admin/epoch`` reloads through it and — if the
+        #: fingerprint changed — atomically advances the dataset epoch.
+        self.reloader = reloader
+        self._epoch = 0
+        self._epochs_advanced = 0
         self.queue = AdmissionQueue(
             self.config.interactive_capacity, self.config.batch_capacity
         )
@@ -412,6 +419,7 @@ class ReproServer:
         params = request.canonical_params()
         with self._lock:
             chaos_spec = self._chaos_spec
+            epoch = self._epoch
         # Experiment and summary answers are deterministic functions of
         # the loaded dataset, so identical requests may share one
         # execution (coalesce) and — when the dataset is clean and
@@ -443,6 +451,9 @@ class ReproServer:
                     seconds=round(time.monotonic() - arrived, 6),
                     result=entry.result,
                     cache=f"hit_{tier}",
+                    # The key embeds the fingerprint, so a hit is by
+                    # construction an answer for the current epoch.
+                    epoch=epoch,
                 )
                 self._account(response, arrived, request)
                 return response
@@ -460,6 +471,7 @@ class ReproServer:
             chaos_spec=chaos_spec,
             cache_key=key,
             params=params,
+            epoch=epoch,
         )
         if key:
             ticket.cache_status = "miss"
@@ -470,7 +482,11 @@ class ReproServer:
             # Single-flight: the first request for a key leads; every
             # identical request admitted while it is in progress rides
             # along instead of dispatching its own worker job.
-            flight_id = key or f"params:{params!r}"
+            # Cacheable flights key on the fingerprint (epoch-distinct
+            # already); parameter-only flights must scope to the epoch
+            # explicitly, or a request admitted after an advance could
+            # ride a pre-advance execution and see the old dataset.
+            flight_id = key or f"params:e{epoch}:{params!r}"
             with self._lock:
                 leader = self._flights.get(flight_id)
                 if leader is None:
@@ -493,6 +509,7 @@ class ReproServer:
                 retry_after_s=fanned.retry_after_s,
                 result=fanned.result,
                 cache="coalesced",
+                epoch=fanned.epoch,
             )
             self._account(response, arrived, request)
             return response
@@ -630,10 +647,11 @@ class ReproServer:
             if extras:
                 self._run_folded(slot, [ticket] + extras)
                 return
+        self._ensure_epoch(slot)
         queue_seconds = time.monotonic() - ticket.enqueued_at
         job = self._job_for(ticket)
         verdict = slot.run(job, job["deadline_s"])
-        self._settle_verdict(ticket, verdict, queue_seconds)
+        self._settle_verdict(ticket, verdict, queue_seconds, epoch=slot.epoch)
 
     def _run_folded(self, slot: WorkerSlot, members: list[Ticket]) -> None:
         """One worker round-trip for several compatible batch requests.
@@ -643,6 +661,7 @@ class ReproServer:
         later budgets) and its own typed outcome, breaker vote, and
         cache entry.
         """
+        self._ensure_epoch(slot)
         dispatched_at = time.monotonic()
         jobs = [self._job_for(ticket) for ticket in members]
         job = {
@@ -661,7 +680,9 @@ class ReproServer:
         for index, ticket in enumerate(members):
             queue_seconds = dispatched_at - ticket.enqueued_at
             if verdict.kind != "done":
-                self._settle_verdict(ticket, verdict, queue_seconds)
+                self._settle_verdict(
+                    ticket, verdict, queue_seconds, epoch=slot.epoch
+                )
                 continue
             sub = results[index] if index < len(results) else None
             if not isinstance(sub, dict):
@@ -674,10 +695,31 @@ class ReproServer:
                 )
             else:
                 sub_verdict = WorkerVerdict("done", sub)
-            self._settle_verdict(ticket, sub_verdict, queue_seconds)
+            self._settle_verdict(
+                ticket, sub_verdict, queue_seconds, epoch=slot.epoch
+            )
+
+    def _ensure_epoch(self, slot: WorkerSlot) -> None:
+        """Rebind an idle slot to the current epoch before dispatch.
+
+        Lazy per-dispatcher: an advance never stops the world — each
+        slot picks up the new dataset on its next job, and the epoch it
+        actually executed under travels with the verdict.
+        """
+        with self._lock:
+            dataset, epoch = self.dataset, self._epoch
+        if slot.epoch != epoch:
+            slot.rebind(dataset, epoch)
+            self._journal_event("worker-rebound", epoch=epoch)
+            if self._trace is not None:
+                self._trace.incr("serve.workers.rebound")
 
     def _settle_verdict(
-        self, ticket: Ticket, verdict: WorkerVerdict, queue_seconds: float
+        self,
+        ticket: Ticket,
+        verdict: WorkerVerdict,
+        queue_seconds: float,
+        epoch: int | None = None,
     ) -> None:
         request = ticket.request
         if verdict.kind == "done":
@@ -717,6 +759,7 @@ class ReproServer:
             retry_after_s=None,
             result=result,
             queue_seconds=queue_seconds,
+            epoch=epoch,
         )
 
     def _complete(
@@ -729,6 +772,7 @@ class ReproServer:
         result: dict | None = None,
         queue_seconds: float | None = None,
         cache_status: str | None = None,
+        epoch: int | None = None,
     ) -> None:
         now = time.monotonic()
         request = ticket.request
@@ -747,6 +791,10 @@ class ReproServer:
             queue_seconds = now - ticket.enqueued_at
         if cache_status is None:
             cache_status = ticket.cache_status
+        if epoch is None:
+            # Refusals and cache hits never reached a worker: they are
+            # answered under the epoch the ticket was admitted in.
+            epoch = ticket.epoch
         response = ServeResponse(
             request_id=request.request_id,
             outcome=outcome,
@@ -757,13 +805,18 @@ class ReproServer:
             breaker=breaker_state,
             result=result,
             cache=cache_status,
+            epoch=epoch,
         )
         if (
             ticket.cache_key
             and self.cache is not None
             and outcome in CACHEABLE_OUTCOMES
+            and epoch == ticket.epoch
             and not ticket.completed
         ):
+            # The epoch guard blocks a poisoned store: a ticket admitted
+            # before an advance but executed after it would otherwise
+            # write a new-epoch answer under the *old* fingerprint's key.
             # Store before waking the waiter (read-your-writes: once a
             # client holds an answer, the cache verifiably holds it
             # too — even across a daemon restart) and before
@@ -800,6 +853,7 @@ class ReproServer:
                     retry_after_s=retry_after_s,
                     result=result,
                     cache_status="coalesced",
+                    epoch=epoch,
                 )
 
     def _account(
@@ -878,6 +932,79 @@ class ReproServer:
     def workers_replaced(self) -> int:
         return sum(slot.replacements for slot in self._slots)
 
+    def advance_epoch(self) -> dict:
+        """Reload the dataset and — if it changed — swap epochs live.
+
+        ``POST /admin/epoch`` lands here, typically fired by
+        ``repro-tail --notify-serve`` after a checkpointed batch of
+        streamed rows.  The swap is atomic under the server lock:
+        requests admitted afterwards see the new dataset/fingerprint/
+        epoch triple together, while in-flight work finishes on
+        whatever epoch its worker was forked against (and is refused a
+        cache store if the two disagree).  Workers rebind lazily, one
+        per dispatcher, on their next dispatch — an advance never
+        stops the world.  Idempotent: an unchanged fingerprint is a
+        cheap no-op.
+        """
+        if self.reloader is None:
+            return {
+                "advanced": False,
+                "reason": "no reloader configured",
+                "epoch": self._epoch,
+            }
+        if self._draining:
+            return {
+                "advanced": False,
+                "reason": "draining",
+                "epoch": self._epoch,
+            }
+        try:
+            dataset, fingerprint = self.reloader()
+        except Exception as error:  # noqa: BLE001 - keep serving old epoch
+            return {
+                "advanced": False,
+                "reason": f"reload failed: {error!r}",
+                "epoch": self._epoch,
+            }
+        with self._lock:
+            if fingerprint == self.fingerprint:
+                return {
+                    "advanced": False,
+                    "reason": "fingerprint unchanged",
+                    "epoch": self._epoch,
+                    "fingerprint": fingerprint,
+                }
+            self.dataset = dataset
+            self.fingerprint = fingerprint
+            self._dirty_dataset = bool(getattr(dataset, "ingestion", None))
+            self._epoch += 1
+            self._epochs_advanced += 1
+            epoch = self._epoch
+        invalidated = 0
+        if self.cache is not None:
+            # Old-epoch entries are already unreachable (keys embed the
+            # fingerprint); reclaim their budget in both tiers so the
+            # new epoch starts with the whole cache to itself.
+            invalidated = self.cache.prune_memory_mismatched(fingerprint)
+            if self.cache.directory is not None:
+                invalidated += self.cache.prune_mismatched(
+                    fingerprint, __version__
+                )
+        self._journal_event(
+            "epoch-advance",
+            epoch=epoch,
+            fingerprint=fingerprint,
+            invalidated=invalidated,
+        )
+        if self._trace is not None:
+            self._trace.incr("serve.epochs.advanced")
+        return {
+            "advanced": True,
+            "epoch": epoch,
+            "fingerprint": fingerprint,
+            "invalidated": invalidated,
+        }
+
     def healthz(self) -> dict:
         summary = {}
         try:
@@ -896,17 +1023,25 @@ class ReproServer:
         with self._lock:
             chaos = self._chaos_spec
             outstanding = self._outstanding
+            epoch = self._epoch
+            epochs_advanced = self._epochs_advanced
         return {
             "status": "draining" if self._draining else "ok",
             "pid": os.getpid(),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "draining": self._draining,
-            "dataset": {"fingerprint": self.fingerprint, **summary},
+            "dataset": {
+                "fingerprint": self.fingerprint,
+                "epoch": epoch,
+                "epochs_advanced": epochs_advanced,
+                **summary,
+            },
             "queue": {**self.queue.depths(), "outstanding": outstanding},
             "workers": {
                 "slots": len(self._slots),
                 "alive": alive,
                 "replaced": self.workers_replaced(),
+                "rebound": sum(slot.rebinds for slot in self._slots),
             },
             "breakers": self.breakers.snapshot(),
             "requests": self.outcome_counts(),
@@ -1006,6 +1141,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             # Any POST body flushes; {"flush": true} is the idiom.
             flushed = server.flush_cache()
             self._send_json(200, {**flushed, "stats": server.cache_stats()})
+        elif self.path == "/admin/epoch":
+            self._send_json(200, server.advance_epoch())
         elif self.path == "/admin/drain":
             server.request_stop("admin-drain")
             self._send_json(

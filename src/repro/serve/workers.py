@@ -232,10 +232,14 @@ def _pick_context():
 class WorkerSlot:
     """One supervised worker process, auto-replaced on crash or stall."""
 
-    def __init__(self, dataset):
+    def __init__(self, dataset, epoch: int = 0):
         self._dataset = dataset
         self._ctx = _pick_context()
         self.replacements = 0
+        #: dataset epoch this slot's worker was forked against; the
+        #: dispatcher rebinds lazily when the server advances.
+        self.epoch = epoch
+        self.rebinds = 0
         self.busy = False
         # Guards the (_process, _conn) pair: kill() may race _replace()
         # (drain-deadline kill vs. the dispatcher's crash recovery),
@@ -263,6 +267,19 @@ class WorkerSlot:
     def _replace(self) -> None:
         self.kill()
         self.replacements += 1
+        self._spawn()
+
+    def rebind(self, dataset, epoch: int) -> None:
+        """Swap to a new dataset epoch: fork a fresh worker against it.
+
+        Called only by the slot's own dispatcher while the slot is
+        idle, so no in-flight job is lost.  Counted separately from
+        crash ``replacements`` — a rebind is planned, not a failure.
+        """
+        self._dataset = dataset
+        self.epoch = epoch
+        self.kill()
+        self.rebinds += 1
         self._spawn()
 
     @property

@@ -1,0 +1,38 @@
+"""Resilient streaming ingestion: crash-safe tailing, watermarked
+online analytics, and checkpointed exactly-once pipelines.
+
+See ``docs/streaming.md`` for the checkpoint format, watermark
+semantics, and delivery guarantees.
+"""
+
+from repro.stream.checkpoint import (
+    STREAM_SCHEMA,
+    load_checkpoint,
+    prune_checkpoint_temps,
+    save_checkpoint,
+)
+from repro.stream.online import (
+    ComponentCounter,
+    OnlineCusum,
+    RollingMtti,
+    UserFailureCounter,
+)
+from repro.stream.pipeline import SOURCE_ORDER, StreamPipeline
+from repro.stream.tailer import FileTailer, TailResult
+from repro.stream.watermark import WatermarkBuffer
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "SOURCE_ORDER",
+    "ComponentCounter",
+    "FileTailer",
+    "OnlineCusum",
+    "RollingMtti",
+    "StreamPipeline",
+    "TailResult",
+    "UserFailureCounter",
+    "WatermarkBuffer",
+    "load_checkpoint",
+    "prune_checkpoint_temps",
+    "save_checkpoint",
+]

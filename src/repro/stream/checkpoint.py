@@ -1,0 +1,117 @@
+"""Atomic, crash-safe persistence for the streaming pipeline's state.
+
+One checkpoint file (``checkpoint.json``) holds *everything* the
+pipeline needs to resume: per-source tailer offsets, dedup id sets,
+watermark buffers, and the online kernels' running state.  It is
+written through :func:`repro.util.atomic.atomic_open` — temp file named
+``<name>.tmp.<pid>``, ``fsync``, then ``os.replace`` — so a SIGKILL at
+any instant leaves either the previous complete checkpoint or the new
+complete checkpoint, never a torn hybrid.
+
+Because the offsets and the analytics state land in the *same* atomic
+write, a resumed run re-reads exactly the rows whose effects were not
+yet persisted; the id-based dedup then collapses those at-least-once
+re-reads into exactly-once effects.
+
+Abandoned temp files from killed writers use the same naming scheme as
+the columnar arena, so :func:`repro.table.arena.prune_stale_temps`
+cleans the checkpoint directory too (see
+:func:`prune_checkpoint_temps`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.table.arena import prune_stale_temps
+from repro.util.atomic import atomic_open
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "CHECKPOINT_NAME",
+    "save_checkpoint",
+    "load_checkpoint",
+    "prune_checkpoint_temps",
+]
+
+#: Bump when the checkpoint layout changes; old checkpoints are refused
+#: (a stale-layout resume would corrupt analytics silently).
+STREAM_SCHEMA = 1
+
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+def save_checkpoint(directory: str | Path, payload: dict) -> Path:
+    """Atomically persist ``payload`` under ``directory``.
+
+    The payload is wrapped with the schema marker and written with
+    sorted keys, so byte-level comparison of two checkpoints is
+    meaningful (the kill–resume drill relies on this).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / CHECKPOINT_NAME
+    envelope = {
+        "schema": STREAM_SCHEMA,
+        "kind": "stream-checkpoint",
+        **payload,
+    }
+    encoded = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+    with atomic_open(path, "w") as fh:
+        fh.write(encoded)
+        fh.write("\n")
+    return path
+
+
+def load_checkpoint(directory: str | Path) -> dict | None:
+    """The saved checkpoint, ``None`` if none exists yet.
+
+    Raises :class:`CheckpointError` for a checkpoint that exists but
+    cannot be trusted — unparseable JSON, wrong kind, or a different
+    schema generation.  Resuming from such a file would silently skew
+    every downstream number, so refusal is the only safe answer.
+    """
+    path = Path(directory) / CHECKPOINT_NAME
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read stream checkpoint {path}: {exc}"
+        ) from exc
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(
+            f"corrupt stream checkpoint {path}: {exc}"
+        ) from exc
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("kind") != "stream-checkpoint"
+    ):
+        raise CheckpointError(
+            f"{path} is not a stream checkpoint"
+        )
+    if envelope.get("schema") != STREAM_SCHEMA:
+        raise CheckpointError(
+            f"stream checkpoint {path} has schema "
+            f"{envelope.get('schema')!r}, expected {STREAM_SCHEMA} "
+            "(delete the checkpoint directory to start fresh)"
+        )
+    return envelope
+
+
+def prune_checkpoint_temps(directory: str | Path) -> int:
+    """Remove temp files abandoned by killed checkpoint writers.
+
+    Delegates to the arena's pruner — checkpoint temps carry the same
+    ``<name>.tmp.<pid>`` suffix, and only temps whose writing PID is
+    dead are removed, so a concurrently-running tail is never raced.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    return prune_stale_temps(directory)

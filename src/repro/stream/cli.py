@@ -1,0 +1,291 @@
+"""``repro-tail`` — run the streaming pipeline against a live feed.
+
+Follows the appended CSV logs in FEED_DIR, checkpointing after every
+productive tick so a SIGKILL at any instant resumes losslessly:
+
+    repro-tail /var/feed --checkpoint-dir /var/feed/.stream \\
+        --interval 0.2 --idle-exit 50
+
+Modes of operation:
+
+- default: poll forever (until SIGTERM/SIGINT, ``--max-ticks``, or
+  ``--idle-exit`` consecutive unproductive ticks);
+- ``--oneshot``: drain the current backlog and exit on the first idle
+  tick — the building block of the CI drills;
+- ``--verify-batch``: after draining, replay the closed window through
+  the *batch* kernels and exit non-zero unless every online answer is
+  value-identical (the streaming parity proof);
+- ``--state-json PATH``: write the canonical identity state + projected
+  results on exit; two runs over the same feed bytes must produce
+  byte-identical files here, however they were killed and resumed;
+- ``--notify-serve ENDPOINT.json``: after each checkpoint that made
+  progress, POST ``/admin/epoch`` to a running ``repro-serve`` so live
+  queries advance to a new dataset epoch.
+
+Exit codes: 0 clean, 1 verification failed, 2 stream/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import StreamError
+from repro.stream.pipeline import DEFAULT_LATENESS, StreamPipeline
+
+__all__ = ["main_tail"]
+
+
+def _notify_serve(endpoint_file: Path) -> dict | None:
+    """POST /admin/epoch to the serve daemon; ``None`` = unreachable."""
+    from repro.serve.replay import _http_json
+
+    try:
+        payload = json.loads(endpoint_file.read_text())
+        url = str(payload["url"]).rstrip("/")
+    except (OSError, ValueError, KeyError):
+        return None
+    try:
+        status, body = _http_json(url, "POST", "/admin/epoch", {})
+    except OSError:
+        return None
+    return body if status == 200 else None
+
+
+def main_tail(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-tail",
+        description="Crash-safe streaming ingestion over appended CSV logs.",
+    )
+    parser.add_argument("feed", help="directory holding the appended CSVs")
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="where the stream checkpoint lives "
+        "(default: FEED/.stream-checkpoint)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.2,
+        help="seconds between polls (default 0.2)",
+    )
+    parser.add_argument(
+        "--max-ticks", type=int, default=None,
+        help="stop after this many polls",
+    )
+    parser.add_argument(
+        "--idle-exit", type=int, default=None,
+        help="stop after this many consecutive unproductive polls",
+    )
+    parser.add_argument(
+        "--oneshot", action="store_true",
+        help="drain the backlog, then exit on the first idle poll",
+    )
+    parser.add_argument(
+        "--reset", action="store_true",
+        help="ignore any existing checkpoint and start fresh",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="checkpoint after every N productive ticks (default 1)",
+    )
+    parser.add_argument(
+        "--state-json", help="write canonical identity state here on exit"
+    )
+    parser.add_argument(
+        "--verify-batch", action="store_true",
+        help="after draining, assert online == batch on the closed window",
+    )
+    parser.add_argument(
+        "--notify-serve", metavar="ENDPOINT_JSON",
+        help="advance a live repro-serve to a new epoch after checkpoints",
+    )
+    parser.add_argument(
+        "--run-id", help="journal stream lifecycle events under this run id"
+    )
+    parser.add_argument(
+        "--max-lines", type=int, default=5_000,
+        help="max lines consumed per source per poll (default 5000)",
+    )
+    parser.add_argument(
+        "--pending-capacity", type=int, default=50_000,
+        help="per-source watermark buffer bound; hitting it is "
+        "backpressure (default 50000)",
+    )
+    parser.add_argument(
+        "--max-bad-rows", type=int, default=10_000,
+        help="quarantine bound across all sources (default 10000)",
+    )
+    for name in sorted(DEFAULT_LATENESS):
+        parser.add_argument(
+            f"--lateness-{name}", type=float, default=None,
+            help=f"lateness allowance for the {name} feed "
+            f"(default {DEFAULT_LATENESS[name]:.0f}s)",
+        )
+    args = parser.parse_args(argv)
+
+    feed_dir = Path(args.feed)
+    if not feed_dir.is_dir():
+        print(f"repro-tail: feed directory not found: {feed_dir}",
+              file=sys.stderr)
+        return 2
+    checkpoint_dir = Path(
+        args.checkpoint_dir or feed_dir / ".stream-checkpoint"
+    )
+    if args.reset:
+        from repro.stream.checkpoint import CHECKPOINT_NAME
+
+        try:
+            (checkpoint_dir / CHECKPOINT_NAME).unlink()
+        except OSError:
+            pass
+
+    lateness = {
+        name: value
+        for name in DEFAULT_LATENESS
+        if (value := getattr(args, f"lateness_{name}")) is not None
+    }
+
+    journal = None
+    if args.run_id:
+        from repro.experiments.journal import RunJournal, default_runs_dir
+
+        runs_root = default_runs_dir()
+        if (runs_root / args.run_id / "journal.jsonl").exists():
+            journal, _ = RunJournal.resume(runs_root, args.run_id)
+        else:
+            journal = RunJournal.start(
+                runs_root,
+                fingerprint=f"stream:{feed_dir}",
+                config={"feed": str(feed_dir), "kind": "stream-tail"},
+                run_id=args.run_id,
+            )
+
+    try:
+        pipeline = StreamPipeline(
+            feed_dir,
+            checkpoint_dir,
+            lateness=lateness,
+            pending_capacity=args.pending_capacity,
+            max_lines_per_poll=args.max_lines,
+            max_bad_rows=args.max_bad_rows,
+            journal=journal,
+        )
+        resumed = pipeline.resume()
+    except StreamError as exc:
+        print(f"repro-tail: {exc}", file=sys.stderr)
+        return 2
+    if journal is not None:
+        journal.append_event(
+            "tail-start",
+            feed=str(feed_dir),
+            resumed=resumed,
+            pruned_temps=pipeline.pruned_temps,
+        )
+    print(
+        f"repro-tail: feed={feed_dir} checkpoint={checkpoint_dir} "
+        f"resumed={resumed} pruned_temps={pipeline.pruned_temps}",
+        flush=True,
+    )
+
+    stop = {"flag": False}
+
+    def _request_stop(signum, frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+
+    started = time.monotonic()
+    idle_streak = 0
+    productive_since_checkpoint = 0
+    status = 0
+    try:
+        while not stop["flag"]:
+            summary = pipeline.tick()
+            if summary["progressed"]:
+                idle_streak = 0
+                productive_since_checkpoint += 1
+                if productive_since_checkpoint >= max(1, args.checkpoint_every):
+                    pipeline.checkpoint()
+                    productive_since_checkpoint = 0
+                    if args.notify_serve:
+                        advanced = _notify_serve(Path(args.notify_serve))
+                        if advanced and advanced.get("advanced") and \
+                                journal is not None:
+                            journal.append_event(
+                                "epoch-advance",
+                                epoch=advanced.get("epoch"),
+                                invalidated=advanced.get("invalidated"),
+                            )
+            else:
+                idle_streak += 1
+                if args.oneshot:
+                    break
+                if args.idle_exit is not None and idle_streak >= args.idle_exit:
+                    break
+            if args.max_ticks is not None and pipeline.ticks >= args.max_ticks:
+                break
+            if not stop["flag"] and args.interval > 0:
+                time.sleep(args.interval)
+    except StreamError as exc:
+        print(f"repro-tail: {exc}", file=sys.stderr)
+        status = 2
+
+    if status == 0 and productive_since_checkpoint > 0:
+        pipeline.checkpoint()
+        if args.notify_serve:
+            _notify_serve(Path(args.notify_serve))
+
+    results = pipeline.projected_results()
+    if journal is not None:
+        journal.append_event(
+            "stream-drain",
+            ticks=pipeline.ticks,
+            rows={
+                name: results["sources"][name]["rows_applied"]
+                for name in results["sources"]
+            },
+            quarantined=pipeline.quarantined_total(),
+            backpressure=pipeline.backpressure_events,
+        )
+    for name, entry in results["sources"].items():
+        print(
+            f"repro-tail: {name}: rows={entry['rows_applied']} "
+            f"dup={entry['duplicates']} late={entry['late']} "
+            f"quarantined={entry['quarantined']}",
+            flush=True,
+        )
+
+    if args.state_json:
+        Path(args.state_json).write_text(pipeline.state_json() + "\n")
+        print(f"repro-tail: state written to {args.state_json}", flush=True)
+
+    if status == 0 and args.verify_batch:
+        verdict = pipeline.verify_batch()
+        for check, entry in sorted(verdict["checks"].items()):
+            marker = "ok" if entry["ok"] else "MISMATCH"
+            print(f"repro-tail: verify {check}: {marker}", flush=True)
+            if not entry["ok"]:
+                print(f"  online: {entry['online']}", flush=True)
+                print(f"  batch:  {entry['batch']}", flush=True)
+        if not verdict["ok"]:
+            print("repro-tail: online state DIVERGED from batch kernels",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print("repro-tail: online state matches batch kernels",
+                  flush=True)
+
+    if journal is not None:
+        journal.append_end(
+            "complete" if status == 0 else "failed",
+            time.monotonic() - started,
+        )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_tail())

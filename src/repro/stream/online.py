@@ -1,0 +1,368 @@
+"""Incremental (online) variants of the batch analysis kernels.
+
+Each kernel consumes sealed rows one at a time, keeps a bounded running
+state that serializes into the stream checkpoint, and produces a result
+**value-identical to its batch counterpart** run over the same closed
+window.  The ``batch_*`` helpers in this module *are* those batch
+counterparts — thin adapters over the repo's existing kernels
+(:func:`repro.stats.changepoint.detect_changepoints`,
+:func:`repro.core.filtering.pipeline.default_pipeline`,
+:func:`repro.core.reliability.mtti_from_clusters`) — so the parity
+tests compare against the real thing, not a re-implementation.
+
+Parity arguments, per kernel:
+
+- **Counters** (per-user failure rates, per-component event rates) are
+  commutative sums — order-independent, trivially equal to the batch
+  aggregation over the same multiset of rows.
+- **OnlineCusum** maintains per-day FATAL buckets (a dict, not an
+  array) and only materializes the contiguous day series when asked
+  for a result, then runs the *batch* ``detect_changepoints`` over it.
+  Equal buckets ⇒ equal series ⇒ equal changepoints, by construction.
+- **RollingMtti** keeps the sealed FATAL events that can still
+  interact with future arrivals, and *freezes* any prefix separated
+  from the rest by a quiet gap wider than every filter window
+  (temporal + spatial + similarity, summed — see ``freeze_margin``).
+  The three-stage filter only ever merges clusters within a window of
+  each other, so no stage can bridge such a gap: running the pipeline
+  on (prefix, suffix) independently provably equals running it on the
+  concatenation.  Frozen prefixes contribute only their cluster count
+  and first-timestamps, keeping memory bounded on an endless feed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.core.filtering.pipeline import default_pipeline
+from repro.core.reliability import mtti_from_clusters
+from repro.dataset.mira import SECONDS_PER_DAY
+from repro.stats.changepoint import detect_changepoints
+from repro.table import Table
+
+__all__ = [
+    "UserFailureCounter",
+    "ComponentCounter",
+    "OnlineCusum",
+    "RollingMtti",
+    "batch_user_failures",
+    "batch_component_counts",
+    "batch_cusum",
+    "batch_mtti",
+]
+
+
+def _checksum(values) -> str:
+    """Stable short digest for long float lists (parity comparisons)."""
+    blob = json.dumps([round(float(v), 6) for v in values])
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# commutative counters
+# ----------------------------------------------------------------------
+
+
+class UserFailureCounter:
+    """Per-user job totals and failure counts (jobs feed)."""
+
+    def __init__(self):
+        self._counts: dict[str, list[int]] = {}
+
+    def update(self, row: dict) -> None:
+        user = str(row.get("user", ""))
+        jobs, failed = self._counts.setdefault(user, [0, 0])
+        self._counts[user][0] = jobs + 1
+        if int(row.get("exit_status", 0)) != 0:
+            self._counts[user][1] = failed + 1
+
+    def result(self) -> dict:
+        users = {}
+        for user in sorted(self._counts):
+            jobs, failed = self._counts[user]
+            users[user] = {
+                "jobs": jobs,
+                "failed": failed,
+                "failure_rate": round(failed / jobs, 6) if jobs else 0.0,
+            }
+        return {"n_users": len(users), "users": users}
+
+    def state(self) -> dict:
+        return {"counts": {u: list(v) for u, v in self._counts.items()}}
+
+    def restore(self, state: dict) -> None:
+        self._counts = {
+            str(u): [int(v[0]), int(v[1])]
+            for u, v in state.get("counts", {}).items()
+        }
+
+
+class ComponentCounter:
+    """Per-component RAS event and FATAL counts (ras feed)."""
+
+    def __init__(self):
+        self._counts: dict[str, list[int]] = {}
+
+    def update(self, row: dict) -> None:
+        comp = str(row.get("component", ""))
+        events, fatal = self._counts.setdefault(comp, [0, 0])
+        self._counts[comp][0] = events + 1
+        if str(row.get("severity", "")) == "FATAL":
+            self._counts[comp][1] = fatal + 1
+
+    def result(self) -> dict:
+        comps = {}
+        for comp in sorted(self._counts):
+            events, fatal = self._counts[comp]
+            comps[comp] = {"events": events, "fatal": fatal}
+        return {"n_components": len(comps), "components": comps}
+
+    def state(self) -> dict:
+        return {"counts": {c: list(v) for c, v in self._counts.items()}}
+
+    def restore(self, state: dict) -> None:
+        self._counts = {
+            str(c): [int(v[0]), int(v[1])]
+            for c, v in state.get("counts", {}).items()
+        }
+
+
+# ----------------------------------------------------------------------
+# online CUSUM changepoints
+# ----------------------------------------------------------------------
+
+
+class OnlineCusum:
+    """Daily FATAL-count buckets feeding batch changepoint detection."""
+
+    def __init__(self, *, bucket_s: float = SECONDS_PER_DAY):
+        self.bucket_s = float(bucket_s)
+        self._buckets: dict[int, int] = {}
+        self._n_fatal = 0
+
+    def update(self, row: dict) -> None:
+        if str(row.get("severity", "")) != "FATAL":
+            return
+        day = int(float(row["timestamp"]) // self.bucket_s)
+        if day < 0:
+            day = 0
+        self._buckets[day] = self._buckets.get(day, 0) + 1
+        self._n_fatal += 1
+
+    def series(self) -> np.ndarray:
+        if not self._buckets:
+            return np.zeros(0, dtype=np.float64)
+        out = np.zeros(max(self._buckets) + 1, dtype=np.float64)
+        for day, count in self._buckets.items():
+            out[day] = count
+        return out
+
+    def result(self) -> dict:
+        series = self.series()
+        points = detect_changepoints(series) if series.size else []
+        return {
+            "n_days": int(series.size),
+            "n_fatal": self._n_fatal,
+            "changepoints": [
+                {
+                    "index": cp.index,
+                    "statistic": round(cp.statistic, 6),
+                    "mean_before": round(cp.mean_before, 6),
+                    "mean_after": round(cp.mean_after, 6),
+                }
+                for cp in points
+            ],
+        }
+
+    def state(self) -> dict:
+        return {
+            "bucket_s": self.bucket_s,
+            "n_fatal": self._n_fatal,
+            "buckets": {str(day): n for day, n in self._buckets.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        self.bucket_s = float(state.get("bucket_s", SECONDS_PER_DAY))
+        self._n_fatal = int(state.get("n_fatal", 0))
+        self._buckets = {
+            int(day): int(n) for day, n in state.get("buckets", {}).items()
+        }
+
+
+# ----------------------------------------------------------------------
+# rolling filtered MTTI
+# ----------------------------------------------------------------------
+
+#: A quiet gap wider than this can never be bridged by any stage of the
+#: default three-stage filter (each window is 3600 s; merges are
+#: window-local per stage, so the sum is a conservative bound).
+DEFAULT_FREEZE_MARGIN = 3 * 3600.0
+
+_EVENT_FIELDS = ("timestamp", "msg_id", "location", "message")
+
+
+def _events_table(events: list[list]) -> Table:
+    return Table(
+        {
+            "timestamp": np.array([e[0] for e in events], dtype=np.float64),
+            "msg_id": [str(e[1]) for e in events],
+            "location": [str(e[2]) for e in events],
+            "message": [str(e[3]) for e in events],
+        }
+    )
+
+
+class RollingMtti:
+    """Filtered-MTTI over an endless FATAL stream with bounded memory."""
+
+    def __init__(self, *, freeze_margin: float = DEFAULT_FREEZE_MARGIN):
+        self.freeze_margin = float(freeze_margin)
+        self._pipeline = default_pipeline()
+        #: sealed FATAL events still able to interact with the future,
+        #: each ``[timestamp, msg_id, location, message]``, timestamp
+        #: nondecreasing (guaranteed by the watermark seal order).
+        self._active: list[list] = []
+        self._frozen_clusters = 0
+        self._frozen_first_ts: list[float] = []
+
+    def update(self, row: dict) -> None:
+        if str(row.get("severity", "")) != "FATAL":
+            return
+        self._active.append([
+            float(row["timestamp"]),
+            str(row.get("msg_id", "")),
+            str(row.get("location", "")),
+            str(row.get("message", "")),
+        ])
+        self._maybe_freeze()
+
+    def _maybe_freeze(self) -> None:
+        """Freeze everything before the *last* over-margin quiet gap."""
+        split = 0
+        for i in range(1, len(self._active)):
+            if self._active[i][0] - self._active[i - 1][0] > self.freeze_margin:
+                split = i
+        if split == 0:
+            return
+        prefix = self._active[:split]
+        self._active = self._active[split:]
+        clusters = self._pipeline.run(_events_table(prefix)).clusters
+        self._frozen_clusters += clusters.n_rows
+        self._frozen_first_ts.extend(
+            float(t) for t in clusters["first_timestamp"]
+        )
+
+    def result(self, span_days: float | None = None) -> dict:
+        if self._active:
+            clusters = self._pipeline.run(_events_table(self._active)).clusters
+            active_n = clusters.n_rows
+            active_ts = [float(t) for t in clusters["first_timestamp"]]
+        else:
+            active_n = 0
+            active_ts = []
+        n = self._frozen_clusters + active_n
+        first_ts = self._frozen_first_ts + active_ts
+        out = {
+            "n_clusters": n,
+            "n_fatal_active": len(self._active),
+            "first_timestamps_checksum": _checksum(first_ts),
+        }
+        if span_days is not None and span_days > 0:
+            out["span_days"] = round(float(span_days), 6)
+            out["mtti_days"] = (
+                round(span_days / n, 6) if n else float("inf")
+            )
+        return out
+
+    def state(self) -> dict:
+        return {
+            "freeze_margin": self.freeze_margin,
+            "frozen_clusters": self._frozen_clusters,
+            "frozen_first_ts": [float(t) for t in self._frozen_first_ts],
+            "active": [list(e) for e in self._active],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.freeze_margin = float(
+            state.get("freeze_margin", DEFAULT_FREEZE_MARGIN)
+        )
+        self._frozen_clusters = int(state.get("frozen_clusters", 0))
+        self._frozen_first_ts = [
+            float(t) for t in state.get("frozen_first_ts", [])
+        ]
+        self._active = [
+            [float(e[0]), str(e[1]), str(e[2]), str(e[3])]
+            for e in state.get("active", [])
+        ]
+
+
+# ----------------------------------------------------------------------
+# batch references (the ground truth the parity tests compare against)
+# ----------------------------------------------------------------------
+
+
+def batch_user_failures(jobs: Table) -> dict:
+    kernel = UserFailureCounter()
+    users = list(jobs["user"])
+    statuses = list(jobs["exit_status"])
+    for user, status in zip(users, statuses):
+        kernel.update({"user": user, "exit_status": int(status)})
+    return kernel.result()
+
+
+def batch_component_counts(ras: Table) -> dict:
+    kernel = ComponentCounter()
+    comps = list(ras["component"])
+    sevs = list(ras["severity"])
+    for comp, sev in zip(comps, sevs):
+        kernel.update({"component": comp, "severity": sev})
+    return kernel.result()
+
+
+def batch_cusum(ras: Table, *, bucket_s: float = SECONDS_PER_DAY) -> dict:
+    """Daily-bucketed changepoints straight from a closed RAS table."""
+    kernel = OnlineCusum(bucket_s=bucket_s)
+    fatal = ras.filter(np.asarray(ras["severity"]) == "FATAL")
+    for ts in fatal["timestamp"]:
+        kernel.update({"severity": "FATAL", "timestamp": float(ts)})
+    return kernel.result()
+
+
+def batch_mtti(ras: Table, span_days: float) -> dict:
+    """Three-stage-filtered MTTI from a closed RAS table.
+
+    Runs the *real* batch path — ``default_pipeline`` over all FATAL
+    events at once, then :func:`mtti_from_clusters` — and reshapes the
+    answer to match :meth:`RollingMtti.result` for direct comparison.
+    """
+    fatal = ras.filter(np.asarray(ras["severity"]) == "FATAL")
+    fatal = fatal.sort_by("timestamp")
+    events = Table(
+        {
+            "timestamp": np.asarray(fatal["timestamp"], dtype=np.float64),
+            "msg_id": [str(v) for v in fatal["msg_id"]],
+            "location": [str(v) for v in fatal["location"]],
+            "message": [str(v) for v in fatal["message"]],
+        }
+    )
+    if events.n_rows:
+        clusters = default_pipeline().run(events).clusters
+        report = mtti_from_clusters(clusters, span_days)
+        n = report.n_interruptions
+        first_ts = list(report.interruption_timestamps)
+        mtti_days = report.mtti_days
+    else:
+        n = 0
+        first_ts = []
+        mtti_days = float("inf")
+    return {
+        "n_clusters": n,
+        "first_timestamps_checksum": _checksum(first_ts),
+        "span_days": round(float(span_days), 6),
+        "mtti_days": (
+            round(mtti_days, 6) if n else float("inf")
+        ),
+    }

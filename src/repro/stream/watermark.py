@@ -1,0 +1,130 @@
+"""Bounded out-of-order tolerance for streaming rows.
+
+A feed row is not applied to the online kernels the moment it arrives:
+it sits in a **pending buffer** until the source's *watermark* — the
+highest event-time seen so far minus the configured ``lateness``
+allowance — passes its timestamp.  Sealing then releases pending rows
+in deterministic ``(event_time, arrival_order)`` order, which gives the
+kernels three properties the parity proofs depend on:
+
+- the sealed stream is globally nondecreasing in event time, no matter
+  how (boundedly) shuffled the arrivals were;
+- the sealed order is a pure function of the row *content and feed
+  order*, independent of how arrivals were chopped into poll batches —
+  so a kill–resume run seals byte-identically to an uninterrupted one;
+- a row that arrives *after* its window was sealed (event time at or
+  below ``sealed_through``) is **counted and handed back for
+  quarantine**, never silently dropped and never double-applied.
+
+Boundary semantics (exercised in the watermark tests):
+
+- event time exactly equal to the watermark **seals now**;
+- a later arrival with event time exactly equal to ``sealed_through``
+  is **late** (the seal was inclusive, so applying it again would
+  double-count);
+- duplicate event times seal in arrival order (stable);
+- a clock regression (event time below ``max_seen`` but still above
+  ``sealed_through``) is merely *out of order*, not late — it is
+  buffered and sealed in its correct event-time position.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WatermarkBuffer"]
+
+
+class WatermarkBuffer:
+    """Per-source reorder buffer with a fixed lateness allowance."""
+
+    def __init__(self, *, lateness: float, capacity: int = 100_000):
+        if lateness < 0:
+            raise ValueError(f"lateness must be >= 0, got {lateness}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.lateness = float(lateness)
+        self.capacity = int(capacity)
+        #: entries are ``[ts, seq, row]``; sorted lazily at seal time.
+        self._pending: list[list] = []
+        self._seq = 0
+        self.max_seen: float | None = None
+        self.sealed_through: float | None = None
+        self.late = 0
+
+    # -- admission -----------------------------------------------------
+
+    def offer(self, ts: float, row: dict) -> bool:
+        """Admit one row; ``False`` means *late* (caller quarantines)."""
+        ts = float(ts)
+        if self.sealed_through is not None and ts <= self.sealed_through:
+            self.late += 1
+            return False
+        self._pending.append([ts, self._seq, row])
+        self._seq += 1
+        if self.max_seen is None or ts > self.max_seen:
+            self.max_seen = ts
+        return True
+
+    @property
+    def watermark(self) -> float | None:
+        if self.max_seen is None:
+            return None
+        return self.max_seen - self.lateness
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        """Backpressure signal: stop feeding this source until sealed."""
+        return len(self._pending) >= self.capacity
+
+    # -- sealing -------------------------------------------------------
+
+    def seal(self) -> list[dict]:
+        """Release every pending row at or below the watermark.
+
+        Rows come out stably sorted by ``(event_time, arrival_order)``;
+        ``sealed_through`` advances to the watermark, making any future
+        arrival at or below it late by definition.
+        """
+        wm = self.watermark
+        if wm is None:
+            return []
+        ready = [e for e in self._pending if e[0] <= wm]
+        if ready:
+            ready.sort(key=lambda e: (e[0], e[1]))
+            self._pending = [e for e in self._pending if e[0] > wm]
+        if self.sealed_through is None or wm > self.sealed_through:
+            self.sealed_through = wm
+        return [e[2] for e in ready]
+
+    def drain_view(self) -> list[dict]:
+        """The still-pending rows in seal order, **without** sealing.
+
+        Used to project a final answer over the closed window while
+        leaving the buffer intact, so a later resume can keep going.
+        """
+        return [e[2] for e in sorted(self._pending, key=lambda e: (e[0], e[1]))]
+
+    # -- checkpointable state ------------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "lateness": self.lateness,
+            "max_seen": self.max_seen,
+            "sealed_through": self.sealed_through,
+            "seq": self._seq,
+            "late": self.late,
+            "pending": [[e[0], e[1], e[2]] for e in self._pending],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.max_seen = state.get("max_seen")
+        self.sealed_through = state.get("sealed_through")
+        self._seq = int(state.get("seq", 0))
+        self.late = int(state.get("late", 0))
+        self._pending = [
+            [float(ts), int(seq), dict(row)]
+            for ts, seq, row in state.get("pending", [])
+        ]

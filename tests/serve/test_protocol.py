@@ -35,27 +35,27 @@ GOLDEN_RESPONSES = [
      "message": "", "seconds": 0.012, "queue_seconds": 0.001,
      "retry_after_s": None, "breaker": None,
      "result": {"summary": {"n_jobs": 3}}, "cache": "miss",
-     "http_status": 200},
+     "epoch": 0, "http_status": 200},
     {"schema": 1, "kind": "response", "request_id": "r2",
      "outcome": "shed", "message": "queue full", "seconds": 0.0,
      "queue_seconds": 0.0, "retry_after_s": 0.4, "breaker": None,
-     "result": None, "cache": None, "http_status": 503},
+     "result": None, "cache": None, "epoch": None, "http_status": 503},
     {"schema": 1, "kind": "response", "request_id": "r3",
      "outcome": "breaker_open", "message": "e03 breaker open",
      "seconds": 0.0, "queue_seconds": 0.0, "retry_after_s": 2.1,
      "breaker": {"state": "open", "consecutive_failures": 5,
                  "threshold": 5, "cooldown_s": 3.0},
-     "result": None, "cache": None, "http_status": 503},
+     "result": None, "cache": None, "epoch": None, "http_status": 503},
     {"schema": 1, "kind": "response", "request_id": "r4",
      "outcome": "deadline_exceeded", "message": "deadline exceeded",
      "seconds": 0.5, "queue_seconds": 0.2, "retry_after_s": None,
      "breaker": None, "result": None, "cache": "coalesced",
-     "http_status": 504},
+     "epoch": 1, "http_status": 504},
     {"schema": 1, "kind": "response", "request_id": "r5", "outcome": "ok",
      "message": "", "seconds": 0.001, "queue_seconds": 0.0,
      "retry_after_s": None, "breaker": None,
      "result": {"summary": {"n_jobs": 3}}, "cache": "hit_memory",
-     "http_status": 200},
+     "epoch": 2, "http_status": 200},
 ]
 
 

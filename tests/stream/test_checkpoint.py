@@ -1,0 +1,68 @@
+"""Atomic stream checkpoints: round-trip, corruption, temp pruning."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.stream.checkpoint import (
+    CHECKPOINT_NAME,
+    STREAM_SCHEMA,
+    load_checkpoint,
+    prune_checkpoint_temps,
+    save_checkpoint,
+)
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_identity(self, tmp_path):
+        payload = {"feed": "/f", "identity": {"x": [1, 2]}, "meta": {"t": 3}}
+        path = save_checkpoint(tmp_path, payload)
+        assert path == tmp_path / CHECKPOINT_NAME
+        loaded = load_checkpoint(tmp_path)
+        for key, value in payload.items():
+            assert loaded[key] == value
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+
+    def test_no_temp_files_survive_a_save(self, tmp_path):
+        save_checkpoint(tmp_path, {"a": 1})
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def test_unparsable_json_is_typed(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_schema_is_typed(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text(
+            json.dumps({"schema": STREAM_SCHEMA + 1,
+                        "kind": "stream-checkpoint"})
+        )
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_kind_is_typed(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text(
+            json.dumps({"schema": STREAM_SCHEMA, "kind": "something-else"})
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path)
+
+
+class TestTempPruning:
+    def test_dead_writer_temps_are_reclaimed(self, tmp_path):
+        # A SIGKILLed writer leaves <name>.tmp.<pid>; PID 1 is never a
+        # dead test process, so fabricate an id that cannot be alive.
+        dead_pid = 2 ** 22 + 12345  # beyond default pid_max
+        stale = tmp_path / f"{CHECKPOINT_NAME}.tmp.{dead_pid}"
+        stale.write_text("half-written")
+        assert prune_checkpoint_temps(tmp_path) == 1
+        assert not stale.exists()
+
+    def test_nothing_to_prune_is_zero(self, tmp_path):
+        assert prune_checkpoint_temps(tmp_path) == 0

@@ -1,0 +1,277 @@
+"""StreamPipeline end-to-end: parity, kill–resume identity, quarantine."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.mira import MiraDataset
+from repro.errors import CheckpointError, QuarantineOverflowError
+from repro.faults.streams import StreamFeeder
+from repro.stream.pipeline import StreamPipeline
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+RAS_HEADER = (
+    "record_id,timestamp,msg_id,severity,component,category,location,"
+    "message,block"
+)
+
+
+def _ras_line(record_id, ts, severity="FATAL"):
+    return (
+        f"{record_id},{ts},M42,{severity},MMCS,SOFTWARE,"
+        f"R00-M0-N00,boom,B0"
+    )
+
+
+def _write_ras(feed_dir, lines):
+    feed_dir.mkdir(parents=True, exist_ok=True)
+    (feed_dir / "ras.csv").write_text(
+        "\n".join([RAS_HEADER] + lines) + "\n"
+    )
+
+
+def _drain(pipeline, max_ticks=500):
+    idle = 0
+    for _ in range(max_ticks):
+        if not pipeline.tick()["progressed"]:
+            idle += 1
+            if idle >= 2:
+                return
+        else:
+            idle = 0
+    raise AssertionError("pipeline failed to drain the feed")
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("closed-window") / "data"
+    MiraDataset.synthesize(1.0, seed=11, cache=False).save(directory)
+    return directory
+
+
+class TestCleanParity:
+    def test_streamed_equals_batch_on_a_real_dataset(
+        self, saved_dataset, tmp_path
+    ):
+        feed = tmp_path / "feed"
+        StreamFeeder(saved_dataset, feed, seed=1, chunk_rows=500).run()
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        _drain(pipeline)
+        verdict = pipeline.verify_batch()
+        assert verdict["ok"], verdict["checks"]
+
+    def test_duplicate_appends_have_exactly_once_effects(self, tmp_path):
+        feed = tmp_path / "feed"
+        lines = [_ras_line(i, 1000.0 + i) for i in range(5)]
+        _write_ras(feed, lines + lines)  # everything shipped twice
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        _drain(pipeline)
+        results = pipeline.projected_results()
+        assert results["sources"]["ras"]["admitted"] == 5
+        assert results["sources"]["ras"]["duplicates"] == 5
+        assert pipeline.verify_batch()["ok"]
+
+
+class TestLateRows:
+    def test_late_row_is_quarantined_and_accounted(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(1, 10_000.0)])
+        pipeline = StreamPipeline(
+            feed, tmp_path / "ckpt", lateness={"ras": 0.0}
+        )
+        _drain(pipeline)  # seals through 10000
+        with open(feed / "ras.csv", "a") as fh:
+            fh.write(_ras_line(2, 500.0) + "\n")  # behind the seal
+        _drain(pipeline)
+        results = pipeline.projected_results()
+        ras = results["sources"]["ras"]
+        assert ras["late"] == 1
+        assert ras["quarantined"] == 1
+        assert ras["rows_applied"] == 1  # the late row never applied
+        assert pipeline.quarantine_counts() == {"ras": 1}
+        # Parity still holds: verify excludes exactly the late ids.
+        assert pipeline.verify_batch()["ok"]
+
+    def test_replayed_late_row_stays_deduplicated(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(1, 10_000.0)])
+        pipeline = StreamPipeline(
+            feed, tmp_path / "ckpt", lateness={"ras": 0.0}
+        )
+        _drain(pipeline)
+        with open(feed / "ras.csv", "a") as fh:
+            fh.write(_ras_line(2, 500.0) + "\n")
+            fh.write(_ras_line(2, 500.0) + "\n")  # shipper retried it
+        _drain(pipeline)
+        ras = pipeline.projected_results()["sources"]["ras"]
+        assert ras["late"] == 1  # quarantined once, deduped after
+        assert ras["duplicates"] == 1
+
+
+class TestQuarantine:
+    def test_malformed_rows_are_counted_never_dropped(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(1, 1000.0), "not,a,ras,row"])
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        _drain(pipeline)
+        assert pipeline.quarantine_counts() == {"ras": 1}
+        assert pipeline.projected_results()["sources"]["ras"]["admitted"] == 1
+
+    def test_quarantine_bound_is_enforced(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, ["garbage"] * 5)
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt", max_bad_rows=3)
+        with pytest.raises(QuarantineOverflowError, match="more than 3"):
+            _drain(pipeline)
+
+    def test_quarantine_counts_survive_resume(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(1, 1000.0), "garbage"])
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        _drain(pipeline)
+        pipeline.checkpoint()
+        resumed = StreamPipeline(feed, tmp_path / "ckpt")
+        assert resumed.resume() is True
+        assert resumed.quarantine_counts() == {"ras": 1}
+        assert resumed.quarantined_total() == 1
+
+
+class TestBackpressure:
+    def test_full_buffer_skips_polling_only_that_source(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(i, 1000.0 + i) for i in range(10)])
+        # Huge lateness: nothing ever seals, so the tiny buffer fills.
+        pipeline = StreamPipeline(
+            feed, tmp_path / "ckpt",
+            lateness={"ras": 1e12}, pending_capacity=5,
+        )
+        pipeline.tick()
+        assert pipeline.results()["sources"]["ras"]["pending"] >= 5
+        before = pipeline.backpressure_events
+        pipeline.tick()
+        assert pipeline.backpressure_events > before
+
+
+class TestCheckpointLifecycle:
+    def test_stale_temps_are_pruned_at_construction(self, tmp_path):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(1, 1000.0)])
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        dead_pid = 2 ** 22 + 54321
+        (ckpt / f"checkpoint.json.tmp.{dead_pid}").write_text("torn")
+        pipeline = StreamPipeline(feed, ckpt)
+        assert pipeline.pruned_temps == 1
+
+    def test_resume_refuses_a_foreign_feed(self, tmp_path):
+        feed_a = tmp_path / "feed-a"
+        feed_b = tmp_path / "feed-b"
+        for feed in (feed_a, feed_b):
+            _write_ras(feed, [_ras_line(1, 1000.0)])
+        ckpt = tmp_path / "ckpt"
+        pipeline = StreamPipeline(feed_a, ckpt)
+        _drain(pipeline)
+        pipeline.checkpoint()
+        other = StreamPipeline(feed_b, ckpt)
+        with pytest.raises(CheckpointError, match="tracks feed"):
+            other.resume()
+
+
+class TestKillResumeIdentity:
+    def test_interrupted_run_matches_uninterrupted_byte_for_byte(
+        self, saved_dataset, tmp_path
+    ):
+        # Feed grows in phases; run B is "killed" (object discarded,
+        # uncheckpointed progress lost) between phases and resumed from
+        # its checkpoint.  Identity state must match run A exactly.
+        feed_a, feed_b = tmp_path / "feed-a", tmp_path / "feed-b"
+        ckpt_a, ckpt_b = tmp_path / "ckpt-a", tmp_path / "ckpt-b"
+        feeders = [
+            StreamFeeder(saved_dataset, feed, seed=3, chunk_rows=120)
+            for feed in (feed_a, feed_b)
+        ]
+        run_a = StreamPipeline(feed_a, ckpt_a)
+        run_b = StreamPipeline(feed_b, ckpt_b)
+        phase = 0
+        while not feeders[0].done:
+            for feeder in feeders:
+                feeder.step()
+            _drain(run_a)
+            _drain(run_b)
+            run_b.checkpoint()
+            if phase % 2 == 0:
+                # SIGKILL simulation: drop the object (in-memory state
+                # beyond the checkpoint is gone), resume from disk.
+                run_b = StreamPipeline(feed_b, ckpt_b)
+                assert run_b.resume() is True
+            phase += 1
+        _drain(run_a)
+        _drain(run_b)
+        assert run_a.state_json() == run_b.state_json()
+
+    def test_progress_after_checkpoint_is_replayed_not_lost(
+        self, tmp_path
+    ):
+        feed = tmp_path / "feed"
+        _write_ras(feed, [_ras_line(i, 1000.0 + i * 10) for i in range(4)])
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        _drain(pipeline)
+        pipeline.checkpoint()
+        with open(feed / "ras.csv", "a") as fh:
+            fh.write(_ras_line(10, 2000.0) + "\n")
+        _drain(pipeline)  # progressed but NOT checkpointed
+        killed_state = pipeline.state_json()
+        resumed = StreamPipeline(feed, tmp_path / "ckpt")
+        assert resumed.resume() is True
+        _drain(resumed)  # re-reads the uncheckpointed tail
+        assert resumed.state_json() == killed_state
+
+
+class TestSubprocessSigkill:
+    def test_repro_tail_survives_a_real_sigkill(
+        self, saved_dataset, tmp_path
+    ):
+        feed = tmp_path / "feed"
+        ckpt = tmp_path / "ckpt"
+        StreamFeeder(saved_dataset, feed, seed=7, chunk_rows=300).run()
+        env = {**os.environ, "PYTHONPATH": REPO_SRC}
+        command = [
+            sys.executable, "-c",
+            "import sys; from repro.stream.cli import main_tail; "
+            "sys.exit(main_tail(sys.argv[1:]))",
+            str(feed), "--checkpoint-dir", str(ckpt),
+            "--interval", "0.01", "--max-lines", "50",
+        ]
+        victim = subprocess.Popen(
+            command, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        time.sleep(1.5)  # let it make (and checkpoint) partial progress
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+        assert victim.returncode == -signal.SIGKILL
+        state_path = tmp_path / "state.json"
+        finish = subprocess.run(
+            command[:3] + [
+                str(feed), "--checkpoint-dir", str(ckpt), "--oneshot",
+                "--interval", "0", "--verify-batch",
+                "--state-json", str(state_path),
+            ],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert finish.returncode == 0, finish.stdout + finish.stderr
+        assert "matches batch kernels" in finish.stdout
+        # An uninterrupted reference run over the same bytes agrees.
+        reference = StreamPipeline(feed, tmp_path / "ckpt-ref")
+        _drain(reference)
+        assert (
+            state_path.read_text().strip() == reference.state_json()
+        )
+        leftovers = [p for p in ckpt.iterdir() if ".tmp." in p.name]
+        assert leftovers == []

@@ -1,0 +1,108 @@
+"""StreamFeeder chaos injectors: determinism and streamed/batch parity."""
+
+import pytest
+
+from repro.dataset.mira import MiraDataset
+from repro.errors import FaultError
+from repro.faults.streams import STREAM_FAULTS, StreamFeeder
+from repro.stream.pipeline import StreamPipeline
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("feeder-src") / "data"
+    MiraDataset.synthesize(1.0, seed=23, cache=False).save(directory)
+    return directory
+
+
+def _drain(pipeline, max_ticks=800):
+    idle = 0
+    for _ in range(max_ticks):
+        if not pipeline.tick()["progressed"]:
+            idle += 1
+            if idle >= 2:
+                return
+        else:
+            idle = 0
+    raise AssertionError("pipeline failed to drain the feed")
+
+
+def _feed_bytes(feed_dir):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(feed_dir.iterdir())
+        if not path.name.startswith(".")
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_produces_identical_feeds(
+        self, saved_dataset, tmp_path
+    ):
+        feeds = []
+        for name in ("run-a", "run-b"):
+            feed = tmp_path / name
+            StreamFeeder(
+                saved_dataset, feed, seed=9, chunk_rows=150,
+                faults=STREAM_FAULTS, rate=0.3,
+            ).run()
+            feeds.append(_feed_bytes(feed))
+        assert feeds[0] == feeds[1]
+
+    def test_different_seeds_diverge(self, saved_dataset, tmp_path):
+        feeds = []
+        for seed in (1, 2):
+            feed = tmp_path / f"seed-{seed}"
+            StreamFeeder(
+                saved_dataset, feed, seed=seed, chunk_rows=150,
+                faults=("duplicate_replay",), rate=0.5,
+            ).run()
+            feeds.append(_feed_bytes(feed))
+        assert feeds[0] != feeds[1]
+
+
+class TestChaosParity:
+    @pytest.mark.parametrize("fault", STREAM_FAULTS)
+    def test_each_fault_alone_preserves_parity(
+        self, saved_dataset, tmp_path, fault
+    ):
+        feed = tmp_path / "feed"
+        feeder = StreamFeeder(
+            saved_dataset, feed, seed=5, chunk_rows=200,
+            faults=(fault,), rate=0.4,
+        )
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        while not feeder.done:
+            feeder.step()
+            _drain(pipeline)
+        _drain(pipeline)
+        verdict = pipeline.verify_batch()
+        assert verdict["ok"], (fault, verdict["checks"])
+
+    def test_all_faults_together_preserve_parity(
+        self, saved_dataset, tmp_path
+    ):
+        feed = tmp_path / "feed"
+        feeder = StreamFeeder(
+            saved_dataset, feed, seed=13, chunk_rows=180,
+            faults=STREAM_FAULTS, rate=0.35,
+        )
+        pipeline = StreamPipeline(feed, tmp_path / "ckpt")
+        while not feeder.done:
+            feeder.step()
+            _drain(pipeline)
+        _drain(pipeline)
+        verdict = pipeline.verify_batch()
+        assert verdict["ok"], verdict["checks"]
+
+
+class TestTypedFailures:
+    def test_unknown_fault_is_refused(self, saved_dataset, tmp_path):
+        with pytest.raises(FaultError, match="unknown stream fault"):
+            StreamFeeder(
+                saved_dataset, tmp_path / "feed", faults=("meteor",)
+            )
+
+    def test_missing_source_is_typed(self, tmp_path):
+        with pytest.raises(FaultError, match="source dataset not found"):
+            StreamFeeder(tmp_path / "nope", tmp_path / "feed")

@@ -1,0 +1,176 @@
+"""FileTailer: rotation, truncation, torn lines, and resume state."""
+
+import os
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.tailer import FileTailer
+
+
+def _append(path, text):
+    with open(path, "a") as fh:
+        fh.write(text)
+
+
+@pytest.fixture()
+def feed(tmp_path):
+    return tmp_path / "ras.csv"
+
+
+class TestBasicTailing:
+    def test_missing_file_is_benign(self, feed):
+        tailer = FileTailer(feed)
+        result = tailer.poll()
+        assert result.exists is False
+        assert result.lines == []
+        assert not result.progressed
+
+    def test_complete_lines_come_out_in_order(self, feed):
+        _append(feed, "a\nb\nc\n")
+        tailer = FileTailer(feed)
+        assert tailer.poll().lines == ["a", "b", "c"]
+        # Nothing new: the offset holds.
+        assert tailer.poll().lines == []
+        _append(feed, "d\n")
+        assert tailer.poll().lines == ["d"]
+
+    def test_torn_trailing_line_is_held_back(self, feed):
+        _append(feed, "a\nb\npartial")
+        tailer = FileTailer(feed)
+        assert tailer.poll().lines == ["a", "b"]
+        # The fragment stays invisible until its newline lands.
+        assert tailer.poll().lines == []
+        _append(feed, "-done\n")
+        assert tailer.poll().lines == ["partial-done"]
+
+    def test_max_lines_bounds_one_poll(self, feed):
+        _append(feed, "".join(f"r{i}\n" for i in range(10)))
+        tailer = FileTailer(feed, max_lines=4)
+        assert tailer.poll().lines == ["r0", "r1", "r2", "r3"]
+        assert tailer.poll().lines == ["r4", "r5", "r6", "r7"]
+        assert tailer.poll().lines == ["r8", "r9"]
+
+    def test_read_limit_cut_line_is_reread_whole(self, feed):
+        _append(feed, "x" * 100 + "\nsecond\n")
+        tailer = FileTailer(feed, read_limit=50)
+        # First poll's slice ends mid-line: nothing complete yet is
+        # consumed beyond what terminated inside the window.
+        assert tailer.poll().lines == []
+        tailer.read_limit = 1 << 20
+        assert tailer.poll().lines == ["x" * 100, "second"]
+
+
+class TestRotation:
+    def test_logrotate_rename_drains_the_old_tail(self, feed):
+        _append(feed, "a\nb\n")
+        tailer = FileTailer(feed)
+        assert tailer.poll().lines == ["a", "b"]
+        # Writer appends one more line, then rotates before we poll.
+        _append(feed, "c\n")
+        feed.rename(feed.with_name(feed.name + ".1"))
+        _append(feed, "d\n")
+        result = tailer.poll()
+        assert result.rotated is True
+        assert result.recovered == ["c"]  # drained from ras.csv.1
+        assert result.lines == ["d"]
+        assert result.lost_tail is False
+        assert tailer.rotations == 1
+        assert tailer.recovered_lines == 1
+
+    def test_same_size_new_inode_replacement_is_a_rotation(self, feed):
+        # Regression: a file swapped for an *identical-length* copy must
+        # read as a rotation (identity check), not a silent no-op (size
+        # heuristic).
+        _append(feed, "AAAA\n")
+        tailer = FileTailer(feed)
+        assert tailer.poll().lines == ["AAAA"]
+        replacement = feed.with_name("swap.tmp")
+        replacement.write_text("BBBB\n")  # same byte length
+        os.replace(replacement, feed)
+        result = tailer.poll()
+        assert result.rotated is True
+        assert result.lines == ["BBBB"]
+        assert tailer.rotations == 1
+
+    def test_unrecoverable_rotation_counts_a_lost_tail(self, feed):
+        _append(feed, "a\nb\n")
+        tailer = FileTailer(feed)
+        tailer.poll()
+        _append(feed, "never-read\n")
+        # Replace without leaving a .1 sibling: the unread tail is gone.
+        replacement = feed.with_name("swap.tmp")
+        replacement.write_text("fresh\n")
+        os.replace(replacement, feed)
+        result = tailer.poll()
+        assert result.rotated is True
+        assert result.lost_tail is True
+        assert result.recovered == []
+        assert result.lines == ["fresh"]
+        assert tailer.lost_tails == 1
+
+    def test_sibling_with_wrong_inode_is_not_trusted(self, feed):
+        _append(feed, "a\n")
+        tailer = FileTailer(feed)
+        tailer.poll()
+        _append(feed, "tail\n")
+        # A .1 sibling exists but is some other file entirely.
+        feed.with_name(feed.name + ".1").write_text("imposter\n" * 2)
+        replacement = feed.with_name("swap.tmp")
+        replacement.write_text("new\n")
+        os.replace(replacement, feed)
+        result = tailer.poll()
+        assert result.lost_tail is True
+        assert result.recovered == []
+        assert result.lines == ["new"]
+
+
+class TestTruncation:
+    def test_shrunk_file_resets_and_rereads(self, feed):
+        _append(feed, "a\nb\nc\n")
+        tailer = FileTailer(feed)
+        assert tailer.poll().lines == ["a", "b", "c"]
+        # In-place rewrite, same inode, shorter content.
+        with open(feed, "w") as fh:
+            fh.write("a\n")
+        result = tailer.poll()
+        assert result.truncated is True
+        assert result.lines == ["a"]  # re-read; dedup upstream absorbs
+        assert tailer.truncations == 1
+
+
+class TestStateRoundTrip:
+    def test_restore_resumes_byte_exactly(self, feed):
+        _append(feed, "a\nb\nc\n")
+        first = FileTailer(feed)
+        assert first.poll().lines == ["a", "b", "c"]
+        state = first.state()
+        _append(feed, "d\ne\n")
+        second = FileTailer(feed)
+        second.restore(state)
+        assert second.poll().lines == ["d", "e"]
+        assert second.state()["offset"] == os.path.getsize(feed)
+
+    def test_counters_survive_the_round_trip(self, feed):
+        _append(feed, "a\n")
+        tailer = FileTailer(feed)
+        tailer.poll()
+        tailer.rotations, tailer.lost_tails = 3, 1
+        clone = FileTailer(feed)
+        clone.restore(tailer.state())
+        assert clone.rotations == 3
+        assert clone.lost_tails == 1
+
+
+class TestErrors:
+    def test_unreadable_file_raises_typed_stream_error(self, feed):
+        _append(feed, "a\n")
+        tailer = FileTailer(feed, retries=1, sleep=lambda _s: None)
+        os.chmod(feed, 0o000)
+        try:
+            if os.geteuid() == 0:  # root ignores permission bits
+                pytest.skip("permission-based fault needs a non-root user")
+            with pytest.raises(StreamError, match="cannot read feed file"):
+                tailer.poll()
+        finally:
+            os.chmod(feed, 0o644)

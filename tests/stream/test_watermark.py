@@ -1,0 +1,103 @@
+"""WatermarkBuffer boundary semantics and checkpoint round-trips."""
+
+import pytest
+
+from repro.stream.watermark import WatermarkBuffer
+
+
+def _rows(buffer):
+    return [r["id"] for r in buffer.seal()]
+
+
+class TestBoundaries:
+    def test_event_time_exactly_at_watermark_seals_now(self):
+        buffer = WatermarkBuffer(lateness=10.0)
+        assert buffer.offer(100.0, {"id": "high"})
+        assert buffer.offer(90.0, {"id": "edge"})  # == watermark
+        assert buffer.watermark == 90.0
+        assert _rows(buffer) == ["edge"]  # inclusive seal
+        assert buffer.pending_count == 1  # "high" still waiting
+
+    def test_arrival_at_sealed_through_is_late(self):
+        buffer = WatermarkBuffer(lateness=10.0)
+        buffer.offer(100.0, {"id": "a"})
+        buffer.seal()  # sealed_through -> 90.0
+        # Exactly at the sealed boundary: applying it would double-count.
+        assert buffer.offer(90.0, {"id": "late"}) is False
+        assert buffer.late == 1
+        # Just above the boundary: merely out of order, admitted.
+        assert buffer.offer(90.5, {"id": "ok"}) is True
+        assert buffer.late == 1
+
+    def test_duplicate_timestamps_seal_in_arrival_order(self):
+        buffer = WatermarkBuffer(lateness=0.0)
+        for name in ("first", "second", "third"):
+            buffer.offer(50.0, {"id": name})
+        assert _rows(buffer) == ["first", "second", "third"]
+
+    def test_clock_regression_is_buffered_not_late(self):
+        buffer = WatermarkBuffer(lateness=40.0)
+        buffer.offer(200.0, {"id": "new"})
+        # Event time drops below max_seen but stays above the sealed
+        # floor: out of order, must seal in event-time position.
+        assert buffer.offer(150.0, {"id": "old"}) is True
+        assert buffer.late == 0
+        assert buffer.max_seen == 200.0  # regression never moves max
+        assert _rows(buffer) == ["old"]  # watermark 160: only "old" due
+
+    def test_regressed_row_seals_in_event_time_order(self):
+        buffer = WatermarkBuffer(lateness=10.0)
+        buffer.offer(200.0, {"id": "new"})
+        buffer.offer(150.0, {"id": "old"})
+        buffer.offer(300.0, {"id": "newest"})  # watermark -> 290
+        assert _rows(buffer) == ["old", "new"]
+
+    def test_seal_without_rows_is_empty(self):
+        buffer = WatermarkBuffer(lateness=5.0)
+        assert buffer.seal() == []
+        assert buffer.watermark is None
+
+
+class TestBackpressure:
+    def test_full_flags_at_capacity(self):
+        buffer = WatermarkBuffer(lateness=1e9, capacity=3)
+        for i in range(3):
+            assert buffer.full is False
+            buffer.offer(float(i), {"id": i})
+        assert buffer.full is True
+
+    def test_invalid_parameters_are_refused(self):
+        with pytest.raises(ValueError, match="lateness"):
+            WatermarkBuffer(lateness=-1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            WatermarkBuffer(lateness=0.0, capacity=0)
+
+
+class TestDrainView:
+    def test_drain_view_projects_without_sealing(self):
+        buffer = WatermarkBuffer(lateness=1e9)
+        buffer.offer(20.0, {"id": "b"})
+        buffer.offer(10.0, {"id": "a"})
+        assert [r["id"] for r in buffer.drain_view()] == ["a", "b"]
+        assert buffer.pending_count == 2  # untouched
+        assert buffer.sealed_through is None
+
+
+class TestStateRoundTrip:
+    def test_restore_is_value_identical(self):
+        buffer = WatermarkBuffer(lateness=10.0)
+        buffer.offer(100.0, {"id": "a"})
+        buffer.seal()  # watermark 90: "a" stays pending
+        buffer.offer(90.0, {"id": "late"})  # counted late
+        buffer.offer(95.0, {"id": "pending"})
+        clone = WatermarkBuffer(lateness=10.0)
+        clone.restore(buffer.state())
+        assert clone.state() == buffer.state()
+        assert clone.late == 1
+        assert clone.pending_count == 2
+        # And the clone seals exactly like the original would.
+        buffer.offer(200.0, {"id": "x"})
+        clone.offer(200.0, {"id": "x"})
+        assert [r["id"] for r in buffer.seal()] == [
+            r["id"] for r in clone.seal()
+        ]
