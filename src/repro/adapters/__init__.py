@@ -1,0 +1,40 @@
+"""Pluggable trace backends for cross-system studies.
+
+Importing this package registers the built-in backends — ``mira`` (the
+paper's system and the default path), ``google``, ``mistral``, and
+``mlcluster`` — each a calibrated synthetic source feeding the common
+columnar tables.  See ``docs/backends.md`` for the adapter contract and
+calibration sources.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    PublishedCalibration,
+    TraceBackend,
+    all_backend_names,
+    all_backends,
+    get_backend,
+    midplane_ladder,
+    register_backend,
+)
+
+# Import order fixes registration (and hence CLI listing) order.
+from .mira import MIRA_BACKEND
+from .google import GOOGLE_BACKEND
+from .mistral import MISTRAL_BACKEND
+from .mlcluster import MLCLUSTER_BACKEND
+
+__all__ = [
+    "PublishedCalibration",
+    "TraceBackend",
+    "register_backend",
+    "get_backend",
+    "all_backend_names",
+    "all_backends",
+    "midplane_ladder",
+    "MIRA_BACKEND",
+    "GOOGLE_BACKEND",
+    "MISTRAL_BACKEND",
+    "MLCLUSTER_BACKEND",
+]

@@ -1,0 +1,162 @@
+"""Trace-backend contract and registry.
+
+A *backend* describes one source system whose failure behavior the
+toolkit can synthesize into the common four-log columnar tables: its
+machine geometry (a :class:`~repro.bgq.machine.MachineSpec`, so the
+location grammar and all attribution/locality kernels work unchanged),
+its RAS message catalog, calibrated generator parameters, and the
+published headline numbers the synthesis targets.  The ``mira`` backend
+is the paper's system and the historical default path; the others are
+calibrated to published studies of comparable systems (see
+``docs/backends.md`` for sources and the adapter contract).
+
+Backends register themselves on import of :mod:`repro.adapters`;
+resolve one with :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bgq.machine import MachineSpec
+from repro.errors import BackendError
+from repro.ras.catalog import Catalog
+from repro.ras.generator import RasGeneratorParams
+from repro.scheduler.workload import DEFAULT_NODE_WEIGHTS, WorkloadParams
+
+__all__ = [
+    "PublishedCalibration",
+    "TraceBackend",
+    "register_backend",
+    "get_backend",
+    "all_backend_names",
+    "all_backends",
+    "midplane_ladder",
+]
+
+
+@dataclass(frozen=True)
+class PublishedCalibration:
+    """Headline numbers from the study a backend is calibrated against.
+
+    These are the targets the synthetic generator aims for, carried
+    along so cross-system experiments (e22) can print measured-vs-
+    published side by side.  ``user_share`` is the fraction of failed
+    jobs attributed to user causes; ``mtti_days`` the job-interruption
+    mean time to interruption; ``failure_rate`` the fraction of jobs
+    that fail.
+    """
+
+    user_share: float
+    mtti_days: float
+    failure_rate: float
+    source: str
+
+    def __post_init__(self):
+        if not 0.0 <= self.user_share <= 1.0:
+            raise ValueError("user_share must be in [0, 1]")
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if self.mtti_days <= 0:
+            raise ValueError("mtti_days must be positive")
+
+
+@dataclass(frozen=True)
+class TraceBackend:
+    """One source system feeding the common columnar tables.
+
+    ``workload_factory``/``ras_factory`` return the calibrated generator
+    parameters, or ``None`` to mean "use the module defaults" (the mira
+    backend does this so its synthesis path stays bit-identical to the
+    pre-backend toolkit).  Factories are called per synthesis so a
+    mutable :class:`~repro.ras.catalog.Catalog` is never shared.
+    """
+
+    name: str
+    title: str
+    spec: MachineSpec
+    published: PublishedCalibration
+    catalog_factory: Callable[[], Catalog]
+    workload_factory: Callable[[], WorkloadParams | None]
+    ras_factory: Callable[[], RasGeneratorParams | None]
+
+    def catalog(self) -> Catalog:
+        """The backend's RAS message catalog."""
+        return self.catalog_factory()
+
+    def workload_params(self) -> WorkloadParams | None:
+        """Calibrated workload parameters (``None`` = module defaults)."""
+        return self.workload_factory()
+
+    def ras_params(self) -> RasGeneratorParams | None:
+        """Calibrated RAS-stream parameters (``None`` = module defaults)."""
+        return self.ras_factory()
+
+
+_BACKENDS: dict[str, TraceBackend] = {}
+
+
+def register_backend(backend: TraceBackend) -> TraceBackend:
+    """Register a backend under its name (import-time side effect)."""
+    if backend.name in _BACKENDS:
+        raise BackendError(f"duplicate backend name {backend.name!r}")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> TraceBackend:
+    """Resolve a backend by name.
+
+    Raises
+    ------
+    BackendError
+        For names no registered backend answers to.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown trace backend {name!r}; known: {', '.join(_BACKENDS)}"
+        ) from None
+
+
+def all_backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order (mira first)."""
+    return tuple(_BACKENDS)
+
+
+def all_backends() -> tuple[TraceBackend, ...]:
+    """All registered backends, in registration order."""
+    return tuple(_BACKENDS.values())
+
+
+def midplane_ladder(
+    spec: MachineSpec,
+    midplanes: tuple[int, ...],
+    weights: tuple[float, ...] | None = None,
+) -> tuple[tuple[int, ...], tuple[float, ...]]:
+    """A job-size ladder as midplane multiples of ``spec``.
+
+    Rungs exceeding the machine are dropped and the weight profile is
+    renormalized onto the surviving rungs, exactly like
+    :meth:`WorkloadParams.scaled_to` does for its default ladder —
+    backends just pick their own rung shape and weight skew.
+    """
+    profile = weights if weights is not None else DEFAULT_NODE_WEIGHTS
+    counts = []
+    for rung in midplanes:
+        nodes = rung * spec.nodes_per_midplane
+        if nodes > spec.n_nodes:
+            break
+        counts.append(nodes)
+    if not counts:
+        counts = [spec.n_nodes]
+    kept = list(profile[: len(counts)])
+    total = sum(kept)
+    if total <= 0:
+        raise ValueError("ladder weights must have positive mass")
+    normalized = tuple(w / total for w in kept)
+    # Absorb float round-off into the last rung so the sum is exact.
+    normalized = normalized[:-1] + (1.0 - sum(normalized[:-1]),)
+    return tuple(counts), normalized

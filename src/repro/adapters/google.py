@@ -1,0 +1,181 @@
+"""Google cluster-trace backend.
+
+Calibrated to the published characterizations of the Google cluster
+workload traces (Bappy et al. 2023, and the Borg trace literature they
+build on): very high job throughput of predominantly *small* jobs,
+short runtimes, a large failure share driven by job-level (user) causes
+— evictions, task crashes, config mistakes — and machine-level faults
+that are individually frequent but rarely the cause of a given job's
+failure.
+
+The geometry is a Borg-cell-sized machine expressed in the BG/Q
+location grammar (the kernels pivot on ``MachineSpec``, not on Mira's
+numbers): ~12k nodes in 96 racks.  "Midplanes" here model failure
+domains (racks' power/network halves), which is what the locality and
+attribution joins actually need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.components import Category, Component
+from repro.bgq.machine import MachineSpec
+from repro.ras.catalog import Catalog, CatalogEntry
+from repro.ras.generator import RasGeneratorParams
+from repro.ras.severity import Severity
+from repro.scheduler.workload import WorkloadParams
+
+from .base import (
+    PublishedCalibration,
+    TraceBackend,
+    midplane_ladder,
+    register_backend,
+)
+
+__all__ = ["GOOGLE", "GOOGLE_BACKEND", "google_catalog"]
+
+GOOGLE = MachineSpec(
+    name="GoogleCell",
+    rack_rows=6,
+    rack_columns=16,
+    midplanes_per_rack=2,
+    node_boards_per_midplane=16,
+    nodes_per_node_board=4,
+    cores_per_node=8,
+)
+"""A Borg-cell-scale machine: 12,288 nodes, 98,304 cores."""
+
+
+def _entry(msg_id, component, category, severity, template, weight=1.0, interrupts=False):
+    return CatalogEntry(
+        msg_id=msg_id,
+        component=component,
+        category=category,
+        severity=severity,
+        template=template,
+        weight=weight,
+        interrupts_jobs=interrupts,
+    )
+
+
+def google_catalog() -> Catalog:
+    """Cluster-manager flavoured catalog (message ids ``01xxxxxx``)."""
+    C, G, S = Component, Category, Severity
+    return Catalog(
+        [
+            # ---- SCHEDULER: cluster manager (0101xxxx) -----------------
+            _entry("01010001", C.SCHEDULER, G.JOB, S.INFO,
+                   "task scheduled on machine {detail}", 45.0),
+            _entry("01010002", C.SCHEDULER, G.JOB, S.INFO,
+                   "task finished, resources reclaimed {detail}", 45.0),
+            _entry("01010003", C.SCHEDULER, G.JOB, S.WARN,
+                   "task evicted for higher-priority work {detail}", 10.0),
+            _entry("01010004", C.SCHEDULER, G.JOB, S.WARN,
+                   "task rescheduled after machine drain {detail}", 4.0),
+            _entry("01010005", C.SCHEDULER, G.SOFTWARE, S.FATAL,
+                   "cell scheduler lost machine lease {detail}", 0.5, interrupts=True),
+            # ---- NODE: per-machine health agent (0102xxxx) -------------
+            _entry("01020001", C.NODE, G.PROCESSOR, S.INFO,
+                   "machine health probe ok {detail}", 30.0),
+            _entry("01020002", C.NODE, G.DDR, S.WARN,
+                   "correctable memory errors above baseline {detail}", 6.0),
+            _entry("01020003", C.NODE, G.PROCESSOR, S.FATAL,
+                   "machine check exception, node removed {detail}", 1.0, interrupts=True),
+            _entry("01020004", C.NODE, G.DDR, S.FATAL,
+                   "uncorrectable DIMM failure on machine {detail}", 0.8, interrupts=True),
+            _entry("01020005", C.NODE, G.SOFTWARE, S.FATAL,
+                   "kernel panic, machine rebooting {detail}", 0.9, interrupts=True),
+            _entry("01020006", C.NODE, G.PROCESSOR, S.WARN,
+                   "thermal throttling engaged {detail}", 3.0),
+            # ---- RUNTIME: container layer (0103xxxx) -------------------
+            _entry("01030001", C.RUNTIME, G.SOFTWARE, S.INFO,
+                   "container image pulled {detail}", 25.0),
+            _entry("01030002", C.RUNTIME, G.SOFTWARE, S.WARN,
+                   "container OOM-killed, limit enforced {detail}", 8.0),
+            _entry("01030003", C.RUNTIME, G.SOFTWARE, S.FATAL,
+                   "containerd unresponsive on machine {detail}", 0.4, interrupts=True),
+            # ---- STORAGE (0104xxxx) ------------------------------------
+            _entry("01040001", C.STORAGE, G.FILESYSTEM, S.INFO,
+                   "chunkserver heartbeat {detail}", 20.0),
+            _entry("01040002", C.STORAGE, G.FILESYSTEM, S.WARN,
+                   "chunkserver slow reads {detail}", 5.0),
+            _entry("01040003", C.STORAGE, G.FILESYSTEM, S.FATAL,
+                   "local disk failed, machine draining {detail}", 0.7, interrupts=True),
+            # ---- FABRIC: datacenter network (0105xxxx) -----------------
+            _entry("01050001", C.FABRIC, G.NETWORK, S.INFO,
+                   "ToR switch telemetry {detail}", 15.0),
+            _entry("01050002", C.FABRIC, G.NETWORK, S.WARN,
+                   "packet discards rising on uplink {detail}", 4.0),
+            _entry("01050003", C.FABRIC, G.NETWORK, S.FATAL,
+                   "ToR switch failure, rack unreachable {detail}", 0.3, interrupts=True),
+            # ---- power domain (0106xxxx) -------------------------------
+            _entry("01060001", C.MC, G.BULK_POWER, S.WARN,
+                   "power domain load imbalance {detail}", 2.0),
+            _entry("01060002", C.MC, G.BULK_POWER, S.FATAL,
+                   "power domain breaker trip {detail}", 0.2, interrupts=True),
+        ]
+    )
+
+
+def google_workload() -> WorkloadParams:
+    """Borg-like workload: huge arrival rate of small, short jobs."""
+    counts, weights = midplane_ladder(
+        GOOGLE,
+        midplanes=(1, 2, 4, 8, 16, 32),
+        weights=(0.50, 0.25, 0.13, 0.07, 0.03, 0.02),
+    )
+    return WorkloadParams(
+        n_users=1500,
+        n_projects=600,
+        arrival_rate_per_day=220.0,
+        zipf_exponent=1.1,
+        base_fail_alpha=0.85,
+        base_fail_beta=2.4,
+        scale_fail_boost=0.22,
+        task_fail_boost=0.10,
+        size_affinity_fail_boost=0.6,
+        timeout_share=0.08,
+        ensemble_probability=0.45,
+        ensemble_mean_tasks=8.0,
+        runtime_log_mean=float(np.log(0.5 * 3600.0)),
+        runtime_log_sigma=1.2,
+        node_counts=counts,
+        node_weights=weights,
+        family_prior=(0.20, 0.12, 0.53, 0.15),
+    )
+
+
+def google_ras() -> RasGeneratorParams:
+    """Frequent machine-level faults: individually small blast radius."""
+    return RasGeneratorParams(
+        info_rate_per_day=400.0,
+        warn_rate_per_day=150.0,
+        incident_rate_per_day=2.2,
+        burst_log_mean=1.6,
+        burst_log_sigma=1.0,
+        fanout_probability=0.15,
+        locality_sigma=0.9,
+        precursor_probability=0.35,
+    )
+
+
+GOOGLE_BACKEND = register_backend(
+    TraceBackend(
+        name="google",
+        title="Google cluster traces (Borg cell)",
+        spec=GOOGLE,
+        published=PublishedCalibration(
+            user_share=0.97,
+            mtti_days=1.2,
+            failure_rate=0.35,
+            source=(
+                "Bappy et al. 2023 (arXiv:2308.02358) — failure "
+                "characterization of the Google cluster traces"
+            ),
+        ),
+        catalog_factory=google_catalog,
+        workload_factory=google_workload,
+        ras_factory=google_ras,
+    )
+)

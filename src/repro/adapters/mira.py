@@ -1,0 +1,37 @@
+"""The Mira backend: the paper's system, and the historical default.
+
+Both parameter factories return ``None`` — the dataset synthesizer then
+uses the module defaults of :class:`~repro.scheduler.workload.WorkloadParams`
+and :class:`~repro.ras.generator.RasGeneratorParams`, which keeps every
+``backend="mira"`` synthesis bit-identical to the pre-backend toolkit
+(same RNG streams, same cache fingerprints).
+"""
+
+from __future__ import annotations
+
+from repro.bgq.machine import MIRA
+from repro.ras.catalog import default_catalog
+
+from .base import PublishedCalibration, TraceBackend, register_backend
+
+__all__ = ["MIRA_BACKEND"]
+
+MIRA_BACKEND = register_backend(
+    TraceBackend(
+        name="mira",
+        title="Mira (IBM Blue Gene/Q, ALCF)",
+        spec=MIRA,
+        published=PublishedCalibration(
+            user_share=0.994,
+            mtti_days=3.5,
+            failure_rate=0.25,
+            source=(
+                "Di et al., DSN'19 — Characterizing and Understanding HPC "
+                "Job Failures over the 2K-day Life of IBM BlueGene/Q System"
+            ),
+        ),
+        catalog_factory=default_catalog,
+        workload_factory=lambda: None,
+        ras_factory=lambda: None,
+    )
+)

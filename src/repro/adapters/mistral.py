@@ -1,0 +1,169 @@
+"""Mistral (DKRZ) HPC backend.
+
+Calibrated to the published log study of the Mistral supercomputer at
+the German Climate Computing Center (Zasadziński et al.,
+arXiv:1801.07624): a mid-size bullx/Slurm cluster running climate
+workloads — long-running, moderately sized MPI jobs, a *low* overall
+failure rate dominated by user-side configuration and application
+errors, and comparatively rare hardware incidents (hence a
+job-interruption MTTI between Mira's and a hyperscale cell's).
+
+Geometry: 33 racks of 100 nodes each (two 50-node "midplanes" — the
+Slurm topology switch groups), 36 cores per node ≈ the real machine's
+~3,300 nodes / ~100k cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.components import Category, Component
+from repro.bgq.machine import MachineSpec
+from repro.ras.catalog import Catalog, CatalogEntry
+from repro.ras.generator import RasGeneratorParams
+from repro.ras.severity import Severity
+from repro.scheduler.workload import WorkloadParams
+
+from .base import (
+    PublishedCalibration,
+    TraceBackend,
+    midplane_ladder,
+    register_backend,
+)
+
+__all__ = ["MISTRAL", "MISTRAL_BACKEND", "mistral_catalog"]
+
+MISTRAL = MachineSpec(
+    name="Mistral",
+    rack_rows=3,
+    rack_columns=11,
+    midplanes_per_rack=2,
+    node_boards_per_midplane=10,
+    nodes_per_node_board=5,
+    cores_per_node=36,
+)
+"""A bullx-cluster-scale machine: 3,300 nodes, 118,800 cores."""
+
+
+def _entry(msg_id, component, category, severity, template, weight=1.0, interrupts=False):
+    return CatalogEntry(
+        msg_id=msg_id,
+        component=component,
+        category=category,
+        severity=severity,
+        template=template,
+        weight=weight,
+        interrupts_jobs=interrupts,
+    )
+
+
+def mistral_catalog() -> Catalog:
+    """Slurm/syslog flavoured catalog (message ids ``02xxxxxx``)."""
+    C, G, S = Component, Category, Severity
+    return Catalog(
+        [
+            # ---- SCHEDULER: Slurm (0201xxxx) ---------------------------
+            _entry("02010001", C.SCHEDULER, G.JOB, S.INFO,
+                   "sbatch job allocated nodes {detail}", 40.0),
+            _entry("02010002", C.SCHEDULER, G.JOB, S.INFO,
+                   "job epilog complete {detail}", 40.0),
+            _entry("02010003", C.SCHEDULER, G.JOB, S.WARN,
+                   "node set DRAINING by health check {detail}", 5.0),
+            _entry("02010004", C.SCHEDULER, G.SOFTWARE, S.FATAL,
+                   "slurmctld lost contact with node, job requeue-hold {detail}",
+                   0.6, interrupts=True),
+            # ---- NODE: syslog / BMC (0202xxxx) -------------------------
+            _entry("02020001", C.NODE, G.PROCESSOR, S.INFO,
+                   "node health check passed {detail}", 25.0),
+            _entry("02020002", C.NODE, G.DDR, S.WARN,
+                   "EDAC corrected memory errors {detail}", 7.0),
+            _entry("02020003", C.NODE, G.DDR, S.FATAL,
+                   "EDAC uncorrectable error, panic {detail}", 1.0, interrupts=True),
+            _entry("02020004", C.NODE, G.PROCESSOR, S.FATAL,
+                   "MCE hardware error, node down {detail}", 0.8, interrupts=True),
+            _entry("02020005", C.NODE, G.SOFTWARE, S.WARN,
+                   "OOM killer invoked on compute node {detail}", 6.0),
+            # ---- STORAGE: Lustre (0203xxxx) ----------------------------
+            _entry("02030001", C.STORAGE, G.FILESYSTEM, S.INFO,
+                   "lustre client reconnected {detail}", 20.0),
+            _entry("02030002", C.STORAGE, G.FILESYSTEM, S.WARN,
+                   "lustre slow IO, request queue deep {detail}", 8.0),
+            _entry("02030003", C.STORAGE, G.FILESYSTEM, S.FATAL,
+                   "OST unavailable, client evicted {detail}", 1.2, interrupts=True),
+            # ---- FABRIC: InfiniBand (0204xxxx) -------------------------
+            _entry("02040001", C.FABRIC, G.NETWORK, S.INFO,
+                   "IB port counters sampled {detail}", 15.0),
+            _entry("02040002", C.FABRIC, G.NETWORK, S.WARN,
+                   "IB symbol errors above threshold {detail}", 4.0),
+            _entry("02040003", C.FABRIC, G.NETWORK, S.FATAL,
+                   "IB link down, switch reroute failed {detail}", 0.5, interrupts=True),
+            # ---- facility (0205xxxx) -----------------------------------
+            _entry("02050001", C.MC, G.COOLANT, S.WARN,
+                   "rack coolant temperature high {detail}", 2.0),
+            _entry("02050002", C.MC, G.BULK_POWER, S.FATAL,
+                   "rack PDU failure {detail}", 0.2, interrupts=True),
+        ]
+    )
+
+
+def mistral_workload() -> WorkloadParams:
+    """Climate workloads: long, mid-size jobs; low failure propensity."""
+    counts, weights = midplane_ladder(
+        MISTRAL,
+        midplanes=(1, 2, 4, 8, 16, 32, 64),
+        weights=(0.30, 0.24, 0.18, 0.12, 0.08, 0.05, 0.03),
+    )
+    return WorkloadParams(
+        n_users=450,
+        n_projects=160,
+        arrival_rate_per_day=60.0,
+        zipf_exponent=0.9,
+        base_fail_alpha=0.4,
+        base_fail_beta=4.2,
+        scale_fail_boost=0.12,
+        task_fail_boost=0.10,
+        size_affinity_fail_boost=0.5,
+        timeout_share=0.10,
+        ensemble_probability=0.35,
+        ensemble_mean_tasks=5.0,
+        runtime_log_mean=float(np.log(1.5 * 3600.0)),
+        runtime_log_sigma=1.0,
+        node_counts=counts,
+        node_weights=weights,
+        family_prior=(0.15, 0.10, 0.25, 0.50),
+    )
+
+
+def mistral_ras() -> RasGeneratorParams:
+    """Rare hardware incidents; Lustre-heavy warning background."""
+    return RasGeneratorParams(
+        info_rate_per_day=200.0,
+        warn_rate_per_day=90.0,
+        incident_rate_per_day=1.3,
+        burst_log_mean=2.0,
+        burst_log_sigma=1.2,
+        fanout_probability=0.25,
+        locality_sigma=1.0,
+        precursor_probability=0.45,
+    )
+
+
+MISTRAL_BACKEND = register_backend(
+    TraceBackend(
+        name="mistral",
+        title="Mistral (bullx/Slurm, DKRZ)",
+        spec=MISTRAL,
+        published=PublishedCalibration(
+            user_share=0.96,
+            mtti_days=2.0,
+            failure_rate=0.12,
+            source=(
+                "Zasadziński et al. (arXiv:1801.07624) — log-based failure "
+                "analysis of the Mistral supercomputer at DKRZ"
+            ),
+        ),
+        catalog_factory=mistral_catalog,
+        workload_factory=mistral_workload,
+        ras_factory=mistral_ras,
+    )
+)

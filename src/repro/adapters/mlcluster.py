@@ -1,0 +1,169 @@
+"""ML training-cluster backend (GPU superpod).
+
+Calibrated to the published characterization of large ML training
+infrastructure (Kokolis et al., arXiv:2410.21680, Meta's Llama-training
+clusters, plus the ByteDance/MLaaS literature): gang-scheduled
+multi-node training jobs where *hardware* matters again — GPU ECC/XID
+errors, NVLink/fabric flaps, and host failures interrupt long synchronous
+jobs, so the system-caused share of failures is an order of magnitude
+above any CPU system and the job-interruption MTTI is measured in hours,
+not days.
+
+Geometry: 24 racks × 2 "midplanes" (scalable units) × 64 hosts ≈ 3,072
+hosts; ``cores_per_node=8`` models the 8 accelerators per host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.components import Category, Component
+from repro.bgq.machine import MachineSpec
+from repro.ras.catalog import Catalog, CatalogEntry
+from repro.ras.generator import RasGeneratorParams
+from repro.ras.severity import Severity
+from repro.scheduler.workload import WorkloadParams
+
+from .base import (
+    PublishedCalibration,
+    TraceBackend,
+    midplane_ladder,
+    register_backend,
+)
+
+__all__ = ["MLCLUSTER", "MLCLUSTER_BACKEND", "mlcluster_catalog"]
+
+MLCLUSTER = MachineSpec(
+    name="MLCluster",
+    rack_rows=2,
+    rack_columns=12,
+    midplanes_per_rack=2,
+    node_boards_per_midplane=8,
+    nodes_per_node_board=8,
+    cores_per_node=8,
+)
+"""A GPU-superpod-scale machine: 3,072 hosts, 24,576 accelerators."""
+
+
+def _entry(msg_id, component, category, severity, template, weight=1.0, interrupts=False):
+    return CatalogEntry(
+        msg_id=msg_id,
+        component=component,
+        category=category,
+        severity=severity,
+        template=template,
+        weight=weight,
+        interrupts_jobs=interrupts,
+    )
+
+
+def mlcluster_catalog() -> Catalog:
+    """GPU-fleet flavoured catalog (message ids ``03xxxxxx``)."""
+    C, G, S = Component, Category, Severity
+    return Catalog(
+        [
+            # ---- GPU: driver/XID stack (0301xxxx) ----------------------
+            _entry("03010001", C.GPU, G.GPU, S.INFO,
+                   "accelerator telemetry sample {detail}", 35.0),
+            _entry("03010002", C.GPU, G.GPU, S.WARN,
+                   "GPU ECC corrected errors rising {detail}", 8.0),
+            _entry("03010003", C.GPU, G.GPU, S.FATAL,
+                   "GPU XID uncorrectable ECC error, device lost {detail}",
+                   2.0, interrupts=True),
+            _entry("03010004", C.GPU, G.GPU, S.FATAL,
+                   "GPU fell off the bus {detail}", 1.2, interrupts=True),
+            _entry("03010005", C.GPU, G.GPU, S.WARN,
+                   "GPU thermal slowdown engaged {detail}", 5.0),
+            # ---- FABRIC: NVLink/IB backend network (0302xxxx) ----------
+            _entry("03020001", C.FABRIC, G.NETWORK, S.INFO,
+                   "NCCL ring established {detail}", 20.0),
+            _entry("03020002", C.FABRIC, G.NETWORK, S.WARN,
+                   "NVLink replay errors detected {detail}", 6.0),
+            _entry("03020003", C.FABRIC, G.NETWORK, S.FATAL,
+                   "backend fabric link flap, collective timed out {detail}",
+                   1.5, interrupts=True),
+            # ---- NODE: host health (0303xxxx) --------------------------
+            _entry("03030001", C.NODE, G.PROCESSOR, S.INFO,
+                   "host health probe ok {detail}", 20.0),
+            _entry("03030002", C.NODE, G.DDR, S.WARN,
+                   "host corrected DIMM errors {detail}", 4.0),
+            _entry("03030003", C.NODE, G.PROCESSOR, S.FATAL,
+                   "host hang, gang member unreachable {detail}", 1.0, interrupts=True),
+            # ---- SCHEDULER: training orchestrator (0304xxxx) -----------
+            _entry("03040001", C.SCHEDULER, G.JOB, S.INFO,
+                   "training job gang-scheduled {detail}", 25.0),
+            _entry("03040002", C.SCHEDULER, G.JOB, S.WARN,
+                   "checkpoint-restore initiated after interruption {detail}", 6.0),
+            _entry("03040003", C.SCHEDULER, G.SOFTWARE, S.FATAL,
+                   "orchestrator preempted gang for hardware remediation {detail}",
+                   0.8, interrupts=True),
+            # ---- STORAGE: checkpoint store (0305xxxx) ------------------
+            _entry("03050001", C.STORAGE, G.FILESYSTEM, S.WARN,
+                   "checkpoint write latency degraded {detail}", 5.0),
+            _entry("03050002", C.STORAGE, G.FILESYSTEM, S.FATAL,
+                   "checkpoint store unavailable {detail}", 0.5, interrupts=True),
+        ]
+    )
+
+
+def mlcluster_workload() -> WorkloadParams:
+    """Gang-scheduled training: fewer, larger, longer jobs."""
+    counts, weights = midplane_ladder(
+        MLCLUSTER,
+        midplanes=(1, 2, 4, 8, 16, 32),
+        weights=(0.14, 0.18, 0.24, 0.24, 0.14, 0.06),
+    )
+    return WorkloadParams(
+        n_users=180,
+        n_projects=60,
+        arrival_rate_per_day=22.0,
+        zipf_exponent=0.85,
+        base_fail_alpha=0.6,
+        base_fail_beta=3.0,
+        scale_fail_boost=0.16,
+        task_fail_boost=0.10,
+        size_affinity_fail_boost=0.6,
+        timeout_share=0.06,
+        ensemble_probability=0.25,
+        ensemble_mean_tasks=4.0,
+        runtime_log_mean=float(np.log(3.0 * 3600.0)),
+        runtime_log_sigma=0.9,
+        node_counts=counts,
+        node_weights=weights,
+        family_prior=(0.32, 0.38, 0.22, 0.08),
+    )
+
+
+def mlcluster_ras() -> RasGeneratorParams:
+    """Frequent hardware incidents: GPU/fabric faults dominate."""
+    return RasGeneratorParams(
+        info_rate_per_day=350.0,
+        warn_rate_per_day=120.0,
+        incident_rate_per_day=9.0,
+        burst_log_mean=1.8,
+        burst_log_sigma=1.1,
+        fanout_probability=0.30,
+        locality_sigma=1.0,
+        precursor_probability=0.55,
+    )
+
+
+MLCLUSTER_BACKEND = register_backend(
+    TraceBackend(
+        name="mlcluster",
+        title="ML training cluster (GPU superpod)",
+        spec=MLCLUSTER,
+        published=PublishedCalibration(
+            user_share=0.60,
+            mtti_days=0.3,
+            failure_rate=0.40,
+            source=(
+                "Kokolis et al. (arXiv:2410.21680) — revisiting reliability "
+                "in large-scale ML training clusters (Meta)"
+            ),
+        ),
+        catalog_factory=mlcluster_catalog,
+        workload_factory=mlcluster_workload,
+        ras_factory=mlcluster_ras,
+    )
+)

@@ -20,7 +20,13 @@ __all__ = ["Component", "Category", "CATEGORY_LEVELS", "category_level"]
 
 
 class Component(Enum):
-    """RAS reporting component (who detected/raised the event)."""
+    """RAS reporting component (who detected/raised the event).
+
+    The first group is the BG/Q control-system vocabulary used by the
+    paper; the second group generalizes it for non-Mira trace backends
+    (:mod:`repro.adapters`), whose logs attribute events to cluster
+    managers, node agents, fabrics, storage, and accelerators instead.
+    """
 
     CNK = "CNK"  # compute node kernel
     MC = "MC"  # machine controller
@@ -30,6 +36,13 @@ class Component(Enum):
     DIAGS = "DIAGS"
     CTRLNET = "CTRLNET"  # control network
     MUDM = "MUDM"  # messaging unit device driver
+    # Cross-system components (non-Mira backends).
+    SCHEDULER = "SCHEDULER"  # cluster manager / batch scheduler
+    NODE = "NODE"  # per-node health agent
+    RUNTIME = "RUNTIME"  # user-space runtime / container layer
+    STORAGE = "STORAGE"  # parallel/distributed filesystem
+    FABRIC = "FABRIC"  # interconnect fabric manager
+    GPU = "GPU"  # accelerator driver/stack
 
 
 class Category(Enum):
@@ -47,6 +60,10 @@ class Category(Enum):
     CLOCK = "Clock"
     SOFTWARE = "Software"  # kernel/control-system software
     JOB = "Job"  # job-lifecycle events raised by the control system
+    # Cross-system categories (non-Mira backends).
+    NETWORK = "Network"  # generic interconnect (non-torus fabrics)
+    GPU = "GPU"  # accelerator hardware (ECC, XID, thermal)
+    FILESYSTEM = "Filesystem"  # storage-side faults
 
 
 CATEGORY_LEVELS: dict[Category, Level] = {
@@ -62,6 +79,9 @@ CATEGORY_LEVELS: dict[Category, Level] = {
     Category.CLOCK: Level.RACK,
     Category.SOFTWARE: Level.COMPUTE_CARD,
     Category.JOB: Level.MIDPLANE,
+    Category.NETWORK: Level.MIDPLANE,
+    Category.GPU: Level.COMPUTE_CARD,
+    Category.FILESYSTEM: Level.MIDPLANE,
 }
 """The location granularity at which each category's events occur."""
 

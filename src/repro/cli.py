@@ -50,6 +50,8 @@ __all__ = [
 
 
 def _add_synth_args(parser: argparse.ArgumentParser) -> None:
+    from repro.adapters import all_backend_names
+
     parser.add_argument(
         "--days", type=float, default=90.0, help="observation span in days"
     )
@@ -60,6 +62,13 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="fleet replication factor: synthesize N systems' worth of "
         "load on an N-fold machine (synthesis only; 1 = plain Mira)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=all_backend_names(),
+        default="mira",
+        help="trace backend to synthesize from (synthesis only; "
+        "see docs/backends.md)",
     )
 
 
@@ -74,6 +83,13 @@ def _add_lenient_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="abort a lenient load after this many quarantined rows",
+    )
+    parser.add_argument(
+        "--assume-mira",
+        action="store_true",
+        help="with --lenient: load a dataset whose meta.jsonl is missing "
+        "or unreadable by assuming the Mira machine geometry, instead of "
+        "refusing to guess",
     )
 
 
@@ -108,6 +124,7 @@ def _load_or_synthesize(args) -> MiraDataset:
             args.dataset,
             lenient=getattr(args, "lenient", False),
             max_bad_rows=getattr(args, "max_bad_rows", None),
+            assume_mira=getattr(args, "assume_mira", False),
             cache=cache,
             refresh_cache=refresh,
             mode=mode,
@@ -119,6 +136,7 @@ def _load_or_synthesize(args) -> MiraDataset:
         refresh_cache=refresh,
         mode=mode,
         scale=getattr(args, "scale", 1),
+        backend=getattr(args, "backend", "mira"),
     )
 
 
@@ -139,6 +157,8 @@ def main_gen(argv: list[str] | None = None) -> int:
         seed=args.seed,
         cache=not args.no_cache,
         refresh_cache=args.refresh_cache,
+        scale=args.scale,
+        backend=args.backend,
     )
     if not args.no_validate:
         validate_dataset(dataset)
@@ -153,7 +173,7 @@ def main_gen(argv: list[str] | None = None) -> int:
 
 
 def main_analyze(argv: list[str] | None = None) -> int:
-    """Run one experiment (e01..e21) and print its tables."""
+    """Run one experiment (e01..e22) and print its tables."""
     from repro.experiments import all_experiments, run_experiment
 
     parser = argparse.ArgumentParser(
@@ -360,8 +380,10 @@ def main_report(argv: list[str] | None = None) -> int:
                 days=config.get("days", 90.0),
                 seed=config.get("seed", 0),
                 scale=config.get("scale", 1),
+                backend=config.get("backend", "mira"),
                 lenient=config.get("lenient", False),
                 max_bad_rows=config.get("max_bad_rows"),
+                assume_mira=config.get("assume_mira", False),
                 no_cache=args.no_cache,
                 refresh_cache=args.refresh_cache,
                 mode=args.mode,
@@ -372,6 +394,7 @@ def main_report(argv: list[str] | None = None) -> int:
                 replay_args.days,
                 replay_args.seed,
                 scale=replay_args.scale,
+                backend=replay_args.backend,
             )
             if fingerprint != state.fingerprint:
                 raise JournalError(
@@ -386,7 +409,11 @@ def main_report(argv: list[str] | None = None) -> int:
         else:
             dataset = _load_or_synthesize(args)
             fingerprint = fingerprint_for_run(
-                args.dataset, args.days, args.seed, scale=args.scale
+                args.dataset,
+                args.days,
+                args.seed,
+                scale=args.scale,
+                backend=args.backend,
             )
             if not args.no_journal:
                 journal = RunJournal.start(
@@ -398,8 +425,10 @@ def main_report(argv: list[str] | None = None) -> int:
                         "days": args.days,
                         "seed": args.seed,
                         "scale": args.scale,
+                        "backend": args.backend,
                         "lenient": args.lenient,
                         "max_bad_rows": args.max_bad_rows,
+                        "assume_mira": args.assume_mira,
                         "experiments": args.experiments,
                         "jobs": args.jobs,
                         "timeout": args.timeout,

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bgq.location import Location
-from repro.bgq.machine import MIRA, MachineSpec
+from repro.bgq.machine import MachineSpec
 from repro.stats import pearson, spearman
 from repro.table import Table
 from repro.table.column import factorize
@@ -163,7 +163,7 @@ def _parse_unique_spans(
 
 
 def event_midplane_spans(
-    locations, spec: MachineSpec = MIRA
+    locations, spec: MachineSpec
 ) -> tuple[np.ndarray, np.ndarray]:
     """Midplane coverage of each location code as ``(first, count)`` arrays.
 
@@ -180,7 +180,7 @@ def event_midplane_spans(
     return first[codes], count[codes]
 
 
-def event_midplanes(locations, spec: MachineSpec = MIRA) -> list[tuple[int, ...]]:
+def event_midplanes(locations, spec: MachineSpec) -> list[tuple[int, ...]]:
     """Midplane indices covered by each location code, as tuples.
 
     Compatibility wrapper around :func:`event_midplane_spans` for
@@ -253,7 +253,7 @@ class _JobIntervalIndex:
 
 
 def map_events_to_jobs(
-    ras: Table, jobs: Table, spec: MachineSpec = MIRA
+    ras: Table, jobs: Table, spec: MachineSpec
 ) -> np.ndarray:
     """Map each RAS event to the job it affected (or :data:`NO_JOB`).
 
@@ -313,7 +313,7 @@ def map_events_to_jobs(
 
 
 def attribute_failures(
-    jobs: Table, fatal_events: Table, spec: MachineSpec = MIRA
+    jobs: Table, fatal_events: Table, spec: MachineSpec
 ) -> Table:
     """Classify each failed job as user- or system-caused.
 
@@ -348,7 +348,7 @@ def attribution_summary(attributed_failures: Table) -> dict[str, float]:
 
 
 def events_per_user(
-    ras: Table, jobs: Table, spec: MachineSpec = MIRA
+    ras: Table, jobs: Table, spec: MachineSpec
 ) -> tuple[Table, dict[str, float]]:
     """Per-user event exposure versus core-hours (E14).
 

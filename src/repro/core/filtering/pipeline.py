@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.bgq.location import Level
-from repro.bgq.machine import MIRA, MachineSpec
+from repro.bgq.machine import MachineSpec
 from repro.table import Table
 
 from .similarity import similarity_filter
@@ -80,7 +80,8 @@ def default_pipeline(
     similarity_window: float = 3600.0,
     similarity_threshold: float = 0.5,
     spatial_level: Level = Level.MIDPLANE,
-    spec: MachineSpec = MIRA,
+    *,
+    spec: MachineSpec,
 ) -> FilterPipeline:
     """The paper's three-stage filter: temporal → spatial → similarity."""
     return FilterPipeline(

@@ -10,7 +10,7 @@ by default) — the second of the paper's filtering stages.
 from __future__ import annotations
 
 from repro.bgq.location import Level, Location
-from repro.bgq.machine import MIRA, MachineSpec
+from repro.bgq.machine import MachineSpec
 from repro.table import Table
 
 from .temporal import CLUSTER_COLUMNS
@@ -32,7 +32,8 @@ def spatial_filter(
     clusters: Table,
     window_seconds: float = 3600.0,
     level: Level = Level.MIDPLANE,
-    spec: MachineSpec = MIRA,
+    *,
+    spec: MachineSpec,
 ) -> Table:
     """Merge same-message clusters inside one ``level`` unit and window.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bgq.machine import MIRA, MachineSpec
+from repro.bgq.machine import MachineSpec
 from repro.core.attribution import event_midplane_spans
 from repro.stats import gini
 from repro.table import Table
@@ -19,7 +19,7 @@ from repro.table import Table
 __all__ = ["counts_by_midplane", "locality_metrics", "hot_midplanes"]
 
 
-def counts_by_midplane(events: Table, spec: MachineSpec = MIRA) -> np.ndarray:
+def counts_by_midplane(events: Table, spec: MachineSpec) -> np.ndarray:
     """Event count per global midplane index (rack events count on each
     midplane of the rack)."""
     first, count = event_midplane_spans(events["location"], spec)
@@ -67,7 +67,7 @@ def locality_metrics(counts: np.ndarray) -> dict[str, float]:
 
 
 def hot_midplanes(
-    events: Table, spec: MachineSpec = MIRA, k: int = 10
+    events: Table, spec: MachineSpec, k: int = 10
 ) -> Table:
     """The k midplanes with the most events (heatmap top rows)."""
     from repro.bgq.location import Location

@@ -20,7 +20,7 @@ from bisect import bisect_left, bisect_right
 import numpy as np
 
 from repro.bgq.location import Level, Location
-from repro.bgq.machine import MIRA, MachineSpec
+from repro.bgq.machine import MachineSpec
 from repro.table import Table
 
 __all__ = ["precursor_coverage", "alarm_quality"]
@@ -47,7 +47,8 @@ def precursor_coverage(
     fatal_clusters: Table,
     lookback_seconds: float = 7200.0,
     level: Level = Level.MIDPLANE,
-    spec: MachineSpec = MIRA,
+    *,
+    spec: MachineSpec,
 ) -> tuple[dict[str, float], np.ndarray]:
     """Fraction of fatal clusters with a same-unit WARN precursor.
 
@@ -100,7 +101,8 @@ def alarm_quality(
     fatal_clusters: Table,
     horizon_seconds: float = 7200.0,
     level: Level = Level.MIDPLANE,
-    spec: MachineSpec = MIRA,
+    *,
+    spec: MachineSpec,
 ) -> dict[str, float]:
     """Precision/recall of "WARN at unit ⇒ fatal within horizon".
 
@@ -129,7 +131,7 @@ def alarm_quality(
         if index < len(times) and times[index] - timestamp <= horizon_seconds:
             true_positive += 1
     coverage, _ = precursor_coverage(
-        warn_events, fatal_clusters, horizon_seconds, level, spec
+        warn_events, fatal_clusters, horizon_seconds, level, spec=spec
     )
     return {
         "n_alarms": n_alarms,

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bgq.machine import MIRA, MachineSpec
+from repro.bgq.machine import MachineSpec
 from repro.table import Table
 
 from .attribution import NO_JOB, map_events_to_jobs
@@ -66,7 +66,7 @@ def job_interruption_mtti(
     clusters: Table,
     jobs: Table,
     span_days: float,
-    spec: MachineSpec = MIRA,
+    spec: MachineSpec,
 ) -> ReliabilityReport:
     """Job-interruption MTTI: only clusters that hit a running job count.
 

@@ -77,7 +77,8 @@ __all__ = [
 
 #: Bump whenever the dataset schemas or the cached-bundle layout change;
 #: old entries then miss on fingerprint and are pruned on the next store.
-SCHEMA_VERSION = 1
+#: v2: bundle meta carries the trace backend name.
+SCHEMA_VERSION = 2
 
 #: Files that participate in a dataset directory's fingerprint (the
 #: cache subdirectory itself never does).
@@ -126,15 +127,21 @@ def fingerprint_directory(directory: str | Path) -> str:
 
 
 def fingerprint_synthesis(
-    spec: MachineSpec, n_days: float, seed: int, scale: float = 1.0
+    spec: MachineSpec,
+    n_days: float,
+    seed: int,
+    scale: float = 1.0,
+    backend: str = "mira",
 ) -> str:
     """Fingerprint of a parameter-free synthesis request.
 
-    ``scale`` is the fleet replication factor of
-    :meth:`~repro.dataset.mira.MiraDataset.synthesize`; the default
-    ``1.0`` is deliberately left out of the hash so every fingerprint
-    minted before the knob existed stays valid.  ``spec`` is always the
-    *base* machine — the fleet spec is derived from ``(spec, scale)``.
+    ``scale`` is the fleet replication factor and ``backend`` the trace
+    backend of :meth:`~repro.dataset.mira.MiraDataset.synthesize`; their
+    defaults (``1.0`` / ``"mira"``) are deliberately left out of the
+    hash so every fingerprint minted before each knob existed stays
+    valid.  ``spec`` is always the *base* machine — the fleet spec is
+    derived from ``(spec, scale)``, and a non-mira backend pins its own
+    spec.
     """
     digest = _versioned_hasher()
     digest.update(
@@ -147,6 +154,8 @@ def fingerprint_synthesis(
     )
     if scale != 1.0:
         digest.update(f"scale={scale!r};".encode())
+    if backend != "mira":
+        digest.update(f"backend={backend};".encode())
     return digest.hexdigest()
 
 
@@ -156,6 +165,7 @@ def fingerprint_for_run(
     seed: int,
     spec: MachineSpec = MIRA,
     scale: float = 1.0,
+    backend: str = "mira",
 ) -> str:
     """Fingerprint identifying a report run's input dataset.
 
@@ -169,7 +179,11 @@ def fingerprint_for_run(
     """
     if dataset_dir:
         return fingerprint_directory(dataset_dir)
-    return fingerprint_synthesis(spec, n_days, seed, scale)
+    if backend != "mira":
+        from repro.adapters import get_backend
+
+        spec = get_backend(backend).spec
+    return fingerprint_synthesis(spec, n_days, seed, scale, backend)
 
 
 def dataset_cache_path(directory: str | Path, fingerprint: str) -> Path:

@@ -23,7 +23,12 @@ from repro.darshan import (
     io_to_table,
     validate_io_table,
 )
-from repro.errors import DatasetError, ParseError, QuarantineOverflowError
+from repro.errors import (
+    BackendError,
+    DatasetError,
+    ParseError,
+    QuarantineOverflowError,
+)
 from repro.ingest import ParseReport
 from repro.ras import (
     RAS_SCHEMA,
@@ -112,8 +117,35 @@ def _fleet_spec(spec: MachineSpec, k: int) -> MachineSpec:
     return replace(spec, name=f"{spec.name}x{k}", rack_rows=rows)
 
 
+_SPEC_META_FIELDS = (
+    "spec_name",
+    "rack_rows",
+    "rack_columns",
+    "midplanes_per_rack",
+    "node_boards_per_midplane",
+    "nodes_per_node_board",
+    "cores_per_node",
+)
+
+
 def _spec_from_meta(meta: dict) -> MachineSpec:
-    """Rebuild the machine spec from a ``meta.jsonl`` record."""
+    """Rebuild the machine spec from a ``meta.jsonl`` record.
+
+    Raises
+    ------
+    DatasetError
+        When the record lacks machine-spec fields.  Guessing a geometry
+        here would silently run every location/attribution kernel
+        against the wrong machine — callers that *want* a fallback must
+        opt in explicitly (``assume_mira``).
+    """
+    missing = [f for f in _SPEC_META_FIELDS if f not in meta]
+    if missing:
+        raise DatasetError(
+            f"meta.jsonl lacks machine-spec fields {missing}; re-export "
+            "the dataset, or load leniently with assume_mira=True "
+            "(--assume-mira) to force Mira geometry"
+        )
     return MachineSpec(
         name=meta["spec_name"],
         rack_rows=meta["rack_rows"],
@@ -158,6 +190,9 @@ class MiraDataset:
     #: Lenient-load quarantine/degradation record; ``None`` after a
     #: strict load or synthesis.
     ingestion: ParseReport | None = None
+    #: Trace backend this dataset came from (see :mod:`repro.adapters`);
+    #: drives schema/catalog validation and cross-system experiments.
+    backend: str = "mira"
 
     # ------------------------------------------------------------------
     # synthesis
@@ -178,6 +213,7 @@ class MiraDataset:
         refresh_cache: bool = False,
         mode: str = "ram",
         scale: float = 1.0,
+        backend: str = "mira",
     ) -> "MiraDataset":
         """Generate a complete, internally consistent synthetic dataset.
 
@@ -200,6 +236,14 @@ class MiraDataset:
         for bit — the default RNG streams are untouched.  Explicit
         ``workload_params`` are used as given, not auto-rescaled.
 
+        ``backend`` selects the trace backend (:mod:`repro.adapters`):
+        a non-``mira`` backend supplies its own machine spec, RAS
+        catalog, and calibrated generator parameters — ``spec`` and
+        ``scale`` cannot be combined with it, while explicit ``*_params``
+        still win over the backend calibration (and disable caching, as
+        always).  ``backend="mira"`` is the exact historical pipeline,
+        bit for bit.
+
         ``mode="mmap"`` additionally materializes the cached bundle as
         a page-aligned columnar arena (:mod:`repro.table.arena`) and
         returns tables backed by read-only memory maps: loading is
@@ -215,6 +259,22 @@ class MiraDataset:
                 "scale must be a positive integer (fleet replication "
                 f"factor), got {scale!r}"
             )
+        backend_obj = None
+        if backend != "mira":
+            from repro.adapters import get_backend
+
+            backend_obj = get_backend(backend)  # raises BackendError
+            if spec is not MIRA:
+                raise ValueError(
+                    f"backend {backend!r} supplies its own machine spec; "
+                    "pass spec only with backend='mira'"
+                )
+            if scale != 1.0:
+                raise ValueError(
+                    "the scale (fleet replication) knob supports only "
+                    f"the mira backend, got backend={backend!r}"
+                )
+            spec = backend_obj.spec
         with trace_span("dataset.synthesize", n_days=n_days, seed=seed):
             # Cacheability is decided *before* the scale knob rewrites
             # workload_params: a scaled parameter-free synthesis is still
@@ -238,7 +298,9 @@ class MiraDataset:
                 )
             cache_path = arena_path = None
             if cacheable:
-                fingerprint = _cache.fingerprint_synthesis(spec, n_days, seed, scale)
+                fingerprint = _cache.fingerprint_synthesis(
+                    spec, n_days, seed, scale, backend
+                )
                 cache_path = _cache.synthesis_cache_path(fingerprint)
                 if mode == "mmap":
                     arena_path = _cache.synthesis_arena_path(fingerprint)
@@ -279,9 +341,19 @@ class MiraDataset:
                         base_sched,
                         backfill_depth=base_sched.backfill_depth * k,
                     )
+            catalog = None
+            if backend_obj is not None:
+                # Backend calibration fills whatever the caller left to
+                # defaults; explicit *_params still win (and are already
+                # uncacheable, so the fingerprint stays backend-pure).
+                if workload_params is None:
+                    workload_params = backend_obj.workload_params()
+                if ras_params is None:
+                    ras_params = backend_obj.ras_params()
+                catalog = backend_obj.catalog()
             with trace_span("synth.ras"):
                 ras_table, incidents = RasGenerator(
-                    spec=spec, params=ras_params, seed=seed
+                    spec=spec, catalog=catalog, params=ras_params, seed=seed
                 ).generate(n_days)
             with trace_span("synth.workload"):
                 intents = WorkloadModel(
@@ -313,6 +385,7 @@ class MiraDataset:
                 tasks=tasks_table,
                 io=io_table,
                 incidents=incidents,
+                backend=backend,
             )
             if cache_path is not None:
                 _cache.store_bundle(
@@ -362,6 +435,7 @@ class MiraDataset:
             "cores_per_node": self.spec.cores_per_node,
             "n_days": self.n_days,
             "seed": self.seed,
+            "backend": self.backend,
         }
 
     def _incident_rows(self) -> list[dict]:
@@ -431,6 +505,7 @@ class MiraDataset:
             spec=_spec_from_meta(meta),
             n_days=float(meta["n_days"]),
             seed=int(meta["seed"]),
+            backend=str(meta.get("backend", "mira")),
             incidents=incidents,
             # Lenient loads always carry a report; a cache hit means the
             # sources were clean, so the report is empty.
@@ -478,6 +553,7 @@ class MiraDataset:
         *,
         lenient: bool = False,
         max_bad_rows: int | None = None,
+        assume_mira: bool = False,
         cache: bool = True,
         refresh_cache: bool = False,
         mode: str = "ram",
@@ -490,6 +566,14 @@ class MiraDataset:
         returned dataset's ``ingestion`` report; ``max_bad_rows`` bounds
         the total quarantine size (exceeding it raises
         :class:`~repro.errors.QuarantineOverflowError`).
+
+        A missing or unreadable ``meta.jsonl`` is *never* silently
+        papered over, even leniently: the machine spec drives every
+        location and attribution kernel, so guessing it wrong corrupts
+        results instead of degrading them.  ``assume_mira=True``
+        (``--assume-mira``) is the explicit opt-in that restores the old
+        assume-Mira behavior for lenient loads, recorded as a
+        degradation in the ingestion report.
 
         Loads are served from a columnar ``.npz`` cache under
         ``<directory>/.repro-cache`` when the source files' content
@@ -554,7 +638,7 @@ class MiraDataset:
                             )
                         return cls._from_bundle(*bundle, lenient=lenient)
             if lenient:
-                dataset = cls._load_lenient(directory, max_bad_rows)
+                dataset = cls._load_lenient(directory, max_bad_rows, assume_mira)
             else:
                 dataset = cls._load_strict(directory)
             if cache_path is not None and not dataset.ingestion:
@@ -599,13 +683,14 @@ class MiraDataset:
             spec=spec,
             n_days=meta["n_days"],
             seed=meta["seed"],
+            backend=str(meta.get("backend", "mira")),
             incidents=incidents,
             **tables,
         )
 
     @classmethod
     def _load_lenient(
-        cls, directory: Path, max_bad_rows: int | None
+        cls, directory: Path, max_bad_rows: int | None, assume_mira: bool = False
     ) -> "MiraDataset":
         """Best-effort load: quarantine rows, degrade missing sources."""
         if not directory.is_dir():
@@ -615,7 +700,8 @@ class MiraDataset:
             raise DatasetError(f"{directory}: no dataset files found")
         report = ParseReport(max_bad_rows=max_bad_rows)
 
-        spec, n_days, seed = MIRA, None, -1
+        spec, n_days, seed, backend = MIRA, None, -1, "mira"
+        problem = None
         meta_path = directory / "meta.jsonl"
         if meta_path.exists():
             try:
@@ -623,12 +709,22 @@ class MiraDataset:
                 spec = _spec_from_meta(meta)
                 n_days = float(meta["n_days"])
                 seed = int(meta["seed"])
+                backend = str(meta.get("backend", "mira"))
             except Exception as error:
-                report.degrade(
-                    "meta", f"unreadable meta.jsonl ({error}); assuming Mira spec"
-                )
+                problem = f"unreadable meta.jsonl ({error})"
+                spec, n_days, seed, backend = MIRA, None, -1, "mira"
         else:
-            report.degrade("meta", "missing meta.jsonl; assuming Mira spec")
+            problem = "missing meta.jsonl"
+        if problem is not None:
+            if not assume_mira:
+                raise DatasetError(
+                    f"{directory}: {problem}; refusing to guess the "
+                    "machine geometry — pass assume_mira=True "
+                    "(--assume-mira) to load with Mira geometry"
+                )
+            report.degrade(
+                "meta", f"{problem}; assuming Mira spec (--assume-mira)"
+            )
 
         incidents: list[Incident] = []
         if (directory / "incidents.jsonl").exists():
@@ -638,6 +734,17 @@ class MiraDataset:
                 report.degrade("incidents", f"unreadable incidents.jsonl ({error})")
 
         catalog = default_catalog()
+        if backend != "mira":
+            try:
+                from repro.adapters import get_backend
+
+                catalog = get_backend(backend).catalog()
+            except BackendError as error:
+                report.degrade(
+                    "meta",
+                    f"unknown backend {backend!r} ({error}); validating "
+                    "RAS against the Mira catalog",
+                )
         validators = {
             "ras": lambda t: validate_ras_table(t, catalog, report=report),
             "jobs": lambda t: validate_job_table(t, report=report),
@@ -673,6 +780,7 @@ class MiraDataset:
             spec=spec,
             n_days=n_days,
             seed=seed,
+            backend=backend,
             incidents=incidents,
             ingestion=report,
             **tables,

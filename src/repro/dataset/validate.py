@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DatasetError
+from repro.errors import BackendError, DatasetError
 
 from .mira import MiraDataset
 
@@ -97,6 +97,41 @@ def _check_ras(dataset: MiraDataset, problems: list[str]) -> None:
         problems.append(f"RAS block names not in job log: {sorted(unknown_blocks)[:3]}")
 
 
+def _check_ras_catalog(dataset: MiraDataset, problems: list[str]) -> None:
+    """RAS message IDs and severities must match the backend's catalog.
+
+    Validating a google trace against the Mira catalog would flag every
+    record as invalid — the catalog comes from ``dataset.backend``, not
+    from a hard-coded default.
+    """
+    ras = dataset.ras
+    if ras.n_rows == 0:
+        return
+    try:
+        from repro.adapters import get_backend
+
+        catalog = get_backend(dataset.backend).catalog()
+    except BackendError as error:
+        problems.append(f"unknown trace backend {dataset.backend!r} ({error})")
+        return
+    known = {entry.msg_id: entry.severity.name for entry in catalog}
+    seen = set(zip(ras["msg_id"].tolist(), ras["severity"].tolist()))
+    unknown = sorted({m for m, _ in seen if m not in known})
+    if unknown:
+        problems.append(
+            f"RAS message ids not in the {dataset.backend!r} catalog: "
+            f"{unknown[:5]}"
+        )
+    mismatched = sorted(
+        m for m, s in seen if m in known and known[m] != s
+    )
+    if mismatched:
+        problems.append(
+            f"RAS severity disagrees with the {dataset.backend!r} catalog "
+            f"for: {mismatched[:5]}"
+        )
+
+
 def _check_incidents(dataset: MiraDataset, problems: list[str]) -> None:
     if not dataset.incidents:
         return
@@ -130,6 +165,7 @@ def validate_dataset(dataset: MiraDataset, *, lenient: bool = False) -> dict[str
         "io_consistency": _check_io_consistency,
         "occupancy": _check_occupancy,
         "ras": _check_ras,
+        "ras_catalog": _check_ras_catalog,
         "incidents": _check_incidents,
     }
     problems: list[str] = []

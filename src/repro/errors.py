@@ -12,6 +12,7 @@ __all__ = [
     "LocationError",
     "AllocationError",
     "CatalogError",
+    "BackendError",
     "ParseError",
     "QuarantineOverflowError",
     "ColumnTypeError",
@@ -38,6 +39,10 @@ class AllocationError(ReproError):
 
 class CatalogError(ReproError):
     """An unknown RAS message ID or malformed catalog entry."""
+
+
+class BackendError(ReproError):
+    """An unknown trace backend name or a malformed backend definition."""
 
 
 class ParseError(ReproError, ValueError):

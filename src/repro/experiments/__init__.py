@@ -28,6 +28,7 @@ from . import (  # noqa: F401  (import for registration side effect)
     e19_intervals,
     e20_user_behavior,
     e21_precursors,
+    e22_cross_system,
 )
 from .base import ExperimentResult, all_experiments, experiment_entry, get_experiment
 from .engine import ExperimentOutcome, SuiteResult, run_suite, write_bench_json

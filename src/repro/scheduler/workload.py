@@ -96,6 +96,13 @@ class WorkloadParams:
     runtime_log_sigma: float = 1.0
     node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS
     node_weights: tuple[float, ...] = DEFAULT_NODE_WEIGHTS
+    # Population-level skew of per-user exit-family mixes, over
+    # (SEGFAULT, ABORT, APP_ERROR, CONFIG).  Each user's family weights
+    # are Dirichlet draws with concentration ``3.2 * prior / sum(prior)``
+    # — the uniform default reproduces the historical ``alpha = 0.8``
+    # exactly; trace backends (:mod:`repro.adapters`) tilt it toward
+    # their system's published failure mix.
+    family_prior: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25)
     # Per-family execution-length law parameters (seconds).  Scales are
     # small relative to typical walltimes so that the walltime ceiling
     # truncates little probability mass; draws that *do* exceed the
@@ -124,6 +131,10 @@ class WorkloadParams:
             raise ValueError("resubmit_probability must be in [0, 1]")
         if not 0.0 <= self.refail_probability <= 1.0:
             raise ValueError("refail_probability must be in [0, 1]")
+        if len(self.family_prior) != len(_USER_FAMILIES):
+            raise ValueError("family_prior needs one weight per exit family")
+        if min(self.family_prior) <= 0:
+            raise ValueError("family_prior weights must be positive")
 
     @classmethod
     def scaled_to(cls, spec: MachineSpec, **overrides) -> "WorkloadParams":
@@ -236,6 +247,8 @@ class WorkloadModel:
         self._rng.shuffle(activity)
         profiles = []
         n_sizes = len(p.node_counts)
+        prior = np.asarray(p.family_prior, dtype=np.float64)
+        family_alpha = 3.2 * prior / prior.sum()
         for i in range(p.n_users):
             preferred = int(
                 self._rng.choice(n_sizes, p=np.asarray(p.node_weights))
@@ -251,7 +264,7 @@ class WorkloadModel:
                     activity=float(activity[i]),
                     base_fail_probability=min(base_fail, 0.95),
                     preferred_size_index=preferred,
-                    family_weights=self._rng.dirichlet(np.full(len(_USER_FAMILIES), 0.8)),
+                    family_weights=self._rng.dirichlet(family_alpha),
                     ensemble_user=bool(self._rng.uniform() < p.ensemble_probability),
                 )
             )

@@ -213,7 +213,8 @@ def main_serve(argv: list[str] | None = None) -> int:
     try:
         dataset = _load_or_synthesize(args)
         fingerprint = fingerprint_for_run(
-            args.dataset, args.days, args.seed, scale=args.scale
+            args.dataset, args.days, args.seed, scale=args.scale,
+            backend=args.backend,
         )
         if not args.no_journal:
             runs_root = (
@@ -229,6 +230,7 @@ def main_serve(argv: list[str] | None = None) -> int:
                     "days": args.days,
                     "seed": args.seed,
                     "scale": args.scale,
+                    "backend": args.backend,
                     "dataset_mode": args.mode,
                     "workers": args.workers,
                     "queue_capacity": args.queue_capacity,
@@ -259,7 +261,8 @@ def main_serve(argv: list[str] | None = None) -> int:
         def reloader():
             reloaded = _load_or_synthesize(args)
             new_fingerprint = fingerprint_for_run(
-                args.dataset, args.days, args.seed, scale=args.scale
+                args.dataset, args.days, args.seed, scale=args.scale,
+                backend=args.backend,
             )
             return reloaded, new_fingerprint
 

@@ -37,6 +37,7 @@ import json
 
 import numpy as np
 
+from repro.bgq.machine import MIRA, MachineSpec
 from repro.core.filtering.pipeline import default_pipeline
 from repro.core.reliability import mtti_from_clusters
 from repro.dataset.mira import SECONDS_PER_DAY
@@ -218,9 +219,17 @@ def _events_table(events: list[list]) -> Table:
 class RollingMtti:
     """Filtered-MTTI over an endless FATAL stream with bounded memory."""
 
-    def __init__(self, *, freeze_margin: float = DEFAULT_FREEZE_MARGIN):
+    def __init__(
+        self,
+        *,
+        freeze_margin: float = DEFAULT_FREEZE_MARGIN,
+        spec: MachineSpec = MIRA,
+    ):
+        # The streaming path tails a single live Mira-format feed, so a
+        # Mira default is the documented contract here (unlike repro.core,
+        # where the spec must come from the dataset being analyzed).
         self.freeze_margin = float(freeze_margin)
-        self._pipeline = default_pipeline()
+        self._pipeline = default_pipeline(spec=spec)
         #: sealed FATAL events still able to interact with the future,
         #: each ``[timestamp, msg_id, location, message]``, timestamp
         #: nondecreasing (guaranteed by the watermark seal order).
@@ -331,7 +340,7 @@ def batch_cusum(ras: Table, *, bucket_s: float = SECONDS_PER_DAY) -> dict:
     return kernel.result()
 
 
-def batch_mtti(ras: Table, span_days: float) -> dict:
+def batch_mtti(ras: Table, span_days: float, *, spec: MachineSpec = MIRA) -> dict:
     """Three-stage-filtered MTTI from a closed RAS table.
 
     Runs the *real* batch path — ``default_pipeline`` over all FATAL
@@ -349,7 +358,7 @@ def batch_mtti(ras: Table, span_days: float) -> dict:
         }
     )
     if events.n_rows:
-        clusters = default_pipeline().run(events).clusters
+        clusters = default_pipeline(spec=spec).run(events).clusters
         report = mtti_from_clusters(clusters, span_days)
         n = report.n_interruptions
         first_ts = list(report.interruption_timestamps)

@@ -1,0 +1,127 @@
+"""Backend registry, calibration contract, and per-backend invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.adapters import (
+    MIRA_BACKEND,
+    PublishedCalibration,
+    all_backend_names,
+    all_backends,
+    get_backend,
+    midplane_ladder,
+    register_backend,
+)
+from repro.bgq.machine import MIRA, MIRA_SMALL
+from repro.errors import BackendError, ReproError
+from repro.ras.severity import Severity
+
+
+class TestRegistry:
+    def test_builtin_backends_in_registration_order(self):
+        assert all_backend_names() == ("mira", "google", "mistral", "mlcluster")
+        assert [b.name for b in all_backends()] == list(all_backend_names())
+
+    def test_mira_is_the_default_path(self):
+        backend = get_backend("mira")
+        assert backend is MIRA_BACKEND
+        assert backend.spec is MIRA
+        # None means "module defaults": the mira synthesis path must
+        # stay bit-identical to the pre-backend toolkit.
+        assert backend.workload_params() is None
+        assert backend.ras_params() is None
+
+    def test_unknown_backend_is_typed_and_lists_known(self):
+        with pytest.raises(BackendError, match="known:.*mira"):
+            get_backend("bluewaters")
+
+    def test_backend_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            get_backend("nope")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(BackendError, match="duplicate"):
+            register_backend(dataclasses.replace(MIRA_BACKEND))
+        assert all_backend_names().count("mira") == 1
+
+
+class TestPublishedCalibration:
+    def test_validates_ranges(self):
+        with pytest.raises(ValueError, match="user_share"):
+            PublishedCalibration(1.5, 1.0, 0.1, "x")
+        with pytest.raises(ValueError, match="failure_rate"):
+            PublishedCalibration(0.9, 1.0, -0.1, "x")
+        with pytest.raises(ValueError, match="mtti_days"):
+            PublishedCalibration(0.9, 0.0, 0.1, "x")
+
+    def test_every_backend_cites_a_source(self):
+        for backend in all_backends():
+            assert backend.published.source
+            assert 0.0 < backend.published.failure_rate < 1.0
+
+
+class TestMidplaneLadder:
+    def test_oversize_rungs_dropped_and_renormalized(self):
+        counts, weights = midplane_ladder(
+            MIRA_SMALL, midplanes=(1, 2, 4, 1024), weights=(0.4, 0.3, 0.2, 0.1)
+        )
+        assert max(counts) <= MIRA_SMALL.n_nodes
+        assert len(counts) == len(weights) == 3
+        assert sum(weights) == 1.0  # exact, round-off absorbed in last rung
+
+    def test_all_rungs_too_big_falls_back_to_full_machine(self):
+        counts, weights = midplane_ladder(MIRA_SMALL, midplanes=(10**6,))
+        assert counts == (MIRA_SMALL.n_nodes,)
+        assert weights == (1.0,)
+
+    def test_zero_mass_profile_rejected(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            midplane_ladder(MIRA, midplanes=(1, 2), weights=(0.0, 0.0))
+
+
+class TestBackendInvariants:
+    """Contract every adapter must satisfy (see docs/backends.md)."""
+
+    @pytest.fixture(params=all_backend_names())
+    def backend(self, request):
+        return get_backend(request.param)
+
+    def test_geometry_is_consistent(self, backend):
+        spec = backend.spec
+        assert spec.n_nodes == (
+            spec.n_midplanes * spec.node_boards_per_midplane * spec.nodes_per_node_board
+        )
+        assert spec.rack_columns <= 16  # hex rack naming
+
+    def test_catalog_ids_unique_and_hex(self, backend):
+        entries = list(backend.catalog())
+        assert entries
+        ids = [entry.msg_id for entry in entries]
+        assert len(set(ids)) == len(ids)
+        for msg_id in ids:
+            assert len(msg_id) == 8
+            int(msg_id, 16)
+
+    def test_only_fatal_entries_interrupt(self, backend):
+        for entry in backend.catalog():
+            if entry.interrupts_jobs:
+                assert entry.severity is Severity.FATAL
+        assert any(e.interrupts_jobs for e in backend.catalog())
+
+    def test_workload_ladder_fits_machine(self, backend):
+        params = backend.workload_params()
+        if params is None:  # mira: module defaults, checked elsewhere
+            return
+        assert max(params.node_counts) <= backend.spec.n_nodes
+        assert min(params.node_counts) >= backend.spec.nodes_per_midplane
+        assert sum(params.node_weights) == pytest.approx(1.0)
+
+    def test_catalogs_do_not_collide_across_backends(self):
+        seen: dict[str, str] = {}
+        for backend in all_backends():
+            for entry in backend.catalog():
+                owner = seen.setdefault(entry.msg_id, backend.name)
+                assert owner == backend.name, (
+                    f"msg_id {entry.msg_id} in both {owner} and {backend.name}"
+                )

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from repro.bgq.machine import MIRA
 
 from repro.core import (
     NO_JOB,
@@ -43,16 +44,16 @@ def _events(rows):
 
 class TestEventMidplanes:
     def test_midplane_level(self):
-        assert event_midplanes(["R00-M1"]) == [(1,)]
+        assert event_midplanes(["R00-M1"], MIRA) == [(1,)]
 
     def test_card_level(self):
-        assert event_midplanes(["R01-M0-N00-J00"]) == [(2,)]
+        assert event_midplanes(["R01-M0-N00-J00"], MIRA) == [(2,)]
 
     def test_rack_level_covers_both(self):
-        assert event_midplanes(["R01"]) == [(2, 3)]
+        assert event_midplanes(["R01"], MIRA) == [(2, 3)]
 
     def test_memoization_consistency(self):
-        out = event_midplanes(["R00-M0", "R00-M0", "R00-M1"])
+        out = event_midplanes(["R00-M0", "R00-M0", "R00-M1"], MIRA)
         assert out == [(0,), (0,), (1,)]
 
 
@@ -60,37 +61,37 @@ class TestMapEventsToJobs:
     def test_hit_inside_window_and_block(self):
         jobs = _jobs([(7, "a", 100, 200, 0, 2, 0)])
         events = _events([(150, "R00-M1-N03-J05")])
-        assert map_events_to_jobs(events, jobs).tolist() == [7]
+        assert map_events_to_jobs(events, jobs, MIRA).tolist() == [7]
 
     def test_miss_wrong_midplane(self):
         jobs = _jobs([(7, "a", 100, 200, 0, 1, 0)])
         events = _events([(150, "R05-M0")])
-        assert map_events_to_jobs(events, jobs).tolist() == [NO_JOB]
+        assert map_events_to_jobs(events, jobs, MIRA).tolist() == [NO_JOB]
 
     def test_miss_outside_window(self):
         jobs = _jobs([(7, "a", 100, 200, 0, 1, 0)])
         events = _events([(250, "R00-M0"), (50, "R00-M0")])
-        assert map_events_to_jobs(events, jobs).tolist() == [NO_JOB, NO_JOB]
+        assert map_events_to_jobs(events, jobs, MIRA).tolist() == [NO_JOB, NO_JOB]
 
     def test_boundary_semantics(self):
         """Start-inclusive, end-exclusive."""
         jobs = _jobs([(7, "a", 100, 200, 0, 1, 0)])
         events = _events([(100, "R00-M0"), (200, "R00-M0")])
-        assert map_events_to_jobs(events, jobs).tolist() == [7, NO_JOB]
+        assert map_events_to_jobs(events, jobs, MIRA).tolist() == [7, NO_JOB]
 
     def test_sequential_jobs_same_midplane(self):
         jobs = _jobs([(1, "a", 0, 100, 0, 1, 0), (2, "b", 100, 200, 0, 1, 0)])
         events = _events([(50, "R00-M0"), (150, "R00-M0")])
-        assert map_events_to_jobs(events, jobs).tolist() == [1, 2]
+        assert map_events_to_jobs(events, jobs, MIRA).tolist() == [1, 2]
 
     def test_rack_event_charged_to_running_job(self):
         jobs = _jobs([(3, "a", 0, 100, 1, 1, 0)])  # R00-M1 only
         events = _events([(50, "R00")])
-        assert map_events_to_jobs(events, jobs).tolist() == [3]
+        assert map_events_to_jobs(events, jobs, MIRA).tolist() == [3]
 
     def test_empty_jobs(self):
         events = _events([(1.0, "R00-M0")])
-        assert map_events_to_jobs(events, _jobs([])).tolist() == [NO_JOB]
+        assert map_events_to_jobs(events, _jobs([]), MIRA).tolist() == [NO_JOB]
 
 
 class TestAttributeFailures:
@@ -103,7 +104,7 @@ class TestAttributeFailures:
             ]
         )
         fatal = _events([(50, "R00-M0")])
-        attributed = attribute_failures(jobs, fatal)
+        attributed = attribute_failures(jobs, fatal, MIRA)
         assert attributed.n_rows == 2
         by_id = {r["job_id"]: r["attributed"] for r in attributed.to_rows()}
         assert by_id == {1: "system", 2: "user"}
@@ -111,14 +112,14 @@ class TestAttributeFailures:
     def test_summary(self):
         jobs = _jobs([(1, "a", 0, 100, 0, 1, 137), (2, "b", 0, 100, 5, 1, 139)])
         fatal = _events([(50, "R00-M0")])
-        summary = attribution_summary(attribute_failures(jobs, fatal))
+        summary = attribution_summary(attribute_failures(jobs, fatal, MIRA))
         assert summary["n_failed"] == 2
         assert summary["n_system"] == 1
         assert summary["user_share"] == pytest.approx(0.5)
 
     def test_no_failures(self):
         jobs = _jobs([(1, "a", 0, 100, 0, 1, 0)])
-        summary = attribution_summary(attribute_failures(jobs, _events([])))
+        summary = attribution_summary(attribute_failures(jobs, _events([]), MIRA))
         assert summary["n_failed"] == 0
         assert np.isnan(summary["user_share"])
 

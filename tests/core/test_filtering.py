@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bgq import Level
+from repro.bgq.machine import MIRA
 from repro.core.filtering import (
     default_pipeline,
     events_to_clusters,
@@ -89,7 +90,7 @@ class TestSpatial:
              (5, "00010006", "R00-M0-N07-J12", MSG.format(2)),
              (9, "00010006", "R00-M0-N02-J03", MSG.format(3))]
         )
-        out = spatial_filter(events_to_clusters(events), window_seconds=60)
+        out = spatial_filter(events_to_clusters(events), window_seconds=60, spec=MIRA)
         assert out.n_rows == 1
         assert out["n_events"][0] == 3
         assert out["location"][0] == "R00-M0"  # lifted to the midplane
@@ -99,7 +100,7 @@ class TestSpatial:
             [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
              (5, "00010006", "R17-M1-N00-J00", MSG.format(2))]
         )
-        out = spatial_filter(events_to_clusters(events), window_seconds=60)
+        out = spatial_filter(events_to_clusters(events), window_seconds=60, spec=MIRA)
         assert out.n_rows == 2
 
     def test_rack_level_grouping(self):
@@ -107,8 +108,8 @@ class TestSpatial:
             [(0, "00010006", "R00-M0-N00-J00", MSG.format(1)),
              (5, "00010006", "R00-M1-N00-J00", MSG.format(2))]
         )
-        midplane = spatial_filter(events_to_clusters(events), 60, level=Level.MIDPLANE)
-        rack = spatial_filter(events_to_clusters(events), 60, level=Level.RACK)
+        midplane = spatial_filter(events_to_clusters(events), 60, level=Level.MIDPLANE, spec=MIRA)
+        rack = spatial_filter(events_to_clusters(events), 60, level=Level.RACK, spec=MIRA)
         assert midplane.n_rows == 2
         assert rack.n_rows == 1
         assert rack["location"][0] == "R00"
@@ -117,7 +118,7 @@ class TestSpatial:
         # A rack-level event cannot descend to midplane level; it groups
         # at its own level.
         events = _events([(0, "00040003", "R05", "bulk power module failure unit=2")])
-        out = spatial_filter(events_to_clusters(events), 60)
+        out = spatial_filter(events_to_clusters(events), 60, spec=MIRA)
         assert out.n_rows == 1
         assert out["location"][0] == "R05"
 
@@ -126,7 +127,7 @@ class TestSpatial:
             [(t, "00010006", f"R00-M0-N{t % 16:02d}-J00", MSG.format(t))
              for t in range(0, 100, 3)]
         )
-        out = spatial_filter(events_to_clusters(events), window_seconds=10)
+        out = spatial_filter(events_to_clusters(events), window_seconds=10, spec=MIRA)
         assert out["n_events"].sum() == events.n_rows
 
 
@@ -183,27 +184,27 @@ class TestPipeline:
         return MiraDataset.synthesize(n_days=60.0, seed=33)
 
     def test_recovers_ground_truth_incidents(self, dataset):
-        outcome = default_pipeline().run(dataset.fatal_events())
+        outcome = default_pipeline(spec=dataset.spec).run(dataset.fatal_events())
         truth = len(dataset.incidents)
         # Filtering should land within a small factor of the truth.
         assert 0.7 * truth <= outcome.n_clusters <= 1.3 * truth
 
     def test_stage_counts_monotone(self, dataset):
-        outcome = default_pipeline().run(dataset.fatal_events())
+        outcome = default_pipeline(spec=dataset.spec).run(dataset.fatal_events())
         counts = [c for _, c in outcome.stage_counts]
         assert counts == sorted(counts, reverse=True)
 
     def test_total_reduction_substantial(self, dataset):
-        outcome = default_pipeline().run(dataset.fatal_events())
+        outcome = default_pipeline(spec=dataset.spec).run(dataset.fatal_events())
         assert outcome.total_reduction > 5
 
     def test_event_count_conserved(self, dataset):
         fatal = dataset.fatal_events()
-        outcome = default_pipeline().run(fatal)
+        outcome = default_pipeline(spec=dataset.spec).run(fatal)
         assert outcome.clusters["n_events"].sum() == fatal.n_rows
 
     def test_reduction_factors(self, dataset):
-        outcome = default_pipeline().run(dataset.fatal_events())
+        outcome = default_pipeline(spec=dataset.spec).run(dataset.fatal_events())
         factors = outcome.reduction_factors()
         assert [name for name, _ in factors] == ["temporal", "spatial", "similarity"]
         assert all(f >= 1.0 for _, f in factors)

@@ -8,6 +8,7 @@ stages are idempotent at fixpoint.
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from repro.bgq.machine import MIRA
 
 from repro.core.filtering import (
     events_to_clusters,
@@ -67,7 +68,7 @@ def test_temporal_conserves_mass(events, window):
 @settings(max_examples=40, deadline=None)
 @given(events=event_tables(), window=WINDOWS)
 def test_spatial_conserves_mass(events, window):
-    out = spatial_filter(events_to_clusters(events), window)
+    out = spatial_filter(events_to_clusters(events), window, spec=MIRA)
     assert out["n_events"].sum() == events.n_rows
 
 
@@ -87,7 +88,7 @@ def test_similarity_conserves_mass(events, window, threshold):
 def test_stages_sorted_and_span_valid(events, window):
     for stage in (
         lambda t: temporal_filter(t, window),
-        lambda t: spatial_filter(t, window),
+        lambda t: spatial_filter(t, window, spec=MIRA),
         lambda t: similarity_filter(t, window, 0.5),
     ):
         out = stage(events_to_clusters(events))

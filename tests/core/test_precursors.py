@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bgq import Level
+from repro.bgq.machine import MIRA
 from repro.core.precursors import alarm_quality, precursor_coverage
 from repro.table import Table
 
@@ -35,66 +36,66 @@ class TestCoverage:
     def test_covered_when_warn_precedes_same_midplane(self):
         warns = _warns([(100, "R00-M0-N02-J05")])
         clusters = _clusters([(500, "R00-M0-N07-J01")])
-        metrics, leads = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        metrics, leads = precursor_coverage(warns, clusters, lookback_seconds=1000, spec=MIRA)
         assert metrics["coverage"] == 1.0
         assert leads.tolist() == [400.0]
 
     def test_not_covered_other_midplane(self):
         warns = _warns([(100, "R00-M1")])
         clusters = _clusters([(500, "R00-M0")])
-        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000, spec=MIRA)
         assert metrics["coverage"] == 0.0
 
     def test_not_covered_outside_lookback(self):
         warns = _warns([(100, "R00-M0")])
         clusters = _clusters([(50_000, "R00-M0")])
-        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000, spec=MIRA)
         assert metrics["coverage"] == 0.0
 
     def test_warn_after_fatal_does_not_count(self):
         warns = _warns([(900, "R00-M0")])
         clusters = _clusters([(500, "R00-M0")])
-        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000)
+        metrics, _ = precursor_coverage(warns, clusters, lookback_seconds=1000, spec=MIRA)
         assert metrics["coverage"] == 0.0
 
     def test_rack_level_grouping(self):
         warns = _warns([(100, "R00-M1")])
         clusters = _clusters([(500, "R00-M0")])
         metrics, _ = precursor_coverage(
-            warns, clusters, lookback_seconds=1000, level=Level.RACK
+            warns, clusters, lookback_seconds=1000, level=Level.RACK, spec=MIRA
         )
         assert metrics["coverage"] == 1.0
 
     def test_bad_lookback(self):
         with pytest.raises(ValueError):
-            precursor_coverage(_warns([]), _clusters([(1, "R00")]), lookback_seconds=0)
+            precursor_coverage(_warns([]), _clusters([(1, "R00")]), lookback_seconds=0, spec=MIRA)
 
     def test_no_clusters_rejected(self):
         with pytest.raises(ValueError):
-            precursor_coverage(_warns([]), _clusters([]), lookback_seconds=10)
+            precursor_coverage(_warns([]), _clusters([]), lookback_seconds=10, spec=MIRA)
 
 
 class TestAlarmQuality:
     def test_perfect_alarm(self):
         warns = _warns([(100, "R00-M0")])
         clusters = _clusters([(500, "R00-M0")])
-        quality = alarm_quality(warns, clusters, horizon_seconds=1000)
+        quality = alarm_quality(warns, clusters, horizon_seconds=1000, spec=MIRA)
         assert quality["precision"] == 1.0
         assert quality["recall"] == 1.0
 
     def test_false_alarms_dilute_precision(self):
         warns = _warns([(100, "R00-M0"), (100, "R10-M0"), (100, "R11-M1")])
         clusters = _clusters([(500, "R00-M0")])
-        quality = alarm_quality(warns, clusters, horizon_seconds=1000)
+        quality = alarm_quality(warns, clusters, horizon_seconds=1000, spec=MIRA)
         assert quality["precision"] == pytest.approx(1 / 3)
         assert quality["recall"] == 1.0
 
     def test_missed_fatal_hurts_recall(self):
         warns = _warns([(100, "R00-M0")])
         clusters = _clusters([(500, "R00-M0"), (500, "R20-M1")])
-        quality = alarm_quality(warns, clusters, horizon_seconds=1000)
+        quality = alarm_quality(warns, clusters, horizon_seconds=1000, spec=MIRA)
         assert quality["recall"] == pytest.approx(0.5)
 
     def test_bad_horizon(self):
         with pytest.raises(ValueError):
-            alarm_quality(_warns([]), _clusters([(1, "R00")]), horizon_seconds=-1)
+            alarm_quality(_warns([]), _clusters([(1, "R00")]), horizon_seconds=-1, spec=MIRA)

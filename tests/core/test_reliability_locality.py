@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from repro.bgq.machine import MIRA
 
 from repro.core import (
     availability,
@@ -72,7 +73,7 @@ class TestJobInterruptionMtti:
             }
         )
         clusters = _clusters([50, 5000])  # second is after the job ended
-        report = job_interruption_mtti(clusters, jobs, span_days=10)
+        report = job_interruption_mtti(clusters, jobs, span_days=10, spec=MIRA)
         assert report.n_interruptions == 1
         assert report.mtti_days == pytest.approx(10.0)
 
@@ -86,7 +87,7 @@ class TestJobInterruptionMtti:
                 "n_midplanes": [1],
             }
         )
-        report = job_interruption_mtti(_clusters([]), jobs, span_days=10)
+        report = job_interruption_mtti(_clusters([]), jobs, span_days=10, spec=MIRA)
         assert report.n_interruptions == 0
 
 
@@ -121,7 +122,7 @@ class TestEndToEndReliability:
 
     @pytest.fixture(scope="class")
     def filtered(self, dataset):
-        return default_pipeline().run(dataset.fatal_events()).clusters
+        return default_pipeline(spec=dataset.spec).run(dataset.fatal_events()).clusters
 
     def test_system_mtti_near_incident_rate(self, dataset, filtered):
         report = mtti_from_clusters(filtered, span_days=dataset.n_days)

@@ -1,0 +1,90 @@
+"""Machine-spec threading: no analysis kernel may silently assume Mira.
+
+The cross-system backends (:mod:`repro.adapters`) feed non-Mira
+geometries through the exact same kernels, so every ``repro.core``
+entry point must *require* its ``MachineSpec`` — a ``spec=MIRA``
+default would silently mis-map locations the moment a google or
+mlcluster table flowed through.
+"""
+
+import inspect
+
+import pytest
+
+from repro.bgq import Level
+from repro.bgq.machine import MIRA, MIRA_SMALL, MachineSpec
+from repro.core.attribution import attribute_failures, map_events_to_jobs
+from repro.core.filtering import default_pipeline
+from repro.core.reliability import job_interruption_mtti
+from repro.dataset import MiraDataset
+
+MODULES = [
+    "repro.core.attribution",
+    "repro.core.reliability",
+    "repro.core.locality",
+    "repro.core.precursors",
+    "repro.core.filtering.pipeline",
+    "repro.core.filtering.spatial",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_no_public_entry_point_defaults_its_spec(module_name):
+    module = __import__(module_name, fromlist=["__all__"])
+    checked = 0
+    for symbol in module.__all__:
+        obj = getattr(module, symbol)
+        if not callable(obj):
+            continue
+        target = obj.__init__ if inspect.isclass(obj) else obj
+        try:
+            signature = inspect.signature(target)
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            continue
+        for parameter in signature.parameters.values():
+            assert not isinstance(parameter.default, MachineSpec), (
+                f"{module_name}.{symbol} defaults {parameter.name} to a "
+                "MachineSpec; the spec must be threaded from dataset.spec"
+            )
+            checked += 1
+    assert checked, f"{module_name} exported nothing with parameters"
+
+
+class TestSpecIsActuallyUsed:
+    """A non-Mira spec must change the answers, not just be accepted."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return MiraDataset.synthesize(n_days=6.0, seed=3, spec=MIRA_SMALL)
+
+    def test_kernels_run_with_non_mira_spec(self, dataset):
+        events = dataset.fatal_events()
+        mapped = map_events_to_jobs(events, dataset.jobs, dataset.spec)
+        assert mapped.shape[0] == events.n_rows
+        attributed = attribute_failures(dataset.jobs, events, dataset.spec)
+        assert attributed.n_rows == int((dataset.jobs["exit_status"] != 0).sum())
+        clusters = default_pipeline(spec=dataset.spec).run(events).clusters
+        estimate = job_interruption_mtti(
+            clusters, dataset.jobs, dataset.n_days, dataset.spec
+        )
+        assert estimate.mtti_days != 0
+
+    def test_missing_spec_is_a_type_error(self, dataset):
+        events = dataset.fatal_events()
+        with pytest.raises(TypeError):
+            attribute_failures(dataset.jobs, events)
+        with pytest.raises(TypeError):
+            default_pipeline(spatial_level=Level.MIDPLANE)
+
+    def test_wrong_spec_changes_the_location_mapping(self, dataset):
+        from repro.core.locality import counts_by_midplane
+
+        events = dataset.fatal_events()
+        # Same events, different geometry: the midplane index space must
+        # come from the spec that was passed, not from a Mira default.
+        assert dataset.spec != MIRA
+        small = counts_by_midplane(events, dataset.spec)
+        mira = counts_by_midplane(events, MIRA)
+        assert small.shape[0] == dataset.spec.n_midplanes
+        assert mira.shape[0] == MIRA.n_midplanes
+        assert small.shape != mira.shape

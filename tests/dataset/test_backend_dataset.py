@@ -1,0 +1,82 @@
+"""Backend identity on disk: meta round-trip, catalog validation, and
+the refusal paths for spec-less or mislabeled datasets."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.adapters import get_backend
+from repro.bgq.machine import MIRA
+from repro.dataset import MiraDataset, validate_dataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def google_dataset():
+    return MiraDataset.synthesize(n_days=4.0, seed=13, backend="google")
+
+
+@pytest.fixture()
+def saved_google(google_dataset, tmp_path):
+    google_dataset.save(tmp_path / "ds")
+    return tmp_path / "ds"
+
+
+class TestMetaRoundTrip:
+    def test_non_mira_spec_survives_the_meta_record(
+        self, google_dataset, saved_google
+    ):
+        loaded = MiraDataset.load(saved_google, cache=False)
+        assert loaded.backend == "google"
+        assert loaded.spec == get_backend("google").spec
+        assert loaded.spec != MIRA
+
+    def test_meta_without_spec_fields_is_a_typed_error(self, saved_google):
+        meta_path = saved_google / "meta.jsonl"
+        records = [
+            json.loads(line) for line in meta_path.read_text().splitlines()
+        ]
+        stripped = [
+            {
+                k: v
+                for k, v in record.items()
+                if k not in ("rack_rows", "rack_columns", "midplanes_per_rack")
+            }
+            for record in records
+        ]
+        meta_path.write_text(
+            "".join(json.dumps(r) + "\n" for r in stripped)
+        )
+        with pytest.raises(DatasetError, match="machine-spec"):
+            MiraDataset.load(saved_google, cache=False)
+
+    def test_synthesize_rejects_spec_and_backend_together(self):
+        from repro.bgq.machine import MIRA_SMALL
+
+        with pytest.raises(ValueError, match="spec"):
+            MiraDataset.synthesize(
+                n_days=1.0, seed=0, spec=MIRA_SMALL, backend="google"
+            )
+
+    def test_synthesize_rejects_scale_on_non_mira_backend(self):
+        with pytest.raises(ValueError, match="scale"):
+            MiraDataset.synthesize(n_days=1.0, seed=0, scale=2, backend="google")
+
+
+class TestCatalogValidation:
+    def test_google_dataset_validates_against_google_catalog(
+        self, google_dataset
+    ):
+        report = validate_dataset(google_dataset)
+        assert report["ras_catalog"] == "ok"
+
+    def test_mislabeled_backend_fails_catalog_check(self, google_dataset):
+        mislabeled = dataclasses.replace(google_dataset, backend="mira")
+        with pytest.raises(DatasetError, match="catalog"):
+            validate_dataset(mislabeled)
+
+    def test_unknown_backend_fails_validation(self, google_dataset):
+        unknown = dataclasses.replace(google_dataset, backend="crayxc40")
+        with pytest.raises(DatasetError, match="unknown trace backend"):
+            validate_dataset(unknown)

@@ -21,16 +21,26 @@ class TestMissingSources:
         assert dataset.io.column_names  # typed empty table, not zero-column
         assert dataset.ingestion.degraded == {"io": "missing io.csv"}
 
-    def test_missing_meta_estimates_span(self, saved):
+    def test_missing_meta_refuses_to_guess_spec(self, saved):
         (saved / "meta.jsonl").unlink()
-        dataset = MiraDataset.load(saved, lenient=True)
+        with pytest.raises(DatasetError, match="assume_mira"):
+            MiraDataset.load(saved, lenient=True)
+
+    def test_missing_meta_estimates_span_with_assume_mira(self, saved):
+        (saved / "meta.jsonl").unlink()
+        dataset = MiraDataset.load(saved, lenient=True, assume_mira=True)
         assert "meta" in dataset.ingestion.degraded
         assert 0 < dataset.n_days <= 5.0  # estimated from log extents
-        assert dataset.spec.name == "Mira"  # fallback spec
+        assert dataset.spec.name == "Mira"  # opted-in fallback spec
 
-    def test_corrupt_meta_degrades(self, saved):
+    def test_corrupt_meta_refuses_to_guess_spec(self, saved):
         (saved / "meta.jsonl").write_text("{not json\n")
-        dataset = MiraDataset.load(saved, lenient=True)
+        with pytest.raises(DatasetError, match="assume_mira"):
+            MiraDataset.load(saved, lenient=True)
+
+    def test_corrupt_meta_degrades_with_assume_mira(self, saved):
+        (saved / "meta.jsonl").write_text("{not json\n")
+        dataset = MiraDataset.load(saved, lenient=True, assume_mira=True)
         assert "meta" in dataset.ingestion.degraded
 
     def test_corrupt_incidents_degrade(self, saved):

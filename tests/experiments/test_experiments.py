@@ -19,8 +19,9 @@ def dataset():
 class TestFramework:
     def test_all_experiments_registered(self):
         ids = list(all_experiments())
-        # e01..e16 reconstruct the paper; e17..e21 are extensions.
-        assert ids == [f"e{i:02d}" for i in range(1, 22)]
+        # e01..e16 reconstruct the paper; e17..e22 are extensions
+        # (e22 compares the findings across trace backends).
+        assert ids == [f"e{i:02d}" for i in range(1, 23)]
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError, match="unknown experiment"):

@@ -246,8 +246,8 @@ class TestAttributionParity:
                 "location": ["R00-M0"] * 5,
             }
         )
-        new = map_events_to_jobs(events, jobs)
-        old = _reference_map_events_to_jobs(events, jobs)
+        new = map_events_to_jobs(events, jobs, MIRA)
+        old = _reference_map_events_to_jobs(events, jobs, MIRA)
         assert np.array_equal(new, old)
         assert new.tolist() == [NO_JOB, 1, 1, 2, NO_JOB]
 

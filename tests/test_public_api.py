@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.tasks",
     "repro.darshan",
     "repro.dataset",
+    "repro.adapters",
     "repro.core",
     "repro.core.fitting",
     "repro.core.filtering",
